@@ -1,0 +1,126 @@
+// Section 6 analog of the paper's cloud experiments: run all three
+// distribution schemes through the real MR pipeline on the simulated
+// cluster and compare *measured* replication factor, working-set size,
+// and communication volume against the Table 1 predictions.
+//
+// The paper reports measurements "close to our theoretic evaluations",
+// with the working-set limit hit "a little earlier than expected" because
+// other data shares memory with the elements. The same effect appears
+// here organically: measured working-set bytes include record framing on
+// top of the raw payloads, so the overhead column is positive.
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "mr/cluster.hpp"
+#include "pairwise/block_scheme.hpp"
+#include "pairwise/broadcast_scheme.hpp"
+#include "pairwise/dataset.hpp"
+#include "pairwise/design_scheme.hpp"
+#include "pairwise/pipeline.hpp"
+#include "workloads/generators.hpp"
+#include "workloads/kernels.hpp"
+
+namespace {
+
+using namespace pairmr;
+
+struct RunRow {
+  std::string scheme;
+  SchemeMetrics predicted;
+  PairwiseRunStats measured;
+};
+
+RunRow run_scheme(const DistributionScheme& scheme,
+                  const std::vector<std::string>& payloads) {
+  mr::Cluster cluster({.num_nodes = 4, .worker_threads = 0});
+  const auto inputs = write_dataset(cluster, "/data", payloads);
+  PairwiseJob job;
+  job.compute = workloads::expensive_blob_kernel(2);
+  RunRow row;
+  row.scheme = scheme.name();
+  row.predicted = scheme.metrics();
+  row.measured = run_pairwise(cluster, inputs, scheme, job);
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== bench_cluster_validation: Section 6 — measured vs "
+               "theoretic metrics ===\n\n";
+
+  const std::uint64_t v = 120;
+  const std::uint64_t element_bytes = 512;
+  const auto payloads = workloads::blob_payloads(v, element_bytes, 2026);
+
+  const BroadcastScheme broadcast(v, /*tasks=*/8);
+  const BlockScheme block(v, /*h=*/5);
+  const DesignScheme design(v);
+
+  std::vector<RunRow> rows;
+  rows.push_back(run_scheme(broadcast, payloads));
+  rows.push_back(run_scheme(block, payloads));
+  rows.push_back(run_scheme(design, payloads));
+
+  std::cout << "Dataset: v = " << v << " elements x "
+            << format_bytes(element_bytes) << " = "
+            << format_bytes(v * element_bytes) << ", cluster: 4 nodes\n"
+            << "Design scheme plane order q = " << design.plane_order()
+            << " (q^2+q+1 = " << design.plane_points() << ")\n\n";
+
+  TablePrinter t({"scheme", "repl (pred)", "repl (meas)", "ws elems (pred)",
+                  "ws bytes (meas)", "ws overhead", "evals", "interm bytes",
+                  "shuffle remote"});
+  t.set_caption("Measured vs predicted scheme characteristics");
+  for (const auto& row : rows) {
+    const double predicted_ws_bytes =
+        row.predicted.working_set_elements *
+        static_cast<double>(element_bytes);
+    const double overhead =
+        100.0 * (static_cast<double>(row.measured.max_working_set_bytes) -
+                 predicted_ws_bytes) /
+        predicted_ws_bytes;
+    t.add_row({row.scheme, TablePrinter::num(row.predicted.replication_factor, 2),
+               TablePrinter::num(row.measured.replication_factor, 2),
+               TablePrinter::num(row.predicted.working_set_elements, 1),
+               format_bytes(row.measured.max_working_set_bytes),
+               TablePrinter::num(overhead, 1) + "%",
+               TablePrinter::num(row.measured.evaluations),
+               format_bytes(row.measured.intermediate_bytes),
+               format_bytes(row.measured.shuffle_remote_bytes)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nObservations (cf. paper Section 6):\n"
+            << "  * measured replication tracks the Table 1 prediction "
+               "(p / h / ~sqrt(v));\n"
+            << "  * every scheme performed exactly C(v,2) = "
+            << rows[0].measured.evaluations << " evaluations;\n"
+            << "  * measured working sets exceed s*|D| by the framing "
+               "overhead — the paper's \"limit hit a little earlier than "
+               "expected\".\n";
+
+  // Communication comparison: the paper's Table 1 states 2vp vs 2vh vs
+  // ~2v*sqrt(v) shipped elements; our meter counts actual bytes of the
+  // two jobs (shuffle both ways), so ratios — not absolutes — match.
+  TablePrinter c({"scheme", "comm elems (pred)", "map-out bytes (meas)",
+                  "ratio vs block"});
+  c.set_caption("\nCommunication volume (predicted elements vs measured "
+                "replicated bytes)");
+  const double block_bytes = static_cast<double>(
+      rows[1].measured.distribute_job.counter(mr::counter::kMapOutputBytes));
+  for (const auto& row : rows) {
+    const double meas = static_cast<double>(
+        row.measured.distribute_job.counter(mr::counter::kMapOutputBytes));
+    c.add_row({row.scheme,
+               TablePrinter::sci(row.predicted.communication_elements, 2),
+               format_bytes(static_cast<std::uint64_t>(meas)),
+               TablePrinter::num(meas / block_bytes, 2)});
+  }
+  c.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Regenerates Figure 8:
+//   (a) max(v) before the broadcast working-set limit is reached, per
+//       element size, for maxws in {200 MiB, 400 MiB, 1 GiB};
+//   (b) max(v) before the design intermediate-storage limit is reached,
+//       per element size, for maxis in {100 GiB, 1 TiB, 10 TiB}.
+// Element sizes sweep 10 KiB .. 10 MiB (the paper's 10^1..10^4 KB axis).
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "pairwise/cost_model.hpp"
+
+namespace {
+
+using namespace pairmr;
+
+const std::vector<std::uint64_t> kElementSizes = {
+    10 * kKiB,  20 * kKiB,  50 * kKiB,  100 * kKiB, 200 * kKiB,
+    500 * kKiB, kMiB,       2 * kMiB,   5 * kMiB,   10 * kMiB};
+
+void fig8a() {
+  TablePrinter t({"element size", "maxws=200MiB", "maxws=400MiB",
+                  "maxws=1GiB"});
+  t.set_caption(
+      "Figure 8(a) — base set size limitation for the broadcast approach\n"
+      "max(v) before working-set size limit is reached (v <= maxws/s)");
+  for (const auto s : kElementSizes) {
+    t.add_row({format_bytes(s),
+               TablePrinter::num(broadcast_max_v(s, 200 * kMiB)),
+               TablePrinter::num(broadcast_max_v(s, 400 * kMiB)),
+               TablePrinter::num(broadcast_max_v(s, kGiB))});
+  }
+  t.print(std::cout);
+  std::cout << "\n";
+}
+
+void fig8b() {
+  TablePrinter t({"element size", "maxis=100GiB", "maxis=1TiB",
+                  "maxis=10TiB"});
+  t.set_caption(
+      "Figure 8(b) — base set size limitation for the design approach\n"
+      "max(v) before intermediate storage limit is reached "
+      "(v^1.5 * s <= maxis)");
+  for (const auto s : kElementSizes) {
+    t.add_row({format_bytes(s),
+               TablePrinter::num(design_max_v_by_storage(s, 100 * kGiB)),
+               TablePrinter::num(design_max_v_by_storage(s, kTiB)),
+               TablePrinter::num(design_max_v_by_storage(s, 10 * kTiB))});
+  }
+  t.print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== bench_fig8: Figure 8 reproduction ===\n\n";
+  fig8a();
+  fig8b();
+  // Shape checks matching the paper's chart (log-log straight lines):
+  // 8a slope -1 (halving element size doubles max v), 8b slope -2/3.
+  std::cout << "Shape check: 8a max(v) ratio for 10x element size = "
+            << static_cast<double>(broadcast_max_v(10 * kKiB, 200 * kMiB)) /
+                   static_cast<double>(broadcast_max_v(100 * kKiB, 200 * kMiB))
+            << " (paper: 10, slope -1 in log-log)\n";
+  std::cout << "Shape check: 8b max(v) ratio for 10x element size = "
+            << static_cast<double>(design_max_v_by_storage(10 * kKiB, kTiB)) /
+                   static_cast<double>(
+                       design_max_v_by_storage(100 * kKiB, kTiB))
+            << " (paper: 10^(2/3) ~ 4.64, slope -2/3 in log-log)\n";
+  return 0;
+}

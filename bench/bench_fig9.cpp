@@ -1,0 +1,97 @@
+// Regenerates Figure 9:
+//   (a) lower/upper bounds on the blocking factor h versus dataset size,
+//       for the paper's maxws/maxis values (rising lines = maxws lower
+//       bounds, falling lines = maxis upper bounds), including the paper's
+//       4 GB spot check;
+//   (b) max(v) for all three approaches versus element size at
+//       maxws = 200 MiB, maxis = 1 TiB, locating the block/design
+//       cross-over the paper describes.
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "pairwise/cost_model.hpp"
+
+namespace {
+
+using namespace pairmr;
+
+void fig9a() {
+  const std::vector<std::uint64_t> dataset_sizes = {
+      kGiB,     2 * kGiB,  4 * kGiB,  6 * kGiB, 8 * kGiB,
+      10 * kGiB, 12 * kGiB, 16 * kGiB};
+
+  TablePrinter t({"vs (dataset)", "h_lo @200MiB", "h_lo @400MiB",
+                  "h_lo @1GiB", "h_hi @100GiB", "h_hi @1TiB",
+                  "h_hi @10TiB", "valid h (200MiB,1TiB)"});
+  t.set_caption(
+      "Figure 9(a) — lower and upper bounds for h for the block approach\n"
+      "rising: h >= 2*vs/maxws; falling: h <= maxis/vs");
+  for (const auto vs : dataset_sizes) {
+    const auto lo = [&](std::uint64_t maxws) {
+      return block_h_range(vs, Limits{maxws, kTiB}).lo;
+    };
+    const auto hi = [&](std::uint64_t maxis) {
+      return block_h_range(vs, Limits{200 * kMiB, maxis}).hi;
+    };
+    const HRange r = block_h_range(vs, Limits{200 * kMiB, kTiB});
+    t.add_row({format_bytes(vs), TablePrinter::num(lo(200 * kMiB)),
+               TablePrinter::num(lo(400 * kMiB)), TablePrinter::num(lo(kGiB)),
+               TablePrinter::num(hi(100 * kGiB)), TablePrinter::num(hi(kTiB)),
+               TablePrinter::num(hi(10 * kTiB)),
+               r.valid() ? "[" + std::to_string(r.lo) + ", " +
+                               std::to_string(r.hi) + "]"
+                         : "none"});
+  }
+  t.print(std::cout);
+
+  // The paper's worked example: a 4 GB (SI) dataset.
+  const HRange paper = block_h_range(4'000'000'000ull,
+                                     Limits{200 * kMiB, kTiB});
+  std::cout << "\nPaper spot check (vs = 4 GB): valid h in [" << paper.lo
+            << ", " << paper.hi << "]  (paper reports [39, 263]; unit base "
+            << "unstated — see EXPERIMENTS.md)\n";
+  std::cout << "Feasibility limit: vs <= "
+            << format_bytes(block_max_dataset_bytes(Limits{200 * kMiB, kTiB}))
+            << " (intersection of both bounds)\n\n";
+}
+
+void fig9b() {
+  const Limits limits{200 * kMiB, kTiB};
+  const std::vector<std::uint64_t> sizes = {
+      10 * kKiB,  20 * kKiB,  50 * kKiB, 100 * kKiB, 200 * kKiB,
+      500 * kKiB, 800 * kKiB, kMiB,      1536 * kKiB, 2 * kMiB,
+      5 * kMiB,   10 * kMiB};
+
+  TablePrinter t({"element size", "broadcast", "block", "design", "winner"});
+  t.set_caption(
+      "Figure 9(b) — base set size limitation compared for all approaches\n"
+      "max(v) at maxws = 200 MiB, maxis = 1 TiB");
+  std::uint64_t crossover = 0;
+  for (const auto s : sizes) {
+    const std::uint64_t b = broadcast_max_v(s, limits);
+    const std::uint64_t k = block_max_v(s, limits);
+    const std::uint64_t d = design_max_v(s, limits);
+    const char* winner = (k >= d && k >= b) ? "block"
+                         : (d >= k && d >= b) ? "design"
+                                              : "broadcast";
+    if (crossover == 0 && d > k) crossover = s;
+    t.add_row({format_bytes(s), TablePrinter::num(b), TablePrinter::num(k),
+               TablePrinter::num(d), winner});
+  }
+  t.print(std::cout);
+  std::cout << "\nBlock/design cross-over at element size ~"
+            << format_bytes(crossover)
+            << " (paper: design pulls ahead for elements > 1MB)\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== bench_fig9: Figure 9 reproduction ===\n\n";
+  fig9a();
+  fig9b();
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Makespan surface: which scheme finishes first, as a function of
+// per-evaluation compute cost and element size — the quantitative form
+// of the paper's qualitative guidance (§5.1: broadcast suits "moderate
+// dataset, expensive function"; §5.2/5.3 trade replication against
+// working sets for larger data).
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "pairwise/cost_model.hpp"
+#include "pairwise/makespan.hpp"
+
+namespace {
+using namespace pairmr;
+}
+
+int main() {
+  std::cout << "=== bench_makespan: which scheme finishes first ===\n\n";
+
+  const std::uint64_t v = 10000;
+  const std::uint64_t n = 16;
+  const std::uint64_t h = 10;
+
+  // Sweep compute cost (rows) × element size (columns); print the winner.
+  const std::vector<double> eval_costs = {1e-8, 1e-7, 1e-6, 1e-5, 1e-4,
+                                          1e-3};
+  const std::vector<std::uint64_t> sizes = {kKiB, 10 * kKiB, 100 * kKiB,
+                                            kMiB};
+
+  TablePrinter t({"comp() cost (s)", "s=1KiB", "s=10KiB", "s=100KiB",
+                  "s=1MiB"});
+  t.set_caption("Winner by makespan (v = " + std::to_string(v) + ", n = " +
+                std::to_string(n) + ", block h = " + std::to_string(h) +
+                ", 100 MB/s network)");
+  for (const double cost : eval_costs) {
+    CostRates rates;
+    rates.compute_seconds_per_eval = cost;
+    std::vector<std::string> row{TablePrinter::sci(cost, 0)};
+    for (const auto s : sizes) {
+      row.push_back(compare_makespans(v, s, n, h, rates).winner);
+    }
+    t.add_row(std::move(row));
+  }
+  t.print(std::cout);
+
+  // Detailed breakdown at two representative corners.
+  struct Corner {
+    const char* label;
+    double cost;
+    std::uint64_t size;
+  };
+  for (const auto& [label, cost, size] :
+       {Corner{"compute-heavy, small elements", 1e-4, kKiB},
+        Corner{"shipping-heavy, large elements", 1e-8, kMiB}}) {
+    CostRates rates;
+    rates.compute_seconds_per_eval = cost;
+    const SchemeComparison c = compare_makespans(v, size, n, h, rates);
+    TablePrinter d({"scheme", "ship (s)", "compute (s)", "aggregate (s)",
+                    "overhead (s)", "total (s)"});
+    d.set_caption(std::string("\nBreakdown — ") + label);
+    for (const MakespanBreakdown* m : {&c.broadcast, &c.block, &c.design}) {
+      d.add_row({m->scheme, TablePrinter::num(m->ship_seconds, 2),
+                 TablePrinter::num(m->compute_seconds, 2),
+                 TablePrinter::num(m->aggregate_seconds, 2),
+                 TablePrinter::num(m->overhead_seconds, 2),
+                 TablePrinter::num(m->total(), 2)});
+    }
+    d.print(std::cout);
+    std::cout << "winner: " << c.winner << "\n";
+  }
+  std::cout << "\nExpected shape: broadcast wins the compute-heavy corner "
+               "(fewest waves), block wins the shipping-heavy corner "
+               "(least replication), design sits between.\n";
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Google-benchmark microbenchmarks for the library's hot paths: scheme
+// construction and queries, triangular-label inversion, finite-field
+// arithmetic, plane construction, element codec, and the MR engine's
+// fixed overhead.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/serde.hpp"
+#include "design/gf.hpp"
+#include "design/projective_plane.hpp"
+#include "mr/cluster.hpp"
+#include "mr/context.hpp"
+#include "mr/engine.hpp"
+#include "pairwise/block_scheme.hpp"
+#include "pairwise/broadcast_scheme.hpp"
+#include "pairwise/design_scheme.hpp"
+#include "pairwise/element.hpp"
+#include "pairwise/triangular.hpp"
+#include "workloads/generators.hpp"
+
+namespace {
+
+using namespace pairmr;
+
+void BM_PairLabelInversion(benchmark::State& state) {
+  std::uint64_t p = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(label_to_pair(p));
+    p = p % 1000000 + 1;
+  }
+}
+BENCHMARK(BM_PairLabelInversion);
+
+void BM_BlockSchemeSubsets(benchmark::State& state) {
+  const BlockScheme scheme(100000, static_cast<std::uint64_t>(state.range(0)));
+  ElementId id = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheme.subsets_of(id));
+    id = (id + 7919) % 100000;
+  }
+}
+BENCHMARK(BM_BlockSchemeSubsets)->Arg(10)->Arg(100);
+
+void BM_BlockSchemePairs(benchmark::State& state) {
+  const BlockScheme scheme(10000, 100);  // 100x100-pair blocks
+  TaskId t = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheme.pairs_in(t));
+    t = (t + 1) % scheme.num_tasks();
+  }
+}
+BENCHMARK(BM_BlockSchemePairs);
+
+void BM_DesignSchemeConstruction(benchmark::State& state) {
+  const auto v = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    const DesignScheme scheme(v);
+    benchmark::DoNotOptimize(scheme.num_tasks());
+  }
+}
+BENCHMARK(BM_DesignSchemeConstruction)->Arg(1000)->Arg(10000);
+
+void BM_PG2Construction(benchmark::State& state) {
+  const auto q = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(design::pg2_construction(q));
+  }
+}
+BENCHMARK(BM_PG2Construction)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_GFMul(benchmark::State& state) {
+  const design::GaloisField gf(static_cast<std::uint64_t>(state.range(0)));
+  std::uint64_t a = 1, b = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gf.mul(a, b));
+    a = (a + 1) % gf.order();
+    b = (b + 3) % gf.order();
+  }
+}
+BENCHMARK(BM_GFMul)->Arg(101)->Arg(128)->Arg(243);
+
+void BM_ElementCodec(benchmark::State& state) {
+  Element e;
+  e.id = 42;
+  e.payload.assign(static_cast<std::size_t>(state.range(0)), 'x');
+  for (int i = 0; i < 32; ++i) {
+    e.results.push_back(ResultEntry{static_cast<ElementId>(i), "12345678"});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(decode_element(encode_element(e)));
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(encoded_element_size(e)));
+}
+BENCHMARK(BM_ElementCodec)->Arg(512)->Arg(65536);
+
+void BM_EngineIdentityJob(benchmark::State& state) {
+  // Fixed engine overhead: identity map+reduce over 1000 small records.
+  std::vector<mr::Record> records;
+  for (int i = 0; i < 1000; ++i) {
+    records.push_back(mr::Record{encode_u64_key(i), "payload"});
+  }
+  int round = 0;
+  mr::Cluster cluster({.num_nodes = 4, .worker_threads = 2});
+  cluster.scatter_records("/in", records);
+  for (auto _ : state) {
+    mr::JobSpec spec;
+    spec.name = "identity";
+    spec.input_paths = cluster.dfs().list("/in");
+    spec.output_dir = "/out-" + std::to_string(round++);
+    spec.mapper_factory = [] { return std::make_unique<mr::IdentityMapper>(); };
+    spec.reducer_factory = [] {
+      return std::make_unique<mr::IdentityReducer>();
+    };
+    benchmark::DoNotOptimize(mr::Engine(cluster).run(spec));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          1000);
+}
+BENCHMARK(BM_EngineIdentityJob)->Unit(benchmark::kMillisecond);
+
+void BM_BroadcastPairsChunk(benchmark::State& state) {
+  const BroadcastScheme scheme(10000, 1000);  // ~50k labels per task
+  TaskId t = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheme.pairs_in(t));
+    t = (t + 1) % 1000;
+  }
+}
+BENCHMARK(BM_BroadcastPairsChunk);
+
+}  // namespace

@@ -1,0 +1,112 @@
+// Scaling study on the simulated cluster: wall-clock time and per-node
+// communication for each scheme as the node count grows, with a
+// compute-heavy kernel (the regime the paper targets).
+//
+// This corresponds to the paper's motivation for parallelization: with an
+// expensive comp(), evaluations dominate and all schemes should speed up
+// with more nodes until task-count limits bind (broadcast p = n keeps
+// pace; block needs h(h+1)/2 >= n; design always has >= v tasks).
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "common/serde.hpp"
+#include "common/stopwatch.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "mr/cluster.hpp"
+#include "pairwise/block_scheme.hpp"
+#include "pairwise/broadcast_scheme.hpp"
+#include "pairwise/dataset.hpp"
+#include "pairwise/design_scheme.hpp"
+#include "pairwise/pipeline.hpp"
+#include "workloads/generators.hpp"
+#include "workloads/kernels.hpp"
+
+namespace {
+
+using namespace pairmr;
+
+struct Result {
+  double seconds = 0.0;
+  std::uint64_t shuffle_bytes = 0;
+};
+
+// Parallel structure independent of host cores: distribute the scheme's
+// tasks over n nodes the way the engine's hash partitioner does, and
+// compare total work against the most-loaded node (the compute-phase
+// critical path). This is the speed-up a real n-node cluster would see
+// for a compute-bound kernel.
+double structural_speedup(const DistributionScheme& scheme,
+                          std::uint32_t nodes) {
+  std::vector<std::uint64_t> load(nodes, 0);
+  std::uint64_t total = 0;
+  for (TaskId t = 0; t < scheme.num_tasks(); ++t) {
+    const std::uint64_t work = scheme.pairs_in(t).size();
+    load[fnv1a(encode_u64_key(t)) % nodes] += work;
+    total += work;
+  }
+  const std::uint64_t critical = *std::max_element(load.begin(), load.end());
+  return critical == 0 ? 0.0
+                       : static_cast<double>(total) /
+                             static_cast<double>(critical);
+}
+
+Result run(const DistributionScheme& scheme,
+           const std::vector<std::string>& payloads, std::uint32_t nodes) {
+  mr::Cluster cluster({.num_nodes = nodes, .worker_threads = nodes});
+  const auto inputs = write_dataset(cluster, "/data", payloads);
+  PairwiseJob job;
+  job.compute = workloads::expensive_blob_kernel(64);
+  const Stopwatch timer;
+  const PairwiseRunStats stats = run_pairwise(cluster, inputs, scheme, job);
+  return Result{timer.elapsed_seconds(), stats.shuffle_remote_bytes};
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== bench_scaling: speed-up and communication vs cluster "
+               "size ===\n\n";
+
+  const std::uint64_t v = 96;
+  const auto payloads = workloads::blob_payloads(v, 2048, 11);
+
+  TablePrinter t({"nodes", "scheme", "time (s)", "host speedup",
+                  "structural speedup", "shuffle bytes"});
+  t.set_caption("Pairwise computation (v = 96, s = 2 KiB, expensive "
+                "kernel), host-parallel simulation");
+  for (const char* name : {"broadcast", "block", "design"}) {
+    double base = 0.0;
+    for (const std::uint32_t nodes : {1u, 2u, 4u, 8u}) {
+      std::unique_ptr<DistributionScheme> scheme;
+      if (std::string(name) == "broadcast") {
+        scheme = std::make_unique<BroadcastScheme>(v, nodes);
+      } else if (std::string(name) == "block") {
+        // Smallest h with h(h+1)/2 >= nodes.
+        std::uint64_t h = 1;
+        while (h * (h + 1) / 2 < nodes) ++h;
+        scheme = std::make_unique<BlockScheme>(v, h);
+      } else {
+        scheme = std::make_unique<DesignScheme>(v);
+      }
+      const Result r = run(*scheme, payloads, nodes);
+      if (nodes == 1) base = r.seconds;
+      t.add_row({TablePrinter::num(std::uint64_t{nodes}), name,
+                 TablePrinter::num(r.seconds, 3),
+                 TablePrinter::num(base / r.seconds, 2) + "x",
+                 TablePrinter::num(structural_speedup(*scheme, nodes), 2) +
+                     "x",
+                 format_bytes(r.shuffle_bytes)});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nNote: 'host speedup' is bounded by this machine's cores "
+               "(tasks run on host threads); 'structural speedup' is the "
+               "compute-phase critical-path ratio an n-node cluster would "
+               "achieve — it grows with n until the scheme's task count "
+               "and balance bind (Table 1's Number-of-Tasks row).\n";
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Regenerates Table 1 ("Comparison of distribution schemes"): the five
+// metrics for the broadcast, block, and design schemes — first symbolically
+// instantiated for a range of parameters, then cross-checked against the
+// *constructed* schemes (exact task counts, working sets, evaluations).
+// Also prints the head of the Figure 5 pair enumeration for reference.
+#include <cstdint>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "pairwise/block_scheme.hpp"
+#include "pairwise/broadcast_scheme.hpp"
+#include "pairwise/cost_model.hpp"
+#include "pairwise/design_scheme.hpp"
+#include "pairwise/triangular.hpp"
+
+namespace {
+
+using namespace pairmr;
+
+void print_symbolic_table() {
+  TablePrinter t({"Metric", "Broadcast", "Block", "Design"});
+  t.set_caption(
+      "Table 1 — Comparison of distribution schemes (symbolic, as printed "
+      "in the paper)");
+  t.add_row({"Number of Tasks (p)", "arbitrary", "h(h+1)/2",
+             "q^2+q+1 >= v, q prime"});
+  t.add_row({"Communication Costs", "2vp", "2vh", "~2v*sqrt(v) (max 2vn)"});
+  t.add_row({"Replication Factor", "p", "h", "~sqrt(v)"});
+  t.add_row({"Working Set Size", "v", "2*ceil(v/h)", "~sqrt(v)"});
+  t.add_row({"Evaluations per Task", "v(v-1)/2p", "ceil(v/h)^2",
+             "~(v-1)/2"});
+  t.print(std::cout);
+  std::cout << "\n";
+}
+
+void print_instantiated(std::uint64_t v, std::uint64_t n, std::uint64_t p,
+                        std::uint64_t h) {
+  const SchemeMetrics b = broadcast_metrics(v, p);
+  const SchemeMetrics k = block_metrics(v, h);
+  const SchemeMetrics d = design_metrics_approx(v, n);
+
+  TablePrinter t({"Metric", "Broadcast (p=" + std::to_string(p) + ")",
+                  "Block (h=" + std::to_string(h) + ")", "Design"});
+  t.set_caption("Table 1 instantiated for v=" + std::to_string(v) +
+                ", n=" + std::to_string(n) +
+                " (communication/working set in elements)");
+  t.add_row({"Number of Tasks", TablePrinter::num(b.num_tasks),
+             TablePrinter::num(k.num_tasks), TablePrinter::num(d.num_tasks)});
+  t.add_row({"Communication Costs",
+             TablePrinter::sci(b.communication_elements, 2),
+             TablePrinter::sci(k.communication_elements, 2),
+             TablePrinter::sci(d.communication_elements, 2)});
+  t.add_row({"Replication Factor", TablePrinter::num(b.replication_factor, 1),
+             TablePrinter::num(k.replication_factor, 1),
+             TablePrinter::num(d.replication_factor, 1)});
+  t.add_row({"Working Set Size", TablePrinter::num(b.working_set_elements, 0),
+             TablePrinter::num(k.working_set_elements, 0),
+             TablePrinter::num(d.working_set_elements, 1)});
+  t.add_row({"Evaluations per Task",
+             TablePrinter::sci(b.evaluations_per_task, 2),
+             TablePrinter::sci(k.evaluations_per_task, 2),
+             TablePrinter::sci(d.evaluations_per_task, 2)});
+  t.print(std::cout);
+  std::cout << "\n";
+}
+
+// Exact values from the constructed schemes — validates that the Table 1
+// formulas describe what the implementations actually build.
+void print_constructed_check(std::uint64_t v, std::uint64_t p,
+                             std::uint64_t h) {
+  const BroadcastScheme broadcast(v, p);
+  const BlockScheme block(v, h);
+  const DesignScheme design(v);
+
+  const auto exact = [](const DistributionScheme& s) {
+    std::uint64_t max_ws = 0, max_evals = 0, copies = 0;
+    for (TaskId t = 0; t < s.num_tasks(); ++t) {
+      const auto ws = s.working_set(t).size();
+      max_ws = std::max<std::uint64_t>(max_ws, ws);
+      max_evals = std::max<std::uint64_t>(max_evals, s.pairs_in(t).size());
+      copies += ws;
+    }
+    struct Out {
+      std::uint64_t tasks, max_ws, max_evals;
+      double repl;
+    };
+    return Out{s.num_tasks(), max_ws, max_evals,
+               static_cast<double>(copies) /
+                   static_cast<double>(s.num_elements())};
+  };
+
+  TablePrinter t({"Exact metric", "Broadcast", "Block", "Design"});
+  t.set_caption("Constructed-scheme cross-check for v=" + std::to_string(v) +
+                " (exact enumeration; design uses q=" +
+                std::to_string(design.plane_order()) + ")");
+  const auto b = exact(broadcast);
+  const auto k = exact(block);
+  const auto d = exact(design);
+  t.add_row({"Tasks", TablePrinter::num(b.tasks), TablePrinter::num(k.tasks),
+             TablePrinter::num(d.tasks)});
+  t.add_row({"Max working set", TablePrinter::num(b.max_ws),
+             TablePrinter::num(k.max_ws), TablePrinter::num(d.max_ws)});
+  t.add_row({"Max evaluations/task", TablePrinter::num(b.max_evals),
+             TablePrinter::num(k.max_evals), TablePrinter::num(d.max_evals)});
+  t.add_row({"Avg replication", TablePrinter::num(b.repl, 2),
+             TablePrinter::num(k.repl, 2), TablePrinter::num(d.repl, 2)});
+  t.print(std::cout);
+  std::cout << "\n";
+}
+
+void print_fig5_head() {
+  TablePrinter t({"i\\j", "1", "2", "3", "4", "5", "6"});
+  t.set_caption("Figure 5 — Enumeration of the distance matrix (head)");
+  for (std::uint64_t i = 2; i <= 7; ++i) {
+    std::vector<std::string> row{std::to_string(i)};
+    for (std::uint64_t j = 1; j <= 6; ++j) {
+      row.push_back(j < i ? std::to_string(pair_label(i, j)) : "");
+    }
+    t.add_row(std::move(row));
+  }
+  t.print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== bench_table1: Table 1 + Figure 5 reproduction ===\n\n";
+  print_symbolic_table();
+  print_fig5_head();
+  // The paper's §3 running example (10,000 elements) and a smaller
+  // instance at two cluster sizes.
+  print_instantiated(/*v=*/10000, /*n=*/16, /*p=*/16, /*h=*/10);
+  print_instantiated(/*v=*/1000, /*n=*/8, /*p=*/8, /*h=*/5);
+  print_constructed_check(/*v=*/500, /*p=*/8, /*h=*/5);
+  return 0;
+}

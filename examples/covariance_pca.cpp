@@ -1,0 +1,109 @@
+// Covariance-matrix computation A·Aᵀ as a pairwise inner product on the
+// rows of A — the paper's fourth motivating application (§1), feeding a
+// small principal-component analysis (power iteration).
+#include <cmath>
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "pairwise/pairmr.hpp"
+#include "workloads/generators.hpp"
+#include "workloads/kernels.hpp"
+
+namespace {
+
+using namespace pairmr;
+
+// Dominant eigenpair of a symmetric matrix by power iteration.
+std::pair<double, std::vector<double>> power_iteration(
+    const std::vector<std::vector<double>>& m) {
+  const std::size_t n = m.size();
+  std::vector<double> x(n, 1.0 / std::sqrt(static_cast<double>(n)));
+  double lambda = 0.0;
+  for (int iter = 0; iter < 200; ++iter) {
+    std::vector<double> y(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) y[i] += m[i][j] * x[j];
+    }
+    double norm = 0.0;
+    for (const double v : y) norm += v * v;
+    norm = std::sqrt(norm);
+    if (norm == 0.0) break;
+    for (auto& v : y) v /= norm;
+    lambda = norm;
+    x = std::move(y);
+  }
+  return {lambda, x};
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== covariance_pca: A*A^T via pairwise inner products "
+               "===\n\n";
+
+  // 24 variables observed over 300 samples; variables come in correlated
+  // groups of 8, so PCA should find ~3 strong components.
+  const std::uint64_t v = 24;
+  const std::uint32_t samples = 300;
+  auto rows = workloads::expression_profiles(v, samples, /*group=*/8,
+                                             /*seed=*/5);
+
+  // Center each row (covariance needs mean-free data).
+  for (auto& row : rows) {
+    double mean = 0.0;
+    for (const double x : row) mean += x;
+    mean /= static_cast<double>(row.size());
+    for (auto& x : row) x -= mean;
+  }
+
+  // Off-diagonal entries via the distributed pairwise pipeline.
+  mr::Cluster cluster({.num_nodes = 4});
+  const auto inputs =
+      write_dataset(cluster, "/rows", workloads::vector_payloads(rows));
+  const DesignScheme scheme(v);  // small working sets: √v rows per task
+
+  PairwiseJob job;
+  job.compute = workloads::inner_product_kernel();
+  const PairwiseRunStats stats = run_pairwise(cluster, inputs, scheme, job);
+
+  // Assemble the symmetric covariance matrix; the diagonal (self inner
+  // products) is a local O(v) pass, not a pairwise computation.
+  std::vector<std::vector<double>> cov(v, std::vector<double>(v, 0.0));
+  const double denom = static_cast<double>(samples - 1);
+  for (ElementId i = 0; i < v; ++i) {
+    cov[i][i] = workloads::inner_product(rows[i], rows[i]) / denom;
+  }
+  for (const Element& e : read_elements(cluster, stats.output_dir)) {
+    for (const auto& r : e.results) {
+      cov[e.id][r.other] = workloads::decode_result(r.result) / denom;
+    }
+  }
+
+  std::cout << "pairwise phase: " << stats.evaluations
+            << " inner products over " << scheme.num_tasks()
+            << " design-scheme tasks (plane order q = "
+            << scheme.plane_order() << ")\n";
+
+  // Verify symmetry came out intact.
+  double max_asym = 0.0;
+  for (std::size_t i = 0; i < v; ++i) {
+    for (std::size_t j = 0; j < v; ++j) {
+      max_asym = std::max(max_asym, std::abs(cov[i][j] - cov[j][i]));
+    }
+  }
+  std::cout << "max |cov - cov^T| = " << max_asym << " (exactly 0 expected: "
+            << "each pair evaluated once, stored to both rows)\n\n";
+
+  const auto [lambda, pc1] = power_iteration(cov);
+  std::cout << "top eigenvalue (power iteration): " << lambda << "\n";
+  std::cout << "first principal component loadings:\n  ";
+  for (std::size_t i = 0; i < v; ++i) {
+    std::cout << (pc1[i] >= 0 ? "+" : "-")
+              << (std::abs(pc1[i]) > 0.25 ? "#" : ".");
+    if (i % 8 == 7) std::cout << " ";
+  }
+  std::cout << "\n(8-variable correlated groups: loadings should "
+               "concentrate on one group)\n";
+  return 0;
+}

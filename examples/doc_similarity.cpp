@@ -1,0 +1,72 @@
+// Cross-document similarity — the paper's second motivating application
+// (§1, cross-document co-referencing): Jaccard similarity over token
+// sets for all document pairs, keeping only near-duplicates.
+//
+// Unlike Elsayed et al.'s inverted-index trick (related work the paper
+// contrasts against), this treats the comparison as irreducibly
+// quadratic, which is exactly the regime the paper's schemes target.
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "pairwise/pairmr.hpp"
+#include "workloads/generators.hpp"
+#include "workloads/kernels.hpp"
+
+namespace {
+using namespace pairmr;
+constexpr double kThreshold = 0.35;
+}  // namespace
+
+int main() {
+  std::cout << "=== doc_similarity: all-pairs Jaccard over token sets "
+               "===\n\n";
+
+  // 40 synthetic documents + 5 planted near-duplicates of document 0.
+  auto docs = workloads::token_documents(40, /*vocabulary=*/2000,
+                                         /*tokens_per_doc=*/120, /*seed=*/31);
+  for (int copy = 0; copy < 5; ++copy) {
+    auto dup = docs[0];
+    // Perturb ~10% of the tokens to make "near" duplicates.
+    for (std::size_t i = copy; i < dup.size(); i += 10) {
+      dup[i] = static_cast<std::uint32_t>((dup[i] * 31 + copy) % 2000);
+    }
+    std::sort(dup.begin(), dup.end());
+    dup.erase(std::unique(dup.begin(), dup.end()), dup.end());
+    docs.push_back(std::move(dup));
+  }
+  const std::uint64_t v = docs.size();
+
+  mr::Cluster cluster({.num_nodes = 4});
+  const auto inputs =
+      write_dataset(cluster, "/docs", workloads::document_payloads(docs));
+
+  // Broadcast scheme: the corpus is small, Jaccard over 120-token sets is
+  // the expensive part — the paper's §5.1 sweet spot. One-job variant.
+  PairwiseJob job;
+  job.compute = workloads::jaccard_kernel();
+  job.keep = workloads::keep_above(kThreshold);
+  const PairwiseRunStats stats = run_pairwise_broadcast(
+      cluster, inputs, v, /*num_tasks=*/8, job);
+
+  std::cout << "evaluated " << stats.evaluations << " document pairs, "
+            << stats.results_kept << " above similarity " << kThreshold
+            << "\n\n";
+
+  std::cout << "near-duplicate pairs found:\n";
+  std::uint64_t found = 0;
+  for (const Element& e : read_elements(cluster, stats.output_dir)) {
+    for (const auto& r : e.results) {
+      if (r.other > e.id) {  // print each pair once
+        std::cout << "  doc" << e.id << " ~ doc" << r.other
+                  << "  (jaccard = " << workloads::decode_result(r.result)
+                  << ")\n";
+        ++found;
+      }
+    }
+  }
+  std::cout << "\nplanted 5 perturbed copies of doc0 (ids 40-44); the "
+               "reported pairs should connect {0, 40..44}.\n"
+            << "pairs reported: " << found << "\n";
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Gene-regulatory-network reconstruction — the paper's third motivating
+// application (§1, citing Qiu et al.): mutual information between all
+// pairs of gene expression profiles; high-MI pairs become network edges.
+//
+// Ground truth is known (the generator co-regulates genes in groups), so
+// the example reports precision/recall of the recovered edges.
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "pairwise/pairmr.hpp"
+#include "workloads/generators.hpp"
+#include "workloads/kernels.hpp"
+
+namespace {
+using namespace pairmr;
+constexpr std::uint32_t kGroupSize = 5;
+constexpr double kEdgeThreshold = 0.35;  // nats
+}  // namespace
+
+int main() {
+  std::cout << "=== gene_network: pairwise mutual information on "
+               "expression profiles ===\n\n";
+
+  const std::uint64_t v = 40;  // genes, in co-regulated groups of 5
+  const std::uint32_t samples = 400;
+  const auto profiles =
+      workloads::expression_profiles(v, samples, kGroupSize, /*seed=*/77);
+
+  mr::Cluster cluster({.num_nodes = 4});
+  const auto inputs = write_dataset(cluster, "/genes",
+                                    workloads::vector_payloads(profiles));
+
+  // MI estimation over 400 samples is compute-heavy; profiles are small.
+  // The block scheme balances replication against working-set size.
+  const BlockScheme scheme(v, 4);
+  PairwiseJob job;
+  job.compute = workloads::mutual_information_kernel(/*bins=*/10);
+  job.keep = workloads::keep_above(kEdgeThreshold);
+
+  const PairwiseRunStats stats = run_pairwise(cluster, inputs, scheme, job);
+  std::cout << "pairwise phase: " << stats.evaluations
+            << " MI estimates, " << stats.results_kept
+            << " edges above " << kEdgeThreshold << " nats\n\n";
+
+  // Score against the generator's ground truth (same group <=> edge).
+  std::uint64_t tp = 0, fp = 0, fn = 0;
+  std::vector<std::vector<bool>> predicted(v, std::vector<bool>(v, false));
+  for (const Element& e : read_elements(cluster, stats.output_dir)) {
+    for (const auto& r : e.results) predicted[e.id][r.other] = true;
+  }
+  for (ElementId i = 0; i < v; ++i) {
+    for (ElementId j = i + 1; j < v; ++j) {
+      const bool truth = i / kGroupSize == j / kGroupSize;
+      const bool pred = predicted[i][j];
+      tp += truth && pred;
+      fp += !truth && pred;
+      fn += truth && !pred;
+    }
+  }
+  const double precision =
+      tp + fp == 0 ? 0.0 : static_cast<double>(tp) / (tp + fp);
+  const double recall =
+      tp + fn == 0 ? 0.0 : static_cast<double>(tp) / (tp + fn);
+  std::cout << "network recovery vs ground truth (" << v / kGroupSize
+            << " groups of " << kGroupSize << "):\n"
+            << "  true edges: " << tp + fn << ", predicted: " << tp + fp
+            << "\n  precision = " << precision << ", recall = " << recall
+            << "\n";
+  std::cout << "\nCo-regulated genes share a latent signal, so precision "
+               "and recall should both be near 1.0.\n";
+  return 0;
+}

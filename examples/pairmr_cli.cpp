@@ -1,0 +1,179 @@
+// pairmr_cli — run a pairwise computation from the command line.
+//
+//   pairmr_cli [--scheme broadcast|block|design|plan] [--v N]
+//              [--elem-bytes B] [--nodes N] [--tasks P] [--h H]
+//              [--kernel mix|euclid] [--maxws BYTES] [--maxis BYTES]
+//              [--seed S] [--combiner] [--no-aggregate]
+//
+// With --scheme plan, the planner picks the scheme from the cost model
+// (Figure 9 logic) and explains its choice. Prints the measured run
+// statistics that the paper's Table 1 predicts.
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "pairwise/pairmr.hpp"
+#include "workloads/generators.hpp"
+#include "workloads/kernels.hpp"
+
+namespace {
+
+using namespace pairmr;
+
+struct Args {
+  std::string scheme = "block";
+  std::uint64_t v = 200;
+  std::uint64_t elem_bytes = 1024;
+  std::uint32_t nodes = 4;
+  std::uint64_t tasks = 0;  // broadcast p; 0 = nodes
+  std::uint64_t h = 0;      // block factor; 0 = smallest with >= n tasks
+  std::string kernel = "mix";
+  std::uint64_t maxws = 200 * kMiB;
+  std::uint64_t maxis = kTiB;
+  std::uint64_t seed = 42;
+  bool combiner = false;
+  bool aggregate = true;
+};
+
+[[noreturn]] void usage() {
+  std::cerr << "usage: pairmr_cli [--scheme broadcast|block|design|plan] "
+               "[--v N] [--elem-bytes B] [--nodes N] [--tasks P] [--h H] "
+               "[--kernel mix|euclid] [--maxws BYTES] [--maxis BYTES] "
+               "[--seed S] [--combiner] [--no-aggregate]\n";
+  std::exit(2);
+}
+
+Args parse(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> std::string {
+      if (++i >= argc) usage();
+      return argv[i];
+    };
+    if (flag == "--scheme") {
+      args.scheme = next();
+    } else if (flag == "--v") {
+      args.v = std::stoull(next());
+    } else if (flag == "--elem-bytes") {
+      args.elem_bytes = parse_bytes(next());
+    } else if (flag == "--nodes") {
+      args.nodes = static_cast<std::uint32_t>(std::stoul(next()));
+    } else if (flag == "--tasks") {
+      args.tasks = std::stoull(next());
+    } else if (flag == "--h") {
+      args.h = std::stoull(next());
+    } else if (flag == "--kernel") {
+      args.kernel = next();
+    } else if (flag == "--maxws") {
+      args.maxws = parse_bytes(next());
+    } else if (flag == "--maxis") {
+      args.maxis = parse_bytes(next());
+    } else if (flag == "--seed") {
+      args.seed = std::stoull(next());
+    } else if (flag == "--combiner") {
+      args.combiner = true;
+    } else if (flag == "--no-aggregate") {
+      args.aggregate = false;
+    } else {
+      usage();
+    }
+  }
+  return args;
+}
+
+std::unique_ptr<DistributionScheme> build_scheme(const Args& args) {
+  if (args.scheme == "broadcast") {
+    return std::make_unique<BroadcastScheme>(
+        args.v, args.tasks == 0 ? args.nodes : args.tasks);
+  }
+  if (args.scheme == "block") {
+    std::uint64_t h = args.h;
+    if (h == 0) {
+      h = 1;
+      while (triangular(h) < args.nodes) ++h;
+    }
+    return std::make_unique<BlockScheme>(args.v, h);
+  }
+  if (args.scheme == "design") {
+    return std::make_unique<DesignScheme>(args.v);
+  }
+  if (args.scheme == "plan") {
+    const Plan plan = plan_scheme({.v = args.v,
+                                   .element_bytes = args.elem_bytes,
+                                   .num_nodes = args.nodes,
+                                   .limits = {args.maxws, args.maxis}});
+    std::cout << "planner: " << plan.rationale << "\n";
+    if (!plan.feasible) {
+      std::cerr << "no feasible scheme under the given limits\n";
+      std::exit(1);
+    }
+    std::cout << "planner chose: " << to_string(plan.kind) << "\n\n";
+    return make_scheme(plan, args.v);
+  }
+  usage();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+
+  std::cout << "dataset: v = " << args.v << " x "
+            << format_bytes(args.elem_bytes) << " ("
+            << format_bytes(args.v * args.elem_bytes) << "), nodes = "
+            << args.nodes << "\n";
+
+  mr::Cluster cluster({.num_nodes = args.nodes, .worker_threads = 0});
+  std::vector<std::string> payloads;
+  PairwiseJob job;
+  if (args.kernel == "euclid") {
+    // Interpret --elem-bytes as dimensions*8 for the numeric kernel.
+    const auto dim = static_cast<std::uint32_t>(
+        std::max<std::uint64_t>(1, args.elem_bytes / 8));
+    payloads = workloads::vector_payloads(workloads::clustered_points(
+        args.v, dim, 4, 10.0, args.seed));
+    job.compute = workloads::euclidean_kernel();
+  } else if (args.kernel == "mix") {
+    payloads = workloads::blob_payloads(args.v, args.elem_bytes, args.seed);
+    job.compute = workloads::expensive_blob_kernel(4);
+  } else {
+    usage();
+  }
+
+  const auto inputs = write_dataset(cluster, "/data", payloads);
+  const auto scheme = build_scheme(args);
+
+  PairwiseOptions options;
+  options.run_aggregation = args.aggregate;
+  options.aggregation_combiner = args.combiner;
+  const PairwiseRunStats stats =
+      run_pairwise(cluster, inputs, *scheme, job, options);
+
+  const SchemeMetrics predicted = scheme->metrics();
+  TablePrinter t({"metric", "predicted (Table 1)", "measured"});
+  t.set_caption("\nrun statistics — scheme: " + scheme->name());
+  t.add_row({"tasks", TablePrinter::num(predicted.num_tasks),
+             TablePrinter::num(scheme->num_tasks())});
+  t.add_row({"replication factor",
+             TablePrinter::num(predicted.replication_factor, 2),
+             TablePrinter::num(stats.replication_factor, 2)});
+  t.add_row({"max working set (records)",
+             TablePrinter::num(predicted.working_set_elements, 1),
+             TablePrinter::num(stats.max_working_set_records)});
+  t.add_row({"evaluations", TablePrinter::num(pair_count(args.v)),
+             TablePrinter::num(stats.evaluations)});
+  t.add_row({"intermediate bytes", "-",
+             format_bytes(stats.intermediate_bytes)});
+  t.add_row({"shuffle remote bytes", "-",
+             format_bytes(stats.shuffle_remote_bytes)});
+  t.print(std::cout);
+
+  std::cout << "output: " << stats.output_dir << " ("
+            << (stats.aggregated ? "aggregated" : "per-copy") << ")\n";
+  return 0;
+}

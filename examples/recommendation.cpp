@@ -1,0 +1,59 @@
+// Two-set pairwise computation (the §1 generalization): score every
+// (user, item) pair of a small recommendation problem with the bipartite
+// block scheme — users and items live in disjoint id spaces, and only
+// cross pairs are evaluated.
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "common/serde.hpp"
+#include "pairwise/pairmr.hpp"
+#include "workloads/generators.hpp"
+#include "workloads/kernels.hpp"
+
+int main() {
+  using namespace pairmr;
+
+  // 6 user taste vectors and 10 item feature vectors in a shared
+  // 4-dimensional latent space; score = cosine similarity.
+  const std::uint64_t users = 6, items = 10, dim = 4;
+  const auto all = workloads::clustered_points(users + items, dim,
+                                               /*clusters=*/3,
+                                               /*spread=*/6.0, /*seed=*/321);
+  std::vector<std::string> payloads;
+  for (const auto& p : all) payloads.push_back(encode_f64_vec(p));
+
+  mr::Cluster cluster({.num_nodes = 3});
+  const auto inputs = write_dataset(cluster, "/vectors", payloads);
+
+  // 2×2 grid of cross blocks: each task scores 3 users × 5 items.
+  const BipartiteBlockScheme scheme(users, items, 2, 2);
+
+  PairwiseJob job;
+  job.compute = workloads::cosine_kernel();
+  const PairwiseRunStats stats = run_pairwise(cluster, inputs, scheme, job);
+
+  std::cout << "=== recommendation: users × items via the bipartite block "
+               "scheme ===\n\n"
+            << "evaluated " << stats.evaluations << " (user, item) pairs ("
+            << users << "x" << items << "; no intra-set pairs)\n\n";
+
+  for (const Element& e : read_elements(cluster, stats.output_dir)) {
+    if (e.id >= users) continue;  // print the user side only
+    auto scored = e.results;
+    std::sort(scored.begin(), scored.end(),
+              [](const ResultEntry& a, const ResultEntry& b) {
+                return workloads::decode_result(a.result) >
+                       workloads::decode_result(b.result);
+              });
+    std::cout << "user " << e.id << " top items:";
+    for (std::size_t r = 0; r < 3 && r < scored.size(); ++r) {
+      std::cout << "  item" << scored[r].other - users << " ("
+                << workloads::decode_result(scored[r].result) << ")";
+    }
+    std::cout << "\n";
+  }
+  std::cout << "\nEvery user was scored against every item exactly once; "
+               "items hold the mirror lists.\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Runtime check macros and error types shared by all pairmr libraries.
+//
+// Checks are always on (they guard API contracts, not internal hot loops);
+// hot-loop assertions use PAIRMR_DCHECK, compiled out in NDEBUG builds.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pairmr {
+
+// Thrown when a caller violates a documented precondition.
+class PreconditionError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+// Thrown when an internal invariant does not hold (a bug in pairmr itself).
+class InternalError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+
+[[noreturn]] inline void fail_check(const char* kind, const char* expr,
+                                    const char* file, int line,
+                                    const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  if (kind[0] == 'P') throw PreconditionError(os.str());
+  throw InternalError(os.str());
+}
+
+}  // namespace detail
+}  // namespace pairmr
+
+// Precondition on caller-supplied arguments.
+#define PAIRMR_REQUIRE(expr, msg)                                       \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::pairmr::detail::fail_check("Precondition", #expr, __FILE__,     \
+                                   __LINE__, (msg));                    \
+  } while (false)
+
+// Internal invariant; failure indicates a pairmr bug.
+#define PAIRMR_CHECK(expr, msg)                                         \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::pairmr::detail::fail_check("Invariant", #expr, __FILE__,        \
+                                   __LINE__, (msg));                    \
+  } while (false)
+
+#ifdef NDEBUG
+#define PAIRMR_DCHECK(expr, msg) \
+  do {                           \
+  } while (false)
+#else
+#define PAIRMR_DCHECK(expr, msg) PAIRMR_CHECK(expr, msg)
+#endif

@@ -1,0 +1,24 @@
+// FNV-1a byte hashing — the default MapReduce partitioner's hash. A fixed,
+// platform-independent function keeps shuffle placement deterministic
+// across runs (std::hash gives no such guarantee).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace pairmr {
+
+constexpr std::uint64_t fnv1a(std::string_view bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : bytes) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) {
+  return a ^ (b + 0x9e3779b97f4a7c15ull + (a << 6) + (a >> 2));
+}
+
+}  // namespace pairmr

@@ -1,0 +1,75 @@
+// Exact 64-bit integer math used by the distribution-scheme enumerations.
+//
+// All triangular-number arithmetic is kept in integers (no floating point)
+// so pair labels invert exactly even for v close to 2^32.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace pairmr {
+
+// Largest r with r*r <= x. Exact for all 64-bit inputs (the naive
+// std::sqrt round-trip can be off by one above 2^52).
+//
+// Monotone integer Newton: the iterate sequence strictly decreases until
+// it first reaches floor(sqrt(x)), at which point y >= r and the loop
+// exits — no oscillation, no overflow (never computes r*r).
+constexpr std::uint64_t isqrt(std::uint64_t x) {
+  if (x < 2) return x;
+  std::uint64_t r = x;
+  // ceil(r/2) written overflow-safely ((r+1)/2 wraps at UINT64_MAX).
+  std::uint64_t y = r / 2 + r % 2;
+  while (y < r) {
+    r = y;
+    y = (r + x / r) / 2;
+  }
+  return r;
+}
+
+// ceil(a / b) for b > 0.
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  return a == 0 ? 0 : 1 + (a - 1) / b;
+}
+
+// n-th triangular number T(n) = n(n+1)/2, checked against overflow.
+constexpr std::uint64_t triangular(std::uint64_t n) {
+  // One of n, n+1 is even; divide first to delay overflow.
+  const std::uint64_t a = (n % 2 == 0) ? n / 2 : n;
+  const std::uint64_t b = (n % 2 == 0) ? n + 1 : (n + 1) / 2;
+  return a * b;
+}
+
+// Number of unordered pairs over v elements: C(v,2) = v(v-1)/2.
+constexpr std::uint64_t pair_count(std::uint64_t v) {
+  return v < 2 ? 0 : triangular(v - 1);
+}
+
+// Largest n with T(n) <= x (inverse triangular). Exact.
+constexpr std::uint64_t inv_triangular(std::uint64_t x) {
+  // n ≈ (sqrt(8x+1)-1)/2; compute via isqrt then correct.
+  std::uint64_t n = (isqrt(8 * x + 1) - 1) / 2;
+  while (triangular(n + 1) <= x) ++n;
+  while (n > 0 && triangular(n) > x) --n;
+  return n;
+}
+
+// a*b with overflow check (both operands treated as sizes/counts).
+inline std::uint64_t checked_mul(std::uint64_t a, std::uint64_t b) {
+  if (a != 0 && b > std::numeric_limits<std::uint64_t>::max() / a) {
+    PAIRMR_CHECK(false, "64-bit multiplication overflow");
+  }
+  return a * b;
+}
+
+// a+b with overflow check.
+inline std::uint64_t checked_add(std::uint64_t a, std::uint64_t b) {
+  if (b > std::numeric_limits<std::uint64_t>::max() - a) {
+    PAIRMR_CHECK(false, "64-bit addition overflow");
+  }
+  return a + b;
+}
+
+}  // namespace pairmr

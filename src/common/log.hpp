@@ -1,0 +1,43 @@
+// Leveled logging. Off (WARN) by default so tests and benches stay quiet;
+// examples turn on INFO to narrate the pipeline.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace pairmr {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// Global threshold; messages below it are dropped. Thread-safe (atomic).
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+// Sink for a fully formatted line (adds level tag + newline, writes stderr).
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, os_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& x) {
+    os_ << x;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+}  // namespace pairmr
+
+#define PAIRMR_LOG(level)                                  \
+  if (static_cast<int>(::pairmr::LogLevel::level) <        \
+      static_cast<int>(::pairmr::log_level())) {           \
+  } else                                                   \
+    ::pairmr::detail::LogStream(::pairmr::LogLevel::level)

@@ -1,0 +1,58 @@
+// Deterministic, seedable RNG for workload generators and tests.
+//
+// splitmix64 core: tiny, fast, and identical on every platform, so every
+// bench/test run regenerates byte-identical datasets from a seed.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace pairmr {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) {
+    // Rejection-free modulo is fine here; generators don't need perfect
+    // uniformity, only determinism and decent spread.
+    return next_u64() % bound;
+  }
+
+  // Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform double in [lo, hi).
+  double next_double(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+  }
+
+  // Standard normal via Box–Muller (one value per call; simple > fast here).
+  double next_gaussian() {
+    double u1 = next_double();
+    if (u1 < 1e-300) u1 = 1e-300;
+    const double u2 = next_double();
+    const double two_pi = 6.283185307179586;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(two_pi * u2);
+  }
+
+  // Derive an independent stream (for per-element generators).
+  Rng fork(std::uint64_t salt) const {
+    return Rng(state_ ^ (0xd1b54a32d192ed03ull * (salt + 1)));
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace pairmr

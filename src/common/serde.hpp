@@ -1,0 +1,145 @@
+// Minimal binary serialization used for MapReduce keys/values.
+//
+// Records crossing the simulated network are flat byte strings; these
+// helpers give typed, length-prefixed framing on top. Integers are
+// little-endian fixed width; u64 keys that must sort numerically under a
+// lexicographic byte comparator use the *big*-endian `put_u64_ordered`.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace pairmr {
+
+// Append-only encoder into an owned byte string.
+class BufWriter {
+ public:
+  BufWriter() = default;
+
+  void put_u8(std::uint8_t x) { buf_.push_back(static_cast<char>(x)); }
+
+  void put_u32(std::uint32_t x) {
+    for (int i = 0; i < 4; ++i) put_u8(static_cast<std::uint8_t>(x >> (8 * i)));
+  }
+
+  void put_u64(std::uint64_t x) {
+    for (int i = 0; i < 8; ++i) put_u8(static_cast<std::uint8_t>(x >> (8 * i)));
+  }
+
+  // Big-endian: lexicographic byte order == numeric order. Use for keys.
+  void put_u64_ordered(std::uint64_t x) {
+    for (int i = 7; i >= 0; --i)
+      put_u8(static_cast<std::uint8_t>(x >> (8 * i)));
+  }
+
+  void put_f64(double x) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &x, sizeof(bits));
+    put_u64(bits);
+  }
+
+  void put_bytes(std::string_view s) {
+    put_u32(static_cast<std::uint32_t>(s.size()));
+    buf_.append(s.data(), s.size());
+  }
+
+  // Raw append without a length prefix (caller frames it).
+  void put_raw(std::string_view s) { buf_.append(s.data(), s.size()); }
+
+  const std::string& str() const& { return buf_; }
+  std::string str() && { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  std::string buf_;
+};
+
+// Sequential decoder over a borrowed byte range. The underlying storage
+// must outlive the reader.
+class BufReader {
+ public:
+  explicit BufReader(std::string_view data) : data_(data) {}
+
+  std::uint8_t get_u8() {
+    PAIRMR_REQUIRE(pos_ + 1 <= data_.size(), "serde underflow (u8)");
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+
+  std::uint32_t get_u32() {
+    std::uint32_t x = 0;
+    for (int i = 0; i < 4; ++i)
+      x |= static_cast<std::uint32_t>(get_u8()) << (8 * i);
+    return x;
+  }
+
+  std::uint64_t get_u64() {
+    std::uint64_t x = 0;
+    for (int i = 0; i < 8; ++i)
+      x |= static_cast<std::uint64_t>(get_u8()) << (8 * i);
+    return x;
+  }
+
+  std::uint64_t get_u64_ordered() {
+    std::uint64_t x = 0;
+    for (int i = 0; i < 8; ++i) x = (x << 8) | get_u8();
+    return x;
+  }
+
+  double get_f64() {
+    const std::uint64_t bits = get_u64();
+    double x;
+    std::memcpy(&x, &bits, sizeof(x));
+    return x;
+  }
+
+  std::string_view get_bytes() {
+    const std::uint32_t len = get_u32();
+    PAIRMR_REQUIRE(pos_ + len <= data_.size(), "serde underflow (bytes)");
+    std::string_view out = data_.substr(pos_, len);
+    pos_ += len;
+    return out;
+  }
+
+  bool exhausted() const { return pos_ == data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+// Convenience codecs for whole-string round trips.
+inline std::string encode_u64_key(std::uint64_t x) {
+  BufWriter w;
+  w.put_u64_ordered(x);
+  return std::move(w).str();
+}
+
+inline std::uint64_t decode_u64_key(std::string_view s) {
+  BufReader r(s);
+  return r.get_u64_ordered();
+}
+
+// Encode a vector<double> payload (used by numeric workloads).
+inline std::string encode_f64_vec(const std::vector<double>& xs) {
+  BufWriter w;
+  w.put_u32(static_cast<std::uint32_t>(xs.size()));
+  for (double x : xs) w.put_f64(x);
+  return std::move(w).str();
+}
+
+inline std::vector<double> decode_f64_vec(std::string_view s) {
+  BufReader r(s);
+  const std::uint32_t n = r.get_u32();
+  std::vector<double> xs;
+  xs.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) xs.push_back(r.get_f64());
+  return xs;
+}
+
+}  // namespace pairmr

@@ -1,0 +1,40 @@
+// ASCII table/series printer for bench harnesses.
+//
+// Every figure/table bench prints through this so outputs share one format:
+// a header row, aligned columns, and an optional caption naming the paper
+// artifact being regenerated.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pairmr {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  // Cells are preformatted strings; helpers below format common types.
+  void add_row(std::vector<std::string> cells);
+
+  // Render with column alignment to `os`. Caption (if set) prints first.
+  void print(std::ostream& os) const;
+
+  void set_caption(std::string caption) { caption_ = std::move(caption); }
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  static std::string num(std::uint64_t v);
+  static std::string num(double v, int precision = 3);
+  // Scientific notation, for the log-log figure series.
+  static std::string sci(double v, int precision = 3);
+
+ private:
+  std::string caption_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pairmr

@@ -1,0 +1,60 @@
+#include "common/units.hpp"
+
+#include <array>
+#include <cctype>
+#include <cstdio>
+
+#include "common/check.hpp"
+
+namespace pairmr {
+
+std::string format_bytes(std::uint64_t bytes) {
+  struct Unit {
+    std::uint64_t size;
+    const char* name;
+  };
+  static constexpr std::array<Unit, 4> units{{
+      {kTiB, "TiB"}, {kGiB, "GiB"}, {kMiB, "MiB"}, {kKiB, "KiB"}}};
+  for (const auto& u : units) {
+    if (bytes >= u.size) {
+      const double value = static_cast<double>(bytes) /
+                           static_cast<double>(u.size);
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.2f %s", value, u.name);
+      return buf;
+    }
+  }
+  return std::to_string(bytes) + " B";
+}
+
+std::uint64_t parse_bytes(const std::string& text) {
+  PAIRMR_REQUIRE(!text.empty(), "empty byte-size string");
+  std::size_t pos = 0;
+  while (pos < text.size() &&
+         (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+          text[pos] == '.')) {
+    ++pos;
+  }
+  PAIRMR_REQUIRE(pos > 0, "byte-size string must start with a number");
+  const double value = std::stod(text.substr(0, pos));
+  PAIRMR_REQUIRE(value >= 0.0, "byte size must be non-negative");
+  std::string suffix = text.substr(pos);
+  while (!suffix.empty() && suffix.front() == ' ') suffix.erase(0, 1);
+  std::uint64_t mult = 1;
+  if (suffix.empty() || suffix == "B") {
+    mult = 1;
+  } else if (suffix == "KiB" || suffix == "KB" || suffix == "K") {
+    mult = kKiB;
+  } else if (suffix == "MiB" || suffix == "MB" || suffix == "M") {
+    mult = kMiB;
+  } else if (suffix == "GiB" || suffix == "GB" || suffix == "G") {
+    mult = kGiB;
+  } else if (suffix == "TiB" || suffix == "TB" || suffix == "T") {
+    mult = kTiB;
+  } else {
+    PAIRMR_REQUIRE(false, "unknown byte-size suffix: " + suffix);
+  }
+  return static_cast<std::uint64_t>(value * static_cast<double>(mult));
+}
+
+}  // namespace pairmr

@@ -1,0 +1,23 @@
+// Byte-size units and human-readable formatting.
+//
+// The paper's Figures 8/9 use "MB/GB/TB" without stating the base; we use
+// binary units throughout and record the choice in EXPERIMENTS.md.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pairmr {
+
+inline constexpr std::uint64_t kKiB = 1024ull;
+inline constexpr std::uint64_t kMiB = 1024ull * kKiB;
+inline constexpr std::uint64_t kGiB = 1024ull * kMiB;
+inline constexpr std::uint64_t kTiB = 1024ull * kGiB;
+
+// "1.5 GiB"-style rendering for logs and bench tables.
+std::string format_bytes(std::uint64_t bytes);
+
+// Parse "200MiB", "1TiB", "512" (bytes). Throws PreconditionError on junk.
+std::uint64_t parse_bytes(const std::string& text);
+
+}  // namespace pairmr

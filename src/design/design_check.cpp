@@ -1,0 +1,87 @@
+#include "design/design_check.hpp"
+
+#include <sstream>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/intmath.hpp"
+
+namespace pairmr::design {
+
+namespace {
+
+// Label of unordered pair {a, b}, a != b, in [0, C(v,2)).
+std::uint64_t pair_label(std::uint64_t a, std::uint64_t b) {
+  if (a > b) std::swap(a, b);
+  // Pairs with larger index b occupy labels [T(b-1), T(b)): a bijection
+  // from unordered pairs onto [0, C(v,2)).
+  return (b * (b - 1)) / 2 + a;
+}
+
+}  // namespace
+
+CheckResult check_pair_coverage(std::uint64_t v,
+                                const std::vector<Block>& blocks) {
+  PAIRMR_REQUIRE(v >= 2, "need at least two elements");
+  const std::uint64_t total = pairmr::pair_count(v);
+  std::vector<std::uint8_t> seen(total, 0);
+
+  for (std::size_t bi = 0; bi < blocks.size(); ++bi) {
+    const Block& block = blocks[bi];
+    // Validate every element before the pair pass — a bad id in position
+    // j would otherwise be paired (and index out of bounds) before the
+    // outer loop reaches it.
+    for (std::size_t i = 0; i < block.size(); ++i) {
+      if (block[i] >= v) {
+        std::ostringstream os;
+        os << "block " << bi << " references element " << block[i]
+           << " >= v=" << v;
+        return CheckResult{false, os.str()};
+      }
+    }
+    for (std::size_t i = 0; i < block.size(); ++i) {
+      for (std::size_t j = i + 1; j < block.size(); ++j) {
+        if (block[i] == block[j]) {
+          std::ostringstream os;
+          os << "block " << bi << " contains duplicate element " << block[i];
+          return CheckResult{false, os.str()};
+        }
+        const std::uint64_t label = pair_label(block[i], block[j]);
+        if (seen[label]) {
+          std::ostringstream os;
+          os << "pair {" << block[i] << "," << block[j]
+             << "} covered more than once (second time in block " << bi
+             << ")";
+          return CheckResult{false, os.str()};
+        }
+        seen[label] = 1;
+      }
+    }
+  }
+
+  for (std::uint64_t label = 0; label < total; ++label) {
+    if (!seen[label]) {
+      // Invert the label back to the pair for the message.
+      const std::uint64_t b = pairmr::inv_triangular(label) + 1;
+      const std::uint64_t a = label - (b * (b - 1)) / 2;
+      std::ostringstream os;
+      os << "pair {" << a << "," << b << "} never covered";
+      return CheckResult{false, os.str()};
+    }
+  }
+  return CheckResult{};
+}
+
+CheckResult check_design(const DesignCollection& design) {
+  for (std::size_t bi = 0; bi < design.blocks.size(); ++bi) {
+    if (design.blocks[bi].size() != design.k) {
+      std::ostringstream os;
+      os << "block " << bi << " has " << design.blocks[bi].size()
+         << " elements, expected k=" << design.k;
+      return CheckResult{false, os.str()};
+    }
+  }
+  return check_pair_coverage(design.v, design.blocks);
+}
+
+}  // namespace pairmr::design

@@ -1,0 +1,32 @@
+// Validators for (v,k,1)-designs and pair coverage.
+//
+// Used by tests and by DesignScheme's (optional) self-check: the central
+// correctness property of every distribution scheme is that each unordered
+// pair of elements is covered exactly once.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "design/projective_plane.hpp"
+
+namespace pairmr::design {
+
+struct CheckResult {
+  bool ok = true;
+  std::string error;  // first violation, empty when ok
+
+  explicit operator bool() const { return ok; }
+};
+
+// Full (v,k,1)-design check per Definition 1: every block has exactly k
+// elements and every 2-subset of [0, v) appears in exactly one block.
+CheckResult check_design(const DesignCollection& design);
+
+// Weaker check for truncated collections: every 2-subset of [0, v) appears
+// in exactly one block (block sizes may vary).
+CheckResult check_pair_coverage(std::uint64_t v,
+                                const std::vector<Block>& blocks);
+
+}  // namespace pairmr::design

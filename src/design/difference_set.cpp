@@ -1,0 +1,106 @@
+#include "design/difference_set.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/check.hpp"
+#include "design/gf.hpp"
+#include "design/primes.hpp"
+
+namespace pairmr::design {
+
+std::vector<std::uint64_t> singer_difference_set(std::uint64_t q) {
+  PAIRMR_REQUIRE(as_prime_power(q).has_value(),
+                 "plane order must be a prime power");
+  const std::uint64_t cube = q * q * q;
+  PAIRMR_REQUIRE(cube <= (1u << 16),
+                 "Singer construction limited to q^3 <= 65536 (q <= 40)");
+  const std::uint64_t v = q_hat(q);
+
+  const GaloisField field(cube);
+  PAIRMR_CHECK(field.has_log_tables(), "GF(q^3) must have log tables here");
+  const std::uint64_t g = field.generator();
+
+  // The subfield GF(q) inside GF(q³): exactly the fixed points of the
+  // Frobenius power x ↦ x^q.
+  std::vector<std::uint64_t> subfield;
+  subfield.reserve(q);
+  for (std::uint64_t x = 0; x < cube; ++x) {
+    if (field.pow(x, q) == x) subfield.push_back(x);
+  }
+  PAIRMR_CHECK(subfield.size() == q, "subfield extraction found wrong size");
+
+  // A 2-dim GF(q)-subspace H = span{1, w} with w outside the subfield.
+  std::uint64_t w = 0;
+  for (std::uint64_t x = 2; x < cube; ++x) {
+    if (field.pow(x, q) != x) {
+      w = x;
+      break;
+    }
+  }
+  PAIRMR_CHECK(w != 0, "no element outside the subfield (impossible)");
+
+  std::unordered_set<std::uint64_t> h_members;
+  h_members.reserve(q * q);
+  for (const std::uint64_t a : subfield) {
+    for (const std::uint64_t b : subfield) {
+      h_members.insert(field.add(a, field.mul(b, w)));
+    }
+  }
+  PAIRMR_CHECK(h_members.size() == q * q, "H is not a 2-dim subspace");
+
+  // D = { i in [0, v) : g^i ∈ H }. Walk powers of g once.
+  std::vector<std::uint64_t> d;
+  d.reserve(q + 1);
+  std::uint64_t x = 1;  // g^0
+  for (std::uint64_t i = 0; i < v; ++i) {
+    if (h_members.contains(x)) d.push_back(i);
+    x = field.mul(x, g);
+  }
+  PAIRMR_CHECK(d.size() == q + 1,
+               "Singer set has wrong size — subspace choice failed");
+  return d;
+}
+
+bool is_planar_difference_set(const std::vector<std::uint64_t>& set,
+                              std::uint64_t modulus) {
+  PAIRMR_REQUIRE(modulus >= 3, "modulus too small");
+  for (const std::uint64_t e : set) {
+    PAIRMR_REQUIRE(e < modulus, "difference-set element out of range");
+  }
+  std::vector<std::uint8_t> seen(modulus, 0);
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    for (std::size_t j = 0; j < set.size(); ++j) {
+      if (i == j) continue;
+      const std::uint64_t diff = (set[i] + modulus - set[j]) % modulus;
+      if (diff == 0 || seen[diff]) return false;
+      seen[diff] = 1;
+    }
+  }
+  // Exactly-once: k(k-1) ordered differences must tile the k(k-1) nonzero
+  // residues (which forces modulus == k² - k + 1).
+  for (std::uint64_t r = 1; r < modulus; ++r) {
+    if (!seen[r]) return false;
+  }
+  return true;
+}
+
+DesignCollection cyclic_construction(std::uint64_t q) {
+  const std::vector<std::uint64_t> d = singer_difference_set(q);
+  const std::uint64_t v = q_hat(q);
+  DesignCollection out;
+  out.v = v;
+  out.k = q + 1;
+  out.q = q;
+  out.blocks.reserve(v);
+  for (std::uint64_t t = 0; t < v; ++t) {
+    Block block;
+    block.reserve(d.size());
+    for (const std::uint64_t e : d) block.push_back((e + t) % v);
+    std::sort(block.begin(), block.end());
+    out.blocks.push_back(std::move(block));
+  }
+  return out;
+}
+
+}  // namespace pairmr::design

@@ -1,0 +1,42 @@
+// Planar (perfect) difference sets and the Singer construction.
+//
+// A (q̂, q+1, 1) planar difference set D ⊂ Z_q̂ (q̂ = q²+q+1) has the
+// property that every nonzero residue mod q̂ arises exactly once as a
+// difference d_i − d_j. Its translates B_t = { (d + t) mod q̂ : d ∈ D }
+// form a cyclic projective plane of order q — a (q̂, q+1, 1)-design whose
+// block membership is pure modular arithmetic:
+//   element e lies in block t  ⇔  (e − t) mod q̂ ∈ D,
+// i.e. exactly the q+1 blocks t = (e − d) mod q̂. This gives the design
+// distribution scheme O(q) membership queries with O(q) memory — no
+// inverted index over all v elements.
+//
+// Construction (Singer, 1938): take F = GF(q³) with primitive element g.
+// The subgroup GF(q)* = <g^q̂> fixes every projective point, so the map
+// x ↦ g·x induces a q̂-cycle on the points of PG(2,q). For any 2-dim
+// GF(q)-subspace H ⊂ F (a line), D = { i ∈ [0, q̂) : g^i ∈ H } is a
+// planar difference set.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "design/projective_plane.hpp"
+
+namespace pairmr::design {
+
+// Singer difference set for plane order q (prime power). Sorted
+// ascending, size q+1, first element may be any residue.
+// Requires q³ ≤ 2^16 (the GF log-table range), i.e. q ≤ 40 — enough for
+// datasets up to v ≈ 1680; larger orders use the PG(2,q) incidence
+// construction instead.
+std::vector<std::uint64_t> singer_difference_set(std::uint64_t q);
+
+// Check the defining property: each nonzero residue mod `modulus` occurs
+// exactly once among pairwise differences.
+bool is_planar_difference_set(const std::vector<std::uint64_t>& set,
+                              std::uint64_t modulus);
+
+// Expand a difference set into the full cyclic design (all q̂ translates).
+DesignCollection cyclic_construction(std::uint64_t q);
+
+}  // namespace pairmr::design

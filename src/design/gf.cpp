@@ -1,0 +1,224 @@
+#include "design/gf.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "design/primes.hpp"
+
+namespace pairmr::design {
+
+namespace {
+
+// Digits of `code` base p, low digit first, padded to `len`.
+std::vector<std::uint64_t> to_digits(std::uint64_t code, std::uint64_t p,
+                                     std::uint32_t len) {
+  std::vector<std::uint64_t> d(len, 0);
+  for (std::uint32_t i = 0; i < len && code != 0; ++i) {
+    d[i] = code % p;
+    code /= p;
+  }
+  return d;
+}
+
+std::uint64_t from_digits(const std::vector<std::uint64_t>& d,
+                          std::uint64_t p) {
+  std::uint64_t code = 0;
+  for (std::size_t i = d.size(); i-- > 0;) code = code * p + d[i];
+  return code;
+}
+
+// In-place remainder of `poly` modulo monic `divisor` over Z_p.
+// Both are coefficient vectors, low degree first; divisor's leading
+// coefficient must be 1.
+void mod_monic(std::vector<std::uint64_t>& poly,
+               const std::vector<std::uint64_t>& divisor, std::uint64_t p) {
+  const std::size_t dd = divisor.size() - 1;  // divisor degree
+  while (poly.size() > dd) {
+    const std::uint64_t lead = poly.back();
+    if (lead != 0) {
+      const std::size_t shift = poly.size() - 1 - dd;
+      for (std::size_t i = 0; i < dd; ++i) {
+        // poly[shift+i] -= lead * divisor[i]  (mod p)
+        const std::uint64_t sub = (lead * divisor[i]) % p;
+        poly[shift + i] = (poly[shift + i] + p - sub) % p;
+      }
+    }
+    poly.pop_back();
+  }
+  while (!poly.empty() && poly.back() == 0) poly.pop_back();
+}
+
+}  // namespace
+
+GaloisField::GaloisField(std::uint64_t q) : q_(q) {
+  const auto pp = as_prime_power(q);
+  PAIRMR_REQUIRE(pp.has_value(),
+                 "GF order must be a prime power, got " + std::to_string(q));
+  p_ = pp->p;
+  k_ = pp->k;
+  if (k_ > 1) {
+    // Exhaustive search for a monic irreducible x^k + tail. Guaranteed to
+    // exist for every prime power; the search space is p^k = q codes.
+    for (std::uint64_t code = 1; code < q_; ++code) {
+      auto tail = to_digits(code, p_, k_);
+      if (tail[0] == 0) continue;  // divisible by x
+      if (is_irreducible(tail)) {
+        irred_tail_ = std::move(tail);
+        break;
+      }
+    }
+    PAIRMR_CHECK(!irred_tail_.empty(),
+                 "no irreducible polynomial found (impossible)");
+  }
+  if (q_ <= (1u << 16)) build_log_tables();
+}
+
+void GaloisField::build_log_tables() {
+  if (q_ == 2) {
+    // Trivial multiplicative group {1}: 1 generates it.
+    generator_ = 1;
+    log_ = {0, 0};
+    exp_ = {1, 1};
+    return;
+  }
+  // Find a primitive element by direct orbit construction: g is a
+  // generator iff its powers enumerate all q-1 nonzero elements.
+  std::vector<std::uint32_t> log_table(q_, 0);
+  std::vector<std::uint32_t> exp_table;
+  for (std::uint64_t g = 2; g < q_; ++g) {
+    exp_table.assign(2 * (q_ - 1), 0);
+    std::vector<bool> seen(q_, false);
+    std::uint64_t x = 1;
+    std::uint64_t steps = 0;
+    bool is_generator = true;
+    for (; steps < q_ - 1; ++steps) {
+      if (seen[x]) {
+        is_generator = false;  // orbit closed early: not primitive
+        break;
+      }
+      seen[x] = true;
+      exp_table[steps] = static_cast<std::uint32_t>(x);
+      log_table[x] = static_cast<std::uint32_t>(steps);
+      x = mul_direct(x, g);
+    }
+    if (is_generator && x == 1) {
+      generator_ = g;
+      // Double-length exp table: exp_[i+j] needs no modular reduction.
+      for (std::uint64_t i = 0; i < q_ - 1; ++i) {
+        exp_table[q_ - 1 + i] = exp_table[i];
+      }
+      log_ = std::move(log_table);
+      exp_ = std::move(exp_table);
+      return;
+    }
+  }
+  PAIRMR_CHECK(false, "no primitive element found (impossible for a field)");
+}
+
+bool GaloisField::is_irreducible(
+    const std::vector<std::uint64_t>& tail) const {
+  // f = x^k + tail. f is reducible iff some monic polynomial of degree in
+  // [1, k/2] divides it. Degrees are tiny (k <= ~6 for realistic plane
+  // orders), so exhaustive trial division is cheap.
+  std::vector<std::uint64_t> f(tail);
+  f.push_back(1);  // monic leading coefficient
+
+  for (std::uint32_t deg = 1; deg <= k_ / 2; ++deg) {
+    std::uint64_t count = 1;
+    for (std::uint32_t i = 0; i < deg; ++i) count *= p_;
+    for (std::uint64_t code = 0; code < count; ++code) {
+      std::vector<std::uint64_t> divisor = to_digits(code, p_, deg);
+      divisor.push_back(1);  // monic
+      std::vector<std::uint64_t> rem = f;
+      mod_monic(rem, divisor, p_);
+      if (rem.empty()) return false;
+    }
+  }
+  return true;
+}
+
+std::uint64_t GaloisField::add(std::uint64_t a, std::uint64_t b) const {
+  PAIRMR_DCHECK(a < q_ && b < q_, "GF operand out of range");
+  if (k_ == 1) return (a + b) % p_;
+  std::uint64_t out = 0;
+  std::uint64_t place = 1;
+  for (std::uint32_t i = 0; i < k_; ++i) {
+    const std::uint64_t da = a % p_;
+    const std::uint64_t db = b % p_;
+    out += ((da + db) % p_) * place;
+    a /= p_;
+    b /= p_;
+    place *= p_;
+  }
+  return out;
+}
+
+std::uint64_t GaloisField::sub(std::uint64_t a, std::uint64_t b) const {
+  PAIRMR_DCHECK(a < q_ && b < q_, "GF operand out of range");
+  if (k_ == 1) return (a + p_ - b) % p_;
+  std::uint64_t out = 0;
+  std::uint64_t place = 1;
+  for (std::uint32_t i = 0; i < k_; ++i) {
+    const std::uint64_t da = a % p_;
+    const std::uint64_t db = b % p_;
+    out += ((da + p_ - db) % p_) * place;
+    a /= p_;
+    b /= p_;
+    place *= p_;
+  }
+  return out;
+}
+
+std::uint64_t GaloisField::mul_poly(std::uint64_t a, std::uint64_t b) const {
+  const auto da = to_digits(a, p_, k_);
+  const auto db = to_digits(b, p_, k_);
+  std::vector<std::uint64_t> prod(2 * k_ - 1, 0);
+  for (std::uint32_t i = 0; i < k_; ++i) {
+    if (da[i] == 0) continue;
+    for (std::uint32_t j = 0; j < k_; ++j) {
+      prod[i + j] = (prod[i + j] + da[i] * db[j]) % p_;
+    }
+  }
+  std::vector<std::uint64_t> f(irred_tail_);
+  f.push_back(1);
+  mod_monic(prod, f, p_);
+  prod.resize(k_, 0);
+  return from_digits(prod, p_);
+}
+
+std::uint64_t GaloisField::mul_direct(std::uint64_t a, std::uint64_t b) const {
+  if (k_ == 1) return (a * b) % p_;
+  return mul_poly(a, b);
+}
+
+std::uint64_t GaloisField::mul(std::uint64_t a, std::uint64_t b) const {
+  PAIRMR_DCHECK(a < q_ && b < q_, "GF operand out of range");
+  if (!log_.empty()) {
+    if (a == 0 || b == 0) return 0;
+    return exp_[static_cast<std::size_t>(log_[a]) + log_[b]];
+  }
+  return mul_direct(a, b);
+}
+
+std::uint64_t GaloisField::pow(std::uint64_t a, std::uint64_t e) const {
+  std::uint64_t result = 1;
+  std::uint64_t base = a;
+  while (e != 0) {
+    if (e & 1) result = mul(result, base);
+    base = mul(base, base);
+    e >>= 1;
+  }
+  return result;
+}
+
+std::uint64_t GaloisField::inv(std::uint64_t a) const {
+  PAIRMR_REQUIRE(a != 0 && a < q_, "inverse of zero / out-of-range element");
+  if (!log_.empty()) {
+    // g^(q-1) = 1, so a^{-1} = g^{(q-1) - log a}.
+    return exp_[(q_ - 1 - log_[a]) % (q_ - 1)];
+  }
+  // a^(q-2) == a^{-1} in GF(q) by Lagrange.
+  return pow(a, q_ - 2);
+}
+
+}  // namespace pairmr::design

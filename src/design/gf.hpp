@@ -1,0 +1,76 @@
+// Finite field GF(p^k) arithmetic.
+//
+// Field elements are encoded as integers in [0, q): the base-p digits of
+// the code are the coefficients of a polynomial over Z_p, reduced modulo a
+// monic irreducible polynomial of degree k (found by exhaustive search at
+// construction — k is tiny for plane orders, so the search is instant).
+// For prime q (k == 1) all operations collapse to modular arithmetic.
+//
+// For q <= 2^16 the constructor additionally builds discrete log/antilog
+// tables over a primitive element, making mul/inv/pow O(1) table lookups
+// — this is what keeps PG(2,q) construction fast at realistic plane
+// orders (q ≈ √v).
+//
+// This powers the PG(2,q) projective-plane construction for prime-power
+// orders, extending the paper's prime-only Theorem 2 construction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pairmr::design {
+
+class GaloisField {
+ public:
+  // q must be a prime power; throws PreconditionError otherwise.
+  explicit GaloisField(std::uint64_t q);
+
+  std::uint64_t order() const { return q_; }
+  std::uint64_t characteristic() const { return p_; }
+  std::uint32_t degree() const { return k_; }
+
+  std::uint64_t add(std::uint64_t a, std::uint64_t b) const;
+  std::uint64_t sub(std::uint64_t a, std::uint64_t b) const;
+  std::uint64_t mul(std::uint64_t a, std::uint64_t b) const;
+
+  // Multiplicative inverse; a must be nonzero.
+  std::uint64_t inv(std::uint64_t a) const;
+
+  std::uint64_t neg(std::uint64_t a) const { return sub(0, a); }
+
+  // a^e by square-and-multiply (e >= 0; 0^0 == 1).
+  std::uint64_t pow(std::uint64_t a, std::uint64_t e) const;
+
+  // Coefficients (low degree first, length k) of the reduction polynomial,
+  // exposed for tests: x^k + irreducible_tail()·[1, x, ..., x^{k-1}].
+  const std::vector<std::uint64_t>& irreducible_tail() const {
+    return irred_tail_;
+  }
+
+  // A primitive element (generator of the multiplicative group), when
+  // log tables were built; 0 otherwise.
+  std::uint64_t generator() const { return generator_; }
+  bool has_log_tables() const { return !log_.empty(); }
+
+ private:
+  bool is_irreducible(const std::vector<std::uint64_t>& tail) const;
+  std::uint64_t mul_poly(std::uint64_t a, std::uint64_t b) const;
+  // Slow-path multiply used during table construction.
+  std::uint64_t mul_direct(std::uint64_t a, std::uint64_t b) const;
+  void build_log_tables();
+
+  std::uint64_t q_ = 0;
+  std::uint64_t p_ = 0;
+  std::uint32_t k_ = 0;
+  // Tail coefficients c_0..c_{k-1} of the monic irreducible
+  // x^k + c_{k-1} x^{k-1} + ... + c_0 (empty when k == 1).
+  std::vector<std::uint64_t> irred_tail_;
+
+  // Discrete log tables (q <= 2^16): exp_[i] = g^i for i in [0, 2(q-1)),
+  // log_[a] = discrete log of a (a != 0).
+  std::uint64_t generator_ = 0;
+  std::vector<std::uint32_t> log_;
+  std::vector<std::uint32_t> exp_;
+};
+
+}  // namespace pairmr::design

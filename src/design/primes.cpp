@@ -1,0 +1,74 @@
+#include "design/primes.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/intmath.hpp"
+
+namespace pairmr::design {
+
+bool is_prime(std::uint64_t n) {
+  if (n < 2) return false;
+  if (n < 4) return true;
+  if (n % 2 == 0) return false;
+  // Trial division is fine: plane orders stay far below 2^32 in practice
+  // (q ~ sqrt(v)), so the loop runs at most ~2^16 iterations.
+  for (std::uint64_t d = 3; d * d <= n; d += 2) {
+    if (n % d == 0) return false;
+  }
+  return true;
+}
+
+std::optional<PrimePower> as_prime_power(std::uint64_t q) {
+  if (q < 2) return std::nullopt;
+  // Find the smallest prime factor; q must then be a pure power of it.
+  std::uint64_t p = 0;
+  if (q % 2 == 0) {
+    p = 2;
+  } else {
+    for (std::uint64_t d = 3; d * d <= q; d += 2) {
+      if (q % d == 0) {
+        p = d;
+        break;
+      }
+    }
+    if (p == 0) p = q;  // q itself is prime
+  }
+  std::uint32_t k = 0;
+  std::uint64_t rest = q;
+  while (rest % p == 0) {
+    rest /= p;
+    ++k;
+  }
+  if (rest != 1) return std::nullopt;
+  return PrimePower{p, k};
+}
+
+std::uint64_t q_hat(std::uint64_t q) {
+  return pairmr::checked_add(pairmr::checked_mul(q, q), q + 1);
+}
+
+namespace {
+
+template <typename Pred>
+std::uint64_t smallest_order_where(std::uint64_t v, Pred admissible) {
+  PAIRMR_REQUIRE(v >= 2, "need at least two elements for a design");
+  // q_hat(q) >= v  <=>  q >= (sqrt(4v-3)-1)/2; start just below and scan.
+  std::uint64_t q = (pairmr::isqrt(4 * v) + 1) / 2;
+  while (q > 2 && q_hat(q - 1) >= v) --q;
+  while (q_hat(q) < v || !admissible(q)) ++q;
+  return q;
+}
+
+}  // namespace
+
+std::uint64_t smallest_prime_order(std::uint64_t v) {
+  return smallest_order_where(v, [](std::uint64_t q) { return is_prime(q); });
+}
+
+std::uint64_t smallest_prime_power_order(std::uint64_t v) {
+  return smallest_order_where(
+      v, [](std::uint64_t q) { return as_prime_power(q).has_value(); });
+}
+
+}  // namespace pairmr::design

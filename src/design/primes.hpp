@@ -1,0 +1,35 @@
+// Primality and prime-power utilities for projective-plane orders.
+//
+// Theorem 1 of the paper guarantees a projective plane of order q for any
+// prime power q. The design scheme needs the smallest admissible q with
+// q^2 + q + 1 >= v, so these helpers search primes and prime powers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+namespace pairmr::design {
+
+bool is_prime(std::uint64_t n);
+
+// q = p^k with p prime, k >= 1.
+struct PrimePower {
+  std::uint64_t p = 0;  // prime base
+  std::uint32_t k = 0;  // exponent
+};
+
+// Decompose q into p^k; nullopt if q is not a prime power (or q < 2).
+std::optional<PrimePower> as_prime_power(std::uint64_t q);
+
+// q^2 + q + 1 — the number of points (and lines) of a projective plane of
+// order q; the paper calls this q̂.
+std::uint64_t q_hat(std::uint64_t q);
+
+// Smallest prime q with q_hat(q) >= v (the paper's §5.3 choice).
+std::uint64_t smallest_prime_order(std::uint64_t v);
+
+// Smallest prime *power* q with q_hat(q) >= v (our extension; never larger
+// than smallest_prime_order, hence never worse).
+std::uint64_t smallest_prime_power_order(std::uint64_t v);
+
+}  // namespace pairmr::design

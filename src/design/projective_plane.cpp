@@ -1,0 +1,148 @@
+#include "design/projective_plane.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "design/gf.hpp"
+#include "design/primes.hpp"
+
+namespace pairmr::design {
+
+DesignCollection theorem2_construction(std::uint64_t q) {
+  PAIRMR_REQUIRE(is_prime(q), "Theorem 2 construction requires prime q");
+  const std::uint64_t v = q_hat(q);
+  DesignCollection out;
+  out.v = v;
+  out.k = q + 1;
+  out.q = q;
+  out.blocks.reserve(v);
+
+  // The paper states the construction with 1-based element indices
+  // s_1..s_v; we emit 0-based indices (subtract 1 on every element).
+  auto s = [](std::uint64_t one_based) { return one_based - 1; };
+
+  // Rule 1 (i = 1): D_1 = { s_j | 1 <= j <= q+1 }.
+  {
+    Block b;
+    for (std::uint64_t j = 1; j <= q + 1; ++j) b.push_back(s(j));
+    out.blocks.push_back(std::move(b));
+  }
+
+  // Rule 2 (1 < i <= q+1): D_i = {s_1} ∪ { s_j | q(i-1)+2 <= j <= qi+1 }.
+  for (std::uint64_t i = 2; i <= q + 1; ++i) {
+    Block b;
+    b.push_back(s(1));
+    for (std::uint64_t j = q * (i - 1) + 2; j <= q * i + 1; ++j) {
+      b.push_back(s(j));
+    }
+    out.blocks.push_back(std::move(b));
+  }
+
+  // Rule 3 (q+1 < i <= q²+q+1): with h = ⌊(i-2)/q⌋ - 1 and
+  // l = (i-2) mod q:
+  //   D_i = {s_{h+2}} ∪ { s_{q(m+1) + ((l - h·m) mod q) + 2} | 0<=m<=q-1 }.
+  for (std::uint64_t i = q + 2; i <= v; ++i) {
+    const std::uint64_t h = (i - 2) / q - 1;
+    const std::uint64_t l = (i - 2) % q;
+    Block b;
+    b.push_back(s(h + 2));
+    for (std::uint64_t m = 0; m < q; ++m) {
+      // (l - h·m) mod q computed without going negative.
+      const std::uint64_t hm = (h % q) * (m % q) % q;
+      const std::uint64_t idx = (l + q - hm % q) % q;
+      b.push_back(s(q * (m + 1) + idx + 2));
+    }
+    std::sort(b.begin(), b.end());
+    out.blocks.push_back(std::move(b));
+  }
+
+  return out;
+}
+
+namespace {
+
+// The q²+q+1 normalized homogeneous triples over GF(q), indexed 0-based:
+//   [0, q²)      -> (1, a, b) with a = idx / q, b = idx % q
+//   [q², q²+q)   -> (0, 1, c) with c = idx - q²
+//   q²+q         -> (0, 0, 1)
+struct Triple {
+  std::uint64_t x, y, z;
+};
+
+Triple triple_of(std::uint64_t idx, std::uint64_t q) {
+  if (idx < q * q) return {1, idx / q, idx % q};
+  if (idx < q * q + q) return {0, 1, idx - q * q};
+  return {0, 0, 1};
+}
+
+}  // namespace
+
+DesignCollection pg2_construction(std::uint64_t q) {
+  const GaloisField gf(q);
+  const std::uint64_t v = q_hat(q);
+  DesignCollection out;
+  out.v = v;
+  out.k = q + 1;
+  out.q = q;
+  out.blocks.reserve(v);
+
+  // Lines and points share the triple enumeration; point P lies on line
+  // L = (A,B,C) iff A·Px + B·Py + C·Pz = 0 in GF(q). Rather than testing
+  // all q̂ points per line (O(q⁴) total), solve the incidence equation
+  // directly per point family — O(q) per line.
+  for (std::uint64_t line = 0; line < v; ++line) {
+    const Triple l = triple_of(line, q);
+    const std::uint64_t A = l.x, B = l.y, C = l.z;
+    Block b;
+    b.reserve(q + 1);
+
+    // Family (1, y, z), index y·q + z: A + B·y + C·z = 0.
+    if (C != 0) {
+      const std::uint64_t c_inv = gf.inv(C);
+      for (std::uint64_t y = 0; y < q; ++y) {
+        const std::uint64_t z =
+            gf.mul(c_inv, gf.neg(gf.add(A, gf.mul(B, y))));
+        b.push_back(y * q + z);
+      }
+    } else if (B != 0) {
+      const std::uint64_t y = gf.mul(gf.inv(B), gf.neg(A));
+      for (std::uint64_t z = 0; z < q; ++z) b.push_back(y * q + z);
+    }
+    // (else A == 1 by normalization: no affine points on this line.)
+
+    // Family (0, 1, c), index q² + c: B + C·c = 0.
+    if (C != 0) {
+      b.push_back(q * q + gf.mul(gf.inv(C), gf.neg(B)));
+    } else if (B == 0) {
+      for (std::uint64_t c = 0; c < q; ++c) b.push_back(q * q + c);
+    }
+
+    // Point (0, 0, 1), index q² + q: on the line iff C = 0.
+    if (C == 0) b.push_back(q * q + q);
+
+    PAIRMR_CHECK(b.size() == q + 1, "PG(2,q) line has wrong point count");
+    std::sort(b.begin(), b.end());
+    out.blocks.push_back(std::move(b));
+  }
+  return out;
+}
+
+DesignCollection truncate(DesignCollection design, std::uint64_t v) {
+  PAIRMR_REQUIRE(v >= 2, "need at least two elements");
+  PAIRMR_REQUIRE(v <= design.v, "cannot truncate upward");
+  if (v == design.v) return design;
+  std::vector<Block> kept;
+  kept.reserve(design.blocks.size());
+  for (auto& block : design.blocks) {
+    block.erase(std::remove_if(block.begin(), block.end(),
+                               [v](std::uint64_t e) { return e >= v; }),
+                block.end());
+    // Blocks with < 2 elements contribute no pairs (paper drops them).
+    if (block.size() >= 2) kept.push_back(std::move(block));
+  }
+  design.blocks = std::move(kept);
+  design.v = v;
+  return design;
+}
+
+}  // namespace pairmr::design

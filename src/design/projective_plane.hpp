@@ -1,0 +1,40 @@
+// Projective-plane / (v,k,1)-design construction.
+//
+// Two constructions of a (q²+q+1, q+1, 1)-design:
+//   * `theorem2_construction(q)` — the paper's Theorem 2 direct formula
+//     (after Lee/Kang/Choi), valid for *prime* q;
+//   * `pg2_construction(q)` — classical PG(2,q) incidence over GF(q),
+//     valid for any *prime power* q (this realizes the paper's Theorem 1
+//     beyond primes).
+//
+// Blocks contain 0-based element indices, sorted ascending.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pairmr::design {
+
+using Block = std::vector<std::uint64_t>;
+
+struct DesignCollection {
+  std::uint64_t v = 0;  // number of elements the blocks draw from
+  std::uint64_t k = 0;  // nominal block size (q + 1)
+  std::uint64_t q = 0;  // plane order
+  std::vector<Block> blocks;
+};
+
+// Paper Theorem 2: direct (q²+q+1, q+1, 1)-design for prime q.
+DesignCollection theorem2_construction(std::uint64_t q);
+
+// PG(2,q): points = 1-dim subspaces of GF(q)³, lines = 2-dim subspaces.
+// Valid for any prime power q.
+DesignCollection pg2_construction(std::uint64_t q);
+
+// Truncate a design over q̂ = q²+q+1 points to the first v elements
+// (paper §5.3: elements s_{v+1}..s_{q̂} "do not exist"): each block keeps
+// only indices < v, and blocks left with fewer than 2 elements are dropped
+// (they contribute no pairs).
+DesignCollection truncate(DesignCollection design, std::uint64_t v);
+
+}  // namespace pairmr::design

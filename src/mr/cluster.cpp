@@ -1,0 +1,48 @@
+#include "mr/cluster.hpp"
+
+#include <cstdio>
+
+#include "common/check.hpp"
+
+namespace pairmr::mr {
+
+Cluster::Cluster(const ClusterConfig& config)
+    : config_(config),
+      dfs_(config.num_nodes),
+      network_(config.num_nodes),
+      pool_(config.worker_threads) {
+  PAIRMR_REQUIRE(config.num_nodes > 0, "cluster needs at least one node");
+}
+
+std::vector<std::string> Cluster::scatter_records(
+    const std::string& dir, std::vector<Record> records,
+    std::uint32_t files_per_node) {
+  PAIRMR_REQUIRE(files_per_node > 0, "files_per_node must be positive");
+  const std::uint32_t total_files = config_.num_nodes * files_per_node;
+  std::vector<std::vector<Record>> buckets(total_files);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    buckets[i % total_files].push_back(std::move(records[i]));
+  }
+  std::vector<std::string> paths;
+  paths.reserve(total_files);
+  for (std::uint32_t f = 0; f < total_files; ++f) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "input-%05u", f);
+    const std::string path = dir + "/" + name;
+    dfs_.write_file(path, /*home=*/f % config_.num_nodes,
+                    std::move(buckets[f]));
+    paths.push_back(path);
+  }
+  return paths;
+}
+
+std::vector<Record> Cluster::gather_records(const std::string& prefix) const {
+  std::vector<Record> out;
+  for (const auto& path : dfs_.list(prefix)) {
+    const auto file = dfs_.open(path);
+    out.insert(out.end(), file->records.begin(), file->records.end());
+  }
+  return out;
+}
+
+}  // namespace pairmr::mr

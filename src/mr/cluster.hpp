@@ -1,0 +1,62 @@
+// The simulated cluster: nodes, DFS, network meter, worker pool.
+//
+// A Cluster corresponds to the paper's execution environment: `n` nodes
+// connected by a (metered) network, each executing tasks on local data.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mr/fs.hpp"
+#include "mr/network.hpp"
+#include "mr/thread_pool.hpp"
+#include "mr/types.hpp"
+
+namespace pairmr::mr {
+
+struct ClusterConfig {
+  // Simulated node count (the paper's `n`).
+  std::uint32_t num_nodes = 4;
+
+  // Host threads executing simulated tasks; 0 = hardware concurrency.
+  // Execution results are deterministic regardless of this value.
+  std::uint32_t worker_threads = 0;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(const ClusterConfig& config);
+
+  std::uint32_t num_nodes() const { return config_.num_nodes; }
+  const ClusterConfig& config() const { return config_; }
+
+  SimDfs& dfs() { return dfs_; }
+  const SimDfs& dfs() const { return dfs_; }
+
+  NetworkMeter& network() { return network_; }
+  const NetworkMeter& network() const { return network_; }
+
+  ThreadPool& pool() { return pool_; }
+
+  // Write `records` as one DFS file per node, round-robin by record, under
+  // `dir/input-NNNNN`. This models a dataset already distributed across
+  // the cluster by a preceding job (the paper's §3 premise). Returns the
+  // created paths.
+  std::vector<std::string> scatter_records(const std::string& dir,
+                                           std::vector<Record> records,
+                                           std::uint32_t files_per_node = 1);
+
+  // Read every record under `prefix`, concatenated in path order. Local
+  // convenience for tests/examples; does not touch the network meter.
+  std::vector<Record> gather_records(const std::string& prefix) const;
+
+ private:
+  ClusterConfig config_;
+  SimDfs dfs_;
+  NetworkMeter network_;
+  ThreadPool pool_;
+};
+
+}  // namespace pairmr::mr

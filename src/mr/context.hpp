@@ -1,0 +1,123 @@
+// Task-side contexts handed to Mapper/Reducer implementations.
+//
+// A MapContext partitions emissions into per-reducer buckets as they are
+// produced (Hadoop's in-memory map-output buffer); a ReduceContext appends
+// to the task's output file. Both expose the shared job counters and the
+// identity of the simulated node executing the task.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.hpp"
+#include "mr/counters.hpp"
+#include "mr/fs.hpp"
+#include "mr/job.hpp"
+#include "mr/types.hpp"
+
+namespace pairmr::mr {
+
+class MapContext {
+ public:
+  MapContext(NodeId node, TaskIndex task, const Partitioner& partitioner,
+             std::uint32_t num_partitions, Counters& counters,
+             const std::unordered_map<std::string,
+                                      std::shared_ptr<const DfsFile>>& cache,
+             std::string input_path = {})
+      : node_(node),
+        task_(task),
+        partitioner_(partitioner),
+        counters_(counters),
+        cache_(cache),
+        input_path_(std::move(input_path)),
+        buckets_(num_partitions) {}
+
+  // Emit one intermediate record; it lands in the bucket of the reduce
+  // task the partitioner assigns.
+  void emit(Bytes key, Bytes value) {
+    const std::uint32_t p = partitioner_.partition(
+        key, static_cast<std::uint32_t>(buckets_.size()));
+    PAIRMR_CHECK(p < buckets_.size(), "partitioner returned out-of-range id");
+    bytes_emitted_ += key.size() + value.size();
+    ++records_emitted_;
+    buckets_[p].push_back(Record{std::move(key), std::move(value)});
+  }
+
+  // Records of a distributed-cache file (broadcast before the job).
+  const std::vector<Record>& cache_file(const std::string& path) const {
+    const auto it = cache_.find(path);
+    PAIRMR_REQUIRE(it != cache_.end(),
+                   "path not in distributed cache: " + path);
+    return it->second->records;
+  }
+
+  NodeId node() const { return node_; }
+  TaskIndex task_index() const { return task_; }
+  Counters& counters() { return counters_; }
+
+  // DFS path of the file this task's split reads (Hadoop's InputSplit
+  // path). Empty for synthetic contexts.
+  const std::string& input_path() const { return input_path_; }
+
+  // Engine-side accessors (after the task ran).
+  std::vector<std::vector<Record>>& buckets() { return buckets_; }
+  std::uint64_t records_emitted() const { return records_emitted_; }
+  std::uint64_t bytes_emitted() const { return bytes_emitted_; }
+
+ private:
+  NodeId node_;
+  TaskIndex task_;
+  const Partitioner& partitioner_;
+  Counters& counters_;
+  const std::unordered_map<std::string, std::shared_ptr<const DfsFile>>&
+      cache_;
+  std::string input_path_;
+  std::vector<std::vector<Record>> buckets_;
+  std::uint64_t records_emitted_ = 0;
+  std::uint64_t bytes_emitted_ = 0;
+};
+
+class ReduceContext {
+ public:
+  using CacheMap =
+      std::unordered_map<std::string, std::shared_ptr<const DfsFile>>;
+
+  ReduceContext(NodeId node, TaskIndex task, Counters& counters,
+                const CacheMap* cache = nullptr)
+      : node_(node), task_(task), counters_(counters), cache_(cache) {}
+
+  // Records of a distributed-cache file (Hadoop's cache is visible to
+  // reducers too). Requires the job to have declared cache_paths.
+  const std::vector<Record>& cache_file(const std::string& path) const {
+    PAIRMR_REQUIRE(cache_ != nullptr, "job has no distributed cache");
+    const auto it = cache_->find(path);
+    PAIRMR_REQUIRE(it != cache_->end(),
+                   "path not in distributed cache: " + path);
+    return it->second->records;
+  }
+
+  void emit(Bytes key, Bytes value) {
+    bytes_emitted_ += key.size() + value.size();
+    output_.push_back(Record{std::move(key), std::move(value)});
+  }
+
+  NodeId node() const { return node_; }
+  TaskIndex task_index() const { return task_; }
+  Counters& counters() { return counters_; }
+
+  std::vector<Record>& output() { return output_; }
+  std::uint64_t bytes_emitted() const { return bytes_emitted_; }
+
+ private:
+  NodeId node_;
+  TaskIndex task_;
+  Counters& counters_;
+  const CacheMap* cache_ = nullptr;
+  std::vector<Record> output_;
+  std::uint64_t bytes_emitted_ = 0;
+};
+
+}  // namespace pairmr::mr

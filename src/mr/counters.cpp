@@ -1,0 +1,44 @@
+#include "mr/counters.hpp"
+
+#include <algorithm>
+#include <string_view>
+
+namespace pairmr::mr {
+
+void Counters::add(const std::string& name, std::uint64_t delta) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  values_[name] += delta;
+}
+
+void Counters::note_max(const std::string& name, std::uint64_t candidate) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = values_[name];
+  slot = std::max(slot, candidate);
+}
+
+std::uint64_t Counters::get(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = values_.find(name);
+  return it == values_.end() ? 0 : it->second;
+}
+
+std::map<std::string, std::uint64_t> Counters::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return values_;
+}
+
+bool Counters::is_max_counter(const std::string& name) {
+  // Convention: counters holding running maxima contain ".max." in the name.
+  return name.find(".max.") != std::string::npos;
+}
+
+void Counters::merge(const Counters& other) {
+  const auto theirs = other.snapshot();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, value] : theirs) {
+    auto& slot = values_[name];
+    slot = is_max_counter(name) ? std::max(slot, value) : slot + value;
+  }
+}
+
+}  // namespace pairmr::mr

@@ -1,0 +1,57 @@
+// Named job counters, mirroring Hadoop's counter facility.
+//
+// The pairwise cost-model validation (bench_cluster_validation) reads these
+// to compare measured replication factor, working-set size, and shuffle
+// volume against Table 1's analytic predictions.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace pairmr::mr {
+
+// Canonical counter names used by the engine. User code may add its own.
+namespace counter {
+inline constexpr const char* kMapInputRecords = "map.input.records";
+inline constexpr const char* kMapOutputRecords = "map.output.records";
+inline constexpr const char* kMapOutputBytes = "map.output.bytes";
+inline constexpr const char* kCombineInputRecords = "combine.input.records";
+inline constexpr const char* kCombineOutputRecords = "combine.output.records";
+inline constexpr const char* kShuffleBytesLocal = "shuffle.bytes.local";
+inline constexpr const char* kShuffleBytesRemote = "shuffle.bytes.remote";
+inline constexpr const char* kReduceInputGroups = "reduce.input.groups";
+inline constexpr const char* kReduceInputRecords = "reduce.input.records";
+inline constexpr const char* kReduceOutputRecords = "reduce.output.records";
+inline constexpr const char* kReduceOutputBytes = "reduce.output.bytes";
+inline constexpr const char* kReduceMaxGroupRecords =
+    "reduce.max.group.records";
+inline constexpr const char* kReduceMaxGroupBytes = "reduce.max.group.bytes";
+inline constexpr const char* kCacheBroadcastBytes = "cache.broadcast.bytes";
+}  // namespace counter
+
+// Thread-safe counter bag. `add` accumulates, `note_max` keeps a running
+// maximum (used for peak working-set metrics).
+class Counters {
+ public:
+  void add(const std::string& name, std::uint64_t delta);
+  void note_max(const std::string& name, std::uint64_t candidate);
+
+  // 0 when the counter was never touched.
+  std::uint64_t get(const std::string& name) const;
+
+  std::map<std::string, std::uint64_t> snapshot() const;
+
+  // Accumulate `other` into this (maxima merged with max, sums with +).
+  // Names listed in `max_names` merge with max.
+  void merge(const Counters& other);
+
+ private:
+  static bool is_max_counter(const std::string& name);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::uint64_t> values_;
+};
+
+}  // namespace pairmr::mr

@@ -1,0 +1,343 @@
+#include "mr/engine.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+#include "common/stopwatch.hpp"
+#include "mr/context.hpp"
+
+namespace pairmr::mr {
+
+namespace {
+
+// One map task's input: a contiguous slice of a DFS file.
+struct Split {
+  std::shared_ptr<const DfsFile> file;
+  std::size_t begin = 0;
+  std::size_t end = 0;  // exclusive
+  NodeId node = 0;      // where the task runs (data-local)
+};
+
+std::vector<Split> build_splits(SimDfs& dfs, const JobSpec& spec) {
+  std::vector<Split> splits;
+  for (const auto& path : spec.input_paths) {
+    auto file = dfs.open(path);
+    const std::size_t n = file->records.size();
+    const std::uint64_t chunk =
+        spec.max_records_per_split == 0 ? n : spec.max_records_per_split;
+    if (n == 0) {
+      // Empty files still produce one (empty) task so setup/cleanup-only
+      // mappers run — mirrors Hadoop behaviour with empty splits disabled;
+      // we skip them instead to keep task counts meaningful.
+      continue;
+    }
+    for (std::size_t begin = 0; begin < n;
+         begin += static_cast<std::size_t>(chunk)) {
+      const std::size_t end =
+          std::min(n, begin + static_cast<std::size_t>(chunk));
+      splits.push_back(Split{file, begin, end, file->home});
+    }
+  }
+  return splits;
+}
+
+// Stable sort-and-group of records by key; invokes `fn(key, values)` per
+// group in ascending key order.
+void group_by_key(
+    std::vector<Record>& records,
+    const std::function<void(const Bytes&, const std::vector<Bytes>&)>& fn) {
+  std::stable_sort(records.begin(), records.end(),
+                   [](const Record& a, const Record& b) {
+                     return a.key < b.key;
+                   });
+  std::size_t i = 0;
+  std::vector<Bytes> values;
+  while (i < records.size()) {
+    std::size_t j = i;
+    values.clear();
+    while (j < records.size() && records[j].key == records[i].key) {
+      values.push_back(std::move(records[j].value));
+      ++j;
+    }
+    fn(records[i].key, values);
+    i = j;
+  }
+}
+
+// Run the combiner over one partition bucket, replacing its contents.
+void run_combiner(const JobSpec& spec, NodeId node, TaskIndex task,
+                  Counters& counters, std::vector<Record>& bucket) {
+  ReduceContext ctx(node, task, counters);
+  auto combiner = spec.combiner_factory();
+  combiner->setup(ctx);
+  counters.add(counter::kCombineInputRecords, bucket.size());
+  group_by_key(bucket, [&](const Bytes& key, const std::vector<Bytes>& vals) {
+    combiner->reduce(key, vals, ctx);
+  });
+  combiner->cleanup(ctx);
+  counters.add(counter::kCombineOutputRecords, ctx.output().size());
+  bucket = std::move(ctx.output());
+}
+
+}  // namespace
+
+JobResult Engine::run(const JobSpec& spec) {
+  PAIRMR_REQUIRE(spec.mapper_factory != nullptr, "job needs a mapper");
+  PAIRMR_REQUIRE(spec.map_only || spec.reducer_factory != nullptr,
+                 "job needs a reducer (or map_only)");
+  PAIRMR_REQUIRE(!(spec.map_only && spec.combiner_factory),
+                 "map-only jobs cannot combine");
+  PAIRMR_REQUIRE(!spec.output_dir.empty(), "job needs an output dir");
+  PAIRMR_REQUIRE(!spec.input_paths.empty(), "job needs input paths");
+
+  const Stopwatch timer;
+  const std::uint32_t num_nodes = cluster_.num_nodes();
+  // Map-only jobs use a single pass-through bucket so emission order is
+  // preserved in the output.
+  const std::uint32_t num_reducers =
+      spec.map_only ? 1
+      : spec.num_reduce_tasks == 0 ? num_nodes
+                                   : spec.num_reduce_tasks;
+  const HashPartitioner default_partitioner;
+  const Partitioner& partitioner =
+      spec.partitioner ? *spec.partitioner : default_partitioner;
+
+  Counters counters;
+  SimDfs& dfs = cluster_.dfs();
+  NetworkMeter& net = cluster_.network();
+
+  // --- Distributed cache broadcast -------------------------------------
+  std::unordered_map<std::string, std::shared_ptr<const DfsFile>> cache;
+  for (const auto& path : spec.cache_paths) {
+    auto file = dfs.open(path);
+    // Ship the file to every node other than its home (its home reads it
+    // from local disk). This is the paper's "distribute to all nodes".
+    for (NodeId node = 0; node < num_nodes; ++node) {
+      net.transfer(file->home, node, file->bytes);
+    }
+    counters.add(counter::kCacheBroadcastBytes,
+                 file->bytes * (num_nodes - 1));
+    cache.emplace(path, std::move(file));
+  }
+
+  // --- Map phase --------------------------------------------------------
+  const std::vector<Split> splits = build_splits(dfs, spec);
+  PAIRMR_REQUIRE(!splits.empty(), "job has no input records");
+  const auto num_map_tasks = static_cast<TaskIndex>(splits.size());
+
+  PAIRMR_LOG(kInfo) << "job '" << spec.name << "': " << num_map_tasks
+                    << " map task(s), " << num_reducers << " reduce task(s)";
+
+  // map_outputs[m][r] = bucket destined for reduce task r from map task m.
+  std::vector<std::vector<std::vector<Record>>> map_outputs(num_map_tasks);
+  std::vector<TaskStats> map_stats(num_map_tasks);
+
+  const std::uint32_t max_attempts = std::max(1u, spec.max_task_attempts);
+
+  {
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(num_map_tasks);
+    for (TaskIndex m = 0; m < num_map_tasks; ++m) {
+      tasks.push_back([&, m] {
+        // Attempt loop (Hadoop task retry): a failed attempt's emissions
+        // and counters are discarded wholesale; only the successful
+        // attempt's state merges into the job.
+        for (std::uint32_t attempt = 0;; ++attempt) {
+          const Split& split = splits[m];
+          Counters attempt_counters;
+          MapContext ctx(split.node, m, partitioner, num_reducers,
+                         attempt_counters, cache, split.file->path);
+          try {
+            auto mapper = spec.mapper_factory();
+            mapper->setup(ctx);
+            for (std::size_t i = split.begin; i < split.end; ++i) {
+              const Record& rec = split.file->records[i];
+              mapper->map(rec.key, rec.value, ctx);
+            }
+            mapper->cleanup(ctx);
+          } catch (...) {
+            if (attempt + 1 >= max_attempts) throw;
+            PAIRMR_LOG(kWarn) << "map task " << m << " attempt " << attempt
+                              << " failed; retrying";
+            continue;
+          }
+
+          attempt_counters.add(counter::kMapInputRecords,
+                               split.end - split.begin);
+          attempt_counters.add(counter::kMapOutputRecords,
+                               ctx.records_emitted());
+          attempt_counters.add(counter::kMapOutputBytes,
+                               ctx.bytes_emitted());
+
+          if (spec.combiner_factory) {
+            for (auto& bucket : ctx.buckets()) {
+              if (!bucket.empty()) {
+                run_combiner(spec, split.node, m, attempt_counters, bucket);
+              }
+            }
+          }
+
+          map_stats[m] = TaskStats{
+              .index = m,
+              .node = split.node,
+              .input_records = split.end - split.begin,
+              .output_records = ctx.records_emitted(),
+              .output_bytes = ctx.bytes_emitted(),
+          };
+          map_outputs[m] = std::move(ctx.buckets());
+          counters.merge(attempt_counters);
+          break;
+        }
+      });
+    }
+    cluster_.pool().run_all(std::move(tasks));
+  }
+
+  // --- Map-only: write map outputs directly, no shuffle ------------------
+  if (spec.map_only) {
+    std::vector<std::string> output_paths(num_map_tasks);
+    for (TaskIndex m = 0; m < num_map_tasks; ++m) {
+      char name[32];
+      std::snprintf(name, sizeof(name), "part-m-%05u", m);
+      const std::string path = spec.output_dir + "/" + name;
+      PAIRMR_CHECK(map_outputs[m].size() == 1,
+                   "map-only job must have one bucket");
+      dfs.write_file(path, map_stats[m].node,
+                     std::move(map_outputs[m][0]));
+      output_paths[m] = path;
+    }
+    JobResult result;
+    result.job_name = spec.name;
+    result.output_dir = spec.output_dir;
+    result.output_paths = std::move(output_paths);
+    result.counters = counters.snapshot();
+    result.map_tasks = std::move(map_stats);
+    result.elapsed_seconds = timer.elapsed_seconds();
+    return result;
+  }
+
+  // --- Shuffle + reduce phase -------------------------------------------
+  std::vector<TaskStats> reduce_stats(num_reducers);
+  std::vector<std::string> output_paths(num_reducers);
+
+  {
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(num_reducers);
+    for (TaskIndex r = 0; r < num_reducers; ++r) {
+      tasks.push_back([&, r] {
+        const NodeId node = r % num_nodes;
+
+        for (std::uint32_t attempt = 0;; ++attempt) {
+          // Fetch this reducer's bucket from every map task, in map-task
+          // order (deterministic). Buckets stay in place until the
+          // attempt succeeds so a retry can refetch; the network meter is
+          // charged once per successful attempt.
+          std::vector<Record> input;
+          std::uint64_t input_records = 0;
+          std::uint64_t local_bytes = 0;
+          std::uint64_t remote_bytes = 0;
+          std::vector<std::pair<NodeId, std::uint64_t>> fetches;
+          fetches.reserve(num_map_tasks);
+          for (TaskIndex m = 0; m < num_map_tasks; ++m) {
+            const auto& bucket = map_outputs[m][r];
+            std::uint64_t bucket_bytes = 0;
+            for (const auto& rec : bucket) bucket_bytes += rec.size_bytes();
+            (map_stats[m].node == node ? local_bytes : remote_bytes) +=
+                bucket_bytes;
+            fetches.emplace_back(map_stats[m].node, bucket_bytes);
+            input_records += bucket.size();
+            input.insert(input.end(), bucket.begin(), bucket.end());
+          }
+
+          Counters attempt_counters;
+          ReduceContext ctx(node, r, attempt_counters, &cache);
+          std::uint64_t groups = 0;
+          std::uint64_t max_group_records = 0;
+          std::uint64_t max_group_bytes = 0;
+          try {
+            auto reducer = spec.reducer_factory();
+            reducer->setup(ctx);
+            group_by_key(
+                input, [&](const Bytes& key, const std::vector<Bytes>& vals) {
+                  ++groups;
+                  std::uint64_t group_bytes = 0;
+                  for (const auto& v : vals)
+                    group_bytes += key.size() + v.size();
+                  max_group_records = std::max<std::uint64_t>(
+                      max_group_records, vals.size());
+                  max_group_bytes = std::max(max_group_bytes, group_bytes);
+                  reducer->reduce(key, vals, ctx);
+                });
+            reducer->cleanup(ctx);
+          } catch (...) {
+            if (attempt + 1 >= max_attempts) throw;
+            PAIRMR_LOG(kWarn) << "reduce task " << r << " attempt "
+                              << attempt << " failed; retrying";
+            continue;
+          }
+
+          // Successful attempt: release map outputs, meter the fetches,
+          // publish counters and output.
+          for (TaskIndex m = 0; m < num_map_tasks; ++m) {
+            auto& bucket = map_outputs[m][r];
+            bucket.clear();
+            bucket.shrink_to_fit();
+          }
+          for (const auto& [src, bytes] : fetches) {
+            net.transfer(src, node, bytes);
+          }
+
+          attempt_counters.add(counter::kShuffleBytesLocal, local_bytes);
+          attempt_counters.add(counter::kShuffleBytesRemote, remote_bytes);
+          attempt_counters.add(counter::kReduceInputGroups, groups);
+          attempt_counters.add(counter::kReduceInputRecords, input_records);
+          attempt_counters.add(counter::kReduceOutputRecords,
+                               ctx.output().size());
+          attempt_counters.add(counter::kReduceOutputBytes,
+                               ctx.bytes_emitted());
+          attempt_counters.note_max(counter::kReduceMaxGroupRecords,
+                                    max_group_records);
+          attempt_counters.note_max(counter::kReduceMaxGroupBytes,
+                                    max_group_bytes);
+          counters.merge(attempt_counters);
+
+          reduce_stats[r] = TaskStats{
+              .index = r,
+              .node = node,
+              .input_records = input_records,
+              .output_records = ctx.output().size(),
+              .output_bytes = ctx.bytes_emitted(),
+              .max_group_records = max_group_records,
+              .max_group_bytes = max_group_bytes,
+          };
+
+          char name[32];
+          std::snprintf(name, sizeof(name), "part-r-%05u", r);
+          const std::string path = spec.output_dir + "/" + name;
+          dfs.write_file(path, node, std::move(ctx.output()));
+          output_paths[r] = path;
+          break;
+        }
+      });
+    }
+    cluster_.pool().run_all(std::move(tasks));
+  }
+
+  JobResult result;
+  result.job_name = spec.name;
+  result.output_dir = spec.output_dir;
+  result.output_paths = std::move(output_paths);
+  result.counters = counters.snapshot();
+  result.map_tasks = std::move(map_stats);
+  result.reduce_tasks = std::move(reduce_stats);
+  result.elapsed_seconds = timer.elapsed_seconds();
+  return result;
+}
+
+}  // namespace pairmr::mr

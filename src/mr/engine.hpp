@@ -1,0 +1,68 @@
+// The MapReduce engine: executes a JobSpec on a Cluster.
+//
+// Phases (matching Hadoop's dataflow, which the paper's Figure 3 depicts):
+//   1. broadcast distributed-cache files to every node (metered);
+//   2. split inputs into map tasks, scheduled data-locally;
+//   3. run map tasks (parallel), partitioning output into per-reducer
+//      buckets, optionally combining;
+//   4. shuffle: each reduce task fetches its bucket from every map task —
+//      cross-node fetches are charged to the network meter;
+//   5. sort/group by key (stable, byte-lexicographic) and run reduce;
+//   6. write `part-r-NNNNN` output files, one per reduce task, stored on
+//      the reducer's node.
+//
+// Execution is deterministic: for a given cluster size and job spec the
+// output files, counters, and metered byte counts are identical regardless
+// of worker-thread count.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mr/cluster.hpp"
+#include "mr/job.hpp"
+
+namespace pairmr::mr {
+
+// Per-task accounting, exposed for tests and the §6 validation bench.
+struct TaskStats {
+  TaskIndex index = 0;
+  NodeId node = 0;
+  std::uint64_t input_records = 0;
+  std::uint64_t output_records = 0;
+  std::uint64_t output_bytes = 0;
+  // Reduce only: largest key group seen by this task.
+  std::uint64_t max_group_records = 0;
+  std::uint64_t max_group_bytes = 0;
+};
+
+struct JobResult {
+  std::string job_name;
+  std::string output_dir;
+  std::vector<std::string> output_paths;
+  std::map<std::string, std::uint64_t> counters;
+  std::vector<TaskStats> map_tasks;
+  std::vector<TaskStats> reduce_tasks;
+  double elapsed_seconds = 0.0;
+
+  std::uint64_t counter(const std::string& name) const {
+    const auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second;
+  }
+};
+
+class Engine {
+ public:
+  explicit Engine(Cluster& cluster) : cluster_(cluster) {}
+
+  // Runs the job to completion. Throws if the spec is invalid or any task
+  // throws (first task error is propagated).
+  JobResult run(const JobSpec& spec);
+
+ private:
+  Cluster& cluster_;
+};
+
+}  // namespace pairmr::mr

@@ -1,0 +1,89 @@
+#include "mr/fs.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "common/check.hpp"
+
+namespace pairmr::mr {
+
+SimDfs::SimDfs(std::uint32_t num_nodes) : num_nodes_(num_nodes) {
+  PAIRMR_REQUIRE(num_nodes > 0, "DFS needs at least one node");
+}
+
+void SimDfs::write_file(const std::string& path, NodeId home,
+                        std::vector<Record> records) {
+  PAIRMR_REQUIRE(home < num_nodes_, "home node out of range");
+  PAIRMR_REQUIRE(!path.empty(), "empty DFS path");
+  auto file = std::make_shared<DfsFile>();
+  file->path = path;
+  file->home = home;
+  file->records = std::move(records);
+  for (const auto& r : file->records) file->bytes += r.size_bytes();
+
+  const std::unique_lock<std::shared_mutex> lock(mutex_);
+  const auto [it, inserted] = files_.emplace(path, std::move(file));
+  (void)it;
+  PAIRMR_REQUIRE(inserted, "DFS path already exists (write-once): " + path);
+}
+
+std::shared_ptr<const DfsFile> SimDfs::open(const std::string& path) const {
+  const std::shared_lock<std::shared_mutex> lock(mutex_);
+  const auto it = files_.find(path);
+  PAIRMR_REQUIRE(it != files_.end(), "DFS file not found: " + path);
+  return it->second;
+}
+
+bool SimDfs::exists(const std::string& path) const {
+  const std::shared_lock<std::shared_mutex> lock(mutex_);
+  return files_.contains(path);
+}
+
+bool SimDfs::remove(const std::string& path) {
+  const std::unique_lock<std::shared_mutex> lock(mutex_);
+  return files_.erase(path) > 0;
+}
+
+std::size_t SimDfs::remove_prefix(const std::string& prefix) {
+  const std::unique_lock<std::shared_mutex> lock(mutex_);
+  std::size_t removed = 0;
+  for (auto it = files_.begin(); it != files_.end();) {
+    if (it->first.starts_with(prefix)) {
+      it = files_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+std::vector<std::string> SimDfs::list(const std::string& prefix) const {
+  std::vector<std::string> out;
+  {
+    const std::shared_lock<std::shared_mutex> lock(mutex_);
+    for (const auto& [path, file] : files_) {
+      if (path.starts_with(prefix)) out.push_back(path);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::uint64_t SimDfs::bytes_on_node(NodeId node) const {
+  const std::shared_lock<std::shared_mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& [path, file] : files_) {
+    if (file->home == node) total += file->bytes;
+  }
+  return total;
+}
+
+std::uint64_t SimDfs::total_bytes() const {
+  const std::shared_lock<std::shared_mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& [path, file] : files_) total += file->bytes;
+  return total;
+}
+
+}  // namespace pairmr::mr

@@ -1,0 +1,67 @@
+// Simulated distributed file system (DFS).
+//
+// Files are in-memory record sequences, each with a *home node* — the node
+// holding the (single) replica. The engine uses home nodes for
+// locality-aware map scheduling and charges the network meter when a task
+// reads a file hosted elsewhere. Paths are plain strings with '/'
+// separators; a directory is just a shared path prefix.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mr/types.hpp"
+
+namespace pairmr::mr {
+
+// Immutable once written (files are write-once, like HDFS output).
+struct DfsFile {
+  std::string path;
+  NodeId home;
+  std::vector<Record> records;
+  std::uint64_t bytes = 0;  // sum of record sizes, cached
+};
+
+class SimDfs {
+ public:
+  explicit SimDfs(std::uint32_t num_nodes);
+
+  // Write a new file; fails if the path exists (write-once semantics).
+  void write_file(const std::string& path, NodeId home,
+                  std::vector<Record> records);
+
+  // Read access; the file must exist. Returned pointer is stable for the
+  // lifetime of the DFS (files are never mutated, only removed wholesale).
+  std::shared_ptr<const DfsFile> open(const std::string& path) const;
+
+  bool exists(const std::string& path) const;
+
+  // Remove a single file (no-op if absent). Returns true if removed.
+  bool remove(const std::string& path);
+
+  // Remove every file under `prefix`. Returns the number removed.
+  std::size_t remove_prefix(const std::string& prefix);
+
+  // Sorted list of paths under `prefix` (sorted so consumers iterate
+  // part-r-00000, part-r-00001, ... deterministically).
+  std::vector<std::string> list(const std::string& prefix) const;
+
+  // Total bytes currently stored on `node` / on all nodes. The pairwise
+  // pipeline samples this between jobs to measure peak *intermediate
+  // storage*, the paper's `maxis` quantity.
+  std::uint64_t bytes_on_node(NodeId node) const;
+  std::uint64_t total_bytes() const;
+
+  std::uint32_t num_nodes() const { return num_nodes_; }
+
+ private:
+  std::uint32_t num_nodes_;
+  mutable std::shared_mutex mutex_;
+  std::unordered_map<std::string, std::shared_ptr<const DfsFile>> files_;
+};
+
+}  // namespace pairmr::mr

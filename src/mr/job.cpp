@@ -1,0 +1,28 @@
+#include "mr/job.hpp"
+
+#include "common/intmath.hpp"
+#include "common/serde.hpp"
+#include "mr/context.hpp"
+
+namespace pairmr::mr {
+
+std::uint32_t RangePartitioner::partition(
+    const Bytes& key, std::uint32_t num_partitions) const {
+  const std::uint64_t k = decode_u64_key(key);
+  const std::uint64_t span = ceil_div(key_space_, num_partitions);
+  const std::uint64_t p = span == 0 ? 0 : k / span;
+  return static_cast<std::uint32_t>(
+      p >= num_partitions ? num_partitions - 1 : p);
+}
+
+void IdentityMapper::map(const Bytes& key, const Bytes& value,
+                         MapContext& ctx) {
+  ctx.emit(key, value);
+}
+
+void IdentityReducer::reduce(const Bytes& key, const std::vector<Bytes>& values,
+                             ReduceContext& ctx) {
+  for (const auto& v : values) ctx.emit(key, v);
+}
+
+}  // namespace pairmr::mr

@@ -1,0 +1,143 @@
+// User-facing MapReduce job abstractions: Mapper, Reducer, Partitioner,
+// contexts, and the JobSpec the engine executes.
+//
+// The programming contract matches Hadoop 0.20 (the version the paper
+// used): map(key, value) emits intermediate records; the framework
+// partitions, sorts, and groups them by key; reduce(key, values) emits
+// output records. An optional combiner runs on map-side groups.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "mr/counters.hpp"
+#include "mr/types.hpp"
+
+namespace pairmr::mr {
+
+class MapContext;
+class ReduceContext;
+
+// One map task's user logic. A fresh instance is created per task
+// (factory in JobSpec), so implementations may keep per-task state.
+class Mapper {
+ public:
+  virtual ~Mapper() = default;
+
+  // Called once before the first record of the task.
+  virtual void setup(MapContext& /*ctx*/) {}
+
+  virtual void map(const Bytes& key, const Bytes& value, MapContext& ctx) = 0;
+
+  // Called once after the last record of the task.
+  virtual void cleanup(MapContext& /*ctx*/) {}
+};
+
+// One reduce task's user logic; also the combiner interface (a combiner is
+// a reducer whose output feeds the shuffle instead of the job output).
+class Reducer {
+ public:
+  virtual ~Reducer() = default;
+
+  virtual void setup(ReduceContext& /*ctx*/) {}
+
+  virtual void reduce(const Bytes& key, const std::vector<Bytes>& values,
+                      ReduceContext& ctx) = 0;
+
+  virtual void cleanup(ReduceContext& /*ctx*/) {}
+};
+
+// Maps an intermediate key to one of `num_partitions` reduce tasks.
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+  virtual std::uint32_t partition(const Bytes& key,
+                                  std::uint32_t num_partitions) const = 0;
+};
+
+// Default: FNV-1a hash of the key bytes (deterministic across platforms).
+class HashPartitioner final : public Partitioner {
+ public:
+  std::uint32_t partition(const Bytes& key,
+                          std::uint32_t num_partitions) const override {
+    return static_cast<std::uint32_t>(fnv1a(key) % num_partitions);
+  }
+};
+
+// Routes big-endian u64 keys to contiguous ranges, so reduce task t gets
+// keys [t*ceil(K/R), ...). Used when reduce-side locality matters.
+class RangePartitioner final : public Partitioner {
+ public:
+  // `key_space` is the exclusive upper bound of the u64 key domain.
+  explicit RangePartitioner(std::uint64_t key_space) : key_space_(key_space) {}
+
+  std::uint32_t partition(const Bytes& key,
+                          std::uint32_t num_partitions) const override;
+
+ private:
+  std::uint64_t key_space_;
+};
+
+using MapperFactory = std::function<std::unique_ptr<Mapper>()>;
+using ReducerFactory = std::function<std::unique_ptr<Reducer>()>;
+
+// Full description of one MapReduce job.
+struct JobSpec {
+  std::string name = "job";
+
+  // DFS input files. Each file yields one or more map tasks (splits).
+  std::vector<std::string> input_paths;
+
+  // Output directory; the engine writes `<output_dir>/part-r-NNNNN`.
+  std::string output_dir;
+
+  MapperFactory mapper_factory;
+  // Required unless map_only is set.
+  ReducerFactory reducer_factory;
+
+  // Map-only job (Hadoop's numReduceTasks = 0): no shuffle, no sort; each
+  // map task writes its emissions directly to `<output_dir>/part-m-NNNNN`
+  // on its own node, in emission order.
+  bool map_only = false;
+
+  // Optional map-side combiner (same contract as Reducer).
+  ReducerFactory combiner_factory;
+
+  // Defaults to HashPartitioner.
+  std::shared_ptr<const Partitioner> partitioner;
+
+  // Number of reduce tasks; 0 means "one per cluster node".
+  std::uint32_t num_reduce_tasks = 0;
+
+  // Split each input file into map tasks of at most this many records.
+  // 0 disables splitting (one map task per file).
+  std::uint64_t max_records_per_split = 0;
+
+  // DFS paths broadcast to every node before the job starts (Hadoop's
+  // distributed cache). Mappers read them through MapContext::cache_file.
+  std::vector<std::string> cache_paths;
+
+  // Times a failing task is attempted before the job fails (Hadoop's
+  // mapred.map.max.attempts). Each retry gets a fresh Mapper/Reducer and
+  // context; counters of failed attempts are discarded, so retried jobs
+  // produce byte-identical output and counts.
+  std::uint32_t max_task_attempts = 1;
+};
+
+// Helper for tests/benches and identity phases.
+class IdentityMapper final : public Mapper {
+ public:
+  void map(const Bytes& key, const Bytes& value, MapContext& ctx) override;
+};
+
+class IdentityReducer final : public Reducer {
+ public:
+  void reduce(const Bytes& key, const std::vector<Bytes>& values,
+              ReduceContext& ctx) override;
+};
+
+}  // namespace pairmr::mr

@@ -1,0 +1,43 @@
+#include "mr/network.hpp"
+
+#include "common/check.hpp"
+
+namespace pairmr::mr {
+
+NetworkMeter::NetworkMeter(std::uint32_t num_nodes)
+    : sent_(num_nodes), received_(num_nodes) {
+  PAIRMR_REQUIRE(num_nodes > 0, "cluster needs at least one node");
+}
+
+void NetworkMeter::transfer(NodeId src, NodeId dst, std::uint64_t bytes) {
+  PAIRMR_REQUIRE(src < sent_.size() && dst < sent_.size(),
+                 "node id out of range");
+  if (src == dst) {
+    local_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    return;
+  }
+  remote_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  remote_transfers_.fetch_add(1, std::memory_order_relaxed);
+  sent_[src].fetch_add(bytes, std::memory_order_relaxed);
+  received_[dst].fetch_add(bytes, std::memory_order_relaxed);
+}
+
+std::uint64_t NetworkMeter::sent_by(NodeId node) const {
+  PAIRMR_REQUIRE(node < sent_.size(), "node id out of range");
+  return sent_[node].load();
+}
+
+std::uint64_t NetworkMeter::received_at(NodeId node) const {
+  PAIRMR_REQUIRE(node < received_.size(), "node id out of range");
+  return received_[node].load();
+}
+
+void NetworkMeter::reset() {
+  remote_bytes_.store(0);
+  local_bytes_.store(0);
+  remote_transfers_.store(0);
+  for (auto& a : sent_) a.store(0);
+  for (auto& a : received_) a.store(0);
+}
+
+}  // namespace pairmr::mr

@@ -1,0 +1,93 @@
+#include "mr/text_io.hpp"
+
+#include "common/check.hpp"
+
+namespace pairmr::mr {
+
+std::string escape_field(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '\t':
+        out += "\\t";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string unescape_field(std::string_view escaped) {
+  std::string out;
+  out.reserve(escaped.size());
+  for (std::size_t i = 0; i < escaped.size(); ++i) {
+    if (escaped[i] != '\\') {
+      out.push_back(escaped[i]);
+      continue;
+    }
+    PAIRMR_REQUIRE(i + 1 < escaped.size(), "dangling escape in TSV field");
+    switch (escaped[++i]) {
+      case 't':
+        out.push_back('\t');
+        break;
+      case 'n':
+        out.push_back('\n');
+        break;
+      case 'r':
+        out.push_back('\r');
+        break;
+      case '\\':
+        out.push_back('\\');
+        break;
+      default:
+        PAIRMR_REQUIRE(false, "unknown escape sequence in TSV field");
+    }
+  }
+  return out;
+}
+
+std::string records_to_tsv(const std::vector<Record>& records) {
+  std::string out;
+  for (const auto& rec : records) {
+    out += escape_field(rec.key);
+    out.push_back('\t');
+    out += escape_field(rec.value);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::vector<Record> records_from_tsv(std::string_view text) {
+  std::vector<Record> out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    const std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    const std::size_t tab = line.find('\t');
+    Record rec;
+    if (tab == std::string_view::npos) {
+      rec.key = unescape_field(line);
+    } else {
+      rec.key = unescape_field(line.substr(0, tab));
+      rec.value = unescape_field(line.substr(tab + 1));
+    }
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+}  // namespace pairmr::mr

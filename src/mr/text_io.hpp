@@ -1,0 +1,28 @@
+// TSV import/export for DFS records.
+//
+// Bridges the binary record world to line-oriented tooling (cut, awk,
+// spreadsheets): one record per line, `key<TAB>value`, with tabs,
+// newlines, carriage returns, and backslashes escaped so arbitrary bytes
+// round-trip.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mr/types.hpp"
+
+namespace pairmr::mr {
+
+// Escape/unescape one field (\t, \n, \r, \\ sequences).
+std::string escape_field(std::string_view raw);
+std::string unescape_field(std::string_view escaped);
+
+// Records -> TSV text (trailing newline included when records exist).
+std::string records_to_tsv(const std::vector<Record>& records);
+
+// TSV text -> records. Lines without a tab become records with an empty
+// value. Empty lines are skipped. Throws on malformed escapes.
+std::vector<Record> records_from_tsv(std::string_view text);
+
+}  // namespace pairmr::mr

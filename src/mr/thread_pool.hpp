@@ -1,0 +1,48 @@
+// Fixed-size worker pool used to execute map/reduce tasks concurrently.
+//
+// The pool models the cluster's compute parallelism; it is sized
+// independently of the simulated node count so an n-node cluster can be
+// simulated faithfully on any host. `run_all` is a barrier: it returns
+// after every task ran, rethrowing the first captured exception.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pairmr::mr {
+
+class ThreadPool {
+ public:
+  // threads == 0 picks hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  // Run all tasks to completion. Rethrows the first task exception after
+  // every task finished (so no task is abandoned mid-flight).
+  void run_all(std::vector<std::function<void()>> tasks);
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable batch_done_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+  std::exception_ptr first_error_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace pairmr::mr

@@ -1,0 +1,30 @@
+// Fundamental types of the simulated MapReduce substrate.
+//
+// Keys and values are opaque byte strings, exactly as in Hadoop's raw
+// (BytesWritable) layer; typed views live in common/serde.hpp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pairmr::mr {
+
+using Bytes = std::string;
+
+// One key/value record, the unit of map input, shuffle, and reduce output.
+struct Record {
+  Bytes key;
+  Bytes value;
+
+  std::uint64_t size_bytes() const { return key.size() + value.size(); }
+
+  friend bool operator==(const Record&, const Record&) = default;
+};
+
+// Identifies one simulated cluster node (0-based).
+using NodeId = std::uint32_t;
+
+// Index of a map or reduce task within a job (0-based).
+using TaskIndex = std::uint32_t;
+
+}  // namespace pairmr::mr

@@ -1,0 +1,38 @@
+#include "pairwise/aggregate.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace pairmr {
+
+Element merge_copies(std::vector<Element> copies) {
+  PAIRMR_REQUIRE(!copies.empty(), "cannot merge zero copies");
+  Element merged;
+  merged.id = copies.front().id;
+  std::size_t total = 0;
+  for (const auto& c : copies) {
+    PAIRMR_CHECK(c.id == merged.id, "mixed element ids in one merge group");
+    total += c.results.size();
+    if (merged.payload.empty() && !c.payload.empty()) {
+      merged.payload = c.payload;
+    }
+  }
+  merged.results.reserve(total);
+  for (auto& c : copies) {
+    std::move(c.results.begin(), c.results.end(),
+              std::back_inserter(merged.results));
+  }
+  std::sort(merged.results.begin(), merged.results.end(),
+            [](const ResultEntry& a, const ResultEntry& b) {
+              return a.other < b.other;
+            });
+  for (std::size_t i = 1; i < merged.results.size(); ++i) {
+    PAIRMR_CHECK(merged.results[i - 1].other != merged.results[i].other,
+                 "pair evaluated more than once (duplicate partner id " +
+                     std::to_string(merged.results[i].other) + ")");
+  }
+  return merged;
+}
+
+}  // namespace pairmr

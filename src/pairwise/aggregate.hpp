@@ -1,0 +1,16 @@
+// Aggregation of element copies (paper Algorithm 2's aggregateResults).
+#pragma once
+
+#include <vector>
+
+#include "pairwise/element.hpp"
+
+namespace pairmr {
+
+// Merge all copies of one element: payload taken from the first copy
+// carrying one, result lists concatenated and sorted by partner id.
+// Checks the exactly-once invariant: a duplicate partner id means some
+// pair was evaluated twice (a scheme bug) — throws InternalError.
+Element merge_copies(std::vector<Element> copies);
+
+}  // namespace pairmr

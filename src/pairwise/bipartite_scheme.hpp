@@ -1,0 +1,61 @@
+// Bipartite (two-set) block scheme — the generalization the paper notes
+// in §1: "it is possible to generalize some of the approaches such that
+// elements of one set can be paired with elements of another set".
+//
+// Datasets A and B are laid out in one id space: A = [0, va),
+// B = [va, va + vb). The va×vb rectangle of cross pairs is tiled into an
+// ha × hb grid of blocks; each block's working set is one A-stripe plus
+// one B-stripe, and its pair relation is their full cross product. No
+// diagonal special case exists (the sets are disjoint), so every task is
+// a uniform rectangle.
+//
+// Runs on the unmodified two-job pipeline: comp(a, b) results are stored
+// under both the A and the B element, and Job 2 aggregates per element
+// as usual.
+#pragma once
+
+#include <cstdint>
+
+#include "pairwise/scheme.hpp"
+
+namespace pairmr {
+
+class BipartiteBlockScheme final : public DistributionScheme {
+ public:
+  // va, vb >= 1 elements per side; grid factors 1 <= ha <= va,
+  // 1 <= hb <= vb.
+  BipartiteBlockScheme(std::uint64_t va, std::uint64_t vb, std::uint64_t ha,
+                       std::uint64_t hb);
+
+  std::string name() const override { return "bipartite-block"; }
+  std::uint64_t num_elements() const override { return va_ + vb_; }
+  std::uint64_t num_tasks() const override { return ha_ * hb_; }
+
+  std::vector<TaskId> subsets_of(ElementId id) const override;
+  std::vector<ElementPair> pairs_in(TaskId task) const override;
+  SchemeMetrics metrics() const override;
+  std::uint64_t total_pairs() const override { return va_ * vb_; }
+  std::vector<ElementId> working_set(TaskId task) const override;
+
+  std::uint64_t size_a() const { return va_; }
+  std::uint64_t size_b() const { return vb_; }
+  std::uint64_t edge_a() const { return ea_; }
+  std::uint64_t edge_b() const { return eb_; }
+
+  // True if `id` belongs to dataset A (first id space).
+  bool is_a(ElementId id) const { return id < va_; }
+
+ private:
+  struct IdRange {
+    ElementId begin = 0;
+    ElementId end = 0;
+    bool empty() const { return begin >= end; }
+  };
+  IdRange stripe_a(std::uint64_t coord) const;  // 0-based grid coordinate
+  IdRange stripe_b(std::uint64_t coord) const;
+
+  std::uint64_t va_, vb_, ha_, hb_;
+  std::uint64_t ea_, eb_;  // stripe edge lengths
+};
+
+}  // namespace pairmr

@@ -1,0 +1,105 @@
+#include "pairwise/block_scheme.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/intmath.hpp"
+#include "pairwise/triangular.hpp"
+
+namespace pairmr {
+
+BlockScheme::BlockScheme(std::uint64_t v, std::uint64_t blocking_factor)
+    : v_(v), h_(blocking_factor) {
+  PAIRMR_REQUIRE(v >= 2, "block scheme needs at least two elements");
+  PAIRMR_REQUIRE(h_ >= 1 && h_ <= v, "blocking factor must be in [1, v]");
+  e_ = ceil_div(v_, h_);
+}
+
+std::uint64_t BlockScheme::num_tasks() const { return triangular(h_); }
+
+BlockScheme::IdRange BlockScheme::stripe(std::uint64_t coord) const {
+  PAIRMR_REQUIRE(coord >= 1 && coord <= h_, "block coordinate out of range");
+  IdRange r;
+  r.begin = (coord - 1) * e_;
+  r.end = std::min(coord * e_, v_);
+  if (r.begin > r.end) r.begin = r.end;  // fully past the dataset
+  return r;
+}
+
+std::vector<TaskId> BlockScheme::subsets_of(ElementId id) const {
+  PAIRMR_REQUIRE(id < v_, "element id out of range");
+  const std::uint64_t T = id / e_ + 1;  // 1-based stripe of this element
+  std::vector<TaskId> out;
+  out.reserve(h_);
+  // As the row stripe: blocks (I, J=T) for I >= T — skip blocks whose
+  // column stripe holds no elements (possible when e·h > v + e).
+  // As the column stripe: blocks (I=T, J) for J < T (always populated).
+  for (std::uint64_t J = 1; J < T; ++J) {
+    out.push_back(block_label(T, J) - 1);
+  }
+  out.push_back(block_label(T, T) - 1);  // diagonal block, always kept
+  for (std::uint64_t I = T + 1; I <= h_; ++I) {
+    if (!stripe(I).empty()) out.push_back(block_label(I, T) - 1);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<ElementPair> BlockScheme::pairs_in(TaskId task) const {
+  PAIRMR_REQUIRE(task < num_tasks(), "task id out of range");
+  const BlockIndex b = label_to_block(task + 1);
+  const IdRange cols = stripe(b.I);
+  const IdRange rows = stripe(b.J);
+  std::vector<ElementPair> out;
+  if (b.I == b.J) {
+    // Diagonal block: upper triangle within the stripe.
+    for (ElementId hi = rows.begin + 1; hi < rows.end; ++hi) {
+      for (ElementId lo = rows.begin; lo < hi; ++lo) {
+        out.push_back(ElementPair{lo, hi});
+      }
+    }
+  } else {
+    // Off-diagonal: full cross product; row ids precede column ids
+    // because J < I, so (row, col) is already canonical.
+    out.reserve(rows.size() * cols.size());
+    for (ElementId lo = rows.begin; lo < rows.end; ++lo) {
+      for (ElementId hi = cols.begin; hi < cols.end; ++hi) {
+        out.push_back(ElementPair{lo, hi});
+      }
+    }
+  }
+  return out;
+}
+
+std::uint64_t BlockScheme::total_pairs() const { return pair_count(v_); }
+
+std::vector<ElementId> BlockScheme::working_set(TaskId task) const {
+  PAIRMR_REQUIRE(task < num_tasks(), "task id out of range");
+  const BlockIndex b = label_to_block(task + 1);
+  const IdRange cols = stripe(b.I);
+  const IdRange rows = stripe(b.J);
+  // A block with an empty stripe has no pairs; subsets_of ships nothing
+  // to it, so its working set is empty too (the views must agree).
+  if (b.I != b.J && (cols.empty() || rows.empty())) return {};
+  std::vector<ElementId> out;
+  for (ElementId id = rows.begin; id < rows.end; ++id) out.push_back(id);
+  if (b.I != b.J) {
+    for (ElementId id = cols.begin; id < cols.end; ++id) out.push_back(id);
+  }
+  return out;
+}
+
+SchemeMetrics BlockScheme::metrics() const {
+  SchemeMetrics m;
+  m.scheme = name();
+  m.num_tasks = num_tasks();
+  // Table 1, block column.
+  m.communication_elements =
+      2.0 * static_cast<double>(v_) * static_cast<double>(h_);
+  m.replication_factor = static_cast<double>(h_);
+  m.working_set_elements = 2.0 * static_cast<double>(e_);
+  m.evaluations_per_task = static_cast<double>(e_) * static_cast<double>(e_);
+  return m;
+}
+
+}  // namespace pairmr

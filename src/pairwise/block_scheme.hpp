@@ -1,0 +1,54 @@
+// Block distribution scheme (paper §5.2).
+//
+// The upper triangle of the v×v pair matrix is tiled into h(h+1)/2
+// rectangular blocks of edge e = ⌈v/h⌉ (Figure 6). Task p owns block
+// (I(p), J(p)) and the working set D_p = R_p ∪ C_p — the row-range and
+// column-range elements of that block; its pair relation is the full
+// cross product (triangle for diagonal blocks).
+//
+// The blocking factor h is the scheme's tuning knob: it trades working-set
+// size (2⌈v/h⌉ elements) against replication (each element lands in h
+// working sets) — the basis of the paper's Figure 9a feasibility analysis.
+#pragma once
+
+#include <cstdint>
+
+#include "pairwise/scheme.hpp"
+
+namespace pairmr {
+
+class BlockScheme final : public DistributionScheme {
+ public:
+  // v >= 2 elements, blocking factor h in [1, v].
+  BlockScheme(std::uint64_t v, std::uint64_t blocking_factor);
+
+  std::string name() const override { return "block"; }
+  std::uint64_t num_elements() const override { return v_; }
+  std::uint64_t num_tasks() const override;
+
+  std::vector<TaskId> subsets_of(ElementId id) const override;
+  std::vector<ElementPair> pairs_in(TaskId task) const override;
+  SchemeMetrics metrics() const override;
+  std::uint64_t total_pairs() const override;
+  std::vector<ElementId> working_set(TaskId task) const override;
+
+  std::uint64_t blocking_factor() const { return h_; }
+  std::uint64_t edge() const { return e_; }
+
+  // Half-open element-id range of 1-based block coordinate c: the
+  // elements contributed by row (or column) stripe c.
+  struct IdRange {
+    ElementId begin = 0;
+    ElementId end = 0;  // exclusive
+    std::uint64_t size() const { return end - begin; }
+    bool empty() const { return begin >= end; }
+  };
+  IdRange stripe(std::uint64_t coord) const;
+
+ private:
+  std::uint64_t v_;
+  std::uint64_t h_;
+  std::uint64_t e_;  // block edge length, ceil(v/h)
+};
+
+}  // namespace pairmr

@@ -1,0 +1,89 @@
+#include "pairwise/broadcast_scheme.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.hpp"
+#include "common/intmath.hpp"
+#include "pairwise/triangular.hpp"
+
+namespace pairmr {
+
+BroadcastScheme::BroadcastScheme(std::uint64_t v, std::uint64_t num_tasks)
+    : v_(v), tasks_(num_tasks), total_(pair_count(v)) {
+  PAIRMR_REQUIRE(v >= 2, "broadcast scheme needs at least two elements");
+  PAIRMR_REQUIRE(num_tasks >= 1, "broadcast scheme needs at least one task");
+  chunk_ = ceil_div(total_, tasks_);
+}
+
+std::vector<TaskId> BroadcastScheme::subsets_of(ElementId id) const {
+  PAIRMR_REQUIRE(id < v_, "element id out of range");
+  // Every element is replicated into every (non-empty) working set.
+  std::vector<TaskId> out;
+  for (TaskId t = 0; t < tasks_; ++t) {
+    if (label_range(t).last >= label_range(t).first) out.push_back(t);
+  }
+  return out;
+}
+
+BroadcastScheme::LabelRange BroadcastScheme::label_range(TaskId task) const {
+  PAIRMR_REQUIRE(task < tasks_, "task id out of range");
+  LabelRange r;
+  r.first = task * chunk_ + 1;
+  r.last = std::min((task + 1) * chunk_, total_);
+  return r;
+}
+
+void BroadcastScheme::for_each_pair(
+    TaskId task, const std::function<void(ElementPair)>& fn) const {
+  const LabelRange range = label_range(task);
+  if (range.last < range.first) return;
+  // Walk the triangular enumeration incrementally: invert the first label,
+  // then step (cheaper and simpler than inverting every label).
+  PairIndex idx = label_to_pair(range.first);
+  for (std::uint64_t p = range.first; p <= range.last; ++p) {
+    fn(ElementPair{idx.j - 1, idx.i - 1});  // 1-based -> ids
+    if (idx.j + 1 < idx.i) {
+      ++idx.j;
+    } else {
+      ++idx.i;
+      idx.j = 1;
+    }
+  }
+}
+
+std::vector<ElementPair> BroadcastScheme::pairs_in(TaskId task) const {
+  const LabelRange range = label_range(task);
+  std::vector<ElementPair> out;
+  if (range.last < range.first) return out;
+  out.reserve(range.last - range.first + 1);
+  for_each_pair(task, [&out](ElementPair pair) { out.push_back(pair); });
+  return out;
+}
+
+std::uint64_t BroadcastScheme::total_pairs() const { return total_; }
+
+std::vector<ElementId> BroadcastScheme::working_set(TaskId task) const {
+  PAIRMR_REQUIRE(task < tasks_, "task id out of range");
+  const LabelRange range = label_range(task);
+  if (range.last < range.first) return {};
+  std::vector<ElementId> all(v_);
+  std::iota(all.begin(), all.end(), ElementId{0});
+  return all;
+}
+
+SchemeMetrics BroadcastScheme::metrics() const {
+  SchemeMetrics m;
+  m.scheme = name();
+  m.num_tasks = tasks_;
+  // Table 1, broadcast column: each of the v elements is shipped once per
+  // task for the computation and once more for the aggregation.
+  m.communication_elements = 2.0 * static_cast<double>(v_) *
+                             static_cast<double>(tasks_);
+  m.replication_factor = static_cast<double>(tasks_);
+  m.working_set_elements = static_cast<double>(v_);
+  m.evaluations_per_task = static_cast<double>(chunk_);
+  return m;
+}
+
+}  // namespace pairmr

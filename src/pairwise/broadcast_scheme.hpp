@@ -1,0 +1,59 @@
+// Broadcast distribution scheme (paper §5.1).
+//
+// Every working set is the whole dataset (D_1 = ... = D_b = S); the pair
+// relation of task l is the contiguous label range
+//   [(l-1)h + 1, min(l·h, v(v-1)/2)]   with h = ⌈v(v-1)/2 / p⌉
+// of the Figure 5 triangular enumeration. Suited to moderate datasets
+// with expensive compute; the working set (= v elements) must fit in one
+// node's memory.
+//
+// The paper's h = ⌊·⌋ is taken as ⌈·⌉; with a floor, the trailing
+// v(v-1)/2 mod p labels would belong to no task (see DESIGN.md §7).
+#pragma once
+
+#include <cstdint>
+
+#include "pairwise/scheme.hpp"
+
+namespace pairmr {
+
+class BroadcastScheme final : public DistributionScheme {
+ public:
+  // v >= 2 elements split across `num_tasks` >= 1 tasks. Tasks may be
+  // chosen freely (the scheme's Table 1 advantage); tasks beyond the pair
+  // count get empty ranges.
+  BroadcastScheme(std::uint64_t v, std::uint64_t num_tasks);
+
+  std::string name() const override { return "broadcast"; }
+  std::uint64_t num_elements() const override { return v_; }
+  std::uint64_t num_tasks() const override { return tasks_; }
+
+  std::vector<TaskId> subsets_of(ElementId id) const override;
+  std::vector<ElementPair> pairs_in(TaskId task) const override;
+  // Streams the label range without materializing (a task's chunk can be
+  // arbitrarily large for small p).
+  void for_each_pair(
+      TaskId task,
+      const std::function<void(ElementPair)>& fn) const override;
+  SchemeMetrics metrics() const override;
+  std::uint64_t total_pairs() const override;
+  std::vector<ElementId> working_set(TaskId task) const override;
+
+  // Labels handled by `task` (1-based, inclusive); empty range if the
+  // task has no work. Exposed for the one-job broadcast pipeline.
+  struct LabelRange {
+    std::uint64_t first = 1;
+    std::uint64_t last = 0;  // inclusive; last < first means empty
+  };
+  LabelRange label_range(TaskId task) const;
+
+  std::uint64_t labels_per_task() const { return chunk_; }
+
+ private:
+  std::uint64_t v_;
+  std::uint64_t tasks_;
+  std::uint64_t total_;  // v(v-1)/2
+  std::uint64_t chunk_;  // h = ceil(total / tasks)
+};
+
+}  // namespace pairmr

@@ -1,0 +1,179 @@
+#include "pairwise/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/intmath.hpp"
+
+namespace pairmr {
+
+namespace {
+
+// Largest integer x with x^1.5 <= y (for the design storage bound).
+std::uint64_t floor_pow_2_3(double y) {
+  if (y <= 0.0) return 0;
+  auto x = static_cast<std::uint64_t>(std::floor(std::pow(y, 2.0 / 3.0)));
+  // Float guard: correct in both directions.
+  const auto fits = [&](std::uint64_t c) {
+    const double cd = static_cast<double>(c);
+    return cd * std::sqrt(cd) <= y;
+  };
+  while (x > 0 && !fits(x)) --x;
+  while (fits(x + 1)) ++x;
+  return x;
+}
+
+}  // namespace
+
+SchemeMetrics broadcast_metrics(std::uint64_t v, std::uint64_t tasks) {
+  PAIRMR_REQUIRE(v >= 2 && tasks >= 1, "invalid broadcast parameters");
+  SchemeMetrics m;
+  m.scheme = "broadcast";
+  m.num_tasks = tasks;
+  m.communication_elements =
+      2.0 * static_cast<double>(v) * static_cast<double>(tasks);
+  m.replication_factor = static_cast<double>(tasks);
+  m.working_set_elements = static_cast<double>(v);
+  m.evaluations_per_task =
+      static_cast<double>(pair_count(v)) / static_cast<double>(tasks);
+  return m;
+}
+
+SchemeMetrics block_metrics(std::uint64_t v, std::uint64_t h) {
+  PAIRMR_REQUIRE(v >= 2 && h >= 1, "invalid block parameters");
+  SchemeMetrics m;
+  const std::uint64_t e = ceil_div(v, h);
+  m.scheme = "block";
+  m.num_tasks = triangular(h);
+  m.communication_elements =
+      2.0 * static_cast<double>(v) * static_cast<double>(h);
+  m.replication_factor = static_cast<double>(h);
+  m.working_set_elements = 2.0 * static_cast<double>(e);
+  m.evaluations_per_task = static_cast<double>(e) * static_cast<double>(e);
+  return m;
+}
+
+SchemeMetrics design_metrics_approx(std::uint64_t v, std::uint64_t n) {
+  PAIRMR_REQUIRE(v >= 2 && n >= 1, "invalid design parameters");
+  SchemeMetrics m;
+  const double sqrt_v = std::sqrt(static_cast<double>(v));
+  m.scheme = "design";
+  m.num_tasks = v;  // q²+q+1 >= v, Table 1 lists the order of magnitude
+  // 2v√v, capped at 2vn — with few nodes each element cannot be shipped
+  // to more places than there are nodes (paper §6).
+  m.communication_elements =
+      std::min(2.0 * static_cast<double>(v) * sqrt_v,
+               2.0 * static_cast<double>(v) * static_cast<double>(n));
+  m.replication_factor = sqrt_v;
+  m.working_set_elements = sqrt_v;
+  m.evaluations_per_task = static_cast<double>(v - 1) / 2.0;
+  return m;
+}
+
+std::uint64_t broadcast_working_set_bytes(std::uint64_t v,
+                                          std::uint64_t element_bytes) {
+  return checked_mul(v, element_bytes);
+}
+
+std::uint64_t block_working_set_bytes(std::uint64_t v, std::uint64_t h,
+                                      std::uint64_t element_bytes) {
+  return checked_mul(2 * ceil_div(v, h), element_bytes);
+}
+
+std::uint64_t design_working_set_bytes(std::uint64_t v,
+                                       std::uint64_t element_bytes) {
+  // Block size is about √v (exactly q+1 with q²+q+1 >= v).
+  return checked_mul(isqrt(v) + 1, element_bytes);
+}
+
+std::uint64_t broadcast_intermediate_bytes(std::uint64_t v, std::uint64_t p,
+                                           std::uint64_t element_bytes) {
+  return checked_mul(checked_mul(v, p), element_bytes);
+}
+
+std::uint64_t block_intermediate_bytes(std::uint64_t v, std::uint64_t h,
+                                       std::uint64_t element_bytes) {
+  return checked_mul(checked_mul(v, h), element_bytes);
+}
+
+std::uint64_t design_intermediate_bytes(std::uint64_t v,
+                                        std::uint64_t element_bytes) {
+  return checked_mul(checked_mul(v, isqrt(v) + 1), element_bytes);
+}
+
+std::uint64_t broadcast_max_v(std::uint64_t element_bytes,
+                              std::uint64_t maxws) {
+  PAIRMR_REQUIRE(element_bytes > 0, "element size must be positive");
+  return maxws / element_bytes;
+}
+
+std::uint64_t design_max_v_by_storage(std::uint64_t element_bytes,
+                                      std::uint64_t maxis) {
+  PAIRMR_REQUIRE(element_bytes > 0, "element size must be positive");
+  // v·√v·s <= maxis  =>  v <= (maxis/s)^(2/3).
+  return floor_pow_2_3(static_cast<double>(maxis) /
+                       static_cast<double>(element_bytes));
+}
+
+std::uint64_t design_max_v_by_memory(std::uint64_t element_bytes,
+                                     std::uint64_t maxws) {
+  PAIRMR_REQUIRE(element_bytes > 0, "element size must be positive");
+  const std::uint64_t root = maxws / element_bytes;  // √v <= maxws/s
+  return checked_mul(root, root);
+}
+
+HRange block_h_range(std::uint64_t dataset_bytes, const Limits& limits) {
+  PAIRMR_REQUIRE(dataset_bytes > 0, "dataset size must be positive");
+  PAIRMR_REQUIRE(limits.max_working_set_bytes > 0 &&
+                     limits.max_intermediate_bytes > 0,
+                 "limits must be positive");
+  HRange r;
+  // 2·vs/h <= maxws  =>  h >= ceil(2·vs/maxws); h is at least 1.
+  r.lo = std::max<std::uint64_t>(
+      1, ceil_div(2 * dataset_bytes, limits.max_working_set_bytes));
+  // vs·h <= maxis  =>  h <= floor(maxis/vs).
+  r.hi = limits.max_intermediate_bytes / dataset_bytes;
+  return r;
+}
+
+std::uint64_t block_max_dataset_bytes(const Limits& limits) {
+  // vs <= sqrt(maxws·maxis/2): the intersection of the two h-bounds.
+  const double product = static_cast<double>(limits.max_working_set_bytes) *
+                         static_cast<double>(limits.max_intermediate_bytes) /
+                         2.0;
+  auto vs = static_cast<std::uint64_t>(std::floor(std::sqrt(product)));
+  // Guard float error against the exact condition 2·vs² <= maxws·maxis.
+  const auto ok = [&](std::uint64_t c) {
+    const double cd = static_cast<double>(c);
+    return 2.0 * cd * cd <=
+           static_cast<double>(limits.max_working_set_bytes) *
+               static_cast<double>(limits.max_intermediate_bytes);
+  };
+  while (vs > 0 && !ok(vs)) --vs;
+  while (ok(vs + 1)) ++vs;
+  return vs;
+}
+
+std::uint64_t broadcast_max_v(std::uint64_t element_bytes,
+                              const Limits& limits) {
+  // Broadcast is memory-bound only (replication equals task count, which
+  // the user can lower to n; the paper's Fig 9b treats maxws as binding).
+  return broadcast_max_v(element_bytes, limits.max_working_set_bytes);
+}
+
+std::uint64_t block_max_v(std::uint64_t element_bytes, const Limits& limits) {
+  PAIRMR_REQUIRE(element_bytes > 0, "element size must be positive");
+  return block_max_dataset_bytes(limits) / element_bytes;
+}
+
+std::uint64_t design_max_v(std::uint64_t element_bytes,
+                           const Limits& limits) {
+  // Figure 9b plots the design curve from the intermediate-storage limit
+  // alone (the scheme's binding constraint in the paper's analysis); the
+  // memory bound is exposed separately via design_max_v_by_memory.
+  return design_max_v_by_storage(element_bytes,
+                                 limits.max_intermediate_bytes);
+}
+
+}  // namespace pairmr

@@ -1,0 +1,84 @@
+// Analytic cost model: the paper's Table 1 formulas and the feasibility
+// limits behind Figures 8 and 9.
+//
+// Two environment limits drive feasibility (paper §6):
+//   maxws — main memory available to one task's working set;
+//   maxis — storage available for materialized intermediate data.
+// All sizes are bytes; `element_bytes` is the paper's per-element size s.
+#pragma once
+
+#include <cstdint>
+
+#include "pairwise/scheme.hpp"
+
+namespace pairmr {
+
+struct Limits {
+  std::uint64_t max_working_set_bytes = 0;    // maxws
+  std::uint64_t max_intermediate_bytes = 0;   // maxis
+};
+
+// --- Table 1 rows, analytic (no scheme instance needed) -----------------
+
+SchemeMetrics broadcast_metrics(std::uint64_t v, std::uint64_t tasks);
+SchemeMetrics block_metrics(std::uint64_t v, std::uint64_t h);
+// Uses the √v approximation exactly as Table 1 does; `n` caps the
+// communication at 2vn ("sending to all nodes").
+SchemeMetrics design_metrics_approx(std::uint64_t v, std::uint64_t n);
+
+// --- Byte-space requirement functions ------------------------------------
+
+// Peak working-set bytes of one task.
+std::uint64_t broadcast_working_set_bytes(std::uint64_t v,
+                                          std::uint64_t element_bytes);
+std::uint64_t block_working_set_bytes(std::uint64_t v, std::uint64_t h,
+                                      std::uint64_t element_bytes);
+std::uint64_t design_working_set_bytes(std::uint64_t v,
+                                       std::uint64_t element_bytes);
+
+// Materialized intermediate bytes (replicated copies of the dataset).
+std::uint64_t broadcast_intermediate_bytes(std::uint64_t v, std::uint64_t p,
+                                           std::uint64_t element_bytes);
+std::uint64_t block_intermediate_bytes(std::uint64_t v, std::uint64_t h,
+                                       std::uint64_t element_bytes);
+std::uint64_t design_intermediate_bytes(std::uint64_t v,
+                                        std::uint64_t element_bytes);
+
+// --- Figure 8: per-scheme dataset-size ceilings --------------------------
+
+// Fig 8a: largest v the broadcast scheme can process before one working
+// set (the whole dataset) exceeds maxws: v <= maxws / s.
+std::uint64_t broadcast_max_v(std::uint64_t element_bytes,
+                              std::uint64_t maxws);
+
+// Fig 8b: largest v the design scheme can process before intermediate
+// storage (≈ v·√v·s) exceeds maxis: v <= (maxis/s)^(2/3).
+std::uint64_t design_max_v_by_storage(std::uint64_t element_bytes,
+                                      std::uint64_t maxis);
+
+// Design is also memory-bound: √v·s <= maxws  =>  v <= (maxws/s)².
+std::uint64_t design_max_v_by_memory(std::uint64_t element_bytes,
+                                     std::uint64_t maxws);
+
+// --- Figure 9a: valid blocking-factor range -------------------------------
+
+// For dataset size vs = v·s: 2·vs/h <= maxws and vs·h <= maxis give
+//   2·vs/maxws <= h <= maxis/vs.
+struct HRange {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  bool valid() const { return lo >= 1 && lo <= hi; }
+};
+HRange block_h_range(std::uint64_t dataset_bytes, const Limits& limits);
+
+// Necessary condition for any valid h: vs <= sqrt(maxws·maxis/2).
+std::uint64_t block_max_dataset_bytes(const Limits& limits);
+
+// --- Figure 9b: max v per scheme under both limits -----------------------
+
+std::uint64_t broadcast_max_v(std::uint64_t element_bytes,
+                              const Limits& limits);
+std::uint64_t block_max_v(std::uint64_t element_bytes, const Limits& limits);
+std::uint64_t design_max_v(std::uint64_t element_bytes, const Limits& limits);
+
+}  // namespace pairmr

@@ -1,0 +1,94 @@
+#include "pairwise/cyclic_design_scheme.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/intmath.hpp"
+#include "design/difference_set.hpp"
+#include "design/primes.hpp"
+
+namespace pairmr {
+
+CyclicDesignScheme::CyclicDesignScheme(std::uint64_t v) : v_(v) {
+  PAIRMR_REQUIRE(v >= 2, "cyclic design scheme needs at least two elements");
+  q_ = design::smallest_prime_power_order(v);
+  PAIRMR_REQUIRE(q_ * q_ * q_ <= (1u << 16),
+                 "v too large for the Singer construction (v <= 1681); "
+                 "use DesignScheme");
+  q_hat_ = design::q_hat(q_);
+  dset_ = design::singer_difference_set(q_);
+
+  // Survivor count per translate: how many of (d + t) mod q̂ are < v.
+  block_size_.assign(q_hat_, 0);
+  for (std::uint64_t t = 0; t < q_hat_; ++t) {
+    std::uint8_t count = 0;
+    for (const std::uint64_t d : dset_) {
+      if ((d + t) % q_hat_ < v_) ++count;
+    }
+    block_size_[t] = count;
+  }
+}
+
+std::vector<ElementId> CyclicDesignScheme::survivors(TaskId task) const {
+  std::vector<ElementId> out;
+  out.reserve(dset_.size());
+  for (const std::uint64_t d : dset_) {
+    const std::uint64_t e = (d + task) % q_hat_;
+    if (e < v_) out.push_back(e);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<TaskId> CyclicDesignScheme::subsets_of(ElementId id) const {
+  PAIRMR_REQUIRE(id < v_, "element id out of range");
+  std::vector<TaskId> out;
+  out.reserve(dset_.size());
+  for (const std::uint64_t d : dset_) {
+    // e in block t  <=>  (e - t) mod q̂ in D  <=>  t = (e - d) mod q̂.
+    const TaskId t = (id + q_hat_ - d) % q_hat_;
+    if (block_size_[t] >= 2) out.push_back(t);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<ElementPair> CyclicDesignScheme::pairs_in(TaskId task) const {
+  PAIRMR_REQUIRE(task < q_hat_, "task id out of range");
+  if (block_size_[task] < 2) return {};
+  const auto members = survivors(task);
+  std::vector<ElementPair> out;
+  out.reserve(members.size() * (members.size() - 1) / 2);
+  for (std::size_t i = 1; i < members.size(); ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      out.push_back(ElementPair{members[j], members[i]});
+    }
+  }
+  return out;
+}
+
+std::vector<ElementId> CyclicDesignScheme::working_set(TaskId task) const {
+  PAIRMR_REQUIRE(task < q_hat_, "task id out of range");
+  if (block_size_[task] < 2) return {};
+  return survivors(task);
+}
+
+std::uint64_t CyclicDesignScheme::total_pairs() const {
+  return pair_count(v_);
+}
+
+SchemeMetrics CyclicDesignScheme::metrics() const {
+  SchemeMetrics m;
+  m.scheme = name();
+  m.num_tasks = q_hat_;
+  const double sqrt_v = std::sqrt(static_cast<double>(v_));
+  m.communication_elements = 2.0 * static_cast<double>(v_) * sqrt_v;
+  m.replication_factor = sqrt_v;
+  m.working_set_elements = sqrt_v;
+  const double q = static_cast<double>(q_);
+  m.evaluations_per_task = q * (q + 1.0) / 2.0;
+  return m;
+}
+
+}  // namespace pairmr

@@ -1,0 +1,53 @@
+// Cyclic design scheme: the design distribution scheme backed by a
+// Singer difference set instead of explicit block lists.
+//
+// Block t of the cyclic plane is D + t (mod q̂), so getSubsets(e) is the
+// O(q) arithmetic  { (e − d) mod q̂ : d ∈ D }  — no inverted index over
+// the dataset. Memory is O(q) for the difference set plus one byte per
+// block for the truncation-survivor count, versus the explicit scheme's
+// O(v·q) membership lists. Semantically equivalent to
+// DesignScheme(v, kPG2PrimePower) up to block numbering; covered by the
+// same exactly-once property tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pairwise/scheme.hpp"
+
+namespace pairmr {
+
+class CyclicDesignScheme final : public DistributionScheme {
+ public:
+  // Requires the smallest admissible plane order q (prime power with
+  // q²+q+1 >= v) to satisfy q³ <= 2^16, i.e. v <= 1681; larger datasets
+  // use DesignScheme.
+  explicit CyclicDesignScheme(std::uint64_t v);
+
+  std::string name() const override { return "cyclic-design"; }
+  std::uint64_t num_elements() const override { return v_; }
+  // All q̂ translates count as tasks; translates left with fewer than two
+  // elements after truncation are inactive (empty pair relations).
+  std::uint64_t num_tasks() const override { return q_hat_; }
+
+  std::vector<TaskId> subsets_of(ElementId id) const override;
+  std::vector<ElementPair> pairs_in(TaskId task) const override;
+  SchemeMetrics metrics() const override;
+  std::uint64_t total_pairs() const override;
+  std::vector<ElementId> working_set(TaskId task) const override;
+
+  std::uint64_t plane_order() const { return q_; }
+  const std::vector<std::uint64_t>& difference_set() const { return dset_; }
+
+ private:
+  // Elements of block `task` that survive truncation (< v), sorted.
+  std::vector<ElementId> survivors(TaskId task) const;
+
+  std::uint64_t v_ = 0;
+  std::uint64_t q_ = 0;
+  std::uint64_t q_hat_ = 0;
+  std::vector<std::uint64_t> dset_;
+  std::vector<std::uint8_t> block_size_;  // survivors per translate
+};
+
+}  // namespace pairmr

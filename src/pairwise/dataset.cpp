@@ -1,0 +1,36 @@
+#include "pairwise/dataset.hpp"
+
+#include <algorithm>
+
+#include "common/serde.hpp"
+
+namespace pairmr {
+
+std::vector<mr::Record> to_dataset_records(
+    const std::vector<std::string>& payloads) {
+  std::vector<mr::Record> records;
+  records.reserve(payloads.size());
+  for (std::size_t i = 0; i < payloads.size(); ++i) {
+    records.push_back(mr::Record{encode_u64_key(i), payloads[i]});
+  }
+  return records;
+}
+
+std::vector<std::string> write_dataset(
+    mr::Cluster& cluster, const std::string& dir,
+    const std::vector<std::string>& payloads) {
+  return cluster.scatter_records(dir, to_dataset_records(payloads));
+}
+
+std::vector<Element> read_elements(const mr::Cluster& cluster,
+                                   const std::string& prefix) {
+  std::vector<Element> out;
+  for (const auto& rec : cluster.gather_records(prefix)) {
+    out.push_back(decode_element(rec.value));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Element& a, const Element& b) { return a.id < b.id; });
+  return out;
+}
+
+}  // namespace pairmr

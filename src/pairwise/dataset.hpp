@@ -1,0 +1,28 @@
+// Dataset I/O helpers: move payloads in and results out of the simulated
+// DFS in the pipeline's record format (key = big-endian u64 id,
+// value = raw payload / encoded element).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mr/cluster.hpp"
+#include "pairwise/element.hpp"
+
+namespace pairmr {
+
+// Records for a dataset whose element ids are the payload indices.
+std::vector<mr::Record> to_dataset_records(
+    const std::vector<std::string>& payloads);
+
+// Scatter `payloads` across the cluster under `dir` (dense ids 0..v-1,
+// one file per node). Returns the created DFS paths.
+std::vector<std::string> write_dataset(mr::Cluster& cluster,
+                                       const std::string& dir,
+                                       const std::vector<std::string>& payloads);
+
+// Decode every element file under `prefix`, sorted by id.
+std::vector<Element> read_elements(const mr::Cluster& cluster,
+                                   const std::string& prefix);
+
+}  // namespace pairmr

@@ -1,0 +1,58 @@
+// Design distribution scheme (paper §5.3).
+//
+// Working sets are the blocks of a (q²+q+1, q+1, 1)-design — a projective
+// plane of order q, where q is the smallest admissible order with
+// q²+q+1 >= v — truncated to the first v elements. Because every 2-subset
+// of points lies in exactly one block, the full pair relation inside each
+// block partitions the Cartesian product with no further bookkeeping.
+//
+// Characteristics (Table 1, design column): ~√v-sized working sets and
+// ~(v-1)/2 evaluations per task, but a replication factor of ~√v — the
+// scheme trades tiny working sets for voluminous intermediate data.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "design/projective_plane.hpp"
+#include "pairwise/scheme.hpp"
+
+namespace pairmr {
+
+enum class PlaneConstruction {
+  // Smallest *prime* q, paper Theorem 2 formula (exactly the paper).
+  kTheorem2Prime,
+  // Smallest *prime power* q, PG(2,q) over GF(q) (our extension; never a
+  // larger q than the prime-only search, hence never more replication).
+  kPG2PrimePower,
+};
+
+class DesignScheme final : public DistributionScheme {
+ public:
+  explicit DesignScheme(
+      std::uint64_t v,
+      PlaneConstruction construction = PlaneConstruction::kTheorem2Prime);
+
+  std::string name() const override { return "design"; }
+  std::uint64_t num_elements() const override { return v_; }
+  std::uint64_t num_tasks() const override { return blocks_.blocks.size(); }
+
+  std::vector<TaskId> subsets_of(ElementId id) const override;
+  std::vector<ElementPair> pairs_in(TaskId task) const override;
+  SchemeMetrics metrics() const override;
+  std::uint64_t total_pairs() const override;
+  std::vector<ElementId> working_set(TaskId task) const override;
+
+  std::uint64_t plane_order() const { return blocks_.q; }
+
+  // q̂ = q²+q+1, the untruncated point count.
+  std::uint64_t plane_points() const;
+
+ private:
+  std::uint64_t v_;
+  design::DesignCollection blocks_;
+  // element id -> tasks whose block contains it (sorted).
+  std::vector<std::vector<TaskId>> membership_;
+};
+
+}  // namespace pairmr

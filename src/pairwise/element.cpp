@@ -1,0 +1,41 @@
+#include "pairwise/element.hpp"
+
+#include "common/serde.hpp"
+
+namespace pairmr {
+
+std::string encode_element(const Element& e) {
+  BufWriter w;
+  w.put_u64(e.id);
+  w.put_bytes(e.payload);
+  w.put_u32(static_cast<std::uint32_t>(e.results.size()));
+  for (const auto& r : e.results) {
+    w.put_u64(r.other);
+    w.put_bytes(r.result);
+  }
+  return std::move(w).str();
+}
+
+Element decode_element(std::string_view bytes) {
+  BufReader r(bytes);
+  Element e;
+  e.id = r.get_u64();
+  e.payload = std::string(r.get_bytes());
+  const std::uint32_t n = r.get_u32();
+  e.results.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    ResultEntry entry;
+    entry.other = r.get_u64();
+    entry.result = std::string(r.get_bytes());
+    e.results.push_back(std::move(entry));
+  }
+  return e;
+}
+
+std::uint64_t encoded_element_size(const Element& e) {
+  std::uint64_t size = 8 + 4 + e.payload.size() + 4;
+  for (const auto& r : e.results) size += 8 + 4 + r.result.size();
+  return size;
+}
+
+}  // namespace pairmr

@@ -1,0 +1,41 @@
+// Element model and wire codec.
+//
+// An element is an opaque payload with a unique dense id (0-based; the
+// paper's s_1..s_v map to ids 0..v-1). After the pairwise computation an
+// element additionally carries the list of (other-id, result) entries —
+// the storage organization of the paper's Figure 2.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pairmr {
+
+using ElementId = std::uint64_t;
+
+// One evaluation result attached to an element: comp(this, other).
+struct ResultEntry {
+  ElementId other = 0;
+  std::string result;  // opaque bytes produced by the compute function
+
+  friend bool operator==(const ResultEntry&, const ResultEntry&) = default;
+};
+
+struct Element {
+  ElementId id = 0;
+  std::string payload;
+  std::vector<ResultEntry> results;
+
+  friend bool operator==(const Element&, const Element&) = default;
+};
+
+// Binary codec used for MR values. Layout: id, payload, result entries.
+std::string encode_element(const Element& e);
+Element decode_element(std::string_view bytes);
+
+// Serialized size without materializing (for metering).
+std::uint64_t encoded_element_size(const Element& e);
+
+}  // namespace pairmr

@@ -1,0 +1,40 @@
+#include "pairwise/filtered_scheme.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace pairmr {
+
+FilteredScheme::FilteredScheme(const DistributionScheme& base,
+                               std::vector<TaskId> active)
+    : base_(base), active_(std::move(active)) {
+  for (const TaskId t : active_) {
+    PAIRMR_REQUIRE(t < base_.num_tasks(), "filtered task id out of range");
+    const bool inserted = active_set_.insert(t).second;
+    PAIRMR_REQUIRE(inserted, "duplicate task id in filter");
+  }
+  std::sort(active_.begin(), active_.end());
+}
+
+std::vector<TaskId> FilteredScheme::subsets_of(ElementId id) const {
+  std::vector<TaskId> tasks = base_.subsets_of(id);
+  tasks.erase(std::remove_if(tasks.begin(), tasks.end(),
+                             [this](TaskId t) {
+                               return !active_set_.contains(t);
+                             }),
+              tasks.end());
+  return tasks;
+}
+
+std::vector<ElementPair> FilteredScheme::pairs_in(TaskId task) const {
+  if (!active_set_.contains(task)) return {};
+  return base_.pairs_in(task);
+}
+
+std::vector<ElementId> FilteredScheme::working_set(TaskId task) const {
+  if (!active_set_.contains(task)) return {};
+  return base_.working_set(task);
+}
+
+}  // namespace pairmr

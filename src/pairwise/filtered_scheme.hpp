@@ -1,0 +1,42 @@
+// FilteredScheme: restrict any scheme to a subset of its tasks.
+//
+// The building block of the paper's §7 hierarchical processing: a round
+// executes only the tasks in its filter, and a sequence of rounds whose
+// filters partition the base scheme's task ids covers every pair exactly
+// once overall while bounding per-round intermediate storage.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "pairwise/scheme.hpp"
+
+namespace pairmr {
+
+class FilteredScheme final : public DistributionScheme {
+ public:
+  // `base` must outlive this wrapper. `active` lists base task ids to keep.
+  FilteredScheme(const DistributionScheme& base, std::vector<TaskId> active);
+
+  std::string name() const override { return base_.name() + "/filtered"; }
+  std::uint64_t num_elements() const override { return base_.num_elements(); }
+  std::uint64_t num_tasks() const override { return base_.num_tasks(); }
+
+  // Base tasks not in the active set are dropped from membership lists;
+  // their pair relations are empty in this round.
+  std::vector<TaskId> subsets_of(ElementId id) const override;
+  std::vector<ElementPair> pairs_in(TaskId task) const override;
+  SchemeMetrics metrics() const override { return base_.metrics(); }
+  std::vector<ElementId> working_set(TaskId task) const override;
+
+  const std::vector<TaskId>& active_tasks() const { return active_; }
+
+ private:
+  const DistributionScheme& base_;
+  std::vector<TaskId> active_;
+  std::unordered_set<TaskId> active_set_;
+};
+
+}  // namespace pairmr

@@ -1,0 +1,46 @@
+#include "pairwise/hierarchical.hpp"
+
+#include "common/check.hpp"
+#include "common/intmath.hpp"
+#include "pairwise/triangular.hpp"
+
+namespace pairmr {
+
+std::vector<std::vector<TaskId>> coarse_block_rounds(
+    const BlockScheme& fine, std::uint64_t coarse_h) {
+  const std::uint64_t h = fine.blocking_factor();
+  PAIRMR_REQUIRE(coarse_h >= 1 && coarse_h <= h,
+                 "coarse factor must be in [1, h]");
+  PAIRMR_REQUIRE(h % coarse_h == 0,
+                 "coarse factor must divide the fine blocking factor");
+  const std::uint64_t f = h / coarse_h;  // fine blocks per coarse edge
+
+  std::vector<std::vector<TaskId>> rounds(triangular(coarse_h));
+  for (TaskId task = 0; task < fine.num_tasks(); ++task) {
+    const BlockIndex b = label_to_block(task + 1);
+    // Fine coordinates (I, J) lie inside coarse block (⌈I/f⌉, ⌈J/f⌉).
+    const std::uint64_t ci = ceil_div(b.I, f);
+    const std::uint64_t cj = ceil_div(b.J, f);
+    PAIRMR_CHECK(cj <= ci, "coarse coordinates left the upper triangle");
+    rounds[block_label(ci, cj) - 1].push_back(task);
+  }
+  return rounds;
+}
+
+std::vector<std::vector<TaskId>> chunked_rounds(
+    const DistributionScheme& scheme, std::uint64_t tasks_per_round) {
+  PAIRMR_REQUIRE(tasks_per_round >= 1, "tasks_per_round must be positive");
+  std::vector<std::vector<TaskId>> rounds;
+  std::vector<TaskId> current;
+  for (TaskId task = 0; task < scheme.num_tasks(); ++task) {
+    current.push_back(task);
+    if (current.size() == tasks_per_round) {
+      rounds.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) rounds.push_back(std::move(current));
+  return rounds;
+}
+
+}  // namespace pairmr

@@ -1,0 +1,32 @@
+// Round construction for hierarchical processing (paper §7).
+//
+// The §7 idea: build coarse-grained blocks, process them sequentially,
+// and parallelize inside each coarse block with fine-grained blocks. In
+// this library a flat BlockScheme with factor H·f already contains all
+// the fine blocks; hierarchical execution is just a grouping of its task
+// ids by coarse block, fed to run_pairwise_rounds. The same round driver
+// also serves the design scheme ("process and aggregate subsets of all
+// blocks sequentially") via fixed-size task chunks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pairwise/block_scheme.hpp"
+#include "pairwise/scheme.hpp"
+
+namespace pairmr {
+
+// Group the tasks of `fine` (factor h = H·f) by coarse block: round r
+// holds every fine block lying inside coarse block r of a factor-H
+// tiling. Requires H to divide fine.blocking_factor(). The returned
+// rounds partition [0, fine.num_tasks()).
+std::vector<std::vector<TaskId>> coarse_block_rounds(
+    const BlockScheme& fine, std::uint64_t coarse_h);
+
+// Chunk any scheme's task ids into consecutive groups of at most
+// `tasks_per_round` (the §7 sequential-subsets variant for designs).
+std::vector<std::vector<TaskId>> chunked_rounds(
+    const DistributionScheme& scheme, std::uint64_t tasks_per_round);
+
+}  // namespace pairmr

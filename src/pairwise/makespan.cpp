@@ -1,0 +1,76 @@
+#include "pairwise/makespan.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/intmath.hpp"
+#include "pairwise/cost_model.hpp"
+
+namespace pairmr {
+
+MakespanBreakdown estimate_makespan(const SchemeMetrics& metrics,
+                                    std::uint64_t v,
+                                    std::uint64_t element_bytes,
+                                    std::uint64_t n, const CostRates& rates,
+                                    std::uint64_t result_bytes) {
+  PAIRMR_REQUIRE(v >= 2 && n >= 1, "invalid makespan parameters");
+  MakespanBreakdown out;
+  out.scheme = metrics.scheme;
+
+  // Distribution: half the Table 1 communication volume is the initial
+  // shipping of replicated elements (the other half is the aggregation
+  // pass, accounted below with result payloads added).
+  const double shipped_elements = metrics.communication_elements / 2.0;
+  out.ship_seconds = shipped_elements *
+                     static_cast<double>(element_bytes) *
+                     rates.network_seconds_per_byte;
+
+  // Compute: tasks run in waves of n; each wave costs the per-task
+  // evaluation bound.
+  const std::uint64_t waves = ceil_div(metrics.num_tasks, n);
+  out.compute_seconds = static_cast<double>(waves) *
+                        metrics.evaluations_per_task *
+                        rates.compute_seconds_per_eval;
+
+  // Aggregation: every element copy travels once more, now carrying its
+  // share of results (total 2·C(v,2) result entries over all copies).
+  const double result_payload =
+      2.0 * static_cast<double>(pair_count(v)) *
+      static_cast<double>(result_bytes);
+  out.aggregate_seconds =
+      (shipped_elements * static_cast<double>(element_bytes) +
+       result_payload) *
+      rates.network_seconds_per_byte;
+
+  out.overhead_seconds =
+      static_cast<double>(metrics.num_tasks) * rates.task_overhead_seconds /
+      static_cast<double>(n);
+  return out;
+}
+
+SchemeComparison compare_makespans(std::uint64_t v,
+                                   std::uint64_t element_bytes,
+                                   std::uint64_t n, std::uint64_t block_h,
+                                   const CostRates& rates) {
+  PAIRMR_REQUIRE(block_h >= 1, "block factor must be positive");
+  SchemeComparison out;
+  out.broadcast =
+      estimate_makespan(broadcast_metrics(v, n), v, element_bytes, n, rates);
+  out.block = estimate_makespan(block_metrics(v, block_h), v, element_bytes,
+                                n, rates);
+  out.design = estimate_makespan(design_metrics_approx(v, n), v,
+                                 element_bytes, n, rates);
+
+  out.winner = "broadcast";
+  double best = out.broadcast.total();
+  if (out.block.total() < best) {
+    best = out.block.total();
+    out.winner = "block";
+  }
+  if (out.design.total() < best) {
+    out.winner = "design";
+  }
+  return out;
+}
+
+}  // namespace pairmr

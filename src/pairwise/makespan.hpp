@@ -1,0 +1,71 @@
+// Analytic makespan model: estimated end-to-end execution time of a
+// pairwise job per scheme, on the paper's execution model (§3).
+//
+// The paper's Table 1 compares schemes metric-by-metric but leaves "which
+// scheme finishes first" implicit. This model combines the metrics into
+// one number using three environment rates:
+//   * compute_seconds_per_eval   — cost of one comp() call;
+//   * network_seconds_per_byte   — inverse aggregate bandwidth;
+//   * task_overhead_seconds      — fixed scheduling cost per task.
+// Phases are assumed non-overlapping (tasks run on local data only after
+// shipping completes — the §3 model has no online communication):
+//   makespan ≈ ship + max-wave compute + aggregate ship
+// with `ceil(tasks / n)` compute waves of the per-task evaluation cost.
+//
+// It predicts the §5.1 folklore: with expensive comp() and a dataset that
+// fits memory, broadcast (p = n, replication n) wins; with cheap comp()
+// and big data, block's minimal replication wins; design pays its √v
+// replication for the smallest working sets.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "pairwise/scheme.hpp"
+
+namespace pairmr {
+
+struct CostRates {
+  double compute_seconds_per_eval = 1e-6;
+  double network_seconds_per_byte = 1e-8;  // ~100 MB/s aggregate
+  double task_overhead_seconds = 0.05;
+};
+
+struct MakespanBreakdown {
+  std::string scheme;
+  double ship_seconds = 0.0;       // replicated-data distribution
+  double compute_seconds = 0.0;    // eval waves
+  double aggregate_seconds = 0.0;  // result collection pass
+  double overhead_seconds = 0.0;   // per-task fixed costs
+  double total() const {
+    return ship_seconds + compute_seconds + aggregate_seconds +
+           overhead_seconds;
+  }
+};
+
+// Estimate from a scheme's Table 1 metrics. `element_bytes` is s, `n` the
+// node count, `result_bytes` the per-pair result size (paper §3: 16 B for
+// id + value).
+MakespanBreakdown estimate_makespan(const SchemeMetrics& metrics,
+                                    std::uint64_t v,
+                                    std::uint64_t element_bytes,
+                                    std::uint64_t n,
+                                    const CostRates& rates,
+                                    std::uint64_t result_bytes = 16);
+
+// Convenience comparisons over the three schemes with default parameter
+// choices (broadcast p = n; block h = smallest valid for >= n tasks given
+// no limits; design q from v).
+struct SchemeComparison {
+  MakespanBreakdown broadcast;
+  MakespanBreakdown block;
+  MakespanBreakdown design;
+  std::string winner;  // scheme with the smallest total
+};
+
+SchemeComparison compare_makespans(std::uint64_t v,
+                                   std::uint64_t element_bytes,
+                                   std::uint64_t n, std::uint64_t block_h,
+                                   const CostRates& rates);
+
+}  // namespace pairmr

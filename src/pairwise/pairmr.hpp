@@ -1,0 +1,30 @@
+// Umbrella header: the full public API of the pairmr library.
+//
+//   #include "pairwise/pairmr.hpp"
+//
+// Layers, bottom-up:
+//   mr/        — simulated MapReduce substrate (Cluster, Engine, JobSpec)
+//   design/    — combinatorial designs (projective planes over GF(q))
+//   pairwise/  — distribution schemes, cost model, planner, MR pipeline
+#pragma once
+
+#include "mr/cluster.hpp"
+#include "mr/engine.hpp"
+#include "pairwise/aggregate.hpp"
+#include "pairwise/bipartite_scheme.hpp"
+#include "pairwise/block_scheme.hpp"
+#include "pairwise/broadcast_scheme.hpp"
+#include "pairwise/cost_model.hpp"
+#include "pairwise/cyclic_design_scheme.hpp"
+#include "pairwise/dataset.hpp"
+#include "pairwise/design_scheme.hpp"
+#include "pairwise/element.hpp"
+#include "pairwise/filtered_scheme.hpp"
+#include "pairwise/hierarchical.hpp"
+#include "pairwise/makespan.hpp"
+#include "pairwise/pipeline.hpp"
+#include "pairwise/planner.hpp"
+#include "pairwise/reindex.hpp"
+#include "pairwise/scheme.hpp"
+#include "pairwise/simple.hpp"
+#include "pairwise/triangular.hpp"

@@ -1,0 +1,515 @@
+#include "pairwise/pipeline.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+#include "common/serde.hpp"
+#include "mr/context.hpp"
+#include "pairwise/aggregate.hpp"
+#include "pairwise/broadcast_scheme.hpp"
+#include "pairwise/filtered_scheme.hpp"
+
+namespace pairmr {
+
+namespace {
+
+using mr::Bytes;
+
+// Evaluate one pair under the job's symmetry mode, appending kept results
+// to each side's accumulator (Algorithm 1's two addResult calls).
+void evaluate_pair(const PairwiseJob& job, const Element& lo,
+                   const Element& hi, std::vector<ResultEntry>& lo_acc,
+                   std::vector<ResultEntry>& hi_acc,
+                   std::uint64_t& evaluations, std::uint64_t& kept) {
+  if (job.symmetry == Symmetry::kSymmetric) {
+    std::string result = job.compute(lo, hi);
+    ++evaluations;
+    if (!job.keep || job.keep(lo, hi, result)) {
+      lo_acc.push_back(ResultEntry{hi.id, result});
+      hi_acc.push_back(ResultEntry{lo.id, std::move(result)});
+      ++kept;
+    }
+  } else {
+    std::string forward = job.compute(lo, hi);
+    ++evaluations;
+    if (!job.keep || job.keep(lo, hi, forward)) {
+      lo_acc.push_back(ResultEntry{hi.id, std::move(forward)});
+      ++kept;
+    }
+    std::string backward = job.compute(hi, lo);
+    ++evaluations;
+    if (!job.keep || job.keep(hi, lo, backward)) {
+      hi_acc.push_back(ResultEntry{lo.id, std::move(backward)});
+      ++kept;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Job 1 — Algorithm 1: distribution and pairwise comparison.
+// ---------------------------------------------------------------------
+
+// map(id, element): emit (D, element) for every working set D of the id.
+class DistributeMapper final : public mr::Mapper {
+ public:
+  explicit DistributeMapper(const DistributionScheme& scheme)
+      : scheme_(scheme) {}
+
+  void map(const Bytes& key, const Bytes& value,
+           mr::MapContext& ctx) override {
+    const ElementId id = decode_u64_key(key);
+    Element e;
+    e.id = id;
+    e.payload = value;
+    const std::string encoded = encode_element(e);
+    for (const TaskId task : scheme_.subsets_of(id)) {
+      ctx.emit(encode_u64_key(task), encoded);
+    }
+  }
+
+ private:
+  const DistributionScheme& scheme_;
+};
+
+// reduce(D, [element]): evaluate getPairs(D), attach results to both pair
+// members, re-emit every element keyed by its id.
+class ComputeReducer final : public mr::Reducer {
+ public:
+  ComputeReducer(const DistributionScheme& scheme, const PairwiseJob& job)
+      : scheme_(scheme), job_(job) {}
+
+  void reduce(const Bytes& key, const std::vector<Bytes>& values,
+              mr::ReduceContext& ctx) override {
+    const TaskId task = decode_u64_key(key);
+
+    std::vector<Element> elems;
+    elems.reserve(values.size());
+    for (const auto& v : values) elems.push_back(decode_element(v));
+
+    std::unordered_map<ElementId, std::size_t> index;
+    index.reserve(elems.size());
+    for (std::size_t i = 0; i < elems.size(); ++i) {
+      const bool inserted = index.emplace(elems[i].id, i).second;
+      PAIRMR_CHECK(inserted, "duplicate element copy in one working set");
+    }
+
+    // Results are accumulated separately so compute() always sees
+    // pristine elements (id + payload only).
+    std::vector<std::vector<ResultEntry>> acc(elems.size());
+    std::uint64_t evaluations = 0;
+    std::uint64_t kept = 0;
+
+    scheme_.for_each_pair(task, [&](ElementPair pair) {
+      const auto it_lo = index.find(pair.lo);
+      const auto it_hi = index.find(pair.hi);
+      PAIRMR_CHECK(it_lo != index.end() && it_hi != index.end(),
+                   "working set is missing a pair member");
+      evaluate_pair(job_, elems[it_lo->second], elems[it_hi->second],
+                    acc[it_lo->second], acc[it_hi->second], evaluations,
+                    kept);
+    });
+
+    ctx.counters().add(counter::kEvaluations, evaluations);
+    ctx.counters().add(counter::kResultsKept, kept);
+
+    for (std::size_t i = 0; i < elems.size(); ++i) {
+      elems[i].results = std::move(acc[i]);
+      ctx.emit(encode_u64_key(elems[i].id), encode_element(elems[i]));
+    }
+  }
+
+ private:
+  const DistributionScheme& scheme_;
+  const PairwiseJob& job_;
+};
+
+// ---------------------------------------------------------------------
+// Job 2 — Algorithm 2: aggregation of element copies.
+// ---------------------------------------------------------------------
+
+class AggregateReducer final : public mr::Reducer {
+ public:
+  // `finalize` runs once per fully merged element (may be null).
+  explicit AggregateReducer(const FinalizeFn& finalize)
+      : finalize_(finalize) {}
+
+  void reduce(const Bytes& key, const std::vector<Bytes>& values,
+              mr::ReduceContext& ctx) override {
+    std::vector<Element> copies;
+    copies.reserve(values.size());
+    for (const auto& v : values) copies.push_back(decode_element(v));
+    Element merged = merge_copies(std::move(copies));
+    if (finalize_) finalize_(merged);
+    ctx.emit(key, encode_element(merged));
+  }
+
+ private:
+  const FinalizeFn& finalize_;
+};
+
+// ---------------------------------------------------------------------
+// §5.1 one-job broadcast variant.
+// ---------------------------------------------------------------------
+
+// Input records are task descriptors (key = task id). The dataset arrives
+// via the distributed cache; map evaluates the task's pair-label range and
+// emits per-element partial results (payloads are NOT re-shipped — the
+// aggregating reducer re-reads them from the cache).
+class BroadcastComputeMapper final : public mr::Mapper {
+ public:
+  BroadcastComputeMapper(const BroadcastScheme& scheme, const PairwiseJob& job,
+                         const std::vector<std::string>& dataset_paths)
+      : scheme_(scheme), job_(job), dataset_paths_(dataset_paths) {}
+
+  void setup(mr::MapContext& ctx) override {
+    elements_.clear();
+    for (const auto& path : dataset_paths_) {
+      for (const auto& rec : ctx.cache_file(path)) {
+        Element e;
+        e.id = decode_u64_key(rec.key);
+        e.payload = rec.value;
+        elements_.push_back(std::move(e));
+      }
+    }
+    std::sort(elements_.begin(), elements_.end(),
+              [](const Element& a, const Element& b) { return a.id < b.id; });
+    PAIRMR_REQUIRE(elements_.size() == scheme_.num_elements(),
+                   "cached dataset size does not match v");
+    for (std::size_t i = 0; i < elements_.size(); ++i) {
+      PAIRMR_REQUIRE(elements_[i].id == i,
+                     "dataset ids must be dense 0..v-1");
+    }
+  }
+
+  void map(const Bytes& key, const Bytes& /*value*/,
+           mr::MapContext& ctx) override {
+    const TaskId task = decode_u64_key(key);
+    std::uint64_t evaluations = 0;
+    std::uint64_t kept = 0;
+    scheme_.for_each_pair(task, [&](ElementPair pair) {
+      evaluate_pair(job_, elements_[pair.lo], elements_[pair.hi],
+                    acc_[pair.lo], acc_[pair.hi], evaluations, kept);
+    });
+    ctx.counters().add(counter::kEvaluations, evaluations);
+    ctx.counters().add(counter::kResultsKept, kept);
+  }
+
+  void cleanup(mr::MapContext& ctx) override {
+    // One record per touched element: its partial result list.
+    for (auto& [id, entries] : acc_) {
+      Element e;
+      e.id = id;
+      e.results = std::move(entries);
+      ctx.emit(encode_u64_key(id), encode_element(e));
+    }
+    acc_.clear();
+  }
+
+ private:
+  const BroadcastScheme& scheme_;
+  const PairwiseJob& job_;
+  const std::vector<std::string>& dataset_paths_;
+  std::vector<Element> elements_;
+  std::unordered_map<ElementId, std::vector<ResultEntry>> acc_;
+};
+
+// Aggregates partial result lists and joins the payload back in from the
+// distributed cache.
+class BroadcastAggregateReducer final : public mr::Reducer {
+ public:
+  BroadcastAggregateReducer(const PairwiseJob& job,
+                            const std::vector<std::string>& dataset_paths)
+      : job_(job), dataset_paths_(dataset_paths) {}
+
+  void setup(mr::ReduceContext& ctx) override {
+    payloads_.clear();
+    for (const auto& path : dataset_paths_) {
+      for (const auto& rec : ctx.cache_file(path)) {
+        payloads_.emplace(decode_u64_key(rec.key), rec.value);
+      }
+    }
+  }
+
+  void reduce(const Bytes& key, const std::vector<Bytes>& values,
+              mr::ReduceContext& ctx) override {
+    std::vector<Element> copies;
+    copies.reserve(values.size());
+    for (const auto& v : values) copies.push_back(decode_element(v));
+    Element merged = merge_copies(std::move(copies));
+    const auto it = payloads_.find(merged.id);
+    PAIRMR_CHECK(it != payloads_.end(), "result for unknown element id");
+    merged.payload = it->second;
+    if (job_.finalize) job_.finalize(merged);
+    ctx.emit(key, encode_element(merged));
+  }
+
+ private:
+  const PairwiseJob& job_;
+  const std::vector<std::string>& dataset_paths_;
+  std::unordered_map<ElementId, std::string> payloads_;
+};
+
+void validate_job(const PairwiseJob& job) {
+  PAIRMR_REQUIRE(job.compute != nullptr, "pairwise job needs a compute fn");
+}
+
+std::uint64_t dir_bytes(const mr::SimDfs& dfs, const std::string& prefix) {
+  std::uint64_t total = 0;
+  for (const auto& path : dfs.list(prefix)) total += dfs.open(path)->bytes;
+  return total;
+}
+
+std::uint64_t dir_records(const mr::SimDfs& dfs, const std::string& prefix) {
+  std::uint64_t total = 0;
+  for (const auto& path : dfs.list(prefix)) {
+    total += dfs.open(path)->records.size();
+  }
+  return total;
+}
+
+}  // namespace
+
+PairwiseRunStats run_pairwise(mr::Cluster& cluster,
+                              const std::vector<std::string>& input_paths,
+                              const DistributionScheme& scheme,
+                              const PairwiseJob& job,
+                              const PairwiseOptions& options) {
+  validate_job(job);
+  mr::Engine engine(cluster);
+  mr::SimDfs& dfs = cluster.dfs();
+
+  const std::string intermediate_dir = options.work_dir + "/intermediate";
+  const std::string output_dir = options.work_dir + "/output";
+  dfs.remove_prefix(intermediate_dir);
+  dfs.remove_prefix(output_dir);
+
+  PairwiseRunStats stats;
+
+  // Job 1: distribute + compare.
+  mr::JobSpec job1;
+  job1.name = "pairwise-distribute[" + scheme.name() + "]";
+  job1.input_paths = input_paths;
+  job1.output_dir = intermediate_dir;
+  job1.mapper_factory = [&scheme] {
+    return std::make_unique<DistributeMapper>(scheme);
+  };
+  job1.reducer_factory = [&scheme, &job] {
+    return std::make_unique<ComputeReducer>(scheme, job);
+  };
+  job1.num_reduce_tasks = options.num_reduce_tasks;
+  job1.max_records_per_split = options.max_records_per_split;
+  stats.distribute_job = engine.run(job1);
+
+  const std::uint64_t v = scheme.num_elements();
+  stats.evaluations = stats.distribute_job.counter(counter::kEvaluations);
+  stats.results_kept = stats.distribute_job.counter(counter::kResultsKept);
+  stats.replication_factor =
+      static_cast<double>(
+          stats.distribute_job.counter(mr::counter::kMapOutputRecords)) /
+      static_cast<double>(v);
+  stats.max_working_set_records =
+      stats.distribute_job.counter(mr::counter::kReduceMaxGroupRecords);
+  stats.max_working_set_bytes =
+      stats.distribute_job.counter(mr::counter::kReduceMaxGroupBytes);
+  stats.intermediate_bytes = dir_bytes(dfs, intermediate_dir);
+  stats.shuffle_remote_bytes =
+      stats.distribute_job.counter(mr::counter::kShuffleBytesRemote);
+
+  // Job 2: aggregation (optional).
+  if (options.run_aggregation) {
+    mr::JobSpec job2;
+    job2.name = "pairwise-aggregate[" + scheme.name() + "]";
+    job2.input_paths = stats.distribute_job.output_paths;
+    job2.output_dir = output_dir;
+    job2.mapper_factory = [] { return std::make_unique<mr::IdentityMapper>(); };
+    job2.reducer_factory = [&job] {
+      return std::make_unique<AggregateReducer>(job.finalize);
+    };
+    if (options.aggregation_combiner) {
+      // The combiner merges partial copies only — finalize must run
+      // exactly once per element, in the reducer.
+      static const FinalizeFn kNoFinalize;
+      job2.combiner_factory = [] {
+        return std::make_unique<AggregateReducer>(kNoFinalize);
+      };
+    }
+    job2.num_reduce_tasks = options.num_reduce_tasks;
+    stats.aggregate_job = engine.run(job2);
+    stats.aggregated = true;
+    stats.shuffle_remote_bytes +=
+        stats.aggregate_job.counter(mr::counter::kShuffleBytesRemote);
+    stats.output_dir = output_dir;
+    if (options.cleanup_intermediate) dfs.remove_prefix(intermediate_dir);
+  } else {
+    stats.output_dir = intermediate_dir;
+  }
+  return stats;
+}
+
+PairwiseRunStats run_pairwise_broadcast(
+    mr::Cluster& cluster, const std::vector<std::string>& input_paths,
+    std::uint64_t v, std::uint64_t num_tasks, const PairwiseJob& job,
+    const PairwiseOptions& options) {
+  validate_job(job);
+  const BroadcastScheme scheme(v, num_tasks);
+  mr::Engine engine(cluster);
+  mr::SimDfs& dfs = cluster.dfs();
+
+  const std::string tasks_dir = options.work_dir + "/tasks";
+  const std::string output_dir = options.work_dir + "/output";
+  dfs.remove_prefix(tasks_dir);
+  dfs.remove_prefix(output_dir);
+
+  // Task descriptors, spread round-robin so every node computes.
+  std::vector<mr::Record> descriptors;
+  descriptors.reserve(num_tasks);
+  for (TaskId t = 0; t < num_tasks; ++t) {
+    descriptors.push_back(mr::Record{encode_u64_key(t), ""});
+  }
+  const auto task_paths = cluster.scatter_records(tasks_dir,
+                                                  std::move(descriptors));
+
+  mr::JobSpec spec;
+  spec.name = "pairwise-broadcast-onejob";
+  spec.input_paths = task_paths;
+  spec.output_dir = output_dir;
+  spec.cache_paths = input_paths;
+  spec.mapper_factory = [&scheme, &job, &input_paths] {
+    return std::make_unique<BroadcastComputeMapper>(scheme, job, input_paths);
+  };
+  spec.reducer_factory = [&job, &input_paths] {
+    return std::make_unique<BroadcastAggregateReducer>(job, input_paths);
+  };
+  spec.num_reduce_tasks = options.num_reduce_tasks;
+  // One map task per descriptor record: each task descriptor is an
+  // independent unit of work.
+  spec.max_records_per_split = 1;
+
+  PairwiseRunStats stats;
+  stats.distribute_job = engine.run(spec);
+  stats.aggregated = true;  // aggregation happens in the same job's reduce
+  stats.evaluations = stats.distribute_job.counter(counter::kEvaluations);
+  stats.results_kept = stats.distribute_job.counter(counter::kResultsKept);
+  stats.cache_broadcast_bytes =
+      stats.distribute_job.counter(mr::counter::kCacheBroadcastBytes);
+
+  std::uint64_t dataset_bytes = 0;
+  for (const auto& path : input_paths) dataset_bytes += dfs.open(path)->bytes;
+  if (dataset_bytes > 0) {
+    // Effective replication: how many dataset copies the broadcast made.
+    stats.replication_factor =
+        static_cast<double>(stats.cache_broadcast_bytes + dataset_bytes) /
+        static_cast<double>(dataset_bytes);
+  }
+  // The working set of every map task is the whole cached dataset.
+  stats.max_working_set_records = dir_records(dfs, tasks_dir) > 0 ? v : 0;
+  stats.max_working_set_bytes = dataset_bytes;
+  stats.intermediate_bytes =
+      stats.distribute_job.counter(mr::counter::kMapOutputBytes);
+  stats.shuffle_remote_bytes =
+      stats.distribute_job.counter(mr::counter::kShuffleBytesRemote);
+  stats.output_dir = output_dir;
+  return stats;
+}
+
+HierarchicalRunStats run_pairwise_rounds(
+    mr::Cluster& cluster, const std::vector<std::string>& input_paths,
+    const DistributionScheme& scheme,
+    const std::vector<std::vector<TaskId>>& rounds, const PairwiseJob& job,
+    const PairwiseOptions& options) {
+  validate_job(job);
+  PAIRMR_REQUIRE(!rounds.empty(), "need at least one round");
+  mr::Engine engine(cluster);
+  mr::SimDfs& dfs = cluster.dfs();
+
+  HierarchicalRunStats stats;
+  std::vector<std::string> accumulated;  // output-so-far paths
+  std::string accumulated_dir;
+
+  for (std::size_t round = 0; round < rounds.size(); ++round) {
+    const FilteredScheme round_scheme(scheme, rounds[round]);
+    const std::string round_dir =
+        options.work_dir + "/round-" + std::to_string(round);
+    dfs.remove_prefix(round_dir);
+
+    mr::JobSpec job1;
+    job1.name = "pairwise-round-" + std::to_string(round) + "[" +
+                scheme.name() + "]";
+    job1.input_paths = input_paths;
+    job1.output_dir = round_dir;
+    job1.mapper_factory = [&round_scheme] {
+      return std::make_unique<DistributeMapper>(round_scheme);
+    };
+    job1.reducer_factory = [&round_scheme, &job] {
+      return std::make_unique<ComputeReducer>(round_scheme, job);
+    };
+    job1.num_reduce_tasks = options.num_reduce_tasks;
+    job1.max_records_per_split = options.max_records_per_split;
+    const mr::JobResult r1 = engine.run(job1);
+
+    stats.evaluations += r1.counter(counter::kEvaluations);
+    stats.results_kept += r1.counter(counter::kResultsKept);
+    stats.shuffle_remote_bytes += r1.counter(mr::counter::kShuffleBytesRemote);
+    stats.max_working_set_records =
+        std::max(stats.max_working_set_records,
+                 r1.counter(mr::counter::kReduceMaxGroupRecords));
+    stats.max_working_set_bytes =
+        std::max(stats.max_working_set_bytes,
+                 r1.counter(mr::counter::kReduceMaxGroupBytes));
+    // The round's materialized intermediate data plus the previous
+    // accumulated output that must coexist during the merge.
+    stats.peak_intermediate_bytes = std::max(
+        stats.peak_intermediate_bytes, dir_bytes(dfs, round_dir));
+
+    if (dir_records(dfs, round_dir) == 0) {
+      // Round touched no elements (all its tasks were empty); skip merge.
+      dfs.remove_prefix(round_dir);
+      stats.round_jobs.push_back(r1);
+      continue;
+    }
+
+    // Merge this round into the accumulated output ("each block is
+    // aggregated before the next one is processed", paper §7).
+    const bool last = round + 1 == rounds.size();
+    const std::string next_accum_dir =
+        options.work_dir + (last ? "/output"
+                                 : "/accum-" + std::to_string(round));
+    dfs.remove_prefix(next_accum_dir);
+
+    mr::JobSpec merge;
+    merge.name = "pairwise-merge-" + std::to_string(round);
+    merge.input_paths = r1.output_paths;
+    merge.input_paths.insert(merge.input_paths.end(), accumulated.begin(),
+                             accumulated.end());
+    merge.output_dir = next_accum_dir;
+    merge.mapper_factory = [] {
+      return std::make_unique<mr::IdentityMapper>();
+    };
+    // finalize must run exactly once per element — only in the last merge.
+    static const FinalizeFn kNoFinalize;
+    const FinalizeFn& fin = last ? job.finalize : kNoFinalize;
+    merge.reducer_factory = [&fin] {
+      return std::make_unique<AggregateReducer>(fin);
+    };
+    merge.num_reduce_tasks = options.num_reduce_tasks;
+    const mr::JobResult rm = engine.run(merge);
+
+    stats.shuffle_remote_bytes += rm.counter(mr::counter::kShuffleBytesRemote);
+    dfs.remove_prefix(round_dir);
+    if (!accumulated_dir.empty()) dfs.remove_prefix(accumulated_dir);
+    accumulated = rm.output_paths;
+    accumulated_dir = next_accum_dir;
+
+    stats.round_jobs.push_back(r1);
+    stats.merge_jobs.push_back(rm);
+  }
+
+  stats.output_dir = accumulated_dir;
+  return stats;
+}
+
+}  // namespace pairmr

@@ -1,0 +1,145 @@
+// The pairwise-computation MR pipeline (paper §4, Algorithms 1 and 2).
+//
+// Job 1 ("distribute & compare"): map replicates each element into the
+// working sets chosen by the scheme's getSubsets; the sort/shuffle phase
+// collects each working set at one reducer; reduce evaluates the scheme's
+// getPairs relation and emits every element copy with the partial results
+// attached, keyed by element id.
+//
+// Job 2 ("aggregate", optional): groups all copies of an element and
+// merges their partial results into one element per id (Figure 2 layout).
+//
+// A one-job broadcast variant (paper §5.1) ships the dataset through the
+// distributed cache, evaluates pair-label ranges in map, and aggregates
+// in reduce.
+//
+// A round-based driver (paper §7) executes any scheme's tasks in groups,
+// aggregating after each round so intermediate data never exceeds one
+// round's volume.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mr/cluster.hpp"
+#include "mr/engine.hpp"
+#include "pairwise/element.hpp"
+#include "pairwise/scheme.hpp"
+
+namespace pairmr {
+
+// comp(a, b): both elements carry id and payload; results lists are not
+// populated at call time. Returns opaque result bytes.
+using ComputeFn =
+    std::function<std::string(const Element& a, const Element& b)>;
+
+// Result filter (e.g. DBSCAN keeps only distances below eps). Applied
+// before a result is attached; the evaluation itself still counts.
+using KeepFn = std::function<bool(const Element& a, const Element& b,
+                                  std::string_view result)>;
+
+// Applied to each fully aggregated element in Job 2's reduce (the paper's
+// application-defined aggregateResults hook).
+using FinalizeFn = std::function<void(Element&)>;
+
+enum class Symmetry {
+  kSymmetric,     // comp(a,b) == comp(b,a): evaluate once, attach to both
+  kNonSymmetric,  // evaluate comp(a,b) for a, comp(b,a) for b
+};
+
+struct PairwiseJob {
+  ComputeFn compute;
+  KeepFn keep;          // null: keep every result
+  FinalizeFn finalize;  // null: no post-processing
+  Symmetry symmetry = Symmetry::kSymmetric;
+};
+
+struct PairwiseOptions {
+  // DFS directory for intermediate and output files.
+  std::string work_dir = "/pairwise";
+  // Reduce tasks per job; 0 = one per cluster node.
+  std::uint32_t num_reduce_tasks = 0;
+  // Map-task granularity over the input files; 0 = one task per file.
+  std::uint64_t max_records_per_split = 0;
+  // Run the aggregation job (paper: optional, application-dependent).
+  bool run_aggregation = true;
+  // Remove Job 1 output after aggregation.
+  bool cleanup_intermediate = true;
+  // Map-side combiner for the aggregation job: copies of an element that
+  // sit in the same map task are pre-merged before the shuffle (legal
+  // because merging result lists is associative). Shrinks Job 2's shuffle
+  // volume at some map-side CPU cost; see bench_ablation.
+  bool aggregation_combiner = false;
+};
+
+// Custom counters emitted by the pipeline.
+namespace counter {
+inline constexpr const char* kEvaluations = "pairwise.evaluations";
+inline constexpr const char* kResultsKept = "pairwise.results.kept";
+}  // namespace counter
+
+struct PairwiseRunStats {
+  mr::JobResult distribute_job;  // Job 1
+  mr::JobResult aggregate_job;   // Job 2 (default-constructed if skipped)
+  bool aggregated = false;
+
+  std::uint64_t evaluations = 0;
+  std::uint64_t results_kept = 0;
+
+  // Measured counterparts of Table 1's metrics.
+  double replication_factor = 0.0;          // map-output copies / v
+  std::uint64_t max_working_set_records = 0;  // largest reduce group
+  std::uint64_t max_working_set_bytes = 0;
+  std::uint64_t intermediate_bytes = 0;  // materialized between the jobs
+  std::uint64_t shuffle_remote_bytes = 0;  // network volume, both jobs
+  std::uint64_t cache_broadcast_bytes = 0;
+
+  std::string output_dir;  // final element files (Figure 2 layout)
+};
+
+// Generic two-job pipeline over any distribution scheme. `input_paths`
+// are DFS files whose records are (big-endian u64 id, raw payload); ids
+// must be dense 0..v-1 with v == scheme.num_elements().
+// The scheme must outlive the call.
+PairwiseRunStats run_pairwise(mr::Cluster& cluster,
+                              const std::vector<std::string>& input_paths,
+                              const DistributionScheme& scheme,
+                              const PairwiseJob& job,
+                              const PairwiseOptions& options = {});
+
+// One-job broadcast variant (paper §5.1): the dataset travels via the
+// distributed cache; only results are shuffled. `num_tasks` is the
+// paper's p (its Table 1 advantage: freely chosen).
+PairwiseRunStats run_pairwise_broadcast(
+    mr::Cluster& cluster, const std::vector<std::string>& input_paths,
+    std::uint64_t v, std::uint64_t num_tasks, const PairwiseJob& job,
+    const PairwiseOptions& options = {});
+
+// Round-based execution (paper §7): `rounds` partitions the scheme's task
+// ids; each round runs Job 1 on its tasks only and is aggregated into the
+// accumulated output before the next round starts, bounding intermediate
+// storage by the largest single round.
+struct HierarchicalRunStats {
+  std::vector<mr::JobResult> round_jobs;
+  std::vector<mr::JobResult> merge_jobs;
+
+  std::uint64_t evaluations = 0;
+  std::uint64_t results_kept = 0;
+  std::uint64_t peak_intermediate_bytes = 0;  // max over rounds
+  std::uint64_t max_working_set_records = 0;
+  std::uint64_t max_working_set_bytes = 0;
+  std::uint64_t shuffle_remote_bytes = 0;
+
+  std::string output_dir;
+};
+
+HierarchicalRunStats run_pairwise_rounds(
+    mr::Cluster& cluster, const std::vector<std::string>& input_paths,
+    const DistributionScheme& scheme,
+    const std::vector<std::vector<TaskId>>& rounds, const PairwiseJob& job,
+    const PairwiseOptions& options = {});
+
+}  // namespace pairmr

@@ -1,0 +1,114 @@
+#include "pairwise/planner.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/intmath.hpp"
+#include "common/units.hpp"
+#include "pairwise/block_scheme.hpp"
+#include "pairwise/broadcast_scheme.hpp"
+
+namespace pairmr {
+
+const char* to_string(SchemeKind kind) {
+  switch (kind) {
+    case SchemeKind::kBroadcast:
+      return "broadcast";
+    case SchemeKind::kBlock:
+      return "block";
+    case SchemeKind::kDesign:
+      return "design";
+  }
+  return "?";
+}
+
+Plan plan_scheme(const PlanRequest& request) {
+  PAIRMR_REQUIRE(request.v >= 2, "need at least two elements");
+  PAIRMR_REQUIRE(request.element_bytes > 0, "element size must be positive");
+  PAIRMR_REQUIRE(request.num_nodes >= 1, "need at least one node");
+
+  const std::uint64_t vs =
+      checked_mul(request.v, request.element_bytes);  // dataset bytes
+  Plan plan;
+
+  // Broadcast: the whole dataset must fit one task's memory.
+  plan.broadcast_feasible =
+      broadcast_working_set_bytes(request.v, request.element_bytes) <=
+      request.limits.max_working_set_bytes;
+
+  // Block: a valid blocking factor must exist; additionally h <= v so that
+  // blocks are non-degenerate.
+  plan.block_h_bounds = block_h_range(vs, request.limits);
+  plan.block_h_bounds.hi = std::min(plan.block_h_bounds.hi, request.v);
+  plan.block_feasible = plan.block_h_bounds.valid();
+
+  // Design: √v-sized working sets and v√v intermediate bytes must fit.
+  plan.design_feasible =
+      design_working_set_bytes(request.v, request.element_bytes) <=
+          request.limits.max_working_set_bytes &&
+      design_intermediate_bytes(request.v, request.element_bytes) <=
+          request.limits.max_intermediate_bytes;
+
+  std::ostringstream why;
+  if (plan.broadcast_feasible) {
+    // Cheapest communication: p can equal n, giving 2vn shipped elements.
+    plan.feasible = true;
+    plan.kind = SchemeKind::kBroadcast;
+    plan.broadcast_tasks = request.num_nodes;
+    plan.predicted = broadcast_metrics(request.v, plan.broadcast_tasks);
+    why << "dataset (" << format_bytes(vs)
+        << ") fits one node's working-set limit ("
+        << format_bytes(request.limits.max_working_set_bytes)
+        << "); broadcast with p = n = " << request.num_nodes
+        << " minimizes communication (2vn)";
+  } else if (plan.block_feasible) {
+    plan.feasible = true;
+    plan.kind = SchemeKind::kBlock;
+    // Smallest valid h minimizes replication/communication (2vh), but keep
+    // at least n tasks so no node idles: h(h+1)/2 >= n.
+    std::uint64_t h = plan.block_h_bounds.lo;
+    while (triangular(h) < request.num_nodes && h < plan.block_h_bounds.hi) {
+      ++h;
+    }
+    plan.block_h = h;
+    plan.predicted = block_metrics(request.v, h);
+    why << "dataset exceeds broadcast's memory bound; valid blocking range"
+        << " h in [" << plan.block_h_bounds.lo << ", "
+        << plan.block_h_bounds.hi << "], chose h = " << h
+        << " (smallest with h(h+1)/2 >= n tasks)";
+    if (triangular(h) < request.num_nodes) {
+      why << "; note: even h_max yields fewer tasks than nodes";
+    }
+  } else if (plan.design_feasible) {
+    plan.feasible = true;
+    plan.kind = SchemeKind::kDesign;
+    plan.predicted = design_metrics_approx(request.v, request.num_nodes);
+    why << "no valid blocking factor (dataset too large for maxws/maxis"
+        << " intersection), but design's sqrt(v) working sets fit";
+  } else {
+    plan.feasible = false;
+    why << "no scheme satisfies both limits; use hierarchical processing"
+        << " (run_pairwise_rounds with coarse grouping, paper Section 7)";
+  }
+  plan.rationale = why.str();
+  return plan;
+}
+
+std::unique_ptr<DistributionScheme> make_scheme(
+    const Plan& plan, std::uint64_t v, PlaneConstruction construction) {
+  PAIRMR_REQUIRE(plan.feasible, "cannot instantiate an infeasible plan");
+  switch (plan.kind) {
+    case SchemeKind::kBroadcast:
+      return std::make_unique<BroadcastScheme>(
+          v, std::max<std::uint64_t>(1, plan.broadcast_tasks));
+    case SchemeKind::kBlock:
+      return std::make_unique<BlockScheme>(v, plan.block_h);
+    case SchemeKind::kDesign:
+      return std::make_unique<DesignScheme>(v, construction);
+  }
+  PAIRMR_CHECK(false, "unknown scheme kind");
+  return nullptr;
+}
+
+}  // namespace pairmr

@@ -1,0 +1,61 @@
+// Planner: choose a distribution scheme and its parameters for a dataset
+// under environment limits — the decision logic of the paper's §6 /
+// Figure 9 discussion, packaged as an API.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "pairwise/cost_model.hpp"
+#include "pairwise/design_scheme.hpp"
+#include "pairwise/scheme.hpp"
+
+namespace pairmr {
+
+enum class SchemeKind { kBroadcast, kBlock, kDesign };
+
+const char* to_string(SchemeKind kind);
+
+struct PlanRequest {
+  std::uint64_t v = 0;             // dataset cardinality
+  std::uint64_t element_bytes = 0; // the paper's s
+  std::uint64_t num_nodes = 1;     // n
+  Limits limits;
+};
+
+struct Plan {
+  bool feasible = false;
+  SchemeKind kind = SchemeKind::kBroadcast;
+
+  // Parameters for the chosen scheme.
+  std::uint64_t broadcast_tasks = 0;  // broadcast: p
+  std::uint64_t block_h = 0;          // block: blocking factor
+
+  // Per-scheme feasibility under the request's limits.
+  bool broadcast_feasible = false;
+  bool block_feasible = false;
+  bool design_feasible = false;
+  HRange block_h_bounds;
+
+  // Human-readable explanation of the decision.
+  std::string rationale;
+
+  // Predicted Table 1 metrics of the chosen configuration.
+  SchemeMetrics predicted;
+};
+
+// Evaluate feasibility of every scheme and pick one. Preference among the
+// feasible: least communication volume, i.e. broadcast with p = n when the
+// dataset fits in memory, else block with the smallest valid h that still
+// yields >= n tasks, else design. Infeasible everywhere => feasible=false
+// and the rationale points to §7's hierarchical processing.
+Plan plan_scheme(const PlanRequest& request);
+
+// Instantiate the planned scheme (request.v elements). For design plans,
+// `construction` selects the plane construction.
+std::unique_ptr<DistributionScheme> make_scheme(
+    const Plan& plan, std::uint64_t v,
+    PlaneConstruction construction = PlaneConstruction::kTheorem2Prime);
+
+}  // namespace pairmr

@@ -1,0 +1,163 @@
+#include "pairwise/reindex.hpp"
+
+#include <memory>
+#include <unordered_map>
+
+#include "common/check.hpp"
+#include "common/serde.hpp"
+#include "mr/context.hpp"
+
+namespace pairmr {
+
+namespace {
+
+using mr::Bytes;
+
+constexpr char kTagDataset = 'D';
+constexpr char kTagDictionary = 'K';
+
+// Job 1 reduce: enforce key uniqueness; pass records through sorted.
+class DedupReducer final : public mr::Reducer {
+ public:
+  void reduce(const Bytes& key, const std::vector<Bytes>& values,
+              mr::ReduceContext& ctx) override {
+    PAIRMR_REQUIRE(values.size() == 1,
+                   "reindex requires unique keys; duplicate: " + key);
+    ctx.emit(key, values.front());
+  }
+};
+
+// Job 2 map: renumber one shard using its base offset from the cache.
+class AssignMapper final : public mr::Mapper {
+ public:
+  explicit AssignMapper(const std::string& offsets_path)
+      : offsets_path_(offsets_path) {}
+
+  void setup(mr::MapContext& ctx) override {
+    for (const auto& rec : ctx.cache_file(offsets_path_)) {
+      offsets_.emplace(rec.key, decode_u64_key(rec.value));
+    }
+    const auto it = offsets_.find(ctx.input_path());
+    PAIRMR_CHECK(it != offsets_.end(),
+                 "no offset recorded for shard " + ctx.input_path());
+    next_id_ = it->second;
+  }
+
+  void map(const Bytes& key, const Bytes& value,
+           mr::MapContext& ctx) override {
+    const std::uint64_t id = next_id_++;
+    ctx.emit(encode_u64_key(id), std::string(1, kTagDataset) + value);
+    ctx.emit(encode_u64_key(id), std::string(1, kTagDictionary) + key);
+  }
+
+ private:
+  const std::string& offsets_path_;
+  std::unordered_map<std::string, std::uint64_t> offsets_;
+  std::uint64_t next_id_ = 0;
+};
+
+// Job 3 map: keep one tag, strip it.
+class ProjectMapper final : public mr::Mapper {
+ public:
+  explicit ProjectMapper(char tag) : tag_(tag) {}
+
+  void map(const Bytes& key, const Bytes& value,
+           mr::MapContext& ctx) override {
+    PAIRMR_CHECK(!value.empty(), "tagged record missing tag byte");
+    if (value.front() == tag_) ctx.emit(key, value.substr(1));
+  }
+
+ private:
+  char tag_;
+};
+
+}  // namespace
+
+ReindexResult reindex(mr::Cluster& cluster,
+                      const std::vector<std::string>& input_paths,
+                      const std::string& work_dir) {
+  mr::Engine engine(cluster);
+  mr::SimDfs& dfs = cluster.dfs();
+  const std::string shard_dir = work_dir + "/shards";
+  const std::string tagged_dir = work_dir + "/tagged";
+  const std::string dataset_dir = work_dir + "/dataset";
+  const std::string dict_dir = work_dir + "/dictionary";
+  const std::string offsets_path = work_dir + "/offsets";
+  for (const auto& dir :
+       {shard_dir, tagged_dir, dataset_dir, dict_dir, offsets_path}) {
+    dfs.remove_prefix(dir);
+  }
+
+  ReindexResult result;
+
+  // Job 1: shard + dedupe.
+  mr::JobSpec shard;
+  shard.name = "reindex-shard";
+  shard.input_paths = input_paths;
+  shard.output_dir = shard_dir;
+  shard.mapper_factory = [] { return std::make_unique<mr::IdentityMapper>(); };
+  shard.reducer_factory = [] { return std::make_unique<DedupReducer>(); };
+  result.shard_job = engine.run(shard);
+
+  // Driver: prefix offsets per shard, shipped via the distributed cache.
+  std::vector<mr::Record> offsets;
+  std::uint64_t running = 0;
+  for (const auto& task : result.shard_job.reduce_tasks) {
+    offsets.push_back(
+        mr::Record{result.shard_job.output_paths[task.index],
+                   encode_u64_key(running)});
+    running += task.output_records;
+  }
+  result.v = running;
+  PAIRMR_REQUIRE(result.v >= 2, "reindex needs at least two elements");
+  dfs.write_file(offsets_path, /*home=*/0, std::move(offsets));
+
+  // Job 2: assign dense ids; tagged dataset+dictionary stream.
+  mr::JobSpec assign;
+  assign.name = "reindex-assign";
+  assign.input_paths = result.shard_job.output_paths;
+  assign.output_dir = tagged_dir;
+  assign.cache_paths = {offsets_path};
+  assign.mapper_factory = [&offsets_path] {
+    return std::make_unique<AssignMapper>(offsets_path);
+  };
+  assign.reducer_factory = [] {
+    return std::make_unique<mr::IdentityReducer>();
+  };
+  result.assign_job = engine.run(assign);
+
+  // Job 3a/3b: project the tagged stream into the two outputs.
+  const auto project = [&](char tag, const std::string& out_dir) {
+    mr::JobSpec spec;
+    spec.name = std::string("reindex-project-") + tag;
+    spec.input_paths = result.assign_job.output_paths;
+    spec.output_dir = out_dir;
+    spec.mapper_factory = [tag] {
+      return std::make_unique<ProjectMapper>(tag);
+    };
+    // Pure filter: no grouping needed, so skip the shuffle entirely.
+    spec.map_only = true;
+    return engine.run(spec).output_paths;
+  };
+  result.dataset_paths = project(kTagDataset, dataset_dir);
+  result.dictionary_paths = project(kTagDictionary, dict_dir);
+
+  dfs.remove_prefix(shard_dir);
+  dfs.remove_prefix(tagged_dir);
+  return result;
+}
+
+std::vector<std::string> load_dictionary(const mr::Cluster& cluster,
+                                         const ReindexResult& result) {
+  std::vector<std::string> dict(result.v);
+  for (const auto& path : result.dictionary_paths) {
+    for (const auto& rec : cluster.dfs().open(path)->records) {
+      const std::uint64_t id = decode_u64_key(rec.key);
+      PAIRMR_CHECK(id < result.v, "dictionary id out of range");
+      dict[id] = rec.value;
+    }
+  }
+  return dict;
+}
+
+}  // namespace pairmr

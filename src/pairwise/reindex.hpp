@@ -1,0 +1,56 @@
+// Dense-id assignment for datasets with arbitrary keys.
+//
+// The pipeline requires dense element ids 0..v-1 (the schemes' index
+// math depends on it), but real datasets carry URLs, document names, or
+// sparse numeric keys. `reindex` converts such a dataset with MapReduce
+// jobs, mirroring how a production deployment would prepare its input:
+//
+//   Job 1 ("shard"):   hash-partition records by original key; each
+//                      reduce task writes its keys in sorted order and
+//                      rejects duplicates. The driver then turns the
+//                      per-task record counts into prefix offsets.
+//   Job 2 ("assign"):  map-side renumbering — each map task reads one
+//                      Job-1 shard, looks up the shard's base offset
+//                      (shipped via the distributed cache), and assigns
+//                      ids base + position; emits both the dataset
+//                      record (id -> payload) and a dictionary record
+//                      (id -> original key), separated by a tag.
+//   Job 3 ("project"): splits the tagged stream into the dataset
+//                      directory and the dictionary directory.
+//
+// Ids are unique and dense but not globally ordered by key (order within
+// a shard is sorted; shards are hash-assigned) — the schemes only need
+// density.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mr/cluster.hpp"
+#include "mr/engine.hpp"
+#include "pairwise/element.hpp"
+
+namespace pairmr {
+
+struct ReindexResult {
+  std::uint64_t v = 0;  // number of distinct elements
+  // Dataset files in pipeline format: (big-endian u64 id, payload).
+  std::vector<std::string> dataset_paths;
+  // Dictionary files: (big-endian u64 id, original key).
+  std::vector<std::string> dictionary_paths;
+  mr::JobResult shard_job;
+  mr::JobResult assign_job;
+};
+
+// `input_paths` hold records (arbitrary unique key, payload). Throws
+// PreconditionError on duplicate keys.
+ReindexResult reindex(mr::Cluster& cluster,
+                      const std::vector<std::string>& input_paths,
+                      const std::string& work_dir = "/reindex");
+
+// Load the dictionary into memory (test/example convenience): id -> key.
+std::vector<std::string> load_dictionary(const mr::Cluster& cluster,
+                                         const ReindexResult& result);
+
+}  // namespace pairmr

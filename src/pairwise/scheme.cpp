@@ -1,0 +1,30 @@
+#include "pairwise/scheme.hpp"
+
+#include <algorithm>
+
+namespace pairmr {
+
+void DistributionScheme::for_each_pair(
+    TaskId task, const std::function<void(ElementPair)>& fn) const {
+  for (const ElementPair pair : pairs_in(task)) fn(pair);
+}
+
+std::uint64_t DistributionScheme::total_pairs() const {
+  std::uint64_t total = 0;
+  for (TaskId t = 0; t < num_tasks(); ++t) total += pairs_in(t).size();
+  return total;
+}
+
+std::vector<ElementId> DistributionScheme::working_set(TaskId task) const {
+  // Generic (slow) derivation: scan all elements. Schemes override.
+  std::vector<ElementId> out;
+  for (ElementId id = 0; id < num_elements(); ++id) {
+    const auto tasks = subsets_of(id);
+    if (std::binary_search(tasks.begin(), tasks.end(), task)) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+}  // namespace pairmr

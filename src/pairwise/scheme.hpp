@@ -1,0 +1,88 @@
+// DistributionScheme: the paper's (D, P) construction interface.
+//
+// A scheme partitions the Cartesian product S×S (upper triangle) into
+// per-task pair relations. The MR pipeline calls `subsets_of` from the
+// first job's map function (the paper's getSubsets) and `pairs_in` from
+// its reduce function (getPairs). The required invariant — every unordered
+// pair covered exactly once across tasks — is property-tested for each
+// implementation.
+//
+// Element ids are dense 0-based (paper's s_{i+1} == id i); task ids are
+// dense 0-based working-set indices.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "pairwise/element.hpp"
+
+namespace pairmr {
+
+using TaskId = std::uint64_t;
+
+// Canonical unordered pair: lo < hi. Matches the paper's (s_i, s_j) with
+// i > j under hi = i-1, lo = j-1.
+struct ElementPair {
+  ElementId lo = 0;
+  ElementId hi = 0;
+
+  friend bool operator==(const ElementPair&, const ElementPair&) = default;
+  friend auto operator<=>(const ElementPair&, const ElementPair&) = default;
+};
+
+// Analytic per-scheme characteristics — one column of the paper's Table 1,
+// instantiated for concrete parameters. Communication is measured in
+// element transfers (multiply by element size for bytes), matching the
+// paper's 2vp / 2vh / 2v√v entries.
+struct SchemeMetrics {
+  std::string scheme;
+  std::uint64_t num_tasks = 0;
+  double communication_elements = 0.0;
+  double replication_factor = 0.0;
+  double working_set_elements = 0.0;  // per task (max)
+  double evaluations_per_task = 0.0;  // per task (max)
+};
+
+class DistributionScheme {
+ public:
+  virtual ~DistributionScheme() = default;
+
+  virtual std::string name() const = 0;
+
+  // v — the dataset cardinality the scheme was built for.
+  virtual std::uint64_t num_elements() const = 0;
+
+  // b — the number of working sets (the possible degree of parallelism).
+  virtual std::uint64_t num_tasks() const = 0;
+
+  // getSubsets: every task whose working set contains `id`.
+  // Sorted ascending, no duplicates.
+  virtual std::vector<TaskId> subsets_of(ElementId id) const = 0;
+
+  // getPairs: the pair relation P_task. Every pair satisfies
+  // {lo, hi} ⊆ D_task. Deterministic order.
+  virtual std::vector<ElementPair> pairs_in(TaskId task) const = 0;
+
+  // Streaming form of pairs_in: visits the same pairs in the same order
+  // without materializing the vector (broadcast tasks can hold millions
+  // of labels). The default delegates to pairs_in; schemes with cheap
+  // generators override.
+  virtual void for_each_pair(
+      TaskId task, const std::function<void(ElementPair)>& fn) const;
+
+  // Analytic Table 1 row for this instance.
+  virtual SchemeMetrics metrics() const = 0;
+
+  // Total evaluations across all tasks — must equal C(v,2) for any
+  // correct scheme; the default computes it by enumeration (override
+  // only as an optimization).
+  virtual std::uint64_t total_pairs() const;
+
+  // Working set of one task, derived from subsets_of by default; schemes
+  // override with the direct construction.
+  virtual std::vector<ElementId> working_set(TaskId task) const;
+};
+
+}  // namespace pairmr

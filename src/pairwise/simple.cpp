@@ -1,0 +1,53 @@
+#include "pairwise/simple.hpp"
+
+#include <memory>
+
+#include "common/check.hpp"
+#include "common/intmath.hpp"
+#include "pairwise/block_scheme.hpp"
+#include "pairwise/broadcast_scheme.hpp"
+#include "pairwise/dataset.hpp"
+#include "pairwise/design_scheme.hpp"
+
+namespace pairmr {
+
+std::vector<Element> compute_all_pairs(
+    const std::vector<std::string>& payloads, const PairwiseJob& job,
+    const SimpleOptions& options) {
+  PAIRMR_REQUIRE(payloads.size() >= 2, "need at least two elements");
+  const std::uint64_t v = payloads.size();
+
+  mr::Cluster cluster(options.cluster);
+  const auto inputs = write_dataset(cluster, "/dataset", payloads);
+
+  std::unique_ptr<DistributionScheme> scheme;
+  switch (options.scheme) {
+    case SchemeKind::kBroadcast: {
+      const std::uint64_t p = options.broadcast_tasks == 0
+                                  ? cluster.num_nodes()
+                                  : options.broadcast_tasks;
+      scheme = std::make_unique<BroadcastScheme>(v, p);
+      break;
+    }
+    case SchemeKind::kBlock: {
+      // Default h ≈ √(2n): enough tasks for every node, minimal
+      // replication beyond that.
+      std::uint64_t h = options.block_h;
+      if (h == 0) {
+        h = 1;
+        while (triangular(h) < cluster.num_nodes()) ++h;
+      }
+      scheme = std::make_unique<BlockScheme>(v, std::min<std::uint64_t>(h, v));
+      break;
+    }
+    case SchemeKind::kDesign:
+      scheme = std::make_unique<DesignScheme>(v, options.plane);
+      break;
+  }
+
+  const PairwiseRunStats stats =
+      run_pairwise(cluster, inputs, *scheme, job, PairwiseOptions{});
+  return read_elements(cluster, stats.output_dir);
+}
+
+}  // namespace pairmr

@@ -1,0 +1,32 @@
+// One-call convenience API: evaluate a function on all pairs of an
+// in-memory dataset using an ephemeral simulated cluster. This is the
+// five-line quickstart path; production users drive run_pairwise with
+// their own Cluster and scheme.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mr/cluster.hpp"
+#include "pairwise/pipeline.hpp"
+#include "pairwise/planner.hpp"
+
+namespace pairmr {
+
+struct SimpleOptions {
+  mr::ClusterConfig cluster;
+  // Scheme choice; the planner's block factor default (√v-ish) is used
+  // when kBlock is selected and block_h == 0.
+  SchemeKind scheme = SchemeKind::kBlock;
+  std::uint64_t block_h = 0;
+  std::uint64_t broadcast_tasks = 0;  // 0 = one per node
+  PlaneConstruction plane = PlaneConstruction::kTheorem2Prime;
+};
+
+// Runs the full two-job pipeline and returns the aggregated elements,
+// sorted by id. Element i's payload is payloads[i].
+std::vector<Element> compute_all_pairs(
+    const std::vector<std::string>& payloads, const PairwiseJob& job,
+    const SimpleOptions& options = {});
+
+}  // namespace pairmr

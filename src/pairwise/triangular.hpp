@@ -1,0 +1,70 @@
+// Enumerations of the upper triangle of the v×v pair matrix.
+//
+// Two enumerations from the paper, both 1-based to match its formulas:
+//   * pair labels (Figure 5):  p(i,j) = (i-1)(i-2)/2 + j,  1 <= j < i,
+//     labels 1..v(v-1)/2 — used by the broadcast scheme;
+//   * block labels (Figure 6): p(I,J) = I(I-1)/2 + J,      1 <= J <= I,
+//     labels 1..h(h+1)/2 — used by the block scheme.
+// Both directions (label <-> coordinates) are exact integer arithmetic.
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.hpp"
+#include "common/intmath.hpp"
+
+namespace pairmr {
+
+// 1-based pair coordinates with i > j.
+struct PairIndex {
+  std::uint64_t i = 0;
+  std::uint64_t j = 0;
+
+  friend bool operator==(const PairIndex&, const PairIndex&) = default;
+};
+
+// Figure 5: label of pair (i, j), i > j >= 1. Labels start at 1.
+constexpr std::uint64_t pair_label(std::uint64_t i, std::uint64_t j) {
+  return (i - 1) * (i - 2) / 2 + j;
+}
+
+// Inverse of pair_label. p in [1, v(v-1)/2].
+inline PairIndex label_to_pair(std::uint64_t p) {
+  PAIRMR_REQUIRE(p >= 1, "pair labels are 1-based");
+  // i is the smallest index with T(i-1) = (i-1)(i-2)/2... >= p, i.e. the
+  // row whose label range [T(i-2)+1, T(i-1)] contains p, where T(n) is the
+  // n-th triangular number. inv_triangular gives the largest n with
+  // T(n) <= p-1, so the row above p's row.
+  const std::uint64_t n = inv_triangular(p - 1);
+  const std::uint64_t i = n + 2;
+  const std::uint64_t j = p - (i - 1) * (i - 2) / 2;
+  PAIRMR_DCHECK(j >= 1 && j < i, "pair label inversion out of range");
+  return PairIndex{i, j};
+}
+
+// 1-based block coordinates with J <= I (I indexes column blocks, J row
+// blocks; only the upper triangle of blocks is enumerated).
+struct BlockIndex {
+  std::uint64_t I = 0;
+  std::uint64_t J = 0;
+
+  friend bool operator==(const BlockIndex&, const BlockIndex&) = default;
+};
+
+// Figure 6: label of block (I, J), J <= I. Labels start at 1.
+constexpr std::uint64_t block_label(std::uint64_t I, std::uint64_t J) {
+  return I * (I - 1) / 2 + J;
+}
+
+// Inverse of block_label. p in [1, h(h+1)/2].
+inline BlockIndex label_to_block(std::uint64_t p) {
+  PAIRMR_REQUIRE(p >= 1, "block labels are 1-based");
+  // I is the smallest index with T(I) >= p: inv_triangular(p-1) is the
+  // largest n with T(n) < p, so I = n + 1.
+  const std::uint64_t I = inv_triangular(p - 1) + 1;
+  const std::uint64_t J = p - I * (I - 1) / 2;
+  PAIRMR_DCHECK(J >= 1 && J <= I, "block label inversion out of range");
+  return BlockIndex{I, J};
+}
+
+}  // namespace pairmr

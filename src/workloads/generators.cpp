@@ -1,0 +1,146 @@
+#include "workloads/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "common/serde.hpp"
+
+namespace pairmr::workloads {
+
+std::vector<std::string> blob_payloads(std::uint64_t v, std::uint64_t bytes,
+                                       std::uint64_t seed) {
+  PAIRMR_REQUIRE(bytes > 0, "element size must be positive");
+  Rng rng(seed);
+  std::vector<std::string> out;
+  out.reserve(v);
+  for (std::uint64_t i = 0; i < v; ++i) {
+    Rng item = rng.fork(i);
+    std::string payload;
+    payload.reserve(bytes);
+    while (payload.size() < bytes) {
+      const std::uint64_t word = item.next_u64();
+      for (int b = 0; b < 8 && payload.size() < bytes; ++b) {
+        payload.push_back(static_cast<char>(word >> (8 * b)));
+      }
+    }
+    out.push_back(std::move(payload));
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> clustered_points(std::uint64_t v,
+                                                  std::uint32_t dim,
+                                                  std::uint32_t num_clusters,
+                                                  double spread,
+                                                  std::uint64_t seed) {
+  PAIRMR_REQUIRE(dim > 0 && num_clusters > 0, "invalid point parameters");
+  Rng rng(seed);
+
+  // Cluster centers: random corners of a scaled hypercube, far enough
+  // apart (spread) that intra-cluster distances stay well below
+  // inter-cluster ones.
+  std::vector<std::vector<double>> centers(num_clusters,
+                                           std::vector<double>(dim, 0.0));
+  for (auto& c : centers) {
+    for (auto& x : c) x = spread * (rng.next_double() - 0.5);
+  }
+
+  std::vector<std::vector<double>> points;
+  points.reserve(v);
+  for (std::uint64_t i = 0; i < v; ++i) {
+    Rng item = rng.fork(i);
+    const auto& center = centers[i % num_clusters];
+    std::vector<double> p(dim);
+    for (std::uint32_t d = 0; d < dim; ++d) {
+      p[d] = center[d] + item.next_gaussian();
+    }
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+std::vector<std::string> vector_payloads(
+    const std::vector<std::vector<double>>& points) {
+  std::vector<std::string> out;
+  out.reserve(points.size());
+  for (const auto& p : points) out.push_back(encode_f64_vec(p));
+  return out;
+}
+
+std::vector<std::vector<std::uint32_t>> token_documents(
+    std::uint64_t v, std::uint32_t vocabulary, std::uint32_t tokens_per_doc,
+    std::uint64_t seed) {
+  PAIRMR_REQUIRE(vocabulary > 0 && tokens_per_doc > 0,
+                 "invalid document parameters");
+  Rng rng(seed);
+  std::vector<std::vector<std::uint32_t>> docs;
+  docs.reserve(v);
+  for (std::uint64_t i = 0; i < v; ++i) {
+    Rng item = rng.fork(i);
+    std::vector<std::uint32_t> tokens;
+    tokens.reserve(tokens_per_doc);
+    for (std::uint32_t t = 0; t < tokens_per_doc; ++t) {
+      // Zipf-like skew: squaring a uniform deviate concentrates mass on
+      // low token ids, so low ids act like frequent terms.
+      const double u = item.next_double();
+      const auto token =
+          static_cast<std::uint32_t>(u * u * static_cast<double>(vocabulary));
+      tokens.push_back(std::min(token, vocabulary - 1));
+    }
+    std::sort(tokens.begin(), tokens.end());
+    tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
+    docs.push_back(std::move(tokens));
+  }
+  return docs;
+}
+
+std::vector<std::string> document_payloads(
+    const std::vector<std::vector<std::uint32_t>>& docs) {
+  std::vector<std::string> out;
+  out.reserve(docs.size());
+  for (const auto& doc : docs) {
+    BufWriter w;
+    w.put_u32(static_cast<std::uint32_t>(doc.size()));
+    for (const std::uint32_t t : doc) w.put_u32(t);
+    out.push_back(std::move(w).str());
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> expression_profiles(std::uint64_t v,
+                                                     std::uint32_t samples,
+                                                     std::uint32_t group_size,
+                                                     std::uint64_t seed) {
+  PAIRMR_REQUIRE(samples > 0 && group_size > 0,
+                 "invalid expression parameters");
+  Rng rng(seed);
+  std::vector<std::vector<double>> profiles;
+  profiles.reserve(v);
+
+  // Genes in the same group share a latent regulator signal plus
+  // per-gene noise; cross-group profiles are independent.
+  const std::uint64_t num_groups = (v + group_size - 1) / group_size;
+  std::vector<std::vector<double>> regulators(num_groups,
+                                              std::vector<double>(samples));
+  for (std::uint64_t g = 0; g < num_groups; ++g) {
+    Rng r = rng.fork(g);
+    for (std::uint32_t s = 0; s < samples; ++s) {
+      regulators[g][s] = r.next_gaussian();
+    }
+  }
+
+  for (std::uint64_t i = 0; i < v; ++i) {
+    Rng item = rng.fork(num_groups + i);
+    const auto& reg = regulators[i / group_size];
+    std::vector<double> profile(samples);
+    for (std::uint32_t s = 0; s < samples; ++s) {
+      profile[s] = reg[s] + 0.35 * item.next_gaussian();
+    }
+    profiles.push_back(std::move(profile));
+  }
+  return profiles;
+}
+
+}  // namespace pairmr::workloads

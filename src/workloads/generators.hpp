@@ -1,0 +1,52 @@
+// Synthetic dataset generators.
+//
+// The paper's evaluation varies only element count v and element size s;
+// these generators produce deterministic datasets with exactly those
+// knobs, plus structured numeric data for the domain examples (clustered
+// points for DBSCAN, expression profiles for gene networks, token sets
+// for document similarity).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pairmr::workloads {
+
+// v opaque payloads of exactly `bytes` pseudo-random bytes each.
+std::vector<std::string> blob_payloads(std::uint64_t v, std::uint64_t bytes,
+                                       std::uint64_t seed);
+
+// v points in `dim` dimensions drawn from `num_clusters` Gaussian blobs
+// (unit variance) whose centers sit on a grid scaled by `spread`.
+std::vector<std::vector<double>> clustered_points(std::uint64_t v,
+                                                  std::uint32_t dim,
+                                                  std::uint32_t num_clusters,
+                                                  double spread,
+                                                  std::uint64_t seed);
+
+// Serialize numeric vectors into payloads (encode_f64_vec framing).
+std::vector<std::string> vector_payloads(
+    const std::vector<std::vector<double>>& points);
+
+// v documents as sorted, deduplicated token-id sets. Token frequencies
+// are Zipf-like so some tokens are shared by many documents, giving a
+// realistic similarity distribution. tokens_per_doc is the pre-dedup draw
+// count.
+std::vector<std::vector<std::uint32_t>> token_documents(
+    std::uint64_t v, std::uint32_t vocabulary, std::uint32_t tokens_per_doc,
+    std::uint64_t seed);
+
+std::vector<std::string> document_payloads(
+    const std::vector<std::vector<std::uint32_t>>& docs);
+
+// v gene-expression profiles over `samples` conditions. Genes come in
+// correlated groups of `group_size` (co-regulated), so mutual information
+// between same-group genes is high — the structure a network
+// reconstruction should recover.
+std::vector<std::vector<double>> expression_profiles(std::uint64_t v,
+                                                     std::uint32_t samples,
+                                                     std::uint32_t group_size,
+                                                     std::uint64_t seed);
+
+}  // namespace pairmr::workloads

@@ -1,0 +1,160 @@
+#include "workloads/inverted_index.hpp"
+
+#include <memory>
+
+#include "common/check.hpp"
+#include "common/serde.hpp"
+#include "mr/context.hpp"
+#include "workloads/kernels.hpp"
+
+namespace pairmr::workloads {
+
+namespace {
+
+using mr::Bytes;
+
+// Pair key: both ids big-endian so byte order groups pairs correctly.
+std::string encode_pair_key(ElementId a, ElementId b) {
+  BufWriter w;
+  w.put_u64_ordered(a);
+  w.put_u64_ordered(b);
+  return std::move(w).str();
+}
+
+std::pair<ElementId, ElementId> decode_pair_key(std::string_view bytes) {
+  BufReader r(bytes);
+  const ElementId a = r.get_u64_ordered();
+  const ElementId b = r.get_u64_ordered();
+  return {a, b};
+}
+
+// Job 1 map: (doc id, token set) -> (token, (doc id, doc size)).
+class IndexMapper final : public mr::Mapper {
+ public:
+  void map(const Bytes& key, const Bytes& value,
+           mr::MapContext& ctx) override {
+    const ElementId doc = decode_u64_key(key);
+    const auto tokens = decode_token_set(value);
+    for (const std::uint32_t token : tokens) {
+      BufWriter term_key;
+      term_key.put_u32(token);
+      BufWriter posting;
+      posting.put_u64(doc);
+      posting.put_u32(static_cast<std::uint32_t>(tokens.size()));
+      ctx.emit(std::move(term_key).str(), std::move(posting).str());
+    }
+  }
+};
+
+// Job 1 reduce: per term, one contribution per co-occurring doc pair.
+class PostingsReducer final : public mr::Reducer {
+ public:
+  void reduce(const Bytes& /*term*/, const std::vector<Bytes>& postings,
+              mr::ReduceContext& ctx) override {
+    struct Posting {
+      ElementId doc;
+      std::uint32_t size;
+    };
+    std::vector<Posting> docs;
+    docs.reserve(postings.size());
+    for (const auto& p : postings) {
+      BufReader r(p);
+      Posting posting;
+      posting.doc = r.get_u64();
+      posting.size = r.get_u32();
+      docs.push_back(posting);
+    }
+    // The quadratic step — but only over this term's posting list.
+    std::uint64_t contributions = 0;
+    for (std::size_t i = 0; i < docs.size(); ++i) {
+      for (std::size_t j = i + 1; j < docs.size(); ++j) {
+        const auto [lo, hi] = docs[i].doc < docs[j].doc
+                                  ? std::pair{docs[i], docs[j]}
+                                  : std::pair{docs[j], docs[i]};
+        BufWriter value;
+        value.put_u32(lo.size);
+        value.put_u32(hi.size);
+        ctx.emit(encode_pair_key(lo.doc, hi.doc), std::move(value).str());
+        ++contributions;
+      }
+    }
+    ctx.counters().add("inverted.pair.contributions", contributions);
+  }
+};
+
+// Job 2 reduce: |A ∩ B| = contribution count; Jaccard from sizes.
+class SimilarityReducer final : public mr::Reducer {
+ public:
+  explicit SimilarityReducer(double threshold) : threshold_(threshold) {}
+
+  void reduce(const Bytes& pair_key, const std::vector<Bytes>& values,
+              mr::ReduceContext& ctx) override {
+    BufReader first(values.front());
+    const std::uint32_t size_a = first.get_u32();
+    const std::uint32_t size_b = first.get_u32();
+    const auto intersection = static_cast<double>(values.size());
+    const double unions =
+        static_cast<double>(size_a) + static_cast<double>(size_b) -
+        intersection;
+    const double similarity = unions == 0.0 ? 1.0 : intersection / unions;
+    if (similarity >= threshold_) {
+      ctx.emit(pair_key, encode_result(similarity));
+    }
+  }
+
+ private:
+  double threshold_;
+};
+
+}  // namespace
+
+InvertedIndexStats run_doc_similarity_inverted(
+    mr::Cluster& cluster, const std::vector<std::string>& input_paths,
+    double threshold, const std::string& work_dir) {
+  mr::Engine engine(cluster);
+  mr::SimDfs& dfs = cluster.dfs();
+  const std::string index_dir = work_dir + "/contributions";
+  const std::string output_dir = work_dir + "/similarities";
+  dfs.remove_prefix(index_dir);
+  dfs.remove_prefix(output_dir);
+
+  InvertedIndexStats stats;
+
+  mr::JobSpec job1;
+  job1.name = "inverted-index";
+  job1.input_paths = input_paths;
+  job1.output_dir = index_dir;
+  job1.mapper_factory = [] { return std::make_unique<IndexMapper>(); };
+  job1.reducer_factory = [] { return std::make_unique<PostingsReducer>(); };
+  stats.index_job = engine.run(job1);
+
+  mr::JobSpec job2;
+  job2.name = "inverted-similarity";
+  job2.input_paths = stats.index_job.output_paths;
+  job2.output_dir = output_dir;
+  job2.mapper_factory = [] { return std::make_unique<mr::IdentityMapper>(); };
+  job2.reducer_factory = [threshold] {
+    return std::make_unique<SimilarityReducer>(threshold);
+  };
+  stats.aggregate_job = engine.run(job2);
+
+  stats.pair_contributions =
+      stats.index_job.counter("inverted.pair.contributions");
+  stats.shuffle_remote_bytes =
+      stats.index_job.counter(mr::counter::kShuffleBytesRemote) +
+      stats.aggregate_job.counter(mr::counter::kShuffleBytesRemote);
+  stats.output_dir = output_dir;
+  dfs.remove_prefix(index_dir);
+  return stats;
+}
+
+std::map<std::pair<ElementId, ElementId>, double> read_similarities(
+    const mr::Cluster& cluster, const std::string& prefix) {
+  std::map<std::pair<ElementId, ElementId>, double> out;
+  for (const auto& rec : cluster.gather_records(prefix)) {
+    out.emplace(decode_pair_key(rec.key), decode_result(rec.value));
+  }
+  return out;
+}
+
+}  // namespace pairmr::workloads

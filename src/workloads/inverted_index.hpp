@@ -1,0 +1,48 @@
+// Inverted-index pairwise document similarity — the Elsayed/Lin/Oard
+// (ACL'08) baseline the paper contrasts against in §2.
+//
+// Instead of partitioning the full Cartesian product, this builds a
+// term → documents index (Job 1 reduce sees each term's posting list and
+// emits one contribution per co-occurring pair), then sums contributions
+// per pair (Job 2) into Jaccard similarities. Pairs sharing no term are
+// never touched — the "reduced complexity" regime. The flip side, which
+// the paper's schemes avoid: with frequently shared terms the posting
+// lists approach the whole corpus and the emitted pair volume approaches
+// v²·terms, far beyond the Cartesian product itself. bench_baseline
+// measures both regimes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mr/cluster.hpp"
+#include "mr/engine.hpp"
+#include "pairwise/element.hpp"
+
+namespace pairmr::workloads {
+
+struct InvertedIndexStats {
+  mr::JobResult index_job;      // term -> pair contributions
+  mr::JobResult aggregate_job;  // pair -> similarity
+  // Pair contributions emitted across all posting lists (the method's
+  // work measure, comparable to the quadratic pipeline's evaluations).
+  std::uint64_t pair_contributions = 0;
+  std::uint64_t shuffle_remote_bytes = 0;
+  std::string output_dir;
+};
+
+// Compute Jaccard similarity for every document pair sharing at least
+// one token, keeping pairs with similarity >= threshold. Input records:
+// (big-endian u64 doc id, token-set payload as in document_payloads).
+InvertedIndexStats run_doc_similarity_inverted(
+    mr::Cluster& cluster, const std::vector<std::string>& input_paths,
+    double threshold, const std::string& work_dir = "/inverted");
+
+// Decode the baseline's output into (a < b) -> similarity.
+std::map<std::pair<ElementId, ElementId>, double> read_similarities(
+    const mr::Cluster& cluster, const std::string& prefix);
+
+}  // namespace pairmr::workloads

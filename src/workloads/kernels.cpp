@@ -1,0 +1,222 @@
+#include "workloads/kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/serde.hpp"
+
+namespace pairmr::workloads {
+
+std::string encode_result(double value) {
+  BufWriter w;
+  w.put_f64(value);
+  return std::move(w).str();
+}
+
+double decode_result(std::string_view bytes) {
+  BufReader r(bytes);
+  return r.get_f64();
+}
+
+double euclidean_distance(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  PAIRMR_REQUIRE(a.size() == b.size(), "dimension mismatch");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+double cosine_similarity(const std::vector<double>& a,
+                         const std::vector<double>& b) {
+  PAIRMR_REQUIRE(a.size() == b.size(), "dimension mismatch");
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  const double denom = std::sqrt(na) * std::sqrt(nb);
+  return denom == 0.0 ? 0.0 : dot / denom;
+}
+
+double inner_product(const std::vector<double>& a,
+                     const std::vector<double>& b) {
+  PAIRMR_REQUIRE(a.size() == b.size(), "dimension mismatch");
+  double dot = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) dot += a[i] * b[i];
+  return dot;
+}
+
+double jaccard_similarity(const std::vector<std::uint32_t>& a,
+                          const std::vector<std::uint32_t>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  std::size_t ia = 0, ib = 0, both = 0;
+  while (ia < a.size() && ib < b.size()) {
+    if (a[ia] == b[ib]) {
+      ++both;
+      ++ia;
+      ++ib;
+    } else if (a[ia] < b[ib]) {
+      ++ia;
+    } else {
+      ++ib;
+    }
+  }
+  const std::size_t either = a.size() + b.size() - both;
+  return static_cast<double>(both) / static_cast<double>(either);
+}
+
+double mutual_information(const std::vector<double>& a,
+                          const std::vector<double>& b, std::uint32_t bins) {
+  PAIRMR_REQUIRE(a.size() == b.size() && !a.empty(), "sample mismatch");
+  PAIRMR_REQUIRE(bins >= 2, "need at least two bins");
+  const std::size_t n = a.size();
+
+  struct Range {
+    double lo, span;
+  };
+  const auto range_of = [](const std::vector<double>& xs) {
+    const auto [lo, hi] = std::minmax_element(xs.begin(), xs.end());
+    return Range{*lo, *hi - *lo};
+  };
+  const Range ra = range_of(a);
+  const Range rb = range_of(b);
+  const auto bin_of = [bins](const Range& r, double x) {
+    if (r.span == 0.0) return std::uint32_t{0};
+    auto bin = static_cast<std::uint32_t>((x - r.lo) / r.span *
+                                          static_cast<double>(bins));
+    return std::min(bin, bins - 1);
+  };
+
+  std::vector<std::uint32_t> joint(static_cast<std::size_t>(bins) * bins, 0);
+  std::vector<std::uint32_t> ma(bins, 0), mb(bins, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t ba = bin_of(ra, a[i]);
+    const std::uint32_t bb = bin_of(rb, b[i]);
+    ++joint[static_cast<std::size_t>(ba) * bins + bb];
+    ++ma[ba];
+    ++mb[bb];
+  }
+
+  double mi = 0.0;
+  const double dn = static_cast<double>(n);
+  for (std::uint32_t x = 0; x < bins; ++x) {
+    for (std::uint32_t y = 0; y < bins; ++y) {
+      const std::uint32_t c = joint[static_cast<std::size_t>(x) * bins + y];
+      if (c == 0) continue;
+      const double pxy = static_cast<double>(c) / dn;
+      const double px = static_cast<double>(ma[x]) / dn;
+      const double py = static_cast<double>(mb[y]) / dn;
+      mi += pxy * std::log(pxy / (px * py));
+    }
+  }
+  return mi;
+}
+
+std::uint64_t edit_distance(std::string_view a, std::string_view b) {
+  if (a.size() < b.size()) std::swap(a, b);  // b is the shorter side
+  std::vector<std::uint64_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::uint64_t diag = row[0];  // dp[i-1][j-1]
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::uint64_t up = row[j];  // dp[i-1][j]
+      const std::uint64_t subst = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      row[j] = std::min({subst, up + 1, row[j - 1] + 1});
+      diag = up;
+    }
+  }
+  return row[b.size()];
+}
+
+std::vector<std::uint32_t> decode_token_set(std::string_view payload) {
+  BufReader r(payload);
+  const std::uint32_t n = r.get_u32();
+  std::vector<std::uint32_t> tokens;
+  tokens.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) tokens.push_back(r.get_u32());
+  return tokens;
+}
+
+namespace {
+
+// Adapt a vector<double> × vector<double> -> double function.
+template <typename Fn>
+ComputeFn numeric_kernel(Fn fn) {
+  return [fn](const Element& a, const Element& b) {
+    return encode_result(
+        fn(decode_f64_vec(a.payload), decode_f64_vec(b.payload)));
+  };
+}
+
+}  // namespace
+
+ComputeFn euclidean_kernel() {
+  return numeric_kernel(
+      [](const auto& a, const auto& b) { return euclidean_distance(a, b); });
+}
+
+ComputeFn cosine_kernel() {
+  return numeric_kernel(
+      [](const auto& a, const auto& b) { return cosine_similarity(a, b); });
+}
+
+ComputeFn inner_product_kernel() {
+  return numeric_kernel(
+      [](const auto& a, const auto& b) { return inner_product(a, b); });
+}
+
+ComputeFn jaccard_kernel() {
+  return [](const Element& a, const Element& b) {
+    return encode_result(jaccard_similarity(decode_token_set(a.payload),
+                                            decode_token_set(b.payload)));
+  };
+}
+
+ComputeFn mutual_information_kernel(std::uint32_t bins) {
+  return [bins](const Element& a, const Element& b) {
+    return encode_result(mutual_information(decode_f64_vec(a.payload),
+                                            decode_f64_vec(b.payload), bins));
+  };
+}
+
+ComputeFn edit_distance_kernel() {
+  return [](const Element& a, const Element& b) {
+    return encode_result(
+        static_cast<double>(edit_distance(a.payload, b.payload)));
+  };
+}
+
+ComputeFn expensive_blob_kernel(std::uint32_t rounds) {
+  return [rounds](const Element& a, const Element& b) {
+    // Mix the payload bytes `rounds` times — stands in for an arbitrary
+    // CPU-heavy comp() (string kernels, alignment scores, ...).
+    std::uint64_t acc = 0x9e3779b97f4a7c15ull;
+    for (std::uint32_t r = 0; r < rounds; ++r) {
+      const std::string& s = (r % 2 == 0) ? a.payload : b.payload;
+      for (const char c : s) {
+        acc = (acc ^ static_cast<std::uint8_t>(c)) * 0x100000001b3ull;
+      }
+    }
+    return encode_result(static_cast<double>(acc >> 11));
+  };
+}
+
+KeepFn keep_below(double threshold) {
+  return [threshold](const Element&, const Element&, std::string_view r) {
+    return decode_result(r) <= threshold;
+  };
+}
+
+KeepFn keep_above(double threshold) {
+  return [threshold](const Element&, const Element&, std::string_view r) {
+    return decode_result(r) >= threshold;
+  };
+}
+
+}  // namespace pairmr::workloads

@@ -1,0 +1,65 @@
+// Compute kernels for the paper's motivating applications (§1): distance
+// functions for clustering, inner products for covariance, document
+// similarity, and mutual information for gene networks. Each kernel is a
+// ComputeFn operating on encoded payloads, plus the plain-math function
+// it wraps (unit-testable in isolation).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pairwise/pipeline.hpp"
+
+namespace pairmr::workloads {
+
+// --- result codec (8-byte double) ---------------------------------------
+std::string encode_result(double value);
+double decode_result(std::string_view bytes);
+
+// --- plain math -----------------------------------------------------------
+double euclidean_distance(const std::vector<double>& a,
+                          const std::vector<double>& b);
+double cosine_similarity(const std::vector<double>& a,
+                         const std::vector<double>& b);
+double inner_product(const std::vector<double>& a,
+                     const std::vector<double>& b);
+
+// Jaccard similarity of two sorted token-id sets.
+double jaccard_similarity(const std::vector<std::uint32_t>& a,
+                          const std::vector<std::uint32_t>& b);
+
+// Mutual information (nats) between two equal-length samples, estimated
+// with an equal-width 2-D histogram of `bins`×`bins` cells.
+double mutual_information(const std::vector<double>& a,
+                          const std::vector<double>& b, std::uint32_t bins);
+
+// Levenshtein edit distance, O(|a|·|b|) time, O(min) space — the
+// archetypal expensive comp() (sequence alignment flavor).
+std::uint64_t edit_distance(std::string_view a, std::string_view b);
+
+// --- payload decoding ------------------------------------------------------
+std::vector<std::uint32_t> decode_token_set(std::string_view payload);
+
+// --- ComputeFn wrappers (payloads as produced by generators.hpp) ----------
+ComputeFn euclidean_kernel();
+ComputeFn cosine_kernel();
+ComputeFn inner_product_kernel();
+ComputeFn jaccard_kernel();
+ComputeFn mutual_information_kernel(std::uint32_t bins);
+// Payloads are raw byte strings compared by Levenshtein distance.
+ComputeFn edit_distance_kernel();
+
+// A deliberately expensive kernel: `rounds` of arithmetic over the
+// payload bytes. Used by benches to model compute-bound workloads where
+// the broadcast approach shines.
+ComputeFn expensive_blob_kernel(std::uint32_t rounds);
+
+// Keep-predicate for threshold pruning (e.g. DBSCAN's eps): keeps results
+// with decode_result(r) <= threshold.
+KeepFn keep_below(double threshold);
+// Keeps results with decode_result(r) >= threshold (similarity cutoffs).
+KeepFn keep_above(double threshold);
+
+}  // namespace pairmr::workloads

@@ -1,0 +1,96 @@
+#include "common/intmath.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+namespace pairmr {
+namespace {
+
+TEST(IsqrtTest, SmallValues) {
+  EXPECT_EQ(isqrt(0), 0u);
+  EXPECT_EQ(isqrt(1), 1u);
+  EXPECT_EQ(isqrt(2), 1u);
+  EXPECT_EQ(isqrt(3), 1u);
+  EXPECT_EQ(isqrt(4), 2u);
+  EXPECT_EQ(isqrt(8), 2u);
+  EXPECT_EQ(isqrt(9), 3u);
+  EXPECT_EQ(isqrt(99), 9u);
+  EXPECT_EQ(isqrt(100), 10u);
+}
+
+TEST(IsqrtTest, PerfectSquaresRoundTrip) {
+  for (std::uint64_t r = 97; r < 100000; r += 97) {
+    EXPECT_EQ(isqrt(r * r), r);
+    EXPECT_EQ(isqrt(r * r - 1), r - 1);
+    EXPECT_EQ(isqrt(r * r + 1), r);
+  }
+}
+
+TEST(IsqrtTest, LargeValuesExact) {
+  // Above 2^52, double-based sqrt can be off by one; ours must be exact.
+  const std::uint64_t big = (1ull << 31) + 12345;
+  EXPECT_EQ(isqrt(big * big), big);
+  EXPECT_EQ(isqrt(big * big - 1), big - 1);
+  EXPECT_EQ(isqrt(std::numeric_limits<std::uint64_t>::max()),
+            0xFFFFFFFFull);
+}
+
+TEST(CeilDivTest, Basics) {
+  EXPECT_EQ(ceil_div(0, 5), 0u);
+  EXPECT_EQ(ceil_div(1, 5), 1u);
+  EXPECT_EQ(ceil_div(5, 5), 1u);
+  EXPECT_EQ(ceil_div(6, 5), 2u);
+  EXPECT_EQ(ceil_div(10, 1), 10u);
+}
+
+TEST(TriangularTest, KnownValues) {
+  EXPECT_EQ(triangular(0), 0u);
+  EXPECT_EQ(triangular(1), 1u);
+  EXPECT_EQ(triangular(2), 3u);
+  EXPECT_EQ(triangular(3), 6u);
+  EXPECT_EQ(triangular(7), 28u);
+  EXPECT_EQ(triangular(100), 5050u);
+}
+
+TEST(TriangularTest, PairCount) {
+  EXPECT_EQ(pair_count(0), 0u);
+  EXPECT_EQ(pair_count(1), 0u);
+  EXPECT_EQ(pair_count(2), 1u);
+  EXPECT_EQ(pair_count(7), 21u);       // the paper's Figure 4 example
+  EXPECT_EQ(pair_count(10000), 49995000u);  // paper §3 example dataset
+}
+
+TEST(TriangularTest, NoIntermediateOverflow) {
+  // T(n) for n near 2^32: n(n+1)/2 fits in 64 bits and must not overflow
+  // mid-computation.
+  const std::uint64_t n = (1ull << 32) - 1;
+  EXPECT_EQ(triangular(n), n / 2 * (n + 1) + (n % 2) * ((n + 1) / 2) * 1);
+}
+
+TEST(InvTriangularTest, RoundTripSweep) {
+  for (std::uint64_t n = 0; n < 3000; ++n) {
+    const std::uint64_t t = triangular(n);
+    EXPECT_EQ(inv_triangular(t), n) << "at n=" << n;
+    if (t > 0) {
+      EXPECT_EQ(inv_triangular(t - 1), n - 1) << "at n=" << n;
+    }
+    EXPECT_EQ(inv_triangular(t + n), n) << "just below T(n+1)";
+  }
+}
+
+TEST(CheckedMathTest, MulOverflowThrows) {
+  EXPECT_EQ(checked_mul(1ull << 31, 1ull << 31), 1ull << 62);
+  EXPECT_THROW(checked_mul(1ull << 33, 1ull << 33), InternalError);
+  EXPECT_EQ(checked_mul(0, std::numeric_limits<std::uint64_t>::max()), 0u);
+}
+
+TEST(CheckedMathTest, AddOverflowThrows) {
+  const auto max = std::numeric_limits<std::uint64_t>::max();
+  EXPECT_EQ(checked_add(max - 1, 1), max);
+  EXPECT_THROW(checked_add(max, 1), InternalError);
+}
+
+}  // namespace
+}  // namespace pairmr

@@ -1,0 +1,103 @@
+#include "common/serde.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace pairmr {
+namespace {
+
+TEST(SerdeTest, ScalarRoundTrip) {
+  BufWriter w;
+  w.put_u8(0xAB);
+  w.put_u32(0xDEADBEEF);
+  w.put_u64(0x0123456789ABCDEFull);
+  w.put_f64(-3.14159);
+  const std::string bytes = std::move(w).str();
+
+  BufReader r(bytes);
+  EXPECT_EQ(r.get_u8(), 0xAB);
+  EXPECT_EQ(r.get_u32(), 0xDEADBEEF);
+  EXPECT_EQ(r.get_u64(), 0x0123456789ABCDEFull);
+  EXPECT_DOUBLE_EQ(r.get_f64(), -3.14159);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(SerdeTest, BytesRoundTrip) {
+  BufWriter w;
+  w.put_bytes("hello");
+  w.put_bytes("");
+  w.put_bytes(std::string("\0\x01\x02", 3));  // embedded NULs survive
+  const std::string bytes = std::move(w).str();
+
+  BufReader r(bytes);
+  EXPECT_EQ(r.get_bytes(), "hello");
+  EXPECT_EQ(r.get_bytes(), "");
+  EXPECT_EQ(r.get_bytes(), std::string_view("\0\x01\x02", 3));
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(SerdeTest, UnderflowThrows) {
+  BufWriter w;
+  w.put_u8(1);
+  const std::string bytes = std::move(w).str();
+  BufReader r(bytes);
+  r.get_u8();
+  EXPECT_THROW(r.get_u8(), PreconditionError);
+  BufReader r2(bytes);
+  EXPECT_THROW(r2.get_u64(), PreconditionError);
+}
+
+TEST(SerdeTest, TruncatedLengthPrefixThrows) {
+  BufWriter w;
+  w.put_u32(100);  // claims 100 payload bytes but provides none
+  const std::string bytes = std::move(w).str();
+  BufReader r(bytes);
+  EXPECT_THROW(r.get_bytes(), PreconditionError);
+}
+
+TEST(SerdeTest, OrderedKeysSortNumerically) {
+  // The big-endian u64 encoding must make byte-lexicographic order equal
+  // numeric order — the engine's sort/shuffle relies on it.
+  const std::vector<std::uint64_t> values = {
+      0, 1, 255, 256, 65535, 65536, 1ull << 32,
+      (1ull << 32) + 1, std::numeric_limits<std::uint64_t>::max()};
+  std::vector<std::string> keys;
+  for (const auto x : values) keys.push_back(encode_u64_key(x));
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(decode_u64_key(keys[i]), values[i]);
+  }
+}
+
+TEST(SerdeTest, OrderedKeyPairwiseComparisonSweep) {
+  // Property: for random pairs, byte order == numeric order.
+  std::uint64_t a = 0x9e3779b97f4a7c15ull;
+  for (int i = 0; i < 500; ++i) {
+    a ^= a << 13;
+    a ^= a >> 7;
+    a ^= a << 17;
+    const std::uint64_t b = a * 0x2545F4914F6CDD1Dull;
+    EXPECT_EQ(encode_u64_key(a) < encode_u64_key(b), a < b);
+  }
+}
+
+TEST(SerdeTest, F64VecRoundTrip) {
+  const std::vector<double> xs = {0.0, -1.5, 3.25, 1e300, -1e-300};
+  EXPECT_EQ(decode_f64_vec(encode_f64_vec(xs)), xs);
+  EXPECT_TRUE(decode_f64_vec(encode_f64_vec({})).empty());
+}
+
+TEST(SerdeTest, RawAppendHasNoFraming) {
+  BufWriter w;
+  w.put_raw("abc");
+  w.put_raw("def");
+  EXPECT_EQ(w.str(), "abcdef");
+}
+
+}  // namespace
+}  // namespace pairmr

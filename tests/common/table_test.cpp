@@ -1,0 +1,56 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace pairmr {
+namespace {
+
+TEST(TableTest, RendersAlignedColumns) {
+  TablePrinter t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "12345"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(out.find("| b     | 12345 |"), std::string::npos);
+}
+
+TEST(TableTest, CaptionPrintsFirst) {
+  TablePrinter t({"x"});
+  t.set_caption("Table 1: demo");
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_EQ(os.str().rfind("Table 1: demo\n", 0), 0u);
+}
+
+TEST(TableTest, RowWidthMismatchThrows) {
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), PreconditionError);
+}
+
+TEST(TableTest, EmptyHeadersThrow) {
+  EXPECT_THROW(TablePrinter({}), PreconditionError);
+}
+
+TEST(TableTest, NumberFormatting) {
+  EXPECT_EQ(TablePrinter::num(std::uint64_t{42}), "42");
+  EXPECT_EQ(TablePrinter::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::sci(12345.0, 2), "1.23e+04");
+}
+
+TEST(TableTest, NumRowsTracksAdds) {
+  TablePrinter t({"x"});
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+}  // namespace
+}  // namespace pairmr

@@ -1,0 +1,51 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace pairmr {
+namespace {
+
+TEST(UnitsTest, Constants) {
+  EXPECT_EQ(kKiB, 1024u);
+  EXPECT_EQ(kMiB, 1024u * 1024u);
+  EXPECT_EQ(kGiB, 1024ull * 1024 * 1024);
+  EXPECT_EQ(kTiB, 1024ull * 1024 * 1024 * 1024);
+}
+
+TEST(UnitsTest, FormatPicksLargestUnit) {
+  EXPECT_EQ(format_bytes(0), "0 B");
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(kKiB), "1.00 KiB");
+  EXPECT_EQ(format_bytes(1536), "1.50 KiB");
+  EXPECT_EQ(format_bytes(200 * kMiB), "200.00 MiB");
+  EXPECT_EQ(format_bytes(kTiB), "1.00 TiB");
+}
+
+TEST(UnitsTest, ParseSuffixes) {
+  EXPECT_EQ(parse_bytes("512"), 512u);
+  EXPECT_EQ(parse_bytes("512B"), 512u);
+  EXPECT_EQ(parse_bytes("1KiB"), kKiB);
+  EXPECT_EQ(parse_bytes("1 KiB"), kKiB);
+  EXPECT_EQ(parse_bytes("200MiB"), 200 * kMiB);
+  EXPECT_EQ(parse_bytes("200MB"), 200 * kMiB);  // MB treated as binary
+  EXPECT_EQ(parse_bytes("1.5G"), kGiB + kGiB / 2);
+  EXPECT_EQ(parse_bytes("10TiB"), 10 * kTiB);
+}
+
+TEST(UnitsTest, ParseRejectsJunk) {
+  EXPECT_THROW(parse_bytes(""), PreconditionError);
+  EXPECT_THROW(parse_bytes("MiB"), PreconditionError);
+  EXPECT_THROW(parse_bytes("12XB"), PreconditionError);
+}
+
+TEST(UnitsTest, FormatParseRoundTrip) {
+  for (const std::uint64_t x :
+       {kKiB, 3 * kMiB, 7 * kGiB, 2 * kTiB, 200 * kMiB}) {
+    EXPECT_EQ(parse_bytes(format_bytes(x)), x);
+  }
+}
+
+}  // namespace
+}  // namespace pairmr

@@ -1,0 +1,71 @@
+#include "design/design_check.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pairmr::design {
+namespace {
+
+TEST(DesignCheckTest, AcceptsFanoPlane) {
+  const std::vector<Block> fano = {{0, 1, 2}, {0, 3, 4}, {0, 5, 6},
+                                   {1, 3, 5}, {1, 4, 6}, {2, 3, 6},
+                                   {2, 4, 5}};
+  EXPECT_TRUE(check_pair_coverage(7, fano).ok);
+
+  DesignCollection d;
+  d.v = 7;
+  d.k = 3;
+  d.q = 2;
+  d.blocks = fano;
+  EXPECT_TRUE(check_design(d).ok);
+}
+
+TEST(DesignCheckTest, DetectsMissingPair) {
+  // Pair {5,6} never covered.
+  const std::vector<Block> blocks = {{0, 1, 2}, {0, 3, 4}, {0, 5}, {0, 6},
+                                     {1, 3, 5}, {1, 4, 6}, {2, 3, 6},
+                                     {2, 4, 5}};
+  const CheckResult r = check_pair_coverage(7, blocks);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("never covered"), std::string::npos);
+}
+
+TEST(DesignCheckTest, DetectsDoubleCoverage) {
+  const std::vector<Block> blocks = {{0, 1}, {0, 1}};
+  const CheckResult r = check_pair_coverage(2, blocks);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("more than once"), std::string::npos);
+}
+
+TEST(DesignCheckTest, DetectsOutOfRangeElement) {
+  const std::vector<Block> blocks = {{0, 9}};
+  const CheckResult r = check_pair_coverage(3, blocks);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find(">= v"), std::string::npos);
+}
+
+TEST(DesignCheckTest, DetectsDuplicateInBlock) {
+  const std::vector<Block> blocks = {{0, 0, 1}};
+  const CheckResult r = check_pair_coverage(2, blocks);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("duplicate"), std::string::npos);
+}
+
+TEST(DesignCheckTest, DetectsWrongBlockSize) {
+  DesignCollection d;
+  d.v = 7;
+  d.k = 3;
+  d.q = 2;
+  d.blocks = {{0, 1, 2, 3}};
+  const CheckResult r = check_design(d);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("expected k=3"), std::string::npos);
+}
+
+TEST(DesignCheckTest, TrivialSingleBlockSolution) {
+  // The paper's trivial solution: b=1, D1=S, P1 = all pairs.
+  const std::vector<Block> blocks = {{0, 1, 2, 3, 4}};
+  EXPECT_TRUE(check_pair_coverage(5, blocks).ok);
+}
+
+}  // namespace
+}  // namespace pairmr::design

@@ -1,0 +1,65 @@
+#include "design/difference_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "design/design_check.hpp"
+#include "design/primes.hpp"
+
+namespace pairmr::design {
+namespace {
+
+TEST(DifferenceSetCheckTest, RecognizesTheClassicFanoSet) {
+  // {1, 2, 4} mod 7 is the canonical planar difference set of order 2.
+  EXPECT_TRUE(is_planar_difference_set({1, 2, 4}, 7));
+  EXPECT_TRUE(is_planar_difference_set({0, 1, 3}, 7));
+}
+
+TEST(DifferenceSetCheckTest, RejectsNonPlanarSets) {
+  EXPECT_FALSE(is_planar_difference_set({0, 1, 2}, 7));  // diff 1 twice
+  EXPECT_FALSE(is_planar_difference_set({0, 1}, 7));     // too few diffs
+  EXPECT_FALSE(is_planar_difference_set({0, 1, 3}, 8));  // wrong modulus
+  EXPECT_FALSE(is_planar_difference_set({0, 0, 3}, 7));  // repeated element
+}
+
+class SingerSets : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SingerSets, ProducesAPlanarDifferenceSet) {
+  const std::uint64_t q = GetParam();
+  const auto d = singer_difference_set(q);
+  EXPECT_EQ(d.size(), q + 1);
+  EXPECT_TRUE(is_planar_difference_set(d, q_hat(q)))
+      << "q=" << q;
+}
+
+// Primes and prime powers, up to the q³ <= 2^16 limit.
+INSTANTIATE_TEST_SUITE_P(Orders, SingerSets,
+                         ::testing::Values(2, 3, 4, 5, 7, 8, 9, 11, 13, 16,
+                                           25, 27, 32, 37),
+                         [](const auto& info) {
+                           return "q" + std::to_string(info.param);
+                         });
+
+TEST(SingerSetTest, TooLargeOrderThrows) {
+  EXPECT_THROW(singer_difference_set(41), pairmr::PreconditionError);
+  EXPECT_THROW(singer_difference_set(6), pairmr::PreconditionError);
+}
+
+class CyclicPlanes : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CyclicPlanes, TranslatesFormAValidDesign) {
+  const std::uint64_t q = GetParam();
+  const DesignCollection d = cyclic_construction(q);
+  EXPECT_EQ(d.blocks.size(), q_hat(q));
+  const CheckResult check = check_design(d);
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, CyclicPlanes,
+                         ::testing::Values(2, 3, 4, 5, 8, 9),
+                         [](const auto& info) {
+                           return "q" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace pairmr::design

@@ -1,0 +1,146 @@
+// Projective-plane construction tests: both constructions must yield valid
+// (q²+q+1, q+1, 1)-designs, and truncation must preserve exactly-once pair
+// coverage — the property the whole design scheme rests on.
+#include "design/projective_plane.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/check.hpp"
+#include "design/design_check.hpp"
+#include "design/primes.hpp"
+
+namespace pairmr::design {
+namespace {
+
+class Theorem2Planes : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Theorem2Planes, IsValidDesign) {
+  const std::uint64_t q = GetParam();
+  const DesignCollection d = theorem2_construction(q);
+  EXPECT_EQ(d.v, q_hat(q));
+  EXPECT_EQ(d.k, q + 1);
+  EXPECT_EQ(d.blocks.size(), q_hat(q));  // symmetric design: b == v
+  const CheckResult check = check_design(d);
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+INSTANTIATE_TEST_SUITE_P(Primes, Theorem2Planes,
+                         ::testing::Values(2, 3, 5, 7, 11, 13, 17),
+                         [](const auto& info) {
+                           return "q" + std::to_string(info.param);
+                         });
+
+class PG2Planes : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PG2Planes, IsValidDesign) {
+  const std::uint64_t q = GetParam();
+  const DesignCollection d = pg2_construction(q);
+  EXPECT_EQ(d.v, q_hat(q));
+  EXPECT_EQ(d.k, q + 1);
+  EXPECT_EQ(d.blocks.size(), q_hat(q));
+  const CheckResult check = check_design(d);
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+// Includes the prime powers 4, 8, 9, 16, 27 that Theorem 2 cannot build.
+INSTANTIATE_TEST_SUITE_P(PrimePowers, PG2Planes,
+                         ::testing::Values(2, 3, 4, 5, 7, 8, 9, 11, 16, 27),
+                         [](const auto& info) {
+                           return "q" + std::to_string(info.param);
+                         });
+
+TEST(PlaneTest, FanoPlaneMatchesPaperFigure4) {
+  // The paper's Figure 4/7 shows a (7,3,1)-design: 7 blocks of 3, every
+  // pair exactly once. Our construction need not match block-for-block
+  // (any Fano plane is isomorphic), but must have the same shape.
+  const DesignCollection d = theorem2_construction(2);
+  EXPECT_EQ(d.v, 7u);
+  EXPECT_EQ(d.blocks.size(), 7u);
+  for (const auto& b : d.blocks) EXPECT_EQ(b.size(), 3u);
+  // Paper's D1 = {s1, s2, s3} appears verbatim in the Theorem 2 form.
+  EXPECT_EQ(d.blocks[0], (Block{0, 1, 2}));
+}
+
+TEST(PlaneTest, EachElementLiesInExactlyQPlus1Blocks) {
+  for (const std::uint64_t q : {3u, 4u, 5u}) {
+    const DesignCollection d =
+        (q == 4) ? pg2_construction(q) : theorem2_construction(q);
+    std::vector<std::uint64_t> membership(d.v, 0);
+    for (const auto& b : d.blocks) {
+      for (const auto e : b) ++membership[e];
+    }
+    for (std::uint64_t e = 0; e < d.v; ++e) {
+      EXPECT_EQ(membership[e], q + 1) << "q=" << q << " element " << e;
+    }
+  }
+}
+
+TEST(PlaneTest, BlocksAreSortedAndDuplicateFree) {
+  for (const DesignCollection& d :
+       {theorem2_construction(5), pg2_construction(4)}) {
+    for (const auto& b : d.blocks) {
+      EXPECT_TRUE(std::is_sorted(b.begin(), b.end()));
+      EXPECT_EQ(std::set<std::uint64_t>(b.begin(), b.end()).size(), b.size());
+    }
+  }
+}
+
+TEST(PlaneTest, TheoremRequiresPrime) {
+  EXPECT_THROW(theorem2_construction(4), pairmr::PreconditionError);
+  EXPECT_THROW(theorem2_construction(6), pairmr::PreconditionError);
+}
+
+class TruncationCoverage
+    : public ::testing::TestWithParam<std::pair<std::uint64_t, std::uint64_t>> {
+};
+
+TEST_P(TruncationCoverage, CoversEveryPairExactlyOnce) {
+  const auto [q, v] = GetParam();
+  const DesignCollection d = truncate(theorem2_construction(q), v);
+  EXPECT_EQ(d.v, v);
+  const CheckResult check = check_pair_coverage(v, d.blocks);
+  EXPECT_TRUE(check.ok) << check.error;
+  // No degenerate blocks survive truncation.
+  for (const auto& b : d.blocks) EXPECT_GE(b.size(), 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TruncationCoverage,
+    ::testing::Values(std::pair<std::uint64_t, std::uint64_t>{3, 8},
+                      std::pair<std::uint64_t, std::uint64_t>{3, 10},
+                      std::pair<std::uint64_t, std::uint64_t>{5, 14},
+                      std::pair<std::uint64_t, std::uint64_t>{5, 25},
+                      std::pair<std::uint64_t, std::uint64_t>{7, 40},
+                      std::pair<std::uint64_t, std::uint64_t>{7, 56},
+                      std::pair<std::uint64_t, std::uint64_t>{11, 100}),
+    [](const auto& info) {
+      return "q" + std::to_string(info.param.first) + "_v" +
+             std::to_string(info.param.second);
+    });
+
+TEST(TruncationTest, FullSizeIsIdentity) {
+  const DesignCollection d = theorem2_construction(3);
+  const DesignCollection t = truncate(d, d.v);
+  EXPECT_EQ(t.blocks, d.blocks);
+}
+
+TEST(TruncationTest, UpwardTruncationThrows) {
+  const DesignCollection d = theorem2_construction(2);
+  EXPECT_THROW(truncate(d, 100), pairmr::PreconditionError);
+}
+
+TEST(TruncationTest, BlockSizesStayNearSqrtV) {
+  // Paper §5.3: truncated working sets still hold about √v (≤ q+1)
+  // elements; the "rule 2" blocks shrink but the bulk keeps its size.
+  const std::uint64_t v = 40;
+  const DesignCollection d = truncate(theorem2_construction(7), v);
+  for (const auto& b : d.blocks) {
+    EXPECT_LE(b.size(), 8u);  // q + 1
+  }
+}
+
+}  // namespace
+}  // namespace pairmr::design

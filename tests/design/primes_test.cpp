@@ -1,0 +1,105 @@
+#include "design/primes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pairmr::design {
+namespace {
+
+TEST(PrimesTest, SmallPrimality) {
+  EXPECT_FALSE(is_prime(0));
+  EXPECT_FALSE(is_prime(1));
+  EXPECT_TRUE(is_prime(2));
+  EXPECT_TRUE(is_prime(3));
+  EXPECT_FALSE(is_prime(4));
+  EXPECT_TRUE(is_prime(5));
+  EXPECT_FALSE(is_prime(9));
+  EXPECT_TRUE(is_prime(97));
+  EXPECT_TRUE(is_prime(101));
+  EXPECT_FALSE(is_prime(1001));  // 7 × 11 × 13
+  EXPECT_TRUE(is_prime(7919));
+}
+
+TEST(PrimesTest, PrimeCountUpTo1000) {
+  int count = 0;
+  for (std::uint64_t n = 2; n <= 1000; ++n) {
+    if (is_prime(n)) ++count;
+  }
+  EXPECT_EQ(count, 168);  // π(1000)
+}
+
+TEST(PrimePowerTest, RecognizesPrimePowers) {
+  const auto p8 = as_prime_power(8);
+  ASSERT_TRUE(p8.has_value());
+  EXPECT_EQ(p8->p, 2u);
+  EXPECT_EQ(p8->k, 3u);
+
+  const auto p9 = as_prime_power(9);
+  ASSERT_TRUE(p9.has_value());
+  EXPECT_EQ(p9->p, 3u);
+  EXPECT_EQ(p9->k, 2u);
+
+  const auto p7 = as_prime_power(7);
+  ASSERT_TRUE(p7.has_value());
+  EXPECT_EQ(p7->p, 7u);
+  EXPECT_EQ(p7->k, 1u);
+
+  const auto p243 = as_prime_power(243);
+  ASSERT_TRUE(p243.has_value());
+  EXPECT_EQ(p243->p, 3u);
+  EXPECT_EQ(p243->k, 5u);
+}
+
+TEST(PrimePowerTest, RejectsComposites) {
+  EXPECT_FALSE(as_prime_power(0).has_value());
+  EXPECT_FALSE(as_prime_power(1).has_value());
+  EXPECT_FALSE(as_prime_power(6).has_value());
+  EXPECT_FALSE(as_prime_power(12).has_value());
+  EXPECT_FALSE(as_prime_power(100).has_value());
+  EXPECT_FALSE(as_prime_power(1000).has_value());
+}
+
+TEST(QHatTest, KnownValues) {
+  EXPECT_EQ(q_hat(2), 7u);     // Fano plane
+  EXPECT_EQ(q_hat(3), 13u);
+  EXPECT_EQ(q_hat(101), 10303u);
+}
+
+TEST(SmallestOrderTest, PaperExample) {
+  // Paper §5.3: "If, e.g., v = 10,000, then q = 101."
+  EXPECT_EQ(smallest_prime_order(10000), 101u);
+}
+
+TEST(SmallestOrderTest, ExactFitAndBoundaries) {
+  EXPECT_EQ(smallest_prime_order(7), 2u);    // 7 = q_hat(2)
+  EXPECT_EQ(smallest_prime_order(8), 3u);    // needs q_hat(3) = 13
+  EXPECT_EQ(smallest_prime_order(13), 3u);
+  EXPECT_EQ(smallest_prime_order(14), 5u);   // q=4 not prime -> 5
+  EXPECT_EQ(smallest_prime_order(2), 2u);
+}
+
+TEST(SmallestOrderTest, PrimePowerBeatsPrimeWhenAvailable) {
+  // v = 14: prime-only search must skip 4 (not prime) while the
+  // prime-power search accepts it (q_hat(4) = 21 >= 14).
+  EXPECT_EQ(smallest_prime_power_order(14), 4u);
+  EXPECT_LE(smallest_prime_power_order(14), smallest_prime_order(14));
+}
+
+TEST(SmallestOrderTest, PrimePowerNeverWorseSweep) {
+  for (std::uint64_t v = 2; v < 500; ++v) {
+    const std::uint64_t qp = smallest_prime_order(v);
+    const std::uint64_t qpp = smallest_prime_power_order(v);
+    EXPECT_LE(qpp, qp) << "v=" << v;
+    EXPECT_GE(q_hat(qpp), v) << "v=" << v;
+    // Minimality: no smaller admissible order exists.
+    if (qpp > 2) {
+      for (std::uint64_t q = 2; q < qpp; ++q) {
+        if (as_prime_power(q).has_value()) {
+          EXPECT_LT(q_hat(q), v) << "v=" << v << " q=" << q;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pairmr::design

@@ -1,0 +1,68 @@
+#include "mr/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/check.hpp"
+
+namespace pairmr::mr {
+namespace {
+
+TEST(ClusterTest, ScatterSpreadsFilesAcrossNodes) {
+  Cluster cluster({.num_nodes = 3, .worker_threads = 1});
+  std::vector<Record> records;
+  for (int i = 0; i < 10; ++i) {
+    records.push_back(Record{std::to_string(i), "payload"});
+  }
+  const auto paths = cluster.scatter_records("/data", std::move(records));
+  ASSERT_EQ(paths.size(), 3u);
+  std::set<NodeId> homes;
+  for (const auto& p : paths) homes.insert(cluster.dfs().open(p)->home);
+  EXPECT_EQ(homes.size(), 3u);
+}
+
+TEST(ClusterTest, ScatterGatherPreservesRecords) {
+  Cluster cluster({.num_nodes = 4, .worker_threads = 1});
+  std::vector<Record> records;
+  for (int i = 0; i < 25; ++i) {
+    records.push_back(Record{std::to_string(i), "v" + std::to_string(i)});
+  }
+  const auto original = records;
+  cluster.scatter_records("/data", std::move(records));
+  auto gathered = cluster.gather_records("/data");
+  ASSERT_EQ(gathered.size(), original.size());
+  std::set<std::string> keys;
+  for (const auto& r : gathered) keys.insert(r.key);
+  EXPECT_EQ(keys.size(), 25u);  // nothing lost, nothing duplicated
+}
+
+TEST(ClusterTest, MultipleFilesPerNode) {
+  Cluster cluster({.num_nodes = 2, .worker_threads = 1});
+  std::vector<Record> records(20, Record{"k", "v"});
+  const auto paths =
+      cluster.scatter_records("/data", std::move(records), /*files=*/3);
+  EXPECT_EQ(paths.size(), 6u);
+}
+
+TEST(ClusterTest, RoundRobinBalancesRecordCounts) {
+  Cluster cluster({.num_nodes = 4, .worker_threads = 1});
+  std::vector<Record> records(18, Record{"k", "v"});
+  const auto paths = cluster.scatter_records("/data", std::move(records));
+  std::vector<std::size_t> sizes;
+  for (const auto& p : paths) {
+    sizes.push_back(cluster.dfs().open(p)->records.size());
+  }
+  // 18 over 4 files: two files of 5 and two of 4.
+  for (const auto s : sizes) {
+    EXPECT_GE(s, 4u);
+    EXPECT_LE(s, 5u);
+  }
+}
+
+TEST(ClusterTest, InvalidConfigThrows) {
+  EXPECT_THROW(Cluster({.num_nodes = 0}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace pairmr::mr

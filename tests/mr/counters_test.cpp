@@ -1,0 +1,69 @@
+#include "mr/counters.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace pairmr::mr {
+namespace {
+
+TEST(CountersTest, AddAccumulates) {
+  Counters c;
+  EXPECT_EQ(c.get("x"), 0u);
+  c.add("x", 3);
+  c.add("x", 4);
+  EXPECT_EQ(c.get("x"), 7u);
+}
+
+TEST(CountersTest, NoteMaxKeepsMaximum) {
+  Counters c;
+  c.note_max("peak", 5);
+  c.note_max("peak", 3);
+  c.note_max("peak", 9);
+  EXPECT_EQ(c.get("peak"), 9u);
+}
+
+TEST(CountersTest, SnapshotContainsAll) {
+  Counters c;
+  c.add("a", 1);
+  c.add("b", 2);
+  const auto snap = c.snapshot();
+  EXPECT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap.at("a"), 1u);
+  EXPECT_EQ(snap.at("b"), 2u);
+}
+
+TEST(CountersTest, MergeSumsRegularAndMaxesPeaks) {
+  Counters a, b;
+  a.add("records", 10);
+  a.note_max("reduce.max.group.records", 7);
+  b.add("records", 5);
+  b.note_max("reduce.max.group.records", 3);
+  a.merge(b);
+  EXPECT_EQ(a.get("records"), 15u);
+  EXPECT_EQ(a.get("reduce.max.group.records"), 7u);
+
+  Counters c;
+  c.note_max("reduce.max.group.records", 99);
+  a.merge(c);
+  EXPECT_EQ(a.get("reduce.max.group.records"), 99u);
+}
+
+TEST(CountersTest, ConcurrentAddsAreLossless) {
+  Counters c;
+  constexpr int kThreads = 4;
+  constexpr int kAddsPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kAddsPerThread; ++i) c.add("n", 1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.get("n"), static_cast<std::uint64_t>(kThreads) * kAddsPerThread);
+}
+
+}  // namespace
+}  // namespace pairmr::mr

@@ -1,0 +1,458 @@
+// End-to-end tests of the MapReduce engine: a word count, determinism
+// across worker-thread counts, combiner semantics, partitioners, the
+// distributed cache, counters, and split handling.
+#include "mr/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "common/check.hpp"
+#include "common/serde.hpp"
+#include "mr/context.hpp"
+
+namespace pairmr::mr {
+namespace {
+
+// --- word count fixtures -------------------------------------------------
+
+class TokenizeMapper final : public Mapper {
+ public:
+  void map(const Bytes& /*key*/, const Bytes& value,
+           MapContext& ctx) override {
+    std::istringstream is(value);
+    std::string word;
+    while (is >> word) ctx.emit(word, "1");
+  }
+};
+
+class SumReducer final : public Reducer {
+ public:
+  void reduce(const Bytes& key, const std::vector<Bytes>& values,
+              ReduceContext& ctx) override {
+    std::uint64_t total = 0;
+    for (const auto& v : values) total += std::stoull(v);
+    ctx.emit(key, std::to_string(total));
+  }
+};
+
+std::map<std::string, std::uint64_t> collect_counts(const Cluster& cluster,
+                                                    const std::string& dir) {
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& rec : cluster.gather_records(dir)) {
+    out[rec.key] = std::stoull(rec.value);
+  }
+  return out;
+}
+
+JobSpec word_count_spec(const std::vector<std::string>& inputs,
+                        const std::string& output_dir) {
+  JobSpec spec;
+  spec.name = "wordcount";
+  spec.input_paths = inputs;
+  spec.output_dir = output_dir;
+  spec.mapper_factory = [] { return std::make_unique<TokenizeMapper>(); };
+  spec.reducer_factory = [] { return std::make_unique<SumReducer>(); };
+  return spec;
+}
+
+std::vector<std::string> write_corpus(Cluster& cluster) {
+  return cluster.scatter_records(
+      "/in", {Record{"1", "the quick brown fox"},
+              Record{"2", "the lazy dog"},
+              Record{"3", "the quick dog jumps"},
+              Record{"4", "fox and dog and fox"}});
+}
+
+TEST(EngineTest, WordCountEndToEnd) {
+  Cluster cluster({.num_nodes = 3, .worker_threads = 2});
+  const auto inputs = write_corpus(cluster);
+  Engine engine(cluster);
+  const JobResult result = engine.run(word_count_spec(inputs, "/out"));
+
+  const auto counts = collect_counts(cluster, "/out");
+  EXPECT_EQ(counts.at("the"), 3u);
+  EXPECT_EQ(counts.at("fox"), 3u);
+  EXPECT_EQ(counts.at("dog"), 3u);
+  EXPECT_EQ(counts.at("quick"), 2u);
+  EXPECT_EQ(counts.at("and"), 2u);
+  EXPECT_EQ(counts.at("jumps"), 1u);
+  EXPECT_EQ(counts.size(), 8u);  // + brown, lazy
+
+  EXPECT_EQ(result.counter(counter::kMapInputRecords), 4u);
+  EXPECT_EQ(result.counter(counter::kMapOutputRecords), 16u);
+  EXPECT_EQ(result.counter(counter::kReduceInputRecords), 16u);
+  EXPECT_EQ(result.counter(counter::kReduceInputGroups), 8u);
+  EXPECT_EQ(result.counter(counter::kReduceOutputRecords), 8u);
+}
+
+TEST(EngineTest, OutputIdenticalAcrossWorkerThreadCounts) {
+  std::vector<std::vector<Record>> outputs;
+  for (const std::uint32_t threads : {1u, 2u, 7u}) {
+    Cluster cluster({.num_nodes = 4, .worker_threads = threads});
+    const auto inputs = write_corpus(cluster);
+    Engine engine(cluster);
+    engine.run(word_count_spec(inputs, "/out"));
+    outputs.push_back(cluster.gather_records("/out"));
+  }
+  EXPECT_EQ(outputs[0], outputs[1]);
+  EXPECT_EQ(outputs[0], outputs[2]);
+}
+
+TEST(EngineTest, ReduceOutputIsSortedByKeyWithinTask) {
+  Cluster cluster({.num_nodes = 1, .worker_threads = 1});
+  const auto inputs = write_corpus(cluster);
+  Engine engine(cluster);
+  auto spec = word_count_spec(inputs, "/out");
+  spec.num_reduce_tasks = 1;
+  const JobResult result = engine.run(spec);
+  const auto file = cluster.dfs().open(result.output_paths[0]);
+  for (std::size_t i = 1; i < file->records.size(); ++i) {
+    EXPECT_LT(file->records[i - 1].key, file->records[i].key);
+  }
+}
+
+TEST(EngineTest, CombinerShrinksShuffleButNotResult) {
+  Cluster with({.num_nodes = 2, .worker_threads = 2});
+  Cluster without({.num_nodes = 2, .worker_threads = 2});
+  const auto in_with = write_corpus(with);
+  const auto in_without = write_corpus(without);
+
+  auto spec_with = word_count_spec(in_with, "/out");
+  spec_with.combiner_factory = [] { return std::make_unique<SumReducer>(); };
+  const JobResult r_with = Engine(with).run(spec_with);
+  const JobResult r_without =
+      Engine(without).run(word_count_spec(in_without, "/out"));
+
+  EXPECT_EQ(collect_counts(with, "/out"), collect_counts(without, "/out"));
+  EXPECT_LT(r_with.counter(counter::kReduceInputRecords),
+            r_without.counter(counter::kReduceInputRecords));
+  EXPECT_EQ(r_with.counter(counter::kCombineInputRecords), 16u);
+}
+
+TEST(EngineTest, SplitsRespectMaxRecords) {
+  Cluster cluster({.num_nodes = 1, .worker_threads = 1});
+  std::vector<Record> records;
+  for (int i = 0; i < 10; ++i) {
+    records.push_back(Record{std::to_string(i), "a b"});
+  }
+  cluster.dfs().write_file("/in/big", 0, std::move(records));
+
+  Engine engine(cluster);
+  auto spec = word_count_spec({"/in/big"}, "/out");
+  spec.max_records_per_split = 3;
+  const JobResult result = engine.run(spec);
+  EXPECT_EQ(result.map_tasks.size(), 4u);  // 3+3+3+1
+  EXPECT_EQ(result.map_tasks[3].input_records, 1u);
+}
+
+TEST(EngineTest, MapTasksRunDataLocal) {
+  Cluster cluster({.num_nodes = 4, .worker_threads = 2});
+  const auto inputs = write_corpus(cluster);  // one file per node
+  Engine engine(cluster);
+  const JobResult result = engine.run(word_count_spec(inputs, "/out"));
+  for (const auto& task : result.map_tasks) {
+    const auto file = cluster.dfs().open(inputs[task.index]);
+    EXPECT_EQ(task.node, file->home);
+  }
+}
+
+TEST(EngineTest, ShuffleMetersRemoteBytes) {
+  Cluster cluster({.num_nodes = 4, .worker_threads = 2});
+  const auto inputs = write_corpus(cluster);
+  Engine engine(cluster);
+  const JobResult result = engine.run(word_count_spec(inputs, "/out"));
+  const std::uint64_t remote = result.counter(counter::kShuffleBytesRemote);
+  const std::uint64_t local = result.counter(counter::kShuffleBytesLocal);
+  EXPECT_GT(remote, 0u);
+  EXPECT_EQ(remote + local, result.counter(counter::kMapOutputBytes));
+  EXPECT_EQ(cluster.network().remote_bytes(), remote);
+}
+
+TEST(EngineTest, RangePartitionerGroupsContiguousKeys) {
+  Cluster cluster({.num_nodes = 2, .worker_threads = 1});
+  std::vector<Record> records;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    records.push_back(Record{encode_u64_key(i), "x"});
+  }
+  cluster.dfs().write_file("/in/keys", 0, std::move(records));
+
+  JobSpec spec;
+  spec.name = "range";
+  spec.input_paths = {"/in/keys"};
+  spec.output_dir = "/out";
+  spec.mapper_factory = [] { return std::make_unique<IdentityMapper>(); };
+  spec.reducer_factory = [] { return std::make_unique<IdentityReducer>(); };
+  spec.partitioner = std::make_shared<RangePartitioner>(100);
+  spec.num_reduce_tasks = 4;
+  const JobResult result = Engine(cluster).run(spec);
+
+  // Reducer r must hold exactly keys [25r, 25r+25).
+  for (std::uint32_t r = 0; r < 4; ++r) {
+    const auto file = cluster.dfs().open(result.output_paths[r]);
+    ASSERT_EQ(file->records.size(), 25u);
+    for (const auto& rec : file->records) {
+      const std::uint64_t k = decode_u64_key(rec.key);
+      EXPECT_GE(k, 25ull * r);
+      EXPECT_LT(k, 25ull * (r + 1));
+    }
+  }
+}
+
+TEST(EngineTest, DistributedCacheIsVisibleAndMetered) {
+  Cluster cluster({.num_nodes = 3, .worker_threads = 2});
+  cluster.dfs().write_file("/cache/lookup", 0,
+                           {Record{"k", "cached-value-123"}});
+  cluster.dfs().write_file("/in/data", 1, {Record{"a", "b"}});
+
+  class CacheReadingMapper final : public Mapper {
+   public:
+    void map(const Bytes&, const Bytes&, MapContext& ctx) override {
+      const auto& cached = ctx.cache_file("/cache/lookup");
+      ctx.emit("seen", cached[0].value);
+    }
+  };
+
+  JobSpec spec;
+  spec.name = "cache";
+  spec.input_paths = {"/in/data"};
+  spec.output_dir = "/out";
+  spec.cache_paths = {"/cache/lookup"};
+  spec.mapper_factory = [] { return std::make_unique<CacheReadingMapper>(); };
+  spec.reducer_factory = [] { return std::make_unique<IdentityReducer>(); };
+  const JobResult result = Engine(cluster).run(spec);
+
+  const auto out = cluster.gather_records("/out");
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].value, "cached-value-123");
+  // Broadcast to the 2 non-home nodes: 2 × file bytes.
+  const std::uint64_t file_bytes = 1 + 16;  // "k" + value
+  EXPECT_EQ(result.counter(counter::kCacheBroadcastBytes), 2 * file_bytes);
+}
+
+TEST(EngineTest, InvalidSpecsThrow) {
+  Cluster cluster({.num_nodes = 1});
+  Engine engine(cluster);
+  JobSpec spec;  // everything missing
+  EXPECT_THROW(engine.run(spec), PreconditionError);
+
+  spec = word_count_spec({"/does/not/exist"}, "/out");
+  EXPECT_THROW(engine.run(spec), PreconditionError);
+}
+
+TEST(EngineTest, MapperExceptionSurfacesToCaller) {
+  Cluster cluster({.num_nodes = 2, .worker_threads = 2});
+  cluster.dfs().write_file("/in/x", 0, {Record{"a", "b"}});
+  class ThrowingMapper final : public Mapper {
+   public:
+    void map(const Bytes&, const Bytes&, MapContext&) override {
+      throw std::runtime_error("user mapper bug");
+    }
+  };
+  JobSpec spec;
+  spec.name = "boom";
+  spec.input_paths = {"/in/x"};
+  spec.output_dir = "/out";
+  spec.mapper_factory = [] { return std::make_unique<ThrowingMapper>(); };
+  spec.reducer_factory = [] { return std::make_unique<IdentityReducer>(); };
+  EXPECT_THROW(Engine(cluster).run(spec), std::runtime_error);
+}
+
+// Fails the first attempt of every task it runs in; succeeds after.
+// Shared attempt ledger keyed by task index.
+class FlakyMapper final : public Mapper {
+ public:
+  explicit FlakyMapper(std::atomic<int>* failures) : failures_(failures) {}
+  void setup(MapContext& ctx) override {
+    if (!failed_once_[ctx.task_index() % kSlots].exchange(true)) {
+      failures_->fetch_add(1);
+      throw std::runtime_error("injected map failure");
+    }
+  }
+  void map(const Bytes& /*key*/, const Bytes& value,
+           MapContext& ctx) override {
+    std::istringstream is(value);
+    std::string word;
+    while (is >> word) ctx.emit(word, "1");
+  }
+
+  static void reset() {
+    for (auto& f : failed_once_) f.store(false);
+  }
+
+ private:
+  static constexpr int kSlots = 64;
+  static std::array<std::atomic<bool>, kSlots> failed_once_;
+  std::atomic<int>* failures_;
+};
+std::array<std::atomic<bool>, FlakyMapper::kSlots> FlakyMapper::failed_once_{};
+
+TEST(EngineTest, FailedMapAttemptsAreRetriedWithCleanCounters) {
+  FlakyMapper::reset();
+  Cluster cluster({.num_nodes = 3, .worker_threads = 2});
+  const auto inputs = write_corpus(cluster);
+  std::atomic<int> failures{0};
+
+  auto spec = word_count_spec(inputs, "/out");
+  spec.mapper_factory = [&failures] {
+    return std::make_unique<FlakyMapper>(&failures);
+  };
+  spec.max_task_attempts = 2;
+  const JobResult result = Engine(cluster).run(spec);
+
+  EXPECT_GT(failures.load(), 0);  // injection actually fired
+  // Counters must look as if nothing ever failed.
+  EXPECT_EQ(result.counter(counter::kMapInputRecords), 4u);
+  EXPECT_EQ(result.counter(counter::kMapOutputRecords), 16u);
+  EXPECT_EQ(collect_counts(cluster, "/out").at("the"), 3u);
+}
+
+TEST(EngineTest, ExhaustedAttemptsFailTheJob) {
+  FlakyMapper::reset();
+  Cluster cluster({.num_nodes = 2, .worker_threads = 1});
+  cluster.dfs().write_file("/in/x", 0, {Record{"a", "b"}});
+  class AlwaysFailingMapper final : public Mapper {
+   public:
+    void map(const Bytes&, const Bytes&, MapContext&) override {
+      throw std::runtime_error("always fails");
+    }
+  };
+  JobSpec spec;
+  spec.name = "doomed";
+  spec.input_paths = {"/in/x"};
+  spec.output_dir = "/out";
+  spec.mapper_factory = [] { return std::make_unique<AlwaysFailingMapper>(); };
+  spec.reducer_factory = [] { return std::make_unique<IdentityReducer>(); };
+  spec.max_task_attempts = 3;
+  EXPECT_THROW(Engine(cluster).run(spec), std::runtime_error);
+}
+
+TEST(EngineTest, FlakyReducerRetriesAndRefetchesInput) {
+  Cluster cluster({.num_nodes = 2, .worker_threads = 2});
+  const auto inputs = write_corpus(cluster);
+
+  static std::atomic<bool> reducer_failed{false};
+  reducer_failed.store(false);
+  class FlakyReducer final : public Reducer {
+   public:
+    void setup(ReduceContext& ctx) override {
+      if (ctx.task_index() == 0 && !reducer_failed.exchange(true)) {
+        throw std::runtime_error("injected reduce failure");
+      }
+    }
+    void reduce(const Bytes& key, const std::vector<Bytes>& values,
+                ReduceContext& ctx) override {
+      std::uint64_t total = 0;
+      for (const auto& v : values) total += std::stoull(v);
+      ctx.emit(key, std::to_string(total));
+    }
+  };
+
+  auto spec = word_count_spec(inputs, "/out");
+  spec.reducer_factory = [] { return std::make_unique<FlakyReducer>(); };
+  spec.max_task_attempts = 2;
+  const JobResult result = Engine(cluster).run(spec);
+  EXPECT_TRUE(reducer_failed.load());
+  EXPECT_EQ(collect_counts(cluster, "/out").at("the"), 3u);
+  // Reduce input records counted once despite the retry.
+  EXPECT_EQ(result.counter(counter::kReduceInputRecords), 16u);
+}
+
+TEST(EngineTest, RetriedRunProducesIdenticalOutputToCleanRun) {
+  FlakyMapper::reset();
+  Cluster clean({.num_nodes = 3, .worker_threads = 2});
+  Cluster flaky({.num_nodes = 3, .worker_threads = 2});
+  const auto in_clean = write_corpus(clean);
+  const auto in_flaky = write_corpus(flaky);
+
+  Engine(clean).run(word_count_spec(in_clean, "/out"));
+
+  std::atomic<int> failures{0};
+  auto spec = word_count_spec(in_flaky, "/out");
+  spec.mapper_factory = [&failures] {
+    return std::make_unique<FlakyMapper>(&failures);
+  };
+  spec.max_task_attempts = 2;
+  Engine(flaky).run(spec);
+
+  EXPECT_EQ(clean.gather_records("/out"), flaky.gather_records("/out"));
+}
+
+TEST(EngineTest, ReduceTaskCountDefaultsToNodes) {
+  Cluster cluster({.num_nodes = 3, .worker_threads = 1});
+  const auto inputs = write_corpus(cluster);
+  const JobResult result =
+      Engine(cluster).run(word_count_spec(inputs, "/out"));
+  EXPECT_EQ(result.reduce_tasks.size(), 3u);
+  EXPECT_EQ(result.output_paths.size(), 3u);
+}
+
+TEST(EngineTest, MapOnlyJobSkipsShuffleAndPreservesOrder) {
+  Cluster cluster({.num_nodes = 2, .worker_threads = 2});
+  std::vector<Record> records;
+  for (int i = 0; i < 8; ++i) {
+    records.push_back(Record{"z" + std::to_string(9 - i), "v"});
+  }
+  cluster.dfs().write_file("/in/m", 0, std::move(records));
+
+  JobSpec spec;
+  spec.name = "map-only";
+  spec.input_paths = {"/in/m"};
+  spec.output_dir = "/out";
+  spec.mapper_factory = [] { return std::make_unique<IdentityMapper>(); };
+  spec.map_only = true;
+  const JobResult result = Engine(cluster).run(spec);
+
+  EXPECT_EQ(result.reduce_tasks.size(), 0u);
+  EXPECT_EQ(result.counter(counter::kShuffleBytesRemote), 0u);
+  EXPECT_EQ(result.counter(counter::kShuffleBytesLocal), 0u);
+  ASSERT_EQ(result.output_paths.size(), 1u);
+  EXPECT_NE(result.output_paths[0].find("part-m-"), std::string::npos);
+  // Emission order preserved (no sort): keys stay in reverse order.
+  const auto file = cluster.dfs().open(result.output_paths[0]);
+  ASSERT_EQ(file->records.size(), 8u);
+  EXPECT_EQ(file->records[0].key, "z9");
+  EXPECT_EQ(file->records[7].key, "z2");
+  // Output lives on the map task's (data-local) node.
+  EXPECT_EQ(file->home, 0u);
+}
+
+TEST(EngineTest, MapOnlyRejectsCombiner) {
+  Cluster cluster({.num_nodes = 1});
+  cluster.dfs().write_file("/in/x", 0, {Record{"a", "b"}});
+  JobSpec spec;
+  spec.name = "bad";
+  spec.input_paths = {"/in/x"};
+  spec.output_dir = "/out";
+  spec.mapper_factory = [] { return std::make_unique<IdentityMapper>(); };
+  spec.map_only = true;
+  spec.combiner_factory = [] { return std::make_unique<IdentityReducer>(); };
+  EXPECT_THROW(Engine(cluster).run(spec), PreconditionError);
+}
+
+TEST(EngineTest, MaxGroupCountersTrackLargestKeyGroup) {
+  Cluster cluster({.num_nodes = 1, .worker_threads = 1});
+  // Key "a" has 5 records, key "b" has 2.
+  std::vector<Record> records;
+  for (int i = 0; i < 5; ++i) records.push_back(Record{"a", "v"});
+  for (int i = 0; i < 2; ++i) records.push_back(Record{"b", "v"});
+  cluster.dfs().write_file("/in/g", 0, std::move(records));
+
+  JobSpec spec;
+  spec.name = "groups";
+  spec.input_paths = {"/in/g"};
+  spec.output_dir = "/out";
+  spec.mapper_factory = [] { return std::make_unique<IdentityMapper>(); };
+  spec.reducer_factory = [] { return std::make_unique<IdentityReducer>(); };
+  const JobResult result = Engine(cluster).run(spec);
+  EXPECT_EQ(result.counter(counter::kReduceMaxGroupRecords), 5u);
+  EXPECT_EQ(result.counter(counter::kReduceMaxGroupBytes), 5u * 2u);
+}
+
+}  // namespace
+}  // namespace pairmr::mr

@@ -1,0 +1,83 @@
+#include "mr/fs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace pairmr::mr {
+namespace {
+
+std::vector<Record> two_records() {
+  return {Record{"k1", "v1"}, Record{"k2", "value-two"}};
+}
+
+TEST(SimDfsTest, WriteOpenRoundTrip) {
+  SimDfs dfs(2);
+  dfs.write_file("/data/a", 0, two_records());
+  const auto file = dfs.open("/data/a");
+  EXPECT_EQ(file->home, 0u);
+  ASSERT_EQ(file->records.size(), 2u);
+  EXPECT_EQ(file->records[1].value, "value-two");
+  EXPECT_EQ(file->bytes, 4u + 11u);  // k1v1 + k2value-two
+}
+
+TEST(SimDfsTest, WriteOnceSemantics) {
+  SimDfs dfs(1);
+  dfs.write_file("/x", 0, {});
+  EXPECT_THROW(dfs.write_file("/x", 0, {}), PreconditionError);
+}
+
+TEST(SimDfsTest, OpenMissingThrows) {
+  SimDfs dfs(1);
+  EXPECT_THROW(dfs.open("/nope"), PreconditionError);
+  EXPECT_FALSE(dfs.exists("/nope"));
+}
+
+TEST(SimDfsTest, HomeNodeValidated) {
+  SimDfs dfs(2);
+  EXPECT_THROW(dfs.write_file("/y", 7, {}), PreconditionError);
+}
+
+TEST(SimDfsTest, ListIsSortedAndPrefixScoped) {
+  SimDfs dfs(1);
+  dfs.write_file("/out/part-r-00002", 0, {});
+  dfs.write_file("/out/part-r-00000", 0, {});
+  dfs.write_file("/out/part-r-00001", 0, {});
+  dfs.write_file("/other/file", 0, {});
+  const auto paths = dfs.list("/out/");
+  ASSERT_EQ(paths.size(), 3u);
+  EXPECT_EQ(paths[0], "/out/part-r-00000");
+  EXPECT_EQ(paths[2], "/out/part-r-00002");
+}
+
+TEST(SimDfsTest, RemoveAndRemovePrefix) {
+  SimDfs dfs(1);
+  dfs.write_file("/a/1", 0, {});
+  dfs.write_file("/a/2", 0, {});
+  dfs.write_file("/b/1", 0, {});
+  EXPECT_TRUE(dfs.remove("/a/1"));
+  EXPECT_FALSE(dfs.remove("/a/1"));
+  EXPECT_EQ(dfs.remove_prefix("/a"), 1u);
+  EXPECT_TRUE(dfs.exists("/b/1"));
+}
+
+TEST(SimDfsTest, BytesPerNodeAccounting) {
+  SimDfs dfs(2);
+  dfs.write_file("/n0", 0, {Record{"aa", "bb"}});   // 4 bytes
+  dfs.write_file("/n1", 1, {Record{"cccc", "dd"}}); // 6 bytes
+  EXPECT_EQ(dfs.bytes_on_node(0), 4u);
+  EXPECT_EQ(dfs.bytes_on_node(1), 6u);
+  EXPECT_EQ(dfs.total_bytes(), 10u);
+}
+
+TEST(SimDfsTest, OpenedFileSurvivesRemoval) {
+  // Readers hold a shared_ptr; removing the path must not invalidate it.
+  SimDfs dfs(1);
+  dfs.write_file("/f", 0, two_records());
+  const auto file = dfs.open("/f");
+  dfs.remove("/f");
+  EXPECT_EQ(file->records.size(), 2u);
+}
+
+}  // namespace
+}  // namespace pairmr::mr

@@ -1,0 +1,51 @@
+#include "mr/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace pairmr::mr {
+namespace {
+
+TEST(NetworkMeterTest, LocalTransfersAreFree) {
+  NetworkMeter net(3);
+  net.transfer(1, 1, 1000);
+  EXPECT_EQ(net.remote_bytes(), 0u);
+  EXPECT_EQ(net.local_bytes(), 1000u);
+  EXPECT_EQ(net.remote_transfers(), 0u);
+}
+
+TEST(NetworkMeterTest, RemoteTransfersAreMetered) {
+  NetworkMeter net(3);
+  net.transfer(0, 1, 100);
+  net.transfer(1, 2, 200);
+  net.transfer(2, 0, 300);
+  EXPECT_EQ(net.remote_bytes(), 600u);
+  EXPECT_EQ(net.remote_transfers(), 3u);
+  EXPECT_EQ(net.sent_by(0), 100u);
+  EXPECT_EQ(net.sent_by(1), 200u);
+  EXPECT_EQ(net.received_at(0), 300u);
+  EXPECT_EQ(net.received_at(1), 100u);
+}
+
+TEST(NetworkMeterTest, ResetClearsEverything) {
+  NetworkMeter net(2);
+  net.transfer(0, 1, 42);
+  net.transfer(0, 0, 7);
+  net.reset();
+  EXPECT_EQ(net.remote_bytes(), 0u);
+  EXPECT_EQ(net.local_bytes(), 0u);
+  EXPECT_EQ(net.sent_by(0), 0u);
+  EXPECT_EQ(net.received_at(1), 0u);
+}
+
+TEST(NetworkMeterTest, OutOfRangeNodeThrows) {
+  NetworkMeter net(2);
+  EXPECT_THROW(net.transfer(0, 2, 1), PreconditionError);
+  EXPECT_THROW(net.transfer(5, 0, 1), PreconditionError);
+  EXPECT_THROW(net.sent_by(2), PreconditionError);
+  EXPECT_THROW(NetworkMeter(0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace pairmr::mr

@@ -1,0 +1,59 @@
+#include "mr/text_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace pairmr::mr {
+namespace {
+
+TEST(TextIoTest, SimpleRoundTrip) {
+  const std::vector<Record> records = {{"k1", "v1"}, {"k2", "v2"}};
+  EXPECT_EQ(records_from_tsv(records_to_tsv(records)), records);
+}
+
+TEST(TextIoTest, TsvLayout) {
+  EXPECT_EQ(records_to_tsv({{"a", "b"}}), "a\tb\n");
+  EXPECT_EQ(records_to_tsv({}), "");
+}
+
+TEST(TextIoTest, SpecialCharactersRoundTrip) {
+  const std::vector<Record> records = {
+      {"tab\there", "line\nbreak"},
+      {"back\\slash", "cr\rreturn"},
+      {std::string("nul\0byte", 8), ""},
+  };
+  const auto back = records_from_tsv(records_to_tsv(records));
+  EXPECT_EQ(back, records);
+}
+
+TEST(TextIoTest, LineWithoutTabHasEmptyValue) {
+  const auto records = records_from_tsv("just-a-key\nk\tv\n");
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].key, "just-a-key");
+  EXPECT_EQ(records[0].value, "");
+  EXPECT_EQ(records[1].value, "v");
+}
+
+TEST(TextIoTest, EmptyLinesSkippedMissingTrailingNewlineOk) {
+  const auto records = records_from_tsv("\na\t1\n\nb\t2");
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[1].key, "b");
+}
+
+TEST(TextIoTest, MalformedEscapesThrow) {
+  EXPECT_THROW(records_from_tsv("bad\\x\tv\n"), PreconditionError);
+  EXPECT_THROW(records_from_tsv("dangling\\\tv\n"), PreconditionError);
+}
+
+TEST(TextIoTest, EscapeUnescapeInverse) {
+  const std::string nasty("a\tb\nc\rd\\e\0f", 12);
+  EXPECT_EQ(unescape_field(escape_field(nasty)), nasty);
+  // Escaped form contains no raw separators.
+  const std::string escaped = escape_field(nasty);
+  EXPECT_EQ(escaped.find('\t'), std::string::npos);
+  EXPECT_EQ(escaped.find('\n'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pairmr::mr

@@ -1,0 +1,68 @@
+#include "mr/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+
+namespace pairmr::mr {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryTask) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 100; ++i) {
+    tasks.push_back([&count] { count.fetch_add(1); });
+  }
+  pool.run_all(std::move(tasks));
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, EmptyBatchReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.run_all({});
+}
+
+TEST(ThreadPoolTest, SingleThreadWorks) {
+  ThreadPool pool(1);
+  std::atomic<int> count{0};
+  std::vector<std::function<void()>> tasks(10,
+                                           [&count] { count.fetch_add(1); });
+  pool.run_all(std::move(tasks));
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesAfterBatchCompletes) {
+  ThreadPool pool(2);
+  std::atomic<int> completed{0};
+  std::vector<std::function<void()>> tasks;
+  tasks.push_back([] { throw std::runtime_error("task failed"); });
+  for (int i = 0; i < 20; ++i) {
+    tasks.push_back([&completed] { completed.fetch_add(1); });
+  }
+  EXPECT_THROW(pool.run_all(std::move(tasks)), std::runtime_error);
+  // No task is abandoned: the batch drains even when one throws.
+  EXPECT_EQ(completed.load(), 20);
+}
+
+TEST(ThreadPoolTest, PoolReusableAfterError) {
+  ThreadPool pool(2);
+  std::vector<std::function<void()>> bad;
+  bad.push_back([] { throw std::logic_error("boom"); });
+  EXPECT_THROW(pool.run_all(std::move(bad)), std::logic_error);
+
+  std::atomic<int> count{0};
+  std::vector<std::function<void()>> good(5,
+                                          [&count] { count.fetch_add(1); });
+  pool.run_all(std::move(good));  // must not rethrow the stale error
+  EXPECT_EQ(count.load(), 5);
+}
+
+TEST(ThreadPoolTest, ZeroRequestsHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+}
+
+}  // namespace
+}  // namespace pairmr::mr

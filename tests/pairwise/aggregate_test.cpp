@@ -1,0 +1,69 @@
+#include "pairwise/aggregate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace pairmr {
+namespace {
+
+Element copy_with(ElementId id, std::string payload,
+                  std::vector<ResultEntry> results) {
+  Element e;
+  e.id = id;
+  e.payload = std::move(payload);
+  e.results = std::move(results);
+  return e;
+}
+
+TEST(MergeCopiesTest, ConcatenatesAndSortsByPartner) {
+  const Element merged = merge_copies({
+      copy_with(5, "data", {{9, "r9"}, {2, "r2"}}),
+      copy_with(5, "data", {{7, "r7"}}),
+      copy_with(5, "data", {{1, "r1"}}),
+  });
+  EXPECT_EQ(merged.id, 5u);
+  EXPECT_EQ(merged.payload, "data");
+  ASSERT_EQ(merged.results.size(), 4u);
+  EXPECT_EQ(merged.results[0].other, 1u);
+  EXPECT_EQ(merged.results[1].other, 2u);
+  EXPECT_EQ(merged.results[2].other, 7u);
+  EXPECT_EQ(merged.results[3].other, 9u);
+}
+
+TEST(MergeCopiesTest, TakesPayloadFromAnyCarryingCopy) {
+  // One-job broadcast partials carry no payload; merging still works.
+  const Element merged = merge_copies({
+      copy_with(3, "", {{1, "a"}}),
+      copy_with(3, "the-payload", {{2, "b"}}),
+  });
+  EXPECT_EQ(merged.payload, "the-payload");
+}
+
+TEST(MergeCopiesTest, SingleCopyPassesThrough) {
+  const Element merged = merge_copies({copy_with(1, "x", {{0, "r"}})});
+  EXPECT_EQ(merged.id, 1u);
+  EXPECT_EQ(merged.results.size(), 1u);
+}
+
+TEST(MergeCopiesTest, DuplicatePartnerSignalsDoubleEvaluation) {
+  // The exactly-once invariant: the same partner appearing twice means a
+  // scheme evaluated one pair in two tasks.
+  EXPECT_THROW(merge_copies({
+                   copy_with(4, "p", {{8, "first"}}),
+                   copy_with(4, "p", {{8, "second"}}),
+               }),
+               InternalError);
+}
+
+TEST(MergeCopiesTest, MixedIdsRejected) {
+  EXPECT_THROW(merge_copies({copy_with(1, "a", {}), copy_with(2, "b", {})}),
+               InternalError);
+}
+
+TEST(MergeCopiesTest, EmptyInputRejected) {
+  EXPECT_THROW(merge_copies({}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace pairmr

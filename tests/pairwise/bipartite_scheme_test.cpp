@@ -1,0 +1,126 @@
+// Tests for the two-set generalization (paper §1's "elements of one set
+// paired with elements of another"): every A×B cross pair exactly once,
+// no intra-set pairs, and end-to-end pipeline integration.
+#include "pairwise/bipartite_scheme.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/check.hpp"
+#include "common/serde.hpp"
+#include "pairwise/dataset.hpp"
+#include "pairwise/pipeline.hpp"
+#include "workloads/kernels.hpp"
+
+namespace pairmr {
+namespace {
+
+class BipartiteCoverage
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::uint64_t,
+                                                 std::uint64_t,
+                                                 std::uint64_t>> {};
+
+TEST_P(BipartiteCoverage, EveryCrossPairExactlyOnce) {
+  const auto [va, vb, ha, hb] = GetParam();
+  const BipartiteBlockScheme scheme(va, vb, ha, hb);
+  std::set<std::pair<ElementId, ElementId>> seen;
+  for (TaskId t = 0; t < scheme.num_tasks(); ++t) {
+    for (const auto [lo, hi] : scheme.pairs_in(t)) {
+      EXPECT_TRUE(scheme.is_a(lo));   // never two A's or two B's
+      EXPECT_FALSE(scheme.is_a(hi));
+      EXPECT_TRUE(seen.insert({lo, hi}).second)
+          << "pair {" << lo << "," << hi << "} twice";
+    }
+  }
+  EXPECT_EQ(seen.size(), va * vb);
+  EXPECT_EQ(scheme.total_pairs(), va * vb);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GridSweep, BipartiteCoverage,
+    ::testing::Values(std::make_tuple(6, 9, 2, 3),
+                      std::make_tuple(7, 5, 3, 2),    // non-dividing
+                      std::make_tuple(1, 10, 1, 4),   // degenerate A
+                      std::make_tuple(16, 16, 4, 4),
+                      std::make_tuple(13, 4, 5, 1)),
+    [](const auto& info) {
+      return "va" + std::to_string(std::get<0>(info.param)) + "_vb" +
+             std::to_string(std::get<1>(info.param)) + "_ha" +
+             std::to_string(std::get<2>(info.param)) + "_hb" +
+             std::to_string(std::get<3>(info.param));
+    });
+
+TEST(BipartiteSchemeTest, SubsetsMatchWorkingSets) {
+  const BipartiteBlockScheme scheme(7, 5, 3, 2);
+  for (ElementId id = 0; id < scheme.num_elements(); ++id) {
+    for (const TaskId t : scheme.subsets_of(id)) {
+      const auto ws = scheme.working_set(t);
+      EXPECT_TRUE(std::find(ws.begin(), ws.end(), id) != ws.end());
+    }
+  }
+}
+
+TEST(BipartiteSchemeTest, ReplicationAsymmetry) {
+  // A elements land in hb working sets, B elements in ha.
+  const BipartiteBlockScheme scheme(12, 12, 3, 4);
+  EXPECT_EQ(scheme.subsets_of(0).size(), 4u);    // A side: hb
+  EXPECT_EQ(scheme.subsets_of(12).size(), 3u);   // B side: ha
+}
+
+TEST(BipartiteSchemeTest, MetricsAreRectangular) {
+  const BipartiteBlockScheme scheme(100, 40, 5, 4);
+  const SchemeMetrics m = scheme.metrics();
+  EXPECT_EQ(m.num_tasks, 20u);
+  EXPECT_DOUBLE_EQ(m.working_set_elements, 20.0 + 10.0);  // ea + eb
+  EXPECT_DOUBLE_EQ(m.evaluations_per_task, 200.0);        // ea * eb
+  EXPECT_DOUBLE_EQ(m.communication_elements,
+                   2.0 * (100.0 * 4 + 40.0 * 5));
+}
+
+TEST(BipartiteSchemeTest, PipelineEndToEnd) {
+  // A: 4 query vectors, B: 6 item vectors; comp = inner product.
+  const std::uint64_t va = 4, vb = 6;
+  std::vector<std::string> payloads;
+  std::vector<std::vector<double>> vecs;
+  for (std::uint64_t i = 0; i < va + vb; ++i) {
+    vecs.push_back({static_cast<double>(i + 1), 2.0});
+    payloads.push_back(encode_f64_vec(vecs.back()));
+  }
+
+  mr::Cluster cluster({.num_nodes = 2, .worker_threads = 2});
+  const auto inputs = write_dataset(cluster, "/data", payloads);
+  const BipartiteBlockScheme scheme(va, vb, 2, 3);
+
+  PairwiseJob job;
+  job.compute = workloads::inner_product_kernel();
+  const PairwiseRunStats stats = run_pairwise(cluster, inputs, scheme, job);
+  EXPECT_EQ(stats.evaluations, va * vb);
+
+  const auto elements = read_elements(cluster, stats.output_dir);
+  ASSERT_EQ(elements.size(), va + vb);
+  // Every A element holds exactly vb results (one per B partner), with
+  // the right values; symmetric for B.
+  for (const Element& e : elements) {
+    const bool a_side = e.id < va;
+    EXPECT_EQ(e.results.size(), a_side ? vb : va);
+    for (const auto& r : e.results) {
+      EXPECT_NE(a_side, r.other < va);  // partners always cross the sets
+      EXPECT_DOUBLE_EQ(
+          workloads::decode_result(r.result),
+          workloads::inner_product(vecs[e.id], vecs[r.other]));
+    }
+  }
+}
+
+TEST(BipartiteSchemeTest, InvalidParametersThrow) {
+  EXPECT_THROW(BipartiteBlockScheme(0, 5, 1, 1), PreconditionError);
+  EXPECT_THROW(BipartiteBlockScheme(5, 5, 6, 1), PreconditionError);
+  EXPECT_THROW(BipartiteBlockScheme(5, 5, 1, 0), PreconditionError);
+  const BipartiteBlockScheme scheme(4, 4, 2, 2);
+  EXPECT_THROW(scheme.subsets_of(8), PreconditionError);
+  EXPECT_THROW(scheme.pairs_in(4), PreconditionError);
+}
+
+}  // namespace
+}  // namespace pairmr

@@ -1,0 +1,126 @@
+#include "pairwise/block_scheme.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/intmath.hpp"
+
+namespace pairmr {
+namespace {
+
+TEST(BlockSchemeTest, PaperFigure6Example) {
+  // v = 15, h = 3, e = 5: six blocks. Block p=2 is (I,J) = (2,1):
+  // C2 = rows 6..10 (ids 5..9), R2 = rows 1..5 (ids 0..4).
+  const BlockScheme scheme(15, 3);
+  EXPECT_EQ(scheme.edge(), 5u);
+  EXPECT_EQ(scheme.num_tasks(), 6u);
+
+  const auto ws = scheme.working_set(1);  // task index 1 == label p=2
+  ASSERT_EQ(ws.size(), 10u);
+  EXPECT_EQ(ws.front(), 0u);
+  EXPECT_EQ(ws.back(), 9u);
+
+  const auto pairs = scheme.pairs_in(1);
+  EXPECT_EQ(pairs.size(), 25u);  // full 5×5 cross product
+  for (const auto [lo, hi] : pairs) {
+    EXPECT_LT(lo, 5u);             // row element
+    EXPECT_GE(hi, 5u);             // column element
+    EXPECT_LT(hi, 10u);
+  }
+}
+
+TEST(BlockSchemeTest, DiagonalBlocksEvaluateTriangles) {
+  const BlockScheme scheme(15, 3);
+  // Task 0 is block (1,1): ids 0..4, C(5,2) = 10 pairs.
+  const auto pairs = scheme.pairs_in(0);
+  EXPECT_EQ(pairs.size(), 10u);
+  for (const auto [lo, hi] : pairs) {
+    EXPECT_LT(lo, hi);
+    EXPECT_LT(hi, 5u);
+  }
+  // Diagonal working set holds only one stripe (e elements, not 2e).
+  EXPECT_EQ(scheme.working_set(0).size(), 5u);
+}
+
+TEST(BlockSchemeTest, ReplicationFactorIsExactlyH) {
+  // Paper §5.2: "Each element is used in h different blocks."
+  const BlockScheme scheme(15, 3);
+  for (ElementId id = 0; id < 15; ++id) {
+    EXPECT_EQ(scheme.subsets_of(id).size(), 3u) << "id=" << id;
+  }
+}
+
+TEST(BlockSchemeTest, SubsetsAndWorkingSetsAgree) {
+  const BlockScheme scheme(23, 4);  // v not divisible by h
+  for (ElementId id = 0; id < 23; ++id) {
+    for (const TaskId t : scheme.subsets_of(id)) {
+      const auto ws = scheme.working_set(t);
+      EXPECT_TRUE(std::find(ws.begin(), ws.end(), id) != ws.end())
+          << "element " << id << " missing from task " << t;
+    }
+  }
+}
+
+TEST(BlockSchemeTest, EmptyTrailingStripeHandled) {
+  // v = 9, h = 4 -> e = 3 and stripe 4 is empty ([9, 9)). Elements must
+  // not be shipped to the empty blocks.
+  const BlockScheme scheme(9, 4);
+  EXPECT_TRUE(scheme.stripe(4).empty());
+  for (ElementId id = 0; id < 9; ++id) {
+    for (const TaskId t : scheme.subsets_of(id)) {
+      EXPECT_FALSE(scheme.working_set(t).empty());
+    }
+    // Only 3 stripes hold data, so replication drops below h here.
+    EXPECT_EQ(scheme.subsets_of(id).size(), 3u);
+  }
+  EXPECT_EQ(scheme.total_pairs(), pair_count(9));
+}
+
+TEST(BlockSchemeTest, WorkingSetBoundedBy2E) {
+  for (const std::uint64_t v : {10ull, 16ull, 31ull, 100ull}) {
+    for (const std::uint64_t h : {2ull, 3ull, 5ull}) {
+      const BlockScheme scheme(v, h);
+      for (TaskId t = 0; t < scheme.num_tasks(); ++t) {
+        EXPECT_LE(scheme.working_set(t).size(), 2 * scheme.edge());
+      }
+    }
+  }
+}
+
+TEST(BlockSchemeTest, EvaluationsBoundedByESquared) {
+  const BlockScheme scheme(31, 4);
+  const std::uint64_t e = scheme.edge();
+  for (TaskId t = 0; t < scheme.num_tasks(); ++t) {
+    EXPECT_LE(scheme.pairs_in(t).size(), e * e);
+  }
+}
+
+TEST(BlockSchemeTest, MetricsMatchTable1) {
+  const BlockScheme scheme(100, 5);
+  const SchemeMetrics m = scheme.metrics();
+  EXPECT_EQ(m.num_tasks, 15u);  // h(h+1)/2
+  EXPECT_DOUBLE_EQ(m.communication_elements, 2.0 * 100 * 5);  // 2vh
+  EXPECT_DOUBLE_EQ(m.replication_factor, 5.0);                // h
+  EXPECT_DOUBLE_EQ(m.working_set_elements, 40.0);             // 2⌈v/h⌉
+  EXPECT_DOUBLE_EQ(m.evaluations_per_task, 400.0);            // ⌈v/h⌉²
+}
+
+TEST(BlockSchemeTest, HEqualsOneIsTheTrivialSolution) {
+  const BlockScheme scheme(8, 1);
+  EXPECT_EQ(scheme.num_tasks(), 1u);
+  EXPECT_EQ(scheme.pairs_in(0).size(), pair_count(8));
+}
+
+TEST(BlockSchemeTest, InvalidParametersThrow) {
+  EXPECT_THROW(BlockScheme(1, 1), PreconditionError);
+  EXPECT_THROW(BlockScheme(10, 0), PreconditionError);
+  EXPECT_THROW(BlockScheme(10, 11), PreconditionError);
+  const BlockScheme scheme(10, 2);
+  EXPECT_THROW(scheme.pairs_in(3), PreconditionError);
+  EXPECT_THROW(scheme.stripe(0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace pairmr

@@ -1,0 +1,95 @@
+#include "pairwise/broadcast_scheme.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/intmath.hpp"
+
+namespace pairmr {
+namespace {
+
+TEST(BroadcastSchemeTest, EveryWorkingSetIsTheWholeDataset) {
+  const BroadcastScheme scheme(10, 4);
+  for (TaskId t = 0; t < 4; ++t) {
+    EXPECT_EQ(scheme.working_set(t).size(), 10u);
+  }
+  // Every element is in every working set.
+  for (ElementId id = 0; id < 10; ++id) {
+    EXPECT_EQ(scheme.subsets_of(id).size(), 4u);
+  }
+}
+
+TEST(BroadcastSchemeTest, LabelRangesTileThePairSpace) {
+  const BroadcastScheme scheme(10, 4);  // 45 pairs / 4 tasks = chunks of 12
+  EXPECT_EQ(scheme.labels_per_task(), 12u);
+  std::uint64_t expected_first = 1;
+  for (TaskId t = 0; t < 4; ++t) {
+    const auto range = scheme.label_range(t);
+    EXPECT_EQ(range.first, expected_first);
+    expected_first = range.last + 1;
+  }
+  EXPECT_EQ(scheme.label_range(3).last, 45u);
+}
+
+TEST(BroadcastSchemeTest, TasksBeyondPairCountAreEmpty) {
+  const BroadcastScheme scheme(3, 10);  // only 3 pairs for 10 tasks
+  std::uint64_t nonempty = 0;
+  for (TaskId t = 0; t < 10; ++t) {
+    if (!scheme.pairs_in(t).empty()) ++nonempty;
+  }
+  EXPECT_EQ(nonempty, 3u);
+  EXPECT_EQ(scheme.total_pairs(), 3u);
+  // Elements are only replicated into non-empty subsets.
+  EXPECT_EQ(scheme.subsets_of(0).size(), 3u);
+}
+
+TEST(BroadcastSchemeTest, SingleTaskGetsEverything) {
+  const BroadcastScheme scheme(7, 1);
+  const auto pairs = scheme.pairs_in(0);
+  EXPECT_EQ(pairs.size(), 21u);
+}
+
+TEST(BroadcastSchemeTest, PairsAreCanonicalAndInRange) {
+  const BroadcastScheme scheme(13, 5);
+  for (TaskId t = 0; t < 5; ++t) {
+    for (const auto [lo, hi] : scheme.pairs_in(t)) {
+      EXPECT_LT(lo, hi);
+      EXPECT_LT(hi, 13u);
+    }
+  }
+}
+
+TEST(BroadcastSchemeTest, BalanceWithinOneChunk) {
+  // Evaluations per task differ by at most the rounding of one chunk.
+  const BroadcastScheme scheme(50, 7);
+  std::uint64_t min_work = ~0ull, max_work = 0;
+  for (TaskId t = 0; t < 7; ++t) {
+    const std::uint64_t w = scheme.pairs_in(t).size();
+    min_work = std::min(min_work, w);
+    max_work = std::max(max_work, w);
+  }
+  EXPECT_LE(max_work - min_work, scheme.labels_per_task());
+  EXPECT_EQ(max_work, scheme.labels_per_task());
+}
+
+TEST(BroadcastSchemeTest, MetricsMatchTable1) {
+  const BroadcastScheme scheme(100, 8);
+  const SchemeMetrics m = scheme.metrics();
+  EXPECT_EQ(m.num_tasks, 8u);
+  EXPECT_DOUBLE_EQ(m.communication_elements, 2.0 * 100 * 8);  // 2vp
+  EXPECT_DOUBLE_EQ(m.replication_factor, 8.0);                // p
+  EXPECT_DOUBLE_EQ(m.working_set_elements, 100.0);            // v
+  // v(v-1)/2p = 4950/8 -> ceil = 619 labels per task.
+  EXPECT_DOUBLE_EQ(m.evaluations_per_task, 619.0);
+}
+
+TEST(BroadcastSchemeTest, InvalidParametersThrow) {
+  EXPECT_THROW(BroadcastScheme(1, 1), PreconditionError);
+  EXPECT_THROW(BroadcastScheme(10, 0), PreconditionError);
+  const BroadcastScheme scheme(5, 2);
+  EXPECT_THROW(scheme.subsets_of(5), PreconditionError);
+  EXPECT_THROW(scheme.pairs_in(2), PreconditionError);
+}
+
+}  // namespace
+}  // namespace pairmr

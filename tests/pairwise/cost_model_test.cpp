@@ -1,0 +1,166 @@
+// Cost-model tests: Table 1 instantiations, the Figure 8 dataset-size
+// ceilings, and the Figure 9 blocking-factor analysis — including the
+// paper's 4 GB ⇒ h ∈ [39, 263] spot check.
+#include "pairwise/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+
+namespace pairmr {
+namespace {
+
+constexpr Limits kPaperLimits{
+    .max_working_set_bytes = 200 * kMiB,
+    .max_intermediate_bytes = kTiB,
+};
+
+TEST(Table1Test, BroadcastColumn) {
+  const SchemeMetrics m = broadcast_metrics(10000, 16);
+  EXPECT_EQ(m.num_tasks, 16u);
+  EXPECT_DOUBLE_EQ(m.communication_elements, 2.0 * 10000 * 16);
+  EXPECT_DOUBLE_EQ(m.replication_factor, 16.0);
+  EXPECT_DOUBLE_EQ(m.working_set_elements, 10000.0);
+  EXPECT_DOUBLE_EQ(m.evaluations_per_task, 10000.0 * 9999 / 2 / 16);
+}
+
+TEST(Table1Test, BlockColumn) {
+  const SchemeMetrics m = block_metrics(10000, 10);
+  EXPECT_EQ(m.num_tasks, 55u);  // h(h+1)/2
+  EXPECT_DOUBLE_EQ(m.communication_elements, 2.0 * 10000 * 10);
+  EXPECT_DOUBLE_EQ(m.replication_factor, 10.0);
+  EXPECT_DOUBLE_EQ(m.working_set_elements, 2000.0);
+  EXPECT_DOUBLE_EQ(m.evaluations_per_task, 1000.0 * 1000);
+}
+
+TEST(Table1Test, DesignColumnWithCommunicationCap) {
+  // Communication ≈ 2v√v but capped at 2vn ("sending to all nodes").
+  const SchemeMetrics uncapped = design_metrics_approx(10000, 1000);
+  EXPECT_DOUBLE_EQ(uncapped.communication_elements, 2.0 * 10000 * 100);
+  const SchemeMetrics capped = design_metrics_approx(10000, 16);
+  EXPECT_DOUBLE_EQ(capped.communication_elements, 2.0 * 10000 * 16);
+  EXPECT_DOUBLE_EQ(capped.replication_factor, 100.0);
+  EXPECT_DOUBLE_EQ(capped.working_set_elements, 100.0);
+  EXPECT_DOUBLE_EQ(capped.evaluations_per_task, 9999.0 / 2);
+}
+
+TEST(Fig8aTest, BroadcastCeilingIsMaxwsOverS) {
+  // 10,000 × 500 KB elements = ~5 GB dataset (paper §3 example):
+  // broadcast needs the whole 5 GB in memory — infeasible at 200 MB.
+  EXPECT_EQ(broadcast_max_v(500 * kKiB, 200 * kMiB), 409u);
+  EXPECT_EQ(broadcast_max_v(10 * kKiB, 200 * kMiB), 20480u);
+  EXPECT_EQ(broadcast_max_v(10 * kKiB, kGiB), 104857u);
+  // Doubling memory doubles the ceiling (the Fig 8a series are parallel
+  // lines in log-log space).
+  EXPECT_EQ(broadcast_max_v(10 * kKiB, 400 * kMiB),
+            2 * broadcast_max_v(10 * kKiB, 200 * kMiB));
+}
+
+TEST(Fig8bTest, DesignStorageCeiling) {
+  // v^1.5 · s <= maxis  =>  v <= (maxis/s)^(2/3); exact integer floor.
+  const std::uint64_t v = design_max_v_by_storage(kMiB, kTiB);
+  const double check = static_cast<double>(v);
+  EXPECT_LE(check * std::sqrt(check) * static_cast<double>(kMiB),
+            static_cast<double>(kTiB) * 1.0000001);
+  const double above = static_cast<double>(v + 1);
+  EXPECT_GT(above * std::sqrt(above) * static_cast<double>(kMiB),
+            static_cast<double>(kTiB));
+  // 1 TiB / 1 MiB = 2^20  =>  v = 2^(40/3) ≈ 10321.
+  EXPECT_EQ(v, 10321u);
+}
+
+TEST(Fig8bTest, StorageCeilingScalesWithMaxis) {
+  // 10× storage shifts the design line up by 10^(2/3) ≈ 4.64.
+  const std::uint64_t v1 = design_max_v_by_storage(100 * kKiB, kTiB);
+  const std::uint64_t v10 = design_max_v_by_storage(100 * kKiB, 10 * kTiB);
+  const double ratio = static_cast<double>(v10) / static_cast<double>(v1);
+  EXPECT_NEAR(ratio, std::pow(10.0, 2.0 / 3.0), 0.01);
+}
+
+TEST(Fig9aTest, PaperSpotCheck4GB) {
+  // Paper: "Having, e.g., a dataset of size 4GB, it follows that h can be
+  // chosen arbitrarily between 39 and 263" (maxws 200MB, maxis 1TB).
+  // With our binary units: lower bound ceil(2·4e9/200MiB) = 39 matches;
+  // the upper bound floor(1TiB/4e9) = 274 brackets the paper's 263
+  // (the paper's exact unit base is unstated).
+  const HRange r = block_h_range(4'000'000'000ull, kPaperLimits);
+  EXPECT_EQ(r.lo, 39u);
+  EXPECT_EQ(r.hi, 274u);
+  EXPECT_TRUE(r.valid());
+}
+
+TEST(Fig9aTest, BoundsCrossAtTheFeasibilityLimit) {
+  // vs_max = sqrt(maxws·maxis/2), the continuous intersection of the two
+  // bounds. At the exact boundary the real-valued bounds coincide at a
+  // non-integer h, so the integer range can be empty right at vs_max —
+  // check validity just inside and invalidity just outside instead.
+  const std::uint64_t vs_max = block_max_dataset_bytes(kPaperLimits);
+  EXPECT_TRUE(block_h_range(vs_max - vs_max / 100, kPaperLimits).valid());
+  EXPECT_FALSE(block_h_range(vs_max + vs_max / 100, kPaperLimits).valid());
+  // sqrt(200MiB · 1TiB / 2) = sqrt(100 · 2^60) = exactly 10 GiB.
+  EXPECT_EQ(vs_max, 10 * kGiB);
+}
+
+TEST(Fig9aTest, LowerBoundRisesUpperFallsWithDatasetSize) {
+  const HRange small = block_h_range(kGiB, kPaperLimits);
+  const HRange large = block_h_range(4 * kGiB, kPaperLimits);
+  EXPECT_LE(small.lo, large.lo);
+  EXPECT_GE(small.hi, large.hi);
+}
+
+TEST(Fig9bTest, BroadcastOnlyReasonableForSmallDatasets) {
+  // The paper's chart: broadcast's ceiling sits far below the others for
+  // every element size.
+  for (const std::uint64_t s : {10 * kKiB, 100 * kKiB, kMiB, 10 * kMiB}) {
+    EXPECT_LT(broadcast_max_v(s, kPaperLimits), block_max_v(s, kPaperLimits));
+    EXPECT_LT(broadcast_max_v(s, kPaperLimits),
+              design_max_v(s, kPaperLimits));
+  }
+}
+
+TEST(Fig9bTest, BlockDesignCrossOverNearOneMB) {
+  // Paper: "for large elements (> 1MB) the design approach allows a few
+  // more elements in the dataset than the block approach does."
+  EXPECT_GT(block_max_v(10 * kKiB, kPaperLimits),
+            design_max_v(10 * kKiB, kPaperLimits));
+  EXPECT_GT(block_max_v(100 * kKiB, kPaperLimits),
+            design_max_v(100 * kKiB, kPaperLimits));
+  EXPECT_LT(block_max_v(4 * kMiB, kPaperLimits),
+            design_max_v(4 * kMiB, kPaperLimits));
+  EXPECT_LT(block_max_v(10 * kMiB, kPaperLimits),
+            design_max_v(10 * kMiB, kPaperLimits));
+}
+
+TEST(Fig9bTest, DesignMemoryBoundExposedSeparately) {
+  // √v·s <= maxws  =>  v <= (maxws/s)². Figure 9b does not apply this
+  // bound to the design curve, but the planner does.
+  EXPECT_EQ(design_max_v_by_memory(kMiB, 10 * kMiB), 100u);
+  EXPECT_EQ(design_max_v_by_memory(kKiB, kMiB), 1024u * 1024u);
+}
+
+TEST(CostModelTest, WorkingSetByteFunctions) {
+  EXPECT_EQ(broadcast_working_set_bytes(1000, 2 * kKiB), 2000 * kKiB);
+  EXPECT_EQ(block_working_set_bytes(1000, 10, kKiB), 200 * kKiB);
+  // √1000 ≈ 31.6 -> isqrt + 1 = 32 elements.
+  EXPECT_EQ(design_working_set_bytes(1000, kKiB), 32 * kKiB);
+}
+
+TEST(CostModelTest, IntermediateByteFunctions) {
+  EXPECT_EQ(broadcast_intermediate_bytes(100, 4, kKiB), 400 * kKiB);
+  EXPECT_EQ(block_intermediate_bytes(100, 4, kKiB), 400 * kKiB);
+  EXPECT_EQ(design_intermediate_bytes(100, kKiB), 100 * 11 * kKiB);
+}
+
+TEST(CostModelTest, InvalidInputsThrow) {
+  EXPECT_THROW(broadcast_metrics(1, 1), PreconditionError);
+  EXPECT_THROW(block_metrics(10, 0), PreconditionError);
+  EXPECT_THROW(broadcast_max_v(0, kMiB), PreconditionError);
+  EXPECT_THROW(block_h_range(0, kPaperLimits), PreconditionError);
+  EXPECT_THROW(block_h_range(kGiB, Limits{}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace pairmr

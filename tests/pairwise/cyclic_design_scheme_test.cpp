@@ -1,0 +1,88 @@
+#include "pairwise/cyclic_design_scheme.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/check.hpp"
+#include "common/intmath.hpp"
+#include "pairwise/dataset.hpp"
+#include "pairwise/design_scheme.hpp"
+#include "pairwise/pipeline.hpp"
+#include "workloads/kernels.hpp"
+
+namespace pairmr {
+namespace {
+
+class CyclicCoverage : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CyclicCoverage, EveryPairExactlyOnce) {
+  const std::uint64_t v = GetParam();
+  const CyclicDesignScheme scheme(v);
+  std::set<std::pair<ElementId, ElementId>> seen;
+  for (TaskId t = 0; t < scheme.num_tasks(); ++t) {
+    for (const auto [lo, hi] : scheme.pairs_in(t)) {
+      EXPECT_TRUE(seen.insert({lo, hi}).second);
+    }
+  }
+  EXPECT_EQ(seen.size(), pair_count(v));
+}
+
+// Exact plane sizes, truncated sizes, prime and prime-power orders.
+INSTANTIATE_TEST_SUITE_P(Sizes, CyclicCoverage,
+                         ::testing::Values(2, 7, 13, 14, 21, 40, 57, 100,
+                                           133, 200),
+                         [](const auto& info) {
+                           return "v" + std::to_string(info.param);
+                         });
+
+TEST(CyclicDesignSchemeTest, MembershipIsOqArithmetic) {
+  const CyclicDesignScheme scheme(100);
+  // q+1 translates per element, filtered to active blocks.
+  for (ElementId id = 0; id < 100; ++id) {
+    const auto tasks = scheme.subsets_of(id);
+    EXPECT_LE(tasks.size(), scheme.plane_order() + 1);
+    EXPECT_GE(tasks.size(), 1u);
+    for (const TaskId t : tasks) {
+      const auto ws = scheme.working_set(t);
+      EXPECT_TRUE(std::binary_search(ws.begin(), ws.end(), id));
+    }
+  }
+}
+
+TEST(CyclicDesignSchemeTest, AgreesWithExplicitDesignTotals) {
+  for (const std::uint64_t v : {31ull, 64ull}) {
+    const CyclicDesignScheme cyclic(v);
+    const DesignScheme explicit_scheme(v,
+                                       PlaneConstruction::kPG2PrimePower);
+    EXPECT_EQ(cyclic.plane_order(), explicit_scheme.plane_order());
+    EXPECT_EQ(cyclic.total_pairs(), explicit_scheme.total_pairs());
+  }
+}
+
+TEST(CyclicDesignSchemeTest, PipelineEndToEnd) {
+  const std::uint64_t v = 19;
+  std::vector<std::string> payloads;
+  for (std::uint64_t i = 0; i < v; ++i) {
+    payloads.push_back(std::string(3 + i % 5, 'x'));
+  }
+  mr::Cluster cluster({.num_nodes = 3, .worker_threads = 2});
+  const auto inputs = write_dataset(cluster, "/data", payloads);
+  const CyclicDesignScheme scheme(v);
+
+  PairwiseJob job;
+  job.compute = workloads::edit_distance_kernel();
+  const PairwiseRunStats stats = run_pairwise(cluster, inputs, scheme, job);
+  EXPECT_EQ(stats.evaluations, pair_count(v));
+  for (const Element& e : read_elements(cluster, stats.output_dir)) {
+    EXPECT_EQ(e.results.size(), v - 1);
+  }
+}
+
+TEST(CyclicDesignSchemeTest, TooLargeVThrows) {
+  EXPECT_THROW(CyclicDesignScheme(2000), PreconditionError);
+  EXPECT_THROW(CyclicDesignScheme(1), PreconditionError);
+}
+
+}  // namespace
+}  // namespace pairmr

@@ -1,0 +1,56 @@
+#include "pairwise/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/serde.hpp"
+#include "pairwise/element.hpp"
+
+namespace pairmr {
+namespace {
+
+TEST(DatasetTest, RecordsCarryIndexKeysAndRawPayloads) {
+  const auto records = to_dataset_records({"alpha", "beta"});
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(decode_u64_key(records[0].key), 0u);
+  EXPECT_EQ(decode_u64_key(records[1].key), 1u);
+  EXPECT_EQ(records[0].value, "alpha");
+  EXPECT_EQ(records[1].value, "beta");
+}
+
+TEST(DatasetTest, WriteDatasetSpreadsAcrossNodes) {
+  mr::Cluster cluster({.num_nodes = 3, .worker_threads = 1});
+  const std::vector<std::string> payloads(9, "x");
+  const auto paths = write_dataset(cluster, "/d", payloads);
+  EXPECT_EQ(paths.size(), 3u);
+  std::size_t total = 0;
+  for (const auto& p : paths) {
+    total += cluster.dfs().open(p)->records.size();
+  }
+  EXPECT_EQ(total, 9u);
+}
+
+TEST(DatasetTest, ReadElementsSortsById) {
+  mr::Cluster cluster({.num_nodes = 2, .worker_threads = 1});
+  // Write element records out of order across two files.
+  Element e2{2, "c", {}};
+  Element e0{0, "a", {{1, "r"}}};
+  Element e1{1, "b", {}};
+  cluster.dfs().write_file("/out/part-r-00001", 1,
+                           {{encode_u64_key(2), encode_element(e2)}});
+  cluster.dfs().write_file("/out/part-r-00000", 0,
+                           {{encode_u64_key(0), encode_element(e0)},
+                            {encode_u64_key(1), encode_element(e1)}});
+  const auto elements = read_elements(cluster, "/out");
+  ASSERT_EQ(elements.size(), 3u);
+  EXPECT_EQ(elements[0], e0);
+  EXPECT_EQ(elements[1], e1);
+  EXPECT_EQ(elements[2], e2);
+}
+
+TEST(DatasetTest, EmptyPrefixYieldsNoElements) {
+  mr::Cluster cluster({.num_nodes = 1, .worker_threads = 1});
+  EXPECT_TRUE(read_elements(cluster, "/nothing").empty());
+}
+
+}  // namespace
+}  // namespace pairmr

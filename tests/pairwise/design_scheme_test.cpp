@@ -1,0 +1,106 @@
+#include "pairwise/design_scheme.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/intmath.hpp"
+
+namespace pairmr {
+namespace {
+
+TEST(DesignSchemeTest, PaperFigure4Shape) {
+  // v = 7: projective plane of order 2 — 7 tasks of 3 elements, 3 pairs
+  // each, 21 pairs total, exactly the Figure 4 solution.
+  const DesignScheme scheme(7);
+  EXPECT_EQ(scheme.plane_order(), 2u);
+  EXPECT_EQ(scheme.num_tasks(), 7u);
+  for (TaskId t = 0; t < 7; ++t) {
+    EXPECT_EQ(scheme.working_set(t).size(), 3u);
+    EXPECT_EQ(scheme.pairs_in(t).size(), 3u);
+  }
+  EXPECT_EQ(scheme.total_pairs(), 21u);
+}
+
+TEST(DesignSchemeTest, PaperSection53OrderChoice) {
+  // "If, e.g., v = 10,000, then q = 101" — and the first q+1 = 102
+  // working sets are dominated by the following 10,201.
+  const DesignScheme scheme(10000);
+  EXPECT_EQ(scheme.plane_order(), 101u);
+  EXPECT_EQ(scheme.plane_points(), 10303u);
+}
+
+TEST(DesignSchemeTest, SubsetsAndBlocksAgree) {
+  const DesignScheme scheme(31);
+  for (ElementId id = 0; id < 31; ++id) {
+    for (const TaskId t : scheme.subsets_of(id)) {
+      const auto ws = scheme.working_set(t);
+      EXPECT_TRUE(std::binary_search(ws.begin(), ws.end(), id));
+    }
+  }
+  for (TaskId t = 0; t < scheme.num_tasks(); ++t) {
+    for (const ElementId id : scheme.working_set(t)) {
+      const auto tasks = scheme.subsets_of(id);
+      EXPECT_TRUE(std::binary_search(tasks.begin(), tasks.end(), t));
+    }
+  }
+}
+
+TEST(DesignSchemeTest, WorkingSetsNearSqrtV) {
+  const DesignScheme scheme(100);  // q = 11, blocks of <= 12
+  for (TaskId t = 0; t < scheme.num_tasks(); ++t) {
+    const auto ws = scheme.working_set(t);
+    EXPECT_GE(ws.size(), 2u);
+    EXPECT_LE(ws.size(), scheme.plane_order() + 1);
+  }
+}
+
+TEST(DesignSchemeTest, ReplicationNearSqrtV) {
+  const DesignScheme scheme(100);
+  for (ElementId id = 0; id < 100; ++id) {
+    // Untruncated membership is exactly q+1; truncation only removes.
+    EXPECT_LE(scheme.subsets_of(id).size(), scheme.plane_order() + 1);
+    EXPECT_GE(scheme.subsets_of(id).size(), 1u);
+  }
+}
+
+TEST(DesignSchemeTest, PrimePowerConstructionUsesSmallerOrder) {
+  // v = 14: prime search gives q = 5 (q̂ = 31); prime powers allow
+  // q = 4 (q̂ = 21) — less replication, smaller working sets.
+  const DesignScheme prime(14, PlaneConstruction::kTheorem2Prime);
+  const DesignScheme power(14, PlaneConstruction::kPG2PrimePower);
+  EXPECT_EQ(prime.plane_order(), 5u);
+  EXPECT_EQ(power.plane_order(), 4u);
+  EXPECT_EQ(prime.total_pairs(), power.total_pairs());
+}
+
+TEST(DesignSchemeTest, PairsAreCanonical) {
+  const DesignScheme scheme(50);
+  for (TaskId t = 0; t < scheme.num_tasks(); ++t) {
+    for (const auto [lo, hi] : scheme.pairs_in(t)) {
+      EXPECT_LT(lo, hi);
+      EXPECT_LT(hi, 50u);
+    }
+  }
+}
+
+TEST(DesignSchemeTest, MetricsUseSqrtVApproximation) {
+  const DesignScheme scheme(10000);
+  const SchemeMetrics m = scheme.metrics();
+  EXPECT_DOUBLE_EQ(m.replication_factor, 100.0);         // √v
+  EXPECT_DOUBLE_EQ(m.working_set_elements, 100.0);       // √v
+  // C(q+1,2) = 101·102/2; the paper's ≈(v-1)/2 = 4999.5 for v = q̂.
+  EXPECT_DOUBLE_EQ(m.evaluations_per_task, 5151.0);
+  EXPECT_DOUBLE_EQ(m.communication_elements, 2e4 * 100); // 2v√v
+}
+
+TEST(DesignSchemeTest, InvalidParametersThrow) {
+  EXPECT_THROW(DesignScheme(1), PreconditionError);
+  const DesignScheme scheme(7);
+  EXPECT_THROW(scheme.subsets_of(7), PreconditionError);
+  EXPECT_THROW(scheme.pairs_in(99), PreconditionError);
+}
+
+}  // namespace
+}  // namespace pairmr

@@ -1,0 +1,154 @@
+// Boundary conditions of the pipeline: minimal datasets, single-node
+// clusters, empty payloads, error paths, and option combinations.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/check.hpp"
+#include "common/serde.hpp"
+#include "pairwise/block_scheme.hpp"
+#include "pairwise/broadcast_scheme.hpp"
+#include "pairwise/dataset.hpp"
+#include "pairwise/design_scheme.hpp"
+#include "pairwise/pipeline.hpp"
+#include "workloads/kernels.hpp"
+
+namespace pairmr {
+namespace {
+
+PairwiseJob len_job() {
+  PairwiseJob job;
+  job.compute = [](const Element& a, const Element& b) {
+    return workloads::encode_result(
+        static_cast<double>(a.payload.size() + b.payload.size()));
+  };
+  return job;
+}
+
+TEST(EdgeCaseTest, TwoElementsAllSchemes) {
+  // The smallest legal dataset: one pair.
+  const std::vector<std::string> payloads = {"x", "yy"};
+  for (int kind = 0; kind < 3; ++kind) {
+    mr::Cluster cluster({.num_nodes = 2, .worker_threads = 1});
+    const auto inputs = write_dataset(cluster, "/data", payloads);
+    std::unique_ptr<DistributionScheme> scheme;
+    if (kind == 0) scheme = std::make_unique<BroadcastScheme>(2, 3);
+    if (kind == 1) scheme = std::make_unique<BlockScheme>(2, 1);
+    if (kind == 2) scheme = std::make_unique<DesignScheme>(2);
+    const PairwiseRunStats stats =
+        run_pairwise(cluster, inputs, *scheme, len_job());
+    EXPECT_EQ(stats.evaluations, 1u) << scheme->name();
+    const auto elements = read_elements(cluster, stats.output_dir);
+    ASSERT_EQ(elements.size(), 2u);
+    EXPECT_DOUBLE_EQ(
+        workloads::decode_result(elements[0].results[0].result), 3.0);
+  }
+}
+
+TEST(EdgeCaseTest, SingleNodeCluster) {
+  const std::vector<std::string> payloads = {"a", "bb", "ccc", "dddd"};
+  mr::Cluster cluster({.num_nodes = 1, .worker_threads = 1});
+  const auto inputs = write_dataset(cluster, "/data", payloads);
+  const BlockScheme scheme(4, 2);
+  const PairwiseRunStats stats =
+      run_pairwise(cluster, inputs, scheme, len_job());
+  EXPECT_EQ(stats.evaluations, 6u);
+  // Everything local: no remote shuffle possible on one node.
+  EXPECT_EQ(stats.shuffle_remote_bytes, 0u);
+}
+
+TEST(EdgeCaseTest, EmptyPayloadsAreLegal) {
+  const std::vector<std::string> payloads = {"", "", ""};
+  mr::Cluster cluster({.num_nodes = 2, .worker_threads = 1});
+  const auto inputs = write_dataset(cluster, "/data", payloads);
+  const DesignScheme scheme(3);
+  const PairwiseRunStats stats =
+      run_pairwise(cluster, inputs, scheme, len_job());
+  const auto elements = read_elements(cluster, stats.output_dir);
+  ASSERT_EQ(elements.size(), 3u);
+  for (const auto& e : elements) {
+    EXPECT_TRUE(e.payload.empty());
+    EXPECT_EQ(e.results.size(), 2u);
+  }
+}
+
+TEST(EdgeCaseTest, BroadcastOneJobRejectsNonDenseIds) {
+  mr::Cluster cluster({.num_nodes = 2, .worker_threads = 1});
+  // Ids 0 and 5: not dense.
+  cluster.dfs().write_file("/data/bad", 0,
+                           {{encode_u64_key(0), "a"},
+                            {encode_u64_key(5), "b"}});
+  EXPECT_THROW(
+      run_pairwise_broadcast(cluster, {"/data/bad"}, 2, 2, len_job()),
+      PreconditionError);
+}
+
+TEST(EdgeCaseTest, PruneEverythingStillKeepsElements) {
+  const std::vector<std::string> payloads = {"a", "bb", "ccc"};
+  mr::Cluster cluster({.num_nodes = 2, .worker_threads = 1});
+  const auto inputs = write_dataset(cluster, "/data", payloads);
+  PairwiseJob job = len_job();
+  job.keep = [](const Element&, const Element&, std::string_view) {
+    return false;  // drop every result
+  };
+  const BlockScheme scheme(3, 2);
+  const PairwiseRunStats stats = run_pairwise(cluster, inputs, scheme, job);
+  EXPECT_EQ(stats.results_kept, 0u);
+  const auto elements = read_elements(cluster, stats.output_dir);
+  ASSERT_EQ(elements.size(), 3u);  // elements survive with empty results
+  for (const auto& e : elements) EXPECT_TRUE(e.results.empty());
+}
+
+TEST(EdgeCaseTest, AggregationCombinerPreservesResults) {
+  const std::vector<std::string> payloads = {"a", "bb", "ccc", "dddd",
+                                             "eeeee", "f"};
+  std::vector<std::vector<Element>> outputs;
+  for (const bool combiner : {false, true}) {
+    mr::Cluster cluster({.num_nodes = 3, .worker_threads = 2});
+    const auto inputs = write_dataset(cluster, "/data", payloads);
+    const BroadcastScheme scheme(6, 4);
+    PairwiseOptions options;
+    options.aggregation_combiner = combiner;
+    const PairwiseRunStats stats =
+        run_pairwise(cluster, inputs, scheme, len_job(), options);
+    outputs.push_back(read_elements(cluster, stats.output_dir));
+  }
+  EXPECT_EQ(outputs[0], outputs[1]);
+}
+
+TEST(EdgeCaseTest, WorkDirIsReusableAcrossRuns) {
+  const std::vector<std::string> payloads = {"a", "bb", "ccc"};
+  mr::Cluster cluster({.num_nodes = 2, .worker_threads = 1});
+  const auto inputs = write_dataset(cluster, "/data", payloads);
+  const BlockScheme scheme(3, 2);
+  // Same work_dir twice: the pipeline must clear stale outputs itself.
+  const PairwiseRunStats first =
+      run_pairwise(cluster, inputs, scheme, len_job());
+  const PairwiseRunStats second =
+      run_pairwise(cluster, inputs, scheme, len_job());
+  EXPECT_EQ(read_elements(cluster, first.output_dir),
+            read_elements(cluster, second.output_dir));
+}
+
+TEST(EdgeCaseTest, NonSymmetricWithPruning) {
+  const std::vector<std::string> payloads = {"a", "bb", "ccc", "dddd"};
+  mr::Cluster cluster({.num_nodes = 2, .worker_threads = 1});
+  const auto inputs = write_dataset(cluster, "/data", payloads);
+  PairwiseJob job;
+  job.symmetry = Symmetry::kNonSymmetric;
+  // comp(a,b) = |a| (directional); keep only results > 1.
+  job.compute = [](const Element& a, const Element&) {
+    return workloads::encode_result(static_cast<double>(a.payload.size()));
+  };
+  job.keep = workloads::keep_above(1.5);
+  const BlockScheme scheme(4, 2);
+  const PairwiseRunStats stats = run_pairwise(cluster, inputs, scheme, job);
+  EXPECT_EQ(stats.evaluations, 12u);  // both directions of 6 pairs
+  for (const Element& e : read_elements(cluster, stats.output_dir)) {
+    // Element 0 ("a", length 1) keeps nothing; others keep all 3.
+    EXPECT_EQ(e.results.size(), e.id == 0 ? 0u : 3u);
+  }
+}
+
+}  // namespace
+}  // namespace pairmr

@@ -1,0 +1,53 @@
+#include "pairwise/element.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace pairmr {
+namespace {
+
+TEST(ElementCodecTest, RoundTripEmpty) {
+  Element e;
+  e.id = 42;
+  EXPECT_EQ(decode_element(encode_element(e)), e);
+}
+
+TEST(ElementCodecTest, RoundTripWithPayloadAndResults) {
+  Element e;
+  e.id = 7;
+  e.payload = std::string("binary\0payload", 14);
+  e.results = {{3, "r3"}, {9, std::string("\0\0", 2)}, {100, ""}};
+  const Element back = decode_element(encode_element(e));
+  EXPECT_EQ(back, e);
+  EXPECT_EQ(back.payload.size(), 14u);
+  EXPECT_EQ(back.results[1].result.size(), 2u);
+}
+
+TEST(ElementCodecTest, EncodedSizeMatchesActual) {
+  Element e;
+  e.id = 1;
+  e.payload = "0123456789";
+  e.results = {{2, "abc"}, {3, ""}};
+  EXPECT_EQ(encoded_element_size(e), encode_element(e).size());
+}
+
+TEST(ElementCodecTest, TruncatedBytesThrow) {
+  Element e;
+  e.id = 5;
+  e.payload = "data";
+  const std::string bytes = encode_element(e);
+  EXPECT_THROW(decode_element(std::string_view(bytes).substr(0, 6)),
+               PreconditionError);
+}
+
+TEST(ElementCodecTest, LargePayloadRoundTrip) {
+  Element e;
+  e.id = 0;
+  e.payload.assign(1 << 20, 'x');  // 1 MiB
+  const Element back = decode_element(encode_element(e));
+  EXPECT_EQ(back.payload.size(), e.payload.size());
+}
+
+}  // namespace
+}  // namespace pairmr

@@ -1,0 +1,67 @@
+#include "pairwise/filtered_scheme.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/check.hpp"
+#include "common/intmath.hpp"
+#include "pairwise/block_scheme.hpp"
+
+namespace pairmr {
+namespace {
+
+TEST(FilteredSchemeTest, InactiveTasksAreEmpty) {
+  const BlockScheme base(12, 3);  // 6 tasks
+  const FilteredScheme filtered(base, {0, 2});
+  EXPECT_EQ(filtered.pairs_in(0), base.pairs_in(0));
+  EXPECT_TRUE(filtered.pairs_in(1).empty());
+  EXPECT_EQ(filtered.pairs_in(2), base.pairs_in(2));
+  EXPECT_TRUE(filtered.working_set(1).empty());
+}
+
+TEST(FilteredSchemeTest, SubsetsDropInactiveTasks) {
+  const BlockScheme base(12, 3);
+  const FilteredScheme filtered(base, {0, 2});
+  for (ElementId id = 0; id < 12; ++id) {
+    for (const TaskId t : filtered.subsets_of(id)) {
+      EXPECT_TRUE(t == 0 || t == 2);
+    }
+  }
+}
+
+TEST(FilteredSchemeTest, PartitioningFiltersCoverEverything) {
+  // A family of filters that partitions the task ids covers every pair
+  // exactly once overall — the §7 hierarchical correctness argument.
+  const BlockScheme base(20, 4);  // 10 tasks
+  const std::vector<std::vector<TaskId>> rounds = {
+      {0, 1, 2}, {3, 4, 5, 6}, {7, 8, 9}};
+  std::set<std::pair<ElementId, ElementId>> seen;
+  for (const auto& round : rounds) {
+    const FilteredScheme filtered(base, round);
+    for (TaskId t = 0; t < filtered.num_tasks(); ++t) {
+      for (const auto [lo, hi] : filtered.pairs_in(t)) {
+        EXPECT_TRUE(seen.insert({lo, hi}).second);
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), pair_count(20));
+}
+
+TEST(FilteredSchemeTest, MetricsDelegateToBase) {
+  const BlockScheme base(12, 3);
+  const FilteredScheme filtered(base, {1});
+  EXPECT_EQ(filtered.metrics().replication_factor,
+            base.metrics().replication_factor);
+  EXPECT_EQ(filtered.num_tasks(), base.num_tasks());
+  EXPECT_EQ(filtered.name(), "block/filtered");
+}
+
+TEST(FilteredSchemeTest, InvalidFiltersThrow) {
+  const BlockScheme base(12, 3);
+  EXPECT_THROW(FilteredScheme(base, {99}), PreconditionError);
+  EXPECT_THROW(FilteredScheme(base, {1, 1}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace pairmr

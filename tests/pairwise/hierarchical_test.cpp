@@ -1,0 +1,174 @@
+// Hierarchical (§7) tests: round groupings partition the task space, the
+// round driver reproduces the flat pipeline's results exactly, and —
+// the point of the section — peak intermediate storage drops.
+#include "pairwise/hierarchical.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/check.hpp"
+#include "common/intmath.hpp"
+#include "pairwise/dataset.hpp"
+#include "pairwise/design_scheme.hpp"
+#include "pairwise/pipeline.hpp"
+#include "workloads/kernels.hpp"
+
+namespace pairmr {
+namespace {
+
+std::vector<std::string> make_payloads(std::uint64_t v,
+                                       std::size_t bytes = 64) {
+  std::vector<std::string> payloads;
+  for (std::uint64_t i = 0; i < v; ++i) {
+    payloads.push_back(std::string(bytes, static_cast<char>('a' + i % 26)));
+  }
+  return payloads;
+}
+
+PairwiseJob id_sum_job() {
+  PairwiseJob job;
+  job.compute = [](const Element& a, const Element& b) {
+    return workloads::encode_result(static_cast<double>(a.id + b.id));
+  };
+  return job;
+}
+
+TEST(CoarseRoundsTest, PartitionTaskIds) {
+  const BlockScheme fine(24, 6);  // 21 fine tasks
+  const auto rounds = coarse_block_rounds(fine, 2);
+  EXPECT_EQ(rounds.size(), 3u);  // T(2) coarse blocks
+  std::set<TaskId> seen;
+  std::size_t total = 0;
+  for (const auto& round : rounds) {
+    for (const TaskId t : round) {
+      EXPECT_TRUE(seen.insert(t).second) << "task in two rounds";
+    }
+    total += round.size();
+  }
+  EXPECT_EQ(total, fine.num_tasks());
+}
+
+TEST(CoarseRoundsTest, DiagonalCoarseBlocksHoldTriangles) {
+  // H=2, f=3: coarse diagonal rounds hold T(3)=6 fine tasks; the
+  // off-diagonal round holds 3×3 = 9.
+  const BlockScheme fine(24, 6);
+  const auto rounds = coarse_block_rounds(fine, 2);
+  EXPECT_EQ(rounds[0].size(), 6u);  // coarse (1,1)
+  EXPECT_EQ(rounds[1].size(), 9u);  // coarse (2,1)
+  EXPECT_EQ(rounds[2].size(), 6u);  // coarse (2,2)
+}
+
+TEST(CoarseRoundsTest, InvalidFactorsThrow) {
+  const BlockScheme fine(24, 6);
+  EXPECT_THROW(coarse_block_rounds(fine, 4), PreconditionError);  // 4 ∤ 6
+  EXPECT_THROW(coarse_block_rounds(fine, 0), PreconditionError);
+  EXPECT_THROW(coarse_block_rounds(fine, 7), PreconditionError);
+}
+
+TEST(ChunkedRoundsTest, ChunksAllTasks) {
+  const DesignScheme scheme(13);
+  const auto rounds = chunked_rounds(scheme, 4);
+  std::size_t total = 0;
+  for (const auto& round : rounds) {
+    EXPECT_LE(round.size(), 4u);
+    total += round.size();
+  }
+  EXPECT_EQ(total, scheme.num_tasks());
+  EXPECT_EQ(rounds.size(), ceil_div(scheme.num_tasks(), 4));
+}
+
+TEST(HierarchicalRunTest, MatchesFlatBlockResults) {
+  const std::uint64_t v = 24;
+  const auto payloads = make_payloads(v);
+
+  // Flat run.
+  mr::Cluster flat_cluster({.num_nodes = 3, .worker_threads = 2});
+  const auto flat_inputs = write_dataset(flat_cluster, "/data", payloads);
+  const BlockScheme flat(v, 6);
+  const PairwiseRunStats flat_stats =
+      run_pairwise(flat_cluster, flat_inputs, flat, id_sum_job());
+  const auto flat_elements =
+      read_elements(flat_cluster, flat_stats.output_dir);
+
+  // Hierarchical run over the same fine scheme, coarse factor 2.
+  mr::Cluster h_cluster({.num_nodes = 3, .worker_threads = 2});
+  const auto h_inputs = write_dataset(h_cluster, "/data", payloads);
+  const BlockScheme fine(v, 6);
+  const auto rounds = coarse_block_rounds(fine, 2);
+  const HierarchicalRunStats h_stats =
+      run_pairwise_rounds(h_cluster, h_inputs, fine, rounds, id_sum_job());
+  const auto h_elements = read_elements(h_cluster, h_stats.output_dir);
+
+  EXPECT_EQ(h_stats.evaluations, flat_stats.evaluations);
+  EXPECT_EQ(h_elements, flat_elements);
+}
+
+TEST(HierarchicalRunTest, PeakIntermediateBelowFlat) {
+  // §7's claim: sequential coarse rounds bound the materialized
+  // intermediate data to one round's volume.
+  const std::uint64_t v = 30;
+  const auto payloads = make_payloads(v, 256);
+
+  mr::Cluster flat_cluster({.num_nodes = 2, .worker_threads = 2});
+  const auto flat_inputs = write_dataset(flat_cluster, "/data", payloads);
+  const BlockScheme flat(v, 6);
+  const PairwiseRunStats flat_stats =
+      run_pairwise(flat_cluster, flat_inputs, flat, id_sum_job());
+
+  mr::Cluster h_cluster({.num_nodes = 2, .worker_threads = 2});
+  const auto h_inputs = write_dataset(h_cluster, "/data", payloads);
+  const BlockScheme fine(v, 6);
+  const HierarchicalRunStats h_stats = run_pairwise_rounds(
+      h_cluster, h_inputs, fine, coarse_block_rounds(fine, 3), id_sum_job());
+
+  EXPECT_LT(h_stats.peak_intermediate_bytes, flat_stats.intermediate_bytes);
+  EXPECT_GT(h_stats.peak_intermediate_bytes, 0u);
+}
+
+TEST(HierarchicalRunTest, DesignChunksMatchFlatDesign) {
+  const std::uint64_t v = 13;
+  const auto payloads = make_payloads(v);
+
+  mr::Cluster flat_cluster({.num_nodes = 2, .worker_threads = 1});
+  const auto flat_inputs = write_dataset(flat_cluster, "/data", payloads);
+  const DesignScheme flat(v);
+  const PairwiseRunStats flat_stats =
+      run_pairwise(flat_cluster, flat_inputs, flat, id_sum_job());
+  const auto flat_elements =
+      read_elements(flat_cluster, flat_stats.output_dir);
+
+  mr::Cluster h_cluster({.num_nodes = 2, .worker_threads = 1});
+  const auto h_inputs = write_dataset(h_cluster, "/data", payloads);
+  const DesignScheme scheme(v);
+  const HierarchicalRunStats h_stats = run_pairwise_rounds(
+      h_cluster, h_inputs, scheme, chunked_rounds(scheme, 3), id_sum_job());
+
+  EXPECT_EQ(read_elements(h_cluster, h_stats.output_dir), flat_elements);
+}
+
+TEST(HierarchicalRunTest, SingleRoundEqualsFlat) {
+  const std::uint64_t v = 12;
+  const auto payloads = make_payloads(v);
+  mr::Cluster cluster({.num_nodes = 2, .worker_threads = 1});
+  const auto inputs = write_dataset(cluster, "/data", payloads);
+  const BlockScheme scheme(v, 3);
+
+  std::vector<TaskId> all_tasks;
+  for (TaskId t = 0; t < scheme.num_tasks(); ++t) all_tasks.push_back(t);
+  const HierarchicalRunStats stats = run_pairwise_rounds(
+      cluster, inputs, scheme, {all_tasks}, id_sum_job());
+  EXPECT_EQ(stats.evaluations, pair_count(v));
+  EXPECT_EQ(read_elements(cluster, stats.output_dir).size(), v);
+}
+
+TEST(HierarchicalRunTest, EmptyRoundListThrows) {
+  mr::Cluster cluster({.num_nodes = 1});
+  const BlockScheme scheme(4, 2);
+  EXPECT_THROW(
+      run_pairwise_rounds(cluster, {"/x"}, scheme, {}, id_sum_job()),
+      PreconditionError);
+}
+
+}  // namespace
+}  // namespace pairmr

@@ -1,0 +1,80 @@
+#include "pairwise/makespan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+#include "pairwise/cost_model.hpp"
+
+namespace pairmr {
+namespace {
+
+const CostRates kDefault{};
+
+TEST(MakespanTest, BreakdownComponentsArePositive) {
+  const MakespanBreakdown m = estimate_makespan(
+      broadcast_metrics(1000, 8), 1000, 10 * kKiB, 8, kDefault);
+  EXPECT_GT(m.ship_seconds, 0.0);
+  EXPECT_GT(m.compute_seconds, 0.0);
+  EXPECT_GT(m.aggregate_seconds, 0.0);
+  EXPECT_GT(m.overhead_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(m.total(), m.ship_seconds + m.compute_seconds +
+                                  m.aggregate_seconds + m.overhead_seconds);
+}
+
+TEST(MakespanTest, ExpensiveComputeFavorsBroadcast) {
+  // Expensive comp(), tiny dataset: compute dominates; broadcast with
+  // p = n has the fewest waves and minimal overhead.
+  CostRates rates;
+  rates.compute_seconds_per_eval = 1e-2;
+  rates.network_seconds_per_byte = 1e-9;
+  const SchemeComparison c =
+      compare_makespans(500, 4 * kKiB, 16, /*block_h=*/8, rates);
+  EXPECT_EQ(c.winner, "broadcast");
+  EXPECT_LT(c.broadcast.total(), c.design.total());
+}
+
+TEST(MakespanTest, CheapComputeBigElementsFavorsBlock) {
+  // Shipping dominates: block's 2vh with small h beats broadcast's 2vn
+  // and design's 2v√v.
+  CostRates rates;
+  rates.compute_seconds_per_eval = 1e-9;
+  rates.network_seconds_per_byte = 1e-7;
+  rates.task_overhead_seconds = 0.0;
+  const SchemeComparison c =
+      compare_makespans(10000, kMiB, 16, /*block_h=*/6, rates);
+  EXPECT_EQ(c.winner, "block");
+  EXPECT_LT(c.block.ship_seconds, c.broadcast.ship_seconds);
+  EXPECT_LT(c.block.ship_seconds, c.design.ship_seconds);
+}
+
+TEST(MakespanTest, MoreNodesShrinkComputePhase) {
+  CostRates rates;
+  rates.compute_seconds_per_eval = 1e-5;
+  const MakespanBreakdown few = estimate_makespan(
+      broadcast_metrics(2000, 4), 2000, kKiB, 4, rates);
+  const MakespanBreakdown many = estimate_makespan(
+      broadcast_metrics(2000, 16), 2000, kKiB, 16, rates);
+  EXPECT_GT(few.compute_seconds, many.compute_seconds);
+}
+
+TEST(MakespanTest, DesignShipGrowsWithSqrtV) {
+  const MakespanBreakdown small = estimate_makespan(
+      design_metrics_approx(100, 1000), 100, kKiB, 1000, kDefault);
+  const MakespanBreakdown large = estimate_makespan(
+      design_metrics_approx(10000, 1000), 10000, kKiB, 1000, kDefault);
+  // 100x elements and 10x replication: ship grows ~1000x.
+  const double ratio = large.ship_seconds / small.ship_seconds;
+  EXPECT_NEAR(ratio, 1000.0, 50.0);
+}
+
+TEST(MakespanTest, InvalidInputsThrow) {
+  EXPECT_THROW(estimate_makespan(broadcast_metrics(10, 2), 1, kKiB, 2,
+                                 kDefault),
+               PreconditionError);
+  EXPECT_THROW(compare_makespans(100, kKiB, 4, 0, kDefault),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace pairmr

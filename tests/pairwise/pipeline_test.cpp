@@ -1,0 +1,328 @@
+// End-to-end tests of the two-job pipeline (Algorithms 1+2) and the
+// one-job broadcast variant: results must equal a serial all-pairs
+// reference for every scheme, and the measured Table 1 metrics must match
+// the schemes' predictions.
+#include "pairwise/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/intmath.hpp"
+#include "common/serde.hpp"
+#include "pairwise/block_scheme.hpp"
+#include "pairwise/broadcast_scheme.hpp"
+#include "pairwise/dataset.hpp"
+#include "pairwise/design_scheme.hpp"
+#include "workloads/generators.hpp"
+#include "workloads/kernels.hpp"
+
+namespace pairmr {
+namespace {
+
+using workloads::decode_result;
+using workloads::encode_result;
+
+// Serial reference: comp = |len(a) - len(b)| + first-byte delta, chosen so
+// results depend asymmetrically enough to catch id mix-ups.
+std::string ref_compute(const Element& a, const Element& b) {
+  const double la = static_cast<double>(a.payload.size());
+  const double lb = static_cast<double>(b.payload.size());
+  return encode_result(std::abs(la - lb) +
+                       0.001 * static_cast<double>(a.id + b.id));
+}
+
+std::vector<std::string> make_payloads(std::uint64_t v) {
+  std::vector<std::string> payloads;
+  for (std::uint64_t i = 0; i < v; ++i) {
+    payloads.push_back(std::string(1 + (i * 7) % 23, 'a' + i % 26));
+  }
+  return payloads;
+}
+
+// Full reference result matrix keyed (id, other).
+std::map<std::pair<ElementId, ElementId>, double> reference_results(
+    const std::vector<std::string>& payloads) {
+  std::map<std::pair<ElementId, ElementId>, double> out;
+  for (ElementId i = 0; i < payloads.size(); ++i) {
+    for (ElementId j = i + 1; j < payloads.size(); ++j) {
+      Element a{i, payloads[i], {}};
+      Element b{j, payloads[j], {}};
+      const double r = decode_result(ref_compute(a, b));
+      out[{i, j}] = r;
+      out[{j, i}] = r;
+    }
+  }
+  return out;
+}
+
+void expect_matches_reference(const std::vector<Element>& elements,
+                              const std::vector<std::string>& payloads) {
+  const auto ref = reference_results(payloads);
+  const std::uint64_t v = payloads.size();
+  ASSERT_EQ(elements.size(), v);
+  for (ElementId i = 0; i < v; ++i) {
+    const Element& e = elements[i];
+    EXPECT_EQ(e.id, i);
+    EXPECT_EQ(e.payload, payloads[i]);
+    ASSERT_EQ(e.results.size(), v - 1) << "element " << i;
+    for (const auto& entry : e.results) {
+      const auto it = ref.find({i, entry.other});
+      ASSERT_NE(it, ref.end());
+      EXPECT_DOUBLE_EQ(decode_result(entry.result), it->second)
+          << "comp(" << i << "," << entry.other << ")";
+    }
+  }
+}
+
+PairwiseJob ref_job() {
+  PairwiseJob job;
+  job.compute = ref_compute;
+  return job;
+}
+
+struct PipelineCase {
+  std::string label;
+  std::function<std::unique_ptr<DistributionScheme>(std::uint64_t)> make;
+};
+
+class PipelineSchemes : public ::testing::TestWithParam<PipelineCase> {};
+
+TEST_P(PipelineSchemes, MatchesSerialReference) {
+  const std::uint64_t v = 23;
+  const auto payloads = make_payloads(v);
+  mr::Cluster cluster({.num_nodes = 4, .worker_threads = 2});
+  const auto inputs = write_dataset(cluster, "/data", payloads);
+  const auto scheme = GetParam().make(v);
+
+  const PairwiseRunStats stats =
+      run_pairwise(cluster, inputs, *scheme, ref_job());
+
+  EXPECT_EQ(stats.evaluations, 23u * 22 / 2);
+  EXPECT_EQ(stats.results_kept, stats.evaluations);
+  expect_matches_reference(read_elements(cluster, stats.output_dir),
+                           payloads);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, PipelineSchemes,
+    ::testing::Values(
+        PipelineCase{"broadcast",
+                     [](std::uint64_t v) {
+                       return std::make_unique<BroadcastScheme>(v, 5);
+                     }},
+        PipelineCase{"block",
+                     [](std::uint64_t v) {
+                       return std::make_unique<BlockScheme>(v, 4);
+                     }},
+        PipelineCase{"design",
+                     [](std::uint64_t v) {
+                       return std::make_unique<DesignScheme>(v);
+                     }},
+        PipelineCase{"designPP",
+                     [](std::uint64_t v) {
+                       return std::make_unique<DesignScheme>(
+                           v, PlaneConstruction::kPG2PrimePower);
+                     }}),
+    [](const auto& info) { return info.param.label; });
+
+TEST(PipelineTest, MeasuredReplicationMatchesBlockPrediction) {
+  const std::uint64_t v = 24, h = 4;
+  const auto payloads = make_payloads(v);
+  mr::Cluster cluster({.num_nodes = 4, .worker_threads = 2});
+  const auto inputs = write_dataset(cluster, "/data", payloads);
+  const BlockScheme scheme(v, h);
+
+  const PairwiseRunStats stats =
+      run_pairwise(cluster, inputs, scheme, ref_job());
+
+  // v divisible by h: every element is in exactly h working sets.
+  EXPECT_DOUBLE_EQ(stats.replication_factor, static_cast<double>(h));
+  // Largest working set is 2e = 12 element copies.
+  EXPECT_EQ(stats.max_working_set_records, 2 * scheme.edge());
+}
+
+TEST(PipelineTest, MeasuredReplicationMatchesBroadcastPrediction) {
+  const std::uint64_t v = 16, p = 6;
+  const auto payloads = make_payloads(v);
+  mr::Cluster cluster({.num_nodes = 4, .worker_threads = 2});
+  const auto inputs = write_dataset(cluster, "/data", payloads);
+  const BroadcastScheme scheme(v, p);
+
+  const PairwiseRunStats stats =
+      run_pairwise(cluster, inputs, scheme, ref_job());
+  EXPECT_DOUBLE_EQ(stats.replication_factor, static_cast<double>(p));
+  EXPECT_EQ(stats.max_working_set_records, v);
+}
+
+TEST(PipelineTest, PruningDropsResultsButNotElements) {
+  const std::uint64_t v = 12;
+  const auto payloads = make_payloads(v);
+  mr::Cluster cluster({.num_nodes = 2, .worker_threads = 2});
+  const auto inputs = write_dataset(cluster, "/data", payloads);
+  const BlockScheme scheme(v, 3);
+
+  PairwiseJob job = ref_job();
+  job.keep = workloads::keep_below(5.0);  // drop large "distances"
+  const PairwiseRunStats stats = run_pairwise(cluster, inputs, scheme, job);
+
+  EXPECT_EQ(stats.evaluations, 12u * 11 / 2);
+  EXPECT_LT(stats.results_kept, stats.evaluations);
+  EXPECT_GT(stats.results_kept, 0u);
+
+  const auto elements = read_elements(cluster, stats.output_dir);
+  ASSERT_EQ(elements.size(), v);  // pruning never loses elements
+  std::uint64_t attached = 0;
+  for (const auto& e : elements) {
+    for (const auto& r : e.results) {
+      EXPECT_LE(decode_result(r.result), 5.0);
+      ++attached;
+    }
+  }
+  EXPECT_EQ(attached, 2 * stats.results_kept);  // stored on both sides
+}
+
+TEST(PipelineTest, NonSymmetricEvaluatesBothDirections) {
+  const std::uint64_t v = 8;
+  const auto payloads = make_payloads(v);
+  mr::Cluster cluster({.num_nodes = 2, .worker_threads = 1});
+  const auto inputs = write_dataset(cluster, "/data", payloads);
+  const BlockScheme scheme(v, 2);
+
+  PairwiseJob job;
+  job.symmetry = Symmetry::kNonSymmetric;
+  // Directional compute: result depends on argument order.
+  job.compute = [](const Element& a, const Element& b) {
+    return encode_result(static_cast<double>(a.id) * 1000 +
+                         static_cast<double>(b.id));
+  };
+  const PairwiseRunStats stats = run_pairwise(cluster, inputs, scheme, job);
+  EXPECT_EQ(stats.evaluations, 2 * pair_count(v));
+
+  const auto elements = read_elements(cluster, stats.output_dir);
+  for (const auto& e : elements) {
+    for (const auto& r : e.results) {
+      // Element e holds comp(e, other) — first argument is e itself.
+      EXPECT_DOUBLE_EQ(decode_result(r.result),
+                       static_cast<double>(e.id) * 1000 +
+                           static_cast<double>(r.other));
+    }
+  }
+}
+
+TEST(PipelineTest, FinalizeHookRunsOncePerElement) {
+  const std::uint64_t v = 10;
+  const auto payloads = make_payloads(v);
+  mr::Cluster cluster({.num_nodes = 2, .worker_threads = 2});
+  const auto inputs = write_dataset(cluster, "/data", payloads);
+  const DesignScheme scheme(v);
+
+  PairwiseJob job = ref_job();
+  job.finalize = [](Element& e) {
+    // Keep only the single nearest partner.
+    auto best = e.results.front();
+    for (const auto& r : e.results) {
+      if (decode_result(r.result) < decode_result(best.result)) best = r;
+    }
+    e.results = {best};
+  };
+  const PairwiseRunStats stats = run_pairwise(cluster, inputs, scheme, job);
+  for (const auto& e : read_elements(cluster, stats.output_dir)) {
+    EXPECT_EQ(e.results.size(), 1u);
+  }
+}
+
+TEST(PipelineTest, SkippingAggregationLeavesCopies) {
+  const std::uint64_t v = 10;
+  const auto payloads = make_payloads(v);
+  mr::Cluster cluster({.num_nodes = 2, .worker_threads = 1});
+  const auto inputs = write_dataset(cluster, "/data", payloads);
+  const BlockScheme scheme(v, 3);
+
+  PairwiseOptions options;
+  options.run_aggregation = false;
+  const PairwiseRunStats stats =
+      run_pairwise(cluster, inputs, scheme, ref_job(), options);
+  EXPECT_FALSE(stats.aggregated);
+  // Without Job 2 the output holds one record per element *copy*.
+  const auto records = cluster.gather_records(stats.output_dir);
+  EXPECT_GT(records.size(), v);
+}
+
+TEST(PipelineTest, IntermediateCleanupRemovesJob1Output) {
+  const std::uint64_t v = 10;
+  const auto payloads = make_payloads(v);
+  mr::Cluster cluster({.num_nodes = 2, .worker_threads = 1});
+  const auto inputs = write_dataset(cluster, "/data", payloads);
+  const BlockScheme scheme(v, 3);
+
+  PairwiseOptions options;
+  options.work_dir = "/job";
+  const PairwiseRunStats stats =
+      run_pairwise(cluster, inputs, scheme, ref_job(), options);
+  EXPECT_GT(stats.intermediate_bytes, 0u);
+  EXPECT_TRUE(cluster.dfs().list("/job/intermediate").empty());
+  EXPECT_FALSE(cluster.dfs().list("/job/output").empty());
+}
+
+TEST(BroadcastOneJobTest, MatchesSerialReference) {
+  const std::uint64_t v = 19;
+  const auto payloads = make_payloads(v);
+  mr::Cluster cluster({.num_nodes = 3, .worker_threads = 2});
+  const auto inputs = write_dataset(cluster, "/data", payloads);
+
+  const PairwiseRunStats stats =
+      run_pairwise_broadcast(cluster, inputs, v, /*num_tasks=*/6, ref_job());
+  EXPECT_EQ(stats.evaluations, 19u * 18 / 2);
+  expect_matches_reference(read_elements(cluster, stats.output_dir),
+                           payloads);
+}
+
+TEST(BroadcastOneJobTest, ShipsDatasetOnceNotPerTask) {
+  // The §5.1 point: the cache broadcasts the dataset n times (once per
+  // node), not p times as the generic two-job pipeline would.
+  const std::uint64_t v = 16;
+  const auto payloads = make_payloads(v);
+  mr::Cluster cluster({.num_nodes = 3, .worker_threads = 2});
+  const auto inputs = write_dataset(cluster, "/data", payloads);
+  std::uint64_t dataset_bytes = 0;
+  for (const auto& p : inputs) dataset_bytes += cluster.dfs().open(p)->bytes;
+
+  const PairwiseRunStats stats = run_pairwise_broadcast(
+      cluster, inputs, v, /*num_tasks=*/12, ref_job());
+  // Broadcast to the two non-home replicas of each input file — bounded
+  // by (n-1) dataset copies, far below p copies.
+  EXPECT_LE(stats.cache_broadcast_bytes, 2 * dataset_bytes);
+  EXPECT_GT(stats.cache_broadcast_bytes, 0u);
+}
+
+TEST(BroadcastOneJobTest, PruningWorks) {
+  const std::uint64_t v = 12;
+  const auto payloads = make_payloads(v);
+  mr::Cluster cluster({.num_nodes = 2, .worker_threads = 1});
+  const auto inputs = write_dataset(cluster, "/data", payloads);
+
+  PairwiseJob job = ref_job();
+  job.keep = workloads::keep_below(4.0);
+  const PairwiseRunStats stats =
+      run_pairwise_broadcast(cluster, inputs, v, 4, job);
+  EXPECT_LT(stats.results_kept, stats.evaluations);
+  for (const auto& e : read_elements(cluster, stats.output_dir)) {
+    for (const auto& r : e.results) {
+      EXPECT_LE(decode_result(r.result), 4.0);
+    }
+  }
+}
+
+TEST(PipelineTest, MissingComputeThrows) {
+  mr::Cluster cluster({.num_nodes = 1});
+  const BlockScheme scheme(4, 2);
+  EXPECT_THROW(run_pairwise(cluster, {"/x"}, scheme, PairwiseJob{}),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace pairmr

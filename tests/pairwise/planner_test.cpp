@@ -1,0 +1,106 @@
+#include "pairwise/planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/intmath.hpp"
+#include "common/units.hpp"
+#include "pairwise/block_scheme.hpp"
+#include "pairwise/broadcast_scheme.hpp"
+
+namespace pairmr {
+namespace {
+
+constexpr Limits kPaperLimits{
+    .max_working_set_bytes = 200 * kMiB,
+    .max_intermediate_bytes = kTiB,
+};
+
+PlanRequest request(std::uint64_t v, std::uint64_t s, std::uint64_t n,
+                    Limits limits = kPaperLimits) {
+  return PlanRequest{.v = v, .element_bytes = s, .num_nodes = n,
+                     .limits = limits};
+}
+
+TEST(PlannerTest, SmallDatasetPicksBroadcast) {
+  // 1000 × 100 KiB ≈ 98 MiB < 200 MiB working-set limit.
+  const Plan plan = plan_scheme(request(1000, 100 * kKiB, 8));
+  EXPECT_TRUE(plan.feasible);
+  EXPECT_EQ(plan.kind, SchemeKind::kBroadcast);
+  EXPECT_EQ(plan.broadcast_tasks, 8u);
+  EXPECT_TRUE(plan.broadcast_feasible);
+}
+
+TEST(PlannerTest, MediumDatasetPicksBlock) {
+  // 40,000 × 100 KiB ≈ 3.8 GiB: too big for memory, valid h exists.
+  const Plan plan = plan_scheme(request(40000, 100 * kKiB, 8));
+  EXPECT_TRUE(plan.feasible);
+  EXPECT_EQ(plan.kind, SchemeKind::kBlock);
+  EXPECT_FALSE(plan.broadcast_feasible);
+  EXPECT_TRUE(plan.block_feasible);
+  EXPECT_GE(plan.block_h, plan.block_h_bounds.lo);
+  EXPECT_LE(plan.block_h, plan.block_h_bounds.hi);
+  // h must give at least n tasks.
+  EXPECT_GE(triangular(plan.block_h), 8u);
+}
+
+TEST(PlannerTest, HugeDatasetFallsBackToDesign) {
+  // 6000 × 2 MiB ≈ 11.7 GiB exceeds the block feasibility limit (10 GiB
+  // under the paper's limits), but design fits: working set (√v+1)·s ≈
+  // 156 MiB < 200 MiB and intermediate v^1.5·s ≈ 0.9 TiB < 1 TiB.
+  const Plan plan = plan_scheme(request(6000, 2 * kMiB, 8));
+  EXPECT_FALSE(plan.broadcast_feasible);
+  EXPECT_FALSE(plan.block_feasible);
+  EXPECT_TRUE(plan.design_feasible);
+  EXPECT_TRUE(plan.feasible);
+  EXPECT_EQ(plan.kind, SchemeKind::kDesign);
+}
+
+TEST(PlannerTest, NothingFitsRecommendsHierarchical) {
+  // Tiny limits: nothing fits.
+  const Limits tiny{.max_working_set_bytes = kKiB,
+                    .max_intermediate_bytes = 4 * kKiB};
+  const Plan plan = plan_scheme(request(10000, kKiB, 4, tiny));
+  EXPECT_FALSE(plan.feasible);
+  EXPECT_NE(plan.rationale.find("hierarchical"), std::string::npos);
+  EXPECT_THROW(make_scheme(plan, 10000), PreconditionError);
+}
+
+TEST(PlannerTest, RationaleIsPopulated) {
+  const Plan plan = plan_scheme(request(1000, 100 * kKiB, 8));
+  EXPECT_FALSE(plan.rationale.empty());
+  EXPECT_NE(plan.rationale.find("broadcast"), std::string::npos);
+}
+
+TEST(PlannerTest, MakeSchemeInstantiatesPlannedKind) {
+  const Plan broadcast = plan_scheme(request(100, kKiB, 4));
+  const auto s1 = make_scheme(broadcast, 100);
+  EXPECT_EQ(s1->name(), "broadcast");
+  EXPECT_EQ(s1->num_tasks(), 4u);
+
+  const Plan block = plan_scheme(request(40000, 100 * kKiB, 8));
+  const auto s2 = make_scheme(block, 40000);
+  EXPECT_EQ(s2->name(), "block");
+  EXPECT_EQ(dynamic_cast<const BlockScheme&>(*s2).blocking_factor(),
+            block.block_h);
+
+  const Plan design = plan_scheme(request(6000, 2 * kMiB, 8));
+  const auto s3 = make_scheme(design, 1000);
+  EXPECT_EQ(s3->name(), "design");
+}
+
+TEST(PlannerTest, PredictedMetricsMatchChosenScheme) {
+  const Plan plan = plan_scheme(request(40000, 100 * kKiB, 8));
+  EXPECT_EQ(plan.predicted.scheme, "block");
+  EXPECT_DOUBLE_EQ(plan.predicted.replication_factor,
+                   static_cast<double>(plan.block_h));
+}
+
+TEST(PlannerTest, InvalidRequestsThrow) {
+  EXPECT_THROW(plan_scheme(request(1, kKiB, 4)), PreconditionError);
+  EXPECT_THROW(plan_scheme(request(10, 0, 4)), PreconditionError);
+  EXPECT_THROW(plan_scheme(request(10, kKiB, 0)), PreconditionError);
+}
+
+}  // namespace
+}  // namespace pairmr

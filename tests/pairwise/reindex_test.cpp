@@ -1,0 +1,107 @@
+#include "pairwise/reindex.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/check.hpp"
+#include "common/serde.hpp"
+#include "pairwise/block_scheme.hpp"
+#include "pairwise/dataset.hpp"
+#include "pairwise/pipeline.hpp"
+#include "workloads/kernels.hpp"
+
+namespace pairmr {
+namespace {
+
+std::vector<std::string> string_keys() {
+  return {"doc:alpha", "doc:bravo", "doc:charlie", "doc:delta",
+          "doc:echo",  "doc:foxtrot", "doc:golf"};
+}
+
+std::vector<std::string> write_keyed_input(mr::Cluster& cluster) {
+  std::vector<mr::Record> records;
+  for (const auto& key : string_keys()) {
+    records.push_back(mr::Record{key, "payload-of-" + key});
+  }
+  return cluster.scatter_records("/raw", std::move(records));
+}
+
+TEST(ReindexTest, AssignsDenseUniqueIds) {
+  mr::Cluster cluster({.num_nodes = 3, .worker_threads = 2});
+  const auto inputs = write_keyed_input(cluster);
+  const ReindexResult result = reindex(cluster, inputs);
+
+  EXPECT_EQ(result.v, 7u);
+  std::set<std::uint64_t> ids;
+  for (const auto& path : result.dataset_paths) {
+    for (const auto& rec : cluster.dfs().open(path)->records) {
+      ids.insert(decode_u64_key(rec.key));
+    }
+  }
+  ASSERT_EQ(ids.size(), 7u);  // unique
+  EXPECT_EQ(*ids.begin(), 0u);
+  EXPECT_EQ(*ids.rbegin(), 6u);  // dense
+}
+
+TEST(ReindexTest, DictionaryInvertsTheAssignment) {
+  mr::Cluster cluster({.num_nodes = 3, .worker_threads = 2});
+  const auto inputs = write_keyed_input(cluster);
+  const ReindexResult result = reindex(cluster, inputs);
+  const auto dict = load_dictionary(cluster, result);
+
+  // Every original key appears exactly once, and the dataset payload for
+  // id i is the payload of dict[i].
+  std::set<std::string> keys(dict.begin(), dict.end());
+  const auto originals = string_keys();
+  EXPECT_EQ(keys, std::set<std::string>(originals.begin(), originals.end()));
+
+  for (const auto& path : result.dataset_paths) {
+    for (const auto& rec : cluster.dfs().open(path)->records) {
+      const std::uint64_t id = decode_u64_key(rec.key);
+      EXPECT_EQ(rec.value, "payload-of-" + dict[id]);
+    }
+  }
+}
+
+TEST(ReindexTest, DuplicateKeysRejected) {
+  mr::Cluster cluster({.num_nodes = 2, .worker_threads = 1});
+  cluster.dfs().write_file("/raw/a", 0,
+                           {mr::Record{"same-key", "v1"},
+                            mr::Record{"same-key", "v2"}});
+  EXPECT_THROW(reindex(cluster, {"/raw/a"}), PreconditionError);
+}
+
+TEST(ReindexTest, FeedsThePipelineEndToEnd) {
+  // Full realistic flow: arbitrary keys -> reindex -> pairwise -> join
+  // results back to the original keys via the dictionary.
+  mr::Cluster cluster({.num_nodes = 3, .worker_threads = 2});
+  const auto inputs = write_keyed_input(cluster);
+  const ReindexResult result = reindex(cluster, inputs);
+  const auto dict = load_dictionary(cluster, result);
+
+  PairwiseJob job;
+  job.compute = [](const Element& a, const Element& b) {
+    return workloads::encode_result(
+        static_cast<double>(a.payload.size() + b.payload.size()));
+  };
+  const BlockScheme scheme(result.v, 2);
+  const PairwiseRunStats stats =
+      run_pairwise(cluster, result.dataset_paths, scheme, job);
+  const auto elements = read_elements(cluster, stats.output_dir);
+  ASSERT_EQ(elements.size(), 7u);
+  for (const Element& e : elements) {
+    EXPECT_EQ(e.results.size(), 6u);
+    EXPECT_FALSE(dict[e.id].empty());
+    EXPECT_EQ(e.payload, "payload-of-" + dict[e.id]);
+  }
+}
+
+TEST(ReindexTest, TooFewElementsThrow) {
+  mr::Cluster cluster({.num_nodes = 1, .worker_threads = 1});
+  cluster.dfs().write_file("/raw/one", 0, {mr::Record{"k", "v"}});
+  EXPECT_THROW(reindex(cluster, {"/raw/one"}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace pairmr

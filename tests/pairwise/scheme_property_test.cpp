@@ -1,0 +1,156 @@
+// Cross-scheme property tests: every DistributionScheme implementation
+// must satisfy the paper's two formal demands (§5) —
+//   (a) balanced work, and
+//   (b) every unordered pair evaluated exactly once —
+// plus the structural invariants the pipeline relies on. Parameterized
+// over scheme factories × dataset sizes, including awkward non-dividing
+// and truncated-design cases.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "common/intmath.hpp"
+#include "pairwise/block_scheme.hpp"
+#include "pairwise/broadcast_scheme.hpp"
+#include "pairwise/cyclic_design_scheme.hpp"
+#include "pairwise/design_scheme.hpp"
+#include "pairwise/scheme.hpp"
+
+namespace pairmr {
+namespace {
+
+struct SchemeCase {
+  std::string label;
+  std::function<std::unique_ptr<DistributionScheme>()> make;
+  std::uint64_t v;
+};
+
+std::vector<SchemeCase> all_cases() {
+  std::vector<SchemeCase> cases;
+  for (const std::uint64_t v : {2ull, 7ull, 10ull, 23ull, 57ull, 64ull}) {
+    for (const std::uint64_t p : {1ull, 3ull, 8ull}) {
+      cases.push_back({"broadcast_v" + std::to_string(v) + "_p" +
+                           std::to_string(p),
+                       [v, p] { return std::make_unique<BroadcastScheme>(v, p); },
+                       v});
+    }
+    for (const std::uint64_t h : {1ull, 2ull, 4ull, 7ull}) {
+      if (h > v) continue;
+      cases.push_back({"block_v" + std::to_string(v) + "_h" +
+                           std::to_string(h),
+                       [v, h] { return std::make_unique<BlockScheme>(v, h); },
+                       v});
+    }
+    cases.push_back(
+        {"design_v" + std::to_string(v),
+         [v] { return std::make_unique<DesignScheme>(v); }, v});
+    cases.push_back({"designPP_v" + std::to_string(v),
+                     [v] {
+                       return std::make_unique<DesignScheme>(
+                           v, PlaneConstruction::kPG2PrimePower);
+                     },
+                     v});
+    cases.push_back({"cyclic_v" + std::to_string(v),
+                     [v] { return std::make_unique<CyclicDesignScheme>(v); },
+                     v});
+  }
+  return cases;
+}
+
+class SchemeProperties : public ::testing::TestWithParam<SchemeCase> {};
+
+TEST_P(SchemeProperties, EveryPairExactlyOnce) {
+  const auto scheme = GetParam().make();
+  const std::uint64_t v = GetParam().v;
+  std::set<std::pair<ElementId, ElementId>> seen;
+  for (TaskId t = 0; t < scheme->num_tasks(); ++t) {
+    for (const auto [lo, hi] : scheme->pairs_in(t)) {
+      ASSERT_LT(lo, hi);
+      ASSERT_LT(hi, v);
+      const bool inserted = seen.insert({lo, hi}).second;
+      EXPECT_TRUE(inserted) << "pair {" << lo << "," << hi
+                            << "} covered twice (task " << t << ")";
+    }
+  }
+  EXPECT_EQ(seen.size(), pair_count(v));
+}
+
+TEST_P(SchemeProperties, PairsStayInsideWorkingSets) {
+  const auto scheme = GetParam().make();
+  for (TaskId t = 0; t < scheme->num_tasks(); ++t) {
+    const auto ws = scheme->working_set(t);
+    const std::set<ElementId> members(ws.begin(), ws.end());
+    for (const auto [lo, hi] : scheme->pairs_in(t)) {
+      EXPECT_TRUE(members.contains(lo));
+      EXPECT_TRUE(members.contains(hi));
+    }
+  }
+}
+
+TEST_P(SchemeProperties, SubsetsOfMatchesWorkingSets) {
+  // getSubsets (map side) and working sets (reduce side) must be two
+  // views of the same relation, or the pipeline loses elements.
+  const auto scheme = GetParam().make();
+  const std::uint64_t v = GetParam().v;
+  std::map<TaskId, std::set<ElementId>> from_subsets;
+  for (ElementId id = 0; id < v; ++id) {
+    const auto tasks = scheme->subsets_of(id);
+    EXPECT_TRUE(std::is_sorted(tasks.begin(), tasks.end()));
+    EXPECT_GE(tasks.size(), 1u) << "element " << id << " unreachable";
+    for (const TaskId t : tasks) from_subsets[t].insert(id);
+  }
+  for (TaskId t = 0; t < scheme->num_tasks(); ++t) {
+    const auto ws = scheme->working_set(t);
+    const std::set<ElementId> members(ws.begin(), ws.end());
+    EXPECT_EQ(members.size(), ws.size()) << "duplicate in working set";
+    const auto it = from_subsets.find(t);
+    const std::set<ElementId> empty;
+    EXPECT_EQ(members, it == from_subsets.end() ? empty : it->second)
+        << "task " << t;
+  }
+}
+
+TEST_P(SchemeProperties, StreamingIterationMatchesMaterialized) {
+  // for_each_pair must visit exactly pairs_in's pairs, in order — the
+  // pipeline consumes the streaming form.
+  const auto scheme = GetParam().make();
+  for (TaskId t = 0; t < scheme->num_tasks(); ++t) {
+    const auto materialized = scheme->pairs_in(t);
+    std::vector<ElementPair> streamed;
+    scheme->for_each_pair(t, [&streamed](ElementPair pair) {
+      streamed.push_back(pair);
+    });
+    EXPECT_EQ(streamed, materialized) << "task " << t;
+  }
+}
+
+TEST_P(SchemeProperties, TotalPairsShortcutAgreesWithEnumeration) {
+  const auto scheme = GetParam().make();
+  std::uint64_t enumerated = 0;
+  for (TaskId t = 0; t < scheme->num_tasks(); ++t) {
+    enumerated += scheme->pairs_in(t).size();
+  }
+  EXPECT_EQ(scheme->total_pairs(), enumerated);
+}
+
+TEST_P(SchemeProperties, WorkBalancedWithinTable1Bound) {
+  // The paper's demand (a): working sets "similar in size" and the
+  // per-task evaluations within the Table 1 per-task bound.
+  const auto scheme = GetParam().make();
+  const double bound = scheme->metrics().evaluations_per_task;
+  for (TaskId t = 0; t < scheme->num_tasks(); ++t) {
+    EXPECT_LE(static_cast<double>(scheme->pairs_in(t).size()), bound + 0.5)
+        << "task " << t << " overloaded";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, SchemeProperties,
+                         ::testing::ValuesIn(all_cases()),
+                         [](const auto& info) { return info.param.label; });
+
+}  // namespace
+}  // namespace pairmr

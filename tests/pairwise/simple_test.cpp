@@ -1,0 +1,68 @@
+#include "pairwise/simple.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "workloads/generators.hpp"
+#include "workloads/kernels.hpp"
+
+namespace pairmr {
+namespace {
+
+PairwiseJob euclid_job() {
+  PairwiseJob job;
+  job.compute = workloads::euclidean_kernel();
+  return job;
+}
+
+TEST(SimpleApiTest, ComputesAllPairsWithDefaults) {
+  const auto points = workloads::clustered_points(12, 3, 2, 20.0, 7);
+  const auto payloads = workloads::vector_payloads(points);
+  const auto elements = compute_all_pairs(payloads, euclid_job());
+  ASSERT_EQ(elements.size(), 12u);
+  for (const auto& e : elements) {
+    EXPECT_EQ(e.results.size(), 11u);
+  }
+  // Spot-check one distance against direct math.
+  const double expected =
+      workloads::euclidean_distance(points[0], points[5]);
+  for (const auto& r : elements[0].results) {
+    if (r.other == 5) {
+      EXPECT_DOUBLE_EQ(workloads::decode_result(r.result), expected);
+    }
+  }
+}
+
+TEST(SimpleApiTest, AllSchemesAgree) {
+  const auto payloads = workloads::vector_payloads(
+      workloads::clustered_points(10, 2, 2, 10.0, 3));
+  SimpleOptions broadcast;
+  broadcast.scheme = SchemeKind::kBroadcast;
+  SimpleOptions block;
+  block.scheme = SchemeKind::kBlock;
+  SimpleOptions design;
+  design.scheme = SchemeKind::kDesign;
+  const auto a = compute_all_pairs(payloads, euclid_job(), broadcast);
+  const auto b = compute_all_pairs(payloads, euclid_job(), block);
+  const auto c = compute_all_pairs(payloads, euclid_job(), design);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, c);
+}
+
+TEST(SimpleApiTest, ExplicitBlockFactorHonored) {
+  const auto payloads = workloads::vector_payloads(
+      workloads::clustered_points(9, 2, 1, 1.0, 3));
+  SimpleOptions options;
+  options.scheme = SchemeKind::kBlock;
+  options.block_h = 3;
+  const auto elements = compute_all_pairs(payloads, euclid_job(), options);
+  EXPECT_EQ(elements.size(), 9u);
+}
+
+TEST(SimpleApiTest, TooFewElementsThrow) {
+  EXPECT_THROW(compute_all_pairs({"only-one"}, euclid_job()),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace pairmr

@@ -1,0 +1,150 @@
+// Randomized stress tests: seed sweeps across schemes, payload shapes,
+// and cluster geometries, validating the pipeline's global invariants on
+// every combination — each element ends with exactly v-1 results, the
+// stored relation is symmetric, and all schemes agree bit-for-bit.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "common/intmath.hpp"
+#include "common/rng.hpp"
+#include "pairwise/block_scheme.hpp"
+#include "pairwise/broadcast_scheme.hpp"
+#include "pairwise/dataset.hpp"
+#include "pairwise/design_scheme.hpp"
+#include "pairwise/pipeline.hpp"
+#include "workloads/kernels.hpp"
+
+namespace pairmr {
+namespace {
+
+// Variable-size random payloads (1..60 bytes).
+std::vector<std::string> random_payloads(std::uint64_t v,
+                                         std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::string> out;
+  out.reserve(v);
+  for (std::uint64_t i = 0; i < v; ++i) {
+    Rng item = rng.fork(i);
+    std::string p(1 + item.next_below(60), '\0');
+    for (auto& c : p) c = static_cast<char>('a' + item.next_below(26));
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+PairwiseJob edit_job() {
+  PairwiseJob job;
+  job.compute = workloads::edit_distance_kernel();
+  return job;
+}
+
+class PipelineSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PipelineSeedSweep, InvariantsHoldAndSchemesAgree) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed * 7919 + 1);
+  const std::uint64_t v = 12 + rng.next_below(30);
+  const auto payloads = random_payloads(v, seed);
+
+  std::vector<std::unique_ptr<DistributionScheme>> schemes;
+  schemes.push_back(
+      std::make_unique<BroadcastScheme>(v, 1 + rng.next_below(9)));
+  schemes.push_back(
+      std::make_unique<BlockScheme>(v, 1 + rng.next_below(v / 2)));
+  schemes.push_back(std::make_unique<DesignScheme>(v));
+
+  std::vector<std::vector<Element>> outputs;
+  for (const auto& scheme : schemes) {
+    mr::Cluster cluster(
+        {.num_nodes = static_cast<std::uint32_t>(2 + seed % 4),
+         .worker_threads = 2});
+    const auto inputs = write_dataset(cluster, "/data", payloads);
+    const PairwiseRunStats stats =
+        run_pairwise(cluster, inputs, *scheme, edit_job());
+    ASSERT_EQ(stats.evaluations, pair_count(v)) << scheme->name();
+    outputs.push_back(read_elements(cluster, stats.output_dir));
+  }
+
+  // Invariants on the first output.
+  const auto& elements = outputs.front();
+  ASSERT_EQ(elements.size(), v);
+  std::map<std::pair<ElementId, ElementId>, double> matrix;
+  for (const Element& e : elements) {
+    ASSERT_EQ(e.results.size(), v - 1) << "element " << e.id;
+    for (const auto& r : e.results) {
+      matrix[{e.id, r.other}] = workloads::decode_result(r.result);
+    }
+  }
+  for (ElementId i = 0; i < v; ++i) {
+    for (ElementId j = i + 1; j < v; ++j) {
+      const auto key_ij = std::make_pair(i, j);
+      const auto key_ji = std::make_pair(j, i);
+      ASSERT_TRUE(matrix.contains(key_ij));
+      // Symmetric storage: both directions hold the same value.
+      EXPECT_DOUBLE_EQ(matrix[key_ij], matrix[key_ji]);
+      // And it is the actual edit distance.
+      const double expected = static_cast<double>(
+          workloads::edit_distance(payloads[i], payloads[j]));
+      EXPECT_DOUBLE_EQ(matrix[key_ij], expected);
+    }
+  }
+
+  // Cross-scheme agreement, bit-for-bit.
+  EXPECT_EQ(outputs[0], outputs[1]);
+  EXPECT_EQ(outputs[0], outputs[2]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineSeedSweep,
+                         ::testing::Range<std::uint64_t>(0, 8),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+TEST(PipelineStressTest, MediumDatasetDesignScheme) {
+  // A bigger single run: v = 211 (prime, so q̂ lands close), confirms the
+  // pipeline at a scale where the design has ~15-element blocks.
+  const std::uint64_t v = 211;
+  std::vector<std::string> payloads;
+  for (std::uint64_t i = 0; i < v; ++i) {
+    payloads.push_back(std::to_string(i * 2654435761u));
+  }
+  mr::Cluster cluster({.num_nodes = 4, .worker_threads = 0});
+  const auto inputs = write_dataset(cluster, "/data", payloads);
+  const DesignScheme scheme(v);
+
+  PairwiseJob job;
+  job.compute = [](const Element& a, const Element& b) {
+    return workloads::encode_result(
+        static_cast<double>(a.payload.size() * b.payload.size()));
+  };
+  const PairwiseRunStats stats = run_pairwise(cluster, inputs, scheme, job);
+  EXPECT_EQ(stats.evaluations, pair_count(v));
+  std::uint64_t total_results = 0;
+  for (const Element& e : read_elements(cluster, stats.output_dir)) {
+    total_results += e.results.size();
+  }
+  EXPECT_EQ(total_results, 2 * pair_count(v));
+}
+
+TEST(PipelineStressTest, ManySplitsManyReducersDeterministic) {
+  const std::uint64_t v = 40;
+  const auto payloads = random_payloads(v, 99);
+  std::vector<std::vector<Element>> outputs;
+  for (const std::uint32_t threads : {1u, 4u}) {
+    mr::Cluster cluster({.num_nodes = 5, .worker_threads = threads});
+    const auto inputs = write_dataset(cluster, "/data", payloads);
+    const BlockScheme scheme(v, 6);
+    PairwiseOptions options;
+    options.max_records_per_split = 2;  // many map tasks
+    options.num_reduce_tasks = 13;      // more reducers than nodes
+    const PairwiseRunStats stats =
+        run_pairwise(cluster, inputs, scheme, edit_job(), options);
+    outputs.push_back(read_elements(cluster, stats.output_dir));
+  }
+  EXPECT_EQ(outputs[0], outputs[1]);
+}
+
+}  // namespace
+}  // namespace pairmr

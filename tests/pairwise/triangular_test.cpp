@@ -1,0 +1,91 @@
+// Tests for the Figure 5 pair enumeration and Figure 6 block enumeration,
+// including the exact tables printed in the paper.
+#include "pairwise/triangular.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pairmr {
+namespace {
+
+TEST(PairLabelTest, MatchesPaperFigure5) {
+  // Figure 5 labels column-by-column down the upper triangle:
+  //   (2,1)=1, (3,1)=2, (3,2)=3, (4,1)=4, ..., (7,6)=21.
+  EXPECT_EQ(pair_label(2, 1), 1u);
+  EXPECT_EQ(pair_label(3, 1), 2u);
+  EXPECT_EQ(pair_label(3, 2), 3u);
+  EXPECT_EQ(pair_label(4, 1), 4u);
+  EXPECT_EQ(pair_label(4, 2), 5u);
+  EXPECT_EQ(pair_label(4, 3), 6u);
+  EXPECT_EQ(pair_label(5, 1), 7u);
+  EXPECT_EQ(pair_label(6, 1), 11u);
+  EXPECT_EQ(pair_label(7, 1), 16u);
+  EXPECT_EQ(pair_label(7, 6), 21u);
+}
+
+TEST(PairLabelTest, InversionMatchesPaperExamples) {
+  EXPECT_EQ(label_to_pair(1), (PairIndex{2, 1}));
+  EXPECT_EQ(label_to_pair(6), (PairIndex{4, 3}));
+  EXPECT_EQ(label_to_pair(7), (PairIndex{5, 1}));
+  EXPECT_EQ(label_to_pair(21), (PairIndex{7, 6}));
+}
+
+TEST(PairLabelTest, RoundTripSweep) {
+  // Every label in a v=120 triangle inverts back exactly.
+  std::uint64_t expected = 1;
+  for (std::uint64_t i = 2; i <= 120; ++i) {
+    for (std::uint64_t j = 1; j < i; ++j) {
+      const std::uint64_t p = pair_label(i, j);
+      EXPECT_EQ(p, expected);
+      const PairIndex inv = label_to_pair(p);
+      EXPECT_EQ(inv.i, i);
+      EXPECT_EQ(inv.j, j);
+      ++expected;
+    }
+  }
+}
+
+TEST(PairLabelTest, LargeLabelsExact) {
+  // Near v = 2^21 the labels exceed 2^41; inversion must stay exact.
+  const std::uint64_t i = (1ull << 21) + 7;
+  const std::uint64_t j = 12345;
+  const PairIndex inv = label_to_pair(pair_label(i, j));
+  EXPECT_EQ(inv.i, i);
+  EXPECT_EQ(inv.j, j);
+}
+
+TEST(PairLabelTest, ZeroLabelRejected) {
+  EXPECT_THROW(label_to_pair(0), PreconditionError);
+}
+
+TEST(BlockLabelTest, MatchesPaperFigure6) {
+  // Figure 6 (h = 3): p=1 -> (1,1), p=2 -> (2,1), p=3 -> (2,2),
+  // p=4 -> (3,1), p=5 -> (3,2), p=6 -> (3,3).
+  EXPECT_EQ(block_label(1, 1), 1u);
+  EXPECT_EQ(block_label(2, 1), 2u);
+  EXPECT_EQ(block_label(2, 2), 3u);
+  EXPECT_EQ(block_label(3, 1), 4u);
+  EXPECT_EQ(block_label(3, 2), 5u);
+  EXPECT_EQ(block_label(3, 3), 6u);
+
+  EXPECT_EQ(label_to_block(1), (BlockIndex{1, 1}));
+  EXPECT_EQ(label_to_block(2), (BlockIndex{2, 1}));
+  EXPECT_EQ(label_to_block(3), (BlockIndex{2, 2}));
+  EXPECT_EQ(label_to_block(4), (BlockIndex{3, 1}));
+  EXPECT_EQ(label_to_block(5), (BlockIndex{3, 2}));
+  EXPECT_EQ(label_to_block(6), (BlockIndex{3, 3}));
+}
+
+TEST(BlockLabelTest, RoundTripSweep) {
+  std::uint64_t expected = 1;
+  for (std::uint64_t I = 1; I <= 100; ++I) {
+    for (std::uint64_t J = 1; J <= I; ++J) {
+      const std::uint64_t p = block_label(I, J);
+      EXPECT_EQ(p, expected);
+      EXPECT_EQ(label_to_block(p), (BlockIndex{I, J}));
+      ++expected;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pairmr

@@ -1,0 +1,114 @@
+#include "workloads/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/serde.hpp"
+#include "workloads/kernels.hpp"
+
+namespace pairmr::workloads {
+namespace {
+
+TEST(BlobPayloadsTest, ExactSizesAndDeterminism) {
+  const auto a = blob_payloads(10, 500, 42);
+  const auto b = blob_payloads(10, 500, 42);
+  ASSERT_EQ(a.size(), 10u);
+  for (const auto& p : a) EXPECT_EQ(p.size(), 500u);
+  EXPECT_EQ(a, b);
+  const auto c = blob_payloads(10, 500, 43);
+  EXPECT_NE(a, c);
+}
+
+TEST(BlobPayloadsTest, PayloadsAreDistinct) {
+  const auto payloads = blob_payloads(20, 64, 1);
+  for (std::size_t i = 0; i < payloads.size(); ++i) {
+    for (std::size_t j = i + 1; j < payloads.size(); ++j) {
+      EXPECT_NE(payloads[i], payloads[j]);
+    }
+  }
+}
+
+TEST(ClusteredPointsTest, IntraClusterTighterThanInter) {
+  // Points i, i+2 share a cluster (2 clusters, round-robin assignment);
+  // i, i+1 do not. With spread 50 the separation must dominate.
+  const auto points = clustered_points(40, 4, 2, 50.0, 9);
+  double intra = 0.0, inter = 0.0;
+  int n_intra = 0, n_inter = 0;
+  for (std::size_t i = 0; i + 2 < points.size(); ++i) {
+    intra += euclidean_distance(points[i], points[i + 2]);
+    ++n_intra;
+    inter += euclidean_distance(points[i], points[i + 1]);
+    ++n_inter;
+  }
+  EXPECT_LT(intra / n_intra, inter / n_inter / 2.0);
+}
+
+TEST(VectorPayloadsTest, RoundTripThroughSerde) {
+  const auto points = clustered_points(5, 3, 1, 1.0, 2);
+  const auto payloads = vector_payloads(points);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(decode_f64_vec(payloads[i]), points[i]);
+  }
+}
+
+TEST(TokenDocumentsTest, SortedDeduplicatedInVocabulary) {
+  const auto docs = token_documents(30, 1000, 50, 5);
+  ASSERT_EQ(docs.size(), 30u);
+  for (const auto& doc : docs) {
+    EXPECT_FALSE(doc.empty());
+    EXPECT_LE(doc.size(), 50u);
+    for (std::size_t i = 1; i < doc.size(); ++i) {
+      EXPECT_LT(doc[i - 1], doc[i]);  // sorted and unique
+    }
+    EXPECT_LT(doc.back(), 1000u);
+  }
+}
+
+TEST(TokenDocumentsTest, ZipfSkewSharesFrequentTokens) {
+  // Low token ids act as frequent terms; most document pairs should share
+  // at least one.
+  const auto docs = token_documents(20, 500, 40, 11);
+  int sharing = 0, total = 0;
+  for (std::size_t i = 0; i < docs.size(); ++i) {
+    for (std::size_t j = i + 1; j < docs.size(); ++j) {
+      if (jaccard_similarity(docs[i], docs[j]) > 0.0) ++sharing;
+      ++total;
+    }
+  }
+  EXPECT_GT(sharing, total / 2);
+}
+
+TEST(DocumentPayloadsTest, RoundTrip) {
+  const auto docs = token_documents(5, 100, 10, 3);
+  const auto payloads = document_payloads(docs);
+  for (std::size_t i = 0; i < docs.size(); ++i) {
+    EXPECT_EQ(decode_token_set(payloads[i]), docs[i]);
+  }
+}
+
+TEST(ExpressionProfilesTest, CoRegulatedGenesCorrelate) {
+  // Same-group genes share a regulator: their MI should clearly beat
+  // cross-group MI (this is the structure gene-network recovery needs).
+  const auto profiles = expression_profiles(12, 200, 3, 17);
+  const double same_group = mutual_information(profiles[0], profiles[1], 8);
+  const double cross_group = mutual_information(profiles[0], profiles[4], 8);
+  EXPECT_GT(same_group, cross_group + 0.2);
+}
+
+TEST(ExpressionProfilesTest, ShapeAndDeterminism) {
+  const auto a = expression_profiles(6, 50, 2, 1);
+  const auto b = expression_profiles(6, 50, 2, 1);
+  ASSERT_EQ(a.size(), 6u);
+  EXPECT_EQ(a[0].size(), 50u);
+  EXPECT_EQ(a, b);
+}
+
+TEST(GeneratorsTest, InvalidParametersThrow) {
+  EXPECT_THROW(blob_payloads(3, 0, 1), PreconditionError);
+  EXPECT_THROW(clustered_points(3, 0, 1, 1.0, 1), PreconditionError);
+  EXPECT_THROW(token_documents(3, 0, 5, 1), PreconditionError);
+  EXPECT_THROW(expression_profiles(3, 0, 2, 1), PreconditionError);
+}
+
+}  // namespace
+}  // namespace pairmr::workloads

@@ -1,0 +1,112 @@
+// The Elsayed et al. baseline must agree with the quadratic pipeline on
+// which pairs pass the similarity threshold — and must do *less* work on
+// sparse corpora (its raison d'être) but *more* on dense ones (the
+// regime the paper's schemes target).
+#include "workloads/inverted_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/intmath.hpp"
+#include "pairwise/block_scheme.hpp"
+#include "pairwise/dataset.hpp"
+#include "pairwise/pipeline.hpp"
+#include "workloads/generators.hpp"
+#include "workloads/kernels.hpp"
+
+namespace pairmr::workloads {
+namespace {
+
+constexpr double kThreshold = 0.2;
+
+// Reference: thresholded Jaccard for all pairs, serially.
+std::map<std::pair<ElementId, ElementId>, double> reference(
+    const std::vector<std::vector<std::uint32_t>>& docs) {
+  std::map<std::pair<ElementId, ElementId>, double> out;
+  for (ElementId i = 0; i < docs.size(); ++i) {
+    for (ElementId j = i + 1; j < docs.size(); ++j) {
+      const double s = jaccard_similarity(docs[i], docs[j]);
+      if (s >= kThreshold) out[{i, j}] = s;
+    }
+  }
+  return out;
+}
+
+TEST(InvertedIndexTest, MatchesSerialReference) {
+  const auto docs = token_documents(25, 300, 40, 13);
+  mr::Cluster cluster({.num_nodes = 3, .worker_threads = 2});
+  const auto inputs =
+      write_dataset(cluster, "/docs", document_payloads(docs));
+
+  const InvertedIndexStats stats =
+      run_doc_similarity_inverted(cluster, inputs, kThreshold);
+  const auto measured = read_similarities(cluster, stats.output_dir);
+  const auto expected = reference(docs);
+
+  ASSERT_EQ(measured.size(), expected.size());
+  for (const auto& [pair, sim] : expected) {
+    const auto it = measured.find(pair);
+    ASSERT_NE(it, measured.end());
+    EXPECT_DOUBLE_EQ(it->second, sim);
+  }
+}
+
+TEST(InvertedIndexTest, MatchesQuadraticPipeline) {
+  const auto docs = token_documents(20, 400, 30, 7);
+  const auto payloads = document_payloads(docs);
+
+  // Baseline.
+  mr::Cluster c1({.num_nodes = 2, .worker_threads = 2});
+  const auto in1 = write_dataset(c1, "/docs", payloads);
+  const InvertedIndexStats baseline =
+      run_doc_similarity_inverted(c1, in1, kThreshold);
+  const auto base_sims = read_similarities(c1, baseline.output_dir);
+
+  // Quadratic pipeline with the block scheme.
+  mr::Cluster c2({.num_nodes = 2, .worker_threads = 2});
+  const auto in2 = write_dataset(c2, "/docs", payloads);
+  PairwiseJob job;
+  job.compute = jaccard_kernel();
+  job.keep = keep_above(kThreshold);
+  const BlockScheme scheme(docs.size(), 3);
+  const PairwiseRunStats quad = run_pairwise(c2, in2, scheme, job);
+
+  std::map<std::pair<ElementId, ElementId>, double> quad_sims;
+  for (const Element& e : read_elements(c2, quad.output_dir)) {
+    for (const auto& r : e.results) {
+      if (r.other > e.id) {
+        quad_sims[{e.id, r.other}] = decode_result(r.result);
+      }
+    }
+  }
+  EXPECT_EQ(base_sims, quad_sims);
+}
+
+TEST(InvertedIndexTest, SparseCorpusDoesLessWorkThanQuadratic) {
+  // Huge vocabulary, short docs: few shared terms, so the index touches
+  // far fewer pairs than C(v,2) — Elsayed's winning regime.
+  const std::uint64_t v = 60;
+  const auto docs = token_documents(v, 100000, 12, 3);
+  mr::Cluster cluster({.num_nodes = 2, .worker_threads = 2});
+  const auto inputs =
+      write_dataset(cluster, "/docs", document_payloads(docs));
+  const InvertedIndexStats stats =
+      run_doc_similarity_inverted(cluster, inputs, kThreshold);
+  EXPECT_LT(stats.pair_contributions, pair_count(v) / 2);
+}
+
+TEST(InvertedIndexTest, DenseCorpusDegenerates) {
+  // Tiny vocabulary: every term's posting list is nearly the whole
+  // corpus, so contributions far exceed the Cartesian product — the
+  // irreducible regime where the paper's schemes win.
+  const std::uint64_t v = 40;
+  const auto docs = token_documents(v, 30, 25, 3);
+  mr::Cluster cluster({.num_nodes = 2, .worker_threads = 2});
+  const auto inputs =
+      write_dataset(cluster, "/docs", document_payloads(docs));
+  const InvertedIndexStats stats =
+      run_doc_similarity_inverted(cluster, inputs, kThreshold);
+  EXPECT_GT(stats.pair_contributions, pair_count(v) * 2);
+}
+
+}  // namespace
+}  // namespace pairmr::workloads

@@ -1,0 +1,157 @@
+#include "workloads/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "common/serde.hpp"
+#include "workloads/generators.hpp"
+
+namespace pairmr::workloads {
+namespace {
+
+Element vec_element(ElementId id, const std::vector<double>& v) {
+  Element e;
+  e.id = id;
+  e.payload = encode_f64_vec(v);
+  return e;
+}
+
+TEST(ResultCodecTest, RoundTrip) {
+  for (const double x : {0.0, -1.5, 3.25e10, 1e-300}) {
+    EXPECT_DOUBLE_EQ(decode_result(encode_result(x)), x);
+  }
+}
+
+TEST(EuclideanTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(euclidean_distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(euclidean_distance({1, 2, 3}, {1, 2, 3}), 0.0);
+  EXPECT_THROW(euclidean_distance({1}, {1, 2}), PreconditionError);
+}
+
+TEST(CosineTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(cosine_similarity({1, 0}, {0, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(cosine_similarity({2, 0}, {5, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(cosine_similarity({1, 0}, {-3, 0}), -1.0);
+  EXPECT_DOUBLE_EQ(cosine_similarity({0, 0}, {1, 1}), 0.0);  // zero norm
+}
+
+TEST(InnerProductTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(inner_product({1, 2, 3}, {4, 5, 6}), 32.0);
+  EXPECT_DOUBLE_EQ(inner_product({}, {}), 0.0);
+}
+
+TEST(JaccardTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(jaccard_similarity({1, 2, 3}, {2, 3, 4}), 0.5);
+  EXPECT_DOUBLE_EQ(jaccard_similarity({1, 2}, {3, 4}), 0.0);
+  EXPECT_DOUBLE_EQ(jaccard_similarity({5, 7}, {5, 7}), 1.0);
+  EXPECT_DOUBLE_EQ(jaccard_similarity({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(jaccard_similarity({1}, {}), 0.0);
+}
+
+TEST(MutualInformationTest, IndependentNearZeroCorrelatedHigh) {
+  Rng rng(5);
+  std::vector<double> x(3000), y_dep(3000), y_ind(3000);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.next_gaussian();
+    y_dep[i] = x[i] + 0.1 * rng.next_gaussian();
+    y_ind[i] = rng.next_gaussian();
+  }
+  const double dep = mutual_information(x, y_dep, 8);
+  const double ind = mutual_information(x, y_ind, 8);
+  EXPECT_GT(dep, 1.0);
+  EXPECT_LT(ind, 0.1);
+}
+
+TEST(MutualInformationTest, SelfInformationIsEntropyScale) {
+  Rng rng(9);
+  std::vector<double> x(2000);
+  for (auto& v : x) v = rng.next_gaussian();
+  // MI(X, X) should approach the (binned) entropy — far above noise.
+  EXPECT_GT(mutual_information(x, x, 8), 1.5);
+}
+
+TEST(MutualInformationTest, ConstantVectorHasZeroMI) {
+  const std::vector<double> c(100, 3.0);
+  std::vector<double> x(100);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = static_cast<double>(i);
+  EXPECT_DOUBLE_EQ(mutual_information(c, x, 4), 0.0);
+}
+
+TEST(MutualInformationTest, InvalidInputsThrow) {
+  EXPECT_THROW(mutual_information({1.0}, {1.0, 2.0}, 4), PreconditionError);
+  EXPECT_THROW(mutual_information({}, {}, 4), PreconditionError);
+  EXPECT_THROW(mutual_information({1.0, 2.0}, {1.0, 2.0}, 1),
+               PreconditionError);
+}
+
+TEST(EditDistanceTest, KnownValues) {
+  EXPECT_EQ(edit_distance("", ""), 0u);
+  EXPECT_EQ(edit_distance("abc", ""), 3u);
+  EXPECT_EQ(edit_distance("", "xy"), 2u);
+  EXPECT_EQ(edit_distance("kitten", "sitting"), 3u);
+  EXPECT_EQ(edit_distance("flaw", "lawn"), 2u);
+  EXPECT_EQ(edit_distance("identical", "identical"), 0u);
+}
+
+TEST(EditDistanceTest, SymmetryAndTriangleInequality) {
+  const std::vector<std::string> words = {"alpha", "alpine", "slope",
+                                          "elope", ""};
+  for (const auto& a : words) {
+    for (const auto& b : words) {
+      EXPECT_EQ(edit_distance(a, b), edit_distance(b, a));
+      for (const auto& c : words) {
+        EXPECT_LE(edit_distance(a, c),
+                  edit_distance(a, b) + edit_distance(b, c));
+      }
+    }
+  }
+}
+
+TEST(KernelWrapperTest, EditDistanceKernelUsesRawPayloads) {
+  const auto kernel = edit_distance_kernel();
+  Element a, b;
+  a.payload = "kitten";
+  b.payload = "sitting";
+  EXPECT_DOUBLE_EQ(decode_result(kernel(a, b)), 3.0);
+}
+
+TEST(KernelWrapperTest, EuclideanKernelDecodesPayloads) {
+  const auto kernel = euclidean_kernel();
+  const std::string r =
+      kernel(vec_element(0, {0, 0}), vec_element(1, {3, 4}));
+  EXPECT_DOUBLE_EQ(decode_result(r), 5.0);
+}
+
+TEST(KernelWrapperTest, JaccardKernelDecodesTokenSets) {
+  const auto kernel = jaccard_kernel();
+  Element a, b;
+  a.payload = document_payloads({{1, 2, 3}})[0];
+  b.payload = document_payloads({{2, 3, 4}})[0];
+  EXPECT_DOUBLE_EQ(decode_result(kernel(a, b)), 0.5);
+}
+
+TEST(KernelWrapperTest, ExpensiveKernelIsDeterministicAndSymmetricish) {
+  const auto kernel = expensive_blob_kernel(4);
+  Element a, b;
+  a.payload = "payload-a";
+  b.payload = "payload-b";
+  EXPECT_EQ(kernel(a, b), kernel(a, b));
+  // More rounds => different mixing.
+  EXPECT_NE(kernel(a, b), expensive_blob_kernel(5)(a, b));
+}
+
+TEST(KeepPredicatesTest, ThresholdsApplyToDecodedResult) {
+  Element dummy;
+  const auto below = keep_below(2.5);
+  EXPECT_TRUE(below(dummy, dummy, encode_result(2.5)));
+  EXPECT_FALSE(below(dummy, dummy, encode_result(2.6)));
+  const auto above = keep_above(0.8);
+  EXPECT_TRUE(above(dummy, dummy, encode_result(0.9)));
+  EXPECT_FALSE(above(dummy, dummy, encode_result(0.7)));
+}
+
+}  // namespace
+}  // namespace pairmr::workloads
