@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_broadcast_onejob.dir/bench_broadcast_onejob.cpp.o"
+  "CMakeFiles/bench_broadcast_onejob.dir/bench_broadcast_onejob.cpp.o.d"
+  "bench_broadcast_onejob"
+  "bench_broadcast_onejob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_broadcast_onejob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

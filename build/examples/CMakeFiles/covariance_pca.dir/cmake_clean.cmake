@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/covariance_pca.dir/covariance_pca.cpp.o"
+  "CMakeFiles/covariance_pca.dir/covariance_pca.cpp.o.d"
+  "covariance_pca"
+  "covariance_pca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/covariance_pca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

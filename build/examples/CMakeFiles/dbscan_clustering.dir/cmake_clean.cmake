@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbscan_clustering.dir/dbscan_clustering.cpp.o"
+  "CMakeFiles/dbscan_clustering.dir/dbscan_clustering.cpp.o.d"
+  "dbscan_clustering"
+  "dbscan_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbscan_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doc_similarity.dir/doc_similarity.cpp.o"
+  "CMakeFiles/doc_similarity.dir/doc_similarity.cpp.o.d"
+  "doc_similarity"
+  "doc_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doc_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure3_trace.dir/figure3_trace.cpp.o"
+  "CMakeFiles/figure3_trace.dir/figure3_trace.cpp.o.d"
+  "figure3_trace"
+  "figure3_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure3_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gene_network.dir/gene_network.cpp.o"
+  "CMakeFiles/gene_network.dir/gene_network.cpp.o.d"
+  "gene_network"
+  "gene_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gene_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pairmr_cli.dir/pairmr_cli.cpp.o"
+  "CMakeFiles/pairmr_cli.dir/pairmr_cli.cpp.o.d"
+  "pairmr_cli"
+  "pairmr_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pairmr_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

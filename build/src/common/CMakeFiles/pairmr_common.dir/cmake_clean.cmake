@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pairmr_common.dir/log.cpp.o"
+  "CMakeFiles/pairmr_common.dir/log.cpp.o.d"
+  "CMakeFiles/pairmr_common.dir/table.cpp.o"
+  "CMakeFiles/pairmr_common.dir/table.cpp.o.d"
+  "CMakeFiles/pairmr_common.dir/units.cpp.o"
+  "CMakeFiles/pairmr_common.dir/units.cpp.o.d"
+  "libpairmr_common.a"
+  "libpairmr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pairmr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpairmr_common.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/design/design_check.cpp" "src/design/CMakeFiles/pairmr_design.dir/design_check.cpp.o" "gcc" "src/design/CMakeFiles/pairmr_design.dir/design_check.cpp.o.d"
+  "/root/repo/src/design/difference_set.cpp" "src/design/CMakeFiles/pairmr_design.dir/difference_set.cpp.o" "gcc" "src/design/CMakeFiles/pairmr_design.dir/difference_set.cpp.o.d"
+  "/root/repo/src/design/gf.cpp" "src/design/CMakeFiles/pairmr_design.dir/gf.cpp.o" "gcc" "src/design/CMakeFiles/pairmr_design.dir/gf.cpp.o.d"
+  "/root/repo/src/design/primes.cpp" "src/design/CMakeFiles/pairmr_design.dir/primes.cpp.o" "gcc" "src/design/CMakeFiles/pairmr_design.dir/primes.cpp.o.d"
+  "/root/repo/src/design/projective_plane.cpp" "src/design/CMakeFiles/pairmr_design.dir/projective_plane.cpp.o" "gcc" "src/design/CMakeFiles/pairmr_design.dir/projective_plane.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pairmr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pairmr_design.dir/design_check.cpp.o"
+  "CMakeFiles/pairmr_design.dir/design_check.cpp.o.d"
+  "CMakeFiles/pairmr_design.dir/difference_set.cpp.o"
+  "CMakeFiles/pairmr_design.dir/difference_set.cpp.o.d"
+  "CMakeFiles/pairmr_design.dir/gf.cpp.o"
+  "CMakeFiles/pairmr_design.dir/gf.cpp.o.d"
+  "CMakeFiles/pairmr_design.dir/primes.cpp.o"
+  "CMakeFiles/pairmr_design.dir/primes.cpp.o.d"
+  "CMakeFiles/pairmr_design.dir/projective_plane.cpp.o"
+  "CMakeFiles/pairmr_design.dir/projective_plane.cpp.o.d"
+  "libpairmr_design.a"
+  "libpairmr_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pairmr_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

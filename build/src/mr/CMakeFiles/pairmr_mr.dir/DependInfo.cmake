@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mr/cluster.cpp" "src/mr/CMakeFiles/pairmr_mr.dir/cluster.cpp.o" "gcc" "src/mr/CMakeFiles/pairmr_mr.dir/cluster.cpp.o.d"
+  "/root/repo/src/mr/counters.cpp" "src/mr/CMakeFiles/pairmr_mr.dir/counters.cpp.o" "gcc" "src/mr/CMakeFiles/pairmr_mr.dir/counters.cpp.o.d"
+  "/root/repo/src/mr/engine.cpp" "src/mr/CMakeFiles/pairmr_mr.dir/engine.cpp.o" "gcc" "src/mr/CMakeFiles/pairmr_mr.dir/engine.cpp.o.d"
+  "/root/repo/src/mr/fs.cpp" "src/mr/CMakeFiles/pairmr_mr.dir/fs.cpp.o" "gcc" "src/mr/CMakeFiles/pairmr_mr.dir/fs.cpp.o.d"
+  "/root/repo/src/mr/job.cpp" "src/mr/CMakeFiles/pairmr_mr.dir/job.cpp.o" "gcc" "src/mr/CMakeFiles/pairmr_mr.dir/job.cpp.o.d"
+  "/root/repo/src/mr/network.cpp" "src/mr/CMakeFiles/pairmr_mr.dir/network.cpp.o" "gcc" "src/mr/CMakeFiles/pairmr_mr.dir/network.cpp.o.d"
+  "/root/repo/src/mr/text_io.cpp" "src/mr/CMakeFiles/pairmr_mr.dir/text_io.cpp.o" "gcc" "src/mr/CMakeFiles/pairmr_mr.dir/text_io.cpp.o.d"
+  "/root/repo/src/mr/thread_pool.cpp" "src/mr/CMakeFiles/pairmr_mr.dir/thread_pool.cpp.o" "gcc" "src/mr/CMakeFiles/pairmr_mr.dir/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pairmr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pairmr_mr.dir/cluster.cpp.o"
+  "CMakeFiles/pairmr_mr.dir/cluster.cpp.o.d"
+  "CMakeFiles/pairmr_mr.dir/counters.cpp.o"
+  "CMakeFiles/pairmr_mr.dir/counters.cpp.o.d"
+  "CMakeFiles/pairmr_mr.dir/engine.cpp.o"
+  "CMakeFiles/pairmr_mr.dir/engine.cpp.o.d"
+  "CMakeFiles/pairmr_mr.dir/fs.cpp.o"
+  "CMakeFiles/pairmr_mr.dir/fs.cpp.o.d"
+  "CMakeFiles/pairmr_mr.dir/job.cpp.o"
+  "CMakeFiles/pairmr_mr.dir/job.cpp.o.d"
+  "CMakeFiles/pairmr_mr.dir/network.cpp.o"
+  "CMakeFiles/pairmr_mr.dir/network.cpp.o.d"
+  "CMakeFiles/pairmr_mr.dir/text_io.cpp.o"
+  "CMakeFiles/pairmr_mr.dir/text_io.cpp.o.d"
+  "CMakeFiles/pairmr_mr.dir/thread_pool.cpp.o"
+  "CMakeFiles/pairmr_mr.dir/thread_pool.cpp.o.d"
+  "libpairmr_mr.a"
+  "libpairmr_mr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pairmr_mr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pairwise/aggregate.cpp" "src/pairwise/CMakeFiles/pairmr_pairwise.dir/aggregate.cpp.o" "gcc" "src/pairwise/CMakeFiles/pairmr_pairwise.dir/aggregate.cpp.o.d"
+  "/root/repo/src/pairwise/bipartite_scheme.cpp" "src/pairwise/CMakeFiles/pairmr_pairwise.dir/bipartite_scheme.cpp.o" "gcc" "src/pairwise/CMakeFiles/pairmr_pairwise.dir/bipartite_scheme.cpp.o.d"
+  "/root/repo/src/pairwise/block_scheme.cpp" "src/pairwise/CMakeFiles/pairmr_pairwise.dir/block_scheme.cpp.o" "gcc" "src/pairwise/CMakeFiles/pairmr_pairwise.dir/block_scheme.cpp.o.d"
+  "/root/repo/src/pairwise/broadcast_scheme.cpp" "src/pairwise/CMakeFiles/pairmr_pairwise.dir/broadcast_scheme.cpp.o" "gcc" "src/pairwise/CMakeFiles/pairmr_pairwise.dir/broadcast_scheme.cpp.o.d"
+  "/root/repo/src/pairwise/cost_model.cpp" "src/pairwise/CMakeFiles/pairmr_pairwise.dir/cost_model.cpp.o" "gcc" "src/pairwise/CMakeFiles/pairmr_pairwise.dir/cost_model.cpp.o.d"
+  "/root/repo/src/pairwise/cyclic_design_scheme.cpp" "src/pairwise/CMakeFiles/pairmr_pairwise.dir/cyclic_design_scheme.cpp.o" "gcc" "src/pairwise/CMakeFiles/pairmr_pairwise.dir/cyclic_design_scheme.cpp.o.d"
+  "/root/repo/src/pairwise/dataset.cpp" "src/pairwise/CMakeFiles/pairmr_pairwise.dir/dataset.cpp.o" "gcc" "src/pairwise/CMakeFiles/pairmr_pairwise.dir/dataset.cpp.o.d"
+  "/root/repo/src/pairwise/design_scheme.cpp" "src/pairwise/CMakeFiles/pairmr_pairwise.dir/design_scheme.cpp.o" "gcc" "src/pairwise/CMakeFiles/pairmr_pairwise.dir/design_scheme.cpp.o.d"
+  "/root/repo/src/pairwise/element.cpp" "src/pairwise/CMakeFiles/pairmr_pairwise.dir/element.cpp.o" "gcc" "src/pairwise/CMakeFiles/pairmr_pairwise.dir/element.cpp.o.d"
+  "/root/repo/src/pairwise/filtered_scheme.cpp" "src/pairwise/CMakeFiles/pairmr_pairwise.dir/filtered_scheme.cpp.o" "gcc" "src/pairwise/CMakeFiles/pairmr_pairwise.dir/filtered_scheme.cpp.o.d"
+  "/root/repo/src/pairwise/hierarchical.cpp" "src/pairwise/CMakeFiles/pairmr_pairwise.dir/hierarchical.cpp.o" "gcc" "src/pairwise/CMakeFiles/pairmr_pairwise.dir/hierarchical.cpp.o.d"
+  "/root/repo/src/pairwise/makespan.cpp" "src/pairwise/CMakeFiles/pairmr_pairwise.dir/makespan.cpp.o" "gcc" "src/pairwise/CMakeFiles/pairmr_pairwise.dir/makespan.cpp.o.d"
+  "/root/repo/src/pairwise/pipeline.cpp" "src/pairwise/CMakeFiles/pairmr_pairwise.dir/pipeline.cpp.o" "gcc" "src/pairwise/CMakeFiles/pairmr_pairwise.dir/pipeline.cpp.o.d"
+  "/root/repo/src/pairwise/planner.cpp" "src/pairwise/CMakeFiles/pairmr_pairwise.dir/planner.cpp.o" "gcc" "src/pairwise/CMakeFiles/pairmr_pairwise.dir/planner.cpp.o.d"
+  "/root/repo/src/pairwise/reindex.cpp" "src/pairwise/CMakeFiles/pairmr_pairwise.dir/reindex.cpp.o" "gcc" "src/pairwise/CMakeFiles/pairmr_pairwise.dir/reindex.cpp.o.d"
+  "/root/repo/src/pairwise/scheme.cpp" "src/pairwise/CMakeFiles/pairmr_pairwise.dir/scheme.cpp.o" "gcc" "src/pairwise/CMakeFiles/pairmr_pairwise.dir/scheme.cpp.o.d"
+  "/root/repo/src/pairwise/simple.cpp" "src/pairwise/CMakeFiles/pairmr_pairwise.dir/simple.cpp.o" "gcc" "src/pairwise/CMakeFiles/pairmr_pairwise.dir/simple.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pairmr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mr/CMakeFiles/pairmr_mr.dir/DependInfo.cmake"
+  "/root/repo/build/src/design/CMakeFiles/pairmr_design.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

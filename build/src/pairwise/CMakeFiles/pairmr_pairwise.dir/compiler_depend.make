@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pairmr_pairwise.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pairmr_workloads.dir/generators.cpp.o"
+  "CMakeFiles/pairmr_workloads.dir/generators.cpp.o.d"
+  "CMakeFiles/pairmr_workloads.dir/inverted_index.cpp.o"
+  "CMakeFiles/pairmr_workloads.dir/inverted_index.cpp.o.d"
+  "CMakeFiles/pairmr_workloads.dir/kernels.cpp.o"
+  "CMakeFiles/pairmr_workloads.dir/kernels.cpp.o.d"
+  "libpairmr_workloads.a"
+  "libpairmr_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pairmr_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/design_test.dir/design/design_check_test.cpp.o"
+  "CMakeFiles/design_test.dir/design/design_check_test.cpp.o.d"
+  "CMakeFiles/design_test.dir/design/difference_set_test.cpp.o"
+  "CMakeFiles/design_test.dir/design/difference_set_test.cpp.o.d"
+  "CMakeFiles/design_test.dir/design/gf_test.cpp.o"
+  "CMakeFiles/design_test.dir/design/gf_test.cpp.o.d"
+  "CMakeFiles/design_test.dir/design/plane_test.cpp.o"
+  "CMakeFiles/design_test.dir/design/plane_test.cpp.o.d"
+  "CMakeFiles/design_test.dir/design/primes_test.cpp.o"
+  "CMakeFiles/design_test.dir/design/primes_test.cpp.o.d"
+  "design_test"
+  "design_test.pdb"
+  "design_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/design_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

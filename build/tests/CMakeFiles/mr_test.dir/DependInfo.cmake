@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mr/cluster_test.cpp" "tests/CMakeFiles/mr_test.dir/mr/cluster_test.cpp.o" "gcc" "tests/CMakeFiles/mr_test.dir/mr/cluster_test.cpp.o.d"
+  "/root/repo/tests/mr/counters_test.cpp" "tests/CMakeFiles/mr_test.dir/mr/counters_test.cpp.o" "gcc" "tests/CMakeFiles/mr_test.dir/mr/counters_test.cpp.o.d"
+  "/root/repo/tests/mr/engine_test.cpp" "tests/CMakeFiles/mr_test.dir/mr/engine_test.cpp.o" "gcc" "tests/CMakeFiles/mr_test.dir/mr/engine_test.cpp.o.d"
+  "/root/repo/tests/mr/fs_test.cpp" "tests/CMakeFiles/mr_test.dir/mr/fs_test.cpp.o" "gcc" "tests/CMakeFiles/mr_test.dir/mr/fs_test.cpp.o.d"
+  "/root/repo/tests/mr/network_test.cpp" "tests/CMakeFiles/mr_test.dir/mr/network_test.cpp.o" "gcc" "tests/CMakeFiles/mr_test.dir/mr/network_test.cpp.o.d"
+  "/root/repo/tests/mr/text_io_test.cpp" "tests/CMakeFiles/mr_test.dir/mr/text_io_test.cpp.o" "gcc" "tests/CMakeFiles/mr_test.dir/mr/text_io_test.cpp.o.d"
+  "/root/repo/tests/mr/thread_pool_test.cpp" "tests/CMakeFiles/mr_test.dir/mr/thread_pool_test.cpp.o" "gcc" "tests/CMakeFiles/mr_test.dir/mr/thread_pool_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/pairmr_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/pairwise/CMakeFiles/pairmr_pairwise.dir/DependInfo.cmake"
+  "/root/repo/build/src/design/CMakeFiles/pairmr_design.dir/DependInfo.cmake"
+  "/root/repo/build/src/mr/CMakeFiles/pairmr_mr.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pairmr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

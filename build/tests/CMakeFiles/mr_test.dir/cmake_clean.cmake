@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mr_test.dir/mr/cluster_test.cpp.o"
+  "CMakeFiles/mr_test.dir/mr/cluster_test.cpp.o.d"
+  "CMakeFiles/mr_test.dir/mr/counters_test.cpp.o"
+  "CMakeFiles/mr_test.dir/mr/counters_test.cpp.o.d"
+  "CMakeFiles/mr_test.dir/mr/engine_test.cpp.o"
+  "CMakeFiles/mr_test.dir/mr/engine_test.cpp.o.d"
+  "CMakeFiles/mr_test.dir/mr/fs_test.cpp.o"
+  "CMakeFiles/mr_test.dir/mr/fs_test.cpp.o.d"
+  "CMakeFiles/mr_test.dir/mr/network_test.cpp.o"
+  "CMakeFiles/mr_test.dir/mr/network_test.cpp.o.d"
+  "CMakeFiles/mr_test.dir/mr/text_io_test.cpp.o"
+  "CMakeFiles/mr_test.dir/mr/text_io_test.cpp.o.d"
+  "CMakeFiles/mr_test.dir/mr/thread_pool_test.cpp.o"
+  "CMakeFiles/mr_test.dir/mr/thread_pool_test.cpp.o.d"
+  "mr_test"
+  "mr_test.pdb"
+  "mr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pairwise/aggregate_test.cpp" "tests/CMakeFiles/pairwise_test.dir/pairwise/aggregate_test.cpp.o" "gcc" "tests/CMakeFiles/pairwise_test.dir/pairwise/aggregate_test.cpp.o.d"
+  "/root/repo/tests/pairwise/block_scheme_test.cpp" "tests/CMakeFiles/pairwise_test.dir/pairwise/block_scheme_test.cpp.o" "gcc" "tests/CMakeFiles/pairwise_test.dir/pairwise/block_scheme_test.cpp.o.d"
+  "/root/repo/tests/pairwise/broadcast_scheme_test.cpp" "tests/CMakeFiles/pairwise_test.dir/pairwise/broadcast_scheme_test.cpp.o" "gcc" "tests/CMakeFiles/pairwise_test.dir/pairwise/broadcast_scheme_test.cpp.o.d"
+  "/root/repo/tests/pairwise/cost_model_test.cpp" "tests/CMakeFiles/pairwise_test.dir/pairwise/cost_model_test.cpp.o" "gcc" "tests/CMakeFiles/pairwise_test.dir/pairwise/cost_model_test.cpp.o.d"
+  "/root/repo/tests/pairwise/dataset_test.cpp" "tests/CMakeFiles/pairwise_test.dir/pairwise/dataset_test.cpp.o" "gcc" "tests/CMakeFiles/pairwise_test.dir/pairwise/dataset_test.cpp.o.d"
+  "/root/repo/tests/pairwise/design_scheme_test.cpp" "tests/CMakeFiles/pairwise_test.dir/pairwise/design_scheme_test.cpp.o" "gcc" "tests/CMakeFiles/pairwise_test.dir/pairwise/design_scheme_test.cpp.o.d"
+  "/root/repo/tests/pairwise/element_test.cpp" "tests/CMakeFiles/pairwise_test.dir/pairwise/element_test.cpp.o" "gcc" "tests/CMakeFiles/pairwise_test.dir/pairwise/element_test.cpp.o.d"
+  "/root/repo/tests/pairwise/filtered_scheme_test.cpp" "tests/CMakeFiles/pairwise_test.dir/pairwise/filtered_scheme_test.cpp.o" "gcc" "tests/CMakeFiles/pairwise_test.dir/pairwise/filtered_scheme_test.cpp.o.d"
+  "/root/repo/tests/pairwise/makespan_test.cpp" "tests/CMakeFiles/pairwise_test.dir/pairwise/makespan_test.cpp.o" "gcc" "tests/CMakeFiles/pairwise_test.dir/pairwise/makespan_test.cpp.o.d"
+  "/root/repo/tests/pairwise/planner_test.cpp" "tests/CMakeFiles/pairwise_test.dir/pairwise/planner_test.cpp.o" "gcc" "tests/CMakeFiles/pairwise_test.dir/pairwise/planner_test.cpp.o.d"
+  "/root/repo/tests/pairwise/scheme_property_test.cpp" "tests/CMakeFiles/pairwise_test.dir/pairwise/scheme_property_test.cpp.o" "gcc" "tests/CMakeFiles/pairwise_test.dir/pairwise/scheme_property_test.cpp.o.d"
+  "/root/repo/tests/pairwise/triangular_test.cpp" "tests/CMakeFiles/pairwise_test.dir/pairwise/triangular_test.cpp.o" "gcc" "tests/CMakeFiles/pairwise_test.dir/pairwise/triangular_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/pairmr_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/pairwise/CMakeFiles/pairmr_pairwise.dir/DependInfo.cmake"
+  "/root/repo/build/src/design/CMakeFiles/pairmr_design.dir/DependInfo.cmake"
+  "/root/repo/build/src/mr/CMakeFiles/pairmr_mr.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pairmr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pairwise_test.dir/pairwise/aggregate_test.cpp.o"
+  "CMakeFiles/pairwise_test.dir/pairwise/aggregate_test.cpp.o.d"
+  "CMakeFiles/pairwise_test.dir/pairwise/block_scheme_test.cpp.o"
+  "CMakeFiles/pairwise_test.dir/pairwise/block_scheme_test.cpp.o.d"
+  "CMakeFiles/pairwise_test.dir/pairwise/broadcast_scheme_test.cpp.o"
+  "CMakeFiles/pairwise_test.dir/pairwise/broadcast_scheme_test.cpp.o.d"
+  "CMakeFiles/pairwise_test.dir/pairwise/cost_model_test.cpp.o"
+  "CMakeFiles/pairwise_test.dir/pairwise/cost_model_test.cpp.o.d"
+  "CMakeFiles/pairwise_test.dir/pairwise/dataset_test.cpp.o"
+  "CMakeFiles/pairwise_test.dir/pairwise/dataset_test.cpp.o.d"
+  "CMakeFiles/pairwise_test.dir/pairwise/design_scheme_test.cpp.o"
+  "CMakeFiles/pairwise_test.dir/pairwise/design_scheme_test.cpp.o.d"
+  "CMakeFiles/pairwise_test.dir/pairwise/element_test.cpp.o"
+  "CMakeFiles/pairwise_test.dir/pairwise/element_test.cpp.o.d"
+  "CMakeFiles/pairwise_test.dir/pairwise/filtered_scheme_test.cpp.o"
+  "CMakeFiles/pairwise_test.dir/pairwise/filtered_scheme_test.cpp.o.d"
+  "CMakeFiles/pairwise_test.dir/pairwise/makespan_test.cpp.o"
+  "CMakeFiles/pairwise_test.dir/pairwise/makespan_test.cpp.o.d"
+  "CMakeFiles/pairwise_test.dir/pairwise/planner_test.cpp.o"
+  "CMakeFiles/pairwise_test.dir/pairwise/planner_test.cpp.o.d"
+  "CMakeFiles/pairwise_test.dir/pairwise/scheme_property_test.cpp.o"
+  "CMakeFiles/pairwise_test.dir/pairwise/scheme_property_test.cpp.o.d"
+  "CMakeFiles/pairwise_test.dir/pairwise/triangular_test.cpp.o"
+  "CMakeFiles/pairwise_test.dir/pairwise/triangular_test.cpp.o.d"
+  "pairwise_test"
+  "pairwise_test.pdb"
+  "pairwise_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pairwise_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

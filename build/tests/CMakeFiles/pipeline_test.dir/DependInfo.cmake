@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pairwise/bipartite_scheme_test.cpp" "tests/CMakeFiles/pipeline_test.dir/pairwise/bipartite_scheme_test.cpp.o" "gcc" "tests/CMakeFiles/pipeline_test.dir/pairwise/bipartite_scheme_test.cpp.o.d"
+  "/root/repo/tests/pairwise/cyclic_design_scheme_test.cpp" "tests/CMakeFiles/pipeline_test.dir/pairwise/cyclic_design_scheme_test.cpp.o" "gcc" "tests/CMakeFiles/pipeline_test.dir/pairwise/cyclic_design_scheme_test.cpp.o.d"
+  "/root/repo/tests/pairwise/edge_case_test.cpp" "tests/CMakeFiles/pipeline_test.dir/pairwise/edge_case_test.cpp.o" "gcc" "tests/CMakeFiles/pipeline_test.dir/pairwise/edge_case_test.cpp.o.d"
+  "/root/repo/tests/pairwise/hierarchical_test.cpp" "tests/CMakeFiles/pipeline_test.dir/pairwise/hierarchical_test.cpp.o" "gcc" "tests/CMakeFiles/pipeline_test.dir/pairwise/hierarchical_test.cpp.o.d"
+  "/root/repo/tests/pairwise/pipeline_test.cpp" "tests/CMakeFiles/pipeline_test.dir/pairwise/pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/pipeline_test.dir/pairwise/pipeline_test.cpp.o.d"
+  "/root/repo/tests/pairwise/reindex_test.cpp" "tests/CMakeFiles/pipeline_test.dir/pairwise/reindex_test.cpp.o" "gcc" "tests/CMakeFiles/pipeline_test.dir/pairwise/reindex_test.cpp.o.d"
+  "/root/repo/tests/pairwise/simple_test.cpp" "tests/CMakeFiles/pipeline_test.dir/pairwise/simple_test.cpp.o" "gcc" "tests/CMakeFiles/pipeline_test.dir/pairwise/simple_test.cpp.o.d"
+  "/root/repo/tests/pairwise/stress_test.cpp" "tests/CMakeFiles/pipeline_test.dir/pairwise/stress_test.cpp.o" "gcc" "tests/CMakeFiles/pipeline_test.dir/pairwise/stress_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/pairmr_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/pairwise/CMakeFiles/pairmr_pairwise.dir/DependInfo.cmake"
+  "/root/repo/build/src/design/CMakeFiles/pairmr_design.dir/DependInfo.cmake"
+  "/root/repo/build/src/mr/CMakeFiles/pairmr_mr.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pairmr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

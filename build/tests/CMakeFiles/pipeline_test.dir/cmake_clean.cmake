@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_test.dir/pairwise/bipartite_scheme_test.cpp.o"
+  "CMakeFiles/pipeline_test.dir/pairwise/bipartite_scheme_test.cpp.o.d"
+  "CMakeFiles/pipeline_test.dir/pairwise/cyclic_design_scheme_test.cpp.o"
+  "CMakeFiles/pipeline_test.dir/pairwise/cyclic_design_scheme_test.cpp.o.d"
+  "CMakeFiles/pipeline_test.dir/pairwise/edge_case_test.cpp.o"
+  "CMakeFiles/pipeline_test.dir/pairwise/edge_case_test.cpp.o.d"
+  "CMakeFiles/pipeline_test.dir/pairwise/hierarchical_test.cpp.o"
+  "CMakeFiles/pipeline_test.dir/pairwise/hierarchical_test.cpp.o.d"
+  "CMakeFiles/pipeline_test.dir/pairwise/pipeline_test.cpp.o"
+  "CMakeFiles/pipeline_test.dir/pairwise/pipeline_test.cpp.o.d"
+  "CMakeFiles/pipeline_test.dir/pairwise/reindex_test.cpp.o"
+  "CMakeFiles/pipeline_test.dir/pairwise/reindex_test.cpp.o.d"
+  "CMakeFiles/pipeline_test.dir/pairwise/simple_test.cpp.o"
+  "CMakeFiles/pipeline_test.dir/pairwise/simple_test.cpp.o.d"
+  "CMakeFiles/pipeline_test.dir/pairwise/stress_test.cpp.o"
+  "CMakeFiles/pipeline_test.dir/pairwise/stress_test.cpp.o.d"
+  "pipeline_test"
+  "pipeline_test.pdb"
+  "pipeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
