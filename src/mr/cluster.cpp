@@ -10,8 +10,32 @@ Cluster::Cluster(const ClusterConfig& config)
     : config_(config),
       dfs_(config.num_nodes),
       network_(config.num_nodes),
-      pool_(config.worker_threads) {
+      pool_(config.worker_threads),
+      alive_(config.num_nodes, 1) {
   PAIRMR_REQUIRE(config.num_nodes > 0, "cluster needs at least one node");
+}
+
+bool Cluster::is_alive(NodeId node) const {
+  PAIRMR_REQUIRE(node < alive_.size(), "node id out of range");
+  return alive_[node] != 0;
+}
+
+std::uint32_t Cluster::num_alive() const {
+  std::uint32_t n = 0;
+  for (const auto a : alive_) n += a;
+  return n;
+}
+
+void Cluster::fail_node(NodeId node) {
+  PAIRMR_REQUIRE(node < alive_.size(), "node id out of range");
+  if (alive_[node] == 0) return;
+  PAIRMR_REQUIRE(num_alive() > 1, "cannot fail the last alive node");
+  alive_[node] = 0;
+}
+
+void Cluster::restore_node(NodeId node) {
+  PAIRMR_REQUIRE(node < alive_.size(), "node id out of range");
+  alive_[node] = 1;
 }
 
 std::vector<std::string> Cluster::scatter_records(

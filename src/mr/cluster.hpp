@@ -32,6 +32,18 @@ class Cluster {
   std::uint32_t num_nodes() const { return config_.num_nodes; }
   const ClusterConfig& config() const { return config_; }
 
+  // --- Node liveness -----------------------------------------------------
+  // A failed node hosts no further task attempts; the engine schedules
+  // around it (and a job's FaultPlan may fail one mid-run). Its DFS
+  // replicas stay readable — the simulator assumes DFS replication — but
+  // reads of them become remote, metered traffic. Liveness persists across
+  // jobs until restore_node is called.
+  bool is_alive(NodeId node) const;
+  std::uint32_t num_alive() const;
+  // Marking the last alive node failed throws (the cluster would be dead).
+  void fail_node(NodeId node);
+  void restore_node(NodeId node);
+
   SimDfs& dfs() { return dfs_; }
   const SimDfs& dfs() const { return dfs_; }
 
@@ -57,6 +69,7 @@ class Cluster {
   SimDfs dfs_;
   NetworkMeter network_;
   ThreadPool pool_;
+  std::vector<std::uint8_t> alive_;  // per node; 1 = alive
 };
 
 }  // namespace pairmr::mr

@@ -29,6 +29,16 @@ inline constexpr const char* kReduceMaxGroupRecords =
     "reduce.max.group.records";
 inline constexpr const char* kReduceMaxGroupBytes = "reduce.max.group.bytes";
 inline constexpr const char* kCacheBroadcastBytes = "cache.broadcast.bytes";
+// Fault-recovery accounting (mr/fault.hpp): task attempts that were
+// re-executed after a failure, speculative backups launched / adopted,
+// shuffle fetches retried after a drop, and the network bytes a fault-free
+// run would not have moved (wasted fetches, re-fetches, remote input
+// re-reads of rescheduled or speculative attempts).
+inline constexpr const char* kTasksRetried = "tasks.retried";
+inline constexpr const char* kTasksSpeculative = "tasks.speculative";
+inline constexpr const char* kSpeculativeWins = "speculative.wins";
+inline constexpr const char* kShuffleFetchRetries = "shuffle.fetch.retries";
+inline constexpr const char* kRecoveryBytes = "recovery.bytes";
 }  // namespace counter
 
 // Thread-safe counter bag. `add` accumulates, `note_max` keeps a running

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 #include <utility>
 
@@ -11,10 +12,15 @@
 #include "common/log.hpp"
 #include "common/stopwatch.hpp"
 #include "mr/context.hpp"
+#include "mr/fault.hpp"
 
 namespace pairmr::mr {
 
 namespace {
+
+// Backstop against a runaway fault plan (a correct plan kills any task
+// only finitely often, so this is never reached in practice).
+constexpr std::uint32_t kAttemptCap = 1000;
 
 // One map task's input: a contiguous slice of a DFS file.
 struct Split {
@@ -108,21 +114,67 @@ JobResult Engine::run(const JobSpec& spec) {
   const Partitioner& partitioner =
       spec.partitioner ? *spec.partitioner : default_partitioner;
 
+  static const FaultPlan kNoFaults;
+  const FaultPlan& plan = spec.fault_plan ? *spec.fault_plan : kNoFaults;
+
+  // Node the plan loses during this job; a node that already failed in an
+  // earlier job does not die twice (it is simply never scheduled).
+  std::optional<NodeId> doomed;
+  if (plan.failed_node()) {
+    PAIRMR_REQUIRE(*plan.failed_node() < num_nodes,
+                   "fault plan fails an out-of-range node");
+    if (cluster_.is_alive(*plan.failed_node())) doomed = plan.failed_node();
+  }
+
+  // Nodes able to host (re)scheduled attempts for the rest of the job.
+  std::vector<NodeId> usable;
+  usable.reserve(num_nodes);
+  for (NodeId nd = 0; nd < num_nodes; ++nd) {
+    if (cluster_.is_alive(nd) && !(doomed && nd == *doomed)) {
+      usable.push_back(nd);
+    }
+  }
+  PAIRMR_REQUIRE(!usable.empty(), "fault plan leaves no usable node");
+
   Counters counters;
   SimDfs& dfs = cluster_.dfs();
   NetworkMeter& net = cluster_.network();
+
+  // Deterministic placement for rescheduled and speculative attempts.
+  const auto place = [&usable](std::uint64_t origin, std::uint64_t salt) {
+    return usable[(origin + salt) % usable.size()];
+  };
+
+  // The node hosting the backup copy of a straggler: the next usable node
+  // after the one the original ran on.
+  const auto backup_node_for = [&usable](NodeId original) {
+    const auto it = std::find(usable.begin(), usable.end(), original);
+    const auto idx = static_cast<std::size_t>(it - usable.begin());
+    return usable[(idx + 1) % usable.size()];
+  };
+
+  // Fault-attributable traffic: metered like any transfer and additionally
+  // tallied as recovery overhead (a fault-free run never moves these bytes).
+  const auto recovery_transfer = [&](NodeId src, NodeId dst,
+                                     std::uint64_t bytes) {
+    net.transfer(src, dst, bytes);
+    if (src != dst) counters.add(counter::kRecoveryBytes, bytes);
+  };
 
   // --- Distributed cache broadcast -------------------------------------
   std::unordered_map<std::string, std::shared_ptr<const DfsFile>> cache;
   for (const auto& path : spec.cache_paths) {
     auto file = dfs.open(path);
-    // Ship the file to every node other than its home (its home reads it
-    // from local disk). This is the paper's "distribute to all nodes".
+    // Ship the file to every live node other than its home (its home reads
+    // it from local disk). This is the paper's "distribute to all nodes".
+    // A node doomed to die mid-job still receives its (wasted) copy.
+    std::uint64_t shipped = 0;
     for (NodeId node = 0; node < num_nodes; ++node) {
+      if (!cluster_.is_alive(node)) continue;
       net.transfer(file->home, node, file->bytes);
+      if (node != file->home) shipped += file->bytes;
     }
-    counters.add(counter::kCacheBroadcastBytes,
-                 file->bytes * (num_nodes - 1));
+    counters.add(counter::kCacheBroadcastBytes, shipped);
     cache.emplace(path, std::move(file));
   }
 
@@ -145,58 +197,122 @@ JobResult Engine::run(const JobSpec& spec) {
     tasks.reserve(num_map_tasks);
     for (TaskIndex m = 0; m < num_map_tasks; ++m) {
       tasks.push_back([&, m] {
+        const Split& split = splits[m];
+        const NodeId home = split.file->home;
+        std::uint64_t input_bytes = 0;
+        for (std::size_t i = split.begin; i < split.end; ++i) {
+          input_bytes += split.file->records[i].size_bytes();
+        }
+
+        // One full execution of the task's user code on `node`. Each
+        // execution gets a fresh context and counter bag; only the
+        // execution that is ultimately kept merges into the job.
+        const auto execute = [&](NodeId node) {
+          auto exec_counters = std::make_unique<Counters>();
+          auto ctx = std::make_unique<MapContext>(
+              node, m, partitioner, num_reducers, *exec_counters, cache,
+              split.file->path);
+          auto mapper = spec.mapper_factory();
+          mapper->setup(*ctx);
+          for (std::size_t i = split.begin; i < split.end; ++i) {
+            const Record& rec = split.file->records[i];
+            mapper->map(rec.key, rec.value, *ctx);
+          }
+          mapper->cleanup(*ctx);
+          return std::pair{std::move(ctx), std::move(exec_counters)};
+        };
+
         // Attempt loop (Hadoop task retry): a failed attempt's emissions
-        // and counters are discarded wholesale; only the successful
-        // attempt's state merges into the job.
+        // and counters are discarded wholesale; only the kept attempt's
+        // state merges into the job. Injected faults retry without
+        // consuming max_task_attempts (they are environmental, not bugs).
+        std::uint32_t user_failures = 0;
         for (std::uint32_t attempt = 0;; ++attempt) {
-          const Split& split = splits[m];
-          Counters attempt_counters;
-          MapContext ctx(split.node, m, partitioner, num_reducers,
-                         attempt_counters, cache, split.file->path);
+          PAIRMR_CHECK(attempt < kAttemptCap, "map task retried too often");
+          // Attempt 0 runs data-local (even on a node about to die — that
+          // is what makes its loss cost something); retries move on.
+          const NodeId node = (attempt == 0 && cluster_.is_alive(home))
+                                  ? home
+                                  : place(home, attempt);
+          // Reading the split away from its home replica travels the wire;
+          // only recovery from faults ever needs that.
+          if (node != home) recovery_transfer(home, node, input_bytes);
+
+          if ((doomed && node == *doomed) ||
+              plan.kills_task(TaskKind::kMap, m, attempt)) {
+            counters.add(counter::kTasksRetried, 1);
+            PAIRMR_LOG(kWarn) << "map task " << m << " attempt " << attempt
+                              << " killed by fault plan; retrying";
+            continue;
+          }
+
+          std::unique_ptr<MapContext> ctx;
+          std::unique_ptr<Counters> exec_counters;
           try {
-            auto mapper = spec.mapper_factory();
-            mapper->setup(ctx);
-            for (std::size_t i = split.begin; i < split.end; ++i) {
-              const Record& rec = split.file->records[i];
-              mapper->map(rec.key, rec.value, ctx);
-            }
-            mapper->cleanup(ctx);
+            std::tie(ctx, exec_counters) = execute(node);
           } catch (...) {
-            if (attempt + 1 >= max_attempts) throw;
+            if (++user_failures >= max_attempts) throw;
+            counters.add(counter::kTasksRetried, 1);
             PAIRMR_LOG(kWarn) << "map task " << m << " attempt " << attempt
                               << " failed; retrying";
             continue;
           }
+          NodeId final_node = node;
 
-          attempt_counters.add(counter::kMapInputRecords,
-                               split.end - split.begin);
-          attempt_counters.add(counter::kMapOutputRecords,
-                               ctx.records_emitted());
-          attempt_counters.add(counter::kMapOutputBytes,
-                               ctx.bytes_emitted());
+          // Speculative re-execution: a straggling task gets a backup copy
+          // on another node; the plan decides the race. The loser's work
+          // (and input re-read) is wasted, but the output is byte-identical
+          // either way, so determinism survives.
+          if (spec.speculative_execution && usable.size() > 1 &&
+              plan.is_straggler(TaskKind::kMap, m)) {
+            const NodeId backup = backup_node_for(node);
+            if (backup != home) recovery_transfer(home, backup, input_bytes);
+            auto [backup_ctx, backup_counters] = execute(backup);
+            counters.add(counter::kTasksSpeculative, 1);
+            if (plan.backup_wins(TaskKind::kMap, m)) {
+              counters.add(counter::kSpeculativeWins, 1);
+              ctx = std::move(backup_ctx);
+              exec_counters = std::move(backup_counters);
+              final_node = backup;
+            }
+          }
+
+          exec_counters->add(counter::kMapInputRecords,
+                             split.end - split.begin);
+          exec_counters->add(counter::kMapOutputRecords,
+                             ctx->records_emitted());
+          exec_counters->add(counter::kMapOutputBytes, ctx->bytes_emitted());
 
           if (spec.combiner_factory) {
-            for (auto& bucket : ctx.buckets()) {
+            for (auto& bucket : ctx->buckets()) {
               if (!bucket.empty()) {
-                run_combiner(spec, split.node, m, attempt_counters, bucket);
+                run_combiner(spec, final_node, m, *exec_counters, bucket);
               }
             }
           }
 
           map_stats[m] = TaskStats{
               .index = m,
-              .node = split.node,
+              .node = final_node,
               .input_records = split.end - split.begin,
-              .output_records = ctx.records_emitted(),
-              .output_bytes = ctx.bytes_emitted(),
+              .output_records = ctx->records_emitted(),
+              .output_bytes = ctx->bytes_emitted(),
           };
-          map_outputs[m] = std::move(ctx.buckets());
-          counters.merge(attempt_counters);
+          map_outputs[m] = std::move(ctx->buckets());
+          counters.merge(*exec_counters);
           break;
         }
       });
     }
     cluster_.pool().run_all(std::move(tasks));
+  }
+
+  // The doomed node is gone for good once the map phase ends: reduce
+  // placement and every later job schedule around it.
+  if (doomed) {
+    PAIRMR_LOG(kWarn) << "node " << *doomed << " lost during job '"
+                      << spec.name << "'";
+    cluster_.fail_node(*doomed);
   }
 
   // --- Map-only: write map outputs directly, no shuffle ------------------
@@ -231,96 +347,162 @@ JobResult Engine::run(const JobSpec& spec) {
     tasks.reserve(num_reducers);
     for (TaskIndex r = 0; r < num_reducers; ++r) {
       tasks.push_back([&, r] {
-        const NodeId node = r % num_nodes;
+        // An injected fetch drop fires once per (reduce, map) pair.
+        std::vector<bool> dropped(num_map_tasks, false);
 
-        for (std::uint32_t attempt = 0;; ++attempt) {
-          // Fetch this reducer's bucket from every map task, in map-task
-          // order (deterministic). Buckets stay in place until the
-          // attempt succeeds so a retry can refetch; the network meter is
-          // charged once per successful attempt.
-          std::vector<Record> input;
-          std::uint64_t input_records = 0;
+        // One full execution of reduce task r: shuffle + sort + reduce.
+        // Fetch volumes are recorded but metered by the caller, which
+        // knows whether the execution's traffic was useful or wasted.
+        struct Execution {
+          NodeId node = 0;
+          std::vector<std::pair<NodeId, std::uint64_t>> fetches;
           std::uint64_t local_bytes = 0;
           std::uint64_t remote_bytes = 0;
-          std::vector<std::pair<NodeId, std::uint64_t>> fetches;
-          fetches.reserve(num_map_tasks);
-          for (TaskIndex m = 0; m < num_map_tasks; ++m) {
-            const auto& bucket = map_outputs[m][r];
-            std::uint64_t bucket_bytes = 0;
-            for (const auto& rec : bucket) bucket_bytes += rec.size_bytes();
-            (map_stats[m].node == node ? local_bytes : remote_bytes) +=
-                bucket_bytes;
-            fetches.emplace_back(map_stats[m].node, bucket_bytes);
-            input_records += bucket.size();
-            input.insert(input.end(), bucket.begin(), bucket.end());
-          }
-
-          Counters attempt_counters;
-          ReduceContext ctx(node, r, attempt_counters, &cache);
+          std::uint64_t input_records = 0;
           std::uint64_t groups = 0;
           std::uint64_t max_group_records = 0;
           std::uint64_t max_group_bytes = 0;
+          std::unique_ptr<Counters> counters;
+          std::unique_ptr<ReduceContext> ctx;
+        };
+
+        const auto bucket_bytes_of = [&](TaskIndex m) {
+          std::uint64_t bytes = 0;
+          for (const auto& rec : map_outputs[m][r]) bytes += rec.size_bytes();
+          return bytes;
+        };
+
+        const auto execute = [&](NodeId node) {
+          Execution e;
+          e.node = node;
+          e.counters = std::make_unique<Counters>();
+          e.ctx = std::make_unique<ReduceContext>(node, r, *e.counters,
+                                                  &cache);
+          // Fetch this reducer's bucket from every map task, in map-task
+          // order (deterministic). Buckets stay in place until the task
+          // settles, so any re-execution can re-fetch them.
+          std::vector<Record> input;
+          for (TaskIndex m = 0; m < num_map_tasks; ++m) {
+            const auto& bucket = map_outputs[m][r];
+            const std::uint64_t bytes = bucket_bytes_of(m);
+            const NodeId src = map_stats[m].node;
+            if (!dropped[m] && plan.drops_fetch(r, m)) {
+              // The first copy died mid-transfer and is thrown away; the
+              // immediate re-fetch below is the one that counts.
+              dropped[m] = true;
+              recovery_transfer(src, node, bytes);
+              counters.add(counter::kShuffleFetchRetries, 1);
+            }
+            (src == node ? e.local_bytes : e.remote_bytes) += bytes;
+            e.fetches.emplace_back(src, bytes);
+            e.input_records += bucket.size();
+            input.insert(input.end(), bucket.begin(), bucket.end());
+          }
+
+          auto reducer = spec.reducer_factory();
+          reducer->setup(*e.ctx);
+          group_by_key(
+              input, [&](const Bytes& key, const std::vector<Bytes>& vals) {
+                ++e.groups;
+                std::uint64_t group_bytes = 0;
+                for (const auto& v : vals) group_bytes += key.size() + v.size();
+                e.max_group_records =
+                    std::max<std::uint64_t>(e.max_group_records, vals.size());
+                e.max_group_bytes = std::max(e.max_group_bytes, group_bytes);
+                reducer->reduce(key, vals, *e.ctx);
+              });
+          reducer->cleanup(*e.ctx);
+          return e;
+        };
+
+        // The shuffle traffic of an attempt that fetched its input but
+        // never published output (killed, crashed, or lost the race).
+        const auto charge_wasted_fetches = [&](NodeId node) {
+          for (TaskIndex m = 0; m < num_map_tasks; ++m) {
+            recovery_transfer(map_stats[m].node, node, bucket_bytes_of(m));
+          }
+        };
+
+        std::uint32_t user_failures = 0;
+        for (std::uint32_t attempt = 0;; ++attempt) {
+          PAIRMR_CHECK(attempt < kAttemptCap, "reduce task retried too often");
+          const NodeId node = place(r, attempt);
+
+          if (plan.kills_task(TaskKind::kReduce, r, attempt)) {
+            // Aborted mid-task: its shuffle happened and was for nothing.
+            charge_wasted_fetches(node);
+            counters.add(counter::kTasksRetried, 1);
+            PAIRMR_LOG(kWarn) << "reduce task " << r << " attempt " << attempt
+                              << " killed by fault plan; retrying";
+            continue;
+          }
+
+          Execution winner;
           try {
-            auto reducer = spec.reducer_factory();
-            reducer->setup(ctx);
-            group_by_key(
-                input, [&](const Bytes& key, const std::vector<Bytes>& vals) {
-                  ++groups;
-                  std::uint64_t group_bytes = 0;
-                  for (const auto& v : vals)
-                    group_bytes += key.size() + v.size();
-                  max_group_records = std::max<std::uint64_t>(
-                      max_group_records, vals.size());
-                  max_group_bytes = std::max(max_group_bytes, group_bytes);
-                  reducer->reduce(key, vals, ctx);
-                });
-            reducer->cleanup(ctx);
+            winner = execute(node);
           } catch (...) {
-            if (attempt + 1 >= max_attempts) throw;
+            if (++user_failures >= max_attempts) throw;
+            charge_wasted_fetches(node);
+            counters.add(counter::kTasksRetried, 1);
             PAIRMR_LOG(kWarn) << "reduce task " << r << " attempt "
                               << attempt << " failed; retrying";
             continue;
           }
 
-          // Successful attempt: release map outputs, meter the fetches,
+          if (spec.speculative_execution && usable.size() > 1 &&
+              plan.is_straggler(TaskKind::kReduce, r)) {
+            Execution backup = execute(backup_node_for(node));
+            counters.add(counter::kTasksSpeculative, 1);
+            if (plan.backup_wins(TaskKind::kReduce, r)) {
+              counters.add(counter::kSpeculativeWins, 1);
+              std::swap(winner, backup);
+            }
+            // After the optional swap, `backup` holds the losing execution.
+            charge_wasted_fetches(backup.node);
+          }
+
+          // Winning execution: release map outputs, meter its shuffle,
           // publish counters and output.
           for (TaskIndex m = 0; m < num_map_tasks; ++m) {
             auto& bucket = map_outputs[m][r];
             bucket.clear();
             bucket.shrink_to_fit();
           }
-          for (const auto& [src, bytes] : fetches) {
-            net.transfer(src, node, bytes);
+          for (const auto& [src, bytes] : winner.fetches) {
+            net.transfer(src, winner.node, bytes);
           }
 
-          attempt_counters.add(counter::kShuffleBytesLocal, local_bytes);
-          attempt_counters.add(counter::kShuffleBytesRemote, remote_bytes);
-          attempt_counters.add(counter::kReduceInputGroups, groups);
-          attempt_counters.add(counter::kReduceInputRecords, input_records);
-          attempt_counters.add(counter::kReduceOutputRecords,
-                               ctx.output().size());
-          attempt_counters.add(counter::kReduceOutputBytes,
-                               ctx.bytes_emitted());
-          attempt_counters.note_max(counter::kReduceMaxGroupRecords,
-                                    max_group_records);
-          attempt_counters.note_max(counter::kReduceMaxGroupBytes,
-                                    max_group_bytes);
-          counters.merge(attempt_counters);
+          winner.counters->add(counter::kShuffleBytesLocal,
+                               winner.local_bytes);
+          winner.counters->add(counter::kShuffleBytesRemote,
+                               winner.remote_bytes);
+          winner.counters->add(counter::kReduceInputGroups, winner.groups);
+          winner.counters->add(counter::kReduceInputRecords,
+                               winner.input_records);
+          winner.counters->add(counter::kReduceOutputRecords,
+                               winner.ctx->output().size());
+          winner.counters->add(counter::kReduceOutputBytes,
+                               winner.ctx->bytes_emitted());
+          winner.counters->note_max(counter::kReduceMaxGroupRecords,
+                                    winner.max_group_records);
+          winner.counters->note_max(counter::kReduceMaxGroupBytes,
+                                    winner.max_group_bytes);
+          counters.merge(*winner.counters);
 
           reduce_stats[r] = TaskStats{
               .index = r,
-              .node = node,
-              .input_records = input_records,
-              .output_records = ctx.output().size(),
-              .output_bytes = ctx.bytes_emitted(),
-              .max_group_records = max_group_records,
-              .max_group_bytes = max_group_bytes,
+              .node = winner.node,
+              .input_records = winner.input_records,
+              .output_records = winner.ctx->output().size(),
+              .output_bytes = winner.ctx->bytes_emitted(),
+              .max_group_records = winner.max_group_records,
+              .max_group_bytes = winner.max_group_bytes,
           };
 
           char name[32];
           std::snprintf(name, sizeof(name), "part-r-%05u", r);
           const std::string path = spec.output_dir + "/" + name;
-          dfs.write_file(path, node, std::move(ctx.output()));
+          dfs.write_file(path, winner.node, std::move(winner.ctx->output()));
           output_paths[r] = path;
           break;
         }

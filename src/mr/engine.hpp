@@ -11,9 +11,22 @@
 //   6. write `part-r-NNNNN` output files, one per reduce task, stored on
 //      the reducer's node.
 //
-// Execution is deterministic: for a given cluster size and job spec the
-// output files, counters, and metered byte counts are identical regardless
-// of worker-thread count.
+// Failure handling (the paper's §2 "tasks may get aborted and restarted at
+// any time"): a JobSpec may carry a FaultPlan (mr/fault.hpp) that kills
+// task attempts, loses a node mid-job, drops shuffle fetches, and marks
+// stragglers. Killed attempts are discarded wholesale and re-executed with
+// bounded re-fetch; stragglers get a speculative backup execution whose
+// race the plan decides. Every re-run's traffic — wasted shuffles,
+// re-fetches, and remote input re-reads of rescheduled attempts — is
+// charged to the NetworkMeter and tallied under the recovery counters
+// (counter::kTasksRetried, kTasksSpeculative, kSpeculativeWins,
+// kShuffleFetchRetries, kRecoveryBytes).
+//
+// Execution is deterministic: for a given cluster size, job spec, and
+// fault plan, the output files, counters, and metered byte counts are
+// identical regardless of worker-thread count. Faults never change the
+// job's output — only its cost — because fault decisions are pure
+// functions of the plan's seed and the task identity.
 #pragma once
 
 #include <cstdint>

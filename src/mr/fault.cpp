@@ -1,0 +1,130 @@
+#include "mr/fault.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace pairmr::mr {
+
+namespace {
+
+// Decision streams keep the hash spaces of the different fault kinds
+// independent, so e.g. raising the kill rate never changes which tasks
+// straggle under the same seed.
+enum Stream : std::uint64_t {
+  kKillStream = 0x51,
+  kDropStream = 0x52,
+  kStragglerStream = 0x53,
+  kWinStream = 0x54,
+};
+
+void require_rate(double rate) {
+  PAIRMR_REQUIRE(rate >= 0.0 && rate <= 1.0, "fault rate must be in [0, 1]");
+}
+
+}  // namespace
+
+double FaultPlan::unit(std::uint64_t stream, std::uint64_t a,
+                       std::uint64_t b) const {
+  // splitmix64 finalizer over the mixed identity; identical on every
+  // platform and independent of evaluation order.
+  std::uint64_t z = seed_ ^ (stream * 0x9e3779b97f4a7c15ull);
+  z += a * 0xbf58476d1ce4e5b9ull;
+  z += (b + 1) * 0x94d049bb133111ebull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  return static_cast<double>(z >> 11) * 0x1.0p-53;
+}
+
+FaultPlan& FaultPlan::with_task_kill_rate(double rate,
+                                          std::uint32_t max_kills) {
+  require_rate(rate);
+  PAIRMR_REQUIRE(max_kills >= 1, "max_kills must be at least 1");
+  kill_rate_ = rate;
+  max_kills_ = max_kills;
+  return *this;
+}
+
+FaultPlan& FaultPlan::with_fetch_drop_rate(double rate) {
+  require_rate(rate);
+  drop_rate_ = rate;
+  return *this;
+}
+
+FaultPlan& FaultPlan::with_straggler_rate(double rate) {
+  require_rate(rate);
+  straggler_rate_ = rate;
+  return *this;
+}
+
+FaultPlan& FaultPlan::with_speculative_win_rate(double rate) {
+  require_rate(rate);
+  win_rate_ = rate;
+  return *this;
+}
+
+FaultPlan& FaultPlan::kill_task(TaskKind kind, TaskIndex index,
+                                std::uint32_t kills) {
+  auto& slot = explicit_kills_[task_key(kind, index)];
+  slot = std::max(slot, kills);
+  return *this;
+}
+
+FaultPlan& FaultPlan::fail_node(NodeId node) {
+  failed_node_ = node;
+  return *this;
+}
+
+FaultPlan& FaultPlan::drop_fetch(TaskIndex reduce_task, TaskIndex map_task) {
+  explicit_drops_.emplace(reduce_task, map_task);
+  return *this;
+}
+
+FaultPlan& FaultPlan::mark_straggler(TaskKind kind, TaskIndex index) {
+  explicit_stragglers_.insert(task_key(kind, index));
+  return *this;
+}
+
+bool FaultPlan::active() const {
+  return kill_rate_ > 0.0 || drop_rate_ > 0.0 || straggler_rate_ > 0.0 ||
+         failed_node_.has_value() || !explicit_kills_.empty() ||
+         !explicit_drops_.empty() || !explicit_stragglers_.empty();
+}
+
+bool FaultPlan::kills_task(TaskKind kind, TaskIndex index,
+                           std::uint32_t attempt) const {
+  std::uint32_t kills = 0;
+  const auto it = explicit_kills_.find(task_key(kind, index));
+  if (it != explicit_kills_.end()) kills = it->second;
+  if (kill_rate_ > 0.0) {
+    // Consecutive per-attempt draws: the task dies on its first k attempts.
+    std::uint32_t drawn = 0;
+    while (drawn < max_kills_ &&
+           unit(kKillStream, task_key(kind, index), drawn) < kill_rate_) {
+      ++drawn;
+    }
+    kills = std::max(kills, drawn);
+  }
+  return attempt < kills;
+}
+
+bool FaultPlan::drops_fetch(TaskIndex reduce_task, TaskIndex map_task) const {
+  if (explicit_drops_.count({reduce_task, map_task}) > 0) return true;
+  return drop_rate_ > 0.0 &&
+         unit(kDropStream, reduce_task, map_task) < drop_rate_;
+}
+
+bool FaultPlan::is_straggler(TaskKind kind, TaskIndex index) const {
+  if (explicit_stragglers_.count(task_key(kind, index)) > 0) return true;
+  return straggler_rate_ > 0.0 &&
+         unit(kStragglerStream, task_key(kind, index), 0) < straggler_rate_;
+}
+
+bool FaultPlan::backup_wins(TaskKind kind, TaskIndex index) const {
+  // unit() < 1.0 always, so the default rate of 1 means the backup always
+  // wins the race.
+  return unit(kWinStream, task_key(kind, index), 0) < win_rate_;
+}
+
+}  // namespace pairmr::mr

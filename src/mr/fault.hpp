@@ -1,0 +1,115 @@
+// Deterministic fault injection for the simulated MapReduce engine.
+//
+// The paper's execution model (§2) assumes tasks "may get aborted and
+// restarted at any time"; a FaultPlan turns that assumption into an
+// executable one. A plan decides — purely as a function of a seed and the
+// task's identity, never of wall-clock time or thread scheduling — which
+// task attempts are killed, which shuffle fetches are dropped mid-flight,
+// which node is lost during the job, and which tasks straggle (triggering
+// speculative re-execution). Because every decision is schedule-independent,
+// a faulted job is exactly as deterministic as a fault-free one: same
+// output files, same counters, same metered bytes, for any worker-thread
+// count.
+//
+// Faults are environmental, not user-code bugs: the engine retries injected
+// failures without consuming JobSpec::max_task_attempts, and a plan kills
+// any given task only finitely often, so a faulted job always completes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <utility>
+
+#include "mr/types.hpp"
+
+namespace pairmr::mr {
+
+enum class TaskKind : std::uint8_t { kMap = 0, kReduce = 1 };
+
+class FaultPlan {
+ public:
+  // An inert plan: injects nothing. Engine code can always consult one.
+  FaultPlan() = default;
+
+  explicit FaultPlan(std::uint64_t seed) : seed_(seed) {}
+
+  // --- Seeded probabilistic injection ------------------------------------
+  // Rates are per task (or per reduce/map fetch pair), evaluated by
+  // hashing (seed, identity); rates must be in [0, 1].
+
+  // Each task's first k attempts are killed, where k is drawn per task:
+  // attempt a < max_kills is killed while hash(task, a) < rate.
+  FaultPlan& with_task_kill_rate(double rate, std::uint32_t max_kills = 1);
+
+  // A reduce task's fetch of one map output is dropped mid-transfer (and
+  // immediately re-fetched, paying the wire twice). Fires at most once per
+  // (reduce, map) pair per job.
+  FaultPlan& with_fetch_drop_rate(double rate);
+
+  // A straggling task gets a speculative backup execution on another node.
+  FaultPlan& with_straggler_rate(double rate);
+
+  // Probability the backup copy of a straggler finishes first (default 1:
+  // the original is slow, that is why it was marked). The loser's work and
+  // traffic are charged as recovery overhead either way.
+  FaultPlan& with_speculative_win_rate(double rate);
+
+  // --- Explicit injection -------------------------------------------------
+
+  // Kill the first `kills` attempts of one specific task.
+  FaultPlan& kill_task(TaskKind kind, TaskIndex index, std::uint32_t kills = 1);
+
+  // Lose `node` during the job: every map attempt placed on it is aborted,
+  // and the node is marked failed in the Cluster once the map phase ends,
+  // so no later task (or job) runs there. Its DFS replicas stay readable —
+  // the simulator assumes DFS replication — but reads become remote,
+  // charged traffic.
+  FaultPlan& fail_node(NodeId node);
+
+  // Drop one specific reduce-side fetch (once).
+  FaultPlan& drop_fetch(TaskIndex reduce_task, TaskIndex map_task);
+
+  // Mark one specific task as a straggler.
+  FaultPlan& mark_straggler(TaskKind kind, TaskIndex index);
+
+  // --- Queries (used by the engine) ---------------------------------------
+
+  // True if the plan can inject anything at all.
+  bool active() const;
+
+  // Is attempt `attempt` (0-based, counting every attempt of the task) of
+  // this task killed?
+  bool kills_task(TaskKind kind, TaskIndex index, std::uint32_t attempt) const;
+
+  bool drops_fetch(TaskIndex reduce_task, TaskIndex map_task) const;
+
+  bool is_straggler(TaskKind kind, TaskIndex index) const;
+
+  // Does the speculative backup of this straggler win the race?
+  bool backup_wins(TaskKind kind, TaskIndex index) const;
+
+  std::optional<NodeId> failed_node() const { return failed_node_; }
+
+ private:
+  // Deterministic uniform in [0, 1) from (seed, stream, a, b).
+  double unit(std::uint64_t stream, std::uint64_t a, std::uint64_t b) const;
+
+  static std::uint64_t task_key(TaskKind kind, TaskIndex index) {
+    return (static_cast<std::uint64_t>(kind) << 32) | index;
+  }
+
+  std::uint64_t seed_ = 0;
+  double kill_rate_ = 0.0;
+  std::uint32_t max_kills_ = 1;
+  double drop_rate_ = 0.0;
+  double straggler_rate_ = 0.0;
+  double win_rate_ = 1.0;
+  std::optional<NodeId> failed_node_;
+  std::map<std::uint64_t, std::uint32_t> explicit_kills_;  // task_key -> kills
+  std::set<std::pair<TaskIndex, TaskIndex>> explicit_drops_;
+  std::set<std::uint64_t> explicit_stragglers_;  // task_key
+};
+
+}  // namespace pairmr::mr

@@ -21,6 +21,7 @@ namespace pairmr::mr {
 
 class MapContext;
 class ReduceContext;
+class FaultPlan;  // mr/fault.hpp
 
 // One map task's user logic. A fresh instance is created per task
 // (factory in JobSpec), so implementations may keep per-task state.
@@ -124,8 +125,21 @@ struct JobSpec {
   // Times a failing task is attempted before the job fails (Hadoop's
   // mapred.map.max.attempts). Each retry gets a fresh Mapper/Reducer and
   // context; counters of failed attempts are discarded, so retried jobs
-  // produce byte-identical output and counts.
+  // produce byte-identical output and counts. Bounds user-code failures
+  // only: faults injected by `fault_plan` are environmental and retried
+  // without consuming attempts.
   std::uint32_t max_task_attempts = 1;
+
+  // Optional deterministic fault-injection plan (mr/fault.hpp): the engine
+  // consults it to kill attempts, lose a node mid-job, drop shuffle
+  // fetches, and pick stragglers. Non-owning — must outlive the run.
+  // nullptr runs fault-free.
+  const FaultPlan* fault_plan = nullptr;
+
+  // Run a backup copy of every task the fault plan marks as a straggler
+  // and keep the race winner (Hadoop's speculative execution). The loser's
+  // work and traffic are charged as recovery overhead.
+  bool speculative_execution = true;
 };
 
 // Helper for tests/benches and identity phases.

@@ -1,5 +1,8 @@
 #include "mr/network.hpp"
 
+#include <mutex>
+#include <shared_mutex>
+
 #include "common/check.hpp"
 
 namespace pairmr::mr {
@@ -12,6 +15,10 @@ NetworkMeter::NetworkMeter(std::uint32_t num_nodes)
 void NetworkMeter::transfer(NodeId src, NodeId dst, std::uint64_t bytes) {
   PAIRMR_REQUIRE(src < sent_.size() && dst < sent_.size(),
                  "node id out of range");
+  // Shared: concurrent transfers still update the atomics in parallel; the
+  // lock only forbids a reset() from landing between this transfer's
+  // individual counter updates (which would tear the ledger).
+  std::shared_lock<std::shared_mutex> lock(reset_mutex_);
   if (src == dst) {
     local_bytes_.fetch_add(bytes, std::memory_order_relaxed);
     return;
@@ -33,6 +40,7 @@ std::uint64_t NetworkMeter::received_at(NodeId node) const {
 }
 
 void NetworkMeter::reset() {
+  std::unique_lock<std::shared_mutex> lock(reset_mutex_);
   remote_bytes_.store(0);
   local_bytes_.store(0);
   remote_transfers_.store(0);

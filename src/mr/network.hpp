@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <shared_mutex>
 #include <vector>
 
 #include "mr/types.hpp"
@@ -30,6 +31,10 @@ class NetworkMeter {
   std::uint64_t sent_by(NodeId node) const;
   std::uint64_t received_at(NodeId node) const;
 
+  // Zero every counter. Safe to call while transfers are in flight: each
+  // transfer's counter updates land entirely before or entirely after the
+  // reset (never straddling it), so totals and per-node tallies always add
+  // up. Individual getters remain unsynchronized snapshots.
   void reset();
 
   std::uint32_t num_nodes() const {
@@ -37,6 +42,10 @@ class NetworkMeter {
   }
 
  private:
+  // Held shared by transfer() (increments stay concurrent via the atomics)
+  // and exclusively by reset(), so a reset cannot interleave with the
+  // multi-counter update of one transfer.
+  mutable std::shared_mutex reset_mutex_;
   std::atomic<std::uint64_t> remote_bytes_{0};
   std::atomic<std::uint64_t> local_bytes_{0};
   std::atomic<std::uint64_t> remote_transfers_{0};

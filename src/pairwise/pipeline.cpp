@@ -257,6 +257,11 @@ void validate_job(const PairwiseJob& job) {
   PAIRMR_REQUIRE(job.compute != nullptr, "pairwise job needs a compute fn");
 }
 
+void apply_fault_options(mr::JobSpec& spec, const PairwiseOptions& options) {
+  spec.fault_plan = options.fault_plan;
+  spec.speculative_execution = options.speculative_execution;
+}
+
 std::uint64_t dir_bytes(const mr::SimDfs& dfs, const std::string& prefix) {
   std::uint64_t total = 0;
   for (const auto& path : dfs.list(prefix)) total += dfs.open(path)->bytes;
@@ -302,6 +307,7 @@ PairwiseRunStats run_pairwise(mr::Cluster& cluster,
   };
   job1.num_reduce_tasks = options.num_reduce_tasks;
   job1.max_records_per_split = options.max_records_per_split;
+  apply_fault_options(job1, options);
   stats.distribute_job = engine.run(job1);
 
   const std::uint64_t v = scheme.num_elements();
@@ -338,6 +344,7 @@ PairwiseRunStats run_pairwise(mr::Cluster& cluster,
       };
     }
     job2.num_reduce_tasks = options.num_reduce_tasks;
+    apply_fault_options(job2, options);
     stats.aggregate_job = engine.run(job2);
     stats.aggregated = true;
     stats.shuffle_remote_bytes +=
@@ -388,6 +395,7 @@ PairwiseRunStats run_pairwise_broadcast(
   // One map task per descriptor record: each task descriptor is an
   // independent unit of work.
   spec.max_records_per_split = 1;
+  apply_fault_options(spec, options);
 
   PairwiseRunStats stats;
   stats.distribute_job = engine.run(spec);
@@ -449,6 +457,7 @@ HierarchicalRunStats run_pairwise_rounds(
     };
     job1.num_reduce_tasks = options.num_reduce_tasks;
     job1.max_records_per_split = options.max_records_per_split;
+    apply_fault_options(job1, options);
     const mr::JobResult r1 = engine.run(job1);
 
     stats.evaluations += r1.counter(counter::kEvaluations);
@@ -496,6 +505,7 @@ HierarchicalRunStats run_pairwise_rounds(
       return std::make_unique<AggregateReducer>(fin);
     };
     merge.num_reduce_tasks = options.num_reduce_tasks;
+    apply_fault_options(merge, options);
     const mr::JobResult rm = engine.run(merge);
 
     stats.shuffle_remote_bytes += rm.counter(mr::counter::kShuffleBytesRemote);

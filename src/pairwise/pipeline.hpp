@@ -73,6 +73,13 @@ struct PairwiseOptions {
   // because merging result lists is associative). Shrinks Job 2's shuffle
   // volume at some map-side CPU cost; see bench_ablation.
   bool aggregation_combiner = false;
+  // Deterministic fault injection (mr/fault.hpp) applied to every job the
+  // pipeline runs. Non-owning — must outlive the call; nullptr runs
+  // fault-free. Faults change cost (retries, recovery traffic), never the
+  // aggregated output.
+  const mr::FaultPlan* fault_plan = nullptr;
+  // Speculatively re-execute tasks the plan marks as stragglers.
+  bool speculative_execution = true;
 };
 
 // Custom counters emitted by the pipeline.

@@ -11,6 +11,8 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/check.hpp"
 #include "common/serde.hpp"
@@ -91,17 +93,47 @@ TEST(EngineTest, WordCountEndToEnd) {
   EXPECT_EQ(result.counter(counter::kReduceOutputRecords), 8u);
 }
 
+// The determinism promise in engine.hpp, checked in full: not just the
+// output records but every counter, every per-file home node, and every
+// network-meter reading must be identical for any worker-thread count.
 TEST(EngineTest, OutputIdenticalAcrossWorkerThreadCounts) {
-  std::vector<std::vector<Record>> outputs;
-  for (const std::uint32_t threads : {1u, 2u, 7u}) {
+  struct Observation {
+    std::vector<Record> output;
+    std::map<std::string, std::uint64_t> counters;
+    std::vector<std::pair<std::string, NodeId>> file_homes;
+    std::uint64_t remote = 0;
+    std::uint64_t local = 0;
+    std::vector<std::uint64_t> sent, received;
+  };
+  std::vector<Observation> runs;
+  for (const std::uint32_t threads : {1u, 2u, 8u}) {
     Cluster cluster({.num_nodes = 4, .worker_threads = threads});
     const auto inputs = write_corpus(cluster);
-    Engine engine(cluster);
-    engine.run(word_count_spec(inputs, "/out"));
-    outputs.push_back(cluster.gather_records("/out"));
+    const JobResult result = Engine(cluster).run(word_count_spec(inputs, "/out"));
+
+    Observation obs;
+    obs.output = cluster.gather_records("/out");
+    obs.counters = result.counters;
+    for (const auto& path : result.output_paths) {
+      obs.file_homes.emplace_back(path, cluster.dfs().open(path)->home);
+    }
+    obs.remote = cluster.network().remote_bytes();
+    obs.local = cluster.network().local_bytes();
+    for (NodeId nd = 0; nd < 4; ++nd) {
+      obs.sent.push_back(cluster.network().sent_by(nd));
+      obs.received.push_back(cluster.network().received_at(nd));
+    }
+    runs.push_back(std::move(obs));
   }
-  EXPECT_EQ(outputs[0], outputs[1]);
-  EXPECT_EQ(outputs[0], outputs[2]);
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    EXPECT_EQ(runs[0].output, runs[i].output);
+    EXPECT_EQ(runs[0].counters, runs[i].counters);
+    EXPECT_EQ(runs[0].file_homes, runs[i].file_homes);
+    EXPECT_EQ(runs[0].remote, runs[i].remote);
+    EXPECT_EQ(runs[0].local, runs[i].local);
+    EXPECT_EQ(runs[0].sent, runs[i].sent);
+    EXPECT_EQ(runs[0].received, runs[i].received);
+  }
 }
 
 TEST(EngineTest, ReduceOutputIsSortedByKeyWithinTask) {

@@ -1,0 +1,356 @@
+// Fault injection in the engine: deterministic FaultPlan decisions, task
+// kills with retry, node loss with rescheduling, dropped shuffle fetches
+// with re-fetch, speculative re-execution of stragglers, and the recovery
+// accounting invariant tying the network meter to the job counters.
+#include "mr/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "mr/cluster.hpp"
+#include "mr/context.hpp"
+#include "mr/engine.hpp"
+
+namespace pairmr::mr {
+namespace {
+
+class TokenizeMapper final : public Mapper {
+ public:
+  void map(const Bytes& /*key*/, const Bytes& value,
+           MapContext& ctx) override {
+    std::istringstream is(value);
+    std::string word;
+    while (is >> word) ctx.emit(word, "1");
+  }
+};
+
+class SumReducer final : public Reducer {
+ public:
+  void reduce(const Bytes& key, const std::vector<Bytes>& values,
+              ReduceContext& ctx) override {
+    std::uint64_t total = 0;
+    for (const auto& v : values) total += std::stoull(v);
+    ctx.emit(key, std::to_string(total));
+  }
+};
+
+JobSpec word_count_spec(const std::vector<std::string>& inputs,
+                        const std::string& output_dir) {
+  JobSpec spec;
+  spec.name = "wordcount";
+  spec.input_paths = inputs;
+  spec.output_dir = output_dir;
+  spec.mapper_factory = [] { return std::make_unique<TokenizeMapper>(); };
+  spec.reducer_factory = [] { return std::make_unique<SumReducer>(); };
+  return spec;
+}
+
+std::vector<std::string> write_corpus(Cluster& cluster) {
+  std::vector<Record> records;
+  for (int i = 0; i < 12; ++i) {
+    records.push_back(Record{std::to_string(i),
+                             "alpha beta gamma delta w" + std::to_string(i)});
+  }
+  return cluster.scatter_records("/in", std::move(records));
+}
+
+// Reference output of a fault-free run on an identically shaped cluster.
+std::vector<Record> clean_output(std::uint32_t num_nodes) {
+  Cluster cluster({.num_nodes = num_nodes, .worker_threads = 2});
+  const auto inputs = write_corpus(cluster);
+  Engine(cluster).run(word_count_spec(inputs, "/out"));
+  return cluster.gather_records("/out");
+}
+
+// Every remote byte on the wire is either the job's logical traffic
+// (shuffle + cache broadcast) or accounted recovery overhead.
+void expect_recovery_invariant(const Cluster& cluster,
+                               const JobResult& result) {
+  EXPECT_EQ(cluster.network().remote_bytes(),
+            result.counter(counter::kShuffleBytesRemote) +
+                result.counter(counter::kCacheBroadcastBytes) +
+                result.counter(counter::kRecoveryBytes));
+}
+
+// --- FaultPlan decision determinism -------------------------------------
+
+TEST(FaultPlanTest, DecisionsAreDeterministicAcrossInstances) {
+  const auto build = [] {
+    FaultPlan plan(1234);
+    plan.with_task_kill_rate(0.5, 3)
+        .with_fetch_drop_rate(0.4)
+        .with_straggler_rate(0.3)
+        .with_speculative_win_rate(0.6);
+    return plan;
+  };
+  const FaultPlan a = build();
+  const FaultPlan b = build();
+  for (TaskIndex i = 0; i < 64; ++i) {
+    for (std::uint32_t attempt = 0; attempt < 4; ++attempt) {
+      EXPECT_EQ(a.kills_task(TaskKind::kMap, i, attempt),
+                b.kills_task(TaskKind::kMap, i, attempt));
+      EXPECT_EQ(a.kills_task(TaskKind::kReduce, i, attempt),
+                b.kills_task(TaskKind::kReduce, i, attempt));
+    }
+    EXPECT_EQ(a.is_straggler(TaskKind::kMap, i),
+              b.is_straggler(TaskKind::kMap, i));
+    EXPECT_EQ(a.backup_wins(TaskKind::kReduce, i),
+              b.backup_wins(TaskKind::kReduce, i));
+    EXPECT_EQ(a.drops_fetch(i % 8, i), b.drops_fetch(i % 8, i));
+  }
+}
+
+TEST(FaultPlanTest, KillsOccupyLeadingAttemptsOnly) {
+  FaultPlan plan(9);
+  plan.with_task_kill_rate(1.0, 2);
+  for (TaskIndex i = 0; i < 16; ++i) {
+    EXPECT_TRUE(plan.kills_task(TaskKind::kMap, i, 0));
+    EXPECT_TRUE(plan.kills_task(TaskKind::kMap, i, 1));
+    EXPECT_FALSE(plan.kills_task(TaskKind::kMap, i, 2));
+  }
+}
+
+TEST(FaultPlanTest, ExplicitInjectionsFire) {
+  FaultPlan plan;
+  plan.kill_task(TaskKind::kReduce, 3, 2)
+      .drop_fetch(1, 4)
+      .mark_straggler(TaskKind::kMap, 5)
+      .fail_node(2);
+  EXPECT_TRUE(plan.active());
+  EXPECT_TRUE(plan.kills_task(TaskKind::kReduce, 3, 1));
+  EXPECT_FALSE(plan.kills_task(TaskKind::kReduce, 3, 2));
+  EXPECT_FALSE(plan.kills_task(TaskKind::kMap, 3, 0));
+  EXPECT_TRUE(plan.drops_fetch(1, 4));
+  EXPECT_FALSE(plan.drops_fetch(4, 1));
+  EXPECT_TRUE(plan.is_straggler(TaskKind::kMap, 5));
+  EXPECT_FALSE(plan.is_straggler(TaskKind::kReduce, 5));
+  ASSERT_TRUE(plan.failed_node().has_value());
+  EXPECT_EQ(*plan.failed_node(), 2u);
+  EXPECT_FALSE(FaultPlan().active());
+}
+
+TEST(FaultPlanTest, RatesAreValidated) {
+  FaultPlan plan(1);
+  EXPECT_THROW(plan.with_task_kill_rate(1.5), PreconditionError);
+  EXPECT_THROW(plan.with_fetch_drop_rate(-0.1), PreconditionError);
+  EXPECT_THROW(plan.with_straggler_rate(2.0), PreconditionError);
+  EXPECT_THROW(plan.with_task_kill_rate(0.5, 0), PreconditionError);
+}
+
+// --- Engine behaviour under injected faults ------------------------------
+
+TEST(FaultInjectionTest, KilledTasksRetryAndPreserveOutput) {
+  Cluster cluster({.num_nodes = 3, .worker_threads = 2});
+  const auto inputs = write_corpus(cluster);
+  FaultPlan plan;
+  plan.kill_task(TaskKind::kMap, 0).kill_task(TaskKind::kReduce, 1);
+
+  auto spec = word_count_spec(inputs, "/out");
+  spec.fault_plan = &plan;
+  const JobResult result = Engine(cluster).run(spec);
+
+  EXPECT_EQ(result.counter(counter::kTasksRetried), 2u);
+  EXPECT_GT(result.counter(counter::kRecoveryBytes), 0u);
+  EXPECT_EQ(cluster.gather_records("/out"), clean_output(3));
+  expect_recovery_invariant(cluster, result);
+}
+
+TEST(FaultInjectionTest, InjectedKillsDoNotConsumeUserAttempts) {
+  Cluster cluster({.num_nodes = 2, .worker_threads = 1});
+  const auto inputs = write_corpus(cluster);
+  FaultPlan plan(3);
+  plan.with_task_kill_rate(1.0, 3);  // every task dies three times
+
+  auto spec = word_count_spec(inputs, "/out");
+  spec.fault_plan = &plan;
+  spec.max_task_attempts = 1;  // user code never fails, so 1 is enough
+  const JobResult result = Engine(cluster).run(spec);
+
+  // 2 map tasks + 2 reduce tasks, three injected kills each.
+  EXPECT_EQ(result.counter(counter::kTasksRetried), 12u);
+  EXPECT_EQ(cluster.gather_records("/out"), clean_output(2));
+  expect_recovery_invariant(cluster, result);
+}
+
+TEST(FaultInjectionTest, NodeLossReschedulesAndMarksClusterState) {
+  Cluster cluster({.num_nodes = 4, .worker_threads = 2});
+  const auto inputs = write_corpus(cluster);
+  FaultPlan plan;
+  plan.fail_node(1);
+
+  auto spec = word_count_spec(inputs, "/out");
+  spec.fault_plan = &plan;
+  const JobResult result = Engine(cluster).run(spec);
+
+  EXPECT_FALSE(cluster.is_alive(1));
+  EXPECT_EQ(cluster.num_alive(), 3u);
+  // The map task homed on the lost node was aborted and re-run elsewhere.
+  EXPECT_GE(result.counter(counter::kTasksRetried), 1u);
+  for (const auto& task : result.map_tasks) EXPECT_NE(task.node, 1u);
+  for (const auto& task : result.reduce_tasks) EXPECT_NE(task.node, 1u);
+  // Its input had to cross the wire for the re-run.
+  EXPECT_GT(result.counter(counter::kRecoveryBytes), 0u);
+  EXPECT_EQ(cluster.gather_records("/out"), clean_output(4));
+  expect_recovery_invariant(cluster, result);
+
+  // A later job on the same cluster schedules around the dead node without
+  // further kills.
+  const JobResult second = Engine(cluster).run(word_count_spec(inputs, "/o2"));
+  for (const auto& task : second.map_tasks) EXPECT_NE(task.node, 1u);
+  EXPECT_EQ(second.counter(counter::kTasksRetried), 0u);
+  EXPECT_EQ(cluster.gather_records("/o2"), clean_output(4));
+}
+
+TEST(FaultInjectionTest, FailingEveryNodeIsRejected) {
+  Cluster cluster({.num_nodes = 1, .worker_threads = 1});
+  const auto inputs = write_corpus(cluster);
+  FaultPlan plan;
+  plan.fail_node(0);
+  auto spec = word_count_spec(inputs, "/out");
+  spec.fault_plan = &plan;
+  EXPECT_THROW(Engine(cluster).run(spec), PreconditionError);
+}
+
+TEST(FaultInjectionTest, DroppedFetchIsRefetchedAndCharged) {
+  Cluster cluster({.num_nodes = 2, .worker_threads = 2});
+  const auto inputs = write_corpus(cluster);
+  FaultPlan plan;
+  plan.drop_fetch(/*reduce_task=*/1, /*map_task=*/0);
+
+  auto spec = word_count_spec(inputs, "/out");
+  spec.fault_plan = &plan;
+  const JobResult result = Engine(cluster).run(spec);
+
+  EXPECT_EQ(result.counter(counter::kShuffleFetchRetries), 1u);
+  // Reduce task 1 runs on node 1; map task 0 ran on node 0, so the dropped
+  // copy crossed the wire and shows up as recovery traffic.
+  EXPECT_GT(result.counter(counter::kRecoveryBytes), 0u);
+  EXPECT_EQ(result.counter(counter::kTasksRetried), 0u);
+  EXPECT_EQ(cluster.gather_records("/out"), clean_output(2));
+  expect_recovery_invariant(cluster, result);
+}
+
+TEST(FaultInjectionTest, SpeculativeBackupWinsForStragglers) {
+  Cluster cluster({.num_nodes = 3, .worker_threads = 2});
+  const auto inputs = write_corpus(cluster);
+  FaultPlan plan;
+  plan.mark_straggler(TaskKind::kMap, 0).mark_straggler(TaskKind::kReduce, 2);
+
+  auto spec = word_count_spec(inputs, "/out");
+  spec.fault_plan = &plan;
+  const JobResult result = Engine(cluster).run(spec);
+
+  EXPECT_EQ(result.counter(counter::kTasksSpeculative), 2u);
+  EXPECT_EQ(result.counter(counter::kSpeculativeWins), 2u);
+  // The winning backup ran away from the straggler's original placement.
+  const NodeId home = cluster.dfs().open(inputs[0])->home;
+  EXPECT_NE(result.map_tasks[0].node, home);
+  EXPECT_NE(result.reduce_tasks[2].node, 2u % 3u);
+  // The losing executions' shuffle and input re-reads are recovery cost.
+  EXPECT_GT(result.counter(counter::kRecoveryBytes), 0u);
+  EXPECT_EQ(cluster.gather_records("/out"), clean_output(3));
+  expect_recovery_invariant(cluster, result);
+}
+
+TEST(FaultInjectionTest, SpeculativeBackupCanLoseTheRace) {
+  Cluster cluster({.num_nodes = 3, .worker_threads = 2});
+  const auto inputs = write_corpus(cluster);
+  FaultPlan plan(5);
+  plan.mark_straggler(TaskKind::kMap, 0).with_speculative_win_rate(0.0);
+
+  auto spec = word_count_spec(inputs, "/out");
+  spec.fault_plan = &plan;
+  const JobResult result = Engine(cluster).run(spec);
+
+  EXPECT_EQ(result.counter(counter::kTasksSpeculative), 1u);
+  EXPECT_EQ(result.counter(counter::kSpeculativeWins), 0u);
+  // The original kept its data-local placement.
+  EXPECT_EQ(result.map_tasks[0].node, cluster.dfs().open(inputs[0])->home);
+  EXPECT_EQ(cluster.gather_records("/out"), clean_output(3));
+  expect_recovery_invariant(cluster, result);
+}
+
+TEST(FaultInjectionTest, SpeculationRequiresASecondUsableNode) {
+  Cluster cluster({.num_nodes = 1, .worker_threads = 1});
+  const auto inputs = write_corpus(cluster);
+  FaultPlan plan;
+  plan.mark_straggler(TaskKind::kMap, 0);
+  auto spec = word_count_spec(inputs, "/out");
+  spec.fault_plan = &plan;
+  const JobResult result = Engine(cluster).run(spec);
+  EXPECT_EQ(result.counter(counter::kTasksSpeculative), 0u);
+  EXPECT_EQ(cluster.gather_records("/out"), clean_output(1));
+}
+
+TEST(FaultInjectionTest, SpeculationCanBeDisabledPerJob) {
+  Cluster cluster({.num_nodes = 3, .worker_threads = 2});
+  const auto inputs = write_corpus(cluster);
+  FaultPlan plan;
+  plan.mark_straggler(TaskKind::kMap, 0);
+  auto spec = word_count_spec(inputs, "/out");
+  spec.fault_plan = &plan;
+  spec.speculative_execution = false;
+  const JobResult result = Engine(cluster).run(spec);
+  EXPECT_EQ(result.counter(counter::kTasksSpeculative), 0u);
+  EXPECT_EQ(result.map_tasks[0].node, cluster.dfs().open(inputs[0])->home);
+  EXPECT_EQ(cluster.gather_records("/out"), clean_output(3));
+}
+
+// The determinism promise extended to faulted runs: output, counters, and
+// metered bytes are identical for any worker-thread count under the same
+// seeded chaos.
+TEST(FaultInjectionTest, FaultedRunsAreDeterministicAcrossThreadCounts) {
+  struct Observation {
+    std::vector<Record> output;
+    std::map<std::string, std::uint64_t> counters;
+    std::uint64_t remote = 0;
+    std::uint64_t local = 0;
+    std::vector<std::uint64_t> sent, received;
+  };
+  std::vector<Observation> runs;
+  for (const std::uint32_t threads : {1u, 2u, 8u}) {
+    Cluster cluster({.num_nodes = 4, .worker_threads = threads});
+    const auto inputs = write_corpus(cluster);
+    FaultPlan plan(42);
+    plan.with_task_kill_rate(0.5, 2)
+        .with_fetch_drop_rate(0.4)
+        .with_straggler_rate(0.4)
+        .fail_node(2);
+    auto spec = word_count_spec(inputs, "/out");
+    spec.fault_plan = &plan;
+    const JobResult result = Engine(cluster).run(spec);
+
+    Observation obs;
+    obs.output = cluster.gather_records("/out");
+    obs.counters = result.counters;
+    obs.remote = cluster.network().remote_bytes();
+    obs.local = cluster.network().local_bytes();
+    for (NodeId nd = 0; nd < 4; ++nd) {
+      obs.sent.push_back(cluster.network().sent_by(nd));
+      obs.received.push_back(cluster.network().received_at(nd));
+    }
+    // The chaos actually happened.
+    EXPECT_GT(result.counter(counter::kTasksRetried), 0u);
+    expect_recovery_invariant(cluster, result);
+    runs.push_back(std::move(obs));
+  }
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    EXPECT_EQ(runs[0].output, runs[i].output);
+    EXPECT_EQ(runs[0].counters, runs[i].counters);
+    EXPECT_EQ(runs[0].remote, runs[i].remote);
+    EXPECT_EQ(runs[0].local, runs[i].local);
+    EXPECT_EQ(runs[0].sent, runs[i].sent);
+    EXPECT_EQ(runs[0].received, runs[i].received);
+  }
+  // And the faults changed the physical traffic relative to a clean run.
+  EXPECT_EQ(runs[0].output, clean_output(4));
+}
+
+}  // namespace
+}  // namespace pairmr::mr

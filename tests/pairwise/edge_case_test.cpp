@@ -11,6 +11,7 @@
 #include "pairwise/dataset.hpp"
 #include "pairwise/design_scheme.hpp"
 #include "pairwise/pipeline.hpp"
+#include "pairwise/simple.hpp"
 #include "workloads/kernels.hpp"
 
 namespace pairmr {
@@ -42,6 +43,90 @@ TEST(EdgeCaseTest, TwoElementsAllSchemes) {
     ASSERT_EQ(elements.size(), 2u);
     EXPECT_DOUBLE_EQ(
         workloads::decode_result(elements[0].results[0].result), 3.0);
+  }
+}
+
+TEST(EdgeCaseTest, DegenerateDatasetsAreRejected) {
+  // v ∈ {0, 1}: no pairs exist; every scheme and the simple API refuse.
+  for (const std::uint64_t v : {0u, 1u}) {
+    EXPECT_THROW(BroadcastScheme(v, 1), PreconditionError) << "v=" << v;
+    EXPECT_THROW(BlockScheme(v, 1), PreconditionError) << "v=" << v;
+    EXPECT_THROW(DesignScheme{v}, PreconditionError) << "v=" << v;
+  }
+  EXPECT_THROW(compute_all_pairs({}, len_job()), PreconditionError);
+  EXPECT_THROW(compute_all_pairs({"solo"}, len_job()), PreconditionError);
+}
+
+TEST(EdgeCaseTest, TinyDatasetsThroughSimpleApi) {
+  // v = 2 and v = 3 through each scheme kind end-to-end.
+  for (const std::uint64_t v : {2u, 3u}) {
+    std::vector<std::string> payloads;
+    for (std::uint64_t i = 0; i < v; ++i) {
+      payloads.push_back(std::string(i + 1, 'a'));
+    }
+    for (const SchemeKind kind :
+         {SchemeKind::kBroadcast, SchemeKind::kBlock, SchemeKind::kDesign}) {
+      SimpleOptions options;
+      options.cluster = {.num_nodes = 2, .worker_threads = 1};
+      options.scheme = kind;
+      const auto elements = compute_all_pairs(payloads, len_job(), options);
+      ASSERT_EQ(elements.size(), v);
+      for (const auto& e : elements) {
+        EXPECT_EQ(e.results.size(), v - 1)
+            << "v=" << v << " kind=" << static_cast<int>(kind);
+      }
+    }
+  }
+}
+
+TEST(EdgeCaseTest, BlockFactorExtremes) {
+  // h = 1 degenerates to a single task holding every pair; h = v is the
+  // other legal extreme. Both must still enumerate all pairs exactly once.
+  const std::vector<std::string> payloads = {"a", "bb", "ccc", "dddd",
+                                             "eeeee"};
+  for (const std::uint64_t h : {1u, 5u}) {
+    mr::Cluster cluster({.num_nodes = 2, .worker_threads = 2});
+    const auto inputs = write_dataset(cluster, "/data", payloads);
+    const BlockScheme scheme(5, h);
+    if (h == 1) {
+      EXPECT_EQ(scheme.num_tasks(), 1u);
+    }
+    const PairwiseRunStats stats =
+        run_pairwise(cluster, inputs, scheme, len_job());
+    EXPECT_EQ(stats.evaluations, 10u) << "h=" << h;
+    if (h == 1) {
+      // One working set containing the whole dataset, no replication.
+      EXPECT_DOUBLE_EQ(stats.replication_factor, 1.0);
+      EXPECT_EQ(stats.max_working_set_records, 5u);
+    }
+    const auto elements = read_elements(cluster, stats.output_dir);
+    ASSERT_EQ(elements.size(), 5u);
+    for (const auto& e : elements) EXPECT_EQ(e.results.size(), 4u);
+  }
+}
+
+TEST(EdgeCaseTest, DesignPlaneOrderAtBoundaries) {
+  // v = q² + q + 1 exactly: the plane is used untruncated.
+  EXPECT_EQ(DesignScheme(7).plane_order(), 2u);  // 2² + 2 + 1 = 7
+  // One past the boundary forces the next order up.
+  EXPECT_EQ(DesignScheme(8).plane_order(), 3u);  // 3² + 3 + 1 = 13 ≥ 8
+  // Prime-power construction admits q = 8 = 2³ where the prime-only
+  // Theorem 2 construction must jump to q = 11.
+  EXPECT_EQ(DesignScheme(73, PlaneConstruction::kPG2PrimePower).plane_order(),
+            8u);  // 8² + 8 + 1 = 73
+  EXPECT_EQ(DesignScheme(73, PlaneConstruction::kTheorem2Prime).plane_order(),
+            11u);
+
+  // The exact-boundary plane runs end-to-end and covers each pair once.
+  const std::vector<std::string> payloads(7, "p");
+  mr::Cluster cluster({.num_nodes = 2, .worker_threads = 2});
+  const auto inputs = write_dataset(cluster, "/data", payloads);
+  const DesignScheme scheme(7);
+  const PairwiseRunStats stats =
+      run_pairwise(cluster, inputs, scheme, len_job());
+  EXPECT_EQ(stats.evaluations, 21u);
+  for (const auto& e : read_elements(cluster, stats.output_dir)) {
+    EXPECT_EQ(e.results.size(), 6u);
   }
 }
 

@@ -1,0 +1,228 @@
+// Cross-scheme fault-equivalence harness: for randomized datasets, the
+// broadcast, block, and design pipelines running under injected faults
+// (task kills, a node loss, dropped shuffle fetches, stragglers with
+// speculative backups) must produce aggregated output byte-identical to
+// the fault-free simple-API reference. Faults may only change cost —
+// retries, recovery traffic — never results (paper §2: "tasks may get
+// aborted and restarted at any time").
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mr/cluster.hpp"
+#include "mr/fault.hpp"
+#include "pairwise/block_scheme.hpp"
+#include "pairwise/broadcast_scheme.hpp"
+#include "pairwise/dataset.hpp"
+#include "pairwise/design_scheme.hpp"
+#include "pairwise/pipeline.hpp"
+#include "pairwise/simple.hpp"
+#include "common/rng.hpp"
+#include "workloads/kernels.hpp"
+
+namespace pairmr {
+namespace {
+
+using mr::FaultPlan;
+using mr::TaskKind;
+
+std::vector<std::string> random_payloads(std::uint64_t v,
+                                         std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::string> payloads;
+  for (std::uint64_t i = 0; i < v; ++i) {
+    std::string p;
+    const std::uint64_t len = 1 + rng.next_below(32);
+    for (std::uint64_t k = 0; k < len; ++k) {
+      p.push_back(static_cast<char>('a' + rng.next_below(26)));
+    }
+    payloads.push_back(std::move(p));
+  }
+  return payloads;
+}
+
+PairwiseJob test_job() {
+  PairwiseJob job;
+  job.compute = [](const Element& a, const Element& b) {
+    const double la = static_cast<double>(a.payload.size());
+    const double lb = static_cast<double>(b.payload.size());
+    return workloads::encode_result(
+        std::abs(la - lb) + 0.001 * static_cast<double>(a.id + b.id));
+  };
+  return job;
+}
+
+// The acceptance-criteria chaos: >=1 task kill, a node loss, >=1 dropped
+// fetch, and >=1 straggler with a winning speculative backup — plus
+// rate-based background noise derived from the dataset seed.
+FaultPlan make_chaos_plan(std::uint64_t seed) {
+  FaultPlan plan(seed);
+  plan.with_task_kill_rate(0.25, 2)
+      .with_fetch_drop_rate(0.2)
+      .with_straggler_rate(0.2)
+      .kill_task(TaskKind::kMap, 0)
+      .kill_task(TaskKind::kReduce, 0)
+      .fail_node(1)
+      .drop_fetch(/*reduce_task=*/0, /*map_task=*/0)
+      .mark_straggler(TaskKind::kMap, 1)
+      .mark_straggler(TaskKind::kReduce, 1);
+  return plan;
+}
+
+// Byte-identical comparison of aggregated outputs via the wire codec.
+void expect_identical_elements(const std::vector<Element>& got,
+                               const std::vector<Element>& want,
+                               const std::string& label) {
+  ASSERT_EQ(got.size(), want.size()) << label;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(encode_element(got[i]), encode_element(want[i]))
+        << label << " element " << i;
+  }
+}
+
+std::uint64_t recovery_counters(const mr::JobResult& job,
+                                const char* name) {
+  return job.counter(name);
+}
+
+struct SchemeCase {
+  std::string label;
+  std::function<std::unique_ptr<DistributionScheme>(std::uint64_t)> make;
+};
+
+class FaultEquivalence
+    : public ::testing::TestWithParam<std::tuple<SchemeCase, std::uint64_t>> {
+};
+
+TEST_P(FaultEquivalence, FaultedPipelineMatchesFaultFreeReference) {
+  const auto& [scheme_case, seed] = GetParam();
+  const std::uint64_t v = 16 + seed % 13;  // 3 distinct sizes
+  const auto payloads = random_payloads(v, seed);
+
+  // Fault-free reference via the simple API on its own pristine cluster.
+  const std::vector<Element> reference =
+      compute_all_pairs(payloads, test_job(), {.cluster = {.num_nodes = 4}});
+
+  mr::Cluster cluster({.num_nodes = 4, .worker_threads = 2});
+  const auto inputs = write_dataset(cluster, "/data", payloads);
+  const auto scheme = scheme_case.make(v);
+  const FaultPlan plan = make_chaos_plan(seed);
+  PairwiseOptions options;
+  options.fault_plan = &plan;
+
+  const PairwiseRunStats stats =
+      run_pairwise(cluster, inputs, *scheme, test_job(), options);
+
+  expect_identical_elements(read_elements(cluster, stats.output_dir),
+                            reference, scheme_case.label);
+
+  // The injected chaos actually happened and is visible in JobResult.
+  const std::uint64_t retried =
+      recovery_counters(stats.distribute_job, mr::counter::kTasksRetried) +
+      recovery_counters(stats.aggregate_job, mr::counter::kTasksRetried);
+  EXPECT_GT(retried, 0u);
+  const std::uint64_t speculative =
+      recovery_counters(stats.distribute_job,
+                        mr::counter::kTasksSpeculative) +
+      recovery_counters(stats.aggregate_job, mr::counter::kTasksSpeculative);
+  EXPECT_GT(speculative, 0u);
+  EXPECT_FALSE(cluster.is_alive(1));  // the node loss stuck
+
+  // Recovery accounting closes across both jobs: all remote traffic is
+  // logical shuffle + cache broadcast + attributed recovery overhead.
+  std::uint64_t accounted = 0;
+  for (const mr::JobResult* job :
+       {&stats.distribute_job, &stats.aggregate_job}) {
+    accounted += job->counter(mr::counter::kShuffleBytesRemote) +
+                 job->counter(mr::counter::kCacheBroadcastBytes) +
+                 job->counter(mr::counter::kRecoveryBytes);
+  }
+  EXPECT_EQ(cluster.network().remote_bytes(), accounted);
+}
+
+std::vector<SchemeCase> scheme_cases() {
+  return {
+      {"broadcast",
+       [](std::uint64_t v) {
+         return std::make_unique<BroadcastScheme>(v, 5);
+       }},
+      {"block",
+       [](std::uint64_t v) { return std::make_unique<BlockScheme>(v, 4); }},
+      {"design",
+       [](std::uint64_t v) { return std::make_unique<DesignScheme>(v); }},
+  };
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchemesTimesDatasets, FaultEquivalence,
+    ::testing::Combine(::testing::ValuesIn(scheme_cases()),
+                       ::testing::Values(101u, 202u, 303u)),
+    [](const auto& info) {
+      return std::get<0>(info.param).label + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// The one-job broadcast variant (§5.1) exercises the distributed-cache
+// path under the same chaos: cache broadcast must skip the dead node and
+// the output must still match.
+TEST(FaultEquivalenceTest, BroadcastOneJobVariantUnderFaults) {
+  const std::uint64_t v = 19;
+  const auto payloads = random_payloads(v, 404);
+  const std::vector<Element> reference =
+      compute_all_pairs(payloads, test_job(), {.cluster = {.num_nodes = 4}});
+
+  mr::Cluster cluster({.num_nodes = 4, .worker_threads = 2});
+  const auto inputs = write_dataset(cluster, "/data", payloads);
+  const FaultPlan plan = make_chaos_plan(404);
+  PairwiseOptions options;
+  options.fault_plan = &plan;
+
+  const PairwiseRunStats stats = run_pairwise_broadcast(
+      cluster, inputs, v, /*num_tasks=*/6, test_job(), options);
+
+  expect_identical_elements(read_elements(cluster, stats.output_dir),
+                            reference, "broadcast-one-job");
+  EXPECT_GT(stats.distribute_job.counter(mr::counter::kTasksRetried), 0u);
+  EXPECT_FALSE(cluster.is_alive(1));
+}
+
+// The round-based driver (§7) aggregates after every round; chaos in any
+// round or merge job must not corrupt the accumulated output.
+TEST(FaultEquivalenceTest, RoundBasedExecutionUnderFaults) {
+  const std::uint64_t v = 20;
+  const auto payloads = random_payloads(v, 505);
+  const std::vector<Element> reference =
+      compute_all_pairs(payloads, test_job(), {.cluster = {.num_nodes = 4}});
+
+  mr::Cluster cluster({.num_nodes = 4, .worker_threads = 2});
+  const auto inputs = write_dataset(cluster, "/data", payloads);
+  const BlockScheme scheme(v, 4);
+  std::vector<std::vector<TaskId>> rounds(2);
+  for (TaskId t = 0; t < scheme.num_tasks(); ++t) {
+    rounds[t % 2].push_back(t);
+  }
+  const FaultPlan plan = make_chaos_plan(505);
+  PairwiseOptions options;
+  options.fault_plan = &plan;
+
+  const HierarchicalRunStats stats =
+      run_pairwise_rounds(cluster, inputs, scheme, rounds, test_job(),
+                          options);
+
+  expect_identical_elements(read_elements(cluster, stats.output_dir),
+                            reference, "rounds");
+  std::uint64_t retried = 0;
+  for (const auto& job : stats.round_jobs) {
+    retried += job.counter(mr::counter::kTasksRetried);
+  }
+  for (const auto& job : stats.merge_jobs) {
+    retried += job.counter(mr::counter::kTasksRetried);
+  }
+  EXPECT_GT(retried, 0u);
+}
+
+}  // namespace
+}  // namespace pairmr
