@@ -1,0 +1,314 @@
+// bench_trace_validation — measured execution traces vs the analytic
+// makespan model (§5.1 folklore).
+//
+// Every scheme runs through the real (traced) MR pipeline twice:
+//   * compute-heavy regime: small elements, expensive comp() — the paper
+//     says broadcast wins (fewest, perfectly balanced waves);
+//   * shipping-heavy regime: large elements, cheap comp() — block's
+//     minimal replication should win.
+//
+// The trace gives the measured side of the comparison. The simulator
+// moves bytes by reference, so wire time is normalized: measured ship and
+// aggregate seconds are the traced byte volumes times the model's
+// network rate, while compute is the wave-packed reduce/map execution
+// seconds actually spent evaluating comp(). The analytic side is
+// estimate_makespan with the compute rate calibrated from the measured
+// busy seconds (c = busy / C(v,2)) and the same wire rate, so both sides
+// price resources identically and only the *structure* (replication,
+// waves, working sets) differs.
+//
+// Asserts, exiting non-zero on violation:
+//   * folklore winners — broadcast beats block when compute-heavy; block
+//     beats broadcast and design when shipping-heavy (measured AND
+//     analytic, every gap is structurally >= 2x);
+//   * ranking agreement — for any scheme pair whose analytic totals
+//     differ by >= 1.5x, the measured totals order the same way;
+//   * phase ordering — where the model predicts ship >= 2x compute (or
+//     the reverse), the measured phases order the same way;
+//   * span accounting — the trace covers exactly the tasks the engine ran.
+//
+// Emits BENCH_trace_validation.json with the per-regime, per-scheme
+// measured and analytic phase seconds and the assertion verdicts.
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "mr/cluster.hpp"
+#include "mr/trace.hpp"
+#include "pairwise/block_scheme.hpp"
+#include "pairwise/broadcast_scheme.hpp"
+#include "pairwise/cost_model.hpp"
+#include "pairwise/dataset.hpp"
+#include "pairwise/design_scheme.hpp"
+#include "pairwise/makespan.hpp"
+#include "pairwise/pipeline.hpp"
+#include "workloads/generators.hpp"
+#include "workloads/kernels.hpp"
+
+namespace {
+
+using namespace pairmr;
+
+constexpr std::uint32_t kNodes = 4;
+constexpr double kWireSecondsPerByte = 1e-8;  // 100 MB/s, as the model
+
+struct SchemeRun {
+  std::string scheme;
+  SchemeMetrics metrics;
+
+  // Wire-normalized measured phases (seconds).
+  double ship_seconds = 0.0;
+  double compute_seconds = 0.0;  // wave-packed measured execution
+  double aggregate_seconds = 0.0;
+  double overhead_seconds = 0.0;
+
+  std::uint64_t ship_bytes = 0;
+  std::uint64_t aggregate_bytes = 0;
+  double compute_busy_seconds = 0.0;
+  std::uint64_t waves = 0;
+  std::uint64_t evaluations = 0;
+
+  MakespanBreakdown analytic;
+
+  double total() const {
+    return ship_seconds + compute_seconds + aggregate_seconds +
+           overhead_seconds;
+  }
+};
+
+struct Regime {
+  std::string name;
+  std::uint64_t element_bytes;
+  PairwiseJob job;
+  std::string expected_winner;  // §5.1 folklore
+  std::vector<SchemeRun> runs;
+};
+
+bool g_ok = true;
+
+void check(bool condition, const std::string& what) {
+  std::cout << (condition ? "  [ok]   " : "  [FAIL] ") << what << "\n";
+  if (!condition) g_ok = false;
+}
+
+SchemeRun run_scheme(const DistributionScheme& scheme, const PairwiseJob& job,
+                     const std::vector<std::string>& payloads) {
+  mr::Cluster cluster({.num_nodes = kNodes, .worker_threads = 0});
+  mr::Tracer tracer;
+  cluster.set_tracer(&tracer);
+  const auto inputs = write_dataset(cluster, "/data", payloads);
+
+  PairwiseOptions options;
+  // One engine reduce task per scheme task, so the trace sees the
+  // scheme's work units (and waves) unmerged.
+  const auto tasks = static_cast<std::uint32_t>(scheme.num_tasks());
+  options.num_reduce_tasks = tasks;
+  options.distribute_partitioner =
+      std::make_shared<mr::RangePartitioner>(scheme.num_tasks());
+  const PairwiseRunStats stats =
+      run_pairwise(cluster, inputs, scheme, job, options);
+
+  const mr::PhaseBreakdown d =
+      tracer.phase_breakdown(stats.distribute_job.job_name, kNodes);
+  const mr::PhaseBreakdown a =
+      tracer.phase_breakdown(stats.aggregate_job.job_name, kNodes);
+
+  SchemeRun run;
+  run.scheme = scheme.name();
+  run.metrics = scheme.metrics();
+  // Distribution: job 1's shuffle moves the replicated element copies.
+  run.ship_bytes = d.ship_bytes;
+  run.ship_seconds =
+      static_cast<double>(d.ship_bytes) * kWireSecondsPerByte;
+  // Aggregation: job 2's shuffle moves every copy again, results attached.
+  run.aggregate_bytes = a.ship_bytes;
+  run.aggregate_seconds =
+      static_cast<double>(a.ship_bytes) * kWireSecondsPerByte;
+  run.compute_seconds = d.compute_seconds + a.compute_seconds;
+  run.overhead_seconds = d.overhead_seconds + a.overhead_seconds;
+  run.compute_busy_seconds = d.compute_busy_seconds;
+  run.waves = d.compute_waves;
+  run.evaluations = stats.evaluations;
+
+  // Span accounting: the trace must cover exactly the tasks the engine
+  // ran — job 1's map tasks plus its per-scheme reduce tasks.
+  check(d.tasks == stats.distribute_job.map_tasks.size() + tasks,
+        run.scheme + ": trace covers all " + std::to_string(d.tasks) +
+            " distribute-job tasks");
+  return run;
+}
+
+Regime run_regime(Regime regime, const std::vector<std::string>& payloads,
+                  std::uint64_t v) {
+  std::cout << "\n--- regime: " << regime.name << " (s = "
+            << format_bytes(regime.element_bytes) << ") ---\n";
+  const BroadcastScheme broadcast(v, kNodes);
+  const BlockScheme block(v, /*h=*/2);
+  const DesignScheme design(v);
+  regime.runs.push_back(run_scheme(broadcast, regime.job, payloads));
+  regime.runs.push_back(run_scheme(block, regime.job, payloads));
+  regime.runs.push_back(run_scheme(design, regime.job, payloads));
+
+  // Calibrate the analytic model from the measurements: per-evaluation
+  // cost from the traced busy seconds, per-task overhead from the traced
+  // framework residue. Structure (replication, waves) stays analytic.
+  CostRates rates;
+  rates.network_seconds_per_byte = kWireSecondsPerByte;
+  double c = 0.0, o = 0.0;
+  for (const SchemeRun& r : regime.runs) {
+    c += r.compute_busy_seconds / static_cast<double>(r.evaluations);
+    o += r.overhead_seconds * kNodes /
+         static_cast<double>(r.metrics.num_tasks);
+  }
+  rates.compute_seconds_per_eval = c / static_cast<double>(regime.runs.size());
+  rates.task_overhead_seconds = o / static_cast<double>(regime.runs.size());
+
+  TablePrinter t({"scheme", "ship (s)", "compute (s)", "aggregate (s)",
+                  "overhead (s)", "measured total", "analytic total",
+                  "waves"});
+  t.set_caption("measured (wire-normalized trace) vs analytic phases");
+  for (SchemeRun& r : regime.runs) {
+    r.analytic = estimate_makespan(r.metrics, v, regime.element_bytes,
+                                   kNodes, rates);
+    t.add_row({r.scheme, TablePrinter::sci(r.ship_seconds, 2),
+               TablePrinter::sci(r.compute_seconds, 2),
+               TablePrinter::sci(r.aggregate_seconds, 2),
+               TablePrinter::sci(r.overhead_seconds, 2),
+               TablePrinter::sci(r.total(), 2),
+               TablePrinter::sci(r.analytic.total(), 2),
+               TablePrinter::num(r.waves)});
+  }
+  t.print(std::cout);
+
+  // Folklore winner, measured and analytic.
+  const SchemeRun* measured_best = &regime.runs[0];
+  const SchemeRun* analytic_best = &regime.runs[0];
+  for (const SchemeRun& r : regime.runs) {
+    if (r.total() < measured_best->total()) measured_best = &r;
+    if (r.analytic.total() < analytic_best->analytic.total()) {
+      analytic_best = &r;
+    }
+  }
+  check(measured_best->scheme == regime.expected_winner,
+        "measured winner is " + regime.expected_winner + " (got " +
+            measured_best->scheme + ")");
+  check(analytic_best->scheme == regime.expected_winner,
+        "analytic winner is " + regime.expected_winner + " (got " +
+            analytic_best->scheme + ")");
+
+  // Ranking agreement wherever the model separates schemes by >= 1.5x.
+  for (const SchemeRun& fast : regime.runs) {
+    for (const SchemeRun& slow : regime.runs) {
+      if (fast.analytic.total() * 1.5 > slow.analytic.total()) continue;
+      check(fast.total() < slow.total(),
+            "measured agrees: " + fast.scheme + " < " + slow.scheme +
+                " (analytic gap " +
+                TablePrinter::num(
+                    slow.analytic.total() / fast.analytic.total(), 1) +
+                "x)");
+    }
+  }
+
+  // Phase ordering wherever the model predicts a >= 2x gap.
+  for (const SchemeRun& r : regime.runs) {
+    if (r.analytic.ship_seconds >= 2.0 * r.analytic.compute_seconds) {
+      check(r.ship_seconds > r.compute_seconds,
+            r.scheme + ": measured ship dominates compute");
+    } else if (r.analytic.compute_seconds >= 2.0 * r.analytic.ship_seconds) {
+      check(r.compute_seconds > r.ship_seconds,
+            r.scheme + ": measured compute dominates ship");
+    }
+  }
+  return regime;
+}
+
+void append_json(std::string& out, const Regime& regime) {
+  out += "    {\"regime\": \"" + regime.name + "\", \"expected_winner\": \"" +
+         regime.expected_winner + "\", \"element_bytes\": " +
+         std::to_string(regime.element_bytes) + ", \"schemes\": [\n";
+  for (std::size_t i = 0; i < regime.runs.size(); ++i) {
+    const SchemeRun& r = regime.runs[i];
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "      {\"scheme\": \"%s\", \"measured\": {\"ship_seconds\": %.9g, "
+        "\"compute_seconds\": %.9g, \"aggregate_seconds\": %.9g, "
+        "\"overhead_seconds\": %.9g, \"total_seconds\": %.9g, "
+        "\"ship_bytes\": %llu, \"aggregate_bytes\": %llu, \"waves\": %llu}, "
+        "\"analytic\": {\"ship_seconds\": %.9g, \"compute_seconds\": %.9g, "
+        "\"aggregate_seconds\": %.9g, \"overhead_seconds\": %.9g, "
+        "\"total_seconds\": %.9g}}%s\n",
+        r.scheme.c_str(), r.ship_seconds, r.compute_seconds,
+        r.aggregate_seconds, r.overhead_seconds, r.total(),
+        static_cast<unsigned long long>(r.ship_bytes),
+        static_cast<unsigned long long>(r.aggregate_bytes),
+        static_cast<unsigned long long>(r.waves), r.analytic.ship_seconds,
+        r.analytic.compute_seconds, r.analytic.aggregate_seconds,
+        r.analytic.overhead_seconds, r.analytic.total(),
+        i + 1 < regime.runs.size() ? "," : "");
+    out += buf;
+  }
+  out += "    ]}";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== bench_trace_validation: traced phases vs the analytic "
+               "makespan model ===\n";
+
+  const std::uint64_t v = 120;
+
+  // Compute-heavy: tiny elements, expensive comp(). Broadcast's p = n
+  // perfectly balanced waves beat block's lumpy h = 2 tasks (its biggest
+  // task holds (v/2)^2 pairs, ~2x broadcast's per-task share).
+  Regime compute_heavy;
+  compute_heavy.name = "compute-heavy";
+  compute_heavy.element_bytes = 64;
+  compute_heavy.job.compute = workloads::expensive_blob_kernel(32);
+  compute_heavy.expected_winner = "broadcast";
+  compute_heavy = run_regime(
+      std::move(compute_heavy),
+      workloads::blob_payloads(v, compute_heavy.element_bytes, 7), v);
+
+  // Shipping-heavy: big elements, near-free comp(). Block h = 2 ships
+  // each element twice; broadcast p = n ships it four times, design
+  // ~sqrt(v) times.
+  Regime shipping_heavy;
+  shipping_heavy.name = "shipping-heavy";
+  shipping_heavy.element_bytes = 32 * kKiB;
+  shipping_heavy.job.compute = [](const Element& a, const Element& b) {
+    return workloads::encode_result(static_cast<double>(
+        a.payload.size() > b.payload.size() ? a.payload.size() -
+                                                  b.payload.size()
+                                            : b.payload.size() -
+                                                  a.payload.size()));
+  };
+  shipping_heavy.expected_winner = "block";
+  shipping_heavy = run_regime(
+      std::move(shipping_heavy),
+      workloads::blob_payloads(v, shipping_heavy.element_bytes, 7), v);
+
+  std::string json = "{\n  \"bench\": \"trace_validation\", \"v\": " +
+                     std::to_string(v) + ", \"nodes\": " +
+                     std::to_string(kNodes) + ",\n  \"regimes\": [\n";
+  append_json(json, compute_heavy);
+  json += ",\n";
+  append_json(json, shipping_heavy);
+  json += "\n  ],\n  \"passed\": ";
+  json += g_ok ? "true" : "false";
+  json += "\n}\n";
+  std::ofstream out("BENCH_trace_validation.json");
+  out << json;
+  std::cout << "\nwrote BENCH_trace_validation.json\n";
+
+  std::cout << (g_ok ? "\nAll trace-validation assertions passed.\n"
+                     : "\nTRACE-VALIDATION ASSERTIONS FAILED.\n");
+  return g_ok ? 0 : 1;
+}

@@ -3,16 +3,24 @@
 //   pairmr_cli [--scheme broadcast|block|design|plan] [--v N]
 //              [--elem-bytes B] [--nodes N] [--tasks P] [--h H]
 //              [--kernel mix|euclid] [--maxws BYTES] [--maxis BYTES]
-//              [--seed S] [--combiner] [--no-aggregate]
+//              [--seed S] [--combiner] [--no-aggregate] [--trace PATH]
 //
 // With --scheme plan, the planner picks the scheme from the cost model
 // (Figure 9 logic) and explains its choice. Prints the measured run
 // statistics that the paper's Table 1 predicts.
+//
+// --trace PATH records a task-level execution trace of every job the run
+// executes and writes it as Chrome trace_event JSON (open in
+// chrome://tracing or https://ui.perfetto.dev), plus a per-job measured
+// phase breakdown on stdout.
 #include <cstdint>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
+
+#include "mr/trace.hpp"
 
 #include "common/table.hpp"
 #include "common/units.hpp"
@@ -37,13 +45,14 @@ struct Args {
   std::uint64_t seed = 42;
   bool combiner = false;
   bool aggregate = true;
+  std::string trace_path;  // empty: tracing off
 };
 
 [[noreturn]] void usage() {
   std::cerr << "usage: pairmr_cli [--scheme broadcast|block|design|plan] "
                "[--v N] [--elem-bytes B] [--nodes N] [--tasks P] [--h H] "
                "[--kernel mix|euclid] [--maxws BYTES] [--maxis BYTES] "
-               "[--seed S] [--combiner] [--no-aggregate]\n";
+               "[--seed S] [--combiner] [--no-aggregate] [--trace PATH]\n";
   std::exit(2);
 }
 
@@ -79,6 +88,8 @@ Args parse(int argc, char** argv) {
       args.combiner = true;
     } else if (flag == "--no-aggregate") {
       args.aggregate = false;
+    } else if (flag == "--trace") {
+      args.trace_path = next();
     } else {
       usage();
     }
@@ -129,6 +140,11 @@ int main(int argc, char** argv) {
             << args.nodes << "\n";
 
   mr::Cluster cluster({.num_nodes = args.nodes, .worker_threads = 0});
+  std::unique_ptr<mr::Tracer> tracer;
+  if (!args.trace_path.empty()) {
+    tracer = std::make_unique<mr::Tracer>();
+    cluster.set_tracer(tracer.get());
+  }
   std::vector<std::string> payloads;
   PairwiseJob job;
   if (args.kernel == "euclid") {
@@ -175,5 +191,31 @@ int main(int argc, char** argv) {
 
   std::cout << "output: " << stats.output_dir << " ("
             << (stats.aggregated ? "aggregated" : "per-copy") << ")\n";
+
+  if (tracer != nullptr) {
+    std::ofstream out(args.trace_path);
+    if (!out) {
+      std::cerr << "cannot write trace file: " << args.trace_path << "\n";
+      return 1;
+    }
+    tracer->write_chrome_trace(out);
+    std::cout << "\ntrace: " << args.trace_path << " ("
+              << tracer->span_count()
+              << " spans; open in chrome://tracing or ui.perfetto.dev)\n";
+
+    TablePrinter pt({"job", "ship", "compute", "aggregate", "overhead",
+                     "waves"});
+    pt.set_caption("\nmeasured phase breakdown (seconds)");
+    for (const auto& name : tracer->job_names()) {
+      const mr::PhaseBreakdown b =
+          tracer->phase_breakdown(name, args.nodes);
+      pt.add_row({name, TablePrinter::num(b.ship_seconds, 4),
+                  TablePrinter::num(b.compute_seconds, 4),
+                  TablePrinter::num(b.aggregate_seconds, 4),
+                  TablePrinter::num(b.overhead_seconds, 4),
+                  TablePrinter::num(b.compute_waves)});
+    }
+    pt.print(std::cout);
+  }
   return 0;
 }

@@ -38,6 +38,8 @@ void Cluster::restore_node(NodeId node) {
   alive_[node] = 1;
 }
 
+void Cluster::set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
 std::vector<std::string> Cluster::scatter_records(
     const std::string& dir, std::vector<Record> records,
     std::uint32_t files_per_node) {

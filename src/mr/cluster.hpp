@@ -16,6 +16,8 @@
 
 namespace pairmr::mr {
 
+class Tracer;  // mr/trace.hpp
+
 struct ClusterConfig {
   // Simulated node count (the paper's `n`).
   std::uint32_t num_nodes = 4;
@@ -44,6 +46,14 @@ class Cluster {
   void fail_node(NodeId node);
   void restore_node(NodeId node);
 
+  // --- Tracing ------------------------------------------------------------
+  // Attach a tracer (mr/trace.hpp): every job the engine runs on this
+  // cluster records task/phase spans into it. Non-owning — the tracer must
+  // outlive the jobs; nullptr (the default) disables tracing entirely.
+  // A JobSpec::tracer overrides this per job.
+  void set_tracer(Tracer* tracer);
+  Tracer* tracer() const { return tracer_; }
+
   SimDfs& dfs() { return dfs_; }
   const SimDfs& dfs() const { return dfs_; }
 
@@ -70,6 +80,7 @@ class Cluster {
   NetworkMeter network_;
   ThreadPool pool_;
   std::vector<std::uint8_t> alive_;  // per node; 1 = alive
+  Tracer* tracer_ = nullptr;         // non-owning; nullptr = tracing off
 };
 
 }  // namespace pairmr::mr

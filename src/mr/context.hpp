@@ -16,6 +16,7 @@
 #include "mr/counters.hpp"
 #include "mr/fs.hpp"
 #include "mr/job.hpp"
+#include "mr/trace.hpp"
 #include "mr/types.hpp"
 
 namespace pairmr::mr {
@@ -26,13 +27,16 @@ class MapContext {
              std::uint32_t num_partitions, Counters& counters,
              const std::unordered_map<std::string,
                                       std::shared_ptr<const DfsFile>>& cache,
-             std::string input_path = {})
+             std::string input_path = {}, Tracer* tracer = nullptr,
+             SpanId trace_span = 0)
       : node_(node),
         task_(task),
         partitioner_(partitioner),
         counters_(counters),
         cache_(cache),
         input_path_(std::move(input_path)),
+        tracer_(tracer),
+        trace_span_(trace_span),
         buckets_(num_partitions) {}
 
   // Emit one intermediate record; it lands in the bucket of the reduce
@@ -62,6 +66,12 @@ class MapContext {
   // path). Empty for synthetic contexts.
   const std::string& input_path() const { return input_path_; }
 
+  // Execution tracer and the span of this task attempt's execution, for
+  // user code that wants to attach its own sub-spans. tracer() is nullptr
+  // when tracing is off (trace_span() is then 0).
+  Tracer* tracer() const { return tracer_; }
+  SpanId trace_span() const { return trace_span_; }
+
   // Engine-side accessors (after the task ran).
   std::vector<std::vector<Record>>& buckets() { return buckets_; }
   std::uint64_t records_emitted() const { return records_emitted_; }
@@ -75,6 +85,8 @@ class MapContext {
   const std::unordered_map<std::string, std::shared_ptr<const DfsFile>>&
       cache_;
   std::string input_path_;
+  Tracer* tracer_ = nullptr;
+  SpanId trace_span_ = 0;
   std::vector<std::vector<Record>> buckets_;
   std::uint64_t records_emitted_ = 0;
   std::uint64_t bytes_emitted_ = 0;
@@ -86,8 +98,14 @@ class ReduceContext {
       std::unordered_map<std::string, std::shared_ptr<const DfsFile>>;
 
   ReduceContext(NodeId node, TaskIndex task, Counters& counters,
-                const CacheMap* cache = nullptr)
-      : node_(node), task_(task), counters_(counters), cache_(cache) {}
+                const CacheMap* cache = nullptr, Tracer* tracer = nullptr,
+                SpanId trace_span = 0)
+      : node_(node),
+        task_(task),
+        counters_(counters),
+        cache_(cache),
+        tracer_(tracer),
+        trace_span_(trace_span) {}
 
   // Records of a distributed-cache file (Hadoop's cache is visible to
   // reducers too). Requires the job to have declared cache_paths.
@@ -108,6 +126,10 @@ class ReduceContext {
   TaskIndex task_index() const { return task_; }
   Counters& counters() { return counters_; }
 
+  // See MapContext::tracer.
+  Tracer* tracer() const { return tracer_; }
+  SpanId trace_span() const { return trace_span_; }
+
   std::vector<Record>& output() { return output_; }
   std::uint64_t bytes_emitted() const { return bytes_emitted_; }
 
@@ -116,6 +138,8 @@ class ReduceContext {
   TaskIndex task_;
   Counters& counters_;
   const CacheMap* cache_ = nullptr;
+  Tracer* tracer_ = nullptr;
+  SpanId trace_span_ = 0;
   std::vector<Record> output_;
   std::uint64_t bytes_emitted_ = 0;
 };

@@ -13,6 +13,7 @@
 #include "common/stopwatch.hpp"
 #include "mr/context.hpp"
 #include "mr/fault.hpp"
+#include "mr/trace.hpp"
 
 namespace pairmr::mr {
 
@@ -77,9 +78,15 @@ void group_by_key(
 }
 
 // Run the combiner over one partition bucket, replacing its contents.
+// `parent` is the spill span the combine nests under (0 when untraced).
 void run_combiner(const JobSpec& spec, NodeId node, TaskIndex task,
-                  Counters& counters, std::vector<Record>& bucket) {
-  ReduceContext ctx(node, task, counters);
+                  Counters& counters, std::vector<Record>& bucket,
+                  Tracer* tracer, SpanId parent) {
+  ScopedSpan combine(
+      tracer, tracer != nullptr
+                  ? tracer->begin_op(parent, SpanKind::kCombine, node)
+                  : 0);
+  ReduceContext ctx(node, task, counters, nullptr, tracer, combine.id());
   auto combiner = spec.combiner_factory();
   combiner->setup(ctx);
   counters.add(counter::kCombineInputRecords, bucket.size());
@@ -88,19 +95,18 @@ void run_combiner(const JobSpec& spec, NodeId node, TaskIndex task,
   });
   combiner->cleanup(ctx);
   counters.add(counter::kCombineOutputRecords, ctx.output().size());
+  if (tracer != nullptr) {
+    std::uint64_t bytes = 0;
+    for (const auto& rec : ctx.output()) bytes += rec.size_bytes();
+    combine.set_payload(bytes, ctx.output().size());
+  }
   bucket = std::move(ctx.output());
 }
 
 }  // namespace
 
 JobResult Engine::run(const JobSpec& spec) {
-  PAIRMR_REQUIRE(spec.mapper_factory != nullptr, "job needs a mapper");
-  PAIRMR_REQUIRE(spec.map_only || spec.reducer_factory != nullptr,
-                 "job needs a reducer (or map_only)");
-  PAIRMR_REQUIRE(!(spec.map_only && spec.combiner_factory),
-                 "map-only jobs cannot combine");
-  PAIRMR_REQUIRE(!spec.output_dir.empty(), "job needs an output dir");
-  PAIRMR_REQUIRE(!spec.input_paths.empty(), "job needs input paths");
+  spec.validate();
 
   const Stopwatch timer;
   const std::uint32_t num_nodes = cluster_.num_nodes();
@@ -116,6 +122,13 @@ JobResult Engine::run(const JobSpec& spec) {
 
   static const FaultPlan kNoFaults;
   const FaultPlan& plan = spec.fault_plan ? *spec.fault_plan : kNoFaults;
+
+  // Tracing is opt-in and nullable: every recording site below is guarded,
+  // so an untraced run does no tracer work at all.
+  Tracer* const tracer =
+      spec.tracer != nullptr ? spec.tracer : cluster_.tracer();
+  const SpanId job_span =
+      tracer != nullptr ? tracer->begin_job(spec.name) : 0;
 
   // Node the plan loses during this job; a node that already failed in an
   // earlier job does not die twice (it is simply never scheduled).
@@ -163,6 +176,10 @@ JobResult Engine::run(const JobSpec& spec) {
 
   // --- Distributed cache broadcast -------------------------------------
   std::unordered_map<std::string, std::shared_ptr<const DfsFile>> cache;
+  SpanId broadcast_phase = 0;
+  if (tracer != nullptr && !spec.cache_paths.empty()) {
+    broadcast_phase = tracer->begin_phase(job_span, "broadcast");
+  }
   for (const auto& path : spec.cache_paths) {
     auto file = dfs.open(path);
     // Ship the file to every live node other than its home (its home reads
@@ -172,11 +189,16 @@ JobResult Engine::run(const JobSpec& spec) {
     for (NodeId node = 0; node < num_nodes; ++node) {
       if (!cluster_.is_alive(node)) continue;
       net.transfer(file->home, node, file->bytes);
+      if (tracer != nullptr) {
+        tracer->record_transfer(broadcast_phase, SpanKind::kCacheBroadcast,
+                                file->home, node, file->bytes, path);
+      }
       if (node != file->home) shipped += file->bytes;
     }
     counters.add(counter::kCacheBroadcastBytes, shipped);
     cache.emplace(path, std::move(file));
   }
+  if (broadcast_phase != 0) tracer->end(broadcast_phase);
 
   // --- Map phase --------------------------------------------------------
   const std::vector<Split> splits = build_splits(dfs, spec);
@@ -192,6 +214,8 @@ JobResult Engine::run(const JobSpec& spec) {
 
   const std::uint32_t max_attempts = std::max(1u, spec.max_task_attempts);
 
+  const SpanId map_phase =
+      tracer != nullptr ? tracer->begin_phase(job_span, "map") : 0;
   {
     std::vector<std::function<void()>> tasks;
     tasks.reserve(num_map_tasks);
@@ -207,11 +231,16 @@ JobResult Engine::run(const JobSpec& spec) {
         // One full execution of the task's user code on `node`. Each
         // execution gets a fresh context and counter bag; only the
         // execution that is ultimately kept merges into the job.
-        const auto execute = [&](NodeId node) {
+        const auto execute = [&](NodeId node, SpanId attempt_span) {
           auto exec_counters = std::make_unique<Counters>();
+          ScopedSpan exec(tracer,
+                          tracer != nullptr
+                              ? tracer->begin_op(attempt_span,
+                                                 SpanKind::kMapExec, node)
+                              : 0);
           auto ctx = std::make_unique<MapContext>(
               node, m, partitioner, num_reducers, *exec_counters, cache,
-              split.file->path);
+              split.file->path, tracer, exec.id());
           auto mapper = spec.mapper_factory();
           mapper->setup(*ctx);
           for (std::size_t i = split.begin; i < split.end; ++i) {
@@ -219,6 +248,7 @@ JobResult Engine::run(const JobSpec& spec) {
             mapper->map(rec.key, rec.value, *ctx);
           }
           mapper->cleanup(*ctx);
+          exec.set_payload(ctx->bytes_emitted(), ctx->records_emitted());
           return std::pair{std::move(ctx), std::move(exec_counters)};
         };
 
@@ -234,13 +264,30 @@ JobResult Engine::run(const JobSpec& spec) {
           const NodeId node = (attempt == 0 && cluster_.is_alive(home))
                                   ? home
                                   : place(home, attempt);
+          const SpanId att =
+              tracer != nullptr
+                  ? tracer->begin_task(map_phase, TaskKind::kMap, m, attempt,
+                                       node)
+                  : 0;
           // Reading the split away from its home replica travels the wire;
           // only recovery from faults ever needs that.
-          if (node != home) recovery_transfer(home, node, input_bytes);
+          if (node != home) {
+            recovery_transfer(home, node, input_bytes);
+            if (tracer != nullptr) {
+              tracer->record_transfer(att, SpanKind::kInputRead, home, node,
+                                      input_bytes, "recovery-reread");
+            }
+          }
 
           if ((doomed && node == *doomed) ||
               plan.kills_task(TaskKind::kMap, m, attempt)) {
             counters.add(counter::kTasksRetried, 1);
+            if (tracer != nullptr) {
+              tracer->mark_faulted(att, doomed && node == *doomed
+                                            ? "node-lost"
+                                            : "killed-by-fault-plan");
+              tracer->end(att);
+            }
             PAIRMR_LOG(kWarn) << "map task " << m << " attempt " << attempt
                               << " killed by fault plan; retrying";
             continue;
@@ -249,15 +296,21 @@ JobResult Engine::run(const JobSpec& spec) {
           std::unique_ptr<MapContext> ctx;
           std::unique_ptr<Counters> exec_counters;
           try {
-            std::tie(ctx, exec_counters) = execute(node);
+            std::tie(ctx, exec_counters) = execute(node, att);
           } catch (...) {
-            if (++user_failures >= max_attempts) throw;
+            const bool fatal = ++user_failures >= max_attempts;
+            if (tracer != nullptr) {
+              tracer->mark_faulted(att, "user-error");
+              tracer->end(att);
+            }
+            if (fatal) throw;
             counters.add(counter::kTasksRetried, 1);
             PAIRMR_LOG(kWarn) << "map task " << m << " attempt " << attempt
                               << " failed; retrying";
             continue;
           }
           NodeId final_node = node;
+          SpanId kept_span = att;
 
           // Speculative re-execution: a straggling task gets a backup copy
           // on another node; the plan decides the race. The loser's work
@@ -266,14 +319,34 @@ JobResult Engine::run(const JobSpec& spec) {
           if (spec.speculative_execution && usable.size() > 1 &&
               plan.is_straggler(TaskKind::kMap, m)) {
             const NodeId backup = backup_node_for(node);
-            if (backup != home) recovery_transfer(home, backup, input_bytes);
-            auto [backup_ctx, backup_counters] = execute(backup);
+            const SpanId batt =
+                tracer != nullptr
+                    ? tracer->begin_task(map_phase, TaskKind::kMap, m,
+                                         attempt, backup,
+                                         /*speculative=*/true)
+                    : 0;
+            if (backup != home) {
+              recovery_transfer(home, backup, input_bytes);
+              if (tracer != nullptr) {
+                tracer->record_transfer(batt, SpanKind::kInputRead, home,
+                                        backup, input_bytes,
+                                        "recovery-reread");
+              }
+            }
+            auto [backup_ctx, backup_counters] = execute(backup, batt);
             counters.add(counter::kTasksSpeculative, 1);
+            SpanId loser_span = batt;
             if (plan.backup_wins(TaskKind::kMap, m)) {
               counters.add(counter::kSpeculativeWins, 1);
               ctx = std::move(backup_ctx);
               exec_counters = std::move(backup_counters);
               final_node = backup;
+              loser_span = att;
+              kept_span = batt;
+            }
+            if (tracer != nullptr) {
+              tracer->mark_faulted(loser_span, "lost-race");
+              tracer->end(loser_span);
             }
           }
 
@@ -284,10 +357,26 @@ JobResult Engine::run(const JobSpec& spec) {
           exec_counters->add(counter::kMapOutputBytes, ctx->bytes_emitted());
 
           if (spec.combiner_factory) {
+            ScopedSpan spill(tracer,
+                             tracer != nullptr
+                                 ? tracer->begin_op(kept_span,
+                                                    SpanKind::kSpill,
+                                                    final_node)
+                                 : 0);
             for (auto& bucket : ctx->buckets()) {
               if (!bucket.empty()) {
-                run_combiner(spec, final_node, m, *exec_counters, bucket);
+                run_combiner(spec, final_node, m, *exec_counters, bucket,
+                             tracer, spill.id());
               }
+            }
+            if (tracer != nullptr) {
+              std::uint64_t out_bytes = 0;
+              std::uint64_t out_records = 0;
+              for (const auto& bucket : ctx->buckets()) {
+                out_records += bucket.size();
+                for (const auto& rec : bucket) out_bytes += rec.size_bytes();
+              }
+              spill.set_payload(out_bytes, out_records);
             }
           }
 
@@ -300,12 +389,17 @@ JobResult Engine::run(const JobSpec& spec) {
           };
           map_outputs[m] = std::move(ctx->buckets());
           counters.merge(*exec_counters);
+          if (tracer != nullptr) {
+            tracer->end(kept_span, ctx->bytes_emitted(),
+                        ctx->records_emitted());
+          }
           break;
         }
       });
     }
     cluster_.pool().run_all(std::move(tasks));
   }
+  if (map_phase != 0) tracer->end(map_phase);
 
   // The doomed node is gone for good once the map phase ends: reduce
   // placement and every later job schedule around it.
@@ -317,6 +411,8 @@ JobResult Engine::run(const JobSpec& spec) {
 
   // --- Map-only: write map outputs directly, no shuffle ------------------
   if (spec.map_only) {
+    const SpanId write_phase =
+        tracer != nullptr ? tracer->begin_phase(job_span, "write") : 0;
     std::vector<std::string> output_paths(num_map_tasks);
     for (TaskIndex m = 0; m < num_map_tasks; ++m) {
       char name[32];
@@ -324,9 +420,23 @@ JobResult Engine::run(const JobSpec& spec) {
       const std::string path = spec.output_dir + "/" + name;
       PAIRMR_CHECK(map_outputs[m].size() == 1,
                    "map-only job must have one bucket");
-      dfs.write_file(path, map_stats[m].node,
-                     std::move(map_outputs[m][0]));
+      {
+        ScopedSpan write(tracer,
+                         tracer != nullptr
+                             ? tracer->begin_op(write_phase,
+                                                SpanKind::kOutputWrite,
+                                                map_stats[m].node, path)
+                             : 0);
+        write.set_payload(map_stats[m].output_bytes,
+                          map_stats[m].output_records);
+        dfs.write_file(path, map_stats[m].node,
+                       std::move(map_outputs[m][0]));
+      }
       output_paths[m] = path;
+    }
+    if (tracer != nullptr) {
+      tracer->end(write_phase);
+      tracer->end(job_span);
     }
     JobResult result;
     result.job_name = spec.name;
@@ -342,6 +452,8 @@ JobResult Engine::run(const JobSpec& spec) {
   std::vector<TaskStats> reduce_stats(num_reducers);
   std::vector<std::string> output_paths(num_reducers);
 
+  const SpanId reduce_phase =
+      tracer != nullptr ? tracer->begin_phase(job_span, "reduce") : 0;
   {
     std::vector<std::function<void()>> tasks;
     tasks.reserve(num_reducers);
@@ -355,6 +467,7 @@ JobResult Engine::run(const JobSpec& spec) {
         // knows whether the execution's traffic was useful or wasted.
         struct Execution {
           NodeId node = 0;
+          SpanId span = 0;  // attempt span (0 when untraced)
           std::vector<std::pair<NodeId, std::uint64_t>> fetches;
           std::uint64_t local_bytes = 0;
           std::uint64_t remote_bytes = 0;
@@ -372,12 +485,11 @@ JobResult Engine::run(const JobSpec& spec) {
           return bytes;
         };
 
-        const auto execute = [&](NodeId node) {
+        const auto execute = [&](NodeId node, SpanId attempt_span) {
           Execution e;
           e.node = node;
+          e.span = attempt_span;
           e.counters = std::make_unique<Counters>();
-          e.ctx = std::make_unique<ReduceContext>(node, r, *e.counters,
-                                                  &cache);
           // Fetch this reducer's bucket from every map task, in map-task
           // order (deterministic). Buckets stay in place until the task
           // settles, so any re-execution can re-fetch them.
@@ -392,13 +504,32 @@ JobResult Engine::run(const JobSpec& spec) {
               dropped[m] = true;
               recovery_transfer(src, node, bytes);
               counters.add(counter::kShuffleFetchRetries, 1);
+              if (tracer != nullptr) {
+                tracer->record_transfer(attempt_span,
+                                        SpanKind::kShuffleFetch, src, node,
+                                        bytes, "dropped-mid-transfer");
+              }
             }
+            ScopedSpan fetch(
+                tracer, tracer != nullptr
+                            ? tracer->begin_transfer(attempt_span,
+                                                     SpanKind::kShuffleFetch,
+                                                     src, node)
+                            : 0);
             (src == node ? e.local_bytes : e.remote_bytes) += bytes;
             e.fetches.emplace_back(src, bytes);
             e.input_records += bucket.size();
             input.insert(input.end(), bucket.begin(), bucket.end());
+            fetch.set_payload(bytes, bucket.size());
           }
 
+          ScopedSpan exec(tracer,
+                          tracer != nullptr
+                              ? tracer->begin_op(attempt_span,
+                                                 SpanKind::kReduceExec, node)
+                              : 0);
+          e.ctx = std::make_unique<ReduceContext>(node, r, *e.counters,
+                                                  &cache, tracer, exec.id());
           auto reducer = spec.reducer_factory();
           reducer->setup(*e.ctx);
           group_by_key(
@@ -412,14 +543,24 @@ JobResult Engine::run(const JobSpec& spec) {
                 reducer->reduce(key, vals, *e.ctx);
               });
           reducer->cleanup(*e.ctx);
+          exec.set_payload(e.ctx->bytes_emitted(), e.ctx->output().size());
           return e;
         };
 
         // The shuffle traffic of an attempt that fetched its input but
         // never published output (killed, crashed, or lost the race).
-        const auto charge_wasted_fetches = [&](NodeId node) {
+        // `attempt_span` is set only when the attempt never executed (no
+        // fetch spans exist yet); executions record their own.
+        const auto charge_wasted_fetches = [&](NodeId node,
+                                               SpanId attempt_span) {
           for (TaskIndex m = 0; m < num_map_tasks; ++m) {
-            recovery_transfer(map_stats[m].node, node, bucket_bytes_of(m));
+            const std::uint64_t bytes = bucket_bytes_of(m);
+            recovery_transfer(map_stats[m].node, node, bytes);
+            if (tracer != nullptr && attempt_span != 0) {
+              tracer->record_transfer(attempt_span, SpanKind::kShuffleFetch,
+                                      map_stats[m].node, node, bytes,
+                                      "wasted");
+            }
           }
         };
 
@@ -427,11 +568,20 @@ JobResult Engine::run(const JobSpec& spec) {
         for (std::uint32_t attempt = 0;; ++attempt) {
           PAIRMR_CHECK(attempt < kAttemptCap, "reduce task retried too often");
           const NodeId node = place(r, attempt);
+          const SpanId att =
+              tracer != nullptr
+                  ? tracer->begin_task(reduce_phase, TaskKind::kReduce, r,
+                                       attempt, node)
+                  : 0;
 
           if (plan.kills_task(TaskKind::kReduce, r, attempt)) {
             // Aborted mid-task: its shuffle happened and was for nothing.
-            charge_wasted_fetches(node);
+            charge_wasted_fetches(node, att);
             counters.add(counter::kTasksRetried, 1);
+            if (tracer != nullptr) {
+              tracer->mark_faulted(att, "killed-by-fault-plan");
+              tracer->end(att);
+            }
             PAIRMR_LOG(kWarn) << "reduce task " << r << " attempt " << attempt
                               << " killed by fault plan; retrying";
             continue;
@@ -439,10 +589,15 @@ JobResult Engine::run(const JobSpec& spec) {
 
           Execution winner;
           try {
-            winner = execute(node);
+            winner = execute(node, att);
           } catch (...) {
-            if (++user_failures >= max_attempts) throw;
-            charge_wasted_fetches(node);
+            const bool fatal = ++user_failures >= max_attempts;
+            if (tracer != nullptr) {
+              tracer->mark_faulted(att, "user-error");
+              tracer->end(att);
+            }
+            if (fatal) throw;
+            charge_wasted_fetches(node, 0);
             counters.add(counter::kTasksRetried, 1);
             PAIRMR_LOG(kWarn) << "reduce task " << r << " attempt "
                               << attempt << " failed; retrying";
@@ -451,14 +606,25 @@ JobResult Engine::run(const JobSpec& spec) {
 
           if (spec.speculative_execution && usable.size() > 1 &&
               plan.is_straggler(TaskKind::kReduce, r)) {
-            Execution backup = execute(backup_node_for(node));
+            const NodeId backup_node = backup_node_for(node);
+            const SpanId batt =
+                tracer != nullptr
+                    ? tracer->begin_task(reduce_phase, TaskKind::kReduce, r,
+                                         attempt, backup_node,
+                                         /*speculative=*/true)
+                    : 0;
+            Execution backup = execute(backup_node, batt);
             counters.add(counter::kTasksSpeculative, 1);
             if (plan.backup_wins(TaskKind::kReduce, r)) {
               counters.add(counter::kSpeculativeWins, 1);
               std::swap(winner, backup);
             }
             // After the optional swap, `backup` holds the losing execution.
-            charge_wasted_fetches(backup.node);
+            charge_wasted_fetches(backup.node, 0);
+            if (tracer != nullptr) {
+              tracer->mark_faulted(backup.span, "lost-race");
+              tracer->end(backup.span);
+            }
           }
 
           // Winning execution: release map outputs, meter its shuffle,
@@ -502,14 +668,31 @@ JobResult Engine::run(const JobSpec& spec) {
           char name[32];
           std::snprintf(name, sizeof(name), "part-r-%05u", r);
           const std::string path = spec.output_dir + "/" + name;
-          dfs.write_file(path, winner.node, std::move(winner.ctx->output()));
+          {
+            ScopedSpan write(tracer,
+                             tracer != nullptr
+                                 ? tracer->begin_op(winner.span,
+                                                    SpanKind::kOutputWrite,
+                                                    winner.node, path)
+                                 : 0);
+            write.set_payload(reduce_stats[r].output_bytes,
+                              reduce_stats[r].output_records);
+            dfs.write_file(path, winner.node,
+                           std::move(winner.ctx->output()));
+          }
           output_paths[r] = path;
+          if (tracer != nullptr) {
+            tracer->end(winner.span, reduce_stats[r].output_bytes,
+                        reduce_stats[r].output_records);
+          }
           break;
         }
       });
     }
     cluster_.pool().run_all(std::move(tasks));
   }
+  if (reduce_phase != 0) tracer->end(reduce_phase);
+  if (tracer != nullptr) tracer->end(job_span);
 
   JobResult result;
   result.job_name = spec.name;

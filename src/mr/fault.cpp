@@ -24,6 +24,10 @@ void require_rate(double rate) {
 
 }  // namespace
 
+const char* to_string(TaskKind kind) {
+  return kind == TaskKind::kMap ? "map" : "reduce";
+}
+
 double FaultPlan::unit(std::uint64_t stream, std::uint64_t a,
                        std::uint64_t b) const {
   // splitmix64 finalizer over the mixed identity; identical on every

@@ -28,6 +28,9 @@ namespace pairmr::mr {
 
 enum class TaskKind : std::uint8_t { kMap = 0, kReduce = 1 };
 
+// "map" / "reduce" — used in logs and trace span attribution.
+const char* to_string(TaskKind kind);
+
 class FaultPlan {
  public:
   // An inert plan: injects nothing. Engine code can always consult one.

@@ -1,10 +1,21 @@
 #include "mr/job.hpp"
 
+#include "common/check.hpp"
 #include "common/intmath.hpp"
 #include "common/serde.hpp"
 #include "mr/context.hpp"
 
 namespace pairmr::mr {
+
+void JobSpec::validate() const {
+  PAIRMR_REQUIRE(mapper_factory != nullptr, "job needs a mapper");
+  PAIRMR_REQUIRE(map_only || reducer_factory != nullptr,
+                 "job needs a reducer (or map_only)");
+  PAIRMR_REQUIRE(!(map_only && combiner_factory),
+                 "map-only jobs cannot combine");
+  PAIRMR_REQUIRE(!output_dir.empty(), "job needs an output dir");
+  PAIRMR_REQUIRE(!input_paths.empty(), "job needs input paths");
+}
 
 std::uint32_t RangePartitioner::partition(
     const Bytes& key, std::uint32_t num_partitions) const {

@@ -22,6 +22,7 @@ namespace pairmr::mr {
 class MapContext;
 class ReduceContext;
 class FaultPlan;  // mr/fault.hpp
+class Tracer;     // mr/trace.hpp
 
 // One map task's user logic. A fresh instance is created per task
 // (factory in JobSpec), so implementations may keep per-task state.
@@ -140,6 +141,15 @@ struct JobSpec {
   // and keep the race winner (Hadoop's speculative execution). The loser's
   // work and traffic are charged as recovery overhead.
   bool speculative_execution = true;
+
+  // Per-job tracer override (mr/trace.hpp). Non-owning — must outlive the
+  // run. nullptr falls back to the cluster-attached tracer; if that is
+  // also null, the job runs untraced at zero tracing cost.
+  Tracer* tracer = nullptr;
+
+  // Structural sanity of the spec (factories present, output dir set, …).
+  // The engine calls this before running; throws on violations.
+  void validate() const;
 };
 
 // Helper for tests/benches and identity phases.

@@ -1,0 +1,493 @@
+#include "mr/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+#include <ostream>
+#include <unordered_map>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace pairmr::mr {
+
+namespace {
+
+Tracer::Clock steady_clock_since_now() {
+  const auto epoch = std::chrono::steady_clock::now();
+  return [epoch] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         epoch)
+        .count();
+  };
+}
+
+void append_json_escaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+const char* to_string(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kJob:
+      return "job";
+    case SpanKind::kPhase:
+      return "phase";
+    case SpanKind::kMapAttempt:
+      return "map-attempt";
+    case SpanKind::kMapExec:
+      return "map-exec";
+    case SpanKind::kSpill:
+      return "spill";
+    case SpanKind::kCombine:
+      return "combine";
+    case SpanKind::kReduceAttempt:
+      return "reduce-attempt";
+    case SpanKind::kShuffleFetch:
+      return "shuffle-fetch";
+    case SpanKind::kReduceExec:
+      return "reduce-exec";
+    case SpanKind::kInputRead:
+      return "input-read";
+    case SpanKind::kCacheBroadcast:
+      return "cache-broadcast";
+    case SpanKind::kOutputWrite:
+      return "output-write";
+  }
+  return "unknown";
+}
+
+Tracer::Tracer() : clock_(steady_clock_since_now()) {}
+
+Tracer::Tracer(Clock clock) : clock_(std::move(clock)) {
+  PAIRMR_REQUIRE(clock_ != nullptr, "tracer needs a clock");
+}
+
+SpanId Tracer::open_locked(Span span) {
+  span.id = spans_.size() + 1;
+  spans_.push_back(std::move(span));
+  return spans_.back().id;
+}
+
+SpanId Tracer::begin_job(const std::string& name) {
+  const double t = now();
+  Span s;
+  s.kind = SpanKind::kJob;
+  s.job = name;
+  s.label = name;
+  s.start_seconds = t;
+  s.end_seconds = t;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  s.job_seq = next_job_seq_++;
+  return open_locked(std::move(s));
+}
+
+SpanId Tracer::begin_phase(SpanId job, const std::string& label) {
+  const double t = now();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  PAIRMR_REQUIRE(job >= 1 && job <= spans_.size(), "unknown job span");
+  const Span& parent = spans_[job - 1];
+  Span s;
+  s.kind = SpanKind::kPhase;
+  s.parent = job;
+  s.job_seq = parent.job_seq;
+  s.job = parent.job;
+  s.label = label;
+  s.start_seconds = t;
+  s.end_seconds = t;
+  return open_locked(std::move(s));
+}
+
+SpanId Tracer::begin_task(SpanId job, TaskKind kind, TaskIndex task,
+                          std::uint32_t attempt, NodeId node,
+                          bool speculative) {
+  const double t = now();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  PAIRMR_REQUIRE(job >= 1 && job <= spans_.size(), "unknown job span");
+  const Span& parent = spans_[job - 1];
+  Span s;
+  s.kind = kind == TaskKind::kMap ? SpanKind::kMapAttempt
+                                  : SpanKind::kReduceAttempt;
+  s.parent = job;
+  s.job_seq = parent.job_seq;
+  s.job = parent.job;
+  s.label = std::string(to_string(kind)) + " " + std::to_string(task) +
+            "/" + std::to_string(attempt) +
+            (speculative ? " (backup)" : "");
+  s.task_scoped = true;
+  s.task_kind = kind;
+  s.task = task;
+  s.attempt = attempt;
+  s.node = node;
+  s.peer = node;
+  s.speculative = speculative;
+  s.start_seconds = t;
+  s.end_seconds = t;
+  return open_locked(std::move(s));
+}
+
+SpanId Tracer::begin_op(SpanId parent, SpanKind kind, NodeId node,
+                        const std::string& label) {
+  const double t = now();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  PAIRMR_REQUIRE(parent >= 1 && parent <= spans_.size(),
+                 "unknown parent span");
+  const Span& p = spans_[parent - 1];
+  Span s;
+  s.kind = kind;
+  s.parent = parent;
+  s.job_seq = p.job_seq;
+  s.job = p.job;
+  s.label = label.empty() ? to_string(kind) : label;
+  s.task_scoped = p.task_scoped;
+  s.task_kind = p.task_kind;
+  s.task = p.task;
+  s.attempt = p.attempt;
+  s.node = node;
+  s.peer = node;
+  s.speculative = p.speculative;
+  s.start_seconds = t;
+  s.end_seconds = t;
+  return open_locked(std::move(s));
+}
+
+SpanId Tracer::begin_transfer(SpanId parent, SpanKind kind, NodeId src,
+                              NodeId dst, const std::string& note) {
+  const double t = now();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  PAIRMR_REQUIRE(parent >= 1 && parent <= spans_.size(),
+                 "unknown parent span");
+  const Span& p = spans_[parent - 1];
+  Span s;
+  s.kind = kind;
+  s.parent = parent;
+  s.job_seq = p.job_seq;
+  s.job = p.job;
+  s.label = std::string(to_string(kind)) + " " + std::to_string(src) +
+            "->" + std::to_string(dst);
+  s.task_scoped = p.task_scoped;
+  s.task_kind = p.task_kind;
+  s.task = p.task;
+  s.attempt = p.attempt;
+  s.node = dst;
+  s.peer = src;
+  s.speculative = p.speculative;
+  s.note = note;
+  s.start_seconds = t;
+  s.end_seconds = t;
+  return open_locked(std::move(s));
+}
+
+void Tracer::end(SpanId id) { end(id, 0, 0); }
+
+void Tracer::end(SpanId id, std::uint64_t bytes, std::uint64_t records) {
+  const double t = now();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  PAIRMR_REQUIRE(id >= 1 && id <= spans_.size(), "unknown span");
+  Span& s = spans_[id - 1];
+  s.end_seconds = t;
+  if (bytes != 0) s.bytes = bytes;
+  if (records != 0) s.records = records;
+}
+
+SpanId Tracer::record_transfer(SpanId parent, SpanKind kind, NodeId src,
+                               NodeId dst, std::uint64_t bytes,
+                               const std::string& note) {
+  const double t = now();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  PAIRMR_REQUIRE(parent >= 1 && parent <= spans_.size(),
+                 "unknown parent span");
+  const Span& p = spans_[parent - 1];
+  Span s;
+  s.kind = kind;
+  s.parent = parent;
+  s.job_seq = p.job_seq;
+  s.job = p.job;
+  s.label = std::string(to_string(kind)) + " " + std::to_string(src) +
+            "->" + std::to_string(dst);
+  s.task_scoped = p.task_scoped;
+  s.task_kind = p.task_kind;
+  s.task = p.task;
+  s.attempt = p.attempt;
+  s.node = dst;
+  s.peer = src;
+  s.bytes = bytes;
+  s.speculative = p.speculative;
+  s.note = note;
+  s.start_seconds = t;
+  s.end_seconds = t;
+  return open_locked(std::move(s));
+}
+
+void Tracer::annotate(SpanId id, const std::string& note) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  PAIRMR_REQUIRE(id >= 1 && id <= spans_.size(), "unknown span");
+  Span& s = spans_[id - 1];
+  if (!s.note.empty()) s.note += ";";
+  s.note += note;
+}
+
+void Tracer::mark_faulted(SpanId id, const std::string& note) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  PAIRMR_REQUIRE(id >= 1 && id <= spans_.size(), "unknown span");
+  Span& s = spans_[id - 1];
+  s.faulted = true;
+  if (!s.note.empty()) s.note += ";";
+  s.note += note;
+}
+
+std::vector<Span> Tracer::spans() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return spans_;
+}
+
+std::size_t Tracer::span_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return spans_.size();
+}
+
+std::vector<std::string> Tracer::job_names() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  for (const Span& s : spans_) {
+    if (s.kind == SpanKind::kJob) names.push_back(s.job);
+  }
+  return names;
+}
+
+void Tracer::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  spans_.clear();
+  next_job_seq_ = 0;
+}
+
+std::string Tracer::structure_signature() const {
+  const std::vector<Span> snapshot = spans();
+  // Canonical per-span line: every structural field, no ids, no times.
+  // Parent chains are folded in by prefixing the parent's canonical line —
+  // parents always have smaller ids, so one ascending pass suffices.
+  std::vector<std::string> canon(snapshot.size());
+  for (std::size_t i = 0; i < snapshot.size(); ++i) {
+    const Span& s = snapshot[i];
+    std::string line = to_string(s.kind);
+    line += "|j";
+    line += std::to_string(s.job_seq);
+    line += ":";
+    line += s.job;
+    line += "|";
+    line += s.label;
+    if (s.task_scoped) {
+      line += "|";
+      line += to_string(s.task_kind);
+      line += " t";
+      line += std::to_string(s.task);
+      line += " a";
+      line += std::to_string(s.attempt);
+    }
+    line += "|n";
+    line += std::to_string(s.node);
+    line += "<-";
+    line += std::to_string(s.peer);
+    line += "|b";
+    line += std::to_string(s.bytes);
+    line += "|r";
+    line += std::to_string(s.records);
+    if (s.faulted) line += "|faulted";
+    if (s.speculative) line += "|speculative";
+    if (!s.note.empty()) {
+      line += "|";
+      line += s.note;
+    }
+    if (s.parent != 0) {
+      PAIRMR_CHECK(s.parent < s.id, "span parent must precede child");
+      line += "  <~  ";
+      line += canon[s.parent - 1];
+    }
+    canon[i] = std::move(line);
+  }
+  std::sort(canon.begin(), canon.end());
+  std::string out;
+  for (const std::string& line : canon) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+void Tracer::write_chrome_trace(std::ostream& out) const {
+  std::vector<Span> snapshot = spans();
+  // One lane per (job, node); within a lane, events sorted by timestamp so
+  // ts is monotone (viewers and the schema test rely on it).
+  std::sort(snapshot.begin(), snapshot.end(),
+            [](const Span& a, const Span& b) {
+              if (a.job_seq != b.job_seq) return a.job_seq < b.job_seq;
+              if (a.node != b.node) return a.node < b.node;
+              if (a.start_seconds != b.start_seconds) {
+                return a.start_seconds < b.start_seconds;
+              }
+              return a.id < b.id;
+            });
+  std::string buf;
+  buf += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  char num[64];
+  for (const Span& s : snapshot) {
+    if (!first) buf += ",";
+    first = false;
+    buf += "\n{\"name\":\"";
+    append_json_escaped(buf, s.label);
+    buf += "\",\"cat\":\"";
+    buf += to_string(s.kind);
+    buf += "\",\"ph\":\"X\",\"ts\":";
+    std::snprintf(num, sizeof(num), "%.3f", s.start_seconds * 1e6);
+    buf += num;
+    buf += ",\"dur\":";
+    std::snprintf(num, sizeof(num), "%.3f", s.duration_seconds() * 1e6);
+    buf += num;
+    buf += ",\"pid\":";
+    buf += std::to_string(s.job_seq);
+    buf += ",\"tid\":";
+    buf += std::to_string(s.node);
+    buf += ",\"args\":{\"job\":\"";
+    append_json_escaped(buf, s.job);
+    buf += "\",\"task_kind\":\"";
+    buf += s.task_scoped ? to_string(s.task_kind) : "none";
+    buf += "\",\"task\":";
+    buf += s.task_scoped ? std::to_string(s.task) : "-1";
+    buf += ",\"attempt\":";
+    buf += s.task_scoped ? std::to_string(s.attempt) : "-1";
+    buf += ",\"node\":";
+    buf += std::to_string(s.node);
+    buf += ",\"peer\":";
+    buf += std::to_string(s.peer);
+    buf += ",\"bytes\":";
+    buf += std::to_string(s.bytes);
+    buf += ",\"records\":";
+    buf += std::to_string(s.records);
+    buf += ",\"faulted\":";
+    buf += s.faulted ? "true" : "false";
+    buf += ",\"speculative\":";
+    buf += s.speculative ? "true" : "false";
+    buf += ",\"note\":\"";
+    append_json_escaped(buf, s.note);
+    buf += "\"}}";
+  }
+  buf += "\n]}\n";
+  out << buf;
+}
+
+PhaseBreakdown Tracer::phase_breakdown(const std::string& job,
+                                       std::uint32_t num_nodes) const {
+  PAIRMR_REQUIRE(num_nodes > 0, "phase breakdown needs a node count");
+  const std::vector<Span> snapshot = spans();
+
+  PhaseBreakdown out;
+  out.job = job;
+
+  // Direct-child duration per attempt span (for the overhead residue) and
+  // per-attempt execution time (exec + spill; combine nests inside spill).
+  std::unordered_map<SpanId, double> child_seconds;
+  std::unordered_map<SpanId, double> exec_seconds;
+  for (const Span& s : snapshot) {
+    if (s.job != job || s.parent == 0) continue;
+    const Span& p = snapshot[s.parent - 1];
+    const bool parent_is_attempt = p.kind == SpanKind::kMapAttempt ||
+                                   p.kind == SpanKind::kReduceAttempt;
+    if (!parent_is_attempt) continue;
+    child_seconds[s.parent] += s.duration_seconds();
+    if (s.kind == SpanKind::kMapExec || s.kind == SpanKind::kReduceExec ||
+        s.kind == SpanKind::kSpill) {
+      exec_seconds[s.parent] += s.duration_seconds();
+    }
+  }
+
+  // Per task: the slowest attempt's execution time (under speculation the
+  // cluster waits for whichever copy is kept; max is the wave-safe bound).
+  std::map<std::pair<int, TaskIndex>, double> task_exec;
+  double overhead_sum = 0.0;
+  for (const Span& s : snapshot) {
+    if (s.job != job) continue;
+    switch (s.kind) {
+      case SpanKind::kShuffleFetch:
+      case SpanKind::kInputRead:
+      case SpanKind::kCacheBroadcast:
+        out.ship_seconds += s.duration_seconds();
+        out.ship_bytes += s.bytes;
+        break;
+      case SpanKind::kOutputWrite:
+        out.aggregate_seconds += s.duration_seconds();
+        out.aggregate_bytes += s.bytes;
+        break;
+      case SpanKind::kMapAttempt:
+      case SpanKind::kReduceAttempt: {
+        const auto it = exec_seconds.find(s.id);
+        const double exec = it == exec_seconds.end() ? 0.0 : it->second;
+        auto& slot = task_exec[{s.kind == SpanKind::kMapAttempt ? 0 : 1,
+                                s.task}];
+        slot = std::max(slot, exec);
+        const auto covered = child_seconds.find(s.id);
+        const double residue =
+            s.duration_seconds() -
+            (covered == child_seconds.end() ? 0.0 : covered->second);
+        overhead_sum += std::max(0.0, residue);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  // Pack each task kind's per-task times into waves of `num_nodes`, in
+  // task-index order, charging each wave its slowest member — the measured
+  // counterpart of the model's `ceil(tasks / n) * evals_per_task` term.
+  for (const int kind : {0, 1}) {
+    std::vector<double> times;  // task-index order (map iteration order)
+    for (const auto& [key, seconds] : task_exec) {
+      if (key.first == kind) times.push_back(seconds);
+    }
+    for (std::size_t begin = 0; begin < times.size(); begin += num_nodes) {
+      const std::size_t end =
+          std::min(times.size(), begin + static_cast<std::size_t>(num_nodes));
+      out.compute_seconds +=
+          *std::max_element(times.begin() + static_cast<std::ptrdiff_t>(begin),
+                            times.begin() + static_cast<std::ptrdiff_t>(end));
+      ++out.compute_waves;
+    }
+    for (const double t : times) out.compute_busy_seconds += t;
+  }
+  out.tasks = task_exec.size();
+  out.overhead_seconds = overhead_sum / static_cast<double>(num_nodes);
+  return out;
+}
+
+}  // namespace pairmr::mr

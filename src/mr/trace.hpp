@@ -1,0 +1,245 @@
+// Task-level execution tracing for the simulated MapReduce engine.
+//
+// A Tracer records one Span per task attempt and per engine phase — map
+// execution, spill (bucket finalization + combine), combine per bucket,
+// shuffle fetches (local/remote, including fault re-fetches and wasted
+// copies), reduce execution, cache/broadcast distribution, output writes —
+// plus job-level phase boundaries. Spans are keyed by (job, task, attempt,
+// node); faulted attempts (killed by the fault plan, crashed, or lost
+// speculative races) carry annotations, speculative backups are flagged.
+//
+// Guarantees:
+//   * Zero cost when off. The engine consults a nullable Tracer*; every
+//     recording site is guarded, so an untraced run performs no tracer
+//     work at all and produces byte-identical output and counters.
+//   * Deterministic structure. Span *timings* depend on the host, but the
+//     span *structure* — counts, parentage, and attribution (kind, job,
+//     task, attempt, node, peer, bytes, records, fault flags, notes) — is
+//     a pure function of (cluster size, job spec, fault plan), identical
+//     for any worker-thread count. `structure_signature()` canonicalizes
+//     it for tests.
+//   * Thread safety. All methods may be called concurrently; spans get
+//     monotonically increasing ids under an internal mutex.
+//
+// Exports:
+//   * write_chrome_trace — Chrome trace_event JSON ("X" complete events,
+//     one lane per (job, node), timestamps sorted within each lane), load
+//     in chrome://tracing or Perfetto.
+//   * phase_breakdown — a compact per-job PhaseBreakdown whose fields map
+//     one-to-one onto the analytic MakespanBreakdown (pairwise/makespan.hpp):
+//     ship / compute waves / aggregate / overhead. bench_trace_validation
+//     compares the two.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "mr/fault.hpp"  // TaskKind
+#include "mr/types.hpp"
+
+namespace pairmr::mr {
+
+// Identifies one recorded span; 0 means "no span" (tracing off or root).
+using SpanId = std::uint64_t;
+
+enum class SpanKind : std::uint8_t {
+  kJob,            // one engine.run invocation
+  kPhase,          // job-level phase: broadcast / map / reduce / write
+  kMapAttempt,     // one attempt of one map task (incl. killed + backups)
+  kMapExec,        // user map code of one attempt
+  kSpill,          // map-output bucket finalization (sort/combine stand-in)
+  kCombine,        // combiner over one partition bucket
+  kReduceAttempt,  // one attempt of one reduce task
+  kShuffleFetch,   // one reduce-side fetch of one map output bucket
+  kReduceExec,     // sort/group + user reduce code of one attempt
+  kInputRead,      // map split read (remote when rescheduled off-home)
+  kCacheBroadcast, // distributed-cache copy to one node
+  kOutputWrite,    // part-file write of a finished task
+};
+
+const char* to_string(SpanKind kind);
+
+struct Span {
+  SpanId id = 0;
+  SpanId parent = 0;       // enclosing span (0 = root)
+  SpanKind kind = SpanKind::kJob;
+  std::uint32_t job_seq = 0;  // per-tracer job ordinal (export lane group)
+  std::string job;            // job name
+  std::string label;          // human-readable name shown by trace viewers
+  bool task_scoped = false;   // task/attempt fields are meaningful
+  TaskKind task_kind = TaskKind::kMap;
+  TaskIndex task = 0;
+  std::uint32_t attempt = 0;
+  NodeId node = 0;  // executing node / transfer destination
+  NodeId peer = 0;  // transfer source (== node for local / non-transfers)
+  std::uint64_t bytes = 0;
+  std::uint64_t records = 0;
+  bool faulted = false;      // killed, crashed, or otherwise discarded
+  bool speculative = false;  // backup execution of a straggler
+  std::string note;          // annotation, e.g. "killed-by-fault-plan"
+  double start_seconds = 0.0;  // since tracer epoch (monotonic clock)
+  double end_seconds = 0.0;
+
+  double duration_seconds() const { return end_seconds - start_seconds; }
+  // Meaningful for data-movement spans (fetch/input/broadcast).
+  bool remote() const { return peer != node; }
+};
+
+// Measured analog of pairwise/makespan.hpp's MakespanBreakdown, computed
+// from one job's spans:
+//   * ship      — data distribution: cache broadcasts, shuffle fetches,
+//                 and (recovery) input re-reads; seconds are measured
+//                 in-process copy time, ship_bytes the volume behind them
+//                 (multiply by a wire rate for a simulated-network time);
+//   * compute   — task execution packed into ceil(tasks / n) waves of n,
+//                 summing each wave's slowest task (the model's "max-wave"
+//                 term); compute_busy_seconds is the unpacked total;
+//   * aggregate — output collection: part-file writes;
+//   * overhead  — per-attempt framework cost (attempt span time not
+//                 covered by nested work, plus faulted attempts), divided
+//                 by n like the model's `tasks * overhead / n` term.
+struct PhaseBreakdown {
+  std::string job;
+  double ship_seconds = 0.0;
+  double compute_seconds = 0.0;
+  double aggregate_seconds = 0.0;
+  double overhead_seconds = 0.0;
+
+  std::uint64_t ship_bytes = 0;
+  std::uint64_t aggregate_bytes = 0;
+  double compute_busy_seconds = 0.0;
+  std::uint64_t compute_waves = 0;
+  std::uint64_t tasks = 0;
+
+  double total() const {
+    return ship_seconds + compute_seconds + aggregate_seconds +
+           overhead_seconds;
+  }
+};
+
+class Tracer {
+ public:
+  // Seconds since an arbitrary epoch; must be monotonic and thread-safe.
+  using Clock = std::function<double()>;
+
+  // Default clock: std::chrono::steady_clock relative to construction.
+  Tracer();
+  // Injected clock for deterministic tests (golden trace files).
+  explicit Tracer(Clock clock);
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // --- Recording (all thread-safe) ---------------------------------------
+
+  SpanId begin_job(const std::string& name);
+  SpanId begin_phase(SpanId job, const std::string& label);
+  // Task attempt span; `parent` is the enclosing job or phase span.
+  // `speculative` marks a straggler's backup execution.
+  SpanId begin_task(SpanId parent, TaskKind kind, TaskIndex task,
+                    std::uint32_t attempt, NodeId node,
+                    bool speculative = false);
+  // Nested operation within a task attempt (exec/spill/combine/write).
+  SpanId begin_op(SpanId parent, SpanKind kind, NodeId node,
+                  const std::string& label = {});
+  // Open data-movement span (src -> dst); close with end(id, bytes, ...).
+  SpanId begin_transfer(SpanId parent, SpanKind kind, NodeId src, NodeId dst,
+                        const std::string& note = {});
+
+  void end(SpanId id);
+  void end(SpanId id, std::uint64_t bytes, std::uint64_t records);
+
+  // Completed zero-duration data-movement span (for transfers the
+  // simulator performs by reference, with no copy time to measure).
+  SpanId record_transfer(SpanId parent, SpanKind kind, NodeId src,
+                         NodeId dst, std::uint64_t bytes,
+                         const std::string& note = {});
+
+  void annotate(SpanId id, const std::string& note);
+  // Mark an attempt discarded (killed/crashed); annotation explains why.
+  void mark_faulted(SpanId id, const std::string& note);
+
+  // --- Inspection ---------------------------------------------------------
+
+  std::vector<Span> spans() const;  // snapshot, ordered by id
+  std::size_t span_count() const;
+  std::vector<std::string> job_names() const;  // in begin_job order
+  void clear();
+
+  // Canonical fingerprint of counts + parentage + attribution (no ids, no
+  // timestamps): equal across worker-thread counts for the same job.
+  std::string structure_signature() const;
+
+  // Chrome trace_event JSON (complete "X" events; stable field set; events
+  // sorted by (pid, tid, ts) so timestamps are monotone within a lane).
+  void write_chrome_trace(std::ostream& out) const;
+
+  // Measured phase breakdown of every span recorded under job name `job`
+  // (jobs re-run under the same name aggregate). `num_nodes` sets the
+  // compute wave width and the overhead normalization.
+  PhaseBreakdown phase_breakdown(const std::string& job,
+                                 std::uint32_t num_nodes) const;
+
+ private:
+  SpanId open_locked(Span span);
+  double now() const { return clock_(); }
+
+  Clock clock_;
+  mutable std::mutex mutex_;
+  std::vector<Span> spans_;  // spans_[id - 1]
+  std::uint32_t next_job_seq_ = 0;
+};
+
+// RAII guard: ends the span on scope exit (exception-safe). Inert when
+// constructed with a null tracer, so call sites stay zero-cost when off.
+class ScopedSpan {
+ public:
+  ScopedSpan() = default;
+  ScopedSpan(Tracer* tracer, SpanId id) : tracer_(tracer), id_(id) {}
+  ScopedSpan(ScopedSpan&& other) noexcept
+      : tracer_(other.tracer_), id_(other.id_) {
+    other.tracer_ = nullptr;
+    other.id_ = 0;
+  }
+  ScopedSpan& operator=(ScopedSpan&& other) noexcept {
+    if (this != &other) {
+      finish();
+      tracer_ = other.tracer_;
+      id_ = other.id_;
+      other.tracer_ = nullptr;
+      other.id_ = 0;
+    }
+    return *this;
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ~ScopedSpan() { finish(); }
+
+  SpanId id() const { return id_; }
+
+  // Attach payload size to record when the span ends.
+  void set_payload(std::uint64_t bytes, std::uint64_t records) {
+    bytes_ = bytes;
+    records_ = records;
+  }
+
+  void finish() {
+    if (tracer_ != nullptr && id_ != 0) {
+      tracer_->end(id_, bytes_, records_);
+    }
+    tracer_ = nullptr;
+    id_ = 0;
+  }
+
+ private:
+  Tracer* tracer_ = nullptr;
+  SpanId id_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t records_ = 0;
+};
+
+}  // namespace pairmr::mr

@@ -305,6 +305,7 @@ PairwiseRunStats run_pairwise(mr::Cluster& cluster,
   job1.reducer_factory = [&scheme, &job] {
     return std::make_unique<ComputeReducer>(scheme, job);
   };
+  job1.partitioner = options.distribute_partitioner;
   job1.num_reduce_tasks = options.num_reduce_tasks;
   job1.max_records_per_split = options.max_records_per_split;
   apply_fault_options(job1, options);
@@ -455,6 +456,7 @@ HierarchicalRunStats run_pairwise_rounds(
     job1.reducer_factory = [&round_scheme, &job] {
       return std::make_unique<ComputeReducer>(round_scheme, job);
     };
+    job1.partitioner = options.distribute_partitioner;
     job1.num_reduce_tasks = options.num_reduce_tasks;
     job1.max_records_per_split = options.max_records_per_split;
     apply_fault_options(job1, options);

@@ -73,6 +73,12 @@ struct PairwiseOptions {
   // because merging result lists is associative). Shrinks Job 2's shuffle
   // volume at some map-side CPU cost; see bench_ablation.
   bool aggregation_combiner = false;
+  // Partitioner for the distribute job's task-id keys (Job 1 and round
+  // jobs); nullptr uses the engine default (hash). A RangePartitioner over
+  // the scheme's task-id space with num_reduce_tasks == num_tasks gives
+  // each scheme task its own engine reduce task — required when per-task
+  // measurements (tracing) must see the scheme's work units unmerged.
+  std::shared_ptr<const mr::Partitioner> distribute_partitioner;
   // Deterministic fault injection (mr/fault.hpp) applied to every job the
   // pipeline runs. Non-owning — must outlive the call; nullptr runs
   // fault-free. Faults change cost (retries, recovery traffic), never the

@@ -1,0 +1,419 @@
+// Chrome trace_event export schema: the JSON is valid, every event carries
+// the exact stable field set, timestamps are monotone within each
+// (pid, tid) lane, and the export is deterministic — an injected clock and
+// one worker thread reproduce it byte-for-byte, including a literal golden
+// for a hand-built trace.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mr/cluster.hpp"
+#include "mr/context.hpp"
+#include "mr/engine.hpp"
+#include "mr/trace.hpp"
+
+namespace pairmr::mr {
+namespace {
+
+// --- Minimal JSON DOM parser (enough to validate the export) -------------
+
+struct JsonValue {
+  enum Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+  Kind kind = kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<std::pair<std::string, JsonValue>> object;  // order-preserving
+  std::vector<JsonValue> array;
+
+  const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  // Parses the whole input as one value; fails on trailing garbage.
+  bool parse(JsonValue& out) {
+    pos_ = 0;
+    if (!parse_value(out)) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool parse_literal(const char* lit) {
+    const std::size_t n = std::string(lit).size();
+    if (text_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!consume('"')) return false;
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return false;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'n': out.push_back('\n'); break;
+        case 't': out.push_back('\t'); break;
+        case 'r': out.push_back('\r'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return false;
+          for (int i = 0; i < 4; ++i) {
+            if (!std::isxdigit(static_cast<unsigned char>(text_[pos_ + i]))) {
+              return false;
+            }
+          }
+          out.push_back('?');  // exact code point irrelevant for the schema
+          pos_ += 4;
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool parse_number(double& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    std::size_t digits = 0;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+      ++digits;
+    }
+    if (digits == 0) return false;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      std::size_t frac = 0;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+        ++frac;
+      }
+      if (frac == 0) return false;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      std::size_t exp = 0;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+        ++exp;
+      }
+      if (exp == 0) return false;
+    }
+    out = std::stod(text_.substr(start, pos_ - start));
+    return true;
+  }
+
+  bool parse_value(JsonValue& out) {
+    skip_ws();
+    if (pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    if (c == '{') {
+      ++pos_;
+      out.kind = JsonValue::kObject;
+      skip_ws();
+      if (consume('}')) return true;
+      while (true) {
+        std::string key;
+        skip_ws();
+        if (!parse_string(key)) return false;
+        if (!consume(':')) return false;
+        JsonValue value;
+        if (!parse_value(value)) return false;
+        out.object.emplace_back(std::move(key), std::move(value));
+        if (consume(',')) continue;
+        return consume('}');
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      out.kind = JsonValue::kArray;
+      skip_ws();
+      if (consume(']')) return true;
+      while (true) {
+        JsonValue value;
+        if (!parse_value(value)) return false;
+        out.array.push_back(std::move(value));
+        if (consume(',')) continue;
+        return consume(']');
+      }
+    }
+    if (c == '"') {
+      out.kind = JsonValue::kString;
+      return parse_string(out.str);
+    }
+    if (c == 't') {
+      out.kind = JsonValue::kBool;
+      out.boolean = true;
+      return parse_literal("true");
+    }
+    if (c == 'f') {
+      out.kind = JsonValue::kBool;
+      out.boolean = false;
+      return parse_literal("false");
+    }
+    if (c == 'n') {
+      out.kind = JsonValue::kNull;
+      return parse_literal("null");
+    }
+    out.kind = JsonValue::kNumber;
+    return parse_number(out.number);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+// --- Test fixtures --------------------------------------------------------
+
+Tracer::Clock counter_clock() {
+  auto ticks = std::make_shared<std::atomic<std::uint64_t>>(0);
+  return [ticks] {
+    return static_cast<double>(ticks->fetch_add(1) + 1) * 1e-6;
+  };
+}
+
+class TokenizeMapper final : public Mapper {
+ public:
+  void map(const Bytes& /*key*/, const Bytes& value,
+           MapContext& ctx) override {
+    std::istringstream is(value);
+    std::string word;
+    while (is >> word) ctx.emit(word, "1");
+  }
+};
+
+class SumReducer final : public Reducer {
+ public:
+  void reduce(const Bytes& key, const std::vector<Bytes>& values,
+              ReduceContext& ctx) override {
+    std::uint64_t total = 0;
+    for (const auto& v : values) total += std::stoull(v);
+    ctx.emit(key, std::to_string(total));
+  }
+};
+
+// Small traced word count; deterministic clock, no faults.
+std::string traced_word_count_json(std::uint32_t worker_threads) {
+  Cluster cluster({.num_nodes = 2, .worker_threads = worker_threads});
+  std::vector<Record> records;
+  for (int i = 0; i < 6; ++i) {
+    records.push_back(Record{std::to_string(i),
+                             "alpha beta gamma w" + std::to_string(i)});
+  }
+  const auto inputs = cluster.scatter_records("/in", std::move(records));
+
+  Tracer tracer(counter_clock());
+  JobSpec spec;
+  spec.name = "wordcount";
+  spec.input_paths = inputs;
+  spec.output_dir = "/out";
+  spec.mapper_factory = [] { return std::make_unique<TokenizeMapper>(); };
+  spec.reducer_factory = [] { return std::make_unique<SumReducer>(); };
+  spec.num_reduce_tasks = 2;
+  spec.tracer = &tracer;
+  Engine(cluster).run(spec);
+
+  std::ostringstream out;
+  tracer.write_chrome_trace(out);
+  return out.str();
+}
+
+const std::set<std::string>& known_categories() {
+  static const std::set<std::string> kCategories{
+      "job",           "phase",        "map-attempt", "map-exec",
+      "spill",         "combine",      "reduce-attempt",
+      "shuffle-fetch", "reduce-exec",  "input-read",
+      "cache-broadcast", "output-write"};
+  return kCategories;
+}
+
+// Asserts the full schema on an export: top-level shape, per-event stable
+// field set (names and order), arg types, and monotone ts per lane.
+void expect_valid_trace(const std::string& json) {
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(json).parse(root)) << "export is not valid JSON";
+  ASSERT_EQ(root.kind, JsonValue::kObject);
+  ASSERT_EQ(root.object.size(), 2u);
+  EXPECT_EQ(root.object[0].first, "displayTimeUnit");
+  EXPECT_EQ(root.object[0].second.str, "ms");
+  EXPECT_EQ(root.object[1].first, "traceEvents");
+  ASSERT_EQ(root.object[1].second.kind, JsonValue::kArray);
+
+  const std::vector<std::string> kEventKeys{"name", "cat",  "ph",  "ts",
+                                            "dur",  "pid",  "tid", "args"};
+  const std::vector<std::string> kArgKeys{
+      "job",     "task_kind", "task",  "attempt",     "node", "peer",
+      "bytes",   "records",   "faulted", "speculative", "note"};
+
+  std::map<std::pair<double, double>, double> last_ts;  // (pid,tid) lane
+  for (const JsonValue& event : root.object[1].second.array) {
+    ASSERT_EQ(event.kind, JsonValue::kObject);
+    ASSERT_EQ(event.object.size(), kEventKeys.size());
+    for (std::size_t i = 0; i < kEventKeys.size(); ++i) {
+      EXPECT_EQ(event.object[i].first, kEventKeys[i])
+          << "unstable event field set";
+    }
+    EXPECT_EQ(event.find("ph")->str, "X");
+    EXPECT_TRUE(known_categories().count(event.find("cat")->str))
+        << "unknown category " << event.find("cat")->str;
+    const double ts = event.find("ts")->number;
+    EXPECT_GE(ts, 0.0);
+    EXPECT_GE(event.find("dur")->number, 0.0);
+
+    const JsonValue& args = *event.find("args");
+    ASSERT_EQ(args.kind, JsonValue::kObject);
+    ASSERT_EQ(args.object.size(), kArgKeys.size());
+    for (std::size_t i = 0; i < kArgKeys.size(); ++i) {
+      EXPECT_EQ(args.object[i].first, kArgKeys[i])
+          << "unstable args field set";
+    }
+    EXPECT_EQ(args.find("job")->kind, JsonValue::kString);
+    EXPECT_EQ(args.find("faulted")->kind, JsonValue::kBool);
+    EXPECT_EQ(args.find("speculative")->kind, JsonValue::kBool);
+    EXPECT_EQ(args.find("note")->kind, JsonValue::kString);
+    EXPECT_EQ(args.find("bytes")->kind, JsonValue::kNumber);
+
+    // task/attempt are -1 exactly when the span is not task-scoped.
+    const bool task_scoped = args.find("task_kind")->str != "none";
+    EXPECT_EQ(args.find("task")->number >= 0, task_scoped);
+    EXPECT_EQ(args.find("attempt")->number >= 0, task_scoped);
+
+    const auto lane = std::make_pair(event.find("pid")->number,
+                                     event.find("tid")->number);
+    const auto it = last_ts.find(lane);
+    if (it != last_ts.end()) {
+      EXPECT_GE(ts, it->second) << "ts not monotone within a lane";
+    }
+    last_ts[lane] = ts;
+  }
+}
+
+// --- Tests ----------------------------------------------------------------
+
+TEST(TraceSchemaTest, EngineExportSatisfiesSchema) {
+  expect_valid_trace(traced_word_count_json(/*worker_threads=*/4));
+}
+
+TEST(TraceSchemaTest, ExportIsDeterministicWithInjectedClock) {
+  const std::string a = traced_word_count_json(/*worker_threads=*/1);
+  const std::string b = traced_word_count_json(/*worker_threads=*/1);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+  expect_valid_trace(a);
+}
+
+// Literal golden for a hand-built trace: pins the exact serialization
+// (field order, number formatting, lane sort) so viewer compatibility
+// cannot silently drift.
+TEST(TraceSchemaTest, HandBuiltTraceMatchesGoldenLiteral) {
+  Tracer tracer(counter_clock());
+  const SpanId job = tracer.begin_job("wc");               // tick 1
+  const SpanId phase = tracer.begin_phase(job, "map");     // tick 2
+  const SpanId att =
+      tracer.begin_task(phase, TaskKind::kMap, 0, 0, /*node=*/1);  // tick 3
+  tracer.record_transfer(att, SpanKind::kInputRead, /*src=*/0, /*dst=*/1,
+                         64, "recovery-reread");           // tick 4
+  tracer.end(att, 128, 2);                                 // tick 5
+  tracer.end(phase);                                       // tick 6
+  tracer.end(job);                                         // tick 7
+
+  std::ostringstream out;
+  tracer.write_chrome_trace(out);
+
+  const std::string expected =
+      "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"
+      "{\"name\":\"wc\",\"cat\":\"job\",\"ph\":\"X\",\"ts\":1.000,"
+      "\"dur\":6.000,\"pid\":0,\"tid\":0,\"args\":{\"job\":\"wc\","
+      "\"task_kind\":\"none\",\"task\":-1,\"attempt\":-1,\"node\":0,"
+      "\"peer\":0,\"bytes\":0,\"records\":0,\"faulted\":false,"
+      "\"speculative\":false,\"note\":\"\"}},\n"
+      "{\"name\":\"map\",\"cat\":\"phase\",\"ph\":\"X\",\"ts\":2.000,"
+      "\"dur\":4.000,\"pid\":0,\"tid\":0,\"args\":{\"job\":\"wc\","
+      "\"task_kind\":\"none\",\"task\":-1,\"attempt\":-1,\"node\":0,"
+      "\"peer\":0,\"bytes\":0,\"records\":0,\"faulted\":false,"
+      "\"speculative\":false,\"note\":\"\"}},\n"
+      "{\"name\":\"map 0/0\",\"cat\":\"map-attempt\",\"ph\":\"X\","
+      "\"ts\":3.000,\"dur\":2.000,\"pid\":0,\"tid\":1,\"args\":{"
+      "\"job\":\"wc\",\"task_kind\":\"map\",\"task\":0,\"attempt\":0,"
+      "\"node\":1,\"peer\":1,\"bytes\":128,\"records\":2,"
+      "\"faulted\":false,\"speculative\":false,\"note\":\"\"}},\n"
+      "{\"name\":\"input-read 0->1\",\"cat\":\"input-read\",\"ph\":\"X\","
+      "\"ts\":4.000,\"dur\":0.000,\"pid\":0,\"tid\":1,\"args\":{"
+      "\"job\":\"wc\",\"task_kind\":\"map\",\"task\":0,\"attempt\":0,"
+      "\"node\":1,\"peer\":0,\"bytes\":64,\"records\":0,"
+      "\"faulted\":false,\"speculative\":false,\"note\":"
+      "\"recovery-reread\"}}\n"
+      "]}\n";
+  EXPECT_EQ(out.str(), expected);
+  expect_valid_trace(out.str());
+}
+
+// Labels with JSON metacharacters must be escaped, never break the export.
+TEST(TraceSchemaTest, EscapesMetacharactersInLabelsAndNotes) {
+  Tracer tracer(counter_clock());
+  const SpanId job = tracer.begin_job("quote\" slash\\ tab\t nl\n");
+  tracer.annotate(job, "note with \"quotes\" and \x01 control");
+  tracer.end(job);
+
+  std::ostringstream out;
+  tracer.write_chrome_trace(out);
+  expect_valid_trace(out.str());
+  EXPECT_NE(out.str().find("\\u0001"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pairmr::mr

@@ -1,0 +1,428 @@
+// Tracer unit behavior and the span-accounting invariants the engine's
+// instrumentation must uphold under chaos:
+//   * every retried / speculative attempt in the job counters has a
+//     matching annotated span, and vice versa;
+//   * remote data-movement span bytes tie out exactly against the shuffle,
+//     cache-broadcast, and recovery byte counters (and the network meter);
+//   * span structure — counts, parentage, attribution — is identical for
+//     any worker-thread count.
+// Plus a regression hammer for Counters::add / note_max / merge racing
+// with tracer recording from many threads.
+#include "mr/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mr/cluster.hpp"
+#include "mr/context.hpp"
+#include "mr/engine.hpp"
+#include "mr/fault.hpp"
+
+namespace pairmr::mr {
+namespace {
+
+// Strictly increasing deterministic clock; safe to share across threads.
+Tracer::Clock counter_clock() {
+  auto ticks = std::make_shared<std::atomic<std::uint64_t>>(0);
+  return [ticks] {
+    return static_cast<double>(ticks->fetch_add(1) + 1) * 1e-6;
+  };
+}
+
+class TokenizeMapper final : public Mapper {
+ public:
+  void map(const Bytes& /*key*/, const Bytes& value,
+           MapContext& ctx) override {
+    std::istringstream is(value);
+    std::string word;
+    while (is >> word) ctx.emit(word, "1");
+  }
+};
+
+class SumReducer final : public Reducer {
+ public:
+  void reduce(const Bytes& key, const std::vector<Bytes>& values,
+              ReduceContext& ctx) override {
+    std::uint64_t total = 0;
+    for (const auto& v : values) total += std::stoull(v);
+    ctx.emit(key, std::to_string(total));
+  }
+};
+
+// The chaos of the fault-equivalence harness: kills, a node loss, dropped
+// fetches, stragglers with backups, plus seeded rate noise.
+FaultPlan make_chaos_plan(std::uint64_t seed) {
+  FaultPlan plan(seed);
+  plan.with_task_kill_rate(0.25, 2)
+      .with_fetch_drop_rate(0.2)
+      .with_straggler_rate(0.2)
+      .kill_task(TaskKind::kMap, 0)
+      .kill_task(TaskKind::kReduce, 0)
+      .fail_node(1)
+      .drop_fetch(/*reduce_task=*/0, /*map_task=*/0)
+      .mark_straggler(TaskKind::kMap, 1)
+      .mark_straggler(TaskKind::kReduce, 1);
+  return plan;
+}
+
+struct ChaosRun {
+  std::vector<Span> spans;
+  std::string signature;
+  JobResult result;
+  std::uint64_t remote_bytes = 0;
+};
+
+// Traced word count under chaos on a fresh cluster: 12 input files, a
+// distributed-cache file (exercises kCacheBroadcast spans), 3 reduce
+// tasks, deterministic clock.
+ChaosRun run_chaos_word_count(std::uint32_t worker_threads,
+                              std::uint64_t seed) {
+  Cluster cluster({.num_nodes = 4, .worker_threads = worker_threads});
+  std::vector<Record> records;
+  for (int i = 0; i < 12; ++i) {
+    records.push_back(Record{std::to_string(i),
+                             "alpha beta gamma delta w" + std::to_string(i)});
+  }
+  const auto inputs = cluster.scatter_records("/in", std::move(records));
+  cluster.dfs().write_file("/cache/side", /*home=*/0,
+                           {Record{"k", std::string(256, 'x')}});
+
+  Tracer tracer(counter_clock());
+  const FaultPlan plan = make_chaos_plan(seed);
+
+  JobSpec spec;
+  spec.name = "wordcount";
+  spec.input_paths = inputs;
+  spec.output_dir = "/out";
+  spec.mapper_factory = [] { return std::make_unique<TokenizeMapper>(); };
+  spec.reducer_factory = [] { return std::make_unique<SumReducer>(); };
+  spec.num_reduce_tasks = 3;
+  spec.cache_paths = {"/cache/side"};
+  spec.fault_plan = &plan;
+  spec.tracer = &tracer;
+
+  ChaosRun run;
+  run.result = Engine(cluster).run(spec);
+  run.spans = tracer.spans();
+  run.signature = tracer.structure_signature();
+  run.remote_bytes = cluster.network().remote_bytes();
+  return run;
+}
+
+bool is_attempt(const Span& s) {
+  return s.kind == SpanKind::kMapAttempt ||
+         s.kind == SpanKind::kReduceAttempt;
+}
+
+bool is_data_movement(const Span& s) {
+  return s.kind == SpanKind::kShuffleFetch ||
+         s.kind == SpanKind::kInputRead ||
+         s.kind == SpanKind::kCacheBroadcast;
+}
+
+// --- Tracer unit behavior ------------------------------------------------
+
+TEST(TracerTest, RecordsNestedSpansWithPayloadAndParentage) {
+  Tracer tracer(counter_clock());
+  const SpanId job = tracer.begin_job("demo");
+  const SpanId phase = tracer.begin_phase(job, "map");
+  const SpanId att = tracer.begin_task(phase, TaskKind::kMap, 7, 2,
+                                       /*node=*/3);
+  const SpanId xfer = tracer.record_transfer(att, SpanKind::kInputRead,
+                                             /*src=*/1, /*dst=*/3, 64,
+                                             "recovery-reread");
+  tracer.end(att, 128, 5);
+  tracer.end(phase);
+  tracer.end(job);
+
+  const auto spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans[0].kind, SpanKind::kJob);
+  EXPECT_EQ(spans[0].parent, 0u);
+  EXPECT_EQ(spans[1].parent, job);
+  EXPECT_EQ(spans[2].parent, phase);
+  EXPECT_EQ(spans[2].task_kind, TaskKind::kMap);
+  EXPECT_EQ(spans[2].task, 7u);
+  EXPECT_EQ(spans[2].attempt, 2u);
+  EXPECT_EQ(spans[2].bytes, 128u);
+  EXPECT_EQ(spans[2].records, 5u);
+  EXPECT_EQ(spans[3].id, xfer);
+  EXPECT_EQ(spans[3].peer, 1u);
+  EXPECT_EQ(spans[3].node, 3u);
+  EXPECT_TRUE(spans[3].remote());
+  EXPECT_EQ(spans[3].bytes, 64u);
+  EXPECT_DOUBLE_EQ(spans[3].duration_seconds(), 0.0);
+  EXPECT_EQ(tracer.job_names(), std::vector<std::string>{"demo"});
+  for (const Span& s : spans) {
+    EXPECT_GE(s.end_seconds, s.start_seconds);
+  }
+}
+
+TEST(TracerTest, MarkFaultedSetsFlagAndAppendsNotes) {
+  Tracer tracer(counter_clock());
+  const SpanId job = tracer.begin_job("j");
+  const SpanId att = tracer.begin_task(job, TaskKind::kReduce, 0, 0, 0);
+  tracer.annotate(att, "first");
+  tracer.mark_faulted(att, "killed-by-fault-plan");
+  tracer.end(att);
+  tracer.end(job);
+
+  const auto spans = tracer.spans();
+  EXPECT_TRUE(spans[1].faulted);
+  EXPECT_EQ(spans[1].note, "first;killed-by-fault-plan");
+}
+
+TEST(TracerTest, ScopedSpanIsInertWhenTracerIsNull) {
+  ScopedSpan inert(nullptr, 0);
+  inert.set_payload(10, 10);  // must not crash on destruction
+  ScopedSpan moved = std::move(inert);
+  moved.finish();
+}
+
+TEST(TracerTest, ScopedSpanEndsOnScopeExitWithPayload) {
+  Tracer tracer(counter_clock());
+  const SpanId job = tracer.begin_job("j");
+  {
+    ScopedSpan op(&tracer, tracer.begin_op(job, SpanKind::kMapExec, 2));
+    op.set_payload(99, 3);
+  }
+  tracer.end(job);
+  const auto spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[1].bytes, 99u);
+  EXPECT_EQ(spans[1].records, 3u);
+  EXPECT_GT(spans[1].end_seconds, spans[1].start_seconds);
+}
+
+TEST(TracerTest, ClearResetsSpansAndJobSequence) {
+  Tracer tracer(counter_clock());
+  tracer.end(tracer.begin_job("a"));
+  tracer.clear();
+  EXPECT_EQ(tracer.span_count(), 0u);
+  tracer.end(tracer.begin_job("b"));
+  EXPECT_EQ(tracer.spans()[0].job_seq, 0u);
+}
+
+// --- Span accounting under chaos ----------------------------------------
+
+TEST(TraceAccountingTest, FaultAndSpeculationSpansMatchRecoveryCounters) {
+  const ChaosRun run = run_chaos_word_count(/*worker_threads=*/4, 42);
+
+  std::uint64_t retried_spans = 0;
+  std::uint64_t speculative_spans = 0;
+  std::uint64_t speculative_winners = 0;
+  std::uint64_t lost_races = 0;
+  for (const Span& s : run.spans) {
+    if (!is_attempt(s)) continue;
+    if (s.faulted && s.note.find("lost-race") == std::string::npos) {
+      // Killed or crashed attempts — each one was retried.
+      ++retried_spans;
+      EXPECT_TRUE(s.note.find("killed-by-fault-plan") != std::string::npos ||
+                  s.note.find("node-lost") != std::string::npos)
+          << "unexpected fault note: " << s.note;
+    }
+    if (s.speculative) {
+      ++speculative_spans;
+      if (!s.faulted) ++speculative_winners;
+    }
+    if (s.faulted && s.note.find("lost-race") != std::string::npos) {
+      ++lost_races;
+    }
+  }
+
+  EXPECT_EQ(retried_spans, run.result.counter(counter::kTasksRetried));
+  EXPECT_EQ(speculative_spans,
+            run.result.counter(counter::kTasksSpeculative));
+  EXPECT_EQ(speculative_winners,
+            run.result.counter(counter::kSpeculativeWins));
+  // Every speculative race has exactly one loser (original or backup).
+  EXPECT_EQ(lost_races, run.result.counter(counter::kTasksSpeculative));
+
+  // The chaos actually happened — the invariants are not vacuous.
+  EXPECT_GT(retried_spans, 0u);
+  EXPECT_GT(speculative_spans, 0u);
+
+  // Dropped fetches leave one annotated span per retry.
+  std::uint64_t dropped = 0;
+  for (const Span& s : run.spans) {
+    if (s.kind == SpanKind::kShuffleFetch &&
+        s.note.find("dropped-mid-transfer") != std::string::npos) {
+      ++dropped;
+    }
+  }
+  EXPECT_EQ(dropped, run.result.counter(counter::kShuffleFetchRetries));
+}
+
+TEST(TraceAccountingTest, RemoteSpanBytesTieOutAgainstCountersAndMeter) {
+  const ChaosRun run = run_chaos_word_count(/*worker_threads=*/4, 42);
+
+  std::uint64_t fetch_and_reread = 0;
+  std::uint64_t broadcast = 0;
+  std::uint64_t all_movement = 0;
+  for (const Span& s : run.spans) {
+    if (!is_data_movement(s) || !s.remote()) continue;
+    all_movement += s.bytes;
+    if (s.kind == SpanKind::kCacheBroadcast) {
+      broadcast += s.bytes;
+    } else {
+      fetch_and_reread += s.bytes;
+    }
+  }
+
+  // Shuffle fetches + input re-reads cover exactly the logical shuffle
+  // plus all fault-attributed traffic (wasted fetches, re-fetches,
+  // re-reads); cache-broadcast spans cover the broadcast volume; together
+  // they explain every remote byte the meter saw during this job.
+  EXPECT_EQ(fetch_and_reread,
+            run.result.counter(counter::kShuffleBytesRemote) +
+                run.result.counter(counter::kRecoveryBytes));
+  EXPECT_EQ(broadcast, run.result.counter(counter::kCacheBroadcastBytes));
+  EXPECT_EQ(all_movement, run.remote_bytes);
+}
+
+TEST(TraceAccountingTest, EverySpanIsClosedAndParentedCorrectly) {
+  const ChaosRun run = run_chaos_word_count(/*worker_threads=*/4, 42);
+  ASSERT_FALSE(run.spans.empty());
+
+  for (const Span& s : run.spans) {
+    // The deterministic clock is strictly increasing, so every span opened
+    // with begin_* and closed with end() has end > start; only completed
+    // record_transfer spans are legitimately zero-duration. A span the
+    // engine forgot to close would still sit at end == start.
+    if (is_data_movement(s)) {
+      EXPECT_GE(s.end_seconds, s.start_seconds);
+    } else {
+      EXPECT_GT(s.end_seconds, s.start_seconds)
+          << "span " << s.id << " (" << to_string(s.kind)
+          << ") never ended";
+    }
+    if (s.kind == SpanKind::kJob) {
+      EXPECT_EQ(s.parent, 0u);
+      continue;
+    }
+    ASSERT_GE(s.parent, 1u) << "non-job span without a parent";
+    ASSERT_LT(s.parent, s.id) << "parent must precede child";
+    const Span& p = run.spans[s.parent - 1];
+    switch (s.kind) {
+      case SpanKind::kPhase:
+        EXPECT_EQ(p.kind, SpanKind::kJob);
+        break;
+      case SpanKind::kMapAttempt:
+      case SpanKind::kReduceAttempt:
+        EXPECT_EQ(p.kind, SpanKind::kPhase);
+        break;
+      case SpanKind::kMapExec:
+        EXPECT_EQ(p.kind, SpanKind::kMapAttempt);
+        break;
+      case SpanKind::kReduceExec:
+      case SpanKind::kShuffleFetch:
+        EXPECT_EQ(p.kind, SpanKind::kReduceAttempt);
+        break;
+      case SpanKind::kSpill:
+        EXPECT_EQ(p.kind, SpanKind::kMapAttempt);
+        break;
+      case SpanKind::kCombine:
+        EXPECT_EQ(p.kind, SpanKind::kSpill);
+        break;
+      case SpanKind::kInputRead:
+        EXPECT_EQ(p.kind, SpanKind::kMapAttempt);
+        break;
+      case SpanKind::kCacheBroadcast:
+        EXPECT_EQ(p.kind, SpanKind::kPhase);
+        break;
+      case SpanKind::kOutputWrite:
+        EXPECT_TRUE(p.kind == SpanKind::kReduceAttempt ||
+                    p.kind == SpanKind::kPhase);
+        break;
+      default:
+        ADD_FAILURE() << "unexpected span kind in engine trace";
+    }
+    EXPECT_EQ(p.job, s.job) << "child span crossed jobs";
+  }
+}
+
+// --- Structure determinism across worker-thread counts -------------------
+
+TEST(TraceDeterminismTest, StructureSignatureIdenticalAcrossThreadCounts) {
+  const ChaosRun one = run_chaos_word_count(/*worker_threads=*/1, 42);
+  const ChaosRun four = run_chaos_word_count(/*worker_threads=*/4, 42);
+  const ChaosRun eight = run_chaos_word_count(/*worker_threads=*/8, 42);
+
+  EXPECT_FALSE(one.signature.empty());
+  EXPECT_EQ(one.spans.size(), four.spans.size());
+  EXPECT_EQ(one.spans.size(), eight.spans.size());
+  EXPECT_EQ(one.signature, four.signature);
+  EXPECT_EQ(one.signature, eight.signature);
+
+  // Different chaos → different structure (the signature is not constant).
+  const ChaosRun other = run_chaos_word_count(/*worker_threads=*/4, 1337);
+  EXPECT_NE(one.signature, other.signature);
+}
+
+// --- Counters / tracer concurrency regression ----------------------------
+
+// PR 1 audit: Counters guards add/note_max/merge with one mutex, so a
+// NetworkMeter-class read-modify-write tear cannot occur. Pin that down:
+// hammer a shared bag (including a note_max counter) from many threads
+// while the same threads record tracer spans, and require exact totals,
+// the exact global maximum, and the exact span count.
+TEST(CountersTraceInteractionTest, ConcurrentAddNoteMaxMergeStayExact) {
+  constexpr int kThreads = 8;
+  constexpr int kIters = 2000;
+
+  Counters shared;
+  Tracer tracer(counter_clock());
+  const SpanId job = tracer.begin_job("hammer");
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Counters local;
+      for (int i = 0; i < kIters; ++i) {
+        const auto value = static_cast<std::uint64_t>(t * kIters + i);
+        shared.add("hammer.sum", 1);
+        shared.note_max(counter::kReduceMaxGroupRecords, value);
+        local.add("hammer.sum.local", 1);
+        local.note_max(counter::kReduceMaxGroupRecords, value);
+        ScopedSpan op(&tracer,
+                      tracer.begin_op(job, SpanKind::kMapExec,
+                                      static_cast<NodeId>(t % 4)));
+        op.set_payload(value, 1);
+      }
+      shared.merge(local);
+    });
+  }
+  for (auto& th : threads) th.join();
+  tracer.end(job);
+
+  constexpr std::uint64_t kTotal =
+      static_cast<std::uint64_t>(kThreads) * kIters;
+  constexpr std::uint64_t kMax = kTotal - 1;
+  EXPECT_EQ(shared.get("hammer.sum"), kTotal);
+  EXPECT_EQ(shared.get("hammer.sum.local"), kTotal);
+  // note_max merged with max (not sum) across note_max and merge alike.
+  EXPECT_EQ(shared.get(counter::kReduceMaxGroupRecords), kMax);
+  EXPECT_EQ(tracer.span_count(), kTotal + 1);
+
+  // Every recorded span is well-formed: job-parented, closed, payload kept.
+  const auto spans = tracer.spans();
+  std::uint64_t payload_max = 0;
+  for (std::size_t i = 1; i < spans.size(); ++i) {
+    EXPECT_EQ(spans[i].parent, job);
+    EXPECT_GE(spans[i].end_seconds, spans[i].start_seconds);
+    payload_max = std::max(payload_max, spans[i].bytes);
+  }
+  EXPECT_EQ(payload_max, kMax);
+}
+
+}  // namespace
+}  // namespace pairmr::mr

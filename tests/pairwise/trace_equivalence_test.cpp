@@ -1,0 +1,169 @@
+// Trace-on/trace-off equivalence: attaching a Tracer is pure observation.
+// For randomized datasets under the chaos fault plan, the broadcast, block,
+// and design pipelines must produce byte-identical aggregated output and
+// identical job counters whether or not a tracer is recording — the
+// engine's "zero cost when off" guarantee read from the other side: tracing
+// on must not perturb execution either.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "mr/cluster.hpp"
+#include "mr/fault.hpp"
+#include "mr/trace.hpp"
+#include "pairwise/block_scheme.hpp"
+#include "pairwise/broadcast_scheme.hpp"
+#include "pairwise/dataset.hpp"
+#include "pairwise/design_scheme.hpp"
+#include "pairwise/pipeline.hpp"
+#include "workloads/kernels.hpp"
+
+namespace pairmr {
+namespace {
+
+using mr::FaultPlan;
+using mr::TaskKind;
+
+std::vector<std::string> random_payloads(std::uint64_t v,
+                                         std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::string> payloads;
+  for (std::uint64_t i = 0; i < v; ++i) {
+    std::string p;
+    const std::uint64_t len = 1 + rng.next_below(32);
+    for (std::uint64_t k = 0; k < len; ++k) {
+      p.push_back(static_cast<char>('a' + rng.next_below(26)));
+    }
+    payloads.push_back(std::move(p));
+  }
+  return payloads;
+}
+
+PairwiseJob test_job() {
+  PairwiseJob job;
+  job.compute = [](const Element& a, const Element& b) {
+    const double la = static_cast<double>(a.payload.size());
+    const double lb = static_cast<double>(b.payload.size());
+    return workloads::encode_result(
+        std::abs(la - lb) + 0.001 * static_cast<double>(a.id + b.id));
+  };
+  return job;
+}
+
+// Same chaos as the fault-equivalence harness: kills, a node loss, dropped
+// fetches, stragglers with speculative backups, plus rate noise.
+FaultPlan make_chaos_plan(std::uint64_t seed) {
+  FaultPlan plan(seed);
+  plan.with_task_kill_rate(0.25, 2)
+      .with_fetch_drop_rate(0.2)
+      .with_straggler_rate(0.2)
+      .kill_task(TaskKind::kMap, 0)
+      .kill_task(TaskKind::kReduce, 0)
+      .fail_node(1)
+      .drop_fetch(/*reduce_task=*/0, /*map_task=*/0)
+      .mark_straggler(TaskKind::kMap, 1)
+      .mark_straggler(TaskKind::kReduce, 1);
+  return plan;
+}
+
+struct RunOutcome {
+  std::vector<Element> elements;
+  std::map<std::string, std::uint64_t> distribute_counters;
+  std::map<std::string, std::uint64_t> aggregate_counters;
+  std::uint64_t remote_bytes = 0;
+};
+
+struct SchemeCase {
+  std::string label;
+  std::function<std::unique_ptr<DistributionScheme>(std::uint64_t)> make;
+};
+
+// One full pipeline run on a fresh cluster, optionally traced.
+RunOutcome run_once(const SchemeCase& scheme_case, std::uint64_t v,
+                    std::uint64_t seed,
+                    const std::vector<std::string>& payloads,
+                    mr::Tracer* tracer) {
+  mr::Cluster cluster({.num_nodes = 4, .worker_threads = 2});
+  if (tracer != nullptr) cluster.set_tracer(tracer);
+  const auto inputs = write_dataset(cluster, "/data", payloads);
+  const auto scheme = scheme_case.make(v);
+  const FaultPlan plan = make_chaos_plan(seed);
+  PairwiseOptions options;
+  options.fault_plan = &plan;
+
+  const PairwiseRunStats stats =
+      run_pairwise(cluster, inputs, *scheme, test_job(), options);
+
+  RunOutcome out;
+  out.elements = read_elements(cluster, stats.output_dir);
+  out.distribute_counters = stats.distribute_job.counters;
+  out.aggregate_counters = stats.aggregate_job.counters;
+  out.remote_bytes = cluster.network().remote_bytes();
+  return out;
+}
+
+class TraceEquivalence
+    : public ::testing::TestWithParam<std::tuple<SchemeCase, std::uint64_t>> {
+};
+
+TEST_P(TraceEquivalence, TracedRunMatchesUntracedRunUnderChaos) {
+  const auto& [scheme_case, seed] = GetParam();
+  const std::uint64_t v = 16 + seed % 13;  // 3 distinct sizes
+  const auto payloads = random_payloads(v, seed);
+
+  const RunOutcome untraced =
+      run_once(scheme_case, v, seed, payloads, nullptr);
+  mr::Tracer tracer;
+  const RunOutcome traced =
+      run_once(scheme_case, v, seed, payloads, &tracer);
+
+  // The tracer actually observed the run (no silent no-op).
+  EXPECT_GT(tracer.span_count(), 0u);
+  EXPECT_FALSE(tracer.job_names().empty());
+
+  // Byte-identical output through the wire codec.
+  ASSERT_EQ(traced.elements.size(), untraced.elements.size());
+  for (std::size_t i = 0; i < traced.elements.size(); ++i) {
+    EXPECT_EQ(encode_element(traced.elements[i]),
+              encode_element(untraced.elements[i]))
+        << scheme_case.label << " element " << i;
+  }
+
+  // Identical counters for both jobs — including the recovery counters, so
+  // the injected chaos unfolded identically — and identical wire traffic.
+  EXPECT_EQ(traced.distribute_counters, untraced.distribute_counters);
+  EXPECT_EQ(traced.aggregate_counters, untraced.aggregate_counters);
+  EXPECT_EQ(traced.remote_bytes, untraced.remote_bytes);
+
+  // The chaos plan really fired in both runs.
+  EXPECT_GT(untraced.distribute_counters.at(mr::counter::kTasksRetried), 0u);
+}
+
+std::vector<SchemeCase> scheme_cases() {
+  return {
+      {"broadcast",
+       [](std::uint64_t v) {
+         return std::make_unique<BroadcastScheme>(v, 5);
+       }},
+      {"block",
+       [](std::uint64_t v) { return std::make_unique<BlockScheme>(v, 4); }},
+      {"design",
+       [](std::uint64_t v) { return std::make_unique<DesignScheme>(v); }},
+  };
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchemesTimesDatasets, TraceEquivalence,
+    ::testing::Combine(::testing::ValuesIn(scheme_cases()),
+                       ::testing::Values(111u, 222u, 333u)),
+    [](const auto& info) {
+      return std::get<0>(info.param).label + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace pairmr
