@@ -1,0 +1,334 @@
+// bench_hotpath — throughput of the two per-record hot paths this repo
+// optimizes: the compare phase (pairs/second through PairEvaluator) and
+// the shuffle grouping (records/second through group_by_key).
+//
+// Compare phase: every kernel runs the identical all-pairs loop twice on
+// the same elements — once with the seed ComputeFn (decode both payloads
+// per pair) and once with the decode-once PreparedKernel. The keep hook
+// folds every result byte into an FNV checksum and keeps nothing, so both
+// paths do identical work, memory stays flat across millions of pairs,
+// and checksum equality proves the outputs are byte-identical.
+//
+// Shuffle: one million u64-keyed records grouped by the radix path
+// (group_by_key) and by the seed stable_sort reference
+// (group_by_key_stable_sort), checksummed the same way.
+//
+// Asserts, exiting non-zero on violation:
+//   * prepared/plain checksums match for every kernel (byte equality);
+//   * radix/stable_sort group checksums match;
+//   * the decode-once path is >= 2x the seed path for jaccard and
+//     euclidean at v = 2000 (the ISSUE acceptance bar); the remaining
+//     kernels are reported informationally.
+//
+// Emits BENCH_hotpath.json with the measured rates and verdicts.
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/serde.hpp"
+#include "common/stopwatch.hpp"
+#include "mr/group.hpp"
+#include "pairwise/pipeline.hpp"
+#include "workloads/generators.hpp"
+#include "workloads/kernels.hpp"
+
+namespace {
+
+using namespace pairmr;
+
+bool g_ok = true;
+
+void check(bool condition, const std::string& what) {
+  std::cout << (condition ? "  [ok]   " : "  [FAIL] ") << what << "\n";
+  if (!condition) g_ok = false;
+}
+
+// Order-sensitive mix of every result byte, one multiply per 8-byte word
+// so the checksum itself stays a negligible share of the per-pair cost.
+std::uint64_t fnv_mix(std::uint64_t acc, std::string_view bytes) {
+  while (bytes.size() >= 8) {
+    std::uint64_t word;
+    std::memcpy(&word, bytes.data(), 8);
+    acc = (acc ^ word) * 0x100000001b3ull;
+    bytes.remove_prefix(8);
+  }
+  for (const char c : bytes) {
+    acc = (acc ^ static_cast<std::uint8_t>(c)) * 0x100000001b3ull;
+  }
+  return acc;
+}
+
+// ---------------------------------------------------------------------------
+// Compare phase.
+
+struct KernelSpec {
+  std::string name;
+  std::uint64_t v = 0;
+  bool asserted = false;  // must hit the 2x bar
+  int reps = 1;           // timed repetitions; best rep wins
+  std::vector<std::string> payloads;
+  PairwiseJob plain;
+  PairwiseJob prepared;
+};
+
+struct CompareResult {
+  std::string name;
+  std::uint64_t v = 0;
+  std::uint64_t pairs = 0;
+  bool asserted = false;
+  double plain_pairs_per_sec = 0.0;
+  double prepared_pairs_per_sec = 0.0;
+  double speedup = 0.0;
+};
+
+std::vector<Element> make_elements(const std::vector<std::string>& payloads) {
+  std::vector<Element> elems(payloads.size());
+  for (std::size_t i = 0; i < payloads.size(); ++i) {
+    elems[i].id = i;
+    elems[i].payload = payloads[i];
+  }
+  return elems;
+}
+
+// All-pairs loop through PairEvaluator; returns (seconds, checksum).
+std::pair<double, std::uint64_t> run_all_pairs(const PairwiseJob& base,
+                                               const std::vector<Element>& elems,
+                                               int reps) {
+  std::uint64_t sum = 0;
+  PairwiseJob job = base;
+  job.keep = [&sum](const Element&, const Element&, std::string_view result) {
+    sum = fnv_mix(sum, result);
+    return false;  // accumulators stay empty; memory stays flat
+  };
+  const std::size_t v = elems.size();
+  double best = 0.0;
+  std::uint64_t checksum = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    sum = 0x9e3779b97f4a7c15ull;
+    PairEvaluator evaluator(job, elems);
+    std::vector<ResultEntry> lo_acc, hi_acc;
+    const Stopwatch timer;
+    for (std::size_t lo = 0; lo < v; ++lo) {
+      for (std::size_t hi = lo + 1; hi < v; ++hi) {
+        evaluator.evaluate(lo, hi, lo_acc, hi_acc);
+      }
+    }
+    const double elapsed = timer.elapsed_seconds();
+    if (rep == 0 || elapsed < best) best = elapsed;
+    checksum = sum;
+  }
+  return {best, checksum};
+}
+
+CompareResult bench_kernel(const KernelSpec& spec) {
+  const std::vector<Element> elems = make_elements(spec.payloads);
+  const std::uint64_t pairs = spec.v * (spec.v - 1) / 2;
+
+  const auto [plain_s, plain_sum] = run_all_pairs(spec.plain, elems, spec.reps);
+  const auto [prep_s, prep_sum] = run_all_pairs(spec.prepared, elems, spec.reps);
+
+  CompareResult r;
+  r.name = spec.name;
+  r.v = spec.v;
+  r.pairs = pairs;
+  r.asserted = spec.asserted;
+  r.plain_pairs_per_sec = static_cast<double>(pairs) / plain_s;
+  r.prepared_pairs_per_sec = static_cast<double>(pairs) / prep_s;
+  r.speedup = plain_s / prep_s;
+
+  std::cout << spec.name << " (v=" << spec.v << ", " << pairs << " pairs)\n"
+            << "  plain:    " << static_cast<std::uint64_t>(r.plain_pairs_per_sec)
+            << " pairs/s\n"
+            << "  prepared: "
+            << static_cast<std::uint64_t>(r.prepared_pairs_per_sec)
+            << " pairs/s  (" << r.speedup << "x)\n";
+  check(plain_sum == prep_sum, spec.name + ": checksums byte-identical");
+  if (spec.asserted) {
+    std::ostringstream os;
+    os << spec.name << ": decode-once >= 2x seed path (got " << r.speedup
+       << "x)";
+    check(r.speedup >= 2.0, os.str());
+  }
+  return r;
+}
+
+std::vector<KernelSpec> kernel_specs() {
+  std::vector<KernelSpec> specs;
+
+  const auto vectors = [](std::uint64_t v, std::uint32_t dim) {
+    return workloads::vector_payloads(workloads::clustered_points(
+        v, dim, /*num_clusters=*/4, /*spread=*/10.0, /*seed=*/31));
+  };
+
+  KernelSpec euclid;
+  euclid.name = "euclidean";
+  euclid.v = 2000;
+  euclid.asserted = true;
+  euclid.reps = 3;
+  euclid.payloads = vectors(euclid.v, /*dim=*/16);
+  euclid.plain.compute = workloads::euclidean_kernel();
+  euclid.prepared.compute = workloads::euclidean_kernel();
+  euclid.prepared.prepared = workloads::euclidean_prepared();
+  specs.push_back(std::move(euclid));
+
+  KernelSpec jac;
+  jac.name = "jaccard";
+  jac.v = 2000;
+  jac.asserted = true;
+  jac.reps = 3;
+  jac.payloads = workloads::document_payloads(workloads::token_documents(
+      jac.v, /*vocabulary=*/4096, /*tokens_per_doc=*/12, /*seed=*/32));
+  jac.plain.compute = workloads::jaccard_kernel();
+  jac.prepared.compute = workloads::jaccard_kernel();
+  jac.prepared.prepared = workloads::jaccard_prepared();
+  specs.push_back(std::move(jac));
+
+  KernelSpec cos;
+  cos.name = "cosine";
+  cos.v = 1200;
+  cos.payloads = vectors(cos.v, /*dim=*/16);
+  cos.plain.compute = workloads::cosine_kernel();
+  cos.prepared.compute = workloads::cosine_kernel();
+  cos.prepared.prepared = workloads::cosine_prepared();
+  specs.push_back(std::move(cos));
+
+  KernelSpec inner;
+  inner.name = "inner_product";
+  inner.v = 1200;
+  inner.payloads = vectors(inner.v, /*dim=*/16);
+  inner.plain.compute = workloads::inner_product_kernel();
+  inner.prepared.compute = workloads::inner_product_kernel();
+  inner.prepared.prepared = workloads::inner_product_prepared();
+  specs.push_back(std::move(inner));
+
+  KernelSpec mi;
+  mi.name = "mutual_information";
+  mi.v = 500;
+  mi.payloads = vectors(mi.v, /*dim=*/32);
+  mi.plain.compute = workloads::mutual_information_kernel(/*bins=*/8);
+  mi.prepared.compute = workloads::mutual_information_kernel(/*bins=*/8);
+  mi.prepared.prepared = workloads::mutual_information_prepared(/*bins=*/8);
+  specs.push_back(std::move(mi));
+
+  return specs;
+}
+
+// ---------------------------------------------------------------------------
+// Shuffle grouping.
+
+struct ShuffleResult {
+  std::uint64_t records = 0;
+  std::uint64_t groups = 0;
+  double stable_records_per_sec = 0.0;
+  double radix_records_per_sec = 0.0;
+  double speedup = 0.0;
+};
+
+ShuffleResult bench_shuffle() {
+  constexpr std::uint64_t kRecords = 1'000'000;
+  constexpr std::uint64_t kDistinctKeys = 50'000;
+  std::vector<mr::Record> base;
+  base.reserve(kRecords);
+  Rng rng(41);
+  for (std::uint64_t i = 0; i < kRecords; ++i) {
+    base.push_back(mr::Record{encode_u64_key(rng.next_below(kDistinctKeys)),
+                              "value-" + std::to_string(i % 997)});
+  }
+
+  const auto measure = [&base](void (*group)(std::vector<mr::Record>&,
+                                             const mr::GroupFn&)) {
+    double best = 0.0;
+    std::uint64_t checksum = 0;
+    std::uint64_t groups = 0;
+    for (int rep = 0; rep < 2; ++rep) {
+      std::vector<mr::Record> records = base;  // copied outside the timer
+      std::uint64_t sum = 0x9e3779b97f4a7c15ull;
+      std::uint64_t n = 0;
+      const Stopwatch timer;
+      group(records, [&sum, &n](const mr::Bytes& key,
+                                const std::vector<mr::Bytes>& values) {
+        sum = fnv_mix(sum, key);
+        for (const auto& value : values) sum = fnv_mix(sum, value);
+        ++n;
+      });
+      const double elapsed = timer.elapsed_seconds();
+      if (rep == 0 || elapsed < best) best = elapsed;
+      checksum = sum;
+      groups = n;
+    }
+    return std::tuple{best, checksum, groups};
+  };
+
+  const auto [stable_s, stable_sum, stable_groups] =
+      measure(&mr::group_by_key_stable_sort);
+  const auto [radix_s, radix_sum, radix_groups] = measure(&mr::group_by_key);
+
+  ShuffleResult r;
+  r.records = kRecords;
+  r.groups = radix_groups;
+  r.stable_records_per_sec = static_cast<double>(kRecords) / stable_s;
+  r.radix_records_per_sec = static_cast<double>(kRecords) / radix_s;
+  r.speedup = stable_s / radix_s;
+
+  std::cout << "shuffle grouping (" << kRecords << " records, "
+            << radix_groups << " groups)\n"
+            << "  stable_sort: "
+            << static_cast<std::uint64_t>(r.stable_records_per_sec)
+            << " records/s\n"
+            << "  radix:       "
+            << static_cast<std::uint64_t>(r.radix_records_per_sec)
+            << " records/s  (" << r.speedup << "x)\n";
+  check(stable_sum == radix_sum && stable_groups == radix_groups,
+        "shuffle: radix and stable_sort group checksums match");
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+
+std::string to_json(const std::vector<CompareResult>& compare,
+                    const ShuffleResult& shuffle) {
+  std::ostringstream os;
+  os << "{\n  \"bench\": \"hotpath\",\n  \"compare\": [\n";
+  for (std::size_t i = 0; i < compare.size(); ++i) {
+    const CompareResult& r = compare[i];
+    os << "    {\"kernel\": \"" << r.name << "\", \"v\": " << r.v
+       << ", \"pairs\": " << r.pairs
+       << ", \"plain_pairs_per_sec\": " << r.plain_pairs_per_sec
+       << ", \"prepared_pairs_per_sec\": " << r.prepared_pairs_per_sec
+       << ", \"speedup\": " << r.speedup
+       << ", \"asserted\": " << (r.asserted ? "true" : "false") << "}"
+       << (i + 1 < compare.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"shuffle\": {\"records\": " << shuffle.records
+     << ", \"groups\": " << shuffle.groups
+     << ", \"stable_sort_records_per_sec\": " << shuffle.stable_records_per_sec
+     << ", \"radix_records_per_sec\": " << shuffle.radix_records_per_sec
+     << ", \"speedup\": " << shuffle.speedup << "},\n  \"passed\": "
+     << (g_ok ? "true" : "false") << "\n}\n";
+  return os.str();
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "bench_hotpath: compare-phase and shuffle throughput\n\n";
+
+  std::vector<CompareResult> compare;
+  for (const KernelSpec& spec : kernel_specs()) {
+    compare.push_back(bench_kernel(spec));
+  }
+  std::cout << "\n";
+  const ShuffleResult shuffle = bench_shuffle();
+
+  std::ofstream out("BENCH_hotpath.json");
+  out << to_json(compare, shuffle);
+  std::cout << "\nwrote BENCH_hotpath.json\n";
+  std::cout << (g_ok ? "PASS" : "FAIL") << "\n";
+  return g_ok ? 0 : 1;
+}

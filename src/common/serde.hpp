@@ -16,25 +16,37 @@
 
 namespace pairmr {
 
-// Append-only encoder into an owned byte string.
+// Append-only encoder into an owned byte string. Multi-byte integers are
+// staged in a local word buffer and appended in one call, not pushed
+// byte-at-a-time — encode-heavy paths (element codec, shuffle keys) are
+// hot enough for the difference to show up in bench_hotpath.
 class BufWriter {
  public:
   BufWriter() = default;
 
+  // Pre-size the underlying buffer when the encoded size is known
+  // (encoded_element_size and friends), avoiding growth reallocations.
+  void reserve(std::size_t bytes) { buf_.reserve(bytes); }
+
   void put_u8(std::uint8_t x) { buf_.push_back(static_cast<char>(x)); }
 
   void put_u32(std::uint32_t x) {
-    for (int i = 0; i < 4; ++i) put_u8(static_cast<std::uint8_t>(x >> (8 * i)));
+    char word[4];
+    for (int i = 0; i < 4; ++i) word[i] = static_cast<char>(x >> (8 * i));
+    buf_.append(word, sizeof(word));
   }
 
   void put_u64(std::uint64_t x) {
-    for (int i = 0; i < 8; ++i) put_u8(static_cast<std::uint8_t>(x >> (8 * i)));
+    char word[8];
+    for (int i = 0; i < 8; ++i) word[i] = static_cast<char>(x >> (8 * i));
+    buf_.append(word, sizeof(word));
   }
 
   // Big-endian: lexicographic byte order == numeric order. Use for keys.
   void put_u64_ordered(std::uint64_t x) {
-    for (int i = 7; i >= 0; --i)
-      put_u8(static_cast<std::uint8_t>(x >> (8 * i)));
+    char word[8];
+    for (int i = 0; i < 8; ++i) word[i] = static_cast<char>(x >> (8 * (7 - i)));
+    buf_.append(word, sizeof(word));
   }
 
   void put_f64(double x) {
@@ -71,22 +83,34 @@ class BufReader {
   }
 
   std::uint32_t get_u32() {
+    PAIRMR_REQUIRE(pos_ + 4 <= data_.size(), "serde underflow (u32)");
     std::uint32_t x = 0;
     for (int i = 0; i < 4; ++i)
-      x |= static_cast<std::uint32_t>(get_u8()) << (8 * i);
+      x |= static_cast<std::uint32_t>(
+               static_cast<std::uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    pos_ += 4;
     return x;
   }
 
   std::uint64_t get_u64() {
+    PAIRMR_REQUIRE(pos_ + 8 <= data_.size(), "serde underflow (u64)");
     std::uint64_t x = 0;
     for (int i = 0; i < 8; ++i)
-      x |= static_cast<std::uint64_t>(get_u8()) << (8 * i);
+      x |= static_cast<std::uint64_t>(
+               static_cast<std::uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    pos_ += 8;
     return x;
   }
 
   std::uint64_t get_u64_ordered() {
+    PAIRMR_REQUIRE(pos_ + 8 <= data_.size(), "serde underflow (u64)");
     std::uint64_t x = 0;
-    for (int i = 0; i < 8; ++i) x = (x << 8) | get_u8();
+    for (int i = 0; i < 8; ++i) {
+      x = (x << 8) | static_cast<std::uint8_t>(data_[pos_ + i]);
+    }
+    pos_ += 8;
     return x;
   }
 
@@ -128,6 +152,7 @@ inline std::uint64_t decode_u64_key(std::string_view s) {
 // Encode a vector<double> payload (used by numeric workloads).
 inline std::string encode_f64_vec(const std::vector<double>& xs) {
   BufWriter w;
+  w.reserve(4 + 8 * xs.size());
   w.put_u32(static_cast<std::uint32_t>(xs.size()));
   for (double x : xs) w.put_f64(x);
   return std::move(w).str();

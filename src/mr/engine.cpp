@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <functional>
+#include <iterator>
 #include <memory>
 #include <optional>
 #include <unordered_map>
@@ -13,6 +14,7 @@
 #include "common/stopwatch.hpp"
 #include "mr/context.hpp"
 #include "mr/fault.hpp"
+#include "mr/group.hpp"
 #include "mr/trace.hpp"
 
 namespace pairmr::mr {
@@ -52,29 +54,6 @@ std::vector<Split> build_splits(SimDfs& dfs, const JobSpec& spec) {
     }
   }
   return splits;
-}
-
-// Stable sort-and-group of records by key; invokes `fn(key, values)` per
-// group in ascending key order.
-void group_by_key(
-    std::vector<Record>& records,
-    const std::function<void(const Bytes&, const std::vector<Bytes>&)>& fn) {
-  std::stable_sort(records.begin(), records.end(),
-                   [](const Record& a, const Record& b) {
-                     return a.key < b.key;
-                   });
-  std::size_t i = 0;
-  std::vector<Bytes> values;
-  while (i < records.size()) {
-    std::size_t j = i;
-    values.clear();
-    while (j < records.size() && records[j].key == records[i].key) {
-      values.push_back(std::move(records[j].value));
-      ++j;
-    }
-    fn(records[i].key, values);
-    i = j;
-  }
 }
 
 // Run the combiner over one partition bucket, replacing its contents.
@@ -122,6 +101,15 @@ JobResult Engine::run(const JobSpec& spec) {
 
   static const FaultPlan kNoFaults;
   const FaultPlan& plan = spec.fault_plan ? *spec.fault_plan : kNoFaults;
+
+  // When no execution can ever be repeated — no fault plan (so no kills,
+  // stragglers, or dropped fetches) and no user-error retries — every
+  // reduce task settles on its first execution and the shuffle can *move*
+  // map-output records into the reducer instead of copying them. Any
+  // retry possibility forces copies, since re-execution re-fetches the
+  // buckets.
+  const bool movable_shuffle =
+      spec.fault_plan == nullptr && spec.max_task_attempts <= 1;
 
   // Tracing is opt-in and nullable: every recording site below is guarded,
   // so an untraced run does no tracer work at all.
@@ -494,8 +482,15 @@ JobResult Engine::run(const JobSpec& spec) {
           // order (deterministic). Buckets stay in place until the task
           // settles, so any re-execution can re-fetch them.
           std::vector<Record> input;
+          {
+            std::size_t total = 0;
+            for (TaskIndex m = 0; m < num_map_tasks; ++m) {
+              total += map_outputs[m][r].size();
+            }
+            input.reserve(total);
+          }
           for (TaskIndex m = 0; m < num_map_tasks; ++m) {
-            const auto& bucket = map_outputs[m][r];
+            auto& bucket = map_outputs[m][r];
             const std::uint64_t bytes = bucket_bytes_of(m);
             const NodeId src = map_stats[m].node;
             if (!dropped[m] && plan.drops_fetch(r, m)) {
@@ -519,8 +514,13 @@ JobResult Engine::run(const JobSpec& spec) {
             (src == node ? e.local_bytes : e.remote_bytes) += bytes;
             e.fetches.emplace_back(src, bytes);
             e.input_records += bucket.size();
-            input.insert(input.end(), bucket.begin(), bucket.end());
             fetch.set_payload(bytes, bucket.size());
+            if (movable_shuffle) {
+              input.insert(input.end(), std::make_move_iterator(bucket.begin()),
+                           std::make_move_iterator(bucket.end()));
+            } else {
+              input.insert(input.end(), bucket.begin(), bucket.end());
+            }
           }
 
           ScopedSpan exec(tracer,

@@ -6,8 +6,11 @@
 //   3. run map tasks (parallel), partitioning output into per-reducer
 //      buckets, optionally combining;
 //   4. shuffle: each reduce task fetches its bucket from every map task —
-//      cross-node fetches are charged to the network meter;
-//   5. sort/group by key (stable, byte-lexicographic) and run reduce;
+//      cross-node fetches are charged to the network meter. Fault-free
+//      runs move the records instead of copying (buckets only need to
+//      survive for possible re-fetch when a fault plan is attached);
+//   5. sort/group by key (stable, byte-lexicographic; mr/group.hpp —
+//      radix grouping for fixed-width u64 keys) and run reduce;
 //   6. write `part-r-NNNNN` output files, one per reduce task, stored on
 //      the reducer's node.
 //

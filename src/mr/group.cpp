@@ -1,0 +1,118 @@
+#include "mr/group.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+
+namespace pairmr::mr {
+
+namespace {
+
+// Scratch reused across group_by_key calls on one worker thread. Grouping
+// runs once per reduce task and once per combined map bucket, so reusing
+// the index/key arrays keeps the shuffle free of per-task reallocation.
+struct GroupScratch {
+  std::vector<std::uint64_t> keys;
+  std::vector<std::uint32_t> order;
+  std::vector<std::uint32_t> tmp;
+};
+
+GroupScratch& scratch() {
+  thread_local GroupScratch s;
+  return s;
+}
+
+bool all_keys_are_u64(const std::vector<Record>& records) {
+  return std::all_of(records.begin(), records.end(),
+                     [](const Record& r) { return r.key.size() == 8; });
+}
+
+// Walk the sorted index permutation, moving values into per-group
+// vectors. Shared by both orderings.
+void emit_groups(std::vector<Record>& records,
+                 const std::vector<std::uint32_t>& order, const GroupFn& fn) {
+  const std::size_t n = records.size();
+  std::size_t i = 0;
+  std::vector<Bytes> values;
+  while (i < n) {
+    const Bytes& key = records[order[i]].key;
+    std::size_t j = i;
+    values.clear();
+    while (j < n && records[order[j]].key == key) {
+      values.push_back(std::move(records[order[j]].value));
+      ++j;
+    }
+    fn(key, values);
+    i = j;
+  }
+}
+
+}  // namespace
+
+void group_by_key_stable_sort(std::vector<Record>& records,
+                              const GroupFn& fn) {
+  std::vector<std::uint32_t> order(records.size());
+  for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&records](std::uint32_t a, std::uint32_t b) {
+                     return records[a].key < records[b].key;
+                   });
+  emit_groups(records, order, fn);
+}
+
+void group_by_key(std::vector<Record>& records, const GroupFn& fn) {
+  const std::size_t n = records.size();
+  if (n == 0) return;
+  if (!all_keys_are_u64(records)) {
+    group_by_key_stable_sort(records, fn);
+    return;
+  }
+
+  // Fixed-width path: byte-lexicographic order of 8-byte keys equals
+  // numeric order of their big-endian decoding, so sort the integers.
+  auto& s = scratch();
+  s.keys.resize(n);
+  s.order.resize(n);
+  s.tmp.resize(n);
+  std::uint64_t all_or = 0;
+  std::uint64_t all_and = ~std::uint64_t{0};
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t k = 0;
+    const char* p = records[i].key.data();
+    for (int b = 0; b < 8; ++b) {
+      k = (k << 8) | static_cast<std::uint8_t>(p[b]);
+    }
+    s.keys[i] = k;
+    all_or |= k;
+    all_and &= k;
+    s.order[i] = static_cast<std::uint32_t>(i);
+  }
+
+  // LSD radix over 8-bit digits: each pass is a stable counting sort, so
+  // the final permutation is stable. Digits on which every key agrees
+  // (the common case — shuffle keys are small dense ids) cost nothing.
+  const std::uint64_t varying = all_or ^ all_and;
+  for (int shift = 0; shift < 64; shift += 8) {
+    if (((varying >> shift) & 0xff) == 0) continue;
+    std::uint32_t count[256];
+    std::memset(count, 0, sizeof(count));
+    for (std::size_t i = 0; i < n; ++i) {
+      ++count[(s.keys[s.order[i]] >> shift) & 0xff];
+    }
+    std::uint32_t offset = 0;
+    for (std::uint32_t& c : count) {
+      const std::uint32_t next = offset + c;
+      c = offset;
+      offset = next;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t rec = s.order[i];
+      s.tmp[count[(s.keys[rec] >> shift) & 0xff]++] = rec;
+    }
+    std::swap(s.order, s.tmp);
+  }
+
+  emit_groups(records, s.order, fn);
+}
+
+}  // namespace pairmr::mr

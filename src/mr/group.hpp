@@ -1,0 +1,37 @@
+// Shuffle-side sort-and-group.
+//
+// The engine groups intermediate records by key under a stable,
+// byte-lexicographic ordering (Hadoop's sort/shuffle contract). For the
+// dominant case — every key exactly 8 bytes, as with the big-endian u64
+// keys all pairwise jobs emit — the ordering is computed by an LSD radix
+// sort over the decoded integers, skipping digit positions on which all
+// keys agree, instead of a comparison sort over byte strings. Arbitrary
+// keys fall back to std::stable_sort. Both paths produce identical
+// groups and identical within-group value order (property-tested against
+// each other in tests/mr/group_test.cpp).
+//
+// Neither path physically permutes the records: grouping walks an index
+// permutation and *moves* each value into the per-group vector, so a
+// record's bytes are touched exactly once. The record vector is consumed.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "mr/types.hpp"
+
+namespace pairmr::mr {
+
+using GroupFn = std::function<void(const Bytes&, const std::vector<Bytes>&)>;
+
+// Stable sort-and-group of `records` by key; invokes `fn(key, values)`
+// per group in ascending byte-lexicographic key order. Record values are
+// moved out; the vector's contents are unspecified afterwards.
+void group_by_key(std::vector<Record>& records, const GroupFn& fn);
+
+// Forces the comparison-sort path regardless of key shape. Exposed as
+// the reference implementation for the grouping property test and
+// bench_hotpath; the engine never calls it directly.
+void group_by_key_stable_sort(std::vector<Record>& records, const GroupFn& fn);
+
+}  // namespace pairmr::mr

@@ -1,5 +1,7 @@
 #include "mr/text_io.hpp"
 
+#include <algorithm>
+
 #include "common/check.hpp"
 
 namespace pairmr::mr {
@@ -29,6 +31,10 @@ std::string escape_field(std::string_view raw) {
 }
 
 std::string unescape_field(std::string_view escaped) {
+  // Fast path: most fields contain no escapes and copy through verbatim.
+  if (escaped.find('\\') == std::string_view::npos) {
+    return std::string(escaped);
+  }
   std::string out;
   out.reserve(escaped.size());
   for (std::size_t i = 0; i < escaped.size(); ++i) {
@@ -59,6 +65,9 @@ std::string unescape_field(std::string_view escaped) {
 
 std::string records_to_tsv(const std::vector<Record>& records) {
   std::string out;
+  std::size_t bytes = 0;
+  for (const auto& rec : records) bytes += rec.size_bytes() + 2;
+  out.reserve(bytes);  // exact unless a field needs escaping
   for (const auto& rec : records) {
     out += escape_field(rec.key);
     out.push_back('\t');
@@ -70,6 +79,9 @@ std::string records_to_tsv(const std::vector<Record>& records) {
 
 std::vector<Record> records_from_tsv(std::string_view text) {
   std::vector<Record> out;
+  out.reserve(static_cast<std::size_t>(
+      std::count(text.begin(), text.end(), '\n') +
+      (!text.empty() && text.back() != '\n' ? 1 : 0)));
   std::size_t pos = 0;
   while (pos < text.size()) {
     std::size_t eol = text.find('\n', pos);

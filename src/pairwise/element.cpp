@@ -6,6 +6,7 @@ namespace pairmr {
 
 std::string encode_element(const Element& e) {
   BufWriter w;
+  w.reserve(encoded_element_size(e));
   w.put_u64(e.id);
   w.put_bytes(e.payload);
   w.put_u32(static_cast<std::uint32_t>(e.results.size()));

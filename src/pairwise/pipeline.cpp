@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 #include <utility>
 
@@ -15,39 +16,56 @@
 
 namespace pairmr {
 
-namespace {
-
-using mr::Bytes;
-
-// Evaluate one pair under the job's symmetry mode, appending kept results
-// to each side's accumulator (Algorithm 1's two addResult calls).
-void evaluate_pair(const PairwiseJob& job, const Element& lo,
-                   const Element& hi, std::vector<ResultEntry>& lo_acc,
-                   std::vector<ResultEntry>& hi_acc,
-                   std::uint64_t& evaluations, std::uint64_t& kept) {
-  if (job.symmetry == Symmetry::kSymmetric) {
-    std::string result = job.compute(lo, hi);
-    ++evaluations;
-    if (!job.keep || job.keep(lo, hi, result)) {
-      lo_acc.push_back(ResultEntry{hi.id, result});
-      hi_acc.push_back(ResultEntry{lo.id, std::move(result)});
-      ++kept;
-    }
-  } else {
-    std::string forward = job.compute(lo, hi);
-    ++evaluations;
-    if (!job.keep || job.keep(lo, hi, forward)) {
-      lo_acc.push_back(ResultEntry{hi.id, std::move(forward)});
-      ++kept;
-    }
-    std::string backward = job.compute(hi, lo);
-    ++evaluations;
-    if (!job.keep || job.keep(hi, lo, backward)) {
-      hi_acc.push_back(ResultEntry{lo.id, std::move(backward)});
-      ++kept;
+PairEvaluator::PairEvaluator(const PairwiseJob& job,
+                             const std::vector<Element>& elems)
+    : job_(job), elems_(elems) {
+  if (job_.prepared) {
+    handles_.reserve(elems_.size());
+    for (const Element& e : elems_) {
+      handles_.push_back(job_.prepared.prepare(e));
     }
   }
 }
+
+std::string PairEvaluator::invoke(std::size_t a, std::size_t b) const {
+  if (!handles_.empty()) {
+    return job_.prepared.compare(handles_[a].get(), handles_[b].get());
+  }
+  return job_.compute(elems_[a], elems_[b]);
+}
+
+void PairEvaluator::evaluate(std::size_t lo, std::size_t hi,
+                             std::vector<ResultEntry>& lo_acc,
+                             std::vector<ResultEntry>& hi_acc) {
+  const Element& le = elems_[lo];
+  const Element& he = elems_[hi];
+  if (job_.symmetry == Symmetry::kSymmetric) {
+    std::string result = invoke(lo, hi);
+    ++evaluations_;
+    if (!job_.keep || job_.keep(le, he, result)) {
+      lo_acc.push_back(ResultEntry{he.id, result});
+      hi_acc.push_back(ResultEntry{le.id, std::move(result)});
+      ++kept_;
+    }
+  } else {
+    std::string forward = invoke(lo, hi);
+    ++evaluations_;
+    if (!job_.keep || job_.keep(le, he, forward)) {
+      lo_acc.push_back(ResultEntry{he.id, std::move(forward)});
+      ++kept_;
+    }
+    std::string backward = invoke(hi, lo);
+    ++evaluations_;
+    if (!job_.keep || job_.keep(he, le, backward)) {
+      hi_acc.push_back(ResultEntry{le.id, std::move(backward)});
+      ++kept_;
+    }
+  }
+}
+
+namespace {
+
+using mr::Bytes;
 
 // ---------------------------------------------------------------------
 // Job 1 — Algorithm 1: distribution and pairwise comparison.
@@ -65,9 +83,15 @@ class DistributeMapper final : public mr::Mapper {
     Element e;
     e.id = id;
     e.payload = value;
-    const std::string encoded = encode_element(e);
-    for (const TaskId task : scheme_.subsets_of(id)) {
-      ctx.emit(encode_u64_key(task), encoded);
+    std::string encoded = encode_element(e);
+    const std::vector<TaskId> tasks = scheme_.subsets_of(id);
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      if (i + 1 == tasks.size()) {
+        // The last working-set copy moves the encoded bytes.
+        ctx.emit(encode_u64_key(tasks[i]), std::move(encoded));
+      } else {
+        ctx.emit(encode_u64_key(tasks[i]), encoded);
+      }
     }
   }
 
@@ -90,31 +114,42 @@ class ComputeReducer final : public mr::Reducer {
     elems.reserve(values.size());
     for (const auto& v : values) elems.push_back(decode_element(v));
 
-    std::unordered_map<ElementId, std::size_t> index;
+    // Dense slot index in the scheme's working-set (id) order: a flat
+    // sorted array searched by lower_bound instead of a per-task hash
+    // map — no hashing or pointer chasing on the per-pair hot path.
+    std::vector<std::pair<ElementId, std::uint32_t>> index;
     index.reserve(elems.size());
-    for (std::size_t i = 0; i < elems.size(); ++i) {
-      const bool inserted = index.emplace(elems[i].id, i).second;
-      PAIRMR_CHECK(inserted, "duplicate element copy in one working set");
+    for (std::uint32_t i = 0; i < elems.size(); ++i) {
+      index.emplace_back(elems[i].id, i);
     }
+    std::sort(index.begin(), index.end());
+    for (std::size_t i = 1; i < index.size(); ++i) {
+      PAIRMR_CHECK(index[i].first != index[i - 1].first,
+                   "duplicate element copy in one working set");
+    }
+    const auto slot_of = [&index](ElementId id) {
+      const auto it = std::lower_bound(
+          index.begin(), index.end(),
+          std::pair<ElementId, std::uint32_t>{id, 0});
+      PAIRMR_CHECK(it != index.end() && it->first == id,
+                   "working set is missing a pair member");
+      return it->second;
+    };
 
     // Results are accumulated separately so compute() always sees
-    // pristine elements (id + payload only).
+    // pristine elements (id + payload only). The evaluator prepares each
+    // working-set element once — O(e) decodes per task, not O(e²).
     std::vector<std::vector<ResultEntry>> acc(elems.size());
-    std::uint64_t evaluations = 0;
-    std::uint64_t kept = 0;
+    PairEvaluator evaluator(job_, elems);
 
     scheme_.for_each_pair(task, [&](ElementPair pair) {
-      const auto it_lo = index.find(pair.lo);
-      const auto it_hi = index.find(pair.hi);
-      PAIRMR_CHECK(it_lo != index.end() && it_hi != index.end(),
-                   "working set is missing a pair member");
-      evaluate_pair(job_, elems[it_lo->second], elems[it_hi->second],
-                    acc[it_lo->second], acc[it_hi->second], evaluations,
-                    kept);
+      const std::uint32_t lo = slot_of(pair.lo);
+      const std::uint32_t hi = slot_of(pair.hi);
+      evaluator.evaluate(lo, hi, acc[lo], acc[hi]);
     });
 
-    ctx.counters().add(counter::kEvaluations, evaluations);
-    ctx.counters().add(counter::kResultsKept, kept);
+    ctx.counters().add(counter::kEvaluations, evaluator.evaluations());
+    ctx.counters().add(counter::kResultsKept, evaluator.kept());
 
     for (std::size_t i = 0; i < elems.size(); ++i) {
       elems[i].results = std::move(acc[i]);
@@ -183,30 +218,42 @@ class BroadcastComputeMapper final : public mr::Mapper {
       PAIRMR_REQUIRE(elements_[i].id == i,
                      "dataset ids must be dense 0..v-1");
     }
+    // Ids are dense, so slot == id: accumulators are plain vectors and
+    // the evaluator prepares every cached element once per map task.
+    acc_.assign(elements_.size(), {});
+    touched_.assign(elements_.size(), 0);
+    evaluator_.emplace(job_, elements_);
   }
 
   void map(const Bytes& key, const Bytes& /*value*/,
            mr::MapContext& ctx) override {
     const TaskId task = decode_u64_key(key);
-    std::uint64_t evaluations = 0;
-    std::uint64_t kept = 0;
+    const std::uint64_t evals_before = evaluator_->evaluations();
+    const std::uint64_t kept_before = evaluator_->kept();
     scheme_.for_each_pair(task, [&](ElementPair pair) {
-      evaluate_pair(job_, elements_[pair.lo], elements_[pair.hi],
-                    acc_[pair.lo], acc_[pair.hi], evaluations, kept);
+      touched_[pair.lo] = 1;
+      touched_[pair.hi] = 1;
+      evaluator_->evaluate(pair.lo, pair.hi, acc_[pair.lo], acc_[pair.hi]);
     });
-    ctx.counters().add(counter::kEvaluations, evaluations);
-    ctx.counters().add(counter::kResultsKept, kept);
+    ctx.counters().add(counter::kEvaluations,
+                       evaluator_->evaluations() - evals_before);
+    ctx.counters().add(counter::kResultsKept,
+                       evaluator_->kept() - kept_before);
   }
 
   void cleanup(mr::MapContext& ctx) override {
-    // One record per touched element: its partial result list.
-    for (auto& [id, entries] : acc_) {
+    // One record per touched element: its partial result list (possibly
+    // empty when a keep-filter rejected everything).
+    for (ElementId id = 0; id < acc_.size(); ++id) {
+      if (touched_[id] == 0) continue;
       Element e;
       e.id = id;
-      e.results = std::move(entries);
+      e.results = std::move(acc_[id]);
       ctx.emit(encode_u64_key(id), encode_element(e));
     }
+    evaluator_.reset();
     acc_.clear();
+    touched_.clear();
   }
 
  private:
@@ -214,7 +261,9 @@ class BroadcastComputeMapper final : public mr::Mapper {
   const PairwiseJob& job_;
   const std::vector<std::string>& dataset_paths_;
   std::vector<Element> elements_;
-  std::unordered_map<ElementId, std::vector<ResultEntry>> acc_;
+  std::vector<std::vector<ResultEntry>> acc_;
+  std::vector<char> touched_;
+  std::optional<PairEvaluator> evaluator_;
 };
 
 // Aggregates partial result lists and joins the payload back in from the
@@ -255,6 +304,9 @@ class BroadcastAggregateReducer final : public mr::Reducer {
 
 void validate_job(const PairwiseJob& job) {
   PAIRMR_REQUIRE(job.compute != nullptr, "pairwise job needs a compute fn");
+  PAIRMR_REQUIRE((job.prepared.prepare == nullptr) ==
+                     (job.prepared.compare == nullptr),
+                 "prepared kernel needs both prepare and compare");
 }
 
 void apply_fault_options(mr::JobSpec& spec, const PairwiseOptions& options) {

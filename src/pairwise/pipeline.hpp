@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -35,6 +36,27 @@ namespace pairmr {
 // populated at call time. Returns opaque result bytes.
 using ComputeFn =
     std::function<std::string(const Element& a, const Element& b)>;
+
+// Decode-once kernel: `prepare` decodes an element's payload into a typed
+// handle exactly once per task; `compare` evaluates comp() over two
+// handles without touching the wire encoding again. A compute-light
+// kernel over a working set of e elements thus pays O(e) decode work
+// instead of the O(e²) a plain ComputeFn pays (one decode per side per
+// pair). `compare` MUST return bytes identical to the job's ComputeFn on
+// the same elements — the pipeline equivalence harness certifies this
+// for the bundled kernels.
+struct PreparedKernel {
+  // Typed, decoded view of one element's payload. Ownership is shared so
+  // handles may outlive the task-local Element they were prepared from.
+  using Handle = std::shared_ptr<const void>;
+
+  std::function<Handle(const Element&)> prepare;
+  std::function<std::string(const void* a, const void* b)> compare;
+
+  explicit operator bool() const {
+    return prepare != nullptr && compare != nullptr;
+  }
+};
 
 // Result filter (e.g. DBSCAN keeps only distances below eps). Applied
 // before a result is attached; the evaluation itself still counts.
@@ -52,9 +74,44 @@ enum class Symmetry {
 
 struct PairwiseJob {
   ComputeFn compute;
+  // Optional decode-once fast path for `compute` (see PreparedKernel).
+  // When set, the compare phase prepares each working-set element once
+  // and calls `prepared.compare` per pair; when empty, every pair runs
+  // through `compute` (the seed path — user kernels keep working).
+  PreparedKernel prepared;
   KeepFn keep;          // null: keep every result
   FinalizeFn finalize;  // null: no post-processing
   Symmetry symmetry = Symmetry::kSymmetric;
+};
+
+// The compare phase's inner loop, shared by the two-job compare reducer,
+// the one-job broadcast mapper, the rounds driver (via the reducer), and
+// bench_hotpath. Construction prepares every element exactly once when
+// the job carries a PreparedKernel; evaluate() then runs comp() per pair
+// without re-decoding, falling back to the plain ComputeFn otherwise.
+// `job` and `elems` are borrowed and must outlive the evaluator.
+class PairEvaluator {
+ public:
+  PairEvaluator(const PairwiseJob& job, const std::vector<Element>& elems);
+
+  // Evaluate the pair at slots (lo, hi) under the job's symmetry mode,
+  // appending kept results to each side's accumulator (Algorithm 1's two
+  // addResult calls).
+  void evaluate(std::size_t lo, std::size_t hi,
+                std::vector<ResultEntry>& lo_acc,
+                std::vector<ResultEntry>& hi_acc);
+
+  std::uint64_t evaluations() const { return evaluations_; }
+  std::uint64_t kept() const { return kept_; }
+
+ private:
+  std::string invoke(std::size_t a, std::size_t b) const;
+
+  const PairwiseJob& job_;
+  const std::vector<Element>& elems_;
+  std::vector<PreparedKernel::Handle> handles_;  // empty without a kernel
+  std::uint64_t evaluations_ = 0;
+  std::uint64_t kept_ = 0;
 };
 
 struct PairwiseOptions {

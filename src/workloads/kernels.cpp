@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "common/check.hpp"
 #include "common/serde.hpp"
@@ -54,17 +55,15 @@ double inner_product(const std::vector<double>& a,
 double jaccard_similarity(const std::vector<std::uint32_t>& a,
                           const std::vector<std::uint32_t>& b) {
   if (a.empty() && b.empty()) return 1.0;
+  // Branchless sorted-merge intersection: data-dependent advances compile
+  // to conditional moves, which matters at millions of pairs per second.
   std::size_t ia = 0, ib = 0, both = 0;
   while (ia < a.size() && ib < b.size()) {
-    if (a[ia] == b[ib]) {
-      ++both;
-      ++ia;
-      ++ib;
-    } else if (a[ia] < b[ib]) {
-      ++ia;
-    } else {
-      ++ib;
-    }
+    const std::uint32_t x = a[ia];
+    const std::uint32_t y = b[ib];
+    both += (x == y);
+    ia += (x <= y);
+    ib += (y <= x);
   }
   const std::size_t either = a.size() + b.size() - both;
   return static_cast<double>(both) / static_cast<double>(either);
@@ -154,6 +153,22 @@ ComputeFn numeric_kernel(Fn fn) {
   };
 }
 
+// Decode-once adapter for the same shape of function: the handle is the
+// decoded f64 vector, so compare() is pure arithmetic.
+template <typename Fn>
+PreparedKernel numeric_prepared(Fn fn) {
+  PreparedKernel k;
+  k.prepare = [](const Element& e) -> PreparedKernel::Handle {
+    return std::make_shared<const std::vector<double>>(
+        decode_f64_vec(e.payload));
+  };
+  k.compare = [fn](const void* a, const void* b) {
+    return encode_result(fn(*static_cast<const std::vector<double>*>(a),
+                            *static_cast<const std::vector<double>*>(b)));
+  };
+  return k;
+}
+
 }  // namespace
 
 ComputeFn euclidean_kernel() {
@@ -205,6 +220,41 @@ ComputeFn expensive_blob_kernel(std::uint32_t rounds) {
     }
     return encode_result(static_cast<double>(acc >> 11));
   };
+}
+
+PreparedKernel euclidean_prepared() {
+  return numeric_prepared(
+      [](const auto& a, const auto& b) { return euclidean_distance(a, b); });
+}
+
+PreparedKernel cosine_prepared() {
+  return numeric_prepared(
+      [](const auto& a, const auto& b) { return cosine_similarity(a, b); });
+}
+
+PreparedKernel inner_product_prepared() {
+  return numeric_prepared(
+      [](const auto& a, const auto& b) { return inner_product(a, b); });
+}
+
+PreparedKernel jaccard_prepared() {
+  PreparedKernel k;
+  k.prepare = [](const Element& e) -> PreparedKernel::Handle {
+    return std::make_shared<const std::vector<std::uint32_t>>(
+        decode_token_set(e.payload));
+  };
+  k.compare = [](const void* a, const void* b) {
+    return encode_result(jaccard_similarity(
+        *static_cast<const std::vector<std::uint32_t>*>(a),
+        *static_cast<const std::vector<std::uint32_t>*>(b)));
+  };
+  return k;
+}
+
+PreparedKernel mutual_information_prepared(std::uint32_t bins) {
+  return numeric_prepared([bins](const auto& a, const auto& b) {
+    return mutual_information(a, b, bins);
+  });
 }
 
 KeepFn keep_below(double threshold) {

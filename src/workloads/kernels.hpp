@@ -56,6 +56,18 @@ ComputeFn edit_distance_kernel();
 // the broadcast approach shines.
 ComputeFn expensive_blob_kernel(std::uint32_t rounds);
 
+// --- decode-once variants (PreparedKernel, pipeline.hpp) ------------------
+// Each prepares the typed payload once per working-set element and
+// produces result bytes identical to its ComputeFn counterpart above;
+// set both on a PairwiseJob:
+//   job.compute = euclidean_kernel();
+//   job.prepared = euclidean_prepared();
+PreparedKernel euclidean_prepared();
+PreparedKernel cosine_prepared();
+PreparedKernel inner_product_prepared();
+PreparedKernel jaccard_prepared();
+PreparedKernel mutual_information_prepared(std::uint32_t bins);
+
 // Keep-predicate for threshold pruning (e.g. DBSCAN's eps): keeps results
 // with decode_result(r) <= threshold.
 KeepFn keep_below(double threshold);

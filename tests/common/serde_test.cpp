@@ -86,6 +86,61 @@ TEST(SerdeTest, OrderedKeyPairwiseComparisonSweep) {
   }
 }
 
+TEST(SerdeTest, WordWritesHaveExactByteLayout) {
+  // put_u32/put_u64 append whole words (memcpy-style bulk append); the
+  // wire layout must stay byte-for-byte what the per-byte seed encoder
+  // produced: little-endian for plain integers, big-endian for ordered
+  // keys.
+  BufWriter w;
+  w.put_u32(0x01020304u);
+  w.put_u64(0x0102030405060708ull);
+  w.put_u64_ordered(0x0102030405060708ull);
+  const std::string bytes = std::move(w).str();
+  ASSERT_EQ(bytes.size(), 20u);
+  EXPECT_EQ(bytes.substr(0, 4), std::string("\x04\x03\x02\x01", 4));
+  EXPECT_EQ(bytes.substr(4, 8),
+            std::string("\x08\x07\x06\x05\x04\x03\x02\x01", 8));
+  EXPECT_EQ(bytes.substr(12, 8),
+            std::string("\x01\x02\x03\x04\x05\x06\x07\x08", 8));
+}
+
+TEST(SerdeTest, WordRoundTripSweep) {
+  // Random + boundary round trips through the bulk-write/bulk-read pair,
+  // including values with all-zero and all-ones bytes.
+  std::vector<std::uint64_t> values = {0, 1, 0xFF, 0xFF00, 0x8000000000000000ull,
+                                       std::numeric_limits<std::uint64_t>::max()};
+  std::uint64_t x = 0x243F6A8885A308D3ull;
+  for (int i = 0; i < 200; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    values.push_back(x);
+  }
+  for (const std::uint64_t v : values) {
+    BufWriter w;
+    w.put_u32(static_cast<std::uint32_t>(v));
+    w.put_u64(v);
+    w.put_u64_ordered(v);
+    const std::string bytes = std::move(w).str();
+    BufReader r(bytes);
+    EXPECT_EQ(r.get_u32(), static_cast<std::uint32_t>(v));
+    EXPECT_EQ(r.get_u64(), v);
+    EXPECT_EQ(r.get_u64_ordered(), v);
+    EXPECT_TRUE(r.exhausted());
+  }
+}
+
+TEST(SerdeTest, ReserveDoesNotAffectContents) {
+  BufWriter w;
+  w.reserve(1024);
+  w.put_u32(7);
+  w.put_bytes("payload");
+  BufWriter plain;
+  plain.put_u32(7);
+  plain.put_bytes("payload");
+  EXPECT_EQ(w.str(), plain.str());
+}
+
 TEST(SerdeTest, F64VecRoundTrip) {
   const std::vector<double> xs = {0.0, -1.5, 3.25, 1e300, -1e-300};
   EXPECT_EQ(decode_f64_vec(encode_f64_vec(xs)), xs);

@@ -1,0 +1,148 @@
+// Property test for the shuffle grouping (mr/group.hpp): for arbitrary
+// record sets the radix-capable group_by_key must produce exactly the
+// groups — same keys, same key order, same within-key value order — as
+// the seed stable_sort grouping it replaced.
+#include "mr/group.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/serde.hpp"
+
+namespace pairmr::mr {
+namespace {
+
+using Groups = std::vector<std::pair<Bytes, std::vector<Bytes>>>;
+
+Groups collect(void (*group)(std::vector<Record>&, const GroupFn&),
+               std::vector<Record> records) {
+  Groups out;
+  group(records, [&out](const Bytes& key, const std::vector<Bytes>& values) {
+    out.emplace_back(key, values);
+  });
+  return out;
+}
+
+void expect_equivalent(const std::vector<Record>& records,
+                       const std::string& label) {
+  const Groups want = collect(&group_by_key_stable_sort, records);
+  const Groups got = collect(&group_by_key, records);
+  ASSERT_EQ(got.size(), want.size()) << label;
+  for (std::size_t g = 0; g < got.size(); ++g) {
+    EXPECT_EQ(got[g].first, want[g].first) << label << " group " << g;
+    EXPECT_EQ(got[g].second, want[g].second) << label << " group " << g;
+  }
+}
+
+// Values are unique per record so within-key order differences show up.
+std::vector<Record> with_unique_values(std::vector<Bytes> keys) {
+  std::vector<Record> records;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    records.push_back(Record{std::move(keys[i]), "v" + std::to_string(i)});
+  }
+  return records;
+}
+
+TEST(GroupTest, EmptyAndSingleRecord) {
+  expect_equivalent({}, "empty");
+  expect_equivalent({Record{encode_u64_key(42), "x"}}, "single");
+  expect_equivalent({Record{"odd-key", ""}}, "single-non-u64");
+}
+
+TEST(GroupTest, DuplicateKeysKeepArrivalOrder) {
+  std::vector<Bytes> keys;
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    keys.push_back(encode_u64_key(rng.next_below(8)));  // heavy duplication
+  }
+  expect_equivalent(with_unique_values(std::move(keys)), "duplicates");
+}
+
+TEST(GroupTest, RandomU64KeySweep) {
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    Rng rng(seed);
+    std::vector<Bytes> keys;
+    const std::uint64_t n = 1 + rng.next_below(400);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      // Mix dense small ids (the pipeline's task/element keys) with full
+      // 64-bit values so every radix digit position gets exercised.
+      const std::uint64_t k = rng.next_below(3) == 0
+                                  ? rng.next_u64()
+                                  : rng.next_below(64);
+      keys.push_back(encode_u64_key(k));
+    }
+    expect_equivalent(with_unique_values(std::move(keys)),
+                      "seed " + std::to_string(seed));
+  }
+}
+
+TEST(GroupTest, U64BoundaryKeys) {
+  std::vector<Bytes> keys;
+  for (const std::uint64_t k :
+       {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{255},
+        std::uint64_t{256}, (std::uint64_t{1} << 32) - 1,
+        std::uint64_t{1} << 32, ~std::uint64_t{0}, std::uint64_t{0},
+        ~std::uint64_t{0}}) {
+    keys.push_back(encode_u64_key(k));
+  }
+  expect_equivalent(with_unique_values(std::move(keys)), "boundaries");
+}
+
+TEST(GroupTest, EmptyValuesSurvive) {
+  std::vector<Record> records;
+  for (int i = 0; i < 20; ++i) {
+    records.push_back(Record{encode_u64_key(i % 3), ""});
+  }
+  expect_equivalent(records, "empty-values");
+}
+
+TEST(GroupTest, VariableLengthKeysFallBack) {
+  // Non-8-byte keys (including empty) must take the comparison path and
+  // still group identically.
+  Rng rng(99);
+  std::vector<Bytes> keys;
+  for (int i = 0; i < 300; ++i) {
+    std::string k;
+    const std::uint64_t len = rng.next_below(12);  // 0..11 bytes
+    for (std::uint64_t j = 0; j < len; ++j) {
+      k.push_back(static_cast<char>(rng.next_below(4)));  // tiny alphabet
+    }
+    keys.push_back(std::move(k));
+  }
+  expect_equivalent(with_unique_values(std::move(keys)), "variable-length");
+}
+
+TEST(GroupTest, MixedWidthKeysFallBack) {
+  // One non-u64 key among thousands of u64 keys forces the fallback;
+  // grouping must stay equivalent.
+  Rng rng(123);
+  std::vector<Bytes> keys;
+  for (int i = 0; i < 200; ++i) keys.push_back(encode_u64_key(rng.next_below(50)));
+  keys.push_back("short");
+  for (int i = 0; i < 200; ++i) keys.push_back(encode_u64_key(rng.next_below(50)));
+  expect_equivalent(with_unique_values(std::move(keys)), "mixed-width");
+}
+
+TEST(GroupTest, GroupsArriveInAscendingByteOrder) {
+  Rng rng(5);
+  std::vector<Record> records;
+  for (int i = 0; i < 256; ++i) {
+    records.push_back(Record{encode_u64_key(rng.next_u64()), "v"});
+  }
+  Bytes prev;
+  bool first = true;
+  group_by_key(records, [&](const Bytes& key, const std::vector<Bytes>&) {
+    if (!first) {
+      EXPECT_LT(prev, key);
+    }
+    prev = key;
+    first = false;
+  });
+}
+
+}  // namespace
+}  // namespace pairmr::mr

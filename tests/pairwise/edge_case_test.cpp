@@ -235,5 +235,34 @@ TEST(EdgeCaseTest, NonSymmetricWithPruning) {
   }
 }
 
+// A scheme whose pair relation references an element it never routed to
+// the task. The compute reducer must catch the inconsistency — the
+// "working set is missing a pair member" invariant — rather than compute
+// garbage, regardless of whether the lookup index is a hash map (seed) or
+// the dense sorted vector (current).
+class BrokenScheme final : public DistributionScheme {
+ public:
+  std::string name() const override { return "broken"; }
+  std::uint64_t num_elements() const override { return 3; }
+  std::uint64_t num_tasks() const override { return 1; }
+  std::vector<TaskId> subsets_of(ElementId id) const override {
+    // Element 2 is never shipped to task 0...
+    return id == 2 ? std::vector<TaskId>{} : std::vector<TaskId>{0};
+  }
+  std::vector<ElementPair> pairs_in(TaskId) const override {
+    // ...yet the pair relation demands it.
+    return {{0, 1}, {1, 2}};
+  }
+  SchemeMetrics metrics() const override { return {.scheme = "broken"}; }
+};
+
+TEST(EdgeCaseTest, MissingPairMemberIsDetected) {
+  mr::Cluster cluster({.num_nodes = 2, .worker_threads = 1});
+  const auto inputs = write_dataset(cluster, "/data", {"a", "bb", "ccc"});
+  const BrokenScheme scheme;
+  EXPECT_THROW(run_pairwise(cluster, inputs, scheme, len_job()),
+               InternalError);
+}
+
 }  // namespace
 }  // namespace pairmr

@@ -1,0 +1,206 @@
+// Prepared-kernel equivalence: a job carrying a decode-once
+// PreparedKernel must be byte-identical — output files AND counters — to
+// the same job with the kernel stripped (the seed ComputeFn path). The
+// optimization may change only where decoding happens, never a single
+// observable byte. Covered: the two-job pipeline across broadcast, block,
+// and design schemes, the one-job broadcast variant, and the round-based
+// driver, each fault-free and under the fault-equivalence chaos fixture.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mr/cluster.hpp"
+#include "mr/fault.hpp"
+#include "pairwise/block_scheme.hpp"
+#include "pairwise/broadcast_scheme.hpp"
+#include "pairwise/dataset.hpp"
+#include "pairwise/design_scheme.hpp"
+#include "pairwise/pipeline.hpp"
+#include "workloads/generators.hpp"
+#include "workloads/kernels.hpp"
+
+namespace pairmr {
+namespace {
+
+using mr::FaultPlan;
+using mr::TaskKind;
+
+// The fault_equivalence_test chaos fixture: task kills, a node loss,
+// dropped fetches, and stragglers with winning backups.
+FaultPlan make_chaos_plan(std::uint64_t seed) {
+  FaultPlan plan(seed);
+  plan.with_task_kill_rate(0.25, 2)
+      .with_fetch_drop_rate(0.2)
+      .with_straggler_rate(0.2)
+      .kill_task(TaskKind::kMap, 0)
+      .kill_task(TaskKind::kReduce, 0)
+      .fail_node(1)
+      .drop_fetch(/*reduce_task=*/0, /*map_task=*/0)
+      .mark_straggler(TaskKind::kMap, 1)
+      .mark_straggler(TaskKind::kReduce, 1);
+  return plan;
+}
+
+struct KernelCase {
+  std::string label;
+  std::vector<std::string> payloads;
+  PairwiseJob plain;     // ComputeFn only (the seed path)
+  PairwiseJob prepared;  // same compute + the decode-once kernel
+};
+
+std::vector<KernelCase> kernel_cases(std::uint64_t v) {
+  std::vector<KernelCase> cases(2);
+
+  cases[0].label = "euclidean";
+  cases[0].payloads = workloads::vector_payloads(
+      workloads::clustered_points(v, /*dim=*/4, /*num_clusters=*/3,
+                                  /*spread=*/10.0, /*seed=*/11));
+  cases[0].plain.compute = workloads::euclidean_kernel();
+  cases[0].prepared.compute = workloads::euclidean_kernel();
+  cases[0].prepared.prepared = workloads::euclidean_prepared();
+
+  cases[1].label = "jaccard";
+  cases[1].payloads = workloads::document_payloads(workloads::token_documents(
+      v, /*vocabulary=*/64, /*tokens_per_doc=*/12, /*seed=*/22));
+  cases[1].plain.compute = workloads::jaccard_kernel();
+  // A keep-filter exercises the (a, b, result) hook on both paths.
+  cases[1].plain.keep = workloads::keep_above(0.05);
+  cases[1].prepared = cases[1].plain;
+  cases[1].prepared.prepared = workloads::jaccard_prepared();
+
+  return cases;
+}
+
+using RunFn = std::function<PairwiseRunStats(
+    mr::Cluster&, const std::vector<std::string>&, const PairwiseJob&,
+    const PairwiseOptions&)>;
+
+// Run both jobs on identical fresh clusters and demand byte-identical
+// output files and identical counter maps for every MR job involved.
+void expect_equivalent(const RunFn& run, const KernelCase& kernel,
+                       const FaultPlan* plan, const std::string& label) {
+  PairwiseRunStats stats[2];
+  std::vector<mr::Record> outputs[2];
+  std::vector<std::string> paths[2];
+  const PairwiseJob* jobs[2] = {&kernel.plain, &kernel.prepared};
+  for (int i = 0; i < 2; ++i) {
+    mr::Cluster cluster({.num_nodes = 4, .worker_threads = 2});
+    const auto inputs = write_dataset(cluster, "/data", kernel.payloads);
+    PairwiseOptions options;
+    options.fault_plan = plan;
+    stats[i] = run(cluster, inputs, *jobs[i], options);
+    paths[i] = cluster.dfs().list(stats[i].output_dir);
+    outputs[i] = cluster.gather_records(stats[i].output_dir);
+  }
+  EXPECT_EQ(paths[0], paths[1]) << label;
+  EXPECT_EQ(outputs[0], outputs[1]) << label;
+  EXPECT_EQ(stats[0].distribute_job.counters,
+            stats[1].distribute_job.counters)
+      << label << " distribute counters";
+  EXPECT_EQ(stats[0].aggregate_job.counters, stats[1].aggregate_job.counters)
+      << label << " aggregate counters";
+  EXPECT_EQ(stats[0].evaluations, stats[1].evaluations) << label;
+  EXPECT_EQ(stats[0].results_kept, stats[1].results_kept) << label;
+}
+
+RunFn scheme_runner(
+    std::function<std::unique_ptr<DistributionScheme>(std::uint64_t)> make,
+    std::uint64_t v) {
+  return [make, v](mr::Cluster& cluster,
+                   const std::vector<std::string>& inputs,
+                   const PairwiseJob& job, const PairwiseOptions& options) {
+    const auto scheme = make(v);
+    return run_pairwise(cluster, inputs, *scheme, job, options);
+  };
+}
+
+TEST(PreparedEquivalenceTest, TwoJobPipelineAcrossSchemes) {
+  const std::uint64_t v = 18;
+  const FaultPlan chaos = make_chaos_plan(77);
+  const std::vector<
+      std::pair<std::string,
+                std::function<std::unique_ptr<DistributionScheme>(
+                    std::uint64_t)>>>
+      schemes = {
+          {"broadcast",
+           [](std::uint64_t n) {
+             return std::make_unique<BroadcastScheme>(n, 5);
+           }},
+          {"block",
+           [](std::uint64_t n) { return std::make_unique<BlockScheme>(n, 4); }},
+          {"design",
+           [](std::uint64_t n) { return std::make_unique<DesignScheme>(n); }},
+      };
+  for (const auto& kernel : kernel_cases(v)) {
+    for (const auto& [name, make] : schemes) {
+      expect_equivalent(scheme_runner(make, v), kernel, nullptr,
+                        kernel.label + "/" + name + "/fault-free");
+      expect_equivalent(scheme_runner(make, v), kernel, &chaos,
+                        kernel.label + "/" + name + "/chaos");
+    }
+  }
+}
+
+TEST(PreparedEquivalenceTest, OneJobBroadcastVariant) {
+  const std::uint64_t v = 17;
+  const FaultPlan chaos = make_chaos_plan(88);
+  const RunFn run = [v](mr::Cluster& cluster,
+                        const std::vector<std::string>& inputs,
+                        const PairwiseJob& job,
+                        const PairwiseOptions& options) {
+    return run_pairwise_broadcast(cluster, inputs, v, /*num_tasks=*/6, job,
+                                  options);
+  };
+  for (const auto& kernel : kernel_cases(v)) {
+    expect_equivalent(run, kernel, nullptr, kernel.label + "/onejob");
+    expect_equivalent(run, kernel, &chaos, kernel.label + "/onejob-chaos");
+  }
+}
+
+TEST(PreparedEquivalenceTest, RoundBasedDriver) {
+  const std::uint64_t v = 16;
+  const FaultPlan chaos = make_chaos_plan(99);
+  const RunFn run = [v](mr::Cluster& cluster,
+                        const std::vector<std::string>& inputs,
+                        const PairwiseJob& job,
+                        const PairwiseOptions& options) {
+    const BlockScheme scheme(v, 4);
+    std::vector<std::vector<TaskId>> rounds(2);
+    for (TaskId t = 0; t < scheme.num_tasks(); ++t) {
+      rounds[t % 2].push_back(t);
+    }
+    const HierarchicalRunStats h =
+        run_pairwise_rounds(cluster, inputs, scheme, rounds, job, options);
+    PairwiseRunStats stats;
+    stats.evaluations = h.evaluations;
+    stats.results_kept = h.results_kept;
+    stats.output_dir = h.output_dir;
+    return stats;
+  };
+  for (const auto& kernel : kernel_cases(v)) {
+    expect_equivalent(run, kernel, nullptr, kernel.label + "/rounds");
+    expect_equivalent(run, kernel, &chaos, kernel.label + "/rounds-chaos");
+  }
+}
+
+// The symmetry mode drives a different evaluate() shape; the non-symmetric
+// path must also be identical between the two kernels.
+TEST(PreparedEquivalenceTest, NonSymmetricJobs) {
+  const std::uint64_t v = 14;
+  for (auto kernel : kernel_cases(v)) {
+    kernel.plain.symmetry = Symmetry::kNonSymmetric;
+    kernel.prepared.symmetry = Symmetry::kNonSymmetric;
+    expect_equivalent(scheme_runner(
+                          [](std::uint64_t n) {
+                            return std::make_unique<BlockScheme>(n, 3);
+                          },
+                          v),
+                      kernel, nullptr, kernel.label + "/non-symmetric");
+  }
+}
+
+}  // namespace
+}  // namespace pairmr
