@@ -1,0 +1,108 @@
+// Memory-budget sweep: the same two-job design-scheme run executed under
+// shrinking per-task budgets, from fully in-memory down to budgets tiny
+// enough to force multi-run spills and multi-pass (fan_in = 4) merges.
+//
+// Expected shape: the tracked peak task memory falls with the budget and
+// never exceeds it; spill runs and merge passes grow as the budget
+// shrinks; aggregated output stays byte-identical throughout (asserted —
+// this bench doubles as an end-to-end equivalence check at sizes the
+// unit tests don't reach).
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "mr/cluster.hpp"
+#include "pairwise/dataset.hpp"
+#include "pairwise/design_scheme.hpp"
+#include "pairwise/runner.hpp"
+#include "workloads/generators.hpp"
+#include "workloads/kernels.hpp"
+
+namespace {
+
+using namespace pairmr;
+
+PairwiseJob make_job() {
+  PairwiseJob job;
+  job.compute = workloads::expensive_blob_kernel(1);
+  return job;
+}
+
+struct Observation {
+  std::vector<std::string> encoded;
+  RunReport report;
+};
+
+Observation run_with_budget(const std::vector<std::string>& payloads,
+                            const mr::MemoryBudget& budget) {
+  mr::Cluster cluster({.num_nodes = 4, .worker_threads = 0});
+  const auto inputs = write_dataset(cluster, "/data", payloads);
+  const DesignScheme scheme(payloads.size());
+
+  RunSpec spec;
+  spec.input_paths = inputs;
+  spec.mode = RunMode::kTwoJob;
+  spec.scheme = &scheme;
+  spec.job = make_job();
+  spec.options.memory_budget = budget;
+
+  Observation obs;
+  obs.report = PairwiseRunner(cluster).run(spec);
+  for (const Element& e : read_elements(cluster, obs.report.output_dir)) {
+    obs.encoded.push_back(encode_element(e));
+  }
+  return obs;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== bench_spill: memory-budgeted out-of-core execution ===\n\n";
+
+  const std::uint64_t v = 121;
+  const std::uint64_t element_bytes = 256;
+  const auto payloads = workloads::blob_payloads(v, element_bytes, 42);
+
+  const Observation baseline = run_with_budget(payloads, mr::MemoryBudget{});
+
+  TablePrinter table({"budget", "peak tracked", "spill runs", "spill bytes",
+                      "merge passes", "output identical"});
+  table.set_caption("Per-task memory budget sweep, two-job design scheme (v = " +
+                    std::to_string(v) + ", s = " +
+                    std::to_string(element_bytes) + " B, fan_in = 4)");
+  // Without a budget the engine does not meter task memory.
+  table.add_row({"unlimited", "untracked", "0", "0", "0", "reference"});
+
+  for (const std::uint64_t budget_bytes :
+       {1ull << 20, 1ull << 16, 1ull << 13, 1ull << 11, 1ull << 9}) {
+    const Observation obs = run_with_budget(
+        payloads,
+        mr::MemoryBudget{.bytes = budget_bytes, .merge_fan_in = 4});
+    const bool identical = obs.encoded == baseline.encoded;
+    PAIRMR_CHECK(identical, "spilled output diverged from in-memory run");
+    // A single record larger than the budget must still be buffered, so
+    // the exact engine invariant is peak <= max(budget, largest record)
+    // (checked inside every map task). At budgets comfortably above one
+    // compute-output record the simple form must hold here too.
+    if (budget_bytes >= (1ull << 16)) {
+      PAIRMR_CHECK(obs.report.max_tracked_bytes <= budget_bytes,
+                   "tracked peak exceeded the budget");
+    }
+    table.add_row({format_bytes(budget_bytes),
+                   format_bytes(obs.report.max_tracked_bytes),
+                   TablePrinter::num(obs.report.spill_runs),
+                   format_bytes(obs.report.spill_bytes),
+                   TablePrinter::num(obs.report.merge_passes),
+                   identical ? "yes" : "NO"});
+  }
+
+  table.print(std::cout);
+  std::cout << "\nEvery budgeted run reproduced the unbudgeted output byte "
+               "for byte; peak tracked task memory stayed within the "
+               "budget (or one record, whichever is larger).\n";
+  return 0;
+}

@@ -23,6 +23,11 @@ namespace pairmr::mr {
 
 class MapContext {
  public:
+  // Engine-installed spill hook (mr/spill.hpp): sorts, optionally
+  // combines, and drains every bucket to DFS scratch. Called by emit()
+  // with the live bucket vector; must leave the buckets empty.
+  using SpillFn = std::function<void(std::vector<std::vector<Record>>&)>;
+
   MapContext(NodeId node, TaskIndex task, const Partitioner& partitioner,
              std::uint32_t num_partitions, Counters& counters,
              const std::unordered_map<std::string,
@@ -39,13 +44,36 @@ class MapContext {
         trace_span_(trace_span),
         buckets_(num_partitions) {}
 
+  // Attach a memory budget (JobSpec::memory_budget): emit() then tracks
+  // buffered bucket bytes and invokes `spill` before a record would push
+  // the total past `budget_bytes`. A record larger than the whole budget
+  // is buffered alone and spilled on the next emission — the only way
+  // the tracked peak can exceed the ceiling.
+  void attach_budget(std::uint64_t budget_bytes, SpillFn spill) {
+    PAIRMR_CHECK(budget_bytes != 0 && spill != nullptr,
+                 "attach_budget needs a non-zero budget and a spill fn");
+    budget_bytes_ = budget_bytes;
+    spill_ = std::move(spill);
+  }
+
   // Emit one intermediate record; it lands in the bucket of the reduce
   // task the partitioner assigns.
   void emit(Bytes key, Bytes value) {
     const std::uint32_t p = partitioner_.partition(
         key, static_cast<std::uint32_t>(buckets_.size()));
     PAIRMR_CHECK(p < buckets_.size(), "partitioner returned out-of-range id");
-    bytes_emitted_ += key.size() + value.size();
+    const std::uint64_t rec_bytes = key.size() + value.size();
+    if (budget_bytes_ != 0 && tracked_bytes_ != 0 &&
+        tracked_bytes_ + rec_bytes > budget_bytes_) {
+      spill_(buckets_);
+      tracked_bytes_ = 0;
+    }
+    tracked_bytes_ += rec_bytes;
+    if (tracked_bytes_ > max_tracked_bytes_) {
+      max_tracked_bytes_ = tracked_bytes_;
+    }
+    if (rec_bytes > max_record_bytes_) max_record_bytes_ = rec_bytes;
+    bytes_emitted_ += rec_bytes;
     ++records_emitted_;
     buckets_[p].push_back(Record{std::move(key), std::move(value)});
   }
@@ -77,6 +105,11 @@ class MapContext {
   std::uint64_t records_emitted() const { return records_emitted_; }
   std::uint64_t bytes_emitted() const { return bytes_emitted_; }
 
+  // Budget accounting (zero unless attach_budget was called).
+  std::uint64_t tracked_bytes() const { return tracked_bytes_; }
+  std::uint64_t max_tracked_bytes() const { return max_tracked_bytes_; }
+  std::uint64_t max_record_bytes() const { return max_record_bytes_; }
+
  private:
   NodeId node_;
   TaskIndex task_;
@@ -90,6 +123,11 @@ class MapContext {
   std::vector<std::vector<Record>> buckets_;
   std::uint64_t records_emitted_ = 0;
   std::uint64_t bytes_emitted_ = 0;
+  std::uint64_t budget_bytes_ = 0;  // 0 = no budget attached
+  SpillFn spill_;
+  std::uint64_t tracked_bytes_ = 0;
+  std::uint64_t max_tracked_bytes_ = 0;
+  std::uint64_t max_record_bytes_ = 0;
 };
 
 class ReduceContext {

@@ -39,6 +39,16 @@ inline constexpr const char* kTasksSpeculative = "tasks.speculative";
 inline constexpr const char* kSpeculativeWins = "speculative.wins";
 inline constexpr const char* kShuffleFetchRetries = "shuffle.fetch.retries";
 inline constexpr const char* kRecoveryBytes = "recovery.bytes";
+// Memory-budgeted execution (mr/spill.hpp): sorted runs spilled from map
+// output buffers and their bytes, intermediate reduce-side merge rounds
+// when a partition has more runs than the merge fan-in, and the largest
+// byte count the engine ever held in tracked task buffers (a running
+// maximum — stays <= the budget, modulo a single oversized record).
+inline constexpr const char* kSpillRuns = "spill.runs";
+inline constexpr const char* kSpillBytes = "spill.bytes";
+inline constexpr const char* kMergePasses = "merge.passes";
+inline constexpr const char* kMemoryMaxTrackedBytes =
+    "memory.max.tracked.bytes";
 }  // namespace counter
 
 // Thread-safe counter bag. `add` accumulates, `note_max` keeps a running

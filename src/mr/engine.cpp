@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <iterator>
 #include <memory>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <utility>
 
@@ -15,6 +17,7 @@
 #include "mr/context.hpp"
 #include "mr/fault.hpp"
 #include "mr/group.hpp"
+#include "mr/spill.hpp"
 #include "mr/trace.hpp"
 
 namespace pairmr::mr {
@@ -55,6 +58,39 @@ std::vector<Split> build_splits(SimDfs& dfs, const JobSpec& spec) {
   }
   return splits;
 }
+
+// PAIRMR_TEST_MEMORY_BUDGET (a byte count) force-enables the spill path
+// for jobs whose spec leaves it disabled — the CI spill suite runs the
+// test battery out-of-core this way, relying on the spill path producing
+// byte-identical output. Parsed once per process.
+std::uint64_t test_memory_budget_bytes() {
+  static const std::uint64_t bytes = [] {
+    const char* env = std::getenv("PAIRMR_TEST_MEMORY_BUDGET");
+    if (env == nullptr || *env == '\0') return std::uint64_t{0};
+    return static_cast<std::uint64_t>(std::strtoull(env, nullptr, 10));
+  }();
+  return bytes;
+}
+
+// One (map task, reduce task) shuffle partition. The in-memory path
+// keeps everything in `final_run` (unsorted; the reduce side sorts).
+// Spill mode adds the task's DFS scratch runs, oldest first, and
+// `final_run` becomes the last, sorted, in-memory run. `bytes` and
+// `records` are settled once when the map task's winning attempt
+// publishes, then reused for every fetch metering of the partition.
+struct MapOutputPartition {
+  std::vector<std::shared_ptr<const DfsFile>> runs;
+  std::vector<Record> final_run;
+  std::uint64_t bytes = 0;
+  std::uint64_t records = 0;
+
+  void release() {
+    runs.clear();
+    runs.shrink_to_fit();
+    final_run.clear();
+    final_run.shrink_to_fit();
+  }
+};
 
 // Run the combiner over one partition bucket, replacing its contents.
 // `parent` is the spill span the combine nests under (0 when untraced).
@@ -111,6 +147,22 @@ JobResult Engine::run(const JobSpec& spec) {
   const bool movable_shuffle =
       spec.fault_plan == nullptr && spec.max_task_attempts <= 1;
 
+  // Effective memory budget (mr/spill.hpp): the spec's, or the test
+  // override when the spec leaves it disabled. Map-only jobs never spill —
+  // their output contract is emission order, which a sorted run would
+  // destroy.
+  MemoryBudget budget = spec.memory_budget;
+  if (!budget.enabled() && test_memory_budget_bytes() != 0) {
+    budget.bytes = test_memory_budget_bytes();
+    budget.merge_fan_in = std::max<std::uint32_t>(2, budget.merge_fan_in);
+  }
+  if (spec.map_only) budget = MemoryBudget{.bytes = 0};
+  const bool spill_mode = budget.enabled();
+  // Scratch runs live next to (not inside) the output dir, so output
+  // listings stay clean. Tags below keep every task attempt's files
+  // unique (the DFS is write-once).
+  const std::string scratch_root = spec.output_dir + ".spill/";
+
   // Tracing is opt-in and nullable: every recording site below is guarded,
   // so an untraced run does no tracer work at all.
   Tracer* const tracer =
@@ -140,6 +192,19 @@ JobResult Engine::run(const JobSpec& spec) {
   Counters counters;
   SimDfs& dfs = cluster_.dfs();
   NetworkMeter& net = cluster_.network();
+
+  // Scratch lifecycle: clear leftovers of any earlier run that shared the
+  // output dir, and sweep our own files on every exit path (the guard
+  // also fires when a failing job propagates an exception).
+  struct ScratchSweep {
+    SimDfs& dfs;
+    const std::string& root;
+    bool active;
+    ~ScratchSweep() {
+      if (active) dfs.remove_prefix(root);
+    }
+  } scratch_sweep{dfs, scratch_root, spill_mode};
+  if (spill_mode) dfs.remove_prefix(scratch_root);
 
   // Deterministic placement for rescheduled and speculative attempts.
   const auto place = [&usable](std::uint64_t origin, std::uint64_t salt) {
@@ -196,8 +261,9 @@ JobResult Engine::run(const JobSpec& spec) {
   PAIRMR_LOG(kInfo) << "job '" << spec.name << "': " << num_map_tasks
                     << " map task(s), " << num_reducers << " reduce task(s)";
 
-  // map_outputs[m][r] = bucket destined for reduce task r from map task m.
-  std::vector<std::vector<std::vector<Record>>> map_outputs(num_map_tasks);
+  // map_outputs[m][r] = partition destined for reduce task r from map
+  // task m (scratch runs + in-memory bucket; see MapOutputPartition).
+  std::vector<std::vector<MapOutputPartition>> map_outputs(num_map_tasks);
   std::vector<TaskStats> map_stats(num_map_tasks);
 
   const std::uint32_t max_attempts = std::max(1u, spec.max_task_attempts);
@@ -218,17 +284,68 @@ JobResult Engine::run(const JobSpec& spec) {
 
         // One full execution of the task's user code on `node`. Each
         // execution gets a fresh context and counter bag; only the
-        // execution that is ultimately kept merges into the job.
-        const auto execute = [&](NodeId node, SpanId attempt_span) {
-          auto exec_counters = std::make_unique<Counters>();
+        // execution that is ultimately kept merges into the job. `tag`
+        // names the execution's scratch directory (spill mode), so
+        // discarded attempts never collide with kept ones.
+        struct MapExecution {
+          std::unique_ptr<MapContext> ctx;
+          std::unique_ptr<Counters> counters;
+          // Per-partition scratch runs, oldest first (spill mode only).
+          std::vector<std::vector<std::shared_ptr<const DfsFile>>> spilled;
+        };
+        const auto execute = [&](NodeId node, SpanId attempt_span,
+                                 const std::string& tag) {
+          MapExecution e;
+          e.counters = std::make_unique<Counters>();
+          e.spilled.resize(spill_mode ? num_reducers : 0);
           ScopedSpan exec(tracer,
                           tracer != nullptr
                               ? tracer->begin_op(attempt_span,
                                                  SpanKind::kMapExec, node)
                               : 0);
           auto ctx = std::make_unique<MapContext>(
-              node, m, partitioner, num_reducers, *exec_counters, cache,
+              node, m, partitioner, num_reducers, *e.counters, cache,
               split.file->path, tracer, exec.id());
+          std::uint32_t spill_seq = 0;
+          if (spill_mode) {
+            // Installed spill hook: before an emission would push tracked
+            // buffer bytes past the budget, every non-empty bucket is
+            // combined (Hadoop combines per spill), sorted with the
+            // shuffle ordering, and written to scratch as one sorted run.
+            ctx->attach_budget(
+                budget.bytes, [&](std::vector<std::vector<Record>>& buckets) {
+                  ScopedSpan sp(tracer,
+                                tracer != nullptr
+                                    ? tracer->begin_op(exec.id(),
+                                                       SpanKind::kSpillWrite,
+                                                       node)
+                                    : 0);
+                  std::uint64_t sp_bytes = 0;
+                  std::uint64_t sp_records = 0;
+                  for (std::uint32_t p = 0; p < buckets.size(); ++p) {
+                    auto& bucket = buckets[p];
+                    if (bucket.empty()) continue;
+                    if (spec.combiner_factory) {
+                      run_combiner(spec, node, m, *e.counters, bucket, tracer,
+                                   sp.id());
+                    }
+                    sort_records_stable(bucket);
+                    const std::string path =
+                        scratch_root + tag + "/spill-" +
+                        std::to_string(spill_seq) + "-r" + std::to_string(p);
+                    dfs.write_file(path, node, std::move(bucket));
+                    bucket.clear();
+                    auto file = dfs.open(path);
+                    e.counters->add(counter::kSpillRuns, 1);
+                    e.counters->add(counter::kSpillBytes, file->bytes);
+                    sp_bytes += file->bytes;
+                    sp_records += file->records.size();
+                    e.spilled[p].push_back(std::move(file));
+                  }
+                  ++spill_seq;
+                  sp.set_payload(sp_bytes, sp_records);
+                });
+          }
           auto mapper = spec.mapper_factory();
           mapper->setup(*ctx);
           for (std::size_t i = split.begin; i < split.end; ++i) {
@@ -236,8 +353,41 @@ JobResult Engine::run(const JobSpec& spec) {
             mapper->map(rec.key, rec.value, *ctx);
           }
           mapper->cleanup(*ctx);
+          if (spill_mode) {
+            // Finalize the leftover buffer into the task's last, in-memory
+            // sorted run — combined and ordered exactly like a spilled one.
+            ScopedSpan fin(tracer,
+                           tracer != nullptr
+                               ? tracer->begin_op(exec.id(), SpanKind::kSpill,
+                                                  node)
+                               : 0);
+            std::uint64_t fin_bytes = 0;
+            std::uint64_t fin_records = 0;
+            for (auto& bucket : ctx->buckets()) {
+              if (bucket.empty()) continue;
+              if (spec.combiner_factory) {
+                run_combiner(spec, node, m, *e.counters, bucket, tracer,
+                             fin.id());
+              }
+              sort_records_stable(bucket);
+              for (const auto& rec : bucket) fin_bytes += rec.size_bytes();
+              fin_records += bucket.size();
+            }
+            fin.set_payload(fin_bytes, fin_records);
+            // Tracked buffers never outgrow the budget; the single record
+            // larger than the whole budget is the one allowed overshoot.
+            PAIRMR_CHECK(
+                ctx->max_tracked_bytes() <=
+                    std::max(budget.bytes, ctx->max_record_bytes()),
+                "map task exceeded its memory budget");
+            if (ctx->max_tracked_bytes() != 0) {
+              e.counters->note_max(counter::kMemoryMaxTrackedBytes,
+                                   ctx->max_tracked_bytes());
+            }
+          }
           exec.set_payload(ctx->bytes_emitted(), ctx->records_emitted());
-          return std::pair{std::move(ctx), std::move(exec_counters)};
+          e.ctx = std::move(ctx);
+          return e;
         };
 
         // Attempt loop (Hadoop task retry): a failed attempt's emissions
@@ -281,12 +431,16 @@ JobResult Engine::run(const JobSpec& spec) {
             continue;
           }
 
-          std::unique_ptr<MapContext> ctx;
-          std::unique_ptr<Counters> exec_counters;
+          const std::string tag =
+              "m" + std::to_string(m) + "-a" + std::to_string(attempt);
+          MapExecution ex;
           try {
-            std::tie(ctx, exec_counters) = execute(node, att);
+            ex = execute(node, att, tag);
           } catch (...) {
             const bool fatal = ++user_failures >= max_attempts;
+            // A failed attempt may have spilled before dying; its scratch
+            // runs are garbage now.
+            if (spill_mode) dfs.remove_prefix(scratch_root + tag + "/");
             if (tracer != nullptr) {
               tracer->mark_faulted(att, "user-error");
               tracer->end(att);
@@ -321,46 +475,52 @@ JobResult Engine::run(const JobSpec& spec) {
                                         "recovery-reread");
               }
             }
-            auto [backup_ctx, backup_counters] = execute(backup, batt);
+            MapExecution backup_ex = execute(backup, batt, tag + "-b");
             counters.add(counter::kTasksSpeculative, 1);
             SpanId loser_span = batt;
+            std::string loser_tag = tag + "-b";
             if (plan.backup_wins(TaskKind::kMap, m)) {
               counters.add(counter::kSpeculativeWins, 1);
-              ctx = std::move(backup_ctx);
-              exec_counters = std::move(backup_counters);
+              ex = std::move(backup_ex);
               final_node = backup;
               loser_span = att;
+              loser_tag = tag;
               kept_span = batt;
             }
+            // The losing copy's scratch runs are wasted work.
+            if (spill_mode) dfs.remove_prefix(scratch_root + loser_tag + "/");
             if (tracer != nullptr) {
               tracer->mark_faulted(loser_span, "lost-race");
               tracer->end(loser_span);
             }
           }
 
-          exec_counters->add(counter::kMapInputRecords,
-                             split.end - split.begin);
-          exec_counters->add(counter::kMapOutputRecords,
-                             ctx->records_emitted());
-          exec_counters->add(counter::kMapOutputBytes, ctx->bytes_emitted());
+          MapContext& ctx = *ex.ctx;
+          ex.counters->add(counter::kMapInputRecords,
+                           split.end - split.begin);
+          ex.counters->add(counter::kMapOutputRecords,
+                           ctx.records_emitted());
+          ex.counters->add(counter::kMapOutputBytes, ctx.bytes_emitted());
 
-          if (spec.combiner_factory) {
+          // Spill mode combines per run inside execute(); the in-memory
+          // path combines once here, over the full settled buckets.
+          if (spec.combiner_factory && !spill_mode) {
             ScopedSpan spill(tracer,
                              tracer != nullptr
                                  ? tracer->begin_op(kept_span,
                                                     SpanKind::kSpill,
                                                     final_node)
                                  : 0);
-            for (auto& bucket : ctx->buckets()) {
+            for (auto& bucket : ctx.buckets()) {
               if (!bucket.empty()) {
-                run_combiner(spec, final_node, m, *exec_counters, bucket,
+                run_combiner(spec, final_node, m, *ex.counters, bucket,
                              tracer, spill.id());
               }
             }
             if (tracer != nullptr) {
               std::uint64_t out_bytes = 0;
               std::uint64_t out_records = 0;
-              for (const auto& bucket : ctx->buckets()) {
+              for (const auto& bucket : ctx.buckets()) {
                 out_records += bucket.size();
                 for (const auto& rec : bucket) out_bytes += rec.size_bytes();
               }
@@ -372,14 +532,29 @@ JobResult Engine::run(const JobSpec& spec) {
               .index = m,
               .node = final_node,
               .input_records = split.end - split.begin,
-              .output_records = ctx->records_emitted(),
-              .output_bytes = ctx->bytes_emitted(),
+              .output_records = ctx.records_emitted(),
+              .output_bytes = ctx.bytes_emitted(),
           };
-          map_outputs[m] = std::move(ctx->buckets());
-          counters.merge(*exec_counters);
+          auto& parts = map_outputs[m];
+          parts.resize(num_reducers);
+          for (std::uint32_t p = 0; p < num_reducers; ++p) {
+            MapOutputPartition& part = parts[p];
+            if (spill_mode) part.runs = std::move(ex.spilled[p]);
+            part.final_run = std::move(ctx.buckets()[p]);
+            part.records = part.final_run.size();
+            part.bytes = 0;
+            for (const auto& rec : part.final_run) {
+              part.bytes += rec.size_bytes();
+            }
+            for (const auto& run : part.runs) {
+              part.bytes += run->bytes;
+              part.records += run->records.size();
+            }
+          }
+          counters.merge(*ex.counters);
           if (tracer != nullptr) {
-            tracer->end(kept_span, ctx->bytes_emitted(),
-                        ctx->records_emitted());
+            tracer->end(kept_span, ctx.bytes_emitted(),
+                        ctx.records_emitted());
           }
           break;
         }
@@ -406,8 +581,8 @@ JobResult Engine::run(const JobSpec& spec) {
       char name[32];
       std::snprintf(name, sizeof(name), "part-m-%05u", m);
       const std::string path = spec.output_dir + "/" + name;
-      PAIRMR_CHECK(map_outputs[m].size() == 1,
-                   "map-only job must have one bucket");
+      PAIRMR_CHECK(map_outputs[m].size() == 1 && map_outputs[m][0].runs.empty(),
+                   "map-only job must have one unspilled bucket");
       {
         ScopedSpan write(tracer,
                          tracer != nullptr
@@ -418,7 +593,7 @@ JobResult Engine::run(const JobSpec& spec) {
         write.set_payload(map_stats[m].output_bytes,
                           map_stats[m].output_records);
         dfs.write_file(path, map_stats[m].node,
-                       std::move(map_outputs[m][0]));
+                       std::move(map_outputs[m][0].final_run));
       }
       output_paths[m] = path;
     }
@@ -467,31 +642,27 @@ JobResult Engine::run(const JobSpec& spec) {
           std::unique_ptr<ReduceContext> ctx;
         };
 
-        const auto bucket_bytes_of = [&](TaskIndex m) {
-          std::uint64_t bytes = 0;
-          for (const auto& rec : map_outputs[m][r]) bytes += rec.size_bytes();
-          return bytes;
-        };
-
-        const auto execute = [&](NodeId node, SpanId attempt_span) {
+        const auto execute = [&](NodeId node, SpanId attempt_span,
+                                 const std::string& tag) {
           Execution e;
           e.node = node;
           e.span = attempt_span;
           e.counters = std::make_unique<Counters>();
-          // Fetch this reducer's bucket from every map task, in map-task
-          // order (deterministic). Buckets stay in place until the task
-          // settles, so any re-execution can re-fetch them.
-          std::vector<Record> input;
-          {
+          // Fetch this reducer's partition from every map task, in
+          // map-task order (deterministic). Partitions stay in place
+          // until the task settles, so any re-execution can re-fetch.
+          std::vector<Record> input;       // in-memory path
+          std::vector<RunSource> sources;  // spill path: sorted runs
+          if (!spill_mode) {
             std::size_t total = 0;
             for (TaskIndex m = 0; m < num_map_tasks; ++m) {
-              total += map_outputs[m][r].size();
+              total += map_outputs[m][r].final_run.size();
             }
             input.reserve(total);
           }
           for (TaskIndex m = 0; m < num_map_tasks; ++m) {
-            auto& bucket = map_outputs[m][r];
-            const std::uint64_t bytes = bucket_bytes_of(m);
+            auto& part = map_outputs[m][r];
+            const std::uint64_t bytes = part.bytes;
             const NodeId src = map_stats[m].node;
             if (!dropped[m] && plan.drops_fetch(r, m)) {
               // The first copy died mid-transfer and is thrown away; the
@@ -513,13 +684,31 @@ JobResult Engine::run(const JobSpec& spec) {
                             : 0);
             (src == node ? e.local_bytes : e.remote_bytes) += bytes;
             e.fetches.emplace_back(src, bytes);
-            e.input_records += bucket.size();
-            fetch.set_payload(bytes, bucket.size());
-            if (movable_shuffle) {
+            e.input_records += part.records;
+            fetch.set_payload(bytes, part.records);
+            if (spill_mode) {
+              // Source order — (map task, run age), final run last — plus
+              // GroupIterator's low-source-first tie-break reproduces the
+              // in-memory path's stable sort byte for byte.
+              for (const auto& run : part.runs) {
+                sources.push_back(RunSource::from_file(run));
+              }
+              if (!part.final_run.empty()) {
+                if (movable_shuffle) {
+                  sources.push_back(
+                      RunSource::from_records(std::move(part.final_run)));
+                } else {
+                  auto copy = part.final_run;
+                  sources.push_back(RunSource::from_records(std::move(copy)));
+                }
+              }
+            } else if (movable_shuffle) {
+              auto& bucket = part.final_run;
               input.insert(input.end(), std::make_move_iterator(bucket.begin()),
                            std::make_move_iterator(bucket.end()));
             } else {
-              input.insert(input.end(), bucket.begin(), bucket.end());
+              input.insert(input.end(), part.final_run.begin(),
+                           part.final_run.end());
             }
           }
 
@@ -532,16 +721,44 @@ JobResult Engine::run(const JobSpec& spec) {
                                                   &cache, tracer, exec.id());
           auto reducer = spec.reducer_factory();
           reducer->setup(*e.ctx);
-          group_by_key(
-              input, [&](const Bytes& key, const std::vector<Bytes>& vals) {
-                ++e.groups;
-                std::uint64_t group_bytes = 0;
-                for (const auto& v : vals) group_bytes += key.size() + v.size();
-                e.max_group_records =
-                    std::max<std::uint64_t>(e.max_group_records, vals.size());
-                e.max_group_bytes = std::max(e.max_group_bytes, group_bytes);
-                reducer->reduce(key, vals, *e.ctx);
-              });
+          const auto consume = [&](const Bytes& key,
+                                   const std::vector<Bytes>& vals) {
+            ++e.groups;
+            std::uint64_t group_bytes = 0;
+            for (const auto& v : vals) group_bytes += key.size() + v.size();
+            e.max_group_records =
+                std::max<std::uint64_t>(e.max_group_records, vals.size());
+            e.max_group_bytes = std::max(e.max_group_bytes, group_bytes);
+            reducer->reduce(key, vals, *e.ctx);
+          };
+          if (spill_mode) {
+            // Too many runs for one merge: fold consecutive batches into
+            // wider scratch runs first (Hadoop's io.sort.factor passes),
+            // then stream groups without ever materializing the partition.
+            if (sources.size() > budget.merge_fan_in) {
+              ScopedSpan merge(tracer,
+                               tracer != nullptr
+                                   ? tracer->begin_op(exec.id(),
+                                                      SpanKind::kMergePass,
+                                                      node)
+                                   : 0);
+              MergeStats merge_stats;
+              sources = merge_to_fan_in(dfs, scratch_root + tag + "/", node,
+                                        std::move(sources),
+                                        budget.merge_fan_in, merge_stats);
+              merge.set_payload(merge_stats.bytes_written,
+                                merge_stats.runs_written);
+              e.counters->add(counter::kMergePasses, merge_stats.passes);
+            }
+            GroupIterator groups(std::move(sources));
+            while (groups.next()) consume(groups.key(), groups.values());
+            if (groups.max_head_bytes() != 0) {
+              e.counters->note_max(counter::kMemoryMaxTrackedBytes,
+                                   groups.max_head_bytes());
+            }
+          } else {
+            group_by_key(input, consume);
+          }
           reducer->cleanup(*e.ctx);
           exec.set_payload(e.ctx->bytes_emitted(), e.ctx->output().size());
           return e;
@@ -554,7 +771,7 @@ JobResult Engine::run(const JobSpec& spec) {
         const auto charge_wasted_fetches = [&](NodeId node,
                                                SpanId attempt_span) {
           for (TaskIndex m = 0; m < num_map_tasks; ++m) {
-            const std::uint64_t bytes = bucket_bytes_of(m);
+            const std::uint64_t bytes = map_outputs[m][r].bytes;
             recovery_transfer(map_stats[m].node, node, bytes);
             if (tracer != nullptr && attempt_span != 0) {
               tracer->record_transfer(attempt_span, SpanKind::kShuffleFetch,
@@ -587,11 +804,15 @@ JobResult Engine::run(const JobSpec& spec) {
             continue;
           }
 
+          const std::string tag =
+              "r" + std::to_string(r) + "-a" + std::to_string(attempt);
           Execution winner;
           try {
-            winner = execute(node, att);
+            winner = execute(node, att, tag);
           } catch (...) {
             const bool fatal = ++user_failures >= max_attempts;
+            // Merge-pass scratch of the failed attempt is garbage now.
+            if (spill_mode) dfs.remove_prefix(scratch_root + tag + "/");
             if (tracer != nullptr) {
               tracer->mark_faulted(att, "user-error");
               tracer->end(att);
@@ -613,13 +834,16 @@ JobResult Engine::run(const JobSpec& spec) {
                                          attempt, backup_node,
                                          /*speculative=*/true)
                     : 0;
-            Execution backup = execute(backup_node, batt);
+            Execution backup = execute(backup_node, batt, tag + "-b");
             counters.add(counter::kTasksSpeculative, 1);
+            std::string loser_tag = tag + "-b";
             if (plan.backup_wins(TaskKind::kReduce, r)) {
               counters.add(counter::kSpeculativeWins, 1);
               std::swap(winner, backup);
+              loser_tag = tag;
             }
             // After the optional swap, `backup` holds the losing execution.
+            if (spill_mode) dfs.remove_prefix(scratch_root + loser_tag + "/");
             charge_wasted_fetches(backup.node, 0);
             if (tracer != nullptr) {
               tracer->mark_faulted(backup.span, "lost-race");
@@ -630,9 +854,7 @@ JobResult Engine::run(const JobSpec& spec) {
           // Winning execution: release map outputs, meter its shuffle,
           // publish counters and output.
           for (TaskIndex m = 0; m < num_map_tasks; ++m) {
-            auto& bucket = map_outputs[m][r];
-            bucket.clear();
-            bucket.shrink_to_fit();
+            map_outputs[m][r].release();
           }
           for (const auto& [src, bytes] : winner.fetches) {
             net.transfer(src, winner.node, bytes);

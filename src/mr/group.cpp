@@ -47,30 +47,22 @@ void emit_groups(std::vector<Record>& records,
   }
 }
 
-}  // namespace
-
-void group_by_key_stable_sort(std::vector<Record>& records,
-                              const GroupFn& fn) {
+std::vector<std::uint32_t> comparison_order(
+    const std::vector<Record>& records) {
   std::vector<std::uint32_t> order(records.size());
   for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
   std::stable_sort(order.begin(), order.end(),
                    [&records](std::uint32_t a, std::uint32_t b) {
                      return records[a].key < records[b].key;
                    });
-  emit_groups(records, order, fn);
+  return order;
 }
 
-void group_by_key(std::vector<Record>& records, const GroupFn& fn) {
+// Fixed-width path: byte-lexicographic order of 8-byte keys equals
+// numeric order of their big-endian decoding, so sort the integers.
+// Leaves the permutation in s.order.
+void radix_order(const std::vector<Record>& records, GroupScratch& s) {
   const std::size_t n = records.size();
-  if (n == 0) return;
-  if (!all_keys_are_u64(records)) {
-    group_by_key_stable_sort(records, fn);
-    return;
-  }
-
-  // Fixed-width path: byte-lexicographic order of 8-byte keys equals
-  // numeric order of their big-endian decoding, so sort the integers.
-  auto& s = scratch();
   s.keys.resize(n);
   s.order.resize(n);
   s.tmp.resize(n);
@@ -111,8 +103,40 @@ void group_by_key(std::vector<Record>& records, const GroupFn& fn) {
     }
     std::swap(s.order, s.tmp);
   }
+}
 
+}  // namespace
+
+void group_by_key_stable_sort(std::vector<Record>& records,
+                              const GroupFn& fn) {
+  emit_groups(records, comparison_order(records), fn);
+}
+
+void group_by_key(std::vector<Record>& records, const GroupFn& fn) {
+  if (records.empty()) return;
+  if (!all_keys_are_u64(records)) {
+    group_by_key_stable_sort(records, fn);
+    return;
+  }
+  auto& s = scratch();
+  radix_order(records, s);
   emit_groups(records, s.order, fn);
+}
+
+std::vector<std::uint32_t> sorted_order(const std::vector<Record>& records) {
+  if (records.empty()) return {};
+  if (!all_keys_are_u64(records)) return comparison_order(records);
+  auto& s = scratch();
+  radix_order(records, s);
+  return s.order;
+}
+
+void sort_records_stable(std::vector<Record>& records) {
+  const std::vector<std::uint32_t> order = sorted_order(records);
+  std::vector<Record> sorted;
+  sorted.reserve(records.size());
+  for (const std::uint32_t i : order) sorted.push_back(std::move(records[i]));
+  records = std::move(sorted);
 }
 
 }  // namespace pairmr::mr

@@ -29,6 +29,18 @@ using GroupFn = std::function<void(const Bytes&, const std::vector<Bytes>&)>;
 // moved out; the vector's contents are unspecified afterwards.
 void group_by_key(std::vector<Record>& records, const GroupFn& fn);
 
+// The index permutation behind group_by_key: order[i] is the position of
+// the i-th record under a stable byte-lexicographic key sort (radix for
+// uniform 8-byte keys, std::stable_sort otherwise). Exposed so the
+// spill path (mr/spill.hpp) sorts map-side runs with the same ordering
+// the shuffle uses — a spilled run merges byte-identically with the
+// in-memory path's grouping.
+std::vector<std::uint32_t> sorted_order(const std::vector<Record>& records);
+
+// Physically reorder `records` into stable key order (applies
+// sorted_order). Used to turn a raw map-output bucket into a sorted run.
+void sort_records_stable(std::vector<Record>& records);
+
 // Forces the comparison-sort path regardless of key shape. Exposed as
 // the reference implementation for the grouping property test and
 // bench_hotpath; the engine never calls it directly.

@@ -15,6 +15,10 @@ void JobSpec::validate() const {
                  "map-only jobs cannot combine");
   PAIRMR_REQUIRE(!output_dir.empty(), "job needs an output dir");
   PAIRMR_REQUIRE(!input_paths.empty(), "job needs input paths");
+  PAIRMR_REQUIRE(!memory_budget.enabled() || memory_budget.merge_fan_in >= 2,
+                 "memory budget merge_fan_in must be >= 2 (got " +
+                     std::to_string(memory_budget.merge_fan_in) +
+                     "); a 1-way merge cannot make progress");
 }
 
 std::uint32_t RangePartitioner::partition(

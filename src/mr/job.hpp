@@ -87,6 +87,27 @@ class RangePartitioner final : public Partitioner {
 using MapperFactory = std::function<std::unique_ptr<Mapper>()>;
 using ReducerFactory = std::function<std::unique_ptr<Reducer>()>;
 
+// Per-task memory budget for the out-of-core execution path
+// (mr/spill.hpp). When `bytes` is non-zero, map tasks spill sorted runs
+// to DFS scratch instead of letting output buffers grow past the budget,
+// and reduce tasks stream their input through a k-way merge instead of
+// materializing the whole partition. Output is byte-identical either
+// way; only cost (spill.* / merge.* counters, scratch I/O) changes.
+struct MemoryBudget {
+  // Tracked buffer ceiling per task, in bytes. 0 disables the spill path
+  // (fully in-memory, the seed behaviour). A single record larger than
+  // the budget is buffered alone and spilled immediately — the tracked
+  // peak is then that record's size, the only way the ceiling can be
+  // exceeded.
+  std::uint64_t bytes = 0;
+  // Maximum runs merged at once on the reduce side (Hadoop's
+  // io.sort.factor). Partitions with more runs pay intermediate merge
+  // passes. Must be >= 2 when the budget is enabled.
+  std::uint32_t merge_fan_in = 16;
+
+  bool enabled() const { return bytes != 0; }
+};
+
 // Full description of one MapReduce job.
 struct JobSpec {
   std::string name = "job";
@@ -118,6 +139,13 @@ struct JobSpec {
   // Split each input file into map tasks of at most this many records.
   // 0 disables splitting (one map task per file).
   std::uint64_t max_records_per_split = 0;
+
+  // Out-of-core execution budget (see MemoryBudget). Disabled by default.
+  // Ignored for map-only jobs, whose output must preserve emission order.
+  // When disabled, the PAIRMR_TEST_MEMORY_BUDGET environment variable (a
+  // byte count) force-enables it — the CI spill suite runs every test
+  // through the spill path this way, relying on byte-identical output.
+  MemoryBudget memory_budget;
 
   // DFS paths broadcast to every node before the job starts (Hadoop's
   // distributed cache). Mappers read them through MapContext::cache_file.

@@ -1,0 +1,140 @@
+#include "mr/spill.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace pairmr::mr {
+
+namespace {
+
+// Heap entry: the head record of one source. Min-heap by (key, source
+// index) — the source index tie-break is what keeps the merge stable
+// across runs, reproducing the in-memory stable sort's value order.
+struct Head {
+  const Bytes* key;
+  std::size_t source;
+};
+
+struct HeadGreater {
+  bool operator()(const Head& a, const Head& b) const {
+    if (*a.key != *b.key) return *a.key > *b.key;
+    return a.source > b.source;
+  }
+};
+
+}  // namespace
+
+GroupIterator::GroupIterator(std::vector<RunSource> sources)
+    : sources_(std::move(sources)), heads_(sources_.size(), 0) {}
+
+bool GroupIterator::next() {
+  // Find the smallest head key; ties resolve to the lowest source index
+  // because we scan sources in order and only replace on strictly
+  // smaller keys. Fan-in is bounded by the budget's merge_fan_in, so a
+  // linear scan beats heap bookkeeping at realistic widths.
+  const Bytes* min_key = nullptr;
+  std::uint64_t head_bytes = 0;
+  for (std::size_t s = 0; s < sources_.size(); ++s) {
+    const auto& recs = sources_[s].view();
+    if (heads_[s] >= recs.size()) continue;
+    const Record& r = recs[heads_[s]];
+    head_bytes += r.size_bytes();
+    if (min_key == nullptr || r.key < *min_key) min_key = &r.key;
+  }
+  max_head_bytes_ = std::max(max_head_bytes_, head_bytes);
+  if (min_key == nullptr) return false;
+
+  key_ = *min_key;  // copy before any move invalidates the pointee's run
+  values_.clear();
+  for (std::size_t s = 0; s < sources_.size(); ++s) {
+    auto& src = sources_[s];
+    const auto& recs = src.view();
+    while (heads_[s] < recs.size() && recs[heads_[s]].key == key_) {
+      if (src.owned()) {
+        values_.push_back(std::move(src.records[heads_[s]].value));
+      } else {
+        values_.push_back(recs[heads_[s]].value);
+      }
+      ++heads_[s];
+      ++records_consumed_;
+    }
+  }
+  return true;
+}
+
+std::vector<Record> merge_runs(std::vector<RunSource> sources) {
+  std::size_t total = 0;
+  for (const auto& s : sources) total += s.view().size();
+  std::vector<Record> out;
+  out.reserve(total);
+
+  std::vector<std::size_t> heads(sources.size(), 0);
+  std::vector<Head> heap;
+  heap.reserve(sources.size());
+  for (std::size_t s = 0; s < sources.size(); ++s) {
+    if (!sources[s].view().empty()) {
+      heap.push_back(Head{&sources[s].view()[0].key, s});
+    }
+  }
+  const HeadGreater greater;
+  std::make_heap(heap.begin(), heap.end(), greater);
+
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), greater);
+    const std::size_t s = heap.back().source;
+    heap.pop_back();
+    auto& src = sources[s];
+    const auto& recs = src.view();
+    if (src.owned()) {
+      out.push_back(std::move(src.records[heads[s]]));
+    } else {
+      out.push_back(recs[heads[s]]);
+    }
+    if (++heads[s] < recs.size()) {
+      heap.push_back(Head{&recs[heads[s]].key, s});
+      std::push_heap(heap.begin(), heap.end(), greater);
+    }
+  }
+  return out;
+}
+
+std::vector<RunSource> merge_to_fan_in(SimDfs& dfs,
+                                       const std::string& scratch_prefix,
+                                       NodeId node,
+                                       std::vector<RunSource> sources,
+                                       std::uint32_t fan_in,
+                                       MergeStats& stats) {
+  PAIRMR_REQUIRE(fan_in >= 2, "merge fan-in must be at least 2");
+  while (sources.size() > fan_in) {
+    ++stats.passes;
+    std::vector<RunSource> next;
+    next.reserve((sources.size() + fan_in - 1) / fan_in);
+    for (std::size_t begin = 0; begin < sources.size(); begin += fan_in) {
+      const std::size_t end = std::min(sources.size(), begin + fan_in);
+      if (end - begin == 1) {
+        // A lone tail run passes through unmerged; rewriting it would
+        // change no order and only burn scratch bytes.
+        next.push_back(std::move(sources[begin]));
+        continue;
+      }
+      std::vector<RunSource> batch(
+          std::make_move_iterator(sources.begin() + begin),
+          std::make_move_iterator(sources.begin() + end));
+      std::vector<Record> merged = merge_runs(std::move(batch));
+      const std::string path = scratch_prefix + "pass-" +
+                               std::to_string(stats.passes) + "-run-" +
+                               std::to_string(next.size());
+      dfs.write_file(path, node, std::move(merged));
+      auto file = dfs.open(path);
+      stats.runs_written += 1;
+      stats.bytes_written += file->bytes;
+      next.push_back(RunSource::from_file(std::move(file)));
+    }
+    sources = std::move(next);
+  }
+  return sources;
+}
+
+}  // namespace pairmr::mr

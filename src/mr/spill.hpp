@@ -1,0 +1,132 @@
+// Memory-budgeted out-of-core execution: sorted runs, k-way merging, and
+// pull-based grouping (the engine's spill path).
+//
+// The paper chooses among broadcast/block/design because of the memory
+// limit `m` (§6, Table 1 "Limits") — but a real engine also has to
+// survive the moments *between* the planner's guarantees: map-output
+// buffers, shuffle buckets, and reduce inputs all compete for task
+// memory. A JobSpec may therefore carry a MemoryBudget (mr/job.hpp).
+// When it does:
+//
+//   * map side — MapContext tracks buffered bucket bytes; before a record
+//     would push the total over the budget, every non-empty bucket is
+//     sorted (mr/group.hpp's radix ordering — the same ordering the
+//     shuffle uses), optionally combined, and written to DFS scratch as a
+//     *sorted run*. The final leftover buffer becomes one more in-memory
+//     sorted run, so buffered bytes never exceed the budget.
+//   * reduce side — instead of concatenating every fetched bucket and
+//     sorting the whole partition, the task k-way-merges the sorted runs
+//     and streams one key group at a time into reduce via GroupIterator;
+//     the full partition is never materialized. When a partition has more
+//     runs than the budget's merge fan-in, intermediate merge passes
+//     (counter::kMergePasses) fold consecutive runs into wider scratch
+//     runs first, exactly like Hadoop's io.sort.factor.
+//
+// Equivalence: a spilled run holds records emitted *before* any later
+// run's records, and every run is sorted with the stable shuffle
+// ordering. Merging runs in (map task, run age) order with ties broken by
+// source index therefore reproduces, byte for byte, the value order of
+// the in-memory path's stable sort — spill on/off changes only cost,
+// never output (property-tested across schemes, drivers, and fault
+// chaos in tests/pairwise/spill_equivalence_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mr/fs.hpp"
+#include "mr/types.hpp"
+
+namespace pairmr::mr {
+
+// One sorted run: either a DFS scratch file (spilled, records borrowed
+// and copied out on read) or an in-memory record vector (owned, records
+// moved out on read). Records must be in stable byte-lexicographic key
+// order (mr/group.hpp's sorted_order).
+struct RunSource {
+  std::shared_ptr<const DfsFile> file;  // set when spilled
+  std::vector<Record> records;          // set when in-memory
+
+  static RunSource from_file(std::shared_ptr<const DfsFile> f) {
+    RunSource r;
+    r.file = std::move(f);
+    return r;
+  }
+  static RunSource from_records(std::vector<Record> recs) {
+    RunSource r;
+    r.records = std::move(recs);
+    return r;
+  }
+
+  bool owned() const { return file == nullptr; }
+  const std::vector<Record>& view() const {
+    return file ? file->records : records;
+  }
+  std::uint64_t record_count() const { return view().size(); }
+};
+
+// Pull-based grouped merge over sorted runs — the reduce side of the
+// spill path. Each next() advances to the following key group, merging
+// across runs with ties broken by source index (lower index first), so
+// the (key, values) stream is byte-identical to group_by_key over the
+// concatenation of the sources in index order. Values of owned sources
+// are moved, file-backed values copied. Empty sources are legal.
+class GroupIterator {
+ public:
+  explicit GroupIterator(std::vector<RunSource> sources);
+
+  // Advance to the next group; false once all runs are exhausted. The
+  // previous group's key/values are invalidated.
+  bool next();
+
+  const Bytes& key() const { return key_; }
+  const std::vector<Bytes>& values() const { return values_; }
+
+  std::uint64_t records_consumed() const { return records_consumed_; }
+  // Largest byte size any merge head buffer reached (one record per
+  // source at a time) — the merge's tracked memory, excluding the
+  // current group handed to user code.
+  std::uint64_t max_head_bytes() const { return max_head_bytes_; }
+
+ private:
+  struct Cursor {
+    std::size_t source = 0;
+    std::size_t pos = 0;
+  };
+  const Record& record_at(const Cursor& c) const {
+    return sources_[c.source].view()[c.pos];
+  }
+
+  std::vector<RunSource> sources_;
+  std::vector<std::size_t> heads_;  // per-source next position
+  Bytes key_;
+  std::vector<Bytes> values_;
+  std::uint64_t records_consumed_ = 0;
+  std::uint64_t max_head_bytes_ = 0;
+};
+
+// Record-level k-way merge of `sources` (same ordering contract as
+// GroupIterator) into one flat sorted run. Owned sources are consumed.
+std::vector<Record> merge_runs(std::vector<RunSource> sources);
+
+struct MergeStats {
+  std::uint64_t passes = 0;        // intermediate merge rounds
+  std::uint64_t runs_written = 0;  // scratch runs produced by those rounds
+  std::uint64_t bytes_written = 0;
+};
+
+// Reduce at most `fan_in`-way: while more than `fan_in` runs remain,
+// merge consecutive batches of `fan_in` runs into scratch files under
+// `scratch_prefix` (home `node`), preserving global source order so the
+// final merge stays byte-identical to a single wide merge. Each round is
+// one MergeStats::passes. Requires fan_in >= 2.
+std::vector<RunSource> merge_to_fan_in(SimDfs& dfs,
+                                       const std::string& scratch_prefix,
+                                       NodeId node,
+                                       std::vector<RunSource> sources,
+                                       std::uint32_t fan_in,
+                                       MergeStats& stats);
+
+}  // namespace pairmr::mr

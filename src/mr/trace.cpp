@@ -83,6 +83,10 @@ const char* to_string(SpanKind kind) {
       return "cache-broadcast";
     case SpanKind::kOutputWrite:
       return "output-write";
+    case SpanKind::kSpillWrite:
+      return "spill-write";
+    case SpanKind::kMergePass:
+      return "merge-pass";
   }
   return "unknown";
 }

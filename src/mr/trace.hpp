@@ -59,6 +59,8 @@ enum class SpanKind : std::uint8_t {
   kInputRead,      // map split read (remote when rescheduled off-home)
   kCacheBroadcast, // distributed-cache copy to one node
   kOutputWrite,    // part-file write of a finished task
+  kSpillWrite,     // one sorted run written to DFS scratch (memory budget)
+  kMergePass,      // reduce-side intermediate merge round (fan-in limit)
 };
 
 const char* to_string(SpanKind kind);

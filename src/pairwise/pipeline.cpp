@@ -1,18 +1,8 @@
 #include "pairwise/pipeline.hpp"
 
-#include <algorithm>
-#include <memory>
-#include <optional>
-#include <unordered_map>
 #include <utility>
 
-#include "common/check.hpp"
-#include "common/log.hpp"
-#include "common/serde.hpp"
-#include "mr/context.hpp"
-#include "pairwise/aggregate.hpp"
-#include "pairwise/broadcast_scheme.hpp"
-#include "pairwise/filtered_scheme.hpp"
+#include "pairwise/runner.hpp"
 
 namespace pairmr {
 
@@ -63,350 +53,40 @@ void PairEvaluator::evaluate(std::size_t lo, std::size_t hi,
   }
 }
 
-namespace {
-
-using mr::Bytes;
-
 // ---------------------------------------------------------------------
-// Job 1 — Algorithm 1: distribution and pairwise comparison.
+// Deprecated free functions: thin wrappers over PairwiseRunner that
+// translate the unified RunReport back into the historical stats structs.
+// The drivers themselves live in runner.cpp.
 // ---------------------------------------------------------------------
-
-// map(id, element): emit (D, element) for every working set D of the id.
-class DistributeMapper final : public mr::Mapper {
- public:
-  explicit DistributeMapper(const DistributionScheme& scheme)
-      : scheme_(scheme) {}
-
-  void map(const Bytes& key, const Bytes& value,
-           mr::MapContext& ctx) override {
-    const ElementId id = decode_u64_key(key);
-    Element e;
-    e.id = id;
-    e.payload = value;
-    std::string encoded = encode_element(e);
-    const std::vector<TaskId> tasks = scheme_.subsets_of(id);
-    for (std::size_t i = 0; i < tasks.size(); ++i) {
-      if (i + 1 == tasks.size()) {
-        // The last working-set copy moves the encoded bytes.
-        ctx.emit(encode_u64_key(tasks[i]), std::move(encoded));
-      } else {
-        ctx.emit(encode_u64_key(tasks[i]), encoded);
-      }
-    }
-  }
-
- private:
-  const DistributionScheme& scheme_;
-};
-
-// reduce(D, [element]): evaluate getPairs(D), attach results to both pair
-// members, re-emit every element keyed by its id.
-class ComputeReducer final : public mr::Reducer {
- public:
-  ComputeReducer(const DistributionScheme& scheme, const PairwiseJob& job)
-      : scheme_(scheme), job_(job) {}
-
-  void reduce(const Bytes& key, const std::vector<Bytes>& values,
-              mr::ReduceContext& ctx) override {
-    const TaskId task = decode_u64_key(key);
-
-    std::vector<Element> elems;
-    elems.reserve(values.size());
-    for (const auto& v : values) elems.push_back(decode_element(v));
-
-    // Dense slot index in the scheme's working-set (id) order: a flat
-    // sorted array searched by lower_bound instead of a per-task hash
-    // map — no hashing or pointer chasing on the per-pair hot path.
-    std::vector<std::pair<ElementId, std::uint32_t>> index;
-    index.reserve(elems.size());
-    for (std::uint32_t i = 0; i < elems.size(); ++i) {
-      index.emplace_back(elems[i].id, i);
-    }
-    std::sort(index.begin(), index.end());
-    for (std::size_t i = 1; i < index.size(); ++i) {
-      PAIRMR_CHECK(index[i].first != index[i - 1].first,
-                   "duplicate element copy in one working set");
-    }
-    const auto slot_of = [&index](ElementId id) {
-      const auto it = std::lower_bound(
-          index.begin(), index.end(),
-          std::pair<ElementId, std::uint32_t>{id, 0});
-      PAIRMR_CHECK(it != index.end() && it->first == id,
-                   "working set is missing a pair member");
-      return it->second;
-    };
-
-    // Results are accumulated separately so compute() always sees
-    // pristine elements (id + payload only). The evaluator prepares each
-    // working-set element once — O(e) decodes per task, not O(e²).
-    std::vector<std::vector<ResultEntry>> acc(elems.size());
-    PairEvaluator evaluator(job_, elems);
-
-    scheme_.for_each_pair(task, [&](ElementPair pair) {
-      const std::uint32_t lo = slot_of(pair.lo);
-      const std::uint32_t hi = slot_of(pair.hi);
-      evaluator.evaluate(lo, hi, acc[lo], acc[hi]);
-    });
-
-    ctx.counters().add(counter::kEvaluations, evaluator.evaluations());
-    ctx.counters().add(counter::kResultsKept, evaluator.kept());
-
-    for (std::size_t i = 0; i < elems.size(); ++i) {
-      elems[i].results = std::move(acc[i]);
-      ctx.emit(encode_u64_key(elems[i].id), encode_element(elems[i]));
-    }
-  }
-
- private:
-  const DistributionScheme& scheme_;
-  const PairwiseJob& job_;
-};
-
-// ---------------------------------------------------------------------
-// Job 2 — Algorithm 2: aggregation of element copies.
-// ---------------------------------------------------------------------
-
-class AggregateReducer final : public mr::Reducer {
- public:
-  // `finalize` runs once per fully merged element (may be null).
-  explicit AggregateReducer(const FinalizeFn& finalize)
-      : finalize_(finalize) {}
-
-  void reduce(const Bytes& key, const std::vector<Bytes>& values,
-              mr::ReduceContext& ctx) override {
-    std::vector<Element> copies;
-    copies.reserve(values.size());
-    for (const auto& v : values) copies.push_back(decode_element(v));
-    Element merged = merge_copies(std::move(copies));
-    if (finalize_) finalize_(merged);
-    ctx.emit(key, encode_element(merged));
-  }
-
- private:
-  const FinalizeFn& finalize_;
-};
-
-// ---------------------------------------------------------------------
-// §5.1 one-job broadcast variant.
-// ---------------------------------------------------------------------
-
-// Input records are task descriptors (key = task id). The dataset arrives
-// via the distributed cache; map evaluates the task's pair-label range and
-// emits per-element partial results (payloads are NOT re-shipped — the
-// aggregating reducer re-reads them from the cache).
-class BroadcastComputeMapper final : public mr::Mapper {
- public:
-  BroadcastComputeMapper(const BroadcastScheme& scheme, const PairwiseJob& job,
-                         const std::vector<std::string>& dataset_paths)
-      : scheme_(scheme), job_(job), dataset_paths_(dataset_paths) {}
-
-  void setup(mr::MapContext& ctx) override {
-    elements_.clear();
-    for (const auto& path : dataset_paths_) {
-      for (const auto& rec : ctx.cache_file(path)) {
-        Element e;
-        e.id = decode_u64_key(rec.key);
-        e.payload = rec.value;
-        elements_.push_back(std::move(e));
-      }
-    }
-    std::sort(elements_.begin(), elements_.end(),
-              [](const Element& a, const Element& b) { return a.id < b.id; });
-    PAIRMR_REQUIRE(elements_.size() == scheme_.num_elements(),
-                   "cached dataset size does not match v");
-    for (std::size_t i = 0; i < elements_.size(); ++i) {
-      PAIRMR_REQUIRE(elements_[i].id == i,
-                     "dataset ids must be dense 0..v-1");
-    }
-    // Ids are dense, so slot == id: accumulators are plain vectors and
-    // the evaluator prepares every cached element once per map task.
-    acc_.assign(elements_.size(), {});
-    touched_.assign(elements_.size(), 0);
-    evaluator_.emplace(job_, elements_);
-  }
-
-  void map(const Bytes& key, const Bytes& /*value*/,
-           mr::MapContext& ctx) override {
-    const TaskId task = decode_u64_key(key);
-    const std::uint64_t evals_before = evaluator_->evaluations();
-    const std::uint64_t kept_before = evaluator_->kept();
-    scheme_.for_each_pair(task, [&](ElementPair pair) {
-      touched_[pair.lo] = 1;
-      touched_[pair.hi] = 1;
-      evaluator_->evaluate(pair.lo, pair.hi, acc_[pair.lo], acc_[pair.hi]);
-    });
-    ctx.counters().add(counter::kEvaluations,
-                       evaluator_->evaluations() - evals_before);
-    ctx.counters().add(counter::kResultsKept,
-                       evaluator_->kept() - kept_before);
-  }
-
-  void cleanup(mr::MapContext& ctx) override {
-    // One record per touched element: its partial result list (possibly
-    // empty when a keep-filter rejected everything).
-    for (ElementId id = 0; id < acc_.size(); ++id) {
-      if (touched_[id] == 0) continue;
-      Element e;
-      e.id = id;
-      e.results = std::move(acc_[id]);
-      ctx.emit(encode_u64_key(id), encode_element(e));
-    }
-    evaluator_.reset();
-    acc_.clear();
-    touched_.clear();
-  }
-
- private:
-  const BroadcastScheme& scheme_;
-  const PairwiseJob& job_;
-  const std::vector<std::string>& dataset_paths_;
-  std::vector<Element> elements_;
-  std::vector<std::vector<ResultEntry>> acc_;
-  std::vector<char> touched_;
-  std::optional<PairEvaluator> evaluator_;
-};
-
-// Aggregates partial result lists and joins the payload back in from the
-// distributed cache.
-class BroadcastAggregateReducer final : public mr::Reducer {
- public:
-  BroadcastAggregateReducer(const PairwiseJob& job,
-                            const std::vector<std::string>& dataset_paths)
-      : job_(job), dataset_paths_(dataset_paths) {}
-
-  void setup(mr::ReduceContext& ctx) override {
-    payloads_.clear();
-    for (const auto& path : dataset_paths_) {
-      for (const auto& rec : ctx.cache_file(path)) {
-        payloads_.emplace(decode_u64_key(rec.key), rec.value);
-      }
-    }
-  }
-
-  void reduce(const Bytes& key, const std::vector<Bytes>& values,
-              mr::ReduceContext& ctx) override {
-    std::vector<Element> copies;
-    copies.reserve(values.size());
-    for (const auto& v : values) copies.push_back(decode_element(v));
-    Element merged = merge_copies(std::move(copies));
-    const auto it = payloads_.find(merged.id);
-    PAIRMR_CHECK(it != payloads_.end(), "result for unknown element id");
-    merged.payload = it->second;
-    if (job_.finalize) job_.finalize(merged);
-    ctx.emit(key, encode_element(merged));
-  }
-
- private:
-  const PairwiseJob& job_;
-  const std::vector<std::string>& dataset_paths_;
-  std::unordered_map<ElementId, std::string> payloads_;
-};
-
-void validate_job(const PairwiseJob& job) {
-  PAIRMR_REQUIRE(job.compute != nullptr, "pairwise job needs a compute fn");
-  PAIRMR_REQUIRE((job.prepared.prepare == nullptr) ==
-                     (job.prepared.compare == nullptr),
-                 "prepared kernel needs both prepare and compare");
-}
-
-void apply_fault_options(mr::JobSpec& spec, const PairwiseOptions& options) {
-  spec.fault_plan = options.fault_plan;
-  spec.speculative_execution = options.speculative_execution;
-}
-
-std::uint64_t dir_bytes(const mr::SimDfs& dfs, const std::string& prefix) {
-  std::uint64_t total = 0;
-  for (const auto& path : dfs.list(prefix)) total += dfs.open(path)->bytes;
-  return total;
-}
-
-std::uint64_t dir_records(const mr::SimDfs& dfs, const std::string& prefix) {
-  std::uint64_t total = 0;
-  for (const auto& path : dfs.list(prefix)) {
-    total += dfs.open(path)->records.size();
-  }
-  return total;
-}
-
-}  // namespace
 
 PairwiseRunStats run_pairwise(mr::Cluster& cluster,
                               const std::vector<std::string>& input_paths,
                               const DistributionScheme& scheme,
                               const PairwiseJob& job,
                               const PairwiseOptions& options) {
-  validate_job(job);
-  mr::Engine engine(cluster);
-  mr::SimDfs& dfs = cluster.dfs();
-
-  const std::string intermediate_dir = options.work_dir + "/intermediate";
-  const std::string output_dir = options.work_dir + "/output";
-  dfs.remove_prefix(intermediate_dir);
-  dfs.remove_prefix(output_dir);
+  RunSpec spec;
+  spec.input_paths = input_paths;
+  spec.mode = RunMode::kTwoJob;
+  spec.scheme = &scheme;
+  spec.job = job;
+  spec.options = options;
+  RunReport report = PairwiseRunner(cluster).run(spec);
 
   PairwiseRunStats stats;
-
-  // Job 1: distribute + compare.
-  mr::JobSpec job1;
-  job1.name = "pairwise-distribute[" + scheme.name() + "]";
-  job1.input_paths = input_paths;
-  job1.output_dir = intermediate_dir;
-  job1.mapper_factory = [&scheme] {
-    return std::make_unique<DistributeMapper>(scheme);
-  };
-  job1.reducer_factory = [&scheme, &job] {
-    return std::make_unique<ComputeReducer>(scheme, job);
-  };
-  job1.partitioner = options.distribute_partitioner;
-  job1.num_reduce_tasks = options.num_reduce_tasks;
-  job1.max_records_per_split = options.max_records_per_split;
-  apply_fault_options(job1, options);
-  stats.distribute_job = engine.run(job1);
-
-  const std::uint64_t v = scheme.num_elements();
-  stats.evaluations = stats.distribute_job.counter(counter::kEvaluations);
-  stats.results_kept = stats.distribute_job.counter(counter::kResultsKept);
-  stats.replication_factor =
-      static_cast<double>(
-          stats.distribute_job.counter(mr::counter::kMapOutputRecords)) /
-      static_cast<double>(v);
-  stats.max_working_set_records =
-      stats.distribute_job.counter(mr::counter::kReduceMaxGroupRecords);
-  stats.max_working_set_bytes =
-      stats.distribute_job.counter(mr::counter::kReduceMaxGroupBytes);
-  stats.intermediate_bytes = dir_bytes(dfs, intermediate_dir);
-  stats.shuffle_remote_bytes =
-      stats.distribute_job.counter(mr::counter::kShuffleBytesRemote);
-
-  // Job 2: aggregation (optional).
-  if (options.run_aggregation) {
-    mr::JobSpec job2;
-    job2.name = "pairwise-aggregate[" + scheme.name() + "]";
-    job2.input_paths = stats.distribute_job.output_paths;
-    job2.output_dir = output_dir;
-    job2.mapper_factory = [] { return std::make_unique<mr::IdentityMapper>(); };
-    job2.reducer_factory = [&job] {
-      return std::make_unique<AggregateReducer>(job.finalize);
-    };
-    if (options.aggregation_combiner) {
-      // The combiner merges partial copies only — finalize must run
-      // exactly once per element, in the reducer.
-      static const FinalizeFn kNoFinalize;
-      job2.combiner_factory = [] {
-        return std::make_unique<AggregateReducer>(kNoFinalize);
-      };
-    }
-    job2.num_reduce_tasks = options.num_reduce_tasks;
-    apply_fault_options(job2, options);
-    stats.aggregate_job = engine.run(job2);
-    stats.aggregated = true;
-    stats.shuffle_remote_bytes +=
-        stats.aggregate_job.counter(mr::counter::kShuffleBytesRemote);
-    stats.output_dir = output_dir;
-    if (options.cleanup_intermediate) dfs.remove_prefix(intermediate_dir);
-  } else {
-    stats.output_dir = intermediate_dir;
+  stats.distribute_job = std::move(report.compute_jobs.front());
+  if (!report.merge_jobs.empty()) {
+    stats.aggregate_job = std::move(report.merge_jobs.front());
   }
+  stats.aggregated = report.aggregated;
+  stats.evaluations = report.evaluations;
+  stats.results_kept = report.results_kept;
+  stats.replication_factor = report.replication_factor;
+  stats.max_working_set_records = report.max_working_set_records;
+  stats.max_working_set_bytes = report.max_working_set_bytes;
+  stats.intermediate_bytes = report.intermediate_bytes;
+  stats.shuffle_remote_bytes = report.shuffle_remote_bytes;
+  stats.cache_broadcast_bytes = report.cache_broadcast_bytes;
+  stats.output_dir = std::move(report.output_dir);
   return stats;
 }
 
@@ -414,66 +94,26 @@ PairwiseRunStats run_pairwise_broadcast(
     mr::Cluster& cluster, const std::vector<std::string>& input_paths,
     std::uint64_t v, std::uint64_t num_tasks, const PairwiseJob& job,
     const PairwiseOptions& options) {
-  validate_job(job);
-  const BroadcastScheme scheme(v, num_tasks);
-  mr::Engine engine(cluster);
-  mr::SimDfs& dfs = cluster.dfs();
-
-  const std::string tasks_dir = options.work_dir + "/tasks";
-  const std::string output_dir = options.work_dir + "/output";
-  dfs.remove_prefix(tasks_dir);
-  dfs.remove_prefix(output_dir);
-
-  // Task descriptors, spread round-robin so every node computes.
-  std::vector<mr::Record> descriptors;
-  descriptors.reserve(num_tasks);
-  for (TaskId t = 0; t < num_tasks; ++t) {
-    descriptors.push_back(mr::Record{encode_u64_key(t), ""});
-  }
-  const auto task_paths = cluster.scatter_records(tasks_dir,
-                                                  std::move(descriptors));
-
-  mr::JobSpec spec;
-  spec.name = "pairwise-broadcast-onejob";
-  spec.input_paths = task_paths;
-  spec.output_dir = output_dir;
-  spec.cache_paths = input_paths;
-  spec.mapper_factory = [&scheme, &job, &input_paths] {
-    return std::make_unique<BroadcastComputeMapper>(scheme, job, input_paths);
-  };
-  spec.reducer_factory = [&job, &input_paths] {
-    return std::make_unique<BroadcastAggregateReducer>(job, input_paths);
-  };
-  spec.num_reduce_tasks = options.num_reduce_tasks;
-  // One map task per descriptor record: each task descriptor is an
-  // independent unit of work.
-  spec.max_records_per_split = 1;
-  apply_fault_options(spec, options);
+  RunSpec spec;
+  spec.input_paths = input_paths;
+  spec.mode = RunMode::kBroadcast;
+  spec.broadcast = BroadcastTarget{.v = v, .num_tasks = num_tasks};
+  spec.job = job;
+  spec.options = options;
+  RunReport report = PairwiseRunner(cluster).run(spec);
 
   PairwiseRunStats stats;
-  stats.distribute_job = engine.run(spec);
-  stats.aggregated = true;  // aggregation happens in the same job's reduce
-  stats.evaluations = stats.distribute_job.counter(counter::kEvaluations);
-  stats.results_kept = stats.distribute_job.counter(counter::kResultsKept);
-  stats.cache_broadcast_bytes =
-      stats.distribute_job.counter(mr::counter::kCacheBroadcastBytes);
-
-  std::uint64_t dataset_bytes = 0;
-  for (const auto& path : input_paths) dataset_bytes += dfs.open(path)->bytes;
-  if (dataset_bytes > 0) {
-    // Effective replication: how many dataset copies the broadcast made.
-    stats.replication_factor =
-        static_cast<double>(stats.cache_broadcast_bytes + dataset_bytes) /
-        static_cast<double>(dataset_bytes);
-  }
-  // The working set of every map task is the whole cached dataset.
-  stats.max_working_set_records = dir_records(dfs, tasks_dir) > 0 ? v : 0;
-  stats.max_working_set_bytes = dataset_bytes;
-  stats.intermediate_bytes =
-      stats.distribute_job.counter(mr::counter::kMapOutputBytes);
-  stats.shuffle_remote_bytes =
-      stats.distribute_job.counter(mr::counter::kShuffleBytesRemote);
-  stats.output_dir = output_dir;
+  stats.distribute_job = std::move(report.compute_jobs.front());
+  stats.aggregated = report.aggregated;
+  stats.evaluations = report.evaluations;
+  stats.results_kept = report.results_kept;
+  stats.replication_factor = report.replication_factor;
+  stats.max_working_set_records = report.max_working_set_records;
+  stats.max_working_set_bytes = report.max_working_set_bytes;
+  stats.intermediate_bytes = report.intermediate_bytes;
+  stats.shuffle_remote_bytes = report.shuffle_remote_bytes;
+  stats.cache_broadcast_bytes = report.cache_broadcast_bytes;
+  stats.output_dir = std::move(report.output_dir);
   return stats;
 }
 
@@ -482,97 +122,25 @@ HierarchicalRunStats run_pairwise_rounds(
     const DistributionScheme& scheme,
     const std::vector<std::vector<TaskId>>& rounds, const PairwiseJob& job,
     const PairwiseOptions& options) {
-  validate_job(job);
-  PAIRMR_REQUIRE(!rounds.empty(), "need at least one round");
-  mr::Engine engine(cluster);
-  mr::SimDfs& dfs = cluster.dfs();
+  RunSpec spec;
+  spec.input_paths = input_paths;
+  spec.mode = RunMode::kRounds;
+  spec.scheme = &scheme;
+  spec.rounds = rounds;
+  spec.job = job;
+  spec.options = options;
+  RunReport report = PairwiseRunner(cluster).run(spec);
 
   HierarchicalRunStats stats;
-  std::vector<std::string> accumulated;  // output-so-far paths
-  std::string accumulated_dir;
-
-  for (std::size_t round = 0; round < rounds.size(); ++round) {
-    const FilteredScheme round_scheme(scheme, rounds[round]);
-    const std::string round_dir =
-        options.work_dir + "/round-" + std::to_string(round);
-    dfs.remove_prefix(round_dir);
-
-    mr::JobSpec job1;
-    job1.name = "pairwise-round-" + std::to_string(round) + "[" +
-                scheme.name() + "]";
-    job1.input_paths = input_paths;
-    job1.output_dir = round_dir;
-    job1.mapper_factory = [&round_scheme] {
-      return std::make_unique<DistributeMapper>(round_scheme);
-    };
-    job1.reducer_factory = [&round_scheme, &job] {
-      return std::make_unique<ComputeReducer>(round_scheme, job);
-    };
-    job1.partitioner = options.distribute_partitioner;
-    job1.num_reduce_tasks = options.num_reduce_tasks;
-    job1.max_records_per_split = options.max_records_per_split;
-    apply_fault_options(job1, options);
-    const mr::JobResult r1 = engine.run(job1);
-
-    stats.evaluations += r1.counter(counter::kEvaluations);
-    stats.results_kept += r1.counter(counter::kResultsKept);
-    stats.shuffle_remote_bytes += r1.counter(mr::counter::kShuffleBytesRemote);
-    stats.max_working_set_records =
-        std::max(stats.max_working_set_records,
-                 r1.counter(mr::counter::kReduceMaxGroupRecords));
-    stats.max_working_set_bytes =
-        std::max(stats.max_working_set_bytes,
-                 r1.counter(mr::counter::kReduceMaxGroupBytes));
-    // The round's materialized intermediate data plus the previous
-    // accumulated output that must coexist during the merge.
-    stats.peak_intermediate_bytes = std::max(
-        stats.peak_intermediate_bytes, dir_bytes(dfs, round_dir));
-
-    if (dir_records(dfs, round_dir) == 0) {
-      // Round touched no elements (all its tasks were empty); skip merge.
-      dfs.remove_prefix(round_dir);
-      stats.round_jobs.push_back(r1);
-      continue;
-    }
-
-    // Merge this round into the accumulated output ("each block is
-    // aggregated before the next one is processed", paper §7).
-    const bool last = round + 1 == rounds.size();
-    const std::string next_accum_dir =
-        options.work_dir + (last ? "/output"
-                                 : "/accum-" + std::to_string(round));
-    dfs.remove_prefix(next_accum_dir);
-
-    mr::JobSpec merge;
-    merge.name = "pairwise-merge-" + std::to_string(round);
-    merge.input_paths = r1.output_paths;
-    merge.input_paths.insert(merge.input_paths.end(), accumulated.begin(),
-                             accumulated.end());
-    merge.output_dir = next_accum_dir;
-    merge.mapper_factory = [] {
-      return std::make_unique<mr::IdentityMapper>();
-    };
-    // finalize must run exactly once per element — only in the last merge.
-    static const FinalizeFn kNoFinalize;
-    const FinalizeFn& fin = last ? job.finalize : kNoFinalize;
-    merge.reducer_factory = [&fin] {
-      return std::make_unique<AggregateReducer>(fin);
-    };
-    merge.num_reduce_tasks = options.num_reduce_tasks;
-    apply_fault_options(merge, options);
-    const mr::JobResult rm = engine.run(merge);
-
-    stats.shuffle_remote_bytes += rm.counter(mr::counter::kShuffleBytesRemote);
-    dfs.remove_prefix(round_dir);
-    if (!accumulated_dir.empty()) dfs.remove_prefix(accumulated_dir);
-    accumulated = rm.output_paths;
-    accumulated_dir = next_accum_dir;
-
-    stats.round_jobs.push_back(r1);
-    stats.merge_jobs.push_back(rm);
-  }
-
-  stats.output_dir = accumulated_dir;
+  stats.round_jobs = std::move(report.compute_jobs);
+  stats.merge_jobs = std::move(report.merge_jobs);
+  stats.evaluations = report.evaluations;
+  stats.results_kept = report.results_kept;
+  stats.peak_intermediate_bytes = report.intermediate_bytes;
+  stats.max_working_set_records = report.max_working_set_records;
+  stats.max_working_set_bytes = report.max_working_set_bytes;
+  stats.shuffle_remote_bytes = report.shuffle_remote_bytes;
+  stats.output_dir = std::move(report.output_dir);
   return stats;
 }
 

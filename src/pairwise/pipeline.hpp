@@ -27,6 +27,7 @@
 
 #include "mr/cluster.hpp"
 #include "mr/engine.hpp"
+#include "mr/job.hpp"
 #include "pairwise/element.hpp"
 #include "pairwise/scheme.hpp"
 
@@ -143,6 +144,12 @@ struct PairwiseOptions {
   const mr::FaultPlan* fault_plan = nullptr;
   // Speculatively re-execute tasks the plan marks as stragglers.
   bool speculative_execution = true;
+  // Per-task memory budget applied to every job the pipeline runs
+  // (mr/job.hpp): map tasks spill sorted runs to DFS scratch instead of
+  // buffering past the budget, reduce tasks stream their input through a
+  // k-way merge. Disabled (fully in-memory) by default; enabling changes
+  // cost counters only, never the aggregated output.
+  mr::MemoryBudget memory_budget;
 };
 
 // Custom counters emitted by the pipeline.
@@ -174,6 +181,10 @@ struct PairwiseRunStats {
 // are DFS files whose records are (big-endian u64 id, raw payload); ids
 // must be dense 0..v-1 with v == scheme.num_elements().
 // The scheme must outlive the call.
+//
+// Deprecated: thin wrapper over PairwiseRunner (pairwise/runner.hpp),
+// kept for source compatibility. New code should build a RunSpec with
+// RunMode::kTwoJob and read the unified RunReport.
 PairwiseRunStats run_pairwise(mr::Cluster& cluster,
                               const std::vector<std::string>& input_paths,
                               const DistributionScheme& scheme,
@@ -183,6 +194,8 @@ PairwiseRunStats run_pairwise(mr::Cluster& cluster,
 // One-job broadcast variant (paper §5.1): the dataset travels via the
 // distributed cache; only results are shuffled. `num_tasks` is the
 // paper's p (its Table 1 advantage: freely chosen).
+//
+// Deprecated: thin wrapper over PairwiseRunner (RunMode::kBroadcast).
 PairwiseRunStats run_pairwise_broadcast(
     mr::Cluster& cluster, const std::vector<std::string>& input_paths,
     std::uint64_t v, std::uint64_t num_tasks, const PairwiseJob& job,
@@ -206,6 +219,7 @@ struct HierarchicalRunStats {
   std::string output_dir;
 };
 
+// Deprecated: thin wrapper over PairwiseRunner (RunMode::kRounds).
 HierarchicalRunStats run_pairwise_rounds(
     mr::Cluster& cluster, const std::vector<std::string>& input_paths,
     const DistributionScheme& scheme,

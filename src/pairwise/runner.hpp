@@ -1,0 +1,132 @@
+// Unified front door of the pairwise pipeline.
+//
+// The pipeline historically grew three divergent free functions —
+// run_pairwise (two-job, paper §4), run_pairwise_broadcast (one-job,
+// §5.1), and run_pairwise_rounds (§7) — each with its own stats struct.
+// PairwiseRunner replaces them with one entry point: describe the run in
+// a RunSpec (input, scheme or broadcast target or rounds, job, options),
+// get one RunReport back, whichever driver executed underneath. The old
+// signatures remain in pairwise/pipeline.hpp as thin wrappers over this
+// class, so existing callers keep working unchanged.
+//
+// run_planned closes the planner loop: plan_scheme → make_scheme →
+// execute, falling back to the §7 rounds driver when no scheme is
+// feasible under the given limits — callers no longer hand-wire planner
+// output into pipeline calls.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mr/cluster.hpp"
+#include "mr/engine.hpp"
+#include "pairwise/pipeline.hpp"
+#include "pairwise/planner.hpp"
+#include "pairwise/scheme.hpp"
+
+namespace pairmr {
+
+// Which driver executes the run.
+enum class RunMode {
+  kTwoJob,     // distribute+compare job, then aggregate job (§4)
+  kBroadcast,  // one job, dataset via distributed cache (§5.1)
+  kRounds,     // round-based execution with per-round merges (§7)
+};
+
+const char* to_string(RunMode mode);
+
+// Broadcast-mode target: the paper's (v, p).
+struct BroadcastTarget {
+  std::uint64_t v = 0;          // dataset cardinality
+  std::uint64_t num_tasks = 0;  // p, freely chosen (Table 1)
+};
+
+// Full description of one pairwise run. Exactly one driver input is
+// consulted, selected by `mode`: `scheme` for kTwoJob, `broadcast` for
+// kBroadcast, `scheme` + `rounds` for kRounds. `scheme` is borrowed and
+// must outlive the run() call.
+struct RunSpec {
+  std::vector<std::string> input_paths;
+  RunMode mode = RunMode::kTwoJob;
+  const DistributionScheme* scheme = nullptr;
+  BroadcastTarget broadcast;
+  std::vector<std::vector<TaskId>> rounds;
+  PairwiseJob job;
+  PairwiseOptions options;
+};
+
+// Unified result of any run, merging the old PairwiseRunStats and
+// HierarchicalRunStats. Mode-specific structure survives in the job
+// lists: kTwoJob → compute_jobs = {distribute}, merge_jobs = {aggregate}
+// (when run); kBroadcast → compute_jobs = {the one job}; kRounds →
+// compute_jobs = round jobs, merge_jobs = per-round merges.
+struct RunReport {
+  RunMode mode = RunMode::kTwoJob;
+  std::vector<mr::JobResult> compute_jobs;
+  std::vector<mr::JobResult> merge_jobs;
+  bool aggregated = false;
+
+  std::uint64_t evaluations = 0;
+  std::uint64_t results_kept = 0;
+
+  // Measured counterparts of Table 1's metrics.
+  double replication_factor = 0.0;
+  std::uint64_t max_working_set_records = 0;
+  std::uint64_t max_working_set_bytes = 0;
+  // Largest volume materialized between jobs at any one time (the rounds
+  // driver's value is the peak across rounds, its §7 selling point).
+  std::uint64_t intermediate_bytes = 0;
+  std::uint64_t shuffle_remote_bytes = 0;
+  std::uint64_t cache_broadcast_bytes = 0;
+
+  // Memory-budget metering (mr/spill.hpp), summed over every job the run
+  // executed; all zero when PairwiseOptions::memory_budget is disabled.
+  std::uint64_t spill_runs = 0;
+  std::uint64_t spill_bytes = 0;
+  std::uint64_t merge_passes = 0;
+  std::uint64_t max_tracked_bytes = 0;  // peak task buffer, max over jobs
+
+  std::string output_dir;  // final element files (Figure 2 layout)
+
+  // run_planned provenance (default-constructed otherwise).
+  bool planned = false;
+  Plan plan;
+  bool fell_back_to_rounds = false;
+
+  // Counter totals across every executed job: names containing ".max."
+  // merge with max (the engine's peak counters), everything else sums.
+  std::uint64_t counter(const std::string& name) const;
+};
+
+// Up-front structural validation of a run's options against the cluster,
+// with actionable messages (instead of a failure deep inside the engine).
+// run() calls this before executing; throws PreconditionError.
+void validate_pairwise_options(const mr::Cluster& cluster,
+                               const PairwiseOptions& options);
+
+class PairwiseRunner {
+ public:
+  // The cluster is borrowed and must outlive the runner.
+  explicit PairwiseRunner(mr::Cluster& cluster) : cluster_(cluster) {}
+
+  // Execute `spec` with the driver its mode selects.
+  RunReport run(const RunSpec& spec);
+
+  // Plan under `request.limits`, instantiate the chosen scheme, and
+  // execute it: broadcast plans run the one-job driver, block/design
+  // plans the two-job driver. When no scheme is feasible, falls back to
+  // §7 rounds over a design scheme, chunked into `request.num_nodes`
+  // tasks per round (intermediate storage shrinks with the chunk size).
+  // The report carries the plan and the fallback decision.
+  RunReport run_planned(
+      const PlanRequest& request,
+      const std::vector<std::string>& input_paths, const PairwiseJob& job,
+      const PairwiseOptions& options = {},
+      PlaneConstruction construction = PlaneConstruction::kTheorem2Prime);
+
+ private:
+  mr::Cluster& cluster_;
+};
+
+}  // namespace pairmr

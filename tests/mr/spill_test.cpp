@@ -1,0 +1,329 @@
+// Unit tests of the spill path's building blocks (mr/spill.hpp) — the
+// GroupIterator's grouped merge, record-level merge_runs, multi-pass
+// merge_to_fan_in — plus engine-level spill-on/off byte-equivalence and
+// metering of the memory budget.
+#include "mr/spill.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "mr/cluster.hpp"
+#include "mr/context.hpp"
+#include "mr/engine.hpp"
+#include "mr/group.hpp"
+#include "mr/job.hpp"
+
+namespace pairmr::mr {
+namespace {
+
+std::vector<Record> recs(
+    std::initializer_list<std::pair<const char*, const char*>> kvs) {
+  std::vector<Record> out;
+  for (const auto& [k, v] : kvs) out.push_back(Record{k, v});
+  return out;
+}
+
+// Reference semantics: GroupIterator over sources must equal group_by_key
+// over the concatenation of the sources in index order.
+std::vector<std::pair<std::string, std::vector<std::string>>> reference_groups(
+    const std::vector<RunSource>& sources) {
+  std::vector<Record> concat;
+  for (const auto& s : sources) {
+    for (const auto& r : s.view()) concat.push_back(r);
+  }
+  std::vector<std::pair<std::string, std::vector<std::string>>> out;
+  group_by_key(concat, [&](const Bytes& key, const std::vector<Bytes>& vals) {
+    out.emplace_back(key, vals);
+  });
+  return out;
+}
+
+void expect_groups_match(GroupIterator& it,
+                         const std::vector<RunSource>& reference_sources) {
+  const auto want = reference_groups(reference_sources);
+  std::size_t i = 0;
+  while (it.next()) {
+    ASSERT_LT(i, want.size());
+    EXPECT_EQ(it.key(), want[i].first) << "group " << i;
+    EXPECT_EQ(it.values(), want[i].second) << "group " << i;
+    ++i;
+  }
+  EXPECT_EQ(i, want.size());
+}
+
+// Copy of a source list for building the reference (GroupIterator moves
+// owned values out).
+std::vector<RunSource> copy_sources(const std::vector<RunSource>& sources) {
+  std::vector<RunSource> out;
+  for (const auto& s : sources) {
+    out.push_back(s.owned() ? RunSource::from_records(s.view())
+                            : RunSource::from_file(s.file));
+  }
+  return out;
+}
+
+TEST(GroupIteratorTest, NoSourcesYieldsNothing) {
+  GroupIterator it({});
+  EXPECT_FALSE(it.next());
+  EXPECT_EQ(it.records_consumed(), 0u);
+  EXPECT_EQ(it.max_head_bytes(), 0u);
+}
+
+TEST(GroupIteratorTest, EmptyRunsAreSkipped) {
+  std::vector<RunSource> sources;
+  sources.push_back(RunSource::from_records({}));
+  sources.push_back(RunSource::from_records(recs({{"a", "1"}})));
+  sources.push_back(RunSource::from_records({}));
+  auto reference = copy_sources(sources);
+  GroupIterator it(std::move(sources));
+  expect_groups_match(it, reference);
+  EXPECT_EQ(it.records_consumed(), 1u);
+}
+
+TEST(GroupIteratorTest, SingleRecord) {
+  GroupIterator it({RunSource::from_records(recs({{"k", "v"}}))});
+  ASSERT_TRUE(it.next());
+  EXPECT_EQ(it.key(), "k");
+  EXPECT_EQ(it.values(), std::vector<Bytes>{"v"});
+  EXPECT_FALSE(it.next());
+}
+
+TEST(GroupIteratorTest, DuplicateKeysMergeAcrossRunsInSourceOrder) {
+  // Key "b" appears in all three runs (twice in run 0): values must come
+  // out in (source index, position) order — exactly the stable-sort order
+  // of the concatenation.
+  std::vector<RunSource> sources;
+  sources.push_back(
+      RunSource::from_records(recs({{"a", "s0"}, {"b", "s0-1"}, {"b", "s0-2"}})));
+  sources.push_back(RunSource::from_records(recs({{"b", "s1"}, {"c", "s1"}})));
+  sources.push_back(RunSource::from_records(recs({{"b", "s2"}, {"d", "s2"}})));
+  auto reference = copy_sources(sources);
+  GroupIterator it(std::move(sources));
+  expect_groups_match(it, reference);
+  EXPECT_EQ(it.records_consumed(), 7u);
+  EXPECT_GT(it.max_head_bytes(), 0u);
+}
+
+TEST(GroupIteratorTest, FileBackedAndOwnedSourcesMix) {
+  Cluster cluster({.num_nodes = 1});
+  cluster.dfs().write_file("/runs/r0", 0,
+                           recs({{"a", "file"}, {"c", "file"}}));
+  std::vector<RunSource> sources;
+  sources.push_back(RunSource::from_file(cluster.dfs().open("/runs/r0")));
+  sources.push_back(RunSource::from_records(recs({{"a", "mem"}, {"b", "mem"}})));
+  auto reference = copy_sources(sources);
+  GroupIterator it(std::move(sources));
+  expect_groups_match(it, reference);
+}
+
+TEST(MergeRunsTest, EquivalentToStableSortOfConcatenation) {
+  // Three sorted runs with overlapping keys; merge must equal the stable
+  // sort of their concatenation in source order.
+  std::vector<RunSource> sources;
+  sources.push_back(
+      RunSource::from_records(recs({{"a", "0"}, {"m", "0"}, {"z", "0"}})));
+  sources.push_back(RunSource::from_records(recs({{"a", "1"}, {"n", "1"}})));
+  sources.push_back(
+      RunSource::from_records(recs({{"b", "2"}, {"m", "2"}, {"m", "2b"}})));
+
+  std::vector<Record> concat;
+  for (const auto& s : sources) {
+    for (const auto& r : s.view()) concat.push_back(r);
+  }
+  sort_records_stable(concat);
+
+  const std::vector<Record> merged = merge_runs(std::move(sources));
+  ASSERT_EQ(merged.size(), concat.size());
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    EXPECT_EQ(merged[i].key, concat[i].key) << i;
+    EXPECT_EQ(merged[i].value, concat[i].value) << i;
+  }
+}
+
+TEST(MergeToFanInTest, NoPassesWhenAlreadyUnderFanIn) {
+  Cluster cluster({.num_nodes = 1});
+  std::vector<RunSource> sources;
+  sources.push_back(RunSource::from_records(recs({{"a", "0"}})));
+  sources.push_back(RunSource::from_records(recs({{"b", "1"}})));
+  MergeStats stats;
+  const auto out = merge_to_fan_in(cluster.dfs(), "/scratch/", 0,
+                                   std::move(sources), 4, stats);
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_EQ(stats.passes, 0u);
+  EXPECT_EQ(stats.runs_written, 0u);
+}
+
+TEST(MergeToFanInTest, MultiPassBinaryMergePreservesGroupedOrder) {
+  // 9 single-key runs at fan_in=2: 9 → 5 → 3 → 2 runs, three passes, and
+  // the final grouped stream must equal the ungrouped reference.
+  Cluster cluster({.num_nodes = 1});
+  std::vector<RunSource> sources;
+  for (int i = 0; i < 9; ++i) {
+    const std::string key = std::string(1, static_cast<char>('a' + i % 4));
+    sources.push_back(RunSource::from_records(
+        recs({{key.c_str(), std::to_string(i).c_str()}})));
+  }
+  auto reference = copy_sources(sources);
+
+  MergeStats stats;
+  auto out = merge_to_fan_in(cluster.dfs(), "/scratch/", 0,
+                             std::move(sources), 2, stats);
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_EQ(stats.passes, 3u);
+  EXPECT_GT(stats.runs_written, 0u);
+  EXPECT_GT(stats.bytes_written, 0u);
+
+  GroupIterator it(std::move(out));
+  expect_groups_match(it, reference);
+}
+
+// --- engine-level spill behavior ----------------------------------------
+
+class SplitMapper final : public Mapper {
+ public:
+  void map(const Bytes& key, const Bytes& value, MapContext& ctx) override {
+    // Several emissions per input record so tiny budgets force spills.
+    for (int i = 0; i < 4; ++i) {
+      ctx.emit(key + "-" + std::to_string(i), value);
+    }
+    ctx.emit(key, value);
+  }
+};
+
+class ConcatReducer final : public Reducer {
+ public:
+  void reduce(const Bytes& key, const std::vector<Bytes>& values,
+              ReduceContext& ctx) override {
+    std::string joined;
+    for (const auto& v : values) {
+      joined += v;
+      joined += '|';
+    }
+    ctx.emit(key, joined);
+  }
+};
+
+std::vector<std::string> write_inputs(Cluster& cluster) {
+  std::vector<Record> records;
+  for (int i = 0; i < 24; ++i) {
+    records.push_back(Record{"key" + std::to_string(i % 7),
+                             "payload-" + std::to_string(i)});
+  }
+  return cluster.scatter_records("/in", std::move(records));
+}
+
+JobSpec spill_spec(const std::vector<std::string>& inputs,
+                   const std::string& output_dir) {
+  JobSpec spec;
+  spec.name = "spill-e2e";
+  spec.input_paths = inputs;
+  spec.output_dir = output_dir;
+  spec.mapper_factory = [] { return std::make_unique<SplitMapper>(); };
+  spec.reducer_factory = [] { return std::make_unique<ConcatReducer>(); };
+  return spec;
+}
+
+std::vector<Record> run_and_gather(Cluster& cluster, const JobSpec& spec,
+                                   JobResult* result_out = nullptr) {
+  const JobResult result = Engine(cluster).run(spec);
+  if (result_out != nullptr) *result_out = result;
+  return cluster.gather_records(spec.output_dir);
+}
+
+TEST(EngineSpillTest, TinyBudgetOutputByteIdenticalToInMemory) {
+  Cluster baseline({.num_nodes = 3, .worker_threads = 2});
+  const auto want =
+      run_and_gather(baseline, spill_spec(write_inputs(baseline), "/out"));
+
+  Cluster cluster({.num_nodes = 3, .worker_threads = 2});
+  JobSpec spec = spill_spec(write_inputs(cluster), "/out");
+  spec.memory_budget = MemoryBudget{.bytes = 64, .merge_fan_in = 2};
+  JobResult result;
+  const auto got = run_and_gather(cluster, spec, &result);
+
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].key, want[i].key) << i;
+    EXPECT_EQ(got[i].value, want[i].value) << i;
+  }
+
+  // The budget actually bit: runs spilled, multi-pass merges happened,
+  // and the tracked peak stayed within the budget.
+  EXPECT_GT(result.counter(counter::kSpillRuns), 0u);
+  EXPECT_GT(result.counter(counter::kSpillBytes), 0u);
+  EXPECT_GT(result.counter(counter::kMergePasses), 0u);
+  EXPECT_LE(result.counter(counter::kMemoryMaxTrackedBytes), 64u);
+
+  // Scratch space is swept once the job completes.
+  EXPECT_TRUE(cluster.dfs().list("/out.spill/").empty());
+}
+
+TEST(EngineSpillTest, GenerousBudgetNeverSpills) {
+  Cluster cluster({.num_nodes = 3, .worker_threads = 2});
+  JobSpec spec = spill_spec(write_inputs(cluster), "/out");
+  spec.memory_budget = MemoryBudget{.bytes = 1ull << 30};
+  JobResult result;
+  run_and_gather(cluster, spec, &result);
+  EXPECT_EQ(result.counter(counter::kSpillRuns), 0u);
+  EXPECT_EQ(result.counter(counter::kMergePasses), 0u);
+  EXPECT_GT(result.counter(counter::kMemoryMaxTrackedBytes), 0u);
+}
+
+TEST(EngineSpillTest, CombinerRunsPerSpillAndOutputMatches) {
+  // A combinable job (concat is order-sensitive, so use the reducer only
+  // at reduce time; combiner here just forwards — the point is that the
+  // per-run combine hook fires and output still matches).
+  Cluster baseline({.num_nodes = 2, .worker_threads = 2});
+  JobSpec ref_spec = spill_spec(write_inputs(baseline), "/out");
+  ref_spec.combiner_factory = [] { return std::make_unique<IdentityReducer>(); };
+  const auto want = run_and_gather(baseline, ref_spec);
+
+  Cluster cluster({.num_nodes = 2, .worker_threads = 2});
+  JobSpec spec = spill_spec(write_inputs(cluster), "/out");
+  spec.combiner_factory = [] { return std::make_unique<IdentityReducer>(); };
+  spec.memory_budget = MemoryBudget{.bytes = 96, .merge_fan_in = 2};
+  JobResult result;
+  const auto got = run_and_gather(cluster, spec, &result);
+
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].key, want[i].key) << i;
+    EXPECT_EQ(got[i].value, want[i].value) << i;
+  }
+  EXPECT_GT(result.counter(counter::kSpillRuns), 0u);
+  EXPECT_GT(result.counter(counter::kCombineInputRecords), 0u);
+}
+
+TEST(EngineSpillTest, MapOnlyJobIgnoresBudget) {
+  Cluster cluster({.num_nodes = 2, .worker_threads = 1});
+  JobSpec spec;
+  spec.name = "spill-maponly";
+  spec.input_paths = write_inputs(cluster);
+  spec.output_dir = "/out";
+  spec.map_only = true;
+  spec.mapper_factory = [] { return std::make_unique<SplitMapper>(); };
+  spec.memory_budget = MemoryBudget{.bytes = 16, .merge_fan_in = 2};
+  JobResult result;
+  const auto got = run_and_gather(cluster, spec, &result);
+  EXPECT_FALSE(got.empty());
+  // Map-only output preserves emission order, which spilling would
+  // destroy — the budget must be ignored entirely.
+  EXPECT_EQ(result.counter(counter::kSpillRuns), 0u);
+  EXPECT_EQ(result.counter(counter::kSpillBytes), 0u);
+}
+
+TEST(EngineSpillTest, OneWayFanInIsRejectedUpFront) {
+  Cluster cluster({.num_nodes = 1});
+  JobSpec spec = spill_spec(write_inputs(cluster), "/out");
+  spec.memory_budget = MemoryBudget{.bytes = 64, .merge_fan_in = 1};
+  EXPECT_THROW(Engine(cluster).run(spec), PreconditionError);
+}
+
+}  // namespace
+}  // namespace pairmr::mr

@@ -1,0 +1,301 @@
+// PairwiseRunner facade tests: RunSpec/RunReport parity with the legacy
+// free functions, run_planned's plan→scheme→execute chaining (including
+// the §7 rounds fallback when nothing is feasible), and the up-front
+// option validation's actionable failures.
+#include "pairwise/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "mr/cluster.hpp"
+#include "pairwise/block_scheme.hpp"
+#include "pairwise/dataset.hpp"
+#include "pairwise/design_scheme.hpp"
+#include "pairwise/pipeline.hpp"
+#include "workloads/kernels.hpp"
+
+namespace pairmr {
+namespace {
+
+std::vector<std::string> payloads_for(std::uint64_t v) {
+  std::vector<std::string> payloads;
+  for (std::uint64_t i = 0; i < v; ++i) {
+    payloads.push_back("payload-" + std::to_string(i * 31 % 17));
+  }
+  return payloads;
+}
+
+PairwiseJob test_job() {
+  PairwiseJob job;
+  job.compute = [](const Element& a, const Element& b) {
+    return workloads::encode_result(static_cast<double>(
+        a.payload.size() * 3 + b.payload.size() + a.id + b.id));
+  };
+  return job;
+}
+
+std::vector<std::string> encoded_output(mr::Cluster& cluster,
+                                        const std::string& dir) {
+  std::vector<std::string> out;
+  for (const Element& e : read_elements(cluster, dir)) {
+    out.push_back(encode_element(e));
+  }
+  return out;
+}
+
+TEST(PairwiseRunnerTest, TwoJobModeMatchesLegacyWrapper) {
+  const auto payloads = payloads_for(14);
+  const BlockScheme scheme(14, 4);
+
+  mr::Cluster legacy_cluster({.num_nodes = 3, .worker_threads = 2});
+  const auto legacy_inputs = write_dataset(legacy_cluster, "/data", payloads);
+  const PairwiseRunStats legacy = run_pairwise(
+      legacy_cluster, legacy_inputs, scheme, test_job());
+
+  mr::Cluster cluster({.num_nodes = 3, .worker_threads = 2});
+  RunSpec spec;
+  spec.input_paths = write_dataset(cluster, "/data", payloads);
+  spec.mode = RunMode::kTwoJob;
+  spec.scheme = &scheme;
+  spec.job = test_job();
+  const RunReport report = PairwiseRunner(cluster).run(spec);
+
+  EXPECT_EQ(report.mode, RunMode::kTwoJob);
+  ASSERT_EQ(report.compute_jobs.size(), 1u);
+  ASSERT_EQ(report.merge_jobs.size(), 1u);
+  EXPECT_TRUE(report.aggregated);
+  EXPECT_EQ(report.evaluations, legacy.evaluations);
+  EXPECT_EQ(report.results_kept, legacy.results_kept);
+  EXPECT_DOUBLE_EQ(report.replication_factor, legacy.replication_factor);
+  EXPECT_EQ(report.max_working_set_records, legacy.max_working_set_records);
+  EXPECT_EQ(report.max_working_set_bytes, legacy.max_working_set_bytes);
+  EXPECT_EQ(report.intermediate_bytes, legacy.intermediate_bytes);
+  EXPECT_EQ(report.shuffle_remote_bytes, legacy.shuffle_remote_bytes);
+  EXPECT_EQ(report.output_dir, legacy.output_dir);
+  EXPECT_EQ(encoded_output(cluster, report.output_dir),
+            encoded_output(legacy_cluster, legacy.output_dir));
+  EXPECT_FALSE(report.planned);
+  if (std::getenv("PAIRMR_TEST_MEMORY_BUDGET") == nullptr) {
+    EXPECT_EQ(report.spill_runs, 0u);  // no budget configured
+  }
+}
+
+TEST(PairwiseRunnerTest, BroadcastModeMatchesLegacyWrapper) {
+  const std::uint64_t v = 13;
+  const auto payloads = payloads_for(v);
+
+  mr::Cluster legacy_cluster({.num_nodes = 3, .worker_threads = 2});
+  const auto legacy_inputs = write_dataset(legacy_cluster, "/data", payloads);
+  const PairwiseRunStats legacy = run_pairwise_broadcast(
+      legacy_cluster, legacy_inputs, v, /*num_tasks=*/5, test_job());
+
+  mr::Cluster cluster({.num_nodes = 3, .worker_threads = 2});
+  RunSpec spec;
+  spec.input_paths = write_dataset(cluster, "/data", payloads);
+  spec.mode = RunMode::kBroadcast;
+  spec.broadcast = BroadcastTarget{.v = v, .num_tasks = 5};
+  spec.job = test_job();
+  const RunReport report = PairwiseRunner(cluster).run(spec);
+
+  ASSERT_EQ(report.compute_jobs.size(), 1u);
+  EXPECT_TRUE(report.merge_jobs.empty());
+  EXPECT_TRUE(report.aggregated);
+  EXPECT_EQ(report.evaluations, legacy.evaluations);
+  EXPECT_EQ(report.cache_broadcast_bytes, legacy.cache_broadcast_bytes);
+  EXPECT_DOUBLE_EQ(report.replication_factor, legacy.replication_factor);
+  EXPECT_EQ(encoded_output(cluster, report.output_dir),
+            encoded_output(legacy_cluster, legacy.output_dir));
+}
+
+TEST(PairwiseRunnerTest, RoundsModeMatchesLegacyWrapper) {
+  const std::uint64_t v = 15;
+  const auto payloads = payloads_for(v);
+  const BlockScheme scheme(v, 4);
+  std::vector<std::vector<TaskId>> rounds(3);
+  for (TaskId t = 0; t < scheme.num_tasks(); ++t) rounds[t % 3].push_back(t);
+
+  mr::Cluster legacy_cluster({.num_nodes = 3, .worker_threads = 2});
+  const auto legacy_inputs = write_dataset(legacy_cluster, "/data", payloads);
+  const HierarchicalRunStats legacy = run_pairwise_rounds(
+      legacy_cluster, legacy_inputs, scheme, rounds, test_job());
+
+  mr::Cluster cluster({.num_nodes = 3, .worker_threads = 2});
+  RunSpec spec;
+  spec.input_paths = write_dataset(cluster, "/data", payloads);
+  spec.mode = RunMode::kRounds;
+  spec.scheme = &scheme;
+  spec.rounds = rounds;
+  spec.job = test_job();
+  const RunReport report = PairwiseRunner(cluster).run(spec);
+
+  EXPECT_EQ(report.compute_jobs.size(), legacy.round_jobs.size());
+  EXPECT_EQ(report.merge_jobs.size(), legacy.merge_jobs.size());
+  EXPECT_EQ(report.evaluations, legacy.evaluations);
+  EXPECT_EQ(report.intermediate_bytes, legacy.peak_intermediate_bytes);
+  EXPECT_EQ(encoded_output(cluster, report.output_dir),
+            encoded_output(legacy_cluster, legacy.output_dir));
+}
+
+TEST(PairwiseRunnerTest, CounterSumsAcrossJobsAndMaxMergesPeaks) {
+  const auto payloads = payloads_for(12);
+  const BlockScheme scheme(12, 3);
+  mr::Cluster cluster({.num_nodes = 3, .worker_threads = 2});
+  RunSpec spec;
+  spec.input_paths = write_dataset(cluster, "/data", payloads);
+  spec.scheme = &scheme;
+  spec.job = test_job();
+  const RunReport report = PairwiseRunner(cluster).run(spec);
+
+  std::uint64_t manual_sum = 0;
+  std::uint64_t manual_max = 0;
+  for (const auto* jobs : {&report.compute_jobs, &report.merge_jobs}) {
+    for (const auto& job : *jobs) {
+      manual_sum += job.counter(mr::counter::kMapInputRecords);
+      manual_max = std::max(
+          manual_max, job.counter(mr::counter::kReduceMaxGroupRecords));
+    }
+  }
+  EXPECT_EQ(report.counter(mr::counter::kMapInputRecords), manual_sum);
+  EXPECT_EQ(report.counter(mr::counter::kReduceMaxGroupRecords), manual_max);
+}
+
+// --- run_planned ---------------------------------------------------------
+
+PlanRequest planned_request(std::uint64_t v, std::uint64_t num_nodes) {
+  PlanRequest request;
+  request.v = v;
+  request.element_bytes = 16;
+  request.num_nodes = num_nodes;
+  request.limits.max_working_set_bytes = 1ull << 30;
+  request.limits.max_intermediate_bytes = 1ull << 30;
+  return request;
+}
+
+TEST(RunPlannedTest, FeasiblePlanExecutesChosenScheme) {
+  const std::uint64_t v = 16;
+  const auto payloads = payloads_for(v);
+  mr::Cluster cluster({.num_nodes = 4, .worker_threads = 2});
+  const auto inputs = write_dataset(cluster, "/data", payloads);
+
+  const RunReport report = PairwiseRunner(cluster).run_planned(
+      planned_request(v, 4), inputs, test_job());
+
+  EXPECT_TRUE(report.planned);
+  EXPECT_TRUE(report.plan.feasible);
+  EXPECT_FALSE(report.fell_back_to_rounds);
+  EXPECT_GT(report.evaluations, 0u);
+  EXPECT_FALSE(encoded_output(cluster, report.output_dir).empty());
+}
+
+TEST(RunPlannedTest, InfeasiblePlanFallsBackToRounds) {
+  const std::uint64_t v = 16;
+  const auto payloads = payloads_for(v);
+  mr::Cluster cluster({.num_nodes = 4, .worker_threads = 2});
+  const auto inputs = write_dataset(cluster, "/data", payloads);
+
+  // Limits no scheme can satisfy: a one-byte working set.
+  PlanRequest request = planned_request(v, 4);
+  request.limits.max_working_set_bytes = 1;
+  request.limits.max_intermediate_bytes = 1;
+
+  const RunReport report = PairwiseRunner(cluster).run_planned(
+      request, inputs, test_job());
+
+  EXPECT_TRUE(report.planned);
+  EXPECT_FALSE(report.plan.feasible);
+  EXPECT_TRUE(report.fell_back_to_rounds);
+  EXPECT_EQ(report.mode, RunMode::kRounds);
+
+  // The fallback still computes the complete all-pairs result.
+  mr::Cluster ref_cluster({.num_nodes = 4, .worker_threads = 2});
+  const auto ref_inputs = write_dataset(ref_cluster, "/data", payloads);
+  const DesignScheme ref_scheme(v);
+  const PairwiseRunStats ref = run_pairwise(
+      ref_cluster, ref_inputs, ref_scheme, test_job());
+  EXPECT_EQ(encoded_output(cluster, report.output_dir),
+            encoded_output(ref_cluster, ref.output_dir));
+}
+
+// --- validation ----------------------------------------------------------
+
+TEST(ValidateOptionsTest, PartitionerWithoutReduceTaskCountIsRejected) {
+  mr::Cluster cluster({.num_nodes = 2});
+  PairwiseOptions options;
+  options.distribute_partitioner =
+      std::make_shared<mr::RangePartitioner>(8);
+  // num_reduce_tasks left at 0 — the partitioner's task-id routing would
+  // silently degrade; the runner must reject it up front.
+  try {
+    validate_pairwise_options(cluster, options);
+    FAIL() << "expected PreconditionError";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("num_reduce_tasks"),
+              std::string::npos);
+  }
+}
+
+TEST(ValidateOptionsTest, EmptyWorkDirIsRejected) {
+  mr::Cluster cluster({.num_nodes = 2});
+  PairwiseOptions options;
+  options.work_dir = "";
+  EXPECT_THROW(validate_pairwise_options(cluster, options),
+               PreconditionError);
+}
+
+TEST(ValidateOptionsTest, OneWayMergeFanInIsRejected) {
+  mr::Cluster cluster({.num_nodes = 2});
+  PairwiseOptions options;
+  options.memory_budget = mr::MemoryBudget{.bytes = 1024, .merge_fan_in = 1};
+  try {
+    validate_pairwise_options(cluster, options);
+    FAIL() << "expected PreconditionError";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("merge_fan_in"), std::string::npos);
+  }
+}
+
+TEST(ValidateOptionsTest, RunRejectsStructurallyInvalidSpecs) {
+  mr::Cluster cluster({.num_nodes = 2});
+  PairwiseRunner runner(cluster);
+
+  RunSpec no_inputs;
+  no_inputs.mode = RunMode::kBroadcast;
+  no_inputs.broadcast = BroadcastTarget{.v = 4, .num_tasks = 2};
+  no_inputs.job = test_job();
+  EXPECT_THROW(runner.run(no_inputs), PreconditionError);
+
+  RunSpec no_scheme;
+  no_scheme.input_paths = {"/data/part-0"};
+  no_scheme.mode = RunMode::kTwoJob;
+  no_scheme.job = test_job();
+  EXPECT_THROW(runner.run(no_scheme), PreconditionError);
+
+  RunSpec no_target;
+  no_target.input_paths = {"/data/part-0"};
+  no_target.mode = RunMode::kBroadcast;
+  no_target.job = test_job();
+  EXPECT_THROW(runner.run(no_target), PreconditionError);
+
+  const BlockScheme scheme(8, 2);
+  RunSpec no_rounds;
+  no_rounds.input_paths = {"/data/part-0"};
+  no_rounds.mode = RunMode::kRounds;
+  no_rounds.scheme = &scheme;
+  no_rounds.job = test_job();
+  EXPECT_THROW(runner.run(no_rounds), PreconditionError);
+}
+
+TEST(RunModeTest, ToStringNamesEveryMode) {
+  EXPECT_STREQ(to_string(RunMode::kTwoJob), "two-job");
+  EXPECT_STREQ(to_string(RunMode::kBroadcast), "broadcast");
+  EXPECT_STREQ(to_string(RunMode::kRounds), "rounds");
+}
+
+}  // namespace
+}  // namespace pairmr
