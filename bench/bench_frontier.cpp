@@ -1,0 +1,90 @@
+// bench_frontier — the replication-rate vs reducer-size frontier.
+//
+// Places every distribution scheme (broadcast, block at two factors,
+// quorum, design, cyclic-design where admissible, and the hierarchical
+// grouping) on the (reducer size q, replication rate r) plane across a
+// sweep of dataset sizes, against the Afrati/Ullman lower bound
+// r >= (v-1)/(q-1). All quantities are enumerated from the schemes'
+// actual working sets, cross-checked against subsets_of fan-out.
+//
+// Asserts, exiting non-zero on violation:
+//   * every point sits on or above the lower bound;
+//   * quorum replication stays within 2.5x the design scheme's at each v
+//     (the ~2sqrt(v) generic-cover budget), and matches design exactly at
+//     v = 57, an exact Singer plane order where the cover is perfect.
+//
+// Emits BENCH_frontier.json next to BENCH_hotpath.json.
+#include <cstdint>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "pairwise/frontier.hpp"
+
+namespace {
+
+using namespace pairmr;
+
+bool g_ok = true;
+
+void check(bool condition, const std::string& what) {
+  std::cout << (condition ? "  [ok]   " : "  [FAIL] ") << what << "\n";
+  if (!condition) g_ok = false;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "bench_frontier: replication rate vs reducer size\n\n";
+
+  const std::vector<std::uint64_t> sizes = {57, 96, 200, 500, 1000, 2000};
+  const std::vector<FrontierPoint> points = frontier_sweep(sizes);
+
+  std::cout << std::left << std::setw(14) << "scheme" << std::setw(16)
+            << "params" << std::right << std::setw(6) << "v" << std::setw(8)
+            << "tasks" << std::setw(6) << "q" << std::setw(10) << "r"
+            << std::setw(10) << "bound" << std::setw(8) << "ratio" << "\n";
+  for (const FrontierPoint& p : points) {
+    std::cout << std::left << std::setw(14) << p.scheme << std::setw(16)
+              << p.params << std::right << std::setw(6) << p.v << std::setw(8)
+              << p.num_tasks << std::setw(6) << p.reducer_size << std::fixed
+              << std::setprecision(2) << std::setw(10) << p.replication_rate
+              << std::setw(10) << p.lower_bound << std::setw(8) << p.ratio
+              << std::defaultfloat << "\n";
+  }
+  std::cout << "\n";
+
+  for (const FrontierPoint& p : points) {
+    std::ostringstream os;
+    os << p.scheme << " " << p.params << " v=" << p.v
+       << ": r >= (v-1)/(q-1) (" << p.replication_rate
+       << " >= " << p.lower_bound << ")";
+    check(p.ok, os.str());
+  }
+
+  // Quorum vs design replication per v: within the generic-cover budget
+  // everywhere, exactly equal at the Singer plane order v = 57.
+  std::map<std::uint64_t, double> design_r, quorum_r;
+  for (const FrontierPoint& p : points) {
+    if (p.scheme == "design") design_r[p.v] = p.replication_rate;
+    if (p.scheme == "quorum") quorum_r[p.v] = p.replication_rate;
+  }
+  for (const auto& [v, r] : quorum_r) {
+    std::ostringstream os;
+    os << "quorum replication within 2.5x design at v=" << v << " (" << r
+       << " vs " << design_r[v] << ")";
+    check(r <= 2.5 * design_r[v], os.str());
+  }
+  check(quorum_r[57] == design_r[57],
+        "quorum matches design replication at the v=57 plane order");
+
+  std::ofstream out("BENCH_frontier.json");
+  out << frontier_to_json(points);
+  std::cout << "\nwrote BENCH_frontier.json\n";
+  std::cout << (g_ok ? "PASS" : "FAIL") << "\n";
+  return g_ok ? 0 : 1;
+}

@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "common/check.hpp"
+#include "common/intmath.hpp"
 #include "design/gf.hpp"
 #include "design/primes.hpp"
 
@@ -83,6 +84,74 @@ bool is_planar_difference_set(const std::vector<std::uint64_t>& set,
     if (!seen[r]) return false;
   }
   return true;
+}
+
+bool is_difference_cover(const std::vector<std::uint64_t>& set,
+                         std::uint64_t modulus) {
+  PAIRMR_REQUIRE(modulus >= 1, "modulus must be positive");
+  for (const std::uint64_t e : set) {
+    PAIRMR_REQUIRE(e < modulus, "difference-cover element out of range");
+  }
+  if (set.empty()) return false;
+  std::vector<std::uint8_t> seen(modulus, 0);
+  std::uint64_t remaining = modulus;
+  for (const std::uint64_t a : set) {
+    for (const std::uint64_t b : set) {
+      const std::uint64_t diff = (a + modulus - b) % modulus;
+      if (!seen[diff]) {
+        seen[diff] = 1;
+        if (--remaining == 0) return true;
+      }
+    }
+  }
+  return remaining == 0;
+}
+
+std::vector<std::uint64_t> difference_cover(std::uint64_t v) {
+  PAIRMR_REQUIRE(v >= 1, "difference cover needs a positive modulus");
+  if (v <= 3) {
+    std::vector<std::uint64_t> tiny;
+    for (std::uint64_t e = 0; e < std::min<std::uint64_t>(v, 2); ++e) {
+      tiny.push_back(e);
+    }
+    return tiny;  // {0} or {0,1}: covers Z_1, Z_2, Z_3
+  }
+
+  // Perfect cover when v is an exact Singer plane order: √v-sized, the
+  // same residues the cyclic design scheme uses.
+  for (std::uint64_t q = 2; q * q * q <= (1u << 16); ++q) {
+    if (q_hat(q) == v && as_prime_power(q).has_value()) {
+      return singer_difference_set(q);
+    }
+  }
+
+  // Two-scale base cover: units {0..r-1} plus multiples of r. Any
+  // d = a·r + b (0 <= b < r) is (a+1)·r − (r−b), both sides in the cover
+  // mod v.
+  const std::uint64_t r = isqrt(v - 1) + 1;  // ⌈√v⌉
+  std::vector<std::uint64_t> cover;
+  for (std::uint64_t e = 0; e < r; ++e) cover.push_back(e);
+  for (std::uint64_t i = 1; i <= ceil_div(v, r); ++i) {
+    cover.push_back((i * r) % v);
+  }
+  std::sort(cover.begin(), cover.end());
+  cover.erase(std::unique(cover.begin(), cover.end()), cover.end());
+  PAIRMR_CHECK(is_difference_cover(cover, v),
+               "two-scale base construction failed to cover");
+
+  // Greedy prune, largest first: drop any element whose removal keeps the
+  // cover property. Deterministic, O(|D|³) with |D| = O(√v).
+  for (std::size_t i = cover.size(); i-- > 0;) {
+    std::vector<std::uint64_t> candidate;
+    candidate.reserve(cover.size() - 1);
+    for (std::size_t j = 0; j < cover.size(); ++j) {
+      if (j != i) candidate.push_back(cover[j]);
+    }
+    if (!candidate.empty() && is_difference_cover(candidate, v)) {
+      cover = std::move(candidate);
+    }
+  }
+  return cover;
 }
 
 DesignCollection cyclic_construction(std::uint64_t q) {

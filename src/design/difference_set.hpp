@@ -39,4 +39,28 @@ bool is_planar_difference_set(const std::vector<std::uint64_t>& set,
 // Expand a difference set into the full cyclic design (all q̂ translates).
 DesignCollection cyclic_construction(std::uint64_t q);
 
+// --- Difference covers (relaxed difference sets) -------------------------
+//
+// A difference cover D ⊆ Z_v demands only that every residue appears at
+// least once as a difference d_i − d_j — dropping the planar "exactly
+// once" constraint frees v from the q²+q+1 prime-power lattice: covers of
+// size O(√v) exist for every v (Kleinheksel & Somani use them to build
+// cyclic all-pairs quorums for arbitrary numbers of nodes). Translates
+// D + t still guarantee every unordered pair a common set, which is all
+// the quorum distribution scheme needs.
+
+// Check the covering property: every residue mod `modulus` (including 0)
+// occurs among pairwise differences d_i − d_j of `set`.
+bool is_difference_cover(const std::vector<std::uint64_t>& set,
+                         std::uint64_t modulus);
+
+// Deterministic difference cover of Z_v for any v >= 1, sorted ascending.
+//   * exact plane orders (v = q²+q+1, q a prime power with q³ ≤ 2^16):
+//     the Singer difference set — perfect, size q+1 ≈ √v;
+//   * everything else: the classic two-scale cover
+//     {0..r−1} ∪ {i·r mod v} with r = ⌈√v⌉ (≤ 2√v + 2 elements, covering
+//     because d = (a+1)·r − (r−b) for d = a·r + b), greedily pruned of
+//     redundant elements largest-first.
+std::vector<std::uint64_t> difference_cover(std::uint64_t v);
+
 }  // namespace pairmr::design

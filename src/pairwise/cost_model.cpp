@@ -71,6 +71,23 @@ SchemeMetrics design_metrics_approx(std::uint64_t v, std::uint64_t n) {
   return m;
 }
 
+SchemeMetrics quorum_metrics_approx(std::uint64_t v, std::uint64_t n) {
+  PAIRMR_REQUIRE(v >= 2 && n >= 1, "invalid quorum parameters");
+  SchemeMetrics m;
+  // Generic difference covers reach ~2√v elements; the planner budgets for
+  // that bound even though exact Singer orders shrink it to √v.
+  const double k = 2.0 * std::sqrt(static_cast<double>(v));
+  m.scheme = "quorum";
+  m.num_tasks = v;
+  m.communication_elements =
+      std::min(2.0 * static_cast<double>(v) * k,
+               2.0 * static_cast<double>(v) * static_cast<double>(n));
+  m.replication_factor = k;
+  m.working_set_elements = k;
+  m.evaluations_per_task = static_cast<double>(v - 1) / 2.0;
+  return m;
+}
+
 std::uint64_t broadcast_working_set_bytes(std::uint64_t v,
                                           std::uint64_t element_bytes) {
   return checked_mul(v, element_bytes);
@@ -87,6 +104,12 @@ std::uint64_t design_working_set_bytes(std::uint64_t v,
   return checked_mul(isqrt(v) + 1, element_bytes);
 }
 
+std::uint64_t quorum_working_set_bytes(std::uint64_t v,
+                                       std::uint64_t element_bytes) {
+  // Quorum size is bounded by the two-scale cover: <= 2(⌊√v⌋ + 1).
+  return checked_mul(2 * (isqrt(v) + 1), element_bytes);
+}
+
 std::uint64_t broadcast_intermediate_bytes(std::uint64_t v, std::uint64_t p,
                                            std::uint64_t element_bytes) {
   return checked_mul(checked_mul(v, p), element_bytes);
@@ -100,6 +123,11 @@ std::uint64_t block_intermediate_bytes(std::uint64_t v, std::uint64_t h,
 std::uint64_t design_intermediate_bytes(std::uint64_t v,
                                         std::uint64_t element_bytes) {
   return checked_mul(checked_mul(v, isqrt(v) + 1), element_bytes);
+}
+
+std::uint64_t quorum_intermediate_bytes(std::uint64_t v,
+                                        std::uint64_t element_bytes) {
+  return checked_mul(checked_mul(v, 2 * (isqrt(v) + 1)), element_bytes);
 }
 
 std::uint64_t broadcast_max_v(std::uint64_t element_bytes,

@@ -25,6 +25,10 @@ SchemeMetrics block_metrics(std::uint64_t v, std::uint64_t h);
 // Uses the √v approximation exactly as Table 1 does; `n` caps the
 // communication at 2vn ("sending to all nodes").
 SchemeMetrics design_metrics_approx(std::uint64_t v, std::uint64_t n);
+// Cyclic quorums over a generic ~2√v difference cover (√v when v is an
+// exact plane order, but the planner budgets for the generic bound);
+// communication capped at 2vn like the design row.
+SchemeMetrics quorum_metrics_approx(std::uint64_t v, std::uint64_t n);
 
 // --- Byte-space requirement functions ------------------------------------
 
@@ -35,6 +39,8 @@ std::uint64_t block_working_set_bytes(std::uint64_t v, std::uint64_t h,
                                       std::uint64_t element_bytes);
 std::uint64_t design_working_set_bytes(std::uint64_t v,
                                        std::uint64_t element_bytes);
+std::uint64_t quorum_working_set_bytes(std::uint64_t v,
+                                       std::uint64_t element_bytes);
 
 // Materialized intermediate bytes (replicated copies of the dataset).
 std::uint64_t broadcast_intermediate_bytes(std::uint64_t v, std::uint64_t p,
@@ -42,6 +48,8 @@ std::uint64_t broadcast_intermediate_bytes(std::uint64_t v, std::uint64_t p,
 std::uint64_t block_intermediate_bytes(std::uint64_t v, std::uint64_t h,
                                        std::uint64_t element_bytes);
 std::uint64_t design_intermediate_bytes(std::uint64_t v,
+                                        std::uint64_t element_bytes);
+std::uint64_t quorum_intermediate_bytes(std::uint64_t v,
                                         std::uint64_t element_bytes);
 
 // --- Figure 8: per-scheme dataset-size ceilings --------------------------

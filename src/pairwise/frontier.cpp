@@ -1,0 +1,129 @@
+#include "pairwise/frontier.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/intmath.hpp"
+#include "pairwise/block_scheme.hpp"
+#include "pairwise/broadcast_scheme.hpp"
+#include "pairwise/cyclic_design_scheme.hpp"
+#include "pairwise/design_scheme.hpp"
+#include "pairwise/hierarchical.hpp"
+#include "pairwise/quorum_scheme.hpp"
+
+namespace pairmr {
+
+FrontierPoint frontier_point(const DistributionScheme& scheme,
+                             std::string params, std::string label) {
+  FrontierPoint p;
+  p.scheme = label.empty() ? scheme.name() : std::move(label);
+  p.params = std::move(params);
+  p.v = scheme.num_elements();
+  p.num_tasks = scheme.num_tasks();
+
+  std::uint64_t copies = 0;
+  for (TaskId t = 0; t < p.num_tasks; ++t) {
+    const std::uint64_t size = scheme.working_set(t).size();
+    copies += size;
+    p.reducer_size = std::max(p.reducer_size, size);
+  }
+  // The same copies counted element-side: each element lands in
+  // |subsets_of(e)| working sets. Disagreement means the scheme's two
+  // views of membership have diverged.
+  std::uint64_t fan_out = 0;
+  for (ElementId e = 0; e < p.v; ++e) {
+    fan_out += scheme.subsets_of(e).size();
+  }
+  PAIRMR_CHECK(fan_out == copies,
+               "subsets_of and working_set disagree on total element copies");
+
+  PAIRMR_REQUIRE(p.v >= 1, "frontier needs a non-empty dataset");
+  p.replication_rate =
+      static_cast<double>(copies) / static_cast<double>(p.v);
+  if (p.v >= 2 && p.reducer_size >= 2) {
+    p.lower_bound = static_cast<double>(p.v - 1) /
+                    static_cast<double>(p.reducer_size - 1);
+  }
+  p.ratio = p.lower_bound > 0.0 ? p.replication_rate / p.lower_bound : 0.0;
+  // Fp tolerance only; the inequality itself is exact for correct schemes.
+  p.ok = p.replication_rate + 1e-9 >= p.lower_bound;
+  return p;
+}
+
+std::vector<FrontierPoint> frontier_sweep(
+    const std::vector<std::uint64_t>& sizes) {
+  std::vector<FrontierPoint> out;
+  for (const std::uint64_t v : sizes) {
+    PAIRMR_REQUIRE(v >= 16, "frontier sweep sizes must be >= 16");
+
+    {
+      const BroadcastScheme s(v, 8);
+      out.push_back(frontier_point(s, "p=8"));
+    }
+
+    std::vector<std::uint64_t> factors{4};
+    if (isqrt(v) != 4) factors.push_back(isqrt(v));
+    for (const std::uint64_t h : factors) {
+      const BlockScheme s(v, h);
+      out.push_back(frontier_point(s, "h=" + std::to_string(h)));
+    }
+
+    {
+      const QuorumScheme s(v);
+      out.push_back(frontier_point(
+          s, "|D|=" + std::to_string(s.cover().size())));
+    }
+
+    {
+      const DesignScheme s(v);
+      out.push_back(frontier_point(s, "theorem2-prime"));
+    }
+
+    if (v <= 1681) {  // cyclic construction needs q^3 <= 2^16
+      const CyclicDesignScheme s(v);
+      out.push_back(frontier_point(
+          s, "q=" + std::to_string(s.plane_order())));
+    }
+
+    {
+      // Hierarchical (§7): the same fine blocks, grouped into coarse
+      // rounds — the grouping is temporal, so q and r match the flat
+      // block scheme and the point lands on the identical spot.
+      const BlockScheme fine(v, 8);
+      const auto rounds = coarse_block_rounds(fine, 2);
+      out.push_back(frontier_point(
+          fine, "H=2 f=4 rounds=" + std::to_string(rounds.size()),
+          "hierarchical"));
+    }
+  }
+  return out;
+}
+
+std::string frontier_to_json(const std::vector<FrontierPoint>& points) {
+  std::ostringstream os;
+  os << "{\n  \"bench\": \"frontier\",\n  \"points\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const FrontierPoint& p = points[i];
+    os << "    {\"scheme\": \"" << p.scheme << "\", \"params\": \""
+       << p.params << "\", \"v\": " << p.v
+       << ", \"num_tasks\": " << p.num_tasks
+       << ", \"reducer_size\": " << p.reducer_size
+       << ", \"replication_rate\": " << p.replication_rate
+       << ", \"lower_bound\": " << p.lower_bound
+       << ", \"ratio\": " << p.ratio
+       << ", \"ok\": " << (p.ok ? "true" : "false") << "}"
+       << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"passed\": " << (frontier_all_ok(points) ? "true" : "false")
+     << "\n}\n";
+  return os.str();
+}
+
+bool frontier_all_ok(const std::vector<FrontierPoint>& points) {
+  return std::all_of(points.begin(), points.end(),
+                     [](const FrontierPoint& p) { return p.ok; });
+}
+
+}  // namespace pairmr

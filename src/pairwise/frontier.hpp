@@ -1,0 +1,63 @@
+// Replication-rate frontier: where each distribution scheme sits in the
+// (reducer size q, replication rate r) plane relative to the
+// Afrati/Ullman lower bound for all-pairs computation.
+//
+// Every unordered pair must meet inside at least one working set. A
+// working set of q_i elements covers at most q_i(q_i-1)/2 pairs, so with
+// all working sets bounded by q:
+//     sum_i q_i(q_i-1)/2 >= v(v-1)/2   =>   r = (sum_i q_i)/v >= (v-1)/(q-1).
+// A point is on the frontier when its measured r equals that bound; any
+// correct scheme must sit on or above it. Broadcast (q = v, r = p),
+// block (q = 2⌈v/h⌉, r = h), design/cyclic-design (q ≈ √v, r ≈ √v) and
+// quorum (q = |D|, r = |D|) trade q against r along this curve;
+// hierarchical rounds regroup tasks in time and leave (q, r) untouched.
+//
+// The measurement is executable, not analytic: q and r are enumerated
+// from working_set() over every task, cross-checked against the
+// per-element fan-out of subsets_of(). Shared by bench/bench_frontier
+// (which emits BENCH_frontier.json) and the schema/golden test.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pairwise/scheme.hpp"
+
+namespace pairmr {
+
+struct FrontierPoint {
+  std::string scheme;            // scheme label ("quorum", "hierarchical", ...)
+  std::string params;            // human-readable parameters ("p=8", "h=4")
+  std::uint64_t v = 0;
+  std::uint64_t num_tasks = 0;
+  std::uint64_t reducer_size = 0;  // q: max working-set elements over tasks
+  double replication_rate = 0.0;   // r: sum of working-set sizes / v
+  double lower_bound = 0.0;        // (v-1)/(q-1); 0 when q < 2
+  double ratio = 0.0;              // r / lower_bound; 0 when bound is 0
+  bool ok = false;                 // r >= lower_bound (fp tolerance)
+};
+
+// Enumerate one scheme instance into a frontier point. `label` overrides
+// scheme.name() (used to tag the hierarchical grouping of a block
+// scheme); empty keeps the scheme's own name. PAIRMR_CHECKs that the
+// total element copies counted task-side (working_set) and element-side
+// (subsets_of) agree.
+FrontierPoint frontier_point(const DistributionScheme& scheme,
+                             std::string params = "",
+                             std::string label = "");
+
+// The bench sweep: for each v, broadcast (p=8), block (h=4 and h=⌊√v⌋),
+// quorum, design, cyclic-design (only where v <= 1681 admits it), and a
+// hierarchical point (block h=8 grouped into coarse rounds). Every size
+// must be >= 16.
+std::vector<FrontierPoint> frontier_sweep(
+    const std::vector<std::uint64_t>& sizes);
+
+// JSON document in the BENCH_hotpath.json idiom:
+// {"bench": "frontier", "points": [...], "passed": bool}.
+std::string frontier_to_json(const std::vector<FrontierPoint>& points);
+
+bool frontier_all_ok(const std::vector<FrontierPoint>& points);
+
+}  // namespace pairmr

@@ -8,6 +8,7 @@
 #include "common/units.hpp"
 #include "pairwise/block_scheme.hpp"
 #include "pairwise/broadcast_scheme.hpp"
+#include "pairwise/quorum_scheme.hpp"
 
 namespace pairmr {
 
@@ -17,6 +18,8 @@ const char* to_string(SchemeKind kind) {
       return "broadcast";
     case SchemeKind::kBlock:
       return "block";
+    case SchemeKind::kQuorum:
+      return "quorum";
     case SchemeKind::kDesign:
       return "design";
   }
@@ -43,6 +46,14 @@ Plan plan_scheme(const PlanRequest& request) {
   plan.block_h_bounds.hi = std::min(plan.block_h_bounds.hi, request.v);
   plan.block_feasible = plan.block_h_bounds.valid();
 
+  // Quorum: works for any v, but generic difference covers budget 2√v
+  // working-set elements and 2v√v intermediate bytes.
+  plan.quorum_feasible =
+      quorum_working_set_bytes(request.v, request.element_bytes) <=
+          request.limits.max_working_set_bytes &&
+      quorum_intermediate_bytes(request.v, request.element_bytes) <=
+          request.limits.max_intermediate_bytes;
+
   // Design: √v-sized working sets and v√v intermediate bytes must fit.
   plan.design_feasible =
       design_working_set_bytes(request.v, request.element_bytes) <=
@@ -62,30 +73,48 @@ Plan plan_scheme(const PlanRequest& request) {
         << format_bytes(request.limits.max_working_set_bytes)
         << "); broadcast with p = n = " << request.num_nodes
         << " minimizes communication (2vn)";
-  } else if (plan.block_feasible) {
+  } else if (plan.block_feasible || plan.quorum_feasible) {
     plan.feasible = true;
-    plan.kind = SchemeKind::kBlock;
-    // Smallest valid h minimizes replication/communication (2vh), but keep
-    // at least n tasks so no node idles: h(h+1)/2 >= n.
+    // Block: smallest valid h minimizes replication/communication (2vh),
+    // but keep at least n tasks so no node idles: h(h+1)/2 >= n.
     std::uint64_t h = plan.block_h_bounds.lo;
-    while (triangular(h) < request.num_nodes && h < plan.block_h_bounds.hi) {
-      ++h;
+    if (plan.block_feasible) {
+      while (triangular(h) < request.num_nodes &&
+             h < plan.block_h_bounds.hi) {
+        ++h;
+      }
     }
-    plan.block_h = h;
-    plan.predicted = block_metrics(request.v, h);
-    why << "dataset exceeds broadcast's memory bound; valid blocking range"
-        << " h in [" << plan.block_h_bounds.lo << ", "
-        << plan.block_h_bounds.hi << "], chose h = " << h
-        << " (smallest with h(h+1)/2 >= n tasks)";
-    if (triangular(h) < request.num_nodes) {
-      why << "; note: even h_max yields fewer tasks than nodes";
+    // Quorum ships 2v·|D| elements with |D| <= 2(⌊√v⌋+1). When occupying
+    // n nodes pushes block's replication past that budget (or no valid h
+    // exists), cyclic quorums communicate less at exactly v perfectly
+    // balanced tasks.
+    const std::uint64_t quorum_k = 2 * (isqrt(request.v) + 1);
+    if (plan.quorum_feasible && (!plan.block_feasible || quorum_k < h)) {
+      plan.kind = SchemeKind::kQuorum;
+      plan.predicted = quorum_metrics_approx(request.v, request.num_nodes);
+      why << "dataset exceeds broadcast's memory bound, and block needs"
+          << " h = " << h << " (replication " << h << ") to reach n = "
+          << request.num_nodes << " tasks; cyclic quorums cover all pairs"
+          << " with replication <= " << quorum_k << " across exactly v = "
+          << request.v << " balanced tasks";
+    } else {
+      plan.kind = SchemeKind::kBlock;
+      plan.block_h = h;
+      plan.predicted = block_metrics(request.v, h);
+      why << "dataset exceeds broadcast's memory bound; valid blocking range"
+          << " h in [" << plan.block_h_bounds.lo << ", "
+          << plan.block_h_bounds.hi << "], chose h = " << h
+          << " (smallest with h(h+1)/2 >= n tasks)";
+      if (triangular(h) < request.num_nodes) {
+        why << "; note: even h_max yields fewer tasks than nodes";
+      }
     }
   } else if (plan.design_feasible) {
     plan.feasible = true;
     plan.kind = SchemeKind::kDesign;
     plan.predicted = design_metrics_approx(request.v, request.num_nodes);
-    why << "no valid blocking factor (dataset too large for maxws/maxis"
-        << " intersection), but design's sqrt(v) working sets fit";
+    why << "quorum's 2*sqrt(v) budget exceeds the limits, but design's"
+        << " tighter sqrt(v) working sets fit";
   } else {
     plan.feasible = false;
     why << "no scheme satisfies both limits; use hierarchical processing"
@@ -104,6 +133,8 @@ std::unique_ptr<DistributionScheme> make_scheme(
           v, std::max<std::uint64_t>(1, plan.broadcast_tasks));
     case SchemeKind::kBlock:
       return std::make_unique<BlockScheme>(v, plan.block_h);
+    case SchemeKind::kQuorum:
+      return std::make_unique<QuorumScheme>(v);
     case SchemeKind::kDesign:
       return std::make_unique<DesignScheme>(v, construction);
   }

@@ -13,7 +13,7 @@
 
 namespace pairmr {
 
-enum class SchemeKind { kBroadcast, kBlock, kDesign };
+enum class SchemeKind { kBroadcast, kBlock, kQuorum, kDesign };
 
 const char* to_string(SchemeKind kind);
 
@@ -35,6 +35,7 @@ struct Plan {
   // Per-scheme feasibility under the request's limits.
   bool broadcast_feasible = false;
   bool block_feasible = false;
+  bool quorum_feasible = false;
   bool design_feasible = false;
   HRange block_h_bounds;
 
@@ -46,10 +47,14 @@ struct Plan {
 };
 
 // Evaluate feasibility of every scheme and pick one. Preference among the
-// feasible: least communication volume, i.e. broadcast with p = n when the
-// dataset fits in memory, else block with the smallest valid h that still
-// yields >= n tasks, else design. Infeasible everywhere => feasible=false
-// and the rationale points to §7's hierarchical processing.
+// feasible: least communication volume — broadcast with p = n when the
+// dataset fits in memory; else block with the smallest valid h that still
+// yields >= n tasks, unless occupying n nodes pushes h past the quorum
+// cover budget 2(⌊√v⌋+1), in which case cyclic quorums (any v, exactly v
+// perfectly balanced tasks) ship less data; else design (√v working sets
+// — the tight-storage fallback when quorum's 2√v budget does not fit).
+// Infeasible everywhere => feasible=false and the rationale points to
+// §7's hierarchical processing.
 Plan plan_scheme(const PlanRequest& request);
 
 // Instantiate the planned scheme (request.v elements). For design plans,

@@ -1,0 +1,135 @@
+#include "pairwise/quorum_scheme.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.hpp"
+#include "common/intmath.hpp"
+#include "design/difference_set.hpp"
+
+namespace pairmr {
+
+namespace {
+constexpr std::uint64_t kUnset = std::numeric_limits<std::uint64_t>::max();
+}  // namespace
+
+QuorumScheme::QuorumScheme(std::uint64_t v)
+    : QuorumScheme(v, v == 0 ? std::vector<std::uint64_t>{}
+                             : design::difference_cover(v)) {}
+
+QuorumScheme::QuorumScheme(std::uint64_t v, std::vector<std::uint64_t> cover)
+    : v_(v), cover_(std::move(cover)) {
+  std::sort(cover_.begin(), cover_.end());
+  cover_.erase(std::unique(cover_.begin(), cover_.end()), cover_.end());
+  if (v_ == 0) {
+    PAIRMR_REQUIRE(cover_.empty(), "cover of the empty set must be empty");
+    return;
+  }
+  PAIRMR_REQUIRE(design::is_difference_cover(cover_, v_),
+                 "quorum scheme needs a difference cover of Z_v");
+
+  // Canonical owner offset per residue: the first (c2 ascending, then c1
+  // ascending) ordered cover pair with c1 − c2 ≡ d. Deterministic, and
+  // existence for every d is exactly the cover property.
+  canon_.assign(v_, kUnset);
+  std::uint64_t unset = v_;
+  for (const std::uint64_t c2 : cover_) {
+    for (const std::uint64_t c1 : cover_) {
+      const std::uint64_t d = (c1 + v_ - c2) % v_;
+      if (canon_[d] == kUnset) {
+        canon_[d] = c2;
+        if (--unset == 0) break;
+      }
+    }
+    if (unset == 0) break;
+  }
+  PAIRMR_CHECK(unset == 0, "difference cover left a residue unrepresented");
+
+  // Exact owned-pair counts: difference d contributes one pair per
+  // lo in [0, v−d), owned by the cyclic task interval starting at
+  // (0 − canon_[d]) mod v of length v−d. Accumulate with a wrapped
+  // difference array, O(v) total.
+  std::vector<std::int64_t> delta(v_ + 1, 0);
+  for (std::uint64_t d = 1; d < v_; ++d) {
+    const std::uint64_t start = (v_ - canon_[d]) % v_;
+    const std::uint64_t len = v_ - d;
+    if (start + len <= v_) {
+      ++delta[start];
+      --delta[start + len];
+    } else {
+      ++delta[start];
+      --delta[v_];
+      ++delta[0];
+      --delta[start + len - v_];
+    }
+  }
+  owned_.assign(v_, 0);
+  std::int64_t running = 0;
+  std::uint64_t total = 0;
+  max_owned_ = 0;
+  min_owned_ = std::numeric_limits<std::uint64_t>::max();
+  for (std::uint64_t t = 0; t < v_; ++t) {
+    running += delta[t];
+    owned_[t] = static_cast<std::uint64_t>(running);
+    total += owned_[t];
+    max_owned_ = std::max(max_owned_, owned_[t]);
+    min_owned_ = std::min(min_owned_, owned_[t]);
+  }
+  PAIRMR_CHECK(total == pair_count(v_),
+               "quorum ownership does not tile C(v,2) pairs");
+}
+
+std::vector<TaskId> QuorumScheme::subsets_of(ElementId id) const {
+  PAIRMR_REQUIRE(id < v_, "element id out of range");
+  // id in Q_t  <=>  (id − t) mod v in D  <=>  t = (id − d) mod v.
+  std::vector<TaskId> out;
+  out.reserve(cover_.size());
+  for (const std::uint64_t d : cover_) {
+    out.push_back((id + v_ - d) % v_);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<ElementPair> QuorumScheme::pairs_in(TaskId task) const {
+  PAIRMR_REQUIRE(task < v_, "task id out of range");
+  // Task t owns, per difference d, the single pair with
+  // lo = (t + canon_[d]) mod v when hi = lo + d stays below v.
+  std::vector<ElementPair> out;
+  out.reserve(owned_[task]);
+  for (std::uint64_t d = 1; d < v_; ++d) {
+    const std::uint64_t lo = (task + canon_[d]) % v_;
+    if (lo + d < v_) out.push_back(ElementPair{lo, lo + d});
+  }
+  PAIRMR_CHECK(out.size() == owned_[task],
+               "enumerated quorum pairs disagree with the owned count");
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<ElementId> QuorumScheme::working_set(TaskId task) const {
+  PAIRMR_REQUIRE(task < v_, "task id out of range");
+  std::vector<ElementId> out;
+  out.reserve(cover_.size());
+  for (const std::uint64_t d : cover_) {
+    out.push_back((d + task) % v_);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::uint64_t QuorumScheme::total_pairs() const { return pair_count(v_); }
+
+SchemeMetrics QuorumScheme::metrics() const {
+  SchemeMetrics m;
+  m.scheme = name();
+  m.num_tasks = v_;
+  const double k = static_cast<double>(cover_.size());
+  m.communication_elements = 2.0 * static_cast<double>(v_) * k;
+  m.replication_factor = k;
+  m.working_set_elements = k;
+  m.evaluations_per_task = static_cast<double>(max_owned_);
+  return m;
+}
+
+}  // namespace pairmr

@@ -1,0 +1,65 @@
+// Cyclic-quorum distribution scheme (Kleinheksel & Somani, "Scaling
+// Distributed All-Pairs Algorithms").
+//
+// Task t's working set is the translate Q_t = { (d + t) mod v : d ∈ D }
+// of a difference cover D ⊆ Z_v. Because every residue is a difference of
+// two cover elements, every unordered pair shares at least one quorum;
+// the scheme pins each pair to exactly one canonical owner: for the pair
+// (lo, hi) with plain difference d = hi − lo, the owner is
+// t = (lo − canon(d)) mod v, where canon(d) is the deterministically
+// chosen cover element with canon(d) + d (mod v) also in the cover.
+//
+// Compared with the design schemes this drops the q²+q+1 prime-power
+// lattice entirely: any v >= 0 works, there are exactly v tasks, and all
+// working sets have exactly |D| elements (perfect balance) at the cost of
+// ~2√v replication for generic v (√v when v is an exact Singer plane
+// order, where D degrades to the planar difference set). Membership is
+// the same O(|D|) = O(√v) modular arithmetic CyclicDesignScheme uses, and
+// total state is O(v): the cover, one canonical offset per residue, and
+// one owned-pair count per task.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pairwise/scheme.hpp"
+
+namespace pairmr {
+
+class QuorumScheme final : public DistributionScheme {
+ public:
+  // Builds design::difference_cover(v). Any v >= 0 (v <= 1 has no pairs).
+  explicit QuorumScheme(std::uint64_t v);
+
+  // Explicit cover (deduplicated and sorted internally); must be a
+  // difference cover of Z_v — every residue a difference of two elements.
+  QuorumScheme(std::uint64_t v, std::vector<std::uint64_t> cover);
+
+  std::string name() const override { return "quorum"; }
+  std::uint64_t num_elements() const override { return v_; }
+  // One task per translate: exactly v (0 when the set is empty).
+  std::uint64_t num_tasks() const override { return v_; }
+
+  std::vector<TaskId> subsets_of(ElementId id) const override;
+  std::vector<ElementPair> pairs_in(TaskId task) const override;
+  SchemeMetrics metrics() const override;
+  std::uint64_t total_pairs() const override;
+  std::vector<ElementId> working_set(TaskId task) const override;
+
+  const std::vector<std::uint64_t>& cover() const { return cover_; }
+
+  // Exact per-task ownership extremes (each task owns at most one pair
+  // per difference d, so max <= v-1; the average is (v-1)/2).
+  std::uint64_t max_owned_pairs() const { return max_owned_; }
+  std::uint64_t min_owned_pairs() const { return min_owned_; }
+
+ private:
+  std::uint64_t v_ = 0;
+  std::vector<std::uint64_t> cover_;   // sorted difference cover of Z_v
+  std::vector<std::uint64_t> canon_;   // canon_[d], d in [1, v); [0] unused
+  std::vector<std::uint64_t> owned_;   // pairs owned by each task
+  std::uint64_t max_owned_ = 0;
+  std::uint64_t min_owned_ = 0;
+};
+
+}  // namespace pairmr

@@ -8,6 +8,7 @@
 #include "pairwise/broadcast_scheme.hpp"
 #include "pairwise/dataset.hpp"
 #include "pairwise/design_scheme.hpp"
+#include "pairwise/quorum_scheme.hpp"
 
 namespace pairmr {
 
@@ -40,6 +41,9 @@ std::vector<Element> compute_all_pairs(
       scheme = std::make_unique<BlockScheme>(v, std::min<std::uint64_t>(h, v));
       break;
     }
+    case SchemeKind::kQuorum:
+      scheme = std::make_unique<QuorumScheme>(v);
+      break;
     case SchemeKind::kDesign:
       scheme = std::make_unique<DesignScheme>(v, options.plane);
       break;

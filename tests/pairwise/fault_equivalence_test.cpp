@@ -19,6 +19,7 @@
 #include "pairwise/dataset.hpp"
 #include "pairwise/design_scheme.hpp"
 #include "pairwise/pipeline.hpp"
+#include "pairwise/quorum_scheme.hpp"
 #include "pairwise/simple.hpp"
 #include "common/rng.hpp"
 #include "workloads/kernels.hpp"
@@ -153,6 +154,8 @@ std::vector<SchemeCase> scheme_cases() {
        [](std::uint64_t v) { return std::make_unique<BlockScheme>(v, 4); }},
       {"design",
        [](std::uint64_t v) { return std::make_unique<DesignScheme>(v); }},
+      {"quorum",
+       [](std::uint64_t v) { return std::make_unique<QuorumScheme>(v); }},
   };
 }
 

@@ -1,0 +1,158 @@
+// Schema and golden tests for the BENCH_frontier.json document emitted by
+// bench/bench_frontier: the exact field set and ordering of every point,
+// the golden rendering of a hand-built point, and the frontier facts the
+// document is supposed to certify (every scheme on or above the
+// Afrati/Ullman bound; quorum == design at exact plane orders).
+#include "pairwise/frontier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "../support/mini_json.hpp"
+#include "pairwise/quorum_scheme.hpp"
+
+namespace pairmr {
+namespace {
+
+using minijson::JsonParser;
+using minijson::JsonValue;
+
+const std::vector<std::string> kPointKeys = {
+    "scheme", "params",           "v",           "num_tasks", "reducer_size",
+    "replication_rate", "lower_bound", "ratio",     "ok"};
+
+JsonValue parse_or_die(const std::string& json) {
+  JsonValue doc;
+  JsonParser parser(json);
+  EXPECT_TRUE(parser.parse(doc)) << json;
+  return doc;
+}
+
+TEST(FrontierSchemaTest, SweepDocumentMatchesSchema) {
+  const auto points = frontier_sweep({57, 96});
+  // Per v: broadcast, block h=4, block h=⌊√v⌋, quorum, design,
+  // cyclic-design (both sizes admit it), hierarchical.
+  ASSERT_EQ(points.size(), 14u);
+
+  const JsonValue doc = parse_or_die(frontier_to_json(points));
+  ASSERT_EQ(doc.kind, JsonValue::kObject);
+  ASSERT_EQ(doc.object.size(), 3u);
+  EXPECT_EQ(doc.object[0].first, "bench");
+  EXPECT_EQ(doc.object[1].first, "points");
+  EXPECT_EQ(doc.object[2].first, "passed");
+
+  ASSERT_EQ(doc.object[0].second.kind, JsonValue::kString);
+  EXPECT_EQ(doc.object[0].second.str, "frontier");
+  ASSERT_EQ(doc.object[2].second.kind, JsonValue::kBool);
+  EXPECT_TRUE(doc.object[2].second.boolean);
+
+  const JsonValue& array = doc.object[1].second;
+  ASSERT_EQ(array.kind, JsonValue::kArray);
+  ASSERT_EQ(array.array.size(), points.size());
+  for (std::size_t i = 0; i < array.array.size(); ++i) {
+    const JsonValue& point = array.array[i];
+    ASSERT_EQ(point.kind, JsonValue::kObject) << "point " << i;
+    ASSERT_EQ(point.object.size(), kPointKeys.size()) << "point " << i;
+    for (std::size_t k = 0; k < kPointKeys.size(); ++k) {
+      EXPECT_EQ(point.object[k].first, kPointKeys[k])
+          << "point " << i << " key " << k;
+    }
+    EXPECT_EQ(point.find("scheme")->kind, JsonValue::kString);
+    EXPECT_EQ(point.find("params")->kind, JsonValue::kString);
+    EXPECT_EQ(point.find("v")->kind, JsonValue::kNumber);
+    EXPECT_EQ(point.find("num_tasks")->kind, JsonValue::kNumber);
+    EXPECT_EQ(point.find("reducer_size")->kind, JsonValue::kNumber);
+    EXPECT_EQ(point.find("replication_rate")->kind, JsonValue::kNumber);
+    EXPECT_EQ(point.find("lower_bound")->kind, JsonValue::kNumber);
+    EXPECT_EQ(point.find("ratio")->kind, JsonValue::kNumber);
+    EXPECT_EQ(point.find("ok")->kind, JsonValue::kBool);
+
+    // Round-trip the values the bench asserts on. Doubles are rendered
+    // at ostream's default 6 significant digits, so compare at that
+    // precision.
+    EXPECT_EQ(point.find("v")->number,
+              static_cast<double>(points[i].v));
+    EXPECT_NEAR(point.find("replication_rate")->number,
+                points[i].replication_rate,
+                1e-4 * (1.0 + points[i].replication_rate));
+    EXPECT_TRUE(point.find("ok")->boolean) << points[i].scheme;
+    EXPECT_GE(point.find("replication_rate")->number * (1.0 + 1e-5) + 1e-9,
+              point.find("lower_bound")->number)
+        << points[i].scheme << " v=" << points[i].v;
+  }
+}
+
+TEST(FrontierSchemaTest, GoldenRenderingOfHandBuiltPoint) {
+  FrontierPoint p;
+  p.scheme = "quorum";
+  p.params = "|D|=8";
+  p.v = 57;
+  p.num_tasks = 57;
+  p.reducer_size = 8;
+  p.replication_rate = 8.0;
+  p.lower_bound = 8.0;
+  p.ratio = 1.0;
+  p.ok = true;
+  const std::string expected =
+      "{\n"
+      "  \"bench\": \"frontier\",\n"
+      "  \"points\": [\n"
+      "    {\"scheme\": \"quorum\", \"params\": \"|D|=8\", \"v\": 57,"
+      " \"num_tasks\": 57, \"reducer_size\": 8, \"replication_rate\": 8,"
+      " \"lower_bound\": 8, \"ratio\": 1, \"ok\": true}\n"
+      "  ],\n"
+      "  \"passed\": true\n"
+      "}\n";
+  EXPECT_EQ(frontier_to_json({p}), expected);
+}
+
+TEST(FrontierSchemaTest, QuorumSitsOnTheBoundAtExactPlaneOrders) {
+  // v = 57 = 7²+7+1: the difference cover degrades to the planar
+  // difference set, so quorum and design occupy the same frontier point —
+  // reducer size 8, replication 8, exactly on (v−1)/(q−1) = 56/7 = 8.
+  const auto points = frontier_sweep({57});
+  const FrontierPoint* quorum = nullptr;
+  const FrontierPoint* design = nullptr;
+  for (const auto& p : points) {
+    if (p.scheme == "quorum") quorum = &p;
+    if (p.scheme == "design") design = &p;
+  }
+  ASSERT_NE(quorum, nullptr);
+  ASSERT_NE(design, nullptr);
+  EXPECT_EQ(quorum->reducer_size, 8u);
+  EXPECT_EQ(quorum->reducer_size, design->reducer_size);
+  EXPECT_DOUBLE_EQ(quorum->replication_rate, 8.0);
+  EXPECT_DOUBLE_EQ(quorum->replication_rate, design->replication_rate);
+  EXPECT_DOUBLE_EQ(quorum->lower_bound, 8.0);
+  EXPECT_DOUBLE_EQ(quorum->ratio, 1.0);
+  EXPECT_TRUE(quorum->ok);
+}
+
+TEST(FrontierSchemaTest, FrontierPointMeasuresTheQuorumCover) {
+  const QuorumScheme scheme(30);
+  const FrontierPoint p = frontier_point(scheme, "|D|=...");
+  EXPECT_EQ(p.scheme, "quorum");
+  EXPECT_EQ(p.v, 30u);
+  EXPECT_EQ(p.num_tasks, 30u);
+  // Perfect balance: the max working set IS the cover size, and the
+  // measured replication rate equals it exactly.
+  EXPECT_EQ(p.reducer_size, scheme.cover().size());
+  EXPECT_DOUBLE_EQ(p.replication_rate,
+                   static_cast<double>(scheme.cover().size()));
+  EXPECT_TRUE(p.ok);
+}
+
+TEST(FrontierSchemaTest, PassedReflectsEveryPointFlag) {
+  EXPECT_TRUE(frontier_all_ok({}));
+  auto points = frontier_sweep({57});
+  EXPECT_TRUE(frontier_all_ok(points));
+  points.front().ok = false;
+  EXPECT_FALSE(frontier_all_ok(points));
+  const JsonValue doc = parse_or_die(frontier_to_json(points));
+  EXPECT_FALSE(doc.find("passed")->boolean);
+}
+
+}  // namespace
+}  // namespace pairmr

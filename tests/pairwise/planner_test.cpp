@@ -51,9 +51,57 @@ TEST(PlannerTest, HugeDatasetFallsBackToDesign) {
   const Plan plan = plan_scheme(request(6000, 2 * kMiB, 8));
   EXPECT_FALSE(plan.broadcast_feasible);
   EXPECT_FALSE(plan.block_feasible);
+  // Quorum budgets 2(√v+1)·s ≈ 312 MiB of working set — over the 200 MiB
+  // limit — so the tight-storage fallback is the design scheme.
+  EXPECT_FALSE(plan.quorum_feasible);
   EXPECT_TRUE(plan.design_feasible);
   EXPECT_TRUE(plan.feasible);
   EXPECT_EQ(plan.kind, SchemeKind::kDesign);
+}
+
+TEST(PlannerTest, ManyNodesPickQuorumOverBlock) {
+  // 100 × 1 MiB on 400 nodes with a 60 MiB working-set limit: broadcast
+  // does not fit, and block must inflate to h = 28 (triangular(28) = 406
+  // >= n) to occupy the nodes — replication 28. The quorum cover budget
+  // is 2(√100+1) = 22 < 28, so cyclic quorums ship less data at exactly
+  // v = 100 perfectly balanced tasks.
+  const Limits limits{.max_working_set_bytes = 60 * kMiB,
+                      .max_intermediate_bytes = 100 * kGiB};
+  const Plan plan = plan_scheme(request(100, kMiB, 400, limits));
+  EXPECT_FALSE(plan.broadcast_feasible);
+  EXPECT_TRUE(plan.block_feasible);
+  EXPECT_TRUE(plan.quorum_feasible);
+  EXPECT_TRUE(plan.feasible);
+  EXPECT_EQ(plan.kind, SchemeKind::kQuorum);
+  EXPECT_EQ(plan.predicted.scheme, "quorum");
+  EXPECT_EQ(plan.predicted.num_tasks, 100u);
+  EXPECT_NE(plan.rationale.find("quorum"), std::string::npos);
+}
+
+TEST(PlannerTest, FewNodesKeepBlockOverQuorum) {
+  // Same dataset and limits, but only 8 nodes: block's minimal valid h
+  // stays far below the quorum cover budget, so block keeps its
+  // least-communication win.
+  const Limits limits{.max_working_set_bytes = 60 * kMiB,
+                      .max_intermediate_bytes = 100 * kGiB};
+  const Plan plan = plan_scheme(request(100, kMiB, 8, limits));
+  EXPECT_TRUE(plan.block_feasible);
+  EXPECT_TRUE(plan.quorum_feasible);
+  EXPECT_EQ(plan.kind, SchemeKind::kBlock);
+}
+
+TEST(PlannerTest, QuorumPlanRoundTripsThroughMakeScheme) {
+  const Limits limits{.max_working_set_bytes = 60 * kMiB,
+                      .max_intermediate_bytes = 100 * kGiB};
+  const Plan plan = plan_scheme(request(100, kMiB, 400, limits));
+  ASSERT_EQ(plan.kind, SchemeKind::kQuorum);
+  EXPECT_STREQ(to_string(plan.kind), "quorum");
+  const auto scheme = make_scheme(plan, 100);
+  EXPECT_EQ(scheme->name(), "quorum");
+  EXPECT_EQ(scheme->num_tasks(), 100u);
+  EXPECT_EQ(scheme->num_elements(), 100u);
+  // The realized cover respects the feasibility budget the planner used.
+  EXPECT_LE(scheme->metrics().replication_factor, 22.0);
 }
 
 TEST(PlannerTest, NothingFitsRecommendsHierarchical) {

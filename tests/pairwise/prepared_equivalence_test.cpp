@@ -19,6 +19,7 @@
 #include "pairwise/dataset.hpp"
 #include "pairwise/design_scheme.hpp"
 #include "pairwise/pipeline.hpp"
+#include "pairwise/quorum_scheme.hpp"
 #include "workloads/generators.hpp"
 #include "workloads/kernels.hpp"
 
@@ -133,6 +134,8 @@ TEST(PreparedEquivalenceTest, TwoJobPipelineAcrossSchemes) {
            [](std::uint64_t n) { return std::make_unique<BlockScheme>(n, 4); }},
           {"design",
            [](std::uint64_t n) { return std::make_unique<DesignScheme>(n); }},
+          {"quorum",
+           [](std::uint64_t n) { return std::make_unique<QuorumScheme>(n); }},
       };
   for (const auto& kernel : kernel_cases(v)) {
     for (const auto& [name, make] : schemes) {

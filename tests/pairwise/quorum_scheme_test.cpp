@@ -1,0 +1,163 @@
+// QuorumScheme unit tests: difference-cover construction (perfect Singer
+// sizes at plane orders, ≤ 2√v+2 generic sizes at arbitrary v), the tiny
+// and degenerate edge cases, canonical pair ownership, and the perfect
+// working-set balance the cyclic-quorum construction guarantees.
+#include "pairwise/quorum_scheme.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/intmath.hpp"
+#include "design/difference_set.hpp"
+#include "design/primes.hpp"
+
+namespace pairmr {
+namespace {
+
+// --- design::is_difference_cover / design::difference_cover --------------
+
+TEST(DifferenceCoverTest, RecognizesCoversAndNonCovers) {
+  // Planar difference sets are covers (every residue exactly once).
+  EXPECT_TRUE(design::is_difference_cover({0, 1, 3}, 7));
+  // Relaxed: repeats allowed, every residue just needs one representation.
+  EXPECT_TRUE(design::is_difference_cover({0, 1, 2, 4}, 8));
+  // {0,1} mod 6 only reaches differences {0, 1, 5}.
+  EXPECT_FALSE(design::is_difference_cover({0, 1}, 6));
+  EXPECT_FALSE(design::is_difference_cover({}, 5));
+  // The whole group trivially covers itself.
+  EXPECT_TRUE(design::is_difference_cover({0, 1, 2, 3, 4, 5}, 6));
+  EXPECT_TRUE(design::is_difference_cover({0}, 1));
+  EXPECT_THROW(design::is_difference_cover({3}, 3), PreconditionError);
+  EXPECT_THROW(design::is_difference_cover({0}, 0), PreconditionError);
+}
+
+TEST(DifferenceCoverTest, ConstructionCoversEverySizeUpTo300) {
+  for (std::uint64_t v = 1; v <= 300; ++v) {
+    const auto cover = design::difference_cover(v);
+    EXPECT_TRUE(design::is_difference_cover(cover, v)) << "v=" << v;
+    // The two-scale bound (units + multiples of ⌈√v⌉); the perfect path
+    // and the greedy prune can only be smaller.
+    EXPECT_LE(cover.size(), 2 * (isqrt(v) + 1)) << "v=" << v;
+    const std::set<std::uint64_t> unique(cover.begin(), cover.end());
+    EXPECT_EQ(unique.size(), cover.size()) << "v=" << v;
+  }
+  EXPECT_THROW(design::difference_cover(0), PreconditionError);
+}
+
+TEST(DifferenceCoverTest, PlaneOrdersGetPerfectSingerCovers) {
+  // At v = q²+q+1 for a prime power q the cover is the planar difference
+  // set itself: exactly q+1 elements, the theoretical optimum.
+  for (const std::uint64_t q : {2ull, 3ull, 4ull, 5ull, 7ull, 8ull, 9ull}) {
+    const std::uint64_t v = design::q_hat(q);
+    const auto cover = design::difference_cover(v);
+    EXPECT_EQ(cover.size(), q + 1) << "v=" << v;
+    EXPECT_TRUE(design::is_planar_difference_set(cover, v)) << "v=" << v;
+  }
+}
+
+// --- QuorumScheme edge cases ---------------------------------------------
+
+TEST(QuorumSchemeTest, TinySizesAreDegenerateButConsistent) {
+  const QuorumScheme empty(0);
+  EXPECT_EQ(empty.num_tasks(), 0u);
+  EXPECT_EQ(empty.total_pairs(), 0u);
+
+  const QuorumScheme one(1);
+  EXPECT_EQ(one.num_tasks(), 1u);
+  EXPECT_EQ(one.total_pairs(), 0u);
+  EXPECT_EQ(one.working_set(0), (std::vector<ElementId>{0}));
+  EXPECT_TRUE(one.pairs_in(0).empty());
+
+  const QuorumScheme two(2);
+  EXPECT_EQ(two.total_pairs(), 1u);
+  std::uint64_t found = 0;
+  for (TaskId t = 0; t < two.num_tasks(); ++t) {
+    found += two.pairs_in(t).size();
+  }
+  EXPECT_EQ(found, 1u);
+
+  const QuorumScheme three(3);
+  EXPECT_EQ(three.cover().size(), 2u);
+  EXPECT_EQ(three.total_pairs(), 3u);
+}
+
+TEST(QuorumSchemeTest, DegenerateFullCoverStillTilesAllPairs) {
+  // D = Z_6: one pair per (task, difference) — max ownership v−1 = 5,
+  // twice the (v−1)/2 average, and every working set is the whole set.
+  const std::uint64_t v = 6;
+  QuorumScheme scheme(v, {0, 1, 2, 3, 4, 5});
+  EXPECT_EQ(scheme.max_owned_pairs(), v - 1);
+  EXPECT_DOUBLE_EQ(scheme.metrics().replication_factor, 6.0);
+  std::set<std::pair<ElementId, ElementId>> seen;
+  for (TaskId t = 0; t < scheme.num_tasks(); ++t) {
+    EXPECT_EQ(scheme.working_set(t).size(), v);
+    for (const auto [lo, hi] : scheme.pairs_in(t)) {
+      EXPECT_TRUE(seen.insert({lo, hi}).second);
+    }
+  }
+  EXPECT_EQ(seen.size(), pair_count(v));
+}
+
+TEST(QuorumSchemeTest, ExplicitCoverIsValidatedAndDeduplicated) {
+  EXPECT_THROW(QuorumScheme(6, {0, 1}), PreconditionError);
+  EXPECT_THROW(QuorumScheme(5, {0, 7}), PreconditionError);
+  QuorumScheme deduped(7, {3, 0, 1, 1, 3, 0});
+  EXPECT_EQ(deduped.cover(), (std::vector<std::uint64_t>{0, 1, 3}));
+}
+
+// --- Balance and ownership -----------------------------------------------
+
+TEST(QuorumSchemeTest, WorkingSetsArePerfectlyBalanced) {
+  for (const std::uint64_t v : {10ull, 50ull, 97ull}) {
+    const QuorumScheme scheme(v);
+    const std::uint64_t k = scheme.cover().size();
+    std::uint64_t owned_total = 0;
+    for (TaskId t = 0; t < scheme.num_tasks(); ++t) {
+      EXPECT_EQ(scheme.working_set(t).size(), k) << "v=" << v << " t=" << t;
+      owned_total += scheme.pairs_in(t).size();
+    }
+    EXPECT_EQ(owned_total, pair_count(v)) << "v=" << v;
+    EXPECT_LE(scheme.max_owned_pairs(), v - 1) << "v=" << v;
+    EXPECT_LE(scheme.min_owned_pairs(), scheme.max_owned_pairs());
+    EXPECT_DOUBLE_EQ(scheme.metrics().evaluations_per_task,
+                     static_cast<double>(scheme.max_owned_pairs()));
+    EXPECT_DOUBLE_EQ(scheme.metrics().working_set_elements,
+                     static_cast<double>(k));
+  }
+}
+
+TEST(QuorumSchemeTest, SubsetsOfMatchesTranslateMembership) {
+  // The O(|D|) arithmetic membership must agree with brute-force scanning
+  // of every translate.
+  const std::uint64_t v = 50;
+  const QuorumScheme scheme(v);
+  for (ElementId e = 0; e < v; ++e) {
+    std::vector<TaskId> brute;
+    for (TaskId t = 0; t < scheme.num_tasks(); ++t) {
+      const auto ws = scheme.working_set(t);
+      if (std::find(ws.begin(), ws.end(), e) != ws.end()) {
+        brute.push_back(t);
+      }
+    }
+    EXPECT_EQ(scheme.subsets_of(e), brute) << "element " << e;
+  }
+}
+
+TEST(QuorumSchemeTest, MetricsReportTable1Row) {
+  const std::uint64_t v = 57;  // exact plane order: |D| = 8
+  const QuorumScheme scheme(v);
+  const SchemeMetrics m = scheme.metrics();
+  EXPECT_EQ(m.scheme, "quorum");
+  EXPECT_EQ(m.num_tasks, v);
+  EXPECT_DOUBLE_EQ(m.replication_factor, 8.0);
+  EXPECT_DOUBLE_EQ(m.communication_elements, 2.0 * 57.0 * 8.0);
+  EXPECT_DOUBLE_EQ(m.working_set_elements, 8.0);
+  EXPECT_EQ(scheme.total_pairs(), pair_count(v));
+}
+
+}  // namespace
+}  // namespace pairmr

@@ -13,11 +13,13 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/intmath.hpp"
 #include "mr/cluster.hpp"
 #include "pairwise/block_scheme.hpp"
 #include "pairwise/dataset.hpp"
 #include "pairwise/design_scheme.hpp"
 #include "pairwise/pipeline.hpp"
+#include "pairwise/quorum_scheme.hpp"
 #include "workloads/kernels.hpp"
 
 namespace pairmr {
@@ -191,6 +193,52 @@ TEST(RunPlannedTest, FeasiblePlanExecutesChosenScheme) {
   EXPECT_FALSE(report.fell_back_to_rounds);
   EXPECT_GT(report.evaluations, 0u);
   EXPECT_FALSE(encoded_output(cluster, report.output_dir).empty());
+}
+
+TEST(RunPlannedTest, ManyNodeRegimeSelectsAndExecutesQuorum) {
+  // v = 30 at 16 B/element on 100 planner nodes with a 256 B working-set
+  // limit: broadcast (480 B) does not fit, and block would need h = 14
+  // (triangular(14) = 105 >= n) — replication 14, past the quorum cover
+  // budget 2(√30+1) = 12. run_planned must pick quorum and the report's
+  // measured Table 1 row must match the scheme's analytic one exactly.
+  const std::uint64_t v = 30;
+  const auto payloads = payloads_for(v);
+  mr::Cluster cluster({.num_nodes = 4, .worker_threads = 2});
+  const auto inputs = write_dataset(cluster, "/data", payloads);
+
+  PlanRequest request;
+  request.v = v;
+  request.element_bytes = 16;
+  request.num_nodes = 100;
+  request.limits.max_working_set_bytes = 256;
+  request.limits.max_intermediate_bytes = 1ull << 20;
+
+  const RunReport report = PairwiseRunner(cluster).run_planned(
+      request, inputs, test_job());
+
+  EXPECT_TRUE(report.planned);
+  EXPECT_TRUE(report.plan.feasible);
+  EXPECT_EQ(report.plan.kind, SchemeKind::kQuorum);
+  EXPECT_FALSE(report.fell_back_to_rounds);
+
+  const QuorumScheme scheme(v);
+  const SchemeMetrics metrics = scheme.metrics();
+  EXPECT_EQ(report.evaluations, pair_count(v));
+  // Measured replication = map output records / v = |D| exactly: every
+  // element is shipped to precisely the cover's worth of tasks.
+  EXPECT_DOUBLE_EQ(report.replication_factor, metrics.replication_factor);
+  // Perfect balance: the largest working set IS the Table 1 entry.
+  EXPECT_EQ(report.max_working_set_records,
+            static_cast<std::uint64_t>(metrics.working_set_elements));
+
+  // Output matches a design-scheme reference byte for byte.
+  mr::Cluster ref_cluster({.num_nodes = 4, .worker_threads = 2});
+  const auto ref_inputs = write_dataset(ref_cluster, "/data", payloads);
+  const DesignScheme ref_scheme(v);
+  const PairwiseRunStats ref = run_pairwise(
+      ref_cluster, ref_inputs, ref_scheme, test_job());
+  EXPECT_EQ(encoded_output(cluster, report.output_dir),
+            encoded_output(ref_cluster, ref.output_dir));
 }
 
 TEST(RunPlannedTest, InfeasiblePlanFallsBackToRounds) {

@@ -18,6 +18,7 @@
 #include "pairwise/broadcast_scheme.hpp"
 #include "pairwise/cyclic_design_scheme.hpp"
 #include "pairwise/design_scheme.hpp"
+#include "pairwise/quorum_scheme.hpp"
 #include "pairwise/scheme.hpp"
 
 namespace pairmr {
@@ -57,6 +58,14 @@ std::vector<SchemeCase> all_cases() {
     cases.push_back({"cyclic_v" + std::to_string(v),
                      [v] { return std::make_unique<CyclicDesignScheme>(v); },
                      v});
+    cases.push_back({"quorum_v" + std::to_string(v),
+                     [v] { return std::make_unique<QuorumScheme>(v); }, v});
+  }
+  // Quorum has no plane-order lattice: exercise non-prime-power sizes the
+  // design constructions can only reach by truncation.
+  for (const std::uint64_t v : {6ull, 12ull, 50ull, 97ull, 200ull}) {
+    cases.push_back({"quorum_v" + std::to_string(v),
+                     [v] { return std::make_unique<QuorumScheme>(v); }, v});
   }
   return cases;
 }

@@ -21,6 +21,7 @@
 #include "pairwise/broadcast_scheme.hpp"
 #include "pairwise/dataset.hpp"
 #include "pairwise/design_scheme.hpp"
+#include "pairwise/quorum_scheme.hpp"
 #include "pairwise/runner.hpp"
 #include "workloads/kernels.hpp"
 
@@ -98,6 +99,8 @@ Execution execute(RunMode mode, const std::string& scheme_label,
       scheme = std::make_unique<BlockScheme>(v, 4);
     } else if (scheme_label == "design") {
       scheme = std::make_unique<DesignScheme>(v);
+    } else if (scheme_label == "quorum") {
+      scheme = std::make_unique<QuorumScheme>(v);
     } else {
       scheme = std::make_unique<BroadcastScheme>(v, 5);
     }
@@ -178,8 +181,10 @@ INSTANTIATE_TEST_SUITE_P(
         Case{RunMode::kTwoJob, "broadcast", false},
         Case{RunMode::kTwoJob, "block", false},
         Case{RunMode::kTwoJob, "design", false},
+        Case{RunMode::kTwoJob, "quorum", false},
         Case{RunMode::kTwoJob, "block", true},
         Case{RunMode::kTwoJob, "design", true},
+        Case{RunMode::kTwoJob, "quorum", true},
         Case{RunMode::kBroadcast, "onejob", false},
         Case{RunMode::kBroadcast, "onejob", true},
         Case{RunMode::kRounds, "block", false},

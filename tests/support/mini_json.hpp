@@ -1,0 +1,208 @@
+// Minimal JSON DOM parser for schema tests — just enough to validate the
+// repo's JSON exports (Chrome traces, BENCH_*.json) without an external
+// dependency. Order-preserving objects so field-set stability can be
+// asserted; \uXXXX escapes are checked for shape but decoded as '?'
+// (exact code points are irrelevant to schemas). Shared by
+// tests/mr/trace_schema_test.cpp and tests/pairwise/frontier_schema_test.cpp.
+#pragma once
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pairmr::minijson {
+
+struct JsonValue {
+  enum Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+  Kind kind = kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<std::pair<std::string, JsonValue>> object;  // order-preserving
+  std::vector<JsonValue> array;
+
+  const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  // Parses the whole input as one value; fails on trailing garbage.
+  bool parse(JsonValue& out) {
+    pos_ = 0;
+    if (!parse_value(out)) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool parse_literal(const char* lit) {
+    const std::size_t n = std::string(lit).size();
+    if (text_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!consume('"')) return false;
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return false;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'n': out.push_back('\n'); break;
+        case 't': out.push_back('\t'); break;
+        case 'r': out.push_back('\r'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return false;
+          for (int i = 0; i < 4; ++i) {
+            if (!std::isxdigit(static_cast<unsigned char>(text_[pos_ + i]))) {
+              return false;
+            }
+          }
+          out.push_back('?');  // exact code point irrelevant for schemas
+          pos_ += 4;
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool parse_number(double& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    std::size_t digits = 0;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+      ++digits;
+    }
+    if (digits == 0) return false;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      std::size_t frac = 0;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+        ++frac;
+      }
+      if (frac == 0) return false;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      std::size_t exp = 0;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+        ++exp;
+      }
+      if (exp == 0) return false;
+    }
+    out = std::stod(text_.substr(start, pos_ - start));
+    return true;
+  }
+
+  bool parse_value(JsonValue& out) {
+    skip_ws();
+    if (pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    if (c == '{') {
+      ++pos_;
+      out.kind = JsonValue::kObject;
+      skip_ws();
+      if (consume('}')) return true;
+      while (true) {
+        std::string key;
+        skip_ws();
+        if (!parse_string(key)) return false;
+        if (!consume(':')) return false;
+        JsonValue value;
+        if (!parse_value(value)) return false;
+        out.object.emplace_back(std::move(key), std::move(value));
+        if (consume(',')) continue;
+        return consume('}');
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      out.kind = JsonValue::kArray;
+      skip_ws();
+      if (consume(']')) return true;
+      while (true) {
+        JsonValue value;
+        if (!parse_value(value)) return false;
+        out.array.push_back(std::move(value));
+        if (consume(',')) continue;
+        return consume(']');
+      }
+    }
+    if (c == '"') {
+      out.kind = JsonValue::kString;
+      return parse_string(out.str);
+    }
+    if (c == 't') {
+      out.kind = JsonValue::kBool;
+      out.boolean = true;
+      return parse_literal("true");
+    }
+    if (c == 'f') {
+      out.kind = JsonValue::kBool;
+      out.boolean = false;
+      return parse_literal("false");
+    }
+    if (c == 'n') {
+      out.kind = JsonValue::kNull;
+      return parse_literal("null");
+    }
+    out.kind = JsonValue::kNumber;
+    return parse_number(out.number);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace pairmr::minijson
