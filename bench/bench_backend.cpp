@@ -1,0 +1,152 @@
+// bench_backend — in-process threads vs forked worker processes.
+//
+// Runs the same two-job design-scheme pairwise computation on both
+// execution backends (mr/backend/backend.hpp) in two regimes:
+//
+//   * compute-heavy: small elements, an expensive kernel — the fork
+//     backend's process-spawn and frame-shipping overhead should mostly
+//     amortize away behind the arithmetic;
+//   * shipping-heavy: large elements, a near-free kernel — every shuffle
+//     byte now crosses a real process boundary over a Unix-domain
+//     socket, so this regime prices the serialization itself.
+//
+// For each (regime, backend) cell it reports makespan and shuffle
+// throughput (remote bytes / wall seconds), and asserts — exiting
+// non-zero on violation — that both backends produce byte-identical
+// aggregated output. Wall-clock numbers vary run to run; the identity
+// bits do not.
+//
+// Emits BENCH_backend.json next to BENCH_frontier.json.
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "mr/backend/backend.hpp"
+#include "mr/backend/bench_report.hpp"
+#include "mr/cluster.hpp"
+#include "pairwise/dataset.hpp"
+#include "pairwise/design_scheme.hpp"
+#include "pairwise/runner.hpp"
+#include "workloads/generators.hpp"
+#include "workloads/kernels.hpp"
+
+namespace {
+
+using namespace pairmr;
+
+struct Regime {
+  std::string name;
+  std::uint64_t v;
+  std::uint64_t element_bytes;
+  std::uint32_t kernel_rounds;
+};
+
+struct Observation {
+  std::vector<std::string> encoded;
+  mr::backend::BenchPoint point;
+};
+
+const char* backend_label(mr::BackendKind kind) {
+  return kind == mr::BackendKind::kFork ? "fork" : "inprocess";
+}
+
+Observation run_once(const Regime& regime,
+                     const std::vector<std::string>& payloads,
+                     mr::BackendKind backend) {
+  mr::Cluster cluster({.num_nodes = 4, .worker_threads = 0});
+  const auto inputs = write_dataset(cluster, "/data", payloads);
+  const DesignScheme scheme(payloads.size());
+
+  RunSpec spec;
+  spec.input_paths = inputs;
+  spec.mode = RunMode::kTwoJob;
+  spec.scheme = &scheme;
+  spec.job.compute = workloads::expensive_blob_kernel(regime.kernel_rounds);
+  spec.options.backend = backend;
+
+  const auto start = std::chrono::steady_clock::now();
+  const RunReport report = PairwiseRunner(cluster).run(spec);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  Observation obs;
+  for (const Element& e : read_elements(cluster, report.output_dir)) {
+    obs.encoded.push_back(encode_element(e));
+  }
+  obs.point.regime = regime.name;
+  obs.point.backend = backend_label(backend);
+  obs.point.v = regime.v;
+  obs.point.element_bytes = regime.element_bytes;
+  obs.point.evaluations = report.evaluations;
+  obs.point.wall_seconds = seconds;
+  obs.point.shuffle_remote_bytes = report.shuffle_remote_bytes;
+  obs.point.shuffle_mib_per_second =
+      seconds > 0.0 ? static_cast<double>(report.shuffle_remote_bytes) /
+                          (1024.0 * 1024.0) / seconds
+                    : 0.0;
+  return obs;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== bench_backend: in-process vs forked worker processes "
+               "===\n\n";
+
+  const std::vector<Regime> regimes = {
+      {"compute-heavy", 57, 64, 192},
+      {"shipping-heavy", 121, 4096, 1},
+  };
+
+  TablePrinter table({"regime", "backend", "v", "elem bytes", "makespan",
+                      "shuffle bytes", "shuffle MiB/s", "output identical"});
+  table.set_caption(
+      "Two-job design scheme, 4 nodes; fork = one worker process per node");
+
+  std::vector<mr::backend::BenchPoint> points;
+  for (const Regime& regime : regimes) {
+    const auto payloads =
+        workloads::blob_payloads(regime.v, regime.element_bytes, 7);
+    // The in-process run is the reference both cells diff against.
+    Observation reference;
+    for (const mr::BackendKind kind :
+         {mr::BackendKind::kInProcess, mr::BackendKind::kFork}) {
+      Observation obs = run_once(regime, payloads, kind);
+      if (kind == mr::BackendKind::kInProcess) reference = obs;
+      obs.point.identical = obs.encoded == reference.encoded;
+      PAIRMR_CHECK(obs.point.identical,
+                   "backend output diverged from the in-process reference");
+
+      std::ostringstream makespan, rate;
+      makespan << std::fixed << std::setprecision(3) << obs.point.wall_seconds
+               << " s";
+      rate << std::fixed << std::setprecision(1)
+           << obs.point.shuffle_mib_per_second;
+      table.add_row({regime.name, obs.point.backend,
+                     TablePrinter::num(obs.point.v),
+                     format_bytes(regime.element_bytes), makespan.str(),
+                     format_bytes(obs.point.shuffle_remote_bytes), rate.str(),
+                     obs.point.identical ? "yes" : "NO"});
+      points.push_back(obs.point);
+    }
+  }
+
+  table.print(std::cout);
+
+  std::ofstream out("BENCH_backend.json");
+  out << mr::backend::bench_to_json(points);
+  std::cout << "\nwrote BENCH_backend.json\n";
+
+  const bool ok = mr::backend::bench_all_ok(points);
+  std::cout << (ok ? "PASS" : "FAIL") << "\n";
+  return ok ? 0 : 1;
+}

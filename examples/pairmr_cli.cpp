@@ -4,6 +4,7 @@
 //              [--elem-bytes B] [--nodes N] [--tasks P] [--h H]
 //              [--kernel mix|euclid] [--maxws BYTES] [--maxis BYTES]
 //              [--seed S] [--combiner] [--no-aggregate] [--trace PATH]
+//              [--backend inprocess|fork]
 //
 // With --scheme plan, the planner picks the scheme from the cost model
 // (Figure 9 logic) and explains its choice. Prints the measured run
@@ -46,13 +47,15 @@ struct Args {
   bool combiner = false;
   bool aggregate = true;
   std::string trace_path;  // empty: tracing off
+  std::string backend;     // empty: engine default (env, then in-process)
 };
 
 [[noreturn]] void usage() {
   std::cerr << "usage: pairmr_cli [--scheme broadcast|block|design|plan] "
                "[--v N] [--elem-bytes B] [--nodes N] [--tasks P] [--h H] "
                "[--kernel mix|euclid] [--maxws BYTES] [--maxis BYTES] "
-               "[--seed S] [--combiner] [--no-aggregate] [--trace PATH]\n";
+               "[--seed S] [--combiner] [--no-aggregate] [--trace PATH] "
+               "[--backend inprocess|fork]\n";
   std::exit(2);
 }
 
@@ -90,6 +93,8 @@ Args parse(int argc, char** argv) {
       args.aggregate = false;
     } else if (flag == "--trace") {
       args.trace_path = next();
+    } else if (flag == "--backend") {
+      args.backend = next();
     } else {
       usage();
     }
@@ -167,6 +172,13 @@ int main(int argc, char** argv) {
   PairwiseOptions options;
   options.run_aggregation = args.aggregate;
   options.aggregation_combiner = args.combiner;
+  if (args.backend == "inprocess") {
+    options.backend = mr::BackendKind::kInProcess;
+  } else if (args.backend == "fork") {
+    options.backend = mr::BackendKind::kFork;
+  } else if (!args.backend.empty()) {
+    usage();
+  }
   const PairwiseRunStats stats =
       run_pairwise(cluster, inputs, *scheme, job, options);
 

@@ -1,0 +1,21 @@
+#include "mr/backend/backend.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace pairmr::mr::backend {
+
+BackendKind backend_kind_from_env() {
+  const char* env = std::getenv("PAIRMR_TEST_BACKEND");
+  if (env == nullptr || *env == '\0') return BackendKind::kInProcess;
+  if (std::strcmp(env, "inprocess") == 0) return BackendKind::kInProcess;
+  if (std::strcmp(env, "fork") == 0) return BackendKind::kFork;
+  PAIRMR_REQUIRE(false, std::string("PAIRMR_TEST_BACKEND must be unset, "
+                                    "\"inprocess\", or \"fork\"; got \"") +
+                            env + "\"");
+  return BackendKind::kInProcess;  // unreachable
+}
+
+}  // namespace pairmr::mr::backend

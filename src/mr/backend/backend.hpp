@@ -1,0 +1,148 @@
+// The execution substrate behind mr::Engine.
+//
+// Engine::run is a coordinator: it decides placement, consults the fault
+// plan, meters traffic, merges counters, and records attempt/phase spans.
+// Everything that actually *runs* a task attempt or stores a shuffle
+// partition sits behind this Backend interface:
+//
+//   * InProcessBackend (mr/backend/inprocess.hpp) — attempts run on the
+//     calling pool thread, partitions live in coordinator memory. This is
+//     the seed engine's behaviour, extracted verbatim.
+//   * ForkBackend (mr/backend/fork.hpp) — one forked worker process per
+//     simulated node; attempts travel a Unix-domain-socket control
+//     channel, shuffle partitions cross real sockets between workers, and
+//     counters/spans ship back for merging.
+//
+// Because all orchestration state stays in the coordinator, a job's
+// output files, counters, and NetworkMeter totals are identical across
+// backends by construction — tests/mr/backend_equivalence_test.cpp holds
+// every pairwise scheme × fault chaos × spill budget to that bar.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mr/backend/task_exec.hpp"
+#include "mr/counters.hpp"
+#include "mr/fault.hpp"
+#include "mr/job.hpp"
+#include "mr/trace.hpp"
+#include "mr/types.hpp"
+
+namespace pairmr::mr::backend {
+
+// Resolve BackendKind::kAuto from the PAIRMR_TEST_BACKEND environment
+// variable: "fork" / "inprocess" (or unset → in-process). Any other value
+// throws an actionable PreconditionError. Parsed per call, so tests may
+// setenv between jobs.
+BackendKind backend_kind_from_env();
+
+// Everything a backend needs to start a job. Pointers are non-owning and
+// engine-owned; they outlive the job (fork inherits them by address).
+struct JobContext {
+  const JobSpec* spec = nullptr;
+  TaskEnv env;
+  const std::vector<Split>* splits = nullptr;
+  std::uint32_t num_nodes = 0;
+  // Nodes alive at job start (fork spawns one worker per usable node; a
+  // node lost in an earlier job gets none).
+  std::vector<std::uint8_t> node_alive;
+};
+
+struct MapAttemptDesc {
+  TaskIndex task = 0;
+  std::uint32_t attempt = 0;
+  NodeId node = 0;
+  SpanId attempt_span = 0;  // coordinator-side attempt span (0 untraced)
+  std::string tag;          // unique per execution: "m<task>-a<attempt>[-b]"
+};
+
+struct MapAttemptOutcome {
+  std::uint64_t records_emitted = 0;
+  std::uint64_t bytes_emitted = 0;
+};
+
+struct MapPublishOutcome {
+  std::vector<PartitionMeta> meta;     // per reduce partition
+  std::unique_ptr<Counters> counters;  // the kept execution's task counters
+  // Map-only jobs: the task's emissions in emission order (the engine
+  // writes part-m files coordinator-side). Empty otherwise.
+  std::vector<Record> map_only_output;
+};
+
+struct ReduceAttemptDesc {
+  TaskIndex task = 0;
+  std::uint32_t attempt = 0;
+  NodeId node = 0;
+  SpanId attempt_span = 0;
+  std::string tag;  // "r<task>-a<attempt>[-b]"
+  std::vector<NodeId> map_nodes;    // kept-attempt node per map task
+  std::vector<PartitionMeta> meta;  // this reducer's partition per map task
+  // Fetches the fault plan drops mid-transfer during this execution, per
+  // map task (decided by the coordinator so both backends agree).
+  std::vector<std::uint8_t> drop_now;
+};
+
+struct ReduceAttemptOutcome {
+  std::uint64_t groups = 0;
+  std::uint64_t max_group_records = 0;
+  std::uint64_t max_group_bytes = 0;
+  std::uint64_t bytes_emitted = 0;
+  std::unique_ptr<Counters> counters;  // the execution's task counters
+  std::vector<Record> output;          // reduce emissions, in order
+};
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  virtual const char* name() const = 0;
+  // True when task attempts execute outside the coordinator process.
+  virtual bool out_of_process() const = 0;
+
+  // Called once per job, after the engine settled splits, cache, and the
+  // effective TaskEnv, before any attempt is dispatched. `jc` (and the
+  // engine state it points to) stays valid until end_job.
+  virtual void begin_job(const JobContext& jc) = 0;
+  // Called on every exit path (success or propagated task error). Must
+  // leave no worker processes behind.
+  virtual void end_job() = 0;
+
+  // Run one map attempt's user code; the execution stays staged under
+  // (task, tag) until published or discarded. Throws what user code threw.
+  virtual MapAttemptOutcome run_map_attempt(const MapAttemptDesc& desc) = 0;
+
+  // Settle the race winner staged under (task, tag): combine (in-memory
+  // path), compute partition metadata, and make the partitions fetchable
+  // by reduce attempts. `kept_span` parents the combine spans.
+  virtual MapPublishOutcome publish_map_output(TaskIndex task,
+                                               const std::string& tag,
+                                               NodeId node,
+                                               SpanId kept_span) = 0;
+
+  // Drop a discarded execution's staged state and scratch runs (lost
+  // race, or user error mid-run — safe when nothing was staged).
+  virtual void discard_map_attempt(TaskIndex task, const std::string& tag,
+                                   NodeId node) = 0;
+
+  virtual ReduceAttemptOutcome run_reduce_attempt(
+      const ReduceAttemptDesc& desc) = 0;
+
+  // Drop a failed or losing reduce execution's merge-pass scratch.
+  virtual void discard_reduce_scratch(const std::string& tag, NodeId node) = 0;
+
+  // The reduce task settled; its input partitions may be freed.
+  virtual void release_reduce_input(TaskIndex reduce_task) = 0;
+
+  // Fault injection (FaultPlan::kills_worker): the worker process hosting
+  // `node` is killed mid-task and replaced; its published map outputs are
+  // regenerated so the job can finish. In-process there is no separate
+  // process — the attempt is simply never executed, which is
+  // observationally identical (the coordinator accounts the retry either
+  // way). `kind`/`task` identify the doomed attempt for logging.
+  virtual void crash_worker(NodeId node, TaskKind kind, TaskIndex task) = 0;
+};
+
+}  // namespace pairmr::mr::backend

@@ -1,0 +1,33 @@
+#include "mr/backend/bench_report.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace pairmr::mr::backend {
+
+std::string bench_to_json(const std::vector<BenchPoint>& points) {
+  std::ostringstream os;
+  os << "{\n  \"bench\": \"backend\",\n  \"points\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const BenchPoint& p = points[i];
+    os << "    {\"regime\": \"" << p.regime << "\", \"backend\": \""
+       << p.backend << "\", \"v\": " << p.v
+       << ", \"element_bytes\": " << p.element_bytes
+       << ", \"evaluations\": " << p.evaluations
+       << ", \"wall_seconds\": " << p.wall_seconds
+       << ", \"shuffle_remote_bytes\": " << p.shuffle_remote_bytes
+       << ", \"shuffle_mib_per_second\": " << p.shuffle_mib_per_second
+       << ", \"identical\": " << (p.identical ? "true" : "false") << "}"
+       << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"passed\": " << (bench_all_ok(points) ? "true" : "false")
+     << "\n}\n";
+  return os.str();
+}
+
+bool bench_all_ok(const std::vector<BenchPoint>& points) {
+  return std::all_of(points.begin(), points.end(),
+                     [](const BenchPoint& p) { return p.identical; });
+}
+
+}  // namespace pairmr::mr::backend

@@ -1,0 +1,37 @@
+// Measurement rows for bench/bench_backend: the same pairwise run
+// executed on the in-process and fork backends, timed and metered. One
+// point per (regime, backend) cell; the JSON renderer is shared with the
+// schema/golden test so BENCH_backend.json cannot silently drift.
+//
+// A point's `identical` flag records whether the run's aggregated output
+// was byte-identical to the in-process reference for its regime — the
+// bench doubles as a coarse cross-backend equivalence check at sizes the
+// unit oracle does not reach.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pairmr::mr::backend {
+
+struct BenchPoint {
+  std::string regime;   // "compute-heavy" | "shipping-heavy"
+  std::string backend;  // "inprocess" | "fork"
+  std::uint64_t v = 0;
+  std::uint64_t element_bytes = 0;
+  std::uint64_t evaluations = 0;
+  double wall_seconds = 0.0;            // makespan of the whole run
+  std::uint64_t shuffle_remote_bytes = 0;
+  double shuffle_mib_per_second = 0.0;  // remote bytes / wall seconds
+  bool identical = false;               // output == in-process reference
+};
+
+// JSON document in the BENCH_frontier.json idiom:
+// {"bench": "backend", "points": [...], "passed": bool}.
+std::string bench_to_json(const std::vector<BenchPoint>& points);
+
+// True when every point's output matched the reference.
+bool bench_all_ok(const std::vector<BenchPoint>& points);
+
+}  // namespace pairmr::mr::backend

@@ -1,0 +1,994 @@
+#include "mr/backend/fork.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#ifdef __linux__
+#include <sys/prctl.h>
+#endif
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+
+#if defined(__SANITIZE_THREAD__)
+#define PAIRMR_HAS_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define PAIRMR_HAS_TSAN 1
+#endif
+#endif
+
+namespace pairmr::mr::backend {
+
+namespace {
+
+std::string ctrl_sock_path(const std::string& dir) { return dir + "/ctrl.sock"; }
+
+std::string shuffle_sock_path(const std::string& dir, NodeId node) {
+  return dir + "/shuf-" + std::to_string(node) + ".sock";
+}
+
+// Die alongside the parent even if it is SIGKILLed (coordinator -> forker
+// -> worker chain), so a crashed test never strands worker processes.
+void die_with_parent() {
+#ifdef __linux__
+  ::prctl(PR_SET_PDEATHSIG, SIGKILL);
+#endif
+}
+
+bool write_exact(int fd, const void* buf, std::size_t len) {
+  const char* p = static_cast<const char*>(buf);
+  std::size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::write(fd, p + done, len - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool read_exact(int fd, void* buf, std::size_t len) {
+  char* p = static_cast<char*>(buf);
+  std::size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::read(fd, p + done, len - done);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+struct FdCloser {
+  int fd = -1;
+  ~FdCloser() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+void put_meta(BufWriter& w, const std::vector<PartitionMeta>& meta) {
+  w.put_u32(static_cast<std::uint32_t>(meta.size()));
+  for (const PartitionMeta& m : meta) {
+    w.put_u64(m.bytes);
+    w.put_u64(m.records);
+  }
+}
+
+std::vector<PartitionMeta> get_meta(BufReader& r) {
+  const std::uint32_t n = r.get_u32();
+  std::vector<PartitionMeta> meta(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    meta[i].bytes = r.get_u64();
+    meta[i].records = r.get_u64();
+  }
+  return meta;
+}
+
+// One stored partition on the wire, mirroring fetch_from_partition: spill
+// mode ships every sorted run in (run age, final last) order, the
+// in-memory path ships the raw bucket. Serving never moves records out of
+// the store — the serialized copy crosses the socket either way, and the
+// store must stay fetchable for re-execution.
+void put_partition(BufWriter& w, const MapOutputPartition& part,
+                   bool spill_mode) {
+  if (spill_mode) {
+    w.put_u8(1);
+    const auto n = static_cast<std::uint32_t>(part.runs.size() +
+                                              (part.final_run.empty() ? 0 : 1));
+    w.put_u32(n);
+    for (const auto& run : part.runs) put_records(w, run->records);
+    if (!part.final_run.empty()) put_records(w, part.final_run);
+  } else {
+    w.put_u8(0);
+    put_records(w, part.final_run);
+  }
+}
+
+FetchedPartition get_partition(BufReader& r) {
+  FetchedPartition out;
+  if (r.get_u8() != 0) {
+    const std::uint32_t n = r.get_u32();
+    out.sources.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      out.sources.push_back(RunSource::from_records(get_records(r)));
+    }
+  } else {
+    out.raw = get_records(r);
+  }
+  return out;
+}
+
+// ======================= worker process ===============================
+
+// One staged map execution. The per-request tracer stays alive with the
+// execution: the MapContext holds a pointer to it, and publish reads the
+// context's buckets after the request that created them has returned.
+struct WorkerStaged {
+  MapExecution ex;
+  std::unique_ptr<Tracer> tracer;
+};
+
+struct WorkerState {
+  const JobContext* jc = nullptr;
+  NodeId node = 0;
+  std::string session_dir;
+  // Guards staged/published against the shuffle server thread.
+  std::mutex mutex;
+  std::vector<std::unordered_map<std::string, WorkerStaged>> staged;
+  std::vector<std::vector<MapOutputPartition>> published;
+  std::vector<std::uint8_t> has_published;
+};
+
+// Worker-side tracing of one request: a fresh Tracer whose root span
+// (local id 1) stands in for the coordinator-side attempt span. The
+// coordinator maps id 1 back onto the real span when it replays the
+// shipped spans (ForkBackend::replay_spans).
+struct TraceSession {
+  std::unique_ptr<Tracer> tracer;
+  SpanId root = 0;
+
+  explicit TraceSession(bool enabled) {
+    if (enabled) {
+      tracer = std::make_unique<Tracer>();
+      root = tracer->begin_job("worker");
+    }
+  }
+
+  void ship(BufWriter& w) const {
+    if (tracer == nullptr) {
+      put_spans(w, {});
+      return;
+    }
+    const std::vector<Span> spans = tracer->spans();
+    put_spans(w, std::vector<Span>(spans.begin() + 1, spans.end()));
+  }
+};
+
+std::string handle_map_task(WorkerState& st, BufReader& r) {
+  const TaskIndex task = r.get_u32();
+  r.get_u32();  // attempt: part of the message for logging symmetry only
+  const NodeId node = r.get_u32();
+  const std::string tag(r.get_bytes());
+  const bool regen = r.get_u8() != 0;
+  PAIRMR_CHECK(task < st.jc->splits->size(), "map task index out of range");
+
+  WorkerStaged staged;
+  TaskEnv env = st.jc->env;
+  env.tracer = nullptr;
+  SpanId root = 0;
+  // Regenerated executions are deterministic replays of already-accounted
+  // work: they run untraced and their counters are dropped coordinator-side.
+  if (!regen && st.jc->env.tracer != nullptr) {
+    staged.tracer = std::make_unique<Tracer>();
+    root = staged.tracer->begin_job("worker");
+    env.tracer = staged.tracer.get();
+  }
+  staged.ex =
+      execute_map_attempt(env, (*st.jc->splits)[task], task, node, root, tag);
+
+  BufWriter w;
+  w.put_u64(staged.ex.ctx->records_emitted());
+  w.put_u64(staged.ex.ctx->bytes_emitted());
+  if (staged.tracer != nullptr) {
+    const std::vector<Span> spans = staged.tracer->spans();
+    put_spans(w, std::vector<Span>(spans.begin() + 1, spans.end()));
+  } else {
+    put_spans(w, {});
+  }
+  {
+    const std::lock_guard<std::mutex> lock(st.mutex);
+    st.staged[task].insert_or_assign(tag, std::move(staged));
+  }
+  return w.str();
+}
+
+std::string handle_publish(WorkerState& st, BufReader& r) {
+  const TaskIndex task = r.get_u32();
+  const std::string tag(r.get_bytes());
+  const NodeId node = r.get_u32();
+  const bool regen = r.get_u8() != 0;
+
+  WorkerStaged staged;
+  {
+    const std::lock_guard<std::mutex> lock(st.mutex);
+    const auto it = st.staged[task].find(tag);
+    PAIRMR_CHECK(it != st.staged[task].end(),
+                 "publish of a map execution that was never staged");
+    staged = std::move(it->second);
+    st.staged[task].erase(it);
+  }
+  TaskEnv env = st.jc->env;
+  env.tracer = nullptr;
+  TraceSession ts(!regen && st.jc->env.tracer != nullptr);
+  if (ts.tracer != nullptr) env.tracer = ts.tracer.get();
+  FinalizedMapOutput fin =
+      finalize_map_output(env, staged.ex, task, node, ts.root);
+
+  BufWriter w;
+  put_meta(w, fin.meta);
+  put_counters(w, *staged.ex.counters);
+  if (st.jc->spec->map_only) {
+    PAIRMR_CHECK(fin.partitions.size() == 1 && fin.partitions[0].runs.empty(),
+                 "map-only job must have one unspilled bucket");
+    put_records(w, fin.partitions[0].final_run);
+  } else {
+    put_records(w, {});
+    const std::lock_guard<std::mutex> lock(st.mutex);
+    st.published[task] = std::move(fin.partitions);
+    st.has_published[task] = 1;
+  }
+  ts.ship(w);
+  return w.str();
+}
+
+// Serves reduce fetches from the worker's own store, or a peer worker's
+// shuffle socket. Peer fetches retry through crash windows: a connect
+// failure, a mid-serve death, or a kNotReady from a respawned peer whose
+// regeneration is still pending all back off and try again.
+class WorkerSource final : public PartitionSource {
+ public:
+  WorkerSource(WorkerState& st, const std::vector<NodeId>& map_nodes)
+      : st_(st), map_nodes_(map_nodes) {}
+
+  FetchedPartition fetch(TaskIndex m, TaskIndex r) override {
+    const NodeId peer = map_nodes_[m];
+    if (peer == st_.node) {
+      const std::lock_guard<std::mutex> lock(st_.mutex);
+      PAIRMR_CHECK(st_.has_published[m] != 0,
+                   "reduce fetch of a local map output that is not published");
+      return fetch_from_partition(st_.published[m][r],
+                                  st_.jc->env.spill_mode,
+                                  st_.jc->env.movable_shuffle);
+    }
+    return remote_fetch(peer, m, r);
+  }
+
+ private:
+  FetchedPartition remote_fetch(NodeId peer, TaskIndex m, TaskIndex r) {
+    const std::string path = shuffle_sock_path(st_.session_dir, peer);
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    for (;;) {
+      FdCloser fd{uds_connect(path)};
+      if (fd.fd >= 0) {
+        try {
+          set_recv_timeout(fd.fd, 30);
+          BufWriter w;
+          w.put_u32(m);
+          w.put_u32(r);
+          send_frame(fd.fd, FrameType::kFetch, w.str());
+          std::string payload;
+          const FrameType t = recv_frame(fd.fd, payload, "shuffle peer");
+          if (t == FrameType::kPartition) {
+            BufReader rd(payload);
+            return get_partition(rd);
+          }
+          // kNotReady: the peer respawned and its regeneration is pending.
+        } catch (const ProtocolError&) {
+          // The peer died mid-serve (crash window); its replacement will
+          // serve the regenerated partition.
+        }
+      }
+      if (std::chrono::steady_clock::now() >= deadline) {
+        throw ProtocolError("shuffle fetch of map " + std::to_string(m) +
+                            " partition " + std::to_string(r) +
+                            " from node " + std::to_string(peer) +
+                            " timed out (peer worker gone for good?)");
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+
+  WorkerState& st_;
+  const std::vector<NodeId>& map_nodes_;
+};
+
+std::string handle_reduce_task(WorkerState& st, BufReader& r) {
+  const TaskIndex task = r.get_u32();
+  r.get_u32();  // attempt
+  const NodeId node = r.get_u32();
+  const std::string tag(r.get_bytes());
+  const std::uint32_t num_map_tasks = r.get_u32();
+  std::vector<NodeId> map_nodes(num_map_tasks);
+  for (std::uint32_t m = 0; m < num_map_tasks; ++m) {
+    map_nodes[m] = r.get_u32();
+  }
+  const std::vector<PartitionMeta> meta = get_meta(r);
+  const std::uint32_t num_drops = r.get_u32();
+  std::vector<std::uint8_t> drop_now(num_drops);
+  for (std::uint32_t m = 0; m < num_drops; ++m) drop_now[m] = r.get_u8();
+  PAIRMR_CHECK(meta.size() == num_map_tasks && num_drops == num_map_tasks,
+               "reduce task descriptor is inconsistent");
+
+  TaskEnv env = st.jc->env;
+  env.tracer = nullptr;
+  TraceSession ts(st.jc->env.tracer != nullptr);
+  if (ts.tracer != nullptr) env.tracer = ts.tracer.get();
+  WorkerSource source(st, map_nodes);
+  ReduceExecution ex = execute_reduce_attempt(env, task, node, ts.root, tag,
+                                              source, map_nodes, meta,
+                                              drop_now);
+
+  BufWriter w;
+  w.put_u64(ex.groups);
+  w.put_u64(ex.max_group_records);
+  w.put_u64(ex.max_group_bytes);
+  w.put_u64(ex.ctx->bytes_emitted());
+  put_counters(w, *ex.counters);
+  put_records(w, ex.ctx->output());
+  ts.ship(w);
+  return w.str();
+}
+
+void serve_shuffle_connection(WorkerState& st, int fd) {
+  set_recv_timeout(fd, 10);
+  std::string payload;
+  const FrameType t = recv_frame(fd, payload, "shuffle peer");
+  if (t != FrameType::kFetch) {
+    throw ProtocolError("shuffle server expected a fetch frame");
+  }
+  BufReader r(payload);
+  const TaskIndex m = r.get_u32();
+  const TaskIndex red = r.get_u32();
+  BufWriter w;
+  {
+    const std::lock_guard<std::mutex> lock(st.mutex);
+    if (m >= st.has_published.size() || st.has_published[m] == 0) {
+      send_frame(fd, FrameType::kNotReady, std::string());
+      return;
+    }
+    PAIRMR_CHECK(red < st.published[m].size(),
+                 "shuffle fetch of an out-of-range partition");
+    put_partition(w, st.published[m][red], st.jc->env.spill_mode);
+  }
+  send_frame(fd, FrameType::kPartition, w.str());
+}
+
+void shuffle_server_main(WorkerState* st, int listen_fd) {
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    try {
+      serve_shuffle_connection(*st, fd);
+    } catch (...) {
+      // A garbled or abandoned fetch poisons only its own connection.
+    }
+    ::close(fd);
+  }
+}
+
+void send_err(int ctrl, ErrKind kind, const char* what) {
+  BufWriter w;
+  w.put_u8(static_cast<std::uint8_t>(kind));
+  w.put_bytes(what);
+  send_frame(ctrl, FrameType::kErr, w.str());
+}
+
+void worker_main(const JobContext* jc, NodeId node,
+                 const std::string& session_dir) {
+  die_with_parent();
+  std::signal(SIGPIPE, SIG_IGN);
+
+  WorkerState st;
+  st.jc = jc;
+  st.node = node;
+  st.session_dir = session_dir;
+  st.staged.resize(jc->splits->size());
+  st.published.resize(jc->splits->size());
+  st.has_published.assign(jc->splits->size(), 0);
+
+  // Shuffle plane first, so peers retrying a fetch find the socket as
+  // soon as the coordinator learns this worker exists.
+  const int shuffle_fd = uds_listen(shuffle_sock_path(session_dir, node));
+  std::thread server([&st, shuffle_fd] { shuffle_server_main(&st, shuffle_fd); });
+  server.detach();
+
+  int ctrl = -1;
+  for (int i = 0; i < 5000 && ctrl < 0; ++i) {
+    ctrl = uds_connect(ctrl_sock_path(session_dir));
+    if (ctrl < 0) std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  if (ctrl < 0) std::_Exit(1);
+  {
+    BufWriter w;
+    w.put_u32(node);
+    w.put_u32(static_cast<std::uint32_t>(::getpid()));
+    send_frame(ctrl, FrameType::kHello, w.str());
+  }
+
+  for (;;) {
+    std::string payload;
+    FrameType t;
+    try {
+      t = recv_frame(ctrl, payload, "coordinator");
+    } catch (const ProtocolError&) {
+      std::_Exit(1);  // coordinator gone; PDEATHSIG normally beat us here
+    }
+    try {
+      BufReader r(payload);
+      switch (t) {
+        case FrameType::kMapTask:
+          send_frame(ctrl, FrameType::kMapDone, handle_map_task(st, r));
+          break;
+        case FrameType::kPublish:
+          send_frame(ctrl, FrameType::kPublishDone, handle_publish(st, r));
+          break;
+        case FrameType::kReduceTask:
+          send_frame(ctrl, FrameType::kReduceDone, handle_reduce_task(st, r));
+          break;
+        case FrameType::kDiscardMap: {
+          const TaskIndex task = r.get_u32();
+          const std::string tag(r.get_bytes());
+          {
+            const std::lock_guard<std::mutex> lock(st.mutex);
+            st.staged[task].erase(tag);
+          }
+          if (jc->env.spill_mode) {
+            jc->env.dfs->remove_prefix(jc->env.scratch_root + tag + "/");
+          }
+          send_frame(ctrl, FrameType::kOk, std::string());
+          break;
+        }
+        case FrameType::kDiscardReduce: {
+          const std::string tag(r.get_bytes());
+          if (jc->env.spill_mode) {
+            jc->env.dfs->remove_prefix(jc->env.scratch_root + tag + "/");
+          }
+          send_frame(ctrl, FrameType::kOk, std::string());
+          break;
+        }
+        case FrameType::kRelease: {
+          const TaskIndex red = r.get_u32();
+          const std::lock_guard<std::mutex> lock(st.mutex);
+          for (auto& parts : st.published) {
+            if (red < parts.size()) parts[red].release();
+          }
+          send_frame(ctrl, FrameType::kOk, std::string());
+          break;
+        }
+        case FrameType::kDie: {
+          const auto kind = static_cast<TaskKind>(r.get_u8());
+          const TaskIndex task = r.get_u32();
+          PAIRMR_LOG(kWarn)
+              << "worker " << node << " (pid " << ::getpid()
+              << ") killed by fault plan mid-"
+              << (kind == TaskKind::kMap ? "map" : "reduce") << " task "
+              << task;
+          ::raise(SIGKILL);
+          std::_Exit(1);  // unreachable
+        }
+        case FrameType::kShutdown:
+          send_frame(ctrl, FrameType::kOk, std::string());
+          std::_Exit(0);
+        default:
+          throw ProtocolError("worker received unexpected frame type " +
+                              std::to_string(static_cast<std::uint32_t>(t)));
+      }
+    } catch (const PreconditionError& e) {
+      send_err(ctrl, ErrKind::kPrecondition, e.what());
+    } catch (const InternalError& e) {
+      send_err(ctrl, ErrKind::kInternal, e.what());
+    } catch (const std::exception& e) {
+      send_err(ctrl, ErrKind::kRuntime, e.what());
+    }
+  }
+}
+
+// ======================= forker process ===============================
+
+// Single-threaded fork server: forked from the coordinator at begin_job
+// (pool threads idle — a fork-safe point), so every worker it forks sees
+// the job snapshot frozen at that moment, including respawns long after
+// the coordinator's threads went back to work. Reaps every worker it
+// forked; the coordinator reaps only the forker, so no zombie can
+// outlive a job.
+[[noreturn]] void forker_main(const JobContext* jc,
+                              const std::string& session_dir,
+                              std::uint32_t num_nodes, int cmd_fd, int ack_fd,
+                              int ctrl_listen_fd) {
+  die_with_parent();
+  std::signal(SIGPIPE, SIG_IGN);
+  ::close(ctrl_listen_fd);
+
+  std::vector<pid_t> pids(num_nodes, -1);
+  for (;;) {
+    char cmd = 0;
+    if (!read_exact(cmd_fd, &cmd, 1) || cmd == 'Q') break;
+    std::uint32_t node = 0;
+    if (cmd != 'S' || !read_exact(cmd_fd, &node, sizeof(node)) ||
+        node >= num_nodes) {
+      break;
+    }
+    if (pids[node] > 0) {
+      // Respawn: the previous worker was SIGKILLed; reap it first.
+      int status = 0;
+      ::waitpid(pids[node], &status, 0);
+      pids[node] = -1;
+    }
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+      ::close(cmd_fd);
+      ::close(ack_fd);
+      worker_main(jc, node, session_dir);
+      std::_Exit(1);  // unreachable: worker_main only leaves via _Exit
+    }
+    if (pid < 0) break;
+    pids[node] = pid;
+    const auto upid = static_cast<std::uint32_t>(pid);
+    char ack = 'A';
+    if (!write_exact(ack_fd, &ack, 1) ||
+        !write_exact(ack_fd, &upid, sizeof(upid))) {
+      break;
+    }
+  }
+  for (std::uint32_t nd = 0; nd < num_nodes; ++nd) {
+    if (pids[nd] > 0) {
+      ::kill(pids[nd], SIGKILL);
+      int status = 0;
+      ::waitpid(pids[nd], &status, 0);
+    }
+  }
+  std::_Exit(0);
+}
+
+}  // namespace
+
+// ======================= coordinator side =============================
+
+ForkBackend::~ForkBackend() { end_job(); }
+
+void ForkBackend::begin_job(const JobContext& jc) {
+#ifdef PAIRMR_HAS_TSAN
+  PAIRMR_REQUIRE(false,
+                 "the fork backend is incompatible with ThreadSanitizer "
+                 "(forking a multithreaded sanitized process deadlocks); "
+                 "use the in-process backend");
+#endif
+  PAIRMR_CHECK(jc_ == nullptr, "fork backend already has a job in progress");
+  // Writes to the forker command pipe must surface as errors, not a
+  // process-killing SIGPIPE (socket sends already use MSG_NOSIGNAL).
+  std::signal(SIGPIPE, SIG_IGN);
+  jc_ = &jc;
+  published_meta_.assign(jc.splits->size(), {});
+
+  // Sockets live under a fresh tmpdir: sun_path caps UDS paths at ~100
+  // chars, so the build tree is not a safe home for them.
+  char tmpl[] = "/tmp/pairmr-XXXXXX";
+  PAIRMR_CHECK(::mkdtemp(tmpl) != nullptr,
+               std::string("mkdtemp failed: ") + std::strerror(errno));
+  session_dir_ = tmpl;
+  ctrl_listen_fd_ = uds_listen(ctrl_sock_path(session_dir_));
+
+  int cmd[2];
+  int ack[2];
+  PAIRMR_CHECK(::pipe(cmd) == 0 && ::pipe(ack) == 0,
+               std::string("pipe failed: ") + std::strerror(errno));
+  const pid_t pid = ::fork();
+  PAIRMR_CHECK(pid >= 0, std::string("fork failed: ") + std::strerror(errno));
+  if (pid == 0) {
+    ::close(cmd[1]);
+    ::close(ack[0]);
+    forker_main(&jc, session_dir_, jc.num_nodes, cmd[0], ack[1],
+                ctrl_listen_fd_);
+  }
+  ::close(cmd[0]);
+  ::close(ack[1]);
+  forker_pid_ = pid;
+  forker_cmd_fd_ = cmd[1];
+  forker_ack_fd_ = ack[0];
+
+  slots_.clear();
+  for (std::uint32_t nd = 0; nd < jc.num_nodes; ++nd) {
+    slots_.push_back(std::make_unique<WorkerSlot>());
+  }
+  for (NodeId nd = 0; nd < jc.num_nodes; ++nd) {
+    if (jc.node_alive[nd] == 0) continue;  // lost in an earlier job
+    const std::lock_guard<std::mutex> lock(slots_[nd]->mutex);
+    spawn_worker_locked(*slots_[nd], nd);
+  }
+}
+
+void ForkBackend::end_job() {
+  if (jc_ == nullptr) return;
+  for (auto& slot_ptr : slots_) {
+    WorkerSlot& slot = *slot_ptr;
+    const std::lock_guard<std::mutex> lock(slot.mutex);
+    if (slot.fd >= 0) {
+      try {
+        send_frame(slot.fd, FrameType::kShutdown, std::string());
+        std::string resp;
+        recv_frame(slot.fd, resp, "worker");
+      } catch (const ProtocolError&) {
+        // Already dead; the forker reaps it regardless.
+      }
+      ::close(slot.fd);
+      slot.fd = -1;
+    }
+    slot.alive = false;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(accept_mutex_);
+    for (auto& [node, entry] : hello_stash_) ::close(entry.first);
+    hello_stash_.clear();
+  }
+  {
+    const std::lock_guard<std::mutex> lock(forker_mutex_);
+    if (forker_cmd_fd_ >= 0) {
+      const char quit = 'Q';
+      (void)write_exact(forker_cmd_fd_, &quit, 1);
+      ::close(forker_cmd_fd_);
+      forker_cmd_fd_ = -1;
+    }
+    if (forker_ack_fd_ >= 0) {
+      ::close(forker_ack_fd_);
+      forker_ack_fd_ = -1;
+    }
+    if (forker_pid_ > 0) {
+      // The forker SIGKILLs and reaps every worker before exiting, so
+      // this single wait leaves no child process behind.
+      int status = 0;
+      ::waitpid(forker_pid_, &status, 0);
+      forker_pid_ = -1;
+    }
+  }
+  if (ctrl_listen_fd_ >= 0) {
+    ::close(ctrl_listen_fd_);
+    ctrl_listen_fd_ = -1;
+  }
+  if (!session_dir_.empty()) {
+    ::unlink(ctrl_sock_path(session_dir_).c_str());
+    for (std::uint32_t nd = 0; nd < slots_.size(); ++nd) {
+      ::unlink(shuffle_sock_path(session_dir_, nd).c_str());
+    }
+    ::rmdir(session_dir_.c_str());
+    session_dir_.clear();
+  }
+  slots_.clear();
+  published_meta_.clear();
+  jc_ = nullptr;
+}
+
+void ForkBackend::spawn_worker_locked(WorkerSlot& slot, NodeId node) {
+  {
+    const std::lock_guard<std::mutex> lock(forker_mutex_);
+    const char spawn = 'S';
+    PAIRMR_CHECK(write_exact(forker_cmd_fd_, &spawn, 1) &&
+                     write_exact(forker_cmd_fd_, &node, sizeof(node)),
+                 "fork server is gone; cannot spawn worker " +
+                     std::to_string(node));
+    char ack = 0;
+    std::uint32_t pid = 0;
+    PAIRMR_CHECK(read_exact(forker_ack_fd_, &ack, 1) && ack == 'A' &&
+                     read_exact(forker_ack_fd_, &pid, sizeof(pid)),
+                 "fork server failed to spawn worker " + std::to_string(node));
+  }
+  accept_worker(node, slot);
+  slot.alive = true;
+}
+
+void ForkBackend::accept_worker(NodeId node, WorkerSlot& slot) {
+  const std::lock_guard<std::mutex> lock(accept_mutex_);
+  const auto it = hello_stash_.find(node);
+  if (it != hello_stash_.end()) {
+    slot.fd = it->second.first;
+    slot.pid = it->second.second;
+    hello_stash_.erase(it);
+    return;
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  for (;;) {
+    PAIRMR_CHECK(std::chrono::steady_clock::now() < deadline,
+                 "timed out waiting for worker " + std::to_string(node) +
+                     " to say hello");
+    pollfd p{ctrl_listen_fd_, POLLIN, 0};
+    const int pr = ::poll(&p, 1, 1000);
+    if (pr <= 0) continue;
+    const int fd = ::accept(ctrl_listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    // Generous ceiling: a wedged worker surfaces as a ProtocolError on
+    // the coordinator, never a hang.
+    set_recv_timeout(fd, 120);
+    std::string payload;
+    FrameType t;
+    try {
+      t = recv_frame(fd, payload, "worker");
+    } catch (const ProtocolError&) {
+      ::close(fd);
+      continue;
+    }
+    if (t != FrameType::kHello) {
+      ::close(fd);
+      continue;
+    }
+    BufReader r(payload);
+    const std::uint32_t who = r.get_u32();
+    const std::uint32_t wpid = r.get_u32();
+    if (who == node) {
+      slot.fd = fd;
+      slot.pid = wpid;
+      return;
+    }
+    hello_stash_[who] = {fd, wpid};
+  }
+}
+
+FrameType ForkBackend::roundtrip(NodeId node, FrameType type,
+                                 const std::string& payload,
+                                 std::string& response) {
+  PAIRMR_CHECK(node < slots_.size(), "task dispatched to an unknown node");
+  WorkerSlot& slot = *slots_[node];
+  const std::lock_guard<std::mutex> lock(slot.mutex);
+  return roundtrip_locked(slot, node, type, payload, response);
+}
+
+FrameType ForkBackend::roundtrip_locked(WorkerSlot& slot, NodeId node,
+                                        FrameType type,
+                                        const std::string& payload,
+                                        std::string& response) {
+  PAIRMR_CHECK(slot.alive && slot.fd >= 0,
+               "no live worker process for node " + std::to_string(node));
+  const std::string who = "worker " + std::to_string(node);
+  send_frame(slot.fd, type, payload);
+  const FrameType t = recv_frame(slot.fd, response, who.c_str());
+  if (t == FrameType::kErr) throw_worker_error(response, node);
+  return t;
+}
+
+void ForkBackend::throw_worker_error(const std::string& payload, NodeId node) {
+  BufReader r(payload);
+  const auto kind = static_cast<ErrKind>(r.get_u8());
+  const std::string msg =
+      std::string(r.get_bytes()) + " [worker " + std::to_string(node) + "]";
+  switch (kind) {
+    case ErrKind::kPrecondition:
+      throw PreconditionError(msg);
+    case ErrKind::kInternal:
+      throw InternalError(msg);
+    case ErrKind::kRuntime:
+      break;
+  }
+  throw std::runtime_error(msg);
+}
+
+void ForkBackend::replay_spans(SpanId root, const std::vector<Span>& spans) {
+  Tracer* const tracer = jc_->env.tracer;
+  if (tracer == nullptr || root == 0 || spans.empty()) return;
+  // Shipped in id order, so a span's parent always precedes it; the
+  // worker's local root span (id 1) maps onto the coordinator-side span.
+  std::unordered_map<std::uint64_t, SpanId> ids;
+  ids.emplace(1, root);
+  for (const Span& s : spans) {
+    const auto it = ids.find(s.parent);
+    PAIRMR_CHECK(it != ids.end(), "worker span arrived before its parent");
+    ids.emplace(s.id, tracer->import_span(it->second, s));
+  }
+}
+
+MapAttemptOutcome ForkBackend::run_map_attempt(const MapAttemptDesc& desc) {
+  BufWriter w;
+  w.put_u32(desc.task);
+  w.put_u32(desc.attempt);
+  w.put_u32(desc.node);
+  w.put_bytes(desc.tag);
+  w.put_u8(0);  // not a regeneration
+  std::string resp;
+  const FrameType t =
+      roundtrip(desc.node, FrameType::kMapTask, w.str(), resp);
+  PAIRMR_CHECK(t == FrameType::kMapDone, "unexpected reply to a map task");
+  BufReader r(resp);
+  MapAttemptOutcome out;
+  out.records_emitted = r.get_u64();
+  out.bytes_emitted = r.get_u64();
+  replay_spans(desc.attempt_span, get_spans(r));
+  return out;
+}
+
+MapPublishOutcome ForkBackend::publish_map_output(TaskIndex task,
+                                                  const std::string& tag,
+                                                  NodeId node,
+                                                  SpanId kept_span) {
+  BufWriter w;
+  w.put_u32(task);
+  w.put_bytes(tag);
+  w.put_u32(node);
+  w.put_u8(0);  // not a regeneration
+  std::string resp;
+  WorkerSlot& slot = *slots_[node];
+  {
+    const std::lock_guard<std::mutex> lock(slot.mutex);
+    const FrameType t =
+        roundtrip_locked(slot, node, FrameType::kPublish, w.str(), resp);
+    PAIRMR_CHECK(t == FrameType::kPublishDone,
+                 "unexpected reply to a map publish");
+    // Record what this worker now serves, for regeneration after a crash.
+    if (!jc_->spec->map_only) slot.published.emplace_back(task, tag);
+  }
+  BufReader r(resp);
+  MapPublishOutcome out;
+  out.meta = get_meta(r);
+  out.counters = std::make_unique<Counters>();
+  get_counters(r, *out.counters);
+  out.map_only_output = get_records(r);
+  replay_spans(kept_span, get_spans(r));
+  if (!jc_->spec->map_only) {
+    const std::lock_guard<std::mutex> lock(published_meta_mutex_);
+    published_meta_[task] = out.meta;
+  }
+  return out;
+}
+
+void ForkBackend::discard_map_attempt(TaskIndex task, const std::string& tag,
+                                      NodeId node) {
+  BufWriter w;
+  w.put_u32(task);
+  w.put_bytes(tag);
+  std::string resp;
+  const FrameType t = roundtrip(node, FrameType::kDiscardMap, w.str(), resp);
+  PAIRMR_CHECK(t == FrameType::kOk, "unexpected reply to a map discard");
+}
+
+ReduceAttemptOutcome ForkBackend::run_reduce_attempt(
+    const ReduceAttemptDesc& desc) {
+  BufWriter w;
+  w.put_u32(desc.task);
+  w.put_u32(desc.attempt);
+  w.put_u32(desc.node);
+  w.put_bytes(desc.tag);
+  w.put_u32(static_cast<std::uint32_t>(desc.map_nodes.size()));
+  for (const NodeId nd : desc.map_nodes) w.put_u32(nd);
+  put_meta(w, desc.meta);
+  w.put_u32(static_cast<std::uint32_t>(desc.drop_now.size()));
+  for (const std::uint8_t d : desc.drop_now) w.put_u8(d);
+  std::string resp;
+  const FrameType t =
+      roundtrip(desc.node, FrameType::kReduceTask, w.str(), resp);
+  PAIRMR_CHECK(t == FrameType::kReduceDone,
+               "unexpected reply to a reduce task");
+  BufReader r(resp);
+  ReduceAttemptOutcome out;
+  out.groups = r.get_u64();
+  out.max_group_records = r.get_u64();
+  out.max_group_bytes = r.get_u64();
+  out.bytes_emitted = r.get_u64();
+  out.counters = std::make_unique<Counters>();
+  get_counters(r, *out.counters);
+  out.output = get_records(r);
+  replay_spans(desc.attempt_span, get_spans(r));
+  return out;
+}
+
+void ForkBackend::discard_reduce_scratch(const std::string& tag, NodeId node) {
+  BufWriter w;
+  w.put_bytes(tag);
+  std::string resp;
+  const FrameType t =
+      roundtrip(node, FrameType::kDiscardReduce, w.str(), resp);
+  PAIRMR_CHECK(t == FrameType::kOk, "unexpected reply to a reduce discard");
+}
+
+void ForkBackend::release_reduce_input(TaskIndex reduce_task) {
+  BufWriter w;
+  w.put_u32(reduce_task);
+  for (std::uint32_t nd = 0; nd < slots_.size(); ++nd) {
+    WorkerSlot& slot = *slots_[nd];
+    const std::lock_guard<std::mutex> lock(slot.mutex);
+    if (!slot.alive) continue;  // node lost before this job started
+    std::string resp;
+    const FrameType t =
+        roundtrip_locked(slot, nd, FrameType::kRelease, w.str(), resp);
+    PAIRMR_CHECK(t == FrameType::kOk, "unexpected reply to a release");
+  }
+}
+
+void ForkBackend::crash_worker(NodeId node, TaskKind kind, TaskIndex task) {
+  WorkerSlot& slot = *slots_[node];
+  // The slot mutex waits out any in-flight control exchange, so the kill
+  // lands between requests and no other task's roundtrip is cut short;
+  // in-flight *shuffle* fetches from this worker ride the peers' retry
+  // loops until the respawned worker serves the regenerated partitions.
+  const std::lock_guard<std::mutex> lock(slot.mutex);
+  PAIRMR_CHECK(slot.alive && slot.fd >= 0,
+               "fault plan kills a worker that is not running");
+  BufWriter w;
+  w.put_u8(static_cast<std::uint8_t>(kind));
+  w.put_u32(task);
+  bool died = false;
+  try {
+    send_frame(slot.fd, FrameType::kDie, w.str());
+    std::string resp;
+    recv_frame(slot.fd, resp, "dying worker");
+  } catch (const ProtocolError&) {
+    died = true;  // SIGKILL closed the control socket — the expected end
+  }
+  PAIRMR_CHECK(died, "worker survived a kill order");
+  ::close(slot.fd);
+  slot.fd = -1;
+  slot.alive = false;
+  slot.pid = 0;
+  spawn_worker_locked(slot, node);
+  regenerate_published_locked(slot, node);
+}
+
+void ForkBackend::regenerate_published_locked(WorkerSlot& slot, NodeId node) {
+  for (const auto& [task, tag] : slot.published) {
+    {
+      BufWriter w;
+      w.put_u32(task);
+      w.put_u32(0);  // attempt: unused by regeneration
+      w.put_u32(node);
+      w.put_bytes(tag);
+      w.put_u8(1);  // regeneration: untraced, counters dropped
+      std::string resp;
+      const FrameType t =
+          roundtrip_locked(slot, node, FrameType::kMapTask, w.str(), resp);
+      PAIRMR_CHECK(t == FrameType::kMapDone,
+                   "unexpected reply to a regeneration map task");
+    }
+    {
+      BufWriter w;
+      w.put_u32(task);
+      w.put_bytes(tag);
+      w.put_u32(node);
+      w.put_u8(1);
+      std::string resp;
+      const FrameType t =
+          roundtrip_locked(slot, node, FrameType::kPublish, w.str(), resp);
+      PAIRMR_CHECK(t == FrameType::kPublishDone,
+                   "unexpected reply to a regeneration publish");
+      BufReader r(resp);
+      const std::vector<PartitionMeta> meta = get_meta(r);
+      const std::lock_guard<std::mutex> lock(published_meta_mutex_);
+      PAIRMR_CHECK(meta == published_meta_[task],
+                   "regenerated map output diverged from the original "
+                   "publish");
+    }
+  }
+  if (!slot.published.empty()) {
+    PAIRMR_LOG(kWarn) << "respawned worker " << node << " (pid " << slot.pid
+                      << ") regenerated " << slot.published.size()
+                      << " published map output(s)";
+  }
+}
+
+}  // namespace pairmr::mr::backend

@@ -1,0 +1,145 @@
+// Multi-process shared-nothing execution: one forked worker process per
+// simulated node, behind the Backend interface (mr/backend/backend.hpp).
+//
+// Topology per job:
+//
+//   coordinator ──ctrl UDS──> worker(node 0..n-1)   task dispatch, publish,
+//        │                        │   ▲             discard, release, spans
+//        │ pipe                   └shuffle UDS┘     and counters shipped back
+//        ▼                                          worker <-> worker fetches
+//     forker (fork server)
+//
+// Workers are forked without exec: they inherit the coordinator's job
+// snapshot — JobSpec (including the unserializable mapper/reducer/scheme
+// factories), splits, distributed cache, and a copy-on-write SimDfs for
+// spill scratch — by address, which is what makes arbitrary user code
+// runnable in a separate process. The *forker* is a tiny single-threaded
+// fork server spawned at begin_job (while the coordinator's pool threads
+// are idle, i.e. at a fork-safe point); it forks every worker, respawns
+// crashed ones on request, and reaps them all, so the coordinator only
+// ever waits on the forker and no zombie can outlive a job.
+//
+// Division of labour (see backend.hpp): the coordinator still decides
+// placement, faults, metering, and counter merges; a worker only executes
+// task attempts (the same task_exec code the in-process backend runs),
+// stores/serves shuffle partitions, and ships counters + trace spans back
+// over the control channel. Worker-recorded spans are replayed into the
+// coordinator's tracer (Tracer::import_span) carrying the worker's
+// os_pid — the differential tests' proof that execution really crossed a
+// process boundary.
+//
+// Worker crash-kill (FaultPlan::kills_worker): crash_worker SIGKILLs the
+// node's worker mid-task, asks the forker for a replacement, and replays
+// every map output the dead worker had published (deterministic
+// re-execution, counters and spans discarded; the regenerated partition
+// metadata is checked against the original). Reduce attempts fetching
+// from the dying worker ride it out by retrying the peer's shuffle socket
+// until the respawned worker serves the regenerated partition.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include <sys/types.h>
+
+#include "mr/backend/backend.hpp"
+#include "mr/backend/protocol.hpp"
+
+namespace pairmr::mr {
+class Cluster;
+}  // namespace pairmr::mr
+
+namespace pairmr::mr::backend {
+
+class ForkBackend final : public Backend {
+ public:
+  explicit ForkBackend(Cluster& cluster) : cluster_(cluster) {}
+  ~ForkBackend() override;
+
+  const char* name() const override { return "fork"; }
+  bool out_of_process() const override { return true; }
+
+  void begin_job(const JobContext& jc) override;
+  void end_job() override;
+
+  MapAttemptOutcome run_map_attempt(const MapAttemptDesc& desc) override;
+  MapPublishOutcome publish_map_output(TaskIndex task, const std::string& tag,
+                                       NodeId node, SpanId kept_span) override;
+  void discard_map_attempt(TaskIndex task, const std::string& tag,
+                           NodeId node) override;
+
+  ReduceAttemptOutcome run_reduce_attempt(
+      const ReduceAttemptDesc& desc) override;
+  void discard_reduce_scratch(const std::string& tag, NodeId node) override;
+  void release_reduce_input(TaskIndex reduce_task) override;
+
+  void crash_worker(NodeId node, TaskKind kind, TaskIndex task) override;
+
+ private:
+  // One worker process. `mutex` serializes every control-channel exchange
+  // with it (requests are strict request/response); shuffle traffic rides
+  // a separate per-worker socket served by a dedicated worker thread, so
+  // peer fetches never wait on the control plane.
+  struct WorkerSlot {
+    std::mutex mutex;
+    int fd = -1;             // control connection (coordinator side)
+    std::uint32_t pid = 0;   // worker's os pid (from its Hello)
+    bool alive = false;      // has a live worker process
+    // Map outputs this worker published (task, tag, kept span untraced on
+    // regen), in publish order — replayed into a respawned worker.
+    std::vector<std::pair<TaskIndex, std::string>> published;
+  };
+
+  // Send `type`+`payload` to node's worker and return the response frame,
+  // holding the slot mutex. Throws the worker-shipped error for kErr
+  // responses; PeerClosedError if the worker died unexpectedly.
+  FrameType roundtrip(NodeId node, FrameType type, const std::string& payload,
+                      std::string& response);
+  FrameType roundtrip_locked(WorkerSlot& slot, NodeId node, FrameType type,
+                             const std::string& payload,
+                             std::string& response);
+
+  // Accept control connections until `node`'s worker says Hello (other
+  // workers' Hellos are stashed for their own accept_worker calls).
+  void accept_worker(NodeId node, WorkerSlot& slot);
+
+  // Ask the forker to fork a worker for `node`, then handshake it. The
+  // caller holds the slot mutex.
+  void spawn_worker_locked(WorkerSlot& slot, NodeId node);
+
+  // Re-execute and re-publish everything `slot.published` records, on the
+  // freshly respawned worker; verifies the regenerated partition metadata
+  // matches what the original publish returned. Slot mutex held.
+  void regenerate_published_locked(WorkerSlot& slot, NodeId node);
+
+  // Replay worker-recorded spans under `root` (the coordinator-side
+  // attempt/kept span the worker's local root span stands in for).
+  void replay_spans(SpanId root, const std::vector<Span>& spans);
+
+  [[noreturn]] void throw_worker_error(const std::string& payload,
+                                       NodeId node);
+
+  Cluster& cluster_;
+  const JobContext* jc_ = nullptr;
+  std::string session_dir_;     // mkdtemp under /tmp (UDS 108-char limit)
+  int ctrl_listen_fd_ = -1;
+  int forker_cmd_fd_ = -1;      // coordinator -> forker commands
+  int forker_ack_fd_ = -1;      // forker -> coordinator acks
+  pid_t forker_pid_ = -1;
+  std::mutex forker_mutex_;  // serializes forker command-pipe exchanges
+  std::vector<std::unique_ptr<WorkerSlot>> slots_;  // per node
+  std::mutex accept_mutex_;
+  // node -> (ctrl fd, pid) of workers that said Hello out of turn.
+  std::unordered_map<std::uint32_t, std::pair<int, std::uint32_t>>
+      hello_stash_;
+  // Regenerated publishes must reproduce these (task -> meta per reducer).
+  std::vector<std::vector<PartitionMeta>> published_meta_;
+  std::mutex published_meta_mutex_;
+};
+
+}  // namespace pairmr::mr::backend

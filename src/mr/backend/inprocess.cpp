@@ -1,0 +1,127 @@
+#include "mr/backend/inprocess.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+#include "mr/cluster.hpp"
+
+namespace pairmr::mr::backend {
+
+void InProcessBackend::begin_job(const JobContext& jc) {
+  jc_ = &jc;
+  staged_.clear();
+  staged_.resize(jc.splits->size());
+  published_.clear();
+  published_.resize(jc.splits->size());
+}
+
+void InProcessBackend::end_job() {
+  staged_.clear();
+  published_.clear();
+  jc_ = nullptr;
+}
+
+MapAttemptOutcome InProcessBackend::run_map_attempt(
+    const MapAttemptDesc& desc) {
+  const TaskEnv& env = jc_->env;
+  MapExecution ex = execute_map_attempt(env, (*jc_->splits)[desc.task],
+                                        desc.task, desc.node,
+                                        desc.attempt_span, desc.tag);
+  MapAttemptOutcome out;
+  out.records_emitted = ex.ctx->records_emitted();
+  out.bytes_emitted = ex.ctx->bytes_emitted();
+  staged_[desc.task].insert_or_assign(desc.tag, std::move(ex));
+  return out;
+}
+
+MapPublishOutcome InProcessBackend::publish_map_output(TaskIndex task,
+                                                       const std::string& tag,
+                                                       NodeId node,
+                                                       SpanId kept_span) {
+  const auto it = staged_[task].find(tag);
+  PAIRMR_CHECK(it != staged_[task].end(),
+               "publish of a map execution that was never staged");
+  MapExecution ex = std::move(it->second);
+  staged_[task].erase(it);
+  FinalizedMapOutput fin =
+      finalize_map_output(jc_->env, ex, task, node, kept_span);
+  MapPublishOutcome out;
+  out.meta = std::move(fin.meta);
+  out.counters = std::move(ex.counters);
+  if (jc_->spec->map_only) {
+    PAIRMR_CHECK(fin.partitions.size() == 1 && fin.partitions[0].runs.empty(),
+                 "map-only job must have one unspilled bucket");
+    out.map_only_output = std::move(fin.partitions[0].final_run);
+  } else {
+    published_[task] = std::move(fin.partitions);
+  }
+  return out;
+}
+
+void InProcessBackend::discard_map_attempt(TaskIndex task,
+                                           const std::string& tag,
+                                           NodeId /*node*/) {
+  staged_[task].erase(tag);
+  // A failed attempt may have spilled before dying; its scratch runs are
+  // garbage now.
+  if (jc_->env.spill_mode) {
+    jc_->env.dfs->remove_prefix(jc_->env.scratch_root + tag + "/");
+  }
+}
+
+namespace {
+
+// Serves reduce fetches straight from the published partition store.
+class StoreSource final : public PartitionSource {
+ public:
+  StoreSource(std::vector<std::vector<MapOutputPartition>>& published,
+              bool spill_mode, bool movable)
+      : published_(published), spill_mode_(spill_mode), movable_(movable) {}
+
+  FetchedPartition fetch(TaskIndex m, TaskIndex r) override {
+    return fetch_from_partition(published_[m][r], spill_mode_, movable_);
+  }
+
+ private:
+  std::vector<std::vector<MapOutputPartition>>& published_;
+  bool spill_mode_;
+  bool movable_;
+};
+
+}  // namespace
+
+ReduceAttemptOutcome InProcessBackend::run_reduce_attempt(
+    const ReduceAttemptDesc& desc) {
+  const TaskEnv& env = jc_->env;
+  StoreSource source(published_, env.spill_mode, env.movable_shuffle);
+  ReduceExecution ex = execute_reduce_attempt(
+      env, desc.task, desc.node, desc.attempt_span, desc.tag, source,
+      desc.map_nodes, desc.meta, desc.drop_now);
+  ReduceAttemptOutcome out;
+  out.groups = ex.groups;
+  out.max_group_records = ex.max_group_records;
+  out.max_group_bytes = ex.max_group_bytes;
+  out.bytes_emitted = ex.ctx->bytes_emitted();
+  out.counters = std::move(ex.counters);
+  out.output = std::move(ex.ctx->output());
+  return out;
+}
+
+void InProcessBackend::discard_reduce_scratch(const std::string& tag,
+                                              NodeId /*node*/) {
+  // Merge-pass scratch of the failed/losing attempt is garbage now.
+  if (jc_->env.spill_mode) {
+    jc_->env.dfs->remove_prefix(jc_->env.scratch_root + tag + "/");
+  }
+}
+
+void InProcessBackend::release_reduce_input(TaskIndex reduce_task) {
+  for (auto& parts : published_) {
+    if (reduce_task < parts.size()) parts[reduce_task].release();
+  }
+}
+
+void InProcessBackend::crash_worker(NodeId /*node*/, TaskKind /*kind*/,
+                                    TaskIndex /*task*/) {}
+
+}  // namespace pairmr::mr::backend

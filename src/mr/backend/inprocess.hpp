@@ -1,0 +1,58 @@
+// The seed engine's execution substrate, behind the Backend interface:
+// task attempts run on the calling pool thread, staged executions and
+// published shuffle partitions live in coordinator memory. Extracted
+// verbatim from the pre-refactor engine — byte-identical output,
+// counters, meter totals, and trace structure.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mr/backend/backend.hpp"
+
+namespace pairmr::mr {
+class Cluster;
+}  // namespace pairmr::mr
+
+namespace pairmr::mr::backend {
+
+class InProcessBackend final : public Backend {
+ public:
+  explicit InProcessBackend(Cluster& cluster) : cluster_(cluster) {}
+
+  const char* name() const override { return "inprocess"; }
+  bool out_of_process() const override { return false; }
+
+  void begin_job(const JobContext& jc) override;
+  void end_job() override;
+
+  MapAttemptOutcome run_map_attempt(const MapAttemptDesc& desc) override;
+  MapPublishOutcome publish_map_output(TaskIndex task, const std::string& tag,
+                                       NodeId node, SpanId kept_span) override;
+  void discard_map_attempt(TaskIndex task, const std::string& tag,
+                           NodeId node) override;
+
+  ReduceAttemptOutcome run_reduce_attempt(
+      const ReduceAttemptDesc& desc) override;
+  void discard_reduce_scratch(const std::string& tag, NodeId node) override;
+  void release_reduce_input(TaskIndex reduce_task) override;
+
+  // No separate process to kill: the coordinator never dispatches the
+  // doomed attempt, which is observationally identical (it accounts the
+  // retry and the wasted traffic either way).
+  void crash_worker(NodeId node, TaskKind kind, TaskIndex task) override;
+
+ private:
+  Cluster& cluster_;
+  const JobContext* jc_ = nullptr;
+  // Executions staged between run_map_attempt and publish/discard. Only
+  // the pool thread that owns map task m touches staged_[m]; published_
+  // partitions are written by that thread and read by reduce-phase
+  // threads after the engine's phase barrier.
+  std::vector<std::unordered_map<std::string, MapExecution>> staged_;
+  std::vector<std::vector<MapOutputPartition>> published_;
+};
+
+}  // namespace pairmr::mr::backend

@@ -1,0 +1,238 @@
+#include "mr/backend/protocol.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/check.hpp"
+
+namespace pairmr::mr::backend {
+
+namespace {
+
+std::string errno_text() { return std::strerror(errno); }
+
+// Send all of `data`, riding out EINTR and partial writes. MSG_NOSIGNAL:
+// a dead peer surfaces as EPIPE, not a process-killing SIGPIPE.
+void send_all(int fd, const char* data, std::size_t len) {
+  std::size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EPIPE || errno == ECONNRESET) {
+        throw PeerClosedError("peer closed while sending a frame");
+      }
+      throw ProtocolError(std::string("frame send failed: ") + errno_text());
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+// Receive exactly `len` bytes. `header_byte_seen` distinguishes a clean
+// EOF between frames (PeerClosedError) from one mid-frame (truncation).
+void recv_all(int fd, char* data, std::size_t len, const char* who,
+              bool header_byte_seen) {
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::recv(fd, data + got, len - got, 0);
+    if (n == 0) {
+      if (!header_byte_seen && got == 0) {
+        throw PeerClosedError(std::string(who) +
+                              " closed the connection (clean EOF)");
+      }
+      throw ProtocolError(std::string("truncated frame from ") + who +
+                          ": connection closed after " + std::to_string(got) +
+                          " of " + std::to_string(len) + " expected bytes");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        throw ProtocolError(std::string("timed out waiting for a frame from ") +
+                            who + " (peer wedged or dead?)");
+      }
+      if (errno == ECONNRESET) {
+        if (!header_byte_seen && got == 0) {
+          throw PeerClosedError(std::string(who) + " reset the connection");
+        }
+        throw ProtocolError(std::string("connection to ") + who +
+                            " reset mid-frame");
+      }
+      throw ProtocolError(std::string("frame receive from ") + who +
+                          " failed: " + errno_text());
+    }
+    got += static_cast<std::size_t>(n);
+    header_byte_seen = true;
+  }
+}
+
+}  // namespace
+
+void send_frame(int fd, FrameType type, const std::string& payload) {
+  BufWriter header;
+  header.put_u32(kFrameMagic);
+  header.put_u32(static_cast<std::uint32_t>(type));
+  header.put_u64(payload.size());
+  send_all(fd, header.str().data(), header.size());
+  send_all(fd, payload.data(), payload.size());
+}
+
+FrameType recv_frame(int fd, std::string& payload, const char* who) {
+  char header[16];
+  recv_all(fd, header, sizeof(header), who, /*header_byte_seen=*/false);
+  BufReader r(std::string_view(header, sizeof(header)));
+  const std::uint32_t magic = r.get_u32();
+  if (magic != kFrameMagic) {
+    throw ProtocolError(std::string("garbled frame from ") + who +
+                        ": bad magic 0x" + std::to_string(magic) +
+                        " (expected 'PMRB'); the control stream is corrupt");
+  }
+  const std::uint32_t type = r.get_u32();
+  if (type < static_cast<std::uint32_t>(FrameType::kHello) ||
+      type > static_cast<std::uint32_t>(FrameType::kNotReady)) {
+    throw ProtocolError(std::string("garbled frame from ") + who +
+                        ": unknown frame type " + std::to_string(type));
+  }
+  const std::uint64_t len = r.get_u64();
+  if (len > kMaxFrameBytes) {
+    throw ProtocolError(std::string("garbled frame from ") + who +
+                        ": implausible payload length " + std::to_string(len) +
+                        " (cap " + std::to_string(kMaxFrameBytes) + ")");
+  }
+  payload.resize(static_cast<std::size_t>(len));
+  if (len != 0) {
+    recv_all(fd, payload.data(), payload.size(), who,
+             /*header_byte_seen=*/true);
+  }
+  return static_cast<FrameType>(type);
+}
+
+void set_recv_timeout(int fd, std::uint32_t seconds) {
+  timeval tv{};
+  tv.tv_sec = seconds;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+int uds_listen(const std::string& path) {
+  PAIRMR_REQUIRE(path.size() < sizeof(sockaddr_un{}.sun_path),
+                 "unix socket path too long: " + path);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  PAIRMR_CHECK(fd >= 0, "socket() failed: " + errno_text());
+  ::unlink(path.c_str());
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = errno_text();
+    ::close(fd);
+    PAIRMR_CHECK(false, "bind(" + path + ") failed: " + err);
+  }
+  if (::listen(fd, 64) != 0) {
+    const std::string err = errno_text();
+    ::close(fd);
+    PAIRMR_CHECK(false, "listen(" + path + ") failed: " + err);
+  }
+  return fd;
+}
+
+int uds_connect(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+void put_records(BufWriter& w, const std::vector<Record>& records) {
+  w.put_u32(static_cast<std::uint32_t>(records.size()));
+  for (const Record& rec : records) {
+    w.put_bytes(rec.key);
+    w.put_bytes(rec.value);
+  }
+}
+
+std::vector<Record> get_records(BufReader& r) {
+  const std::uint32_t n = r.get_u32();
+  std::vector<Record> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    Record rec;
+    rec.key = std::string(r.get_bytes());
+    rec.value = std::string(r.get_bytes());
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+void put_counters(BufWriter& w, const Counters& counters) {
+  const auto snap = counters.snapshot();
+  w.put_u32(static_cast<std::uint32_t>(snap.size()));
+  for (const auto& [name, value] : snap) {
+    w.put_bytes(name);
+    w.put_u64(value);
+  }
+}
+
+void get_counters(BufReader& r, Counters& out) {
+  const std::uint32_t n = r.get_u32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::string name(r.get_bytes());
+    out.add(name, r.get_u64());
+  }
+}
+
+void put_spans(BufWriter& w, const std::vector<Span>& spans) {
+  w.put_u32(static_cast<std::uint32_t>(spans.size()));
+  for (const Span& s : spans) {
+    w.put_u64(s.id);
+    w.put_u64(s.parent);
+    w.put_u8(static_cast<std::uint8_t>(s.kind));
+    w.put_bytes(s.label);
+    w.put_u32(s.node);
+    w.put_u32(s.peer);
+    w.put_u64(s.bytes);
+    w.put_u64(s.records);
+    w.put_u8(s.faulted ? 1 : 0);
+    w.put_u8(s.speculative ? 1 : 0);
+    w.put_bytes(s.note);
+    w.put_u32(s.os_pid);
+    w.put_f64(s.start_seconds);
+    w.put_f64(s.end_seconds);
+  }
+}
+
+std::vector<Span> get_spans(BufReader& r) {
+  const std::uint32_t n = r.get_u32();
+  std::vector<Span> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    Span s;
+    s.id = r.get_u64();
+    s.parent = r.get_u64();
+    s.kind = static_cast<SpanKind>(r.get_u8());
+    s.label = std::string(r.get_bytes());
+    s.node = r.get_u32();
+    s.peer = r.get_u32();
+    s.bytes = r.get_u64();
+    s.records = r.get_u64();
+    s.faulted = r.get_u8() != 0;
+    s.speculative = r.get_u8() != 0;
+    s.note = std::string(r.get_bytes());
+    s.os_pid = r.get_u32();
+    s.start_seconds = r.get_f64();
+    s.end_seconds = r.get_f64();
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace pairmr::mr::backend

@@ -1,0 +1,143 @@
+// Wire protocol of the fork backend (mr/backend/fork.hpp).
+//
+// Two planes share one frame format:
+//   * control — coordinator <-> worker, strict request/response over the
+//     worker's Unix-domain control connection;
+//   * shuffle — worker <-> worker, one fetch per connection to the serving
+//     worker's `shuf-<node>.sock`.
+//
+// Frame layout (all integers little-endian):
+//
+//   u32 magic   'PMRB' (0x42524d50)
+//   u32 type    FrameType below
+//   u64 length  payload bytes that follow (sanity-capped)
+//   ...payload  BufWriter/BufReader-encoded fields (common/serde.hpp)
+//
+// Control messages and their payloads:
+//
+//   | frame          | direction | payload                                  |
+//   |----------------|-----------|------------------------------------------|
+//   | kHello         | w -> c    | node, pid                                |
+//   | kMapTask       | c -> w    | task, attempt, node, tag, regen          |
+//   | kMapDone       | w -> c    | records, bytes, spans                    |
+//   | kPublish       | c -> w    | task, tag, node, regen                   |
+//   | kPublishDone   | w -> c    | meta[], counters, map-only recs, spans   |
+//   | kReduceTask    | c -> w    | task, attempt, node, tag, map_nodes[],   |
+//   |                |           | meta[], drop_now[]                       |
+//   | kReduceDone    | w -> c    | groups, max group recs/bytes, emitted    |
+//   |                |           | bytes, counters, output recs, spans      |
+//   | kDiscardMap    | c -> w    | task, tag                                |
+//   | kDiscardReduce | c -> w    | tag                                      |
+//   | kRelease       | c -> w    | reduce task                              |
+//   | kDie           | c -> w    | task kind, task (worker SIGKILLs itself) |
+//   | kShutdown      | c -> w    | (empty; worker exits)                    |
+//   | kOk            | w -> c    | (empty ack)                              |
+//   | kErr           | w -> c    | error kind, message                      |
+//
+// Shuffle messages:
+//
+//   | kFetch         | w -> w    | map task, reduce task                    |
+//   | kPartition     | w -> w    | encoded partition (runs or raw bucket)   |
+//   | kNotReady      | w -> w    | (respawned server, regen still pending)  |
+//
+// Malformed input — bad magic, unknown type, oversized or truncated
+// frames, or a receive timeout — raises ProtocolError with an actionable
+// message; the coordinator never hangs on a wedged or garbled peer.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/serde.hpp"
+#include "mr/counters.hpp"
+#include "mr/trace.hpp"
+#include "mr/types.hpp"
+
+namespace pairmr::mr::backend {
+
+inline constexpr std::uint32_t kFrameMagic = 0x42524d50;  // 'PMRB'
+// Backstop against garbled length fields; generous for test-scale data.
+inline constexpr std::uint64_t kMaxFrameBytes = 1ull << 31;
+
+enum class FrameType : std::uint32_t {
+  kHello = 1,
+  kMapTask = 2,
+  kMapDone = 3,
+  kPublish = 4,
+  kPublishDone = 5,
+  kReduceTask = 6,
+  kReduceDone = 7,
+  kDiscardMap = 8,
+  kDiscardReduce = 9,
+  kRelease = 10,
+  kDie = 11,
+  kShutdown = 12,
+  kOk = 13,
+  kErr = 14,
+  kFetch = 15,
+  kPartition = 16,
+  kNotReady = 17,
+};
+
+// Error kind shipped in kErr frames, so the coordinator can rethrow the
+// same exception type the worker's user/engine code threw.
+enum class ErrKind : std::uint8_t {
+  kRuntime = 0,       // std::exception -> std::runtime_error
+  kPrecondition = 1,  // pairmr::PreconditionError
+  kInternal = 2,      // pairmr::InternalError
+};
+
+// A control- or shuffle-plane failure: truncated/garbled frame, receive
+// timeout, or an unexpectedly closed peer.
+class ProtocolError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// Peer closed the connection cleanly (EOF) where a frame was expected.
+// Distinct from ProtocolError because the fork backend *expects* it right
+// after a kDie, and treats it as fatal anywhere else.
+class PeerClosedError : public ProtocolError {
+ public:
+  using ProtocolError::ProtocolError;
+};
+
+// --- Framing ------------------------------------------------------------
+
+// Writes one frame; retries short writes, uses MSG_NOSIGNAL. Throws
+// ProtocolError (or PeerClosedError on EPIPE) on failure.
+void send_frame(int fd, FrameType type, const std::string& payload);
+
+// Reads one frame, validating magic, type, and length. `who` names the
+// peer in error messages. Respects the socket's SO_RCVTIMEO (see
+// set_recv_timeout): a stalled peer raises ProtocolError, never a hang.
+// Throws PeerClosedError on clean EOF before any byte of the frame.
+FrameType recv_frame(int fd, std::string& payload, const char* who);
+
+// SO_RCVTIMEO in whole seconds (0 = never time out).
+void set_recv_timeout(int fd, std::uint32_t seconds);
+
+// --- Unix-domain socket helpers -----------------------------------------
+
+// Bind + listen on `path` (unlinking any stale socket first).
+int uds_listen(const std::string& path);
+
+// Connect to `path`; returns -1 on connect failure (caller may retry —
+// the fork backend polls a respawning peer's shuffle socket).
+int uds_connect(const std::string& path);
+
+// --- Field codecs --------------------------------------------------------
+
+void put_records(BufWriter& w, const std::vector<Record>& records);
+std::vector<Record> get_records(BufReader& r);
+
+void put_counters(BufWriter& w, const Counters& counters);
+// Reconstructs an exact copy of the worker-side bag.
+void get_counters(BufReader& r, Counters& out);
+
+void put_spans(BufWriter& w, const std::vector<Span>& spans);
+std::vector<Span> get_spans(BufReader& r);
+
+}  // namespace pairmr::mr::backend

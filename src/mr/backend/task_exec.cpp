@@ -1,0 +1,341 @@
+#include "mr/backend/task_exec.hpp"
+
+#include <algorithm>
+#include <iterator>
+#include <utility>
+
+#include "common/check.hpp"
+#include "mr/group.hpp"
+
+namespace pairmr::mr::backend {
+
+namespace {
+
+// Run the combiner over one partition bucket, replacing its contents.
+// `parent` is the spill span the combine nests under (0 when untraced).
+void run_combiner(const JobSpec& spec, NodeId node, TaskIndex task,
+                  Counters& counters, std::vector<Record>& bucket,
+                  Tracer* tracer, SpanId parent) {
+  ScopedSpan combine(
+      tracer, tracer != nullptr
+                  ? tracer->begin_op(parent, SpanKind::kCombine, node)
+                  : 0);
+  ReduceContext ctx(node, task, counters, nullptr, tracer, combine.id());
+  auto combiner = spec.combiner_factory();
+  combiner->setup(ctx);
+  counters.add(counter::kCombineInputRecords, bucket.size());
+  group_by_key(bucket, [&](const Bytes& key, const std::vector<Bytes>& vals) {
+    combiner->reduce(key, vals, ctx);
+  });
+  combiner->cleanup(ctx);
+  counters.add(counter::kCombineOutputRecords, ctx.output().size());
+  if (tracer != nullptr) {
+    std::uint64_t bytes = 0;
+    for (const auto& rec : ctx.output()) bytes += rec.size_bytes();
+    combine.set_payload(bytes, ctx.output().size());
+  }
+  bucket = std::move(ctx.output());
+}
+
+}  // namespace
+
+std::vector<Split> build_splits(SimDfs& dfs, const JobSpec& spec) {
+  std::vector<Split> splits;
+  for (const auto& path : spec.input_paths) {
+    auto file = dfs.open(path);
+    const std::size_t n = file->records.size();
+    const std::uint64_t chunk =
+        spec.max_records_per_split == 0 ? n : spec.max_records_per_split;
+    if (n == 0) {
+      // Empty files still produce one (empty) task so setup/cleanup-only
+      // mappers run — mirrors Hadoop behaviour with empty splits disabled;
+      // we skip them instead to keep task counts meaningful.
+      continue;
+    }
+    for (std::size_t begin = 0; begin < n;
+         begin += static_cast<std::size_t>(chunk)) {
+      const std::size_t end =
+          std::min(n, begin + static_cast<std::size_t>(chunk));
+      splits.push_back(Split{file, begin, end, file->home});
+    }
+  }
+  return splits;
+}
+
+MapExecution execute_map_attempt(const TaskEnv& env, const Split& split,
+                                 TaskIndex task, NodeId node,
+                                 SpanId attempt_span, const std::string& tag) {
+  const JobSpec& spec = *env.spec;
+  Tracer* const tracer = env.tracer;
+  SimDfs& dfs = *env.dfs;
+  const TaskIndex m = task;
+  MapExecution e;
+  e.counters = std::make_unique<Counters>();
+  e.spilled.resize(env.spill_mode ? env.num_reducers : 0);
+  ScopedSpan exec(tracer,
+                  tracer != nullptr
+                      ? tracer->begin_op(attempt_span, SpanKind::kMapExec,
+                                         node)
+                      : 0);
+  auto ctx = std::make_unique<MapContext>(node, m, *env.partitioner,
+                                          env.num_reducers, *e.counters,
+                                          *env.cache, split.file->path, tracer,
+                                          exec.id());
+  std::uint32_t spill_seq = 0;
+  if (env.spill_mode) {
+    // Installed spill hook: before an emission would push tracked
+    // buffer bytes past the budget, every non-empty bucket is
+    // combined (Hadoop combines per spill), sorted with the
+    // shuffle ordering, and written to scratch as one sorted run.
+    ctx->attach_budget(
+        env.budget.bytes, [&](std::vector<std::vector<Record>>& buckets) {
+          ScopedSpan sp(tracer,
+                        tracer != nullptr
+                            ? tracer->begin_op(exec.id(),
+                                               SpanKind::kSpillWrite, node)
+                            : 0);
+          std::uint64_t sp_bytes = 0;
+          std::uint64_t sp_records = 0;
+          for (std::uint32_t p = 0; p < buckets.size(); ++p) {
+            auto& bucket = buckets[p];
+            if (bucket.empty()) continue;
+            if (spec.combiner_factory) {
+              run_combiner(spec, node, m, *e.counters, bucket, tracer,
+                           sp.id());
+            }
+            sort_records_stable(bucket);
+            const std::string path =
+                env.scratch_root + tag + "/spill-" +
+                std::to_string(spill_seq) + "-r" + std::to_string(p);
+            dfs.write_file(path, node, std::move(bucket));
+            bucket.clear();
+            auto file = dfs.open(path);
+            e.counters->add(counter::kSpillRuns, 1);
+            e.counters->add(counter::kSpillBytes, file->bytes);
+            sp_bytes += file->bytes;
+            sp_records += file->records.size();
+            e.spilled[p].push_back(std::move(file));
+          }
+          ++spill_seq;
+          sp.set_payload(sp_bytes, sp_records);
+        });
+  }
+  auto mapper = spec.mapper_factory();
+  mapper->setup(*ctx);
+  for (std::size_t i = split.begin; i < split.end; ++i) {
+    const Record& rec = split.file->records[i];
+    mapper->map(rec.key, rec.value, *ctx);
+  }
+  mapper->cleanup(*ctx);
+  if (env.spill_mode) {
+    // Finalize the leftover buffer into the task's last, in-memory
+    // sorted run — combined and ordered exactly like a spilled one.
+    ScopedSpan fin(tracer,
+                   tracer != nullptr
+                       ? tracer->begin_op(exec.id(), SpanKind::kSpill, node)
+                       : 0);
+    std::uint64_t fin_bytes = 0;
+    std::uint64_t fin_records = 0;
+    for (auto& bucket : ctx->buckets()) {
+      if (bucket.empty()) continue;
+      if (spec.combiner_factory) {
+        run_combiner(spec, node, m, *e.counters, bucket, tracer, fin.id());
+      }
+      sort_records_stable(bucket);
+      for (const auto& rec : bucket) fin_bytes += rec.size_bytes();
+      fin_records += bucket.size();
+    }
+    fin.set_payload(fin_bytes, fin_records);
+    // Tracked buffers never outgrow the budget; the single record
+    // larger than the whole budget is the one allowed overshoot.
+    PAIRMR_CHECK(ctx->max_tracked_bytes() <=
+                     std::max(env.budget.bytes, ctx->max_record_bytes()),
+                 "map task exceeded its memory budget");
+    if (ctx->max_tracked_bytes() != 0) {
+      e.counters->note_max(counter::kMemoryMaxTrackedBytes,
+                           ctx->max_tracked_bytes());
+    }
+  }
+  exec.set_payload(ctx->bytes_emitted(), ctx->records_emitted());
+  e.ctx = std::move(ctx);
+  return e;
+}
+
+FinalizedMapOutput finalize_map_output(const TaskEnv& env, MapExecution& ex,
+                                       TaskIndex task, NodeId node,
+                                       SpanId kept_span) {
+  const JobSpec& spec = *env.spec;
+  Tracer* const tracer = env.tracer;
+  MapContext& ctx = *ex.ctx;
+
+  // Spill mode combines per run inside execute_map_attempt(); the
+  // in-memory path combines once here, over the full settled buckets.
+  if (spec.combiner_factory && !env.spill_mode) {
+    ScopedSpan spill(tracer,
+                     tracer != nullptr
+                         ? tracer->begin_op(kept_span, SpanKind::kSpill, node)
+                         : 0);
+    for (auto& bucket : ctx.buckets()) {
+      if (!bucket.empty()) {
+        run_combiner(spec, node, task, *ex.counters, bucket, tracer,
+                     spill.id());
+      }
+    }
+    if (tracer != nullptr) {
+      std::uint64_t out_bytes = 0;
+      std::uint64_t out_records = 0;
+      for (const auto& bucket : ctx.buckets()) {
+        out_records += bucket.size();
+        for (const auto& rec : bucket) out_bytes += rec.size_bytes();
+      }
+      spill.set_payload(out_bytes, out_records);
+    }
+  }
+
+  FinalizedMapOutput out;
+  out.partitions.resize(env.num_reducers);
+  out.meta.resize(env.num_reducers);
+  for (std::uint32_t p = 0; p < env.num_reducers; ++p) {
+    MapOutputPartition& part = out.partitions[p];
+    if (env.spill_mode) part.runs = std::move(ex.spilled[p]);
+    part.final_run = std::move(ctx.buckets()[p]);
+    part.records = part.final_run.size();
+    part.bytes = 0;
+    for (const auto& rec : part.final_run) {
+      part.bytes += rec.size_bytes();
+    }
+    for (const auto& run : part.runs) {
+      part.bytes += run->bytes;
+      part.records += run->records.size();
+    }
+    out.meta[p] = PartitionMeta{part.bytes, part.records};
+  }
+  return out;
+}
+
+FetchedPartition fetch_from_partition(MapOutputPartition& part,
+                                      bool spill_mode, bool movable) {
+  FetchedPartition out;
+  if (spill_mode) {
+    for (const auto& run : part.runs) {
+      out.sources.push_back(RunSource::from_file(run));
+    }
+    if (!part.final_run.empty()) {
+      if (movable) {
+        out.sources.push_back(RunSource::from_records(std::move(part.final_run)));
+      } else {
+        auto copy = part.final_run;
+        out.sources.push_back(RunSource::from_records(std::move(copy)));
+      }
+    }
+  } else if (movable) {
+    out.raw = std::move(part.final_run);
+  } else {
+    out.raw = part.final_run;
+  }
+  return out;
+}
+
+ReduceExecution execute_reduce_attempt(
+    const TaskEnv& env, TaskIndex r, NodeId node, SpanId attempt_span,
+    const std::string& tag, PartitionSource& source,
+    const std::vector<NodeId>& map_nodes,
+    const std::vector<PartitionMeta>& meta,
+    const std::vector<std::uint8_t>& drop_now) {
+  const JobSpec& spec = *env.spec;
+  Tracer* const tracer = env.tracer;
+  const auto num_map_tasks = static_cast<TaskIndex>(map_nodes.size());
+  ReduceExecution e;
+  e.counters = std::make_unique<Counters>();
+  // Fetch this reducer's partition from every map task, in map-task order
+  // (deterministic). Partitions stay in place until the task settles, so
+  // any re-execution can re-fetch.
+  std::vector<Record> input;       // in-memory path
+  std::vector<RunSource> sources;  // spill path: sorted runs
+  if (!env.spill_mode) {
+    std::size_t total = 0;
+    for (TaskIndex m = 0; m < num_map_tasks; ++m) {
+      total += static_cast<std::size_t>(meta[m].records);
+    }
+    input.reserve(total);
+  }
+  for (TaskIndex m = 0; m < num_map_tasks; ++m) {
+    const NodeId src = map_nodes[m];
+    if (drop_now[m] != 0 && tracer != nullptr) {
+      // The first copy died mid-transfer and is thrown away; the
+      // immediate re-fetch below is the one that counts. (The coordinator
+      // meters both transfers and the fetch-retry counter.)
+      tracer->record_transfer(attempt_span, SpanKind::kShuffleFetch, src,
+                              node, meta[m].bytes, "dropped-mid-transfer");
+    }
+    ScopedSpan fetch(
+        tracer, tracer != nullptr
+                    ? tracer->begin_transfer(attempt_span,
+                                             SpanKind::kShuffleFetch, src,
+                                             node)
+                    : 0);
+    FetchedPartition part = source.fetch(m, r);
+    fetch.set_payload(meta[m].bytes, meta[m].records);
+    if (env.spill_mode) {
+      // Source order — (map task, run age), final run last — plus
+      // GroupIterator's low-source-first tie-break reproduces the
+      // in-memory path's stable sort byte for byte.
+      for (auto& run : part.sources) {
+        sources.push_back(std::move(run));
+      }
+    } else {
+      input.insert(input.end(), std::make_move_iterator(part.raw.begin()),
+                   std::make_move_iterator(part.raw.end()));
+    }
+  }
+
+  ScopedSpan exec(tracer,
+                  tracer != nullptr
+                      ? tracer->begin_op(attempt_span, SpanKind::kReduceExec,
+                                         node)
+                      : 0);
+  e.ctx = std::make_unique<ReduceContext>(node, r, *e.counters, env.cache,
+                                          tracer, exec.id());
+  auto reducer = spec.reducer_factory();
+  reducer->setup(*e.ctx);
+  const auto consume = [&](const Bytes& key, const std::vector<Bytes>& vals) {
+    ++e.groups;
+    std::uint64_t group_bytes = 0;
+    for (const auto& v : vals) group_bytes += key.size() + v.size();
+    e.max_group_records =
+        std::max<std::uint64_t>(e.max_group_records, vals.size());
+    e.max_group_bytes = std::max(e.max_group_bytes, group_bytes);
+    reducer->reduce(key, vals, *e.ctx);
+  };
+  if (env.spill_mode) {
+    // Too many runs for one merge: fold consecutive batches into
+    // wider scratch runs first (Hadoop's io.sort.factor passes),
+    // then stream groups without ever materializing the partition.
+    if (sources.size() > env.budget.merge_fan_in) {
+      ScopedSpan merge(tracer,
+                       tracer != nullptr
+                           ? tracer->begin_op(exec.id(), SpanKind::kMergePass,
+                                              node)
+                           : 0);
+      MergeStats merge_stats;
+      sources = merge_to_fan_in(*env.dfs, env.scratch_root + tag + "/", node,
+                                std::move(sources), env.budget.merge_fan_in,
+                                merge_stats);
+      merge.set_payload(merge_stats.bytes_written, merge_stats.runs_written);
+      e.counters->add(counter::kMergePasses, merge_stats.passes);
+    }
+    GroupIterator groups(std::move(sources));
+    while (groups.next()) consume(groups.key(), groups.values());
+    if (groups.max_head_bytes() != 0) {
+      e.counters->note_max(counter::kMemoryMaxTrackedBytes,
+                           groups.max_head_bytes());
+    }
+  } else {
+    group_by_key(input, consume);
+  }
+  reducer->cleanup(*e.ctx);
+  exec.set_payload(e.ctx->bytes_emitted(), e.ctx->output().size());
+  return e;
+}
+
+}  // namespace pairmr::mr::backend

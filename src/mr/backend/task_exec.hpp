@@ -1,0 +1,172 @@
+// Task-attempt execution shared by every Backend (mr/backend/backend.hpp).
+//
+// The engine's orchestration — placement, fault decisions, retry loops,
+// metering, counter merging — is backend-independent; what differs between
+// backends is *where* a task attempt's user code runs and how its shuffle
+// partitions travel. This header is the code that runs in both places: the
+// InProcessBackend calls these functions on a pool thread, the fork
+// backend's worker processes call the very same compiled functions after
+// fork. Keeping one implementation is what makes cross-backend output,
+// counter, and trace-structure equivalence hold by construction.
+//
+// Everything here was extracted verbatim from the seed engine's map/reduce
+// execution lambdas; the in-process path is byte-identical to the
+// pre-refactor engine.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mr/context.hpp"
+#include "mr/counters.hpp"
+#include "mr/fs.hpp"
+#include "mr/job.hpp"
+#include "mr/spill.hpp"
+#include "mr/trace.hpp"
+#include "mr/types.hpp"
+
+namespace pairmr::mr::backend {
+
+// One map task's input: a contiguous slice of a DFS file.
+struct Split {
+  std::shared_ptr<const DfsFile> file;
+  std::size_t begin = 0;
+  std::size_t end = 0;  // exclusive
+  NodeId node = 0;      // where the task runs (data-local)
+};
+
+std::vector<Split> build_splits(SimDfs& dfs, const JobSpec& spec);
+
+// The per-job execution environment a task attempt runs against. All
+// pointers are non-owning and must outlive the job; under the fork
+// backend they are inherited across fork() and stay valid in the worker
+// because the coordinator's Engine::run frame outlives every attempt.
+struct TaskEnv {
+  const JobSpec* spec = nullptr;
+  const Partitioner* partitioner = nullptr;
+  std::uint32_t num_reducers = 0;
+  MemoryBudget budget;           // effective (test override applied)
+  bool spill_mode = false;       // budget.enabled()
+  bool movable_shuffle = false;  // no retry possible: move, don't copy
+  std::string scratch_root;      // "<output_dir>.spill/"
+  SimDfs* dfs = nullptr;         // spill scratch home (process-local)
+  const ReduceContext::CacheMap* cache = nullptr;
+  Tracer* tracer = nullptr;  // nullptr = untraced
+};
+
+// One full execution of a map task's user code. Each execution gets a
+// fresh context and counter bag; only the execution that is ultimately
+// kept merges into the job.
+struct MapExecution {
+  std::unique_ptr<MapContext> ctx;
+  std::unique_ptr<Counters> counters;
+  // Per-partition scratch runs, oldest first (spill mode only).
+  std::vector<std::vector<std::shared_ptr<const DfsFile>>> spilled;
+};
+
+// Run the user map code of one attempt on `node`. `tag` names the
+// execution's scratch directory (spill mode), so discarded attempts never
+// collide with kept ones. Throws whatever the user code throws; the
+// caller sweeps `scratch_root + tag + "/"` on failure.
+MapExecution execute_map_attempt(const TaskEnv& env, const Split& split,
+                                 TaskIndex task, NodeId node,
+                                 SpanId attempt_span, const std::string& tag);
+
+// One (map task, reduce task) shuffle partition. The in-memory path
+// keeps everything in `final_run` (unsorted; the reduce side sorts).
+// Spill mode adds the task's DFS scratch runs, oldest first, and
+// `final_run` becomes the last, sorted, in-memory run. `bytes` and
+// `records` are settled once when the map task's winning attempt
+// publishes, then reused for every fetch metering of the partition.
+struct MapOutputPartition {
+  std::vector<std::shared_ptr<const DfsFile>> runs;
+  std::vector<Record> final_run;
+  std::uint64_t bytes = 0;
+  std::uint64_t records = 0;
+
+  void release() {
+    runs.clear();
+    runs.shrink_to_fit();
+    final_run.clear();
+    final_run.shrink_to_fit();
+  }
+};
+
+// Size of one published partition, as the coordinator meters it.
+struct PartitionMeta {
+  std::uint64_t bytes = 0;
+  std::uint64_t records = 0;
+
+  friend bool operator==(const PartitionMeta&, const PartitionMeta&) = default;
+};
+
+struct FinalizedMapOutput {
+  std::vector<MapOutputPartition> partitions;  // per reduce partition
+  std::vector<PartitionMeta> meta;             // per reduce partition
+};
+
+// Settle the kept execution's output: run the combiner over the full
+// buckets (in-memory path; spill mode combined per run already), then
+// assemble per-reducer partitions and their metadata. Combine counters
+// accumulate into `ex.counters`. `kept_span` parents the combine spans.
+FinalizedMapOutput finalize_map_output(const TaskEnv& env, MapExecution& ex,
+                                       TaskIndex task, NodeId node,
+                                       SpanId kept_span);
+
+// One fetched shuffle partition, however it travelled. Exactly one of
+// `sources` (spill mode: sorted runs in (run age, final last) order) and
+// `raw` (in-memory mode: the unsorted bucket) is populated.
+struct FetchedPartition {
+  std::vector<RunSource> sources;
+  std::vector<Record> raw;
+};
+
+// Turn one stored partition into reduce input, exactly as the seed engine
+// did: spill mode yields the scratch runs (oldest first) plus the final
+// in-memory run last; the in-memory path yields the raw bucket. When the
+// shuffle is movable the partition surrenders its in-memory records
+// (moved); otherwise they are copied so re-execution can re-fetch. Shared
+// by the in-process store and the fork backend's worker-local fetches.
+FetchedPartition fetch_from_partition(MapOutputPartition& part,
+                                      bool spill_mode, bool movable);
+
+// Where a reduce execution gets its input partitions from: the in-process
+// store, the worker's local store, or a peer worker's shuffle socket.
+class PartitionSource {
+ public:
+  virtual ~PartitionSource() = default;
+  // Fetch map task `m`'s partition for reduce task `r`. When the job's
+  // shuffle is movable the source may surrender its copy; otherwise it
+  // must keep the partition fetchable for re-execution.
+  virtual FetchedPartition fetch(TaskIndex m, TaskIndex r) = 0;
+};
+
+// One full execution of reduce task r: shuffle + sort + reduce. Fetch
+// volumes are metered by the coordinator, which knows whether the
+// execution's traffic was useful or wasted.
+struct ReduceExecution {
+  std::uint64_t groups = 0;
+  std::uint64_t max_group_records = 0;
+  std::uint64_t max_group_bytes = 0;
+  std::unique_ptr<Counters> counters;
+  std::unique_ptr<ReduceContext> ctx;
+};
+
+// Run one reduce attempt on `node`: fetch this reducer's partition from
+// every map task in map-task order (deterministic), then sort/group and
+// run the user reduce code. `map_nodes[m]` is the node map task m's kept
+// attempt ran on (fetch span attribution), `meta[m]` that partition's
+// settled size, and `drop_now[m]` marks fetches the fault plan drops
+// mid-transfer during this execution (the re-fetch is the one that
+// counts; the coordinator meters both).
+ReduceExecution execute_reduce_attempt(const TaskEnv& env, TaskIndex r,
+                                       NodeId node, SpanId attempt_span,
+                                       const std::string& tag,
+                                       PartitionSource& source,
+                                       const std::vector<NodeId>& map_nodes,
+                                       const std::vector<PartitionMeta>& meta,
+                                       const std::vector<std::uint8_t>& drop_now);
+
+}  // namespace pairmr::mr::backend

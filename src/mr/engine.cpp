@@ -4,20 +4,19 @@
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
-#include <iterator>
 #include <memory>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "common/check.hpp"
 #include "common/log.hpp"
 #include "common/stopwatch.hpp"
-#include "mr/context.hpp"
+#include "mr/backend/backend.hpp"
+#include "mr/backend/fork.hpp"
+#include "mr/backend/inprocess.hpp"
 #include "mr/fault.hpp"
-#include "mr/group.hpp"
-#include "mr/spill.hpp"
 #include "mr/trace.hpp"
 
 namespace pairmr::mr {
@@ -28,99 +27,43 @@ namespace {
 // only finitely often, so this is never reached in practice).
 constexpr std::uint32_t kAttemptCap = 1000;
 
-// One map task's input: a contiguous slice of a DFS file.
-struct Split {
-  std::shared_ptr<const DfsFile> file;
-  std::size_t begin = 0;
-  std::size_t end = 0;  // exclusive
-  NodeId node = 0;      // where the task runs (data-local)
-};
-
-std::vector<Split> build_splits(SimDfs& dfs, const JobSpec& spec) {
-  std::vector<Split> splits;
-  for (const auto& path : spec.input_paths) {
-    auto file = dfs.open(path);
-    const std::size_t n = file->records.size();
-    const std::uint64_t chunk =
-        spec.max_records_per_split == 0 ? n : spec.max_records_per_split;
-    if (n == 0) {
-      // Empty files still produce one (empty) task so setup/cleanup-only
-      // mappers run — mirrors Hadoop behaviour with empty splits disabled;
-      // we skip them instead to keep task counts meaningful.
-      continue;
-    }
-    for (std::size_t begin = 0; begin < n;
-         begin += static_cast<std::size_t>(chunk)) {
-      const std::size_t end =
-          std::min(n, begin + static_cast<std::size_t>(chunk));
-      splits.push_back(Split{file, begin, end, file->home});
-    }
-  }
-  return splits;
-}
-
 // PAIRMR_TEST_MEMORY_BUDGET (a byte count) force-enables the spill path
 // for jobs whose spec leaves it disabled — the CI spill suite runs the
 // test battery out-of-core this way, relying on the spill path producing
-// byte-identical output. Parsed once per process.
+// byte-identical output. Parsed per run, so tests may setenv between
+// jobs, and forked workers (which inherit the environment) agree with
+// the coordinator.
 std::uint64_t test_memory_budget_bytes() {
-  static const std::uint64_t bytes = [] {
-    const char* env = std::getenv("PAIRMR_TEST_MEMORY_BUDGET");
-    if (env == nullptr || *env == '\0') return std::uint64_t{0};
-    return static_cast<std::uint64_t>(std::strtoull(env, nullptr, 10));
-  }();
-  return bytes;
+  const char* env = std::getenv("PAIRMR_TEST_MEMORY_BUDGET");
+  if (env == nullptr || *env == '\0') return 0;
+  return static_cast<std::uint64_t>(std::strtoull(env, nullptr, 10));
 }
 
-// One (map task, reduce task) shuffle partition. The in-memory path
-// keeps everything in `final_run` (unsorted; the reduce side sorts).
-// Spill mode adds the task's DFS scratch runs, oldest first, and
-// `final_run` becomes the last, sorted, in-memory run. `bytes` and
-// `records` are settled once when the map task's winning attempt
-// publishes, then reused for every fetch metering of the partition.
-struct MapOutputPartition {
-  std::vector<std::shared_ptr<const DfsFile>> runs;
-  std::vector<Record> final_run;
-  std::uint64_t bytes = 0;
-  std::uint64_t records = 0;
-
-  void release() {
-    runs.clear();
-    runs.shrink_to_fit();
-    final_run.clear();
-    final_run.shrink_to_fit();
-  }
-};
-
-// Run the combiner over one partition bucket, replacing its contents.
-// `parent` is the spill span the combine nests under (0 when untraced).
-void run_combiner(const JobSpec& spec, NodeId node, TaskIndex task,
-                  Counters& counters, std::vector<Record>& bucket,
-                  Tracer* tracer, SpanId parent) {
-  ScopedSpan combine(
-      tracer, tracer != nullptr
-                  ? tracer->begin_op(parent, SpanKind::kCombine, node)
-                  : 0);
-  ReduceContext ctx(node, task, counters, nullptr, tracer, combine.id());
-  auto combiner = spec.combiner_factory();
-  combiner->setup(ctx);
-  counters.add(counter::kCombineInputRecords, bucket.size());
-  group_by_key(bucket, [&](const Bytes& key, const std::vector<Bytes>& vals) {
-    combiner->reduce(key, vals, ctx);
-  });
-  combiner->cleanup(ctx);
-  counters.add(counter::kCombineOutputRecords, ctx.output().size());
-  if (tracer != nullptr) {
-    std::uint64_t bytes = 0;
-    for (const auto& rec : ctx.output()) bytes += rec.size_bytes();
-    combine.set_payload(bytes, ctx.output().size());
-  }
-  bucket = std::move(ctx.output());
+// Scratch tag of one task execution: "m<task>-a<attempt>" / "r<task>-a<n>"
+// (speculative backups append "-b"). Unique per execution, so discarded
+// attempts never collide with kept ones on the write-once DFS.
+std::string attempt_tag(char kind, TaskIndex task, std::uint32_t attempt) {
+  std::string tag(1, kind);
+  tag += std::to_string(task);
+  tag += "-a";
+  tag += std::to_string(attempt);
+  return tag;
 }
 
 }  // namespace
 
 JobResult Engine::run(const JobSpec& spec) {
+  BackendKind kind = spec.backend;
+  if (kind == BackendKind::kAuto) kind = backend::backend_kind_from_env();
+  if (kind == BackendKind::kFork) {
+    backend::ForkBackend fork_backend(cluster_);
+    return run(spec, fork_backend);
+  }
+  backend::InProcessBackend inprocess_backend(cluster_);
+  return run(spec, inprocess_backend);
+}
+
+JobResult Engine::run(const JobSpec& spec, backend::Backend& backend) {
   spec.validate();
 
   const Stopwatch timer;
@@ -152,8 +95,9 @@ JobResult Engine::run(const JobSpec& spec) {
   // their output contract is emission order, which a sorted run would
   // destroy.
   MemoryBudget budget = spec.memory_budget;
-  if (!budget.enabled() && test_memory_budget_bytes() != 0) {
-    budget.bytes = test_memory_budget_bytes();
+  const std::uint64_t test_budget = test_memory_budget_bytes();
+  if (!budget.enabled() && test_budget != 0) {
+    budget.bytes = test_budget;
     budget.merge_fan_in = std::max<std::uint32_t>(2, budget.merge_fan_in);
   }
   if (spec.map_only) budget = MemoryBudget{.bytes = 0};
@@ -228,7 +172,7 @@ JobResult Engine::run(const JobSpec& spec) {
   };
 
   // --- Distributed cache broadcast -------------------------------------
-  std::unordered_map<std::string, std::shared_ptr<const DfsFile>> cache;
+  ReduceContext::CacheMap cache;
   SpanId broadcast_phase = 0;
   if (tracer != nullptr && !spec.cache_paths.empty()) {
     broadcast_phase = tracer->begin_phase(job_span, "broadcast");
@@ -254,16 +198,50 @@ JobResult Engine::run(const JobSpec& spec) {
   if (broadcast_phase != 0) tracer->end(broadcast_phase);
 
   // --- Map phase --------------------------------------------------------
-  const std::vector<Split> splits = build_splits(dfs, spec);
+  const std::vector<backend::Split> splits = backend::build_splits(dfs, spec);
   PAIRMR_REQUIRE(!splits.empty(), "job has no input records");
   const auto num_map_tasks = static_cast<TaskIndex>(splits.size());
 
   PAIRMR_LOG(kInfo) << "job '" << spec.name << "': " << num_map_tasks
-                    << " map task(s), " << num_reducers << " reduce task(s)";
+                    << " map task(s), " << num_reducers << " reduce task(s)"
+                    << " [" << backend.name() << " backend]";
 
-  // map_outputs[m][r] = partition destined for reduce task r from map
-  // task m (scratch runs + in-memory bucket; see MapOutputPartition).
-  std::vector<std::vector<MapOutputPartition>> map_outputs(num_map_tasks);
+  // Hand the settled job environment to the backend. `jc` and everything
+  // it points to outlive the job (the fork backend's workers inherit the
+  // pointers across fork()).
+  backend::JobContext jc;
+  jc.spec = &spec;
+  jc.env.spec = &spec;
+  jc.env.partitioner = &partitioner;
+  jc.env.num_reducers = num_reducers;
+  jc.env.budget = budget;
+  jc.env.spill_mode = spill_mode;
+  jc.env.movable_shuffle = movable_shuffle;
+  jc.env.scratch_root = scratch_root;
+  jc.env.dfs = &dfs;
+  jc.env.cache = &cache;
+  jc.env.tracer = tracer;
+  jc.splits = &splits;
+  jc.num_nodes = num_nodes;
+  jc.node_alive.resize(num_nodes, 0);
+  for (NodeId nd = 0; nd < num_nodes; ++nd) {
+    jc.node_alive[nd] = cluster_.is_alive(nd) ? 1 : 0;
+  }
+  backend.begin_job(jc);
+  // end_job on every exit path, before the scratch sweep above (declared
+  // later → destroyed first), so no worker outlives the job.
+  struct JobEnd {
+    backend::Backend& b;
+    ~JobEnd() { b.end_job(); }
+  } job_end{backend};
+
+  // Settled per-map-task state, written once by the pool thread that owns
+  // task m, read by reduce tasks after the phase barrier.
+  std::vector<NodeId> map_node(num_map_tasks, 0);
+  std::vector<std::vector<backend::PartitionMeta>> partition_meta(
+      num_map_tasks);
+  std::vector<std::vector<Record>> map_only_out(
+      spec.map_only ? num_map_tasks : 0);
   std::vector<TaskStats> map_stats(num_map_tasks);
 
   const std::uint32_t max_attempts = std::max(1u, spec.max_task_attempts);
@@ -275,120 +253,12 @@ JobResult Engine::run(const JobSpec& spec) {
     tasks.reserve(num_map_tasks);
     for (TaskIndex m = 0; m < num_map_tasks; ++m) {
       tasks.push_back([&, m] {
-        const Split& split = splits[m];
+        const backend::Split& split = splits[m];
         const NodeId home = split.file->home;
         std::uint64_t input_bytes = 0;
         for (std::size_t i = split.begin; i < split.end; ++i) {
           input_bytes += split.file->records[i].size_bytes();
         }
-
-        // One full execution of the task's user code on `node`. Each
-        // execution gets a fresh context and counter bag; only the
-        // execution that is ultimately kept merges into the job. `tag`
-        // names the execution's scratch directory (spill mode), so
-        // discarded attempts never collide with kept ones.
-        struct MapExecution {
-          std::unique_ptr<MapContext> ctx;
-          std::unique_ptr<Counters> counters;
-          // Per-partition scratch runs, oldest first (spill mode only).
-          std::vector<std::vector<std::shared_ptr<const DfsFile>>> spilled;
-        };
-        const auto execute = [&](NodeId node, SpanId attempt_span,
-                                 const std::string& tag) {
-          MapExecution e;
-          e.counters = std::make_unique<Counters>();
-          e.spilled.resize(spill_mode ? num_reducers : 0);
-          ScopedSpan exec(tracer,
-                          tracer != nullptr
-                              ? tracer->begin_op(attempt_span,
-                                                 SpanKind::kMapExec, node)
-                              : 0);
-          auto ctx = std::make_unique<MapContext>(
-              node, m, partitioner, num_reducers, *e.counters, cache,
-              split.file->path, tracer, exec.id());
-          std::uint32_t spill_seq = 0;
-          if (spill_mode) {
-            // Installed spill hook: before an emission would push tracked
-            // buffer bytes past the budget, every non-empty bucket is
-            // combined (Hadoop combines per spill), sorted with the
-            // shuffle ordering, and written to scratch as one sorted run.
-            ctx->attach_budget(
-                budget.bytes, [&](std::vector<std::vector<Record>>& buckets) {
-                  ScopedSpan sp(tracer,
-                                tracer != nullptr
-                                    ? tracer->begin_op(exec.id(),
-                                                       SpanKind::kSpillWrite,
-                                                       node)
-                                    : 0);
-                  std::uint64_t sp_bytes = 0;
-                  std::uint64_t sp_records = 0;
-                  for (std::uint32_t p = 0; p < buckets.size(); ++p) {
-                    auto& bucket = buckets[p];
-                    if (bucket.empty()) continue;
-                    if (spec.combiner_factory) {
-                      run_combiner(spec, node, m, *e.counters, bucket, tracer,
-                                   sp.id());
-                    }
-                    sort_records_stable(bucket);
-                    const std::string path =
-                        scratch_root + tag + "/spill-" +
-                        std::to_string(spill_seq) + "-r" + std::to_string(p);
-                    dfs.write_file(path, node, std::move(bucket));
-                    bucket.clear();
-                    auto file = dfs.open(path);
-                    e.counters->add(counter::kSpillRuns, 1);
-                    e.counters->add(counter::kSpillBytes, file->bytes);
-                    sp_bytes += file->bytes;
-                    sp_records += file->records.size();
-                    e.spilled[p].push_back(std::move(file));
-                  }
-                  ++spill_seq;
-                  sp.set_payload(sp_bytes, sp_records);
-                });
-          }
-          auto mapper = spec.mapper_factory();
-          mapper->setup(*ctx);
-          for (std::size_t i = split.begin; i < split.end; ++i) {
-            const Record& rec = split.file->records[i];
-            mapper->map(rec.key, rec.value, *ctx);
-          }
-          mapper->cleanup(*ctx);
-          if (spill_mode) {
-            // Finalize the leftover buffer into the task's last, in-memory
-            // sorted run — combined and ordered exactly like a spilled one.
-            ScopedSpan fin(tracer,
-                           tracer != nullptr
-                               ? tracer->begin_op(exec.id(), SpanKind::kSpill,
-                                                  node)
-                               : 0);
-            std::uint64_t fin_bytes = 0;
-            std::uint64_t fin_records = 0;
-            for (auto& bucket : ctx->buckets()) {
-              if (bucket.empty()) continue;
-              if (spec.combiner_factory) {
-                run_combiner(spec, node, m, *e.counters, bucket, tracer,
-                             fin.id());
-              }
-              sort_records_stable(bucket);
-              for (const auto& rec : bucket) fin_bytes += rec.size_bytes();
-              fin_records += bucket.size();
-            }
-            fin.set_payload(fin_bytes, fin_records);
-            // Tracked buffers never outgrow the budget; the single record
-            // larger than the whole budget is the one allowed overshoot.
-            PAIRMR_CHECK(
-                ctx->max_tracked_bytes() <=
-                    std::max(budget.bytes, ctx->max_record_bytes()),
-                "map task exceeded its memory budget");
-            if (ctx->max_tracked_bytes() != 0) {
-              e.counters->note_max(counter::kMemoryMaxTrackedBytes,
-                                   ctx->max_tracked_bytes());
-            }
-          }
-          exec.set_payload(ctx->bytes_emitted(), ctx->records_emitted());
-          e.ctx = std::move(ctx);
-          return e;
-        };
 
         // Attempt loop (Hadoop task retry): a failed attempt's emissions
         // and counters are discarded wholesale; only the kept attempt's
@@ -431,16 +301,32 @@ JobResult Engine::run(const JobSpec& spec) {
             continue;
           }
 
-          const std::string tag =
-              "m" + std::to_string(m) + "-a" + std::to_string(attempt);
-          MapExecution ex;
+          if (plan.kills_worker(TaskKind::kMap, m, attempt)) {
+            // The worker process hosting this attempt dies mid-task
+            // (SIGKILL under the fork backend; the in-process backend has
+            // no process, so nothing executes). Work already published on
+            // that worker is regenerated backend-side; the attempt itself
+            // is rescheduled like any killed attempt.
+            backend.crash_worker(node, TaskKind::kMap, m);
+            counters.add(counter::kTasksRetried, 1);
+            if (tracer != nullptr) {
+              tracer->mark_faulted(att, "worker-killed");
+              tracer->end(att);
+            }
+            PAIRMR_LOG(kWarn) << "map task " << m << " attempt " << attempt
+                              << " lost its worker process; retrying";
+            continue;
+          }
+
+          const std::string tag = attempt_tag('m', m, attempt);
+          backend::MapAttemptOutcome ex;
           try {
-            ex = execute(node, att, tag);
+            ex = backend.run_map_attempt({m, attempt, node, att, tag});
           } catch (...) {
             const bool fatal = ++user_failures >= max_attempts;
             // A failed attempt may have spilled before dying; its scratch
             // runs are garbage now.
-            if (spill_mode) dfs.remove_prefix(scratch_root + tag + "/");
+            backend.discard_map_attempt(m, tag, node);
             if (tracer != nullptr) {
               tracer->mark_faulted(att, "user-error");
               tracer->end(att);
@@ -453,6 +339,7 @@ JobResult Engine::run(const JobSpec& spec) {
           }
           NodeId final_node = node;
           SpanId kept_span = att;
+          std::string kept_tag = tag;
 
           // Speculative re-execution: a straggling task gets a backup copy
           // on another node; the plan decides the race. The loser's work
@@ -475,86 +362,55 @@ JobResult Engine::run(const JobSpec& spec) {
                                         "recovery-reread");
               }
             }
-            MapExecution backup_ex = execute(backup, batt, tag + "-b");
+            backend::MapAttemptOutcome backup_ex =
+                backend.run_map_attempt({m, attempt, backup, batt,
+                                         tag + "-b"});
             counters.add(counter::kTasksSpeculative, 1);
             SpanId loser_span = batt;
             std::string loser_tag = tag + "-b";
+            NodeId loser_node = backup;
             if (plan.backup_wins(TaskKind::kMap, m)) {
               counters.add(counter::kSpeculativeWins, 1);
-              ex = std::move(backup_ex);
+              ex = backup_ex;
               final_node = backup;
+              kept_span = batt;
+              kept_tag = tag + "-b";
               loser_span = att;
               loser_tag = tag;
-              kept_span = batt;
+              loser_node = node;
             }
-            // The losing copy's scratch runs are wasted work.
-            if (spill_mode) dfs.remove_prefix(scratch_root + loser_tag + "/");
+            // The losing copy's staged execution and scratch runs are
+            // wasted work.
+            backend.discard_map_attempt(m, loser_tag, loser_node);
             if (tracer != nullptr) {
               tracer->mark_faulted(loser_span, "lost-race");
               tracer->end(loser_span);
             }
           }
 
-          MapContext& ctx = *ex.ctx;
-          ex.counters->add(counter::kMapInputRecords,
-                           split.end - split.begin);
-          ex.counters->add(counter::kMapOutputRecords,
-                           ctx.records_emitted());
-          ex.counters->add(counter::kMapOutputBytes, ctx.bytes_emitted());
-
-          // Spill mode combines per run inside execute(); the in-memory
-          // path combines once here, over the full settled buckets.
-          if (spec.combiner_factory && !spill_mode) {
-            ScopedSpan spill(tracer,
-                             tracer != nullptr
-                                 ? tracer->begin_op(kept_span,
-                                                    SpanKind::kSpill,
-                                                    final_node)
-                                 : 0);
-            for (auto& bucket : ctx.buckets()) {
-              if (!bucket.empty()) {
-                run_combiner(spec, final_node, m, *ex.counters, bucket,
-                             tracer, spill.id());
-              }
-            }
-            if (tracer != nullptr) {
-              std::uint64_t out_bytes = 0;
-              std::uint64_t out_records = 0;
-              for (const auto& bucket : ctx.buckets()) {
-                out_records += bucket.size();
-                for (const auto& rec : bucket) out_bytes += rec.size_bytes();
-              }
-              spill.set_payload(out_bytes, out_records);
-            }
-          }
+          // Settle the kept execution: combine (in-memory path) and make
+          // its partitions fetchable. The backend returns the metadata the
+          // coordinator meters every fetch of this task's output with.
+          backend::MapPublishOutcome pub =
+              backend.publish_map_output(m, kept_tag, final_node, kept_span);
+          pub.counters->add(counter::kMapInputRecords,
+                            split.end - split.begin);
+          pub.counters->add(counter::kMapOutputRecords, ex.records_emitted);
+          pub.counters->add(counter::kMapOutputBytes, ex.bytes_emitted);
 
           map_stats[m] = TaskStats{
               .index = m,
               .node = final_node,
               .input_records = split.end - split.begin,
-              .output_records = ctx.records_emitted(),
-              .output_bytes = ctx.bytes_emitted(),
+              .output_records = ex.records_emitted,
+              .output_bytes = ex.bytes_emitted,
           };
-          auto& parts = map_outputs[m];
-          parts.resize(num_reducers);
-          for (std::uint32_t p = 0; p < num_reducers; ++p) {
-            MapOutputPartition& part = parts[p];
-            if (spill_mode) part.runs = std::move(ex.spilled[p]);
-            part.final_run = std::move(ctx.buckets()[p]);
-            part.records = part.final_run.size();
-            part.bytes = 0;
-            for (const auto& rec : part.final_run) {
-              part.bytes += rec.size_bytes();
-            }
-            for (const auto& run : part.runs) {
-              part.bytes += run->bytes;
-              part.records += run->records.size();
-            }
-          }
-          counters.merge(*ex.counters);
+          map_node[m] = final_node;
+          partition_meta[m] = std::move(pub.meta);
+          if (spec.map_only) map_only_out[m] = std::move(pub.map_only_output);
+          counters.merge(*pub.counters);
           if (tracer != nullptr) {
-            tracer->end(kept_span, ctx.bytes_emitted(),
-                        ctx.records_emitted());
+            tracer->end(kept_span, ex.bytes_emitted, ex.records_emitted);
           }
           break;
         }
@@ -581,8 +437,6 @@ JobResult Engine::run(const JobSpec& spec) {
       char name[32];
       std::snprintf(name, sizeof(name), "part-m-%05u", m);
       const std::string path = spec.output_dir + "/" + name;
-      PAIRMR_CHECK(map_outputs[m].size() == 1 && map_outputs[m][0].runs.empty(),
-                   "map-only job must have one unspilled bucket");
       {
         ScopedSpan write(tracer,
                          tracer != nullptr
@@ -592,8 +446,7 @@ JobResult Engine::run(const JobSpec& spec) {
                              : 0);
         write.set_payload(map_stats[m].output_bytes,
                           map_stats[m].output_records);
-        dfs.write_file(path, map_stats[m].node,
-                       std::move(map_outputs[m][0].final_run));
+        dfs.write_file(path, map_stats[m].node, std::move(map_only_out[m]));
       }
       output_paths[m] = path;
     }
@@ -625,145 +478,6 @@ JobResult Engine::run(const JobSpec& spec) {
         // An injected fetch drop fires once per (reduce, map) pair.
         std::vector<bool> dropped(num_map_tasks, false);
 
-        // One full execution of reduce task r: shuffle + sort + reduce.
-        // Fetch volumes are recorded but metered by the caller, which
-        // knows whether the execution's traffic was useful or wasted.
-        struct Execution {
-          NodeId node = 0;
-          SpanId span = 0;  // attempt span (0 when untraced)
-          std::vector<std::pair<NodeId, std::uint64_t>> fetches;
-          std::uint64_t local_bytes = 0;
-          std::uint64_t remote_bytes = 0;
-          std::uint64_t input_records = 0;
-          std::uint64_t groups = 0;
-          std::uint64_t max_group_records = 0;
-          std::uint64_t max_group_bytes = 0;
-          std::unique_ptr<Counters> counters;
-          std::unique_ptr<ReduceContext> ctx;
-        };
-
-        const auto execute = [&](NodeId node, SpanId attempt_span,
-                                 const std::string& tag) {
-          Execution e;
-          e.node = node;
-          e.span = attempt_span;
-          e.counters = std::make_unique<Counters>();
-          // Fetch this reducer's partition from every map task, in
-          // map-task order (deterministic). Partitions stay in place
-          // until the task settles, so any re-execution can re-fetch.
-          std::vector<Record> input;       // in-memory path
-          std::vector<RunSource> sources;  // spill path: sorted runs
-          if (!spill_mode) {
-            std::size_t total = 0;
-            for (TaskIndex m = 0; m < num_map_tasks; ++m) {
-              total += map_outputs[m][r].final_run.size();
-            }
-            input.reserve(total);
-          }
-          for (TaskIndex m = 0; m < num_map_tasks; ++m) {
-            auto& part = map_outputs[m][r];
-            const std::uint64_t bytes = part.bytes;
-            const NodeId src = map_stats[m].node;
-            if (!dropped[m] && plan.drops_fetch(r, m)) {
-              // The first copy died mid-transfer and is thrown away; the
-              // immediate re-fetch below is the one that counts.
-              dropped[m] = true;
-              recovery_transfer(src, node, bytes);
-              counters.add(counter::kShuffleFetchRetries, 1);
-              if (tracer != nullptr) {
-                tracer->record_transfer(attempt_span,
-                                        SpanKind::kShuffleFetch, src, node,
-                                        bytes, "dropped-mid-transfer");
-              }
-            }
-            ScopedSpan fetch(
-                tracer, tracer != nullptr
-                            ? tracer->begin_transfer(attempt_span,
-                                                     SpanKind::kShuffleFetch,
-                                                     src, node)
-                            : 0);
-            (src == node ? e.local_bytes : e.remote_bytes) += bytes;
-            e.fetches.emplace_back(src, bytes);
-            e.input_records += part.records;
-            fetch.set_payload(bytes, part.records);
-            if (spill_mode) {
-              // Source order — (map task, run age), final run last — plus
-              // GroupIterator's low-source-first tie-break reproduces the
-              // in-memory path's stable sort byte for byte.
-              for (const auto& run : part.runs) {
-                sources.push_back(RunSource::from_file(run));
-              }
-              if (!part.final_run.empty()) {
-                if (movable_shuffle) {
-                  sources.push_back(
-                      RunSource::from_records(std::move(part.final_run)));
-                } else {
-                  auto copy = part.final_run;
-                  sources.push_back(RunSource::from_records(std::move(copy)));
-                }
-              }
-            } else if (movable_shuffle) {
-              auto& bucket = part.final_run;
-              input.insert(input.end(), std::make_move_iterator(bucket.begin()),
-                           std::make_move_iterator(bucket.end()));
-            } else {
-              input.insert(input.end(), part.final_run.begin(),
-                           part.final_run.end());
-            }
-          }
-
-          ScopedSpan exec(tracer,
-                          tracer != nullptr
-                              ? tracer->begin_op(attempt_span,
-                                                 SpanKind::kReduceExec, node)
-                              : 0);
-          e.ctx = std::make_unique<ReduceContext>(node, r, *e.counters,
-                                                  &cache, tracer, exec.id());
-          auto reducer = spec.reducer_factory();
-          reducer->setup(*e.ctx);
-          const auto consume = [&](const Bytes& key,
-                                   const std::vector<Bytes>& vals) {
-            ++e.groups;
-            std::uint64_t group_bytes = 0;
-            for (const auto& v : vals) group_bytes += key.size() + v.size();
-            e.max_group_records =
-                std::max<std::uint64_t>(e.max_group_records, vals.size());
-            e.max_group_bytes = std::max(e.max_group_bytes, group_bytes);
-            reducer->reduce(key, vals, *e.ctx);
-          };
-          if (spill_mode) {
-            // Too many runs for one merge: fold consecutive batches into
-            // wider scratch runs first (Hadoop's io.sort.factor passes),
-            // then stream groups without ever materializing the partition.
-            if (sources.size() > budget.merge_fan_in) {
-              ScopedSpan merge(tracer,
-                               tracer != nullptr
-                                   ? tracer->begin_op(exec.id(),
-                                                      SpanKind::kMergePass,
-                                                      node)
-                                   : 0);
-              MergeStats merge_stats;
-              sources = merge_to_fan_in(dfs, scratch_root + tag + "/", node,
-                                        std::move(sources),
-                                        budget.merge_fan_in, merge_stats);
-              merge.set_payload(merge_stats.bytes_written,
-                                merge_stats.runs_written);
-              e.counters->add(counter::kMergePasses, merge_stats.passes);
-            }
-            GroupIterator groups(std::move(sources));
-            while (groups.next()) consume(groups.key(), groups.values());
-            if (groups.max_head_bytes() != 0) {
-              e.counters->note_max(counter::kMemoryMaxTrackedBytes,
-                                   groups.max_head_bytes());
-            }
-          } else {
-            group_by_key(input, consume);
-          }
-          reducer->cleanup(*e.ctx);
-          exec.set_payload(e.ctx->bytes_emitted(), e.ctx->output().size());
-          return e;
-        };
-
         // The shuffle traffic of an attempt that fetched its input but
         // never published output (killed, crashed, or lost the race).
         // `attempt_span` is set only when the attempt never executed (no
@@ -771,14 +485,55 @@ JobResult Engine::run(const JobSpec& spec) {
         const auto charge_wasted_fetches = [&](NodeId node,
                                                SpanId attempt_span) {
           for (TaskIndex m = 0; m < num_map_tasks; ++m) {
-            const std::uint64_t bytes = map_outputs[m][r].bytes;
-            recovery_transfer(map_stats[m].node, node, bytes);
+            const std::uint64_t bytes = partition_meta[m][r].bytes;
+            recovery_transfer(map_node[m], node, bytes);
             if (tracer != nullptr && attempt_span != 0) {
               tracer->record_transfer(attempt_span, SpanKind::kShuffleFetch,
-                                      map_stats[m].node, node, bytes,
-                                      "wasted");
+                                      map_node[m], node, bytes, "wasted");
             }
           }
+        };
+
+        // One settled execution of reduce task r, as the coordinator sees
+        // it after the backend ran shuffle + sort + reduce.
+        struct Settled {
+          NodeId node = 0;
+          SpanId span = 0;  // attempt span (0 when untraced)
+          backend::ReduceAttemptOutcome out;
+        };
+
+        const auto execute = [&](NodeId node, std::uint32_t attempt,
+                                 SpanId attempt_span, const std::string& tag) {
+          // Fetch drops fire once per (reduce, map) pair, on the first
+          // execution that reaches its fetch phase. The coordinator both
+          // decides and meters the wasted first copy — the immediate
+          // re-fetch is the one that counts — so every backend accounts
+          // it identically.
+          std::vector<std::uint8_t> drop_now(num_map_tasks, 0);
+          std::vector<backend::PartitionMeta> meta(num_map_tasks);
+          for (TaskIndex m = 0; m < num_map_tasks; ++m) {
+            meta[m] = partition_meta[m][r];
+            if (!dropped[m] && plan.drops_fetch(r, m)) {
+              dropped[m] = true;
+              drop_now[m] = 1;
+              recovery_transfer(map_node[m], node, meta[m].bytes);
+              counters.add(counter::kShuffleFetchRetries, 1);
+            }
+          }
+          backend::ReduceAttemptDesc desc;
+          desc.task = r;
+          desc.attempt = attempt;
+          desc.node = node;
+          desc.attempt_span = attempt_span;
+          desc.tag = tag;
+          desc.map_nodes = map_node;
+          desc.meta = std::move(meta);
+          desc.drop_now = std::move(drop_now);
+          Settled s;
+          s.node = node;
+          s.span = attempt_span;
+          s.out = backend.run_reduce_attempt(desc);
+          return s;
         };
 
         std::uint32_t user_failures = 0;
@@ -804,15 +559,30 @@ JobResult Engine::run(const JobSpec& spec) {
             continue;
           }
 
-          const std::string tag =
-              "r" + std::to_string(r) + "-a" + std::to_string(attempt);
-          Execution winner;
+          if (plan.kills_worker(TaskKind::kReduce, r, attempt)) {
+            // The worker process hosting this attempt dies mid-task; its
+            // shuffle happened and was for nothing, and any map output it
+            // hosted is regenerated backend-side.
+            backend.crash_worker(node, TaskKind::kReduce, r);
+            charge_wasted_fetches(node, att);
+            counters.add(counter::kTasksRetried, 1);
+            if (tracer != nullptr) {
+              tracer->mark_faulted(att, "worker-killed");
+              tracer->end(att);
+            }
+            PAIRMR_LOG(kWarn) << "reduce task " << r << " attempt " << attempt
+                              << " lost its worker process; retrying";
+            continue;
+          }
+
+          const std::string tag = attempt_tag('r', r, attempt);
+          Settled winner;
           try {
-            winner = execute(node, att, tag);
+            winner = execute(node, attempt, att, tag);
           } catch (...) {
             const bool fatal = ++user_failures >= max_attempts;
             // Merge-pass scratch of the failed attempt is garbage now.
-            if (spill_mode) dfs.remove_prefix(scratch_root + tag + "/");
+            backend.discard_reduce_scratch(tag, node);
             if (tracer != nullptr) {
               tracer->mark_faulted(att, "user-error");
               tracer->end(att);
@@ -834,7 +604,7 @@ JobResult Engine::run(const JobSpec& spec) {
                                          attempt, backup_node,
                                          /*speculative=*/true)
                     : 0;
-            Execution backup = execute(backup_node, batt, tag + "-b");
+            Settled backup = execute(backup_node, attempt, batt, tag + "-b");
             counters.add(counter::kTasksSpeculative, 1);
             std::string loser_tag = tag + "-b";
             if (plan.backup_wins(TaskKind::kReduce, r)) {
@@ -843,7 +613,7 @@ JobResult Engine::run(const JobSpec& spec) {
               loser_tag = tag;
             }
             // After the optional swap, `backup` holds the losing execution.
-            if (spill_mode) dfs.remove_prefix(scratch_root + loser_tag + "/");
+            backend.discard_reduce_scratch(loser_tag, backup.node);
             charge_wasted_fetches(backup.node, 0);
             if (tracer != nullptr) {
               tracer->mark_faulted(backup.span, "lost-race");
@@ -853,38 +623,39 @@ JobResult Engine::run(const JobSpec& spec) {
 
           // Winning execution: release map outputs, meter its shuffle,
           // publish counters and output.
+          backend.release_reduce_input(r);
+          std::uint64_t local_bytes = 0;
+          std::uint64_t remote_bytes = 0;
+          std::uint64_t input_records = 0;
           for (TaskIndex m = 0; m < num_map_tasks; ++m) {
-            map_outputs[m][r].release();
-          }
-          for (const auto& [src, bytes] : winner.fetches) {
-            net.transfer(src, winner.node, bytes);
+            const backend::PartitionMeta& pm = partition_meta[m][r];
+            net.transfer(map_node[m], winner.node, pm.bytes);
+            (map_node[m] == winner.node ? local_bytes : remote_bytes) +=
+                pm.bytes;
+            input_records += pm.records;
           }
 
-          winner.counters->add(counter::kShuffleBytesLocal,
-                               winner.local_bytes);
-          winner.counters->add(counter::kShuffleBytesRemote,
-                               winner.remote_bytes);
-          winner.counters->add(counter::kReduceInputGroups, winner.groups);
-          winner.counters->add(counter::kReduceInputRecords,
-                               winner.input_records);
-          winner.counters->add(counter::kReduceOutputRecords,
-                               winner.ctx->output().size());
-          winner.counters->add(counter::kReduceOutputBytes,
-                               winner.ctx->bytes_emitted());
-          winner.counters->note_max(counter::kReduceMaxGroupRecords,
-                                    winner.max_group_records);
-          winner.counters->note_max(counter::kReduceMaxGroupBytes,
-                                    winner.max_group_bytes);
-          counters.merge(*winner.counters);
+          Counters& wc = *winner.out.counters;
+          wc.add(counter::kShuffleBytesLocal, local_bytes);
+          wc.add(counter::kShuffleBytesRemote, remote_bytes);
+          wc.add(counter::kReduceInputGroups, winner.out.groups);
+          wc.add(counter::kReduceInputRecords, input_records);
+          wc.add(counter::kReduceOutputRecords, winner.out.output.size());
+          wc.add(counter::kReduceOutputBytes, winner.out.bytes_emitted);
+          wc.note_max(counter::kReduceMaxGroupRecords,
+                      winner.out.max_group_records);
+          wc.note_max(counter::kReduceMaxGroupBytes,
+                      winner.out.max_group_bytes);
+          counters.merge(wc);
 
           reduce_stats[r] = TaskStats{
               .index = r,
               .node = winner.node,
-              .input_records = winner.input_records,
-              .output_records = winner.ctx->output().size(),
-              .output_bytes = winner.ctx->bytes_emitted(),
-              .max_group_records = winner.max_group_records,
-              .max_group_bytes = winner.max_group_bytes,
+              .input_records = input_records,
+              .output_records = winner.out.output.size(),
+              .output_bytes = winner.out.bytes_emitted,
+              .max_group_records = winner.out.max_group_records,
+              .max_group_bytes = winner.out.max_group_bytes,
           };
 
           char name[32];
@@ -899,8 +670,7 @@ JobResult Engine::run(const JobSpec& spec) {
                                  : 0);
             write.set_payload(reduce_stats[r].output_bytes,
                               reduce_stats[r].output_records);
-            dfs.write_file(path, winner.node,
-                           std::move(winner.ctx->output()));
+            dfs.write_file(path, winner.node, std::move(winner.out.output));
           }
           output_paths[r] = path;
           if (tracer != nullptr) {

@@ -42,6 +42,10 @@
 
 namespace pairmr::mr {
 
+namespace backend {
+class Backend;  // mr/backend/backend.hpp
+}  // namespace backend
+
 // Per-task accounting, exposed for tests and the §6 validation bench.
 struct TaskStats {
   TaskIndex index = 0;
@@ -74,8 +78,18 @@ class Engine {
   explicit Engine(Cluster& cluster) : cluster_(cluster) {}
 
   // Runs the job to completion. Throws if the spec is invalid or any task
-  // throws (first task error is propagated).
+  // throws (first task error is propagated). The execution substrate is
+  // chosen by JobSpec::backend (kAuto → PAIRMR_TEST_BACKEND → in-process);
+  // results are backend-independent, only process topology and cost
+  // realism change.
   JobResult run(const JobSpec& spec);
+
+  // Same, on an explicit backend (mr/backend/backend.hpp). The engine
+  // remains the coordinator either way: placement, fault decisions,
+  // metering, counter merging, and span attribution all happen here, so
+  // output files, counters, and NetworkMeter totals are identical across
+  // backends by construction.
+  JobResult run(const JobSpec& spec, backend::Backend& backend);
 
  private:
   Cluster& cluster_;

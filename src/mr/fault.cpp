@@ -16,6 +16,7 @@ enum Stream : std::uint64_t {
   kDropStream = 0x52,
   kStragglerStream = 0x53,
   kWinStream = 0x54,
+  kWorkerKillStream = 0x55,
 };
 
 void require_rate(double rate) {
@@ -62,6 +63,15 @@ FaultPlan& FaultPlan::with_straggler_rate(double rate) {
   return *this;
 }
 
+FaultPlan& FaultPlan::with_worker_kill_rate(double rate,
+                                            std::uint32_t max_kills) {
+  require_rate(rate);
+  PAIRMR_REQUIRE(max_kills >= 1, "max_kills must be at least 1");
+  worker_kill_rate_ = rate;
+  worker_max_kills_ = max_kills;
+  return *this;
+}
+
 FaultPlan& FaultPlan::with_speculative_win_rate(double rate) {
   require_rate(rate);
   win_rate_ = rate;
@@ -71,6 +81,13 @@ FaultPlan& FaultPlan::with_speculative_win_rate(double rate) {
 FaultPlan& FaultPlan::kill_task(TaskKind kind, TaskIndex index,
                                 std::uint32_t kills) {
   auto& slot = explicit_kills_[task_key(kind, index)];
+  slot = std::max(slot, kills);
+  return *this;
+}
+
+FaultPlan& FaultPlan::kill_worker(TaskKind kind, TaskIndex index,
+                                  std::uint32_t kills) {
+  auto& slot = explicit_worker_kills_[task_key(kind, index)];
   slot = std::max(slot, kills);
   return *this;
 }
@@ -92,7 +109,8 @@ FaultPlan& FaultPlan::mark_straggler(TaskKind kind, TaskIndex index) {
 
 bool FaultPlan::active() const {
   return kill_rate_ > 0.0 || drop_rate_ > 0.0 || straggler_rate_ > 0.0 ||
-         failed_node_.has_value() || !explicit_kills_.empty() ||
+         worker_kill_rate_ > 0.0 || failed_node_.has_value() ||
+         !explicit_kills_.empty() || !explicit_worker_kills_.empty() ||
          !explicit_drops_.empty() || !explicit_stragglers_.empty();
 }
 
@@ -106,6 +124,23 @@ bool FaultPlan::kills_task(TaskKind kind, TaskIndex index,
     std::uint32_t drawn = 0;
     while (drawn < max_kills_ &&
            unit(kKillStream, task_key(kind, index), drawn) < kill_rate_) {
+      ++drawn;
+    }
+    kills = std::max(kills, drawn);
+  }
+  return attempt < kills;
+}
+
+bool FaultPlan::kills_worker(TaskKind kind, TaskIndex index,
+                             std::uint32_t attempt) const {
+  std::uint32_t kills = 0;
+  const auto it = explicit_worker_kills_.find(task_key(kind, index));
+  if (it != explicit_worker_kills_.end()) kills = it->second;
+  if (worker_kill_rate_ > 0.0) {
+    std::uint32_t drawn = 0;
+    while (drawn < worker_max_kills_ &&
+           unit(kWorkerKillStream, task_key(kind, index), drawn) <
+               worker_kill_rate_) {
       ++drawn;
     }
     kills = std::max(kills, drawn);

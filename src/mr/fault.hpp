@@ -54,6 +54,15 @@ class FaultPlan {
   // A straggling task gets a speculative backup execution on another node.
   FaultPlan& with_straggler_rate(double rate);
 
+  // The worker *process* hosting a task attempt is killed mid-task
+  // (SIGKILL under the fork backend; indistinguishable from a task kill
+  // under the in-process backend, where there is no separate process to
+  // kill). Each task's first k attempts die this way, like
+  // with_task_kill_rate. The engine retries on another attempt and, under
+  // the fork backend, respawns the worker and regenerates its published
+  // map outputs.
+  FaultPlan& with_worker_kill_rate(double rate, std::uint32_t max_kills = 1);
+
   // Probability the backup copy of a straggler finishes first (default 1:
   // the original is slow, that is why it was marked). The loser's work and
   // traffic are charged as recovery overhead either way.
@@ -63,6 +72,11 @@ class FaultPlan {
 
   // Kill the first `kills` attempts of one specific task.
   FaultPlan& kill_task(TaskKind kind, TaskIndex index, std::uint32_t kills = 1);
+
+  // Kill the worker process hosting the first `kills` attempts of one
+  // specific task (see with_worker_kill_rate).
+  FaultPlan& kill_worker(TaskKind kind, TaskIndex index,
+                         std::uint32_t kills = 1);
 
   // Lose `node` during the job: every map attempt placed on it is aborted,
   // and the node is marked failed in the Cluster once the map phase ends,
@@ -85,6 +99,10 @@ class FaultPlan {
   // Is attempt `attempt` (0-based, counting every attempt of the task) of
   // this task killed?
   bool kills_task(TaskKind kind, TaskIndex index, std::uint32_t attempt) const;
+
+  // Is the worker process hosting attempt `attempt` of this task killed?
+  bool kills_worker(TaskKind kind, TaskIndex index,
+                    std::uint32_t attempt) const;
 
   bool drops_fetch(TaskIndex reduce_task, TaskIndex map_task) const;
 
@@ -109,8 +127,11 @@ class FaultPlan {
   double drop_rate_ = 0.0;
   double straggler_rate_ = 0.0;
   double win_rate_ = 1.0;
+  double worker_kill_rate_ = 0.0;
+  std::uint32_t worker_max_kills_ = 1;
   std::optional<NodeId> failed_node_;
   std::map<std::uint64_t, std::uint32_t> explicit_kills_;  // task_key -> kills
+  std::map<std::uint64_t, std::uint32_t> explicit_worker_kills_;
   std::set<std::pair<TaskIndex, TaskIndex>> explicit_drops_;
   std::set<std::uint64_t> explicit_stragglers_;  // task_key
 };

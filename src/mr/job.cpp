@@ -7,6 +7,18 @@
 
 namespace pairmr::mr {
 
+const char* to_string(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kAuto:
+      return "auto";
+    case BackendKind::kInProcess:
+      return "inprocess";
+    case BackendKind::kFork:
+      return "fork";
+  }
+  return "unknown";
+}
+
 void JobSpec::validate() const {
   PAIRMR_REQUIRE(mapper_factory != nullptr, "job needs a mapper");
   PAIRMR_REQUIRE(map_only || reducer_factory != nullptr,

@@ -24,6 +24,27 @@ class ReduceContext;
 class FaultPlan;  // mr/fault.hpp
 class Tracer;     // mr/trace.hpp
 
+// Which execution substrate runs the job's task attempts
+// (mr/backend/backend.hpp). The engine's orchestration — placement, fault
+// decisions, metering, counter merging — is backend-independent, so the
+// choice changes process topology and cost realism, never results.
+enum class BackendKind : std::uint8_t {
+  // Resolve from the PAIRMR_TEST_BACKEND environment variable
+  // ("inprocess" / "fork"); in-process when unset.
+  kAuto = 0,
+  // Task attempts run on the cluster's thread pool in this process (the
+  // seed behaviour).
+  kInProcess = 1,
+  // One forked worker process per simulated node: task descriptors travel
+  // a Unix-domain-socket control channel, shuffle fetches cross real
+  // sockets between workers, counters and trace spans ship back to the
+  // coordinator for merging.
+  kFork = 2,
+};
+
+// "auto" / "inprocess" / "fork".
+const char* to_string(BackendKind kind);
+
 // One map task's user logic. A fresh instance is created per task
 // (factory in JobSpec), so implementations may keep per-task state.
 class Mapper {
@@ -174,6 +195,10 @@ struct JobSpec {
   // run. nullptr falls back to the cluster-attached tracer; if that is
   // also null, the job runs untraced at zero tracing cost.
   Tracer* tracer = nullptr;
+
+  // Execution substrate (see BackendKind). kAuto defers to the
+  // PAIRMR_TEST_BACKEND environment variable, then in-process.
+  BackendKind backend = BackendKind::kAuto;
 
   // Structural sanity of the spec (factories present, output dir set, …).
   // The engine calls this before running; throws on violations.

@@ -1,5 +1,7 @@
 #include "mr/trace.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cinttypes>
@@ -91,14 +93,18 @@ const char* to_string(SpanKind kind) {
   return "unknown";
 }
 
-Tracer::Tracer() : clock_(steady_clock_since_now()) {}
+Tracer::Tracer()
+    : clock_(steady_clock_since_now()),
+      pid_(static_cast<std::uint32_t>(::getpid())) {}
 
-Tracer::Tracer(Clock clock) : clock_(std::move(clock)) {
+Tracer::Tracer(Clock clock)
+    : clock_(std::move(clock)), pid_(static_cast<std::uint32_t>(::getpid())) {
   PAIRMR_REQUIRE(clock_ != nullptr, "tracer needs a clock");
 }
 
 SpanId Tracer::open_locked(Span span) {
   span.id = spans_.size() + 1;
+  if (span.os_pid == 0) span.os_pid = pid_;
   spans_.push_back(std::move(span));
   return spans_.back().id;
 }
@@ -250,6 +256,24 @@ SpanId Tracer::record_transfer(SpanId parent, SpanKind kind, NodeId src,
   s.note = note;
   s.start_seconds = t;
   s.end_seconds = t;
+  return open_locked(std::move(s));
+}
+
+SpanId Tracer::import_span(SpanId parent, const Span& span) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  PAIRMR_REQUIRE(parent >= 1 && parent <= spans_.size(),
+                 "unknown parent span");
+  const Span& p = spans_[parent - 1];
+  Span s = span;
+  s.id = 0;
+  s.parent = parent;
+  s.job_seq = p.job_seq;
+  s.job = p.job;
+  s.task_scoped = p.task_scoped;
+  s.task_kind = p.task_kind;
+  s.task = p.task;
+  s.attempt = p.attempt;
+  s.speculative = p.speculative;
   return open_locked(std::move(s));
 }
 

@@ -83,6 +83,12 @@ struct Span {
   bool faulted = false;      // killed, crashed, or otherwise discarded
   bool speculative = false;  // backup execution of a straggler
   std::string note;          // annotation, e.g. "killed-by-fault-plan"
+  // OS process that recorded the span: the recording Tracer's pid, or, for
+  // spans imported from a worker process (import_span), that worker's pid.
+  // Excluded from structure_signature() and the Chrome export so traces
+  // stay comparable across backends; the fork backend's tests read it to
+  // prove task execution really crossed a process boundary.
+  std::uint32_t os_pid = 0;
   double start_seconds = 0.0;  // since tracer epoch (monotonic clock)
   double end_seconds = 0.0;
 
@@ -165,6 +171,17 @@ class Tracer {
   // Mark an attempt discarded (killed/crashed); annotation explains why.
   void mark_faulted(SpanId id, const std::string& note);
 
+  // Replay a span recorded by another process's tracer under `parent`
+  // (the fork backend ships worker-side spans back over the control
+  // channel). Structural fields — kind, label, node, peer, bytes,
+  // records, fault flags, note, os_pid — are kept from `span`; job and
+  // task attribution (job_seq, job, task_scoped, task_kind, task,
+  // attempt, speculative) are inherited from `parent`, exactly as
+  // begin_op inherits them, so replayed structure matches what the same
+  // code records in-process. Timestamps are taken from `span` verbatim;
+  // the caller maps them onto this tracer's clock.
+  SpanId import_span(SpanId parent, const Span& span);
+
   // --- Inspection ---------------------------------------------------------
 
   std::vector<Span> spans() const;  // snapshot, ordered by id
@@ -191,6 +208,7 @@ class Tracer {
   double now() const { return clock_(); }
 
   Clock clock_;
+  std::uint32_t pid_ = 0;  // cached at construction (fresh per fork)
   mutable std::mutex mutex_;
   std::vector<Span> spans_;  // spans_[id - 1]
   std::uint32_t next_job_seq_ = 0;

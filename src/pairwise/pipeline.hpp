@@ -150,6 +150,13 @@ struct PairwiseOptions {
   // k-way merge. Disabled (fully in-memory) by default; enabling changes
   // cost counters only, never the aggregated output.
   mr::MemoryBudget memory_budget;
+  // Execution substrate for every job the pipeline runs
+  // (mr/backend/backend.hpp): kFork executes task attempts in forked
+  // worker processes, one per cluster node. kAuto defers to the
+  // PAIRMR_TEST_BACKEND environment variable, then in-process. The
+  // aggregated output, counters, and traffic totals are identical across
+  // backends by construction.
+  mr::BackendKind backend = mr::BackendKind::kAuto;
 };
 
 // Custom counters emitted by the pipeline.

@@ -267,6 +267,7 @@ void apply_engine_options(mr::JobSpec& spec, const PairwiseOptions& options) {
   spec.fault_plan = options.fault_plan;
   spec.speculative_execution = options.speculative_execution;
   spec.memory_budget = options.memory_budget;
+  spec.backend = options.backend;
 }
 
 std::uint64_t dir_bytes(const mr::SimDfs& dfs, const std::string& prefix) {

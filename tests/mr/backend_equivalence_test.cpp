@@ -1,0 +1,387 @@
+// Cross-backend differential oracle: the same job run on the in-process
+// and fork backends must be indistinguishable from the outside —
+// byte-identical output files, equal counter folds, equal NetworkMeter
+// totals, and the same canonical trace structure. The pairwise matrix
+// (every driver-facing scheme family × fault chaos × spill budgets)
+// rides the same oracle end to end, so every engine feature the repo
+// ships is held to the equivalence bar, not just word count.
+//
+// The fork runs are also checked to have actually crossed a process
+// boundary: worker-recorded spans carry the worker's os_pid, which must
+// differ from this (coordinator) process — otherwise the "fork backend"
+// could silently degrade to in-process execution and this oracle would
+// prove nothing.
+#include <gtest/gtest.h>
+
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "../support/backend_matrix.hpp"
+#include "common/rng.hpp"
+#include "mr/cluster.hpp"
+#include "mr/context.hpp"
+#include "mr/engine.hpp"
+#include "mr/fault.hpp"
+#include "mr/trace.hpp"
+#include "pairwise/block_scheme.hpp"
+#include "pairwise/broadcast_scheme.hpp"
+#include "pairwise/dataset.hpp"
+#include "pairwise/design_scheme.hpp"
+#include "pairwise/quorum_scheme.hpp"
+#include "pairwise/runner.hpp"
+#include "workloads/kernels.hpp"
+
+namespace pairmr {
+namespace {
+
+using mr::BackendKind;
+using mr::Bytes;
+using mr::Cluster;
+using mr::Engine;
+using mr::FaultPlan;
+using mr::JobResult;
+using mr::JobSpec;
+using mr::MapContext;
+using mr::Mapper;
+using mr::MemoryBudget;
+using mr::Record;
+using mr::ReduceContext;
+using mr::Reducer;
+using mr::TaskKind;
+using mr::Tracer;
+
+// --- Word-count fixtures (mr-level oracle) --------------------------------
+
+class TokenizeMapper final : public Mapper {
+ public:
+  void map(const Bytes& /*key*/, const Bytes& value,
+           MapContext& ctx) override {
+    std::istringstream is(value);
+    std::string word;
+    while (is >> word) ctx.emit(word, "1");
+  }
+};
+
+class SumReducer final : public Reducer {
+ public:
+  void reduce(const Bytes& key, const std::vector<Bytes>& values,
+              ReduceContext& ctx) override {
+    std::uint64_t total = 0;
+    for (const auto& v : values) total += std::stoull(v);
+    ctx.emit(key, std::to_string(total));
+  }
+};
+
+std::vector<std::string> write_corpus(Cluster& cluster) {
+  cluster.dfs().write_file("/in/a", 0,
+                           {Record{"0", "the quick brown fox"},
+                            Record{"1", "jumps over the lazy dog"}});
+  cluster.dfs().write_file("/in/b", 1,
+                           {Record{"0", "the dog barks"},
+                            Record{"1", "quick quick slow"}});
+  return {"/in/a", "/in/b"};
+}
+
+JobSpec word_count_spec(const std::vector<std::string>& inputs,
+                        BackendKind backend) {
+  JobSpec spec;
+  spec.name = "wordcount";
+  spec.input_paths = inputs;
+  spec.output_dir = "/out";
+  spec.mapper_factory = [] { return std::make_unique<TokenizeMapper>(); };
+  spec.reducer_factory = [] { return std::make_unique<SumReducer>(); };
+  spec.backend = backend;
+  return spec;
+}
+
+// Everything externally observable about one run, on a fresh cluster.
+struct Observation {
+  std::map<std::string, std::vector<Record>> files;  // path -> records
+  std::map<std::string, std::uint64_t> counters;
+  std::uint64_t remote_bytes = 0;
+  std::uint64_t local_bytes = 0;
+  std::uint64_t remote_transfers = 0;
+  std::vector<std::uint64_t> sent_by;
+  std::vector<std::uint64_t> received_at;
+  std::string trace_signature;
+};
+
+Observation observe(const Cluster& cluster, const JobResult& result,
+                    const std::string& output_dir, const Tracer* tracer) {
+  Observation ob;
+  for (const auto& path : cluster.dfs().list(output_dir)) {
+    ob.files[path] = cluster.dfs().open(path)->records;
+  }
+  ob.counters = result.counters;
+  ob.remote_bytes = cluster.network().remote_bytes();
+  ob.local_bytes = cluster.network().local_bytes();
+  ob.remote_transfers = cluster.network().remote_transfers();
+  for (mr::NodeId n = 0; n < cluster.num_nodes(); ++n) {
+    ob.sent_by.push_back(cluster.network().sent_by(n));
+    ob.received_at.push_back(cluster.network().received_at(n));
+  }
+  if (tracer != nullptr) ob.trace_signature = tracer->structure_signature();
+  return ob;
+}
+
+void expect_equal(const Observation& in_process, const Observation& fork,
+                  const std::string& what) {
+  // Output files byte-identical: same paths, same records in order.
+  EXPECT_EQ(in_process.files, fork.files) << what;
+  // Counter folds equal — including spill, recovery, and max counters.
+  EXPECT_EQ(in_process.counters, fork.counters) << what;
+  // NetworkMeter totals equal: the coordinator meters both backends.
+  EXPECT_EQ(in_process.remote_bytes, fork.remote_bytes) << what;
+  EXPECT_EQ(in_process.local_bytes, fork.local_bytes) << what;
+  EXPECT_EQ(in_process.remote_transfers, fork.remote_transfers) << what;
+  EXPECT_EQ(in_process.sent_by, fork.sent_by) << what;
+  EXPECT_EQ(in_process.received_at, fork.received_at) << what;
+  EXPECT_EQ(in_process.trace_signature, fork.trace_signature) << what;
+}
+
+TEST(BackendEquivalence, WordCountMatchesAcrossBackends) {
+  PAIRMR_SKIP_WITHOUT_FORK_SUPPORT();
+  std::vector<Observation> runs;
+  for (const BackendKind kind : testing::kBackendMatrix) {
+    Cluster cluster({.num_nodes = 3, .worker_threads = 2});
+    Tracer tracer;
+    cluster.set_tracer(&tracer);
+    const auto inputs = write_corpus(cluster);
+    const JobResult result =
+        Engine(cluster).run(word_count_spec(inputs, kind));
+    runs.push_back(observe(cluster, result, "/out", &tracer));
+  }
+  expect_equal(runs[0], runs[1], "wordcount");
+}
+
+// The proof the fork backend is not quietly running in-process: spans
+// recorded inside task attempts carry the executing worker's os_pid,
+// which must be a real child pid — never this process's.
+TEST(BackendEquivalence, ForkWorkersExecuteInDistinctProcesses) {
+  PAIRMR_SKIP_WITHOUT_FORK_SUPPORT();
+  Cluster cluster({.num_nodes = 3, .worker_threads = 2});
+  Tracer tracer;
+  cluster.set_tracer(&tracer);
+  const auto inputs = write_corpus(cluster);
+  Engine(cluster).run(word_count_spec(inputs, BackendKind::kFork));
+
+  std::set<std::uint32_t> worker_pids;
+  for (const mr::Span& span : tracer.spans()) {
+    if (span.os_pid != 0 &&
+        span.os_pid != static_cast<std::uint32_t>(getpid())) {
+      worker_pids.insert(span.os_pid);
+    }
+  }
+  // Three nodes each hosted at least one task, so at least two distinct
+  // worker processes must have recorded spans (tasks spread over nodes).
+  EXPECT_GE(worker_pids.size(), 2u);
+  // And no task-execution span may claim the coordinator's pid.
+  for (const mr::Span& span : tracer.spans()) {
+    if (span.kind == mr::SpanKind::kMapExec ||
+        span.kind == mr::SpanKind::kReduceExec) {
+      EXPECT_NE(span.os_pid, static_cast<std::uint32_t>(getpid()))
+          << "task executed in the coordinator process";
+      EXPECT_NE(span.os_pid, 0u);
+    }
+  }
+}
+
+// PAIRMR_TEST_MEMORY_BUDGET is parsed per run and the resolved TaskEnv is
+// what forked workers inherit, so an env change between two jobs of one
+// test process must reach the workers of each job — the budgeted run
+// spills inside worker processes, the unbudgeted rerun does not.
+TEST(BackendEquivalence, EnvMemoryBudgetPropagatesIntoForkedWorkers) {
+  PAIRMR_SKIP_WITHOUT_FORK_SUPPORT();
+  const char* prior = std::getenv("PAIRMR_TEST_MEMORY_BUDGET");
+  const std::string saved = prior == nullptr ? "" : prior;
+
+  Cluster budgeted({.num_nodes = 2, .worker_threads = 2});
+  const auto in_budgeted = write_corpus(budgeted);
+  ASSERT_EQ(setenv("PAIRMR_TEST_MEMORY_BUDGET", "16", 1), 0);
+  const JobResult with_budget =
+      Engine(budgeted).run(word_count_spec(in_budgeted, BackendKind::kFork));
+
+  Cluster unbudgeted({.num_nodes = 2, .worker_threads = 2});
+  const auto in_unbudgeted = write_corpus(unbudgeted);
+  ASSERT_EQ(unsetenv("PAIRMR_TEST_MEMORY_BUDGET"), 0);
+  const JobResult without_budget = Engine(unbudgeted)
+      .run(word_count_spec(in_unbudgeted, BackendKind::kFork));
+
+  if (!saved.empty()) {
+    setenv("PAIRMR_TEST_MEMORY_BUDGET", saved.c_str(), 1);
+  }
+
+  // The 16-byte budget forces worker-side spills; the spill counters the
+  // workers ship back prove the env value reached their TaskEnv.
+  EXPECT_GT(with_budget.counter(mr::counter::kSpillRuns), 0u);
+  EXPECT_EQ(without_budget.counter(mr::counter::kSpillRuns), 0u);
+  // Results are budget-independent as always.
+  EXPECT_EQ(budgeted.gather_records("/out"),
+            unbudgeted.gather_records("/out"));
+}
+
+// --- Pairwise matrix (pipeline-level oracle) ------------------------------
+
+std::vector<std::string> random_payloads(std::uint64_t v,
+                                         std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::string> payloads;
+  for (std::uint64_t i = 0; i < v; ++i) {
+    std::string p;
+    const std::uint64_t len = 1 + rng.next_below(32);
+    for (std::uint64_t k = 0; k < len; ++k) {
+      p.push_back(static_cast<char>('a' + rng.next_below(26)));
+    }
+    payloads.push_back(std::move(p));
+  }
+  return payloads;
+}
+
+PairwiseJob test_job() {
+  PairwiseJob job;
+  job.compute = [](const Element& a, const Element& b) {
+    const double la = static_cast<double>(a.payload.size());
+    const double lb = static_cast<double>(b.payload.size());
+    return workloads::encode_result(
+        std::abs(la - lb) + 0.001 * static_cast<double>(a.id + b.id));
+  };
+  return job;
+}
+
+// Chaos with worker-process kills on top of the usual task kills, fetch
+// drops, and stragglers: the fork backend must SIGKILL+respawn workers
+// and regenerate their published partitions without the output, the
+// counters, or the meter diverging from the in-process run.
+FaultPlan make_chaos_plan(std::uint64_t seed) {
+  FaultPlan plan(seed);
+  plan.with_task_kill_rate(0.2, 2)
+      .with_worker_kill_rate(0.2, 1)
+      .with_fetch_drop_rate(0.15)
+      .with_straggler_rate(0.15)
+      .kill_task(TaskKind::kMap, 0)
+      .kill_worker(TaskKind::kReduce, 0)
+      .drop_fetch(/*reduce_task=*/0, /*map_task=*/0)
+      .mark_straggler(TaskKind::kMap, 1);
+  return plan;
+}
+
+Observation execute_pairwise(BackendKind backend,
+                             const std::string& scheme_label,
+                             const std::vector<std::string>& payloads,
+                             const MemoryBudget& budget,
+                             const FaultPlan* plan) {
+  Cluster cluster({.num_nodes = 4, .worker_threads = 2});
+  Tracer tracer;
+  cluster.set_tracer(&tracer);
+  const auto inputs = write_dataset(cluster, "/data", payloads);
+  const std::uint64_t v = payloads.size();
+
+  std::unique_ptr<DistributionScheme> scheme;
+  if (scheme_label == "block") {
+    scheme = std::make_unique<BlockScheme>(v, 4);
+  } else if (scheme_label == "design") {
+    scheme = std::make_unique<DesignScheme>(v);
+  } else if (scheme_label == "quorum") {
+    scheme = std::make_unique<QuorumScheme>(v);
+  } else {
+    scheme = std::make_unique<BroadcastScheme>(v, 5);
+  }
+
+  RunSpec spec;
+  spec.input_paths = inputs;
+  spec.job = test_job();
+  spec.scheme = scheme.get();
+  spec.options.fault_plan = plan;
+  spec.options.memory_budget = budget;
+  spec.options.backend = backend;
+
+  const RunReport report = PairwiseRunner(cluster).run(spec);
+
+  Observation ob;
+  for (const auto& path : cluster.dfs().list(report.output_dir)) {
+    ob.files[path] = cluster.dfs().open(path)->records;
+  }
+  // Fold every job's counters (jobs run in a fixed order, so the fold is
+  // itself deterministic).
+  for (const auto& result : report.compute_jobs) {
+    for (const auto& [name, value] : result.counters) {
+      ob.counters[name] += value;
+    }
+  }
+  for (const auto& result : report.merge_jobs) {
+    for (const auto& [name, value] : result.counters) {
+      ob.counters[name] += value;
+    }
+  }
+  ob.remote_bytes = cluster.network().remote_bytes();
+  ob.local_bytes = cluster.network().local_bytes();
+  ob.remote_transfers = cluster.network().remote_transfers();
+  for (mr::NodeId n = 0; n < cluster.num_nodes(); ++n) {
+    ob.sent_by.push_back(cluster.network().sent_by(n));
+    ob.received_at.push_back(cluster.network().received_at(n));
+  }
+  ob.trace_signature = tracer.structure_signature();
+  return ob;
+}
+
+struct Case {
+  std::string scheme;
+  bool chaos;
+  std::uint64_t budget_bytes;  // 0 = in-memory
+};
+
+std::string case_name(const Case& c) {
+  return c.scheme + (c.chaos ? "_chaos" : "_faultfree") + "_b" +
+         std::to_string(c.budget_bytes);
+}
+
+class BackendEquivalenceMatrix : public ::testing::TestWithParam<Case> {};
+
+TEST_P(BackendEquivalenceMatrix, PipelineMatchesAcrossBackends) {
+  PAIRMR_SKIP_WITHOUT_FORK_SUPPORT();
+  const Case& c = GetParam();
+  const std::uint64_t seed = 9100 + c.budget_bytes;
+  const auto payloads = random_payloads(18 + seed % 7, seed);
+  const FaultPlan plan = make_chaos_plan(seed);
+  const FaultPlan* fp = c.chaos ? &plan : nullptr;
+  const MemoryBudget budget =
+      c.budget_bytes == 0
+          ? MemoryBudget{}
+          : MemoryBudget{.bytes = c.budget_bytes, .merge_fan_in = 2};
+
+  const Observation in_process =
+      execute_pairwise(BackendKind::kInProcess, c.scheme, payloads, budget,
+                       fp);
+  const Observation fork =
+      execute_pairwise(BackendKind::kFork, c.scheme, payloads, budget, fp);
+  expect_equal(in_process, fork, case_name(c));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchemesTimesFaultsTimesBudgets, BackendEquivalenceMatrix,
+    ::testing::Values(Case{"broadcast", false, 0},
+                      Case{"block", false, 0},
+                      Case{"design", false, 0},
+                      Case{"quorum", false, 0},
+                      Case{"broadcast", true, 0},
+                      Case{"block", true, 0},
+                      Case{"design", true, 0},
+                      Case{"quorum", true, 0},
+                      Case{"block", false, 256},
+                      Case{"block", true, 256},
+                      Case{"design", true, 1024},
+                      Case{"quorum", true, 1024}),
+    [](const auto& info) { return case_name(info.param); });
+
+}  // namespace
+}  // namespace pairmr

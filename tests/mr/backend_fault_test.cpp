@@ -1,0 +1,175 @@
+// Fork-backend fault tolerance: a worker process SIGKILLed mid-task is
+// respawned, its published map outputs are regenerated, and the job
+// finishes byte-identical to an untouched run — with the retry and the
+// wasted shuffle traffic accounted in tasks.retried / recovery.bytes
+// exactly as the in-process backend accounts them. And no matter how
+// many workers were forked, killed, and respawned, none may outlive the
+// job as a zombie: the forker reaps every worker and the coordinator
+// reaps the forker.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "../support/backend_matrix.hpp"
+#include "mr/cluster.hpp"
+#include "mr/context.hpp"
+#include "mr/engine.hpp"
+#include "mr/fault.hpp"
+
+namespace pairmr::mr {
+namespace {
+
+class TokenizeMapper final : public Mapper {
+ public:
+  void map(const Bytes& /*key*/, const Bytes& value,
+           MapContext& ctx) override {
+    std::istringstream is(value);
+    std::string word;
+    while (is >> word) ctx.emit(word, "1");
+  }
+};
+
+class SumReducer final : public Reducer {
+ public:
+  void reduce(const Bytes& key, const std::vector<Bytes>& values,
+              ReduceContext& ctx) override {
+    std::uint64_t total = 0;
+    for (const auto& v : values) total += std::stoull(v);
+    ctx.emit(key, std::to_string(total));
+  }
+};
+
+std::vector<std::string> write_corpus(Cluster& cluster) {
+  cluster.dfs().write_file("/in/a", 0,
+                           {Record{"0", "the quick brown fox"},
+                            Record{"1", "jumps over the lazy dog"}});
+  cluster.dfs().write_file("/in/b", 1,
+                           {Record{"0", "the dog barks"},
+                            Record{"1", "quick quick slow"}});
+  return {"/in/a", "/in/b"};
+}
+
+JobSpec word_count_spec(const std::vector<std::string>& inputs,
+                        BackendKind backend, const FaultPlan* plan) {
+  JobSpec spec;
+  spec.name = "wordcount";
+  spec.input_paths = inputs;
+  spec.output_dir = "/out";
+  spec.mapper_factory = [] { return std::make_unique<TokenizeMapper>(); };
+  spec.reducer_factory = [] { return std::make_unique<SumReducer>(); };
+  spec.backend = backend;
+  spec.fault_plan = plan;
+  spec.max_task_attempts = 3;
+  return spec;
+}
+
+// True when this process has no child processes at all — reaped or
+// otherwise. A leaked fork-backend worker or forker would show up here
+// as a waitable (or zombie) child.
+bool no_children_remain() {
+  const pid_t r = waitpid(-1, nullptr, WNOHANG);
+  return r == -1 && errno == ECHILD;
+}
+
+TEST(BackendFault, WorkerKillRecoversByteIdenticalWithAccounting) {
+  PAIRMR_SKIP_WITHOUT_FORK_SUPPORT();
+
+  // Reference: clean in-process run.
+  Cluster clean({.num_nodes = 3, .worker_threads = 2});
+  const auto in_clean = write_corpus(clean);
+  Engine(clean).run(
+      word_count_spec(in_clean, BackendKind::kInProcess, nullptr));
+
+  // Fork run where the workers hosting map task 0 and reduce task 0 are
+  // SIGKILLed mid-task (first attempt each).
+  FaultPlan plan(4242);
+  plan.kill_worker(TaskKind::kMap, 0).kill_worker(TaskKind::kReduce, 0);
+  Cluster faulted({.num_nodes = 3, .worker_threads = 2});
+  const auto in_faulted = write_corpus(faulted);
+  const JobResult result = Engine(faulted).run(
+      word_count_spec(in_faulted, BackendKind::kFork, &plan));
+
+  EXPECT_EQ(clean.gather_records("/out"), faulted.gather_records("/out"));
+  // One map and one reduce attempt lost their worker.
+  EXPECT_EQ(result.counter(counter::kTasksRetried), 2u);
+  // The killed reduce attempt's shuffle was for nothing; its fetched
+  // bytes are charged as recovery traffic.
+  EXPECT_GT(result.counter(counter::kRecoveryBytes), 0u);
+  EXPECT_TRUE(no_children_remain());
+}
+
+TEST(BackendFault, ForkAndInProcessAgreeUnderWorkerKills) {
+  PAIRMR_SKIP_WITHOUT_FORK_SUPPORT();
+
+  std::vector<std::map<std::string, std::uint64_t>> counter_runs;
+  std::vector<std::vector<Record>> output_runs;
+  for (const BackendKind kind : testing::kBackendMatrix) {
+    FaultPlan plan(1337);
+    plan.with_worker_kill_rate(0.5, 1)
+        .kill_worker(TaskKind::kMap, 0)
+        .kill_worker(TaskKind::kReduce, 0);
+    Cluster cluster({.num_nodes = 3, .worker_threads = 2});
+    const auto inputs = write_corpus(cluster);
+    const JobResult result =
+        Engine(cluster).run(word_count_spec(inputs, kind, &plan));
+    counter_runs.push_back(result.counters);
+    output_runs.push_back(cluster.gather_records("/out"));
+  }
+  EXPECT_EQ(output_runs[0], output_runs[1]);
+  EXPECT_EQ(counter_runs[0], counter_runs[1]);
+}
+
+// Attempt tags ("m<task>-a<attempt>") key both staged executions and DFS
+// spill scratch. A worker kill plus a tight budget makes the retried
+// attempt spill again from a fresh worker process — on the write-once
+// SimDfs, any tag reuse across attempts or PIDs would collide and throw.
+TEST(BackendFault, RetriedSpillingAttemptsNeverCollideOnScratchPaths) {
+  PAIRMR_SKIP_WITHOUT_FORK_SUPPORT();
+
+  Cluster clean({.num_nodes = 3, .worker_threads = 2});
+  const auto in_clean = write_corpus(clean);
+  Engine(clean).run(
+      word_count_spec(in_clean, BackendKind::kInProcess, nullptr));
+
+  FaultPlan plan(99);
+  plan.kill_worker(TaskKind::kMap, 0)
+      .kill_task(TaskKind::kMap, 1)
+      .kill_worker(TaskKind::kReduce, 0);
+  Cluster faulted({.num_nodes = 3, .worker_threads = 2});
+  const auto in_faulted = write_corpus(faulted);
+  auto spec = word_count_spec(in_faulted, BackendKind::kFork, &plan);
+  spec.memory_budget = MemoryBudget{.bytes = 16, .merge_fan_in = 2};
+  const JobResult result = Engine(faulted).run(spec);
+
+  EXPECT_GT(result.counter(counter::kSpillRuns), 0u);
+  EXPECT_EQ(clean.gather_records("/out"), faulted.gather_records("/out"));
+  EXPECT_TRUE(no_children_remain());
+}
+
+TEST(BackendFault, RepeatedForkJobsLeaveNoZombies) {
+  PAIRMR_SKIP_WITHOUT_FORK_SUPPORT();
+
+  for (int round = 0; round < 3; ++round) {
+    FaultPlan plan(7 + static_cast<std::uint64_t>(round));
+    plan.kill_worker(TaskKind::kMap, 0);
+    Cluster cluster({.num_nodes = 2, .worker_threads = 2});
+    const auto inputs = write_corpus(cluster);
+    Engine(cluster).run(
+        word_count_spec(inputs, BackendKind::kFork, &plan));
+    // Workers (including the killed-and-respawned one) and the forker
+    // must all be reaped by the time run() returns.
+    EXPECT_TRUE(no_children_remain()) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace pairmr::mr

@@ -1,0 +1,245 @@
+// Wire-protocol robustness (mr/backend/protocol.hpp): valid frames
+// round-trip exactly; garbled input — bad magic, unknown type,
+// implausible length, mid-frame truncation — is rejected with an
+// actionable ProtocolError naming the peer; a silent peer trips the
+// receive timeout instead of hanging; and the field codecs reconstruct
+// records, counters (including max-semantics counters), and spans
+// exactly. All over socketpairs — no processes are forked here.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/serde.hpp"
+#include "mr/backend/protocol.hpp"
+#include "mr/counters.hpp"
+#include "mr/trace.hpp"
+#include "mr/types.hpp"
+
+namespace pairmr::mr::backend {
+namespace {
+
+// A connected pair of stream sockets standing in for the control (or
+// shuffle) connection.
+struct SocketPair {
+  int a = -1;
+  int b = -1;
+  SocketPair() {
+    int fds[2];
+    EXPECT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    a = fds[0];
+    b = fds[1];
+  }
+  ~SocketPair() {
+    if (a >= 0) close(a);
+    if (b >= 0) close(b);
+  }
+  void close_a() {
+    close(a);
+    a = -1;
+  }
+};
+
+std::string raw_header(std::uint32_t magic, std::uint32_t type,
+                       std::uint64_t length) {
+  BufWriter w;
+  w.put_u32(magic);
+  w.put_u32(type);
+  w.put_u64(length);
+  return std::move(w).str();
+}
+
+void send_raw(int fd, const std::string& bytes) {
+  ASSERT_EQ(send(fd, bytes.data(), bytes.size(), 0),
+            static_cast<ssize_t>(bytes.size()));
+}
+
+// EXPECT_THROW plus a check that the message contains `needle` — the
+// "actionable" half of the contract.
+template <typename Fn>
+void expect_protocol_error(Fn&& fn, const std::string& needle) {
+  try {
+    fn();
+    FAIL() << "expected ProtocolError containing \"" << needle << "\"";
+  } catch (const ProtocolError& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "actual message: " << e.what();
+  }
+}
+
+TEST(BackendProtocol, FramesRoundTrip) {
+  SocketPair pair;
+  const std::string payload("arbitrary \0 bytes survive", 25);
+  send_frame(pair.a, FrameType::kMapTask, payload);
+  std::string got;
+  EXPECT_EQ(recv_frame(pair.b, got, "worker 0"), FrameType::kMapTask);
+  EXPECT_EQ(got, payload);
+
+  send_frame(pair.b, FrameType::kOk, "");
+  EXPECT_EQ(recv_frame(pair.a, got, "coordinator"), FrameType::kOk);
+  EXPECT_TRUE(got.empty());
+}
+
+TEST(BackendProtocol, BadMagicIsRejectedWithActionableError) {
+  SocketPair pair;
+  send_raw(pair.a, raw_header(0xdeadbeef,
+                              static_cast<std::uint32_t>(FrameType::kOk), 0));
+  std::string got;
+  expect_protocol_error([&] { recv_frame(pair.b, got, "worker 3"); },
+                        "bad magic");
+
+  SocketPair named;
+  send_raw(named.a, raw_header(0xdeadbeef,
+                               static_cast<std::uint32_t>(FrameType::kOk), 0));
+  expect_protocol_error([&] { recv_frame(named.b, got, "worker 3"); },
+                        "worker 3");  // the error names the peer
+}
+
+TEST(BackendProtocol, UnknownFrameTypeIsRejected) {
+  SocketPair pair;
+  send_raw(pair.a, raw_header(kFrameMagic, 999, 0));
+  std::string got;
+  expect_protocol_error([&] { recv_frame(pair.b, got, "worker 1"); },
+                        "unknown frame type 999");
+}
+
+TEST(BackendProtocol, ImplausiblePayloadLengthIsRejected) {
+  SocketPair pair;
+  send_raw(pair.a,
+           raw_header(kFrameMagic,
+                      static_cast<std::uint32_t>(FrameType::kMapDone),
+                      kMaxFrameBytes + 1));
+  std::string got;
+  expect_protocol_error([&] { recv_frame(pair.b, got, "worker 2"); },
+                        "implausible payload length");
+}
+
+TEST(BackendProtocol, TruncatedFrameIsRejectedNotHung) {
+  SocketPair pair;
+  // Announce an 8-byte payload, deliver 3 bytes, then close.
+  send_raw(pair.a, raw_header(kFrameMagic,
+                              static_cast<std::uint32_t>(FrameType::kHello),
+                              8) +
+                       "abc");
+  pair.close_a();
+  std::string got;
+  expect_protocol_error([&] { recv_frame(pair.b, got, "worker 0"); },
+                        "truncated frame");
+  expect_protocol_error(
+      [&] {
+        SocketPair fresh;
+        send_raw(fresh.a,
+                 raw_header(kFrameMagic,
+                            static_cast<std::uint32_t>(FrameType::kHello), 8) +
+                     "abc");
+        fresh.close_a();
+        std::string p;
+        recv_frame(fresh.b, p, "worker 0");
+      },
+      "3 of 8 expected bytes");
+}
+
+TEST(BackendProtocol, CleanEofBeforeAnyFrameIsPeerClosed) {
+  SocketPair pair;
+  pair.close_a();
+  std::string got;
+  EXPECT_THROW(recv_frame(pair.b, got, "worker 5"), PeerClosedError);
+}
+
+TEST(BackendProtocol, SilentPeerTimesOutInsteadOfHanging) {
+  SocketPair pair;
+  set_recv_timeout(pair.b, 1);
+  const auto start = std::chrono::steady_clock::now();
+  std::string got;
+  expect_protocol_error([&] { recv_frame(pair.b, got, "worker 4"); },
+                        "timed out waiting for a frame");
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  // Fired around the 1 s timeout — not instantly, and far from forever.
+  EXPECT_GE(elapsed, std::chrono::milliseconds(500));
+  EXPECT_LT(elapsed, std::chrono::seconds(30));
+}
+
+TEST(BackendProtocol, RecordCodecRoundTrips) {
+  const std::vector<Record> records = {
+      {"", ""}, {"key", "value"}, {std::string(3, '\0'), "binary\x01\x02"}};
+  BufWriter w;
+  put_records(w, records);
+  const std::string bytes = std::move(w).str();
+  BufReader r(bytes);
+  EXPECT_EQ(get_records(r), records);
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(BackendProtocol, CounterCodecPreservesMaxSemantics) {
+  Counters counters;
+  counters.add("map.input.records", 17);
+  counters.add("shuffle.bytes.remote", 4096);
+  counters.note_max("reduce.max.group.records", 99);
+  BufWriter w;
+  put_counters(w, counters);
+  const std::string bytes = std::move(w).str();
+
+  BufReader r(bytes);
+  Counters out;
+  get_counters(r, out);
+  EXPECT_EQ(out.snapshot(), counters.snapshot());
+  EXPECT_EQ(r.remaining(), 0u);
+
+  // A second max observation merges by max, not by sum — the decoded bag
+  // must behave like the original, not just snapshot like it.
+  out.note_max("reduce.max.group.records", 50);
+  EXPECT_EQ(out.get("reduce.max.group.records"), 99u);
+}
+
+// The span codec ships exactly the execution-local fields; job identity
+// (job name, task kind/index, attempt) is inherited from the parent span
+// at Tracer::import_span time, so it is deliberately not on the wire.
+TEST(BackendProtocol, SpanCodecRoundTripsEveryShippedField) {
+  Span span;
+  span.id = 7;
+  span.parent = 3;
+  span.kind = SpanKind::kShuffleFetch;
+  span.label = "shuffle-fetch 1->2";
+  span.node = 2;
+  span.peer = 1;
+  span.bytes = 1234;
+  span.records = 56;
+  span.faulted = true;
+  span.speculative = true;
+  span.note = "dropped-by-fault-plan";
+  span.os_pid = 31337;
+  span.start_seconds = 1.25;
+  span.end_seconds = 2.5;
+
+  BufWriter w;
+  put_spans(w, {span});
+  const std::string bytes = std::move(w).str();
+  BufReader r(bytes);
+  const std::vector<Span> out = get_spans(r);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(r.remaining(), 0u);
+  const Span& s = out[0];
+  EXPECT_EQ(s.id, span.id);
+  EXPECT_EQ(s.parent, span.parent);
+  EXPECT_EQ(s.kind, span.kind);
+  EXPECT_EQ(s.label, span.label);
+  EXPECT_EQ(s.node, span.node);
+  EXPECT_EQ(s.peer, span.peer);
+  EXPECT_EQ(s.bytes, span.bytes);
+  EXPECT_EQ(s.records, span.records);
+  EXPECT_EQ(s.faulted, span.faulted);
+  EXPECT_EQ(s.speculative, span.speculative);
+  EXPECT_EQ(s.note, span.note);
+  EXPECT_EQ(s.os_pid, span.os_pid);
+  EXPECT_EQ(s.start_seconds, span.start_seconds);
+  EXPECT_EQ(s.end_seconds, span.end_seconds);
+}
+
+}  // namespace
+}  // namespace pairmr::mr::backend

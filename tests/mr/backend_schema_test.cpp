@@ -1,0 +1,125 @@
+// Schema and golden tests for the BENCH_backend.json document emitted by
+// bench/bench_backend: the exact field set and ordering of every point,
+// a literal golden rendering of hand-built points, and the pass flag's
+// all-points-identical semantics. Pure rendering — no jobs are run and
+// no processes are forked here.
+#include "mr/backend/bench_report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "../support/mini_json.hpp"
+
+namespace pairmr::mr::backend {
+namespace {
+
+using minijson::JsonParser;
+using minijson::JsonValue;
+
+const std::vector<std::string> kPointKeys = {
+    "regime",       "backend",
+    "v",            "element_bytes",
+    "evaluations",  "wall_seconds",
+    "shuffle_remote_bytes", "shuffle_mib_per_second",
+    "identical"};
+
+JsonValue parse_or_die(const std::string& json) {
+  JsonValue doc;
+  JsonParser parser(json);
+  EXPECT_TRUE(parser.parse(doc)) << json;
+  return doc;
+}
+
+BenchPoint sample_point(const std::string& backend, bool identical) {
+  BenchPoint p;
+  p.regime = "compute-heavy";
+  p.backend = backend;
+  p.v = 57;
+  p.element_bytes = 64;
+  p.evaluations = 1596;
+  p.wall_seconds = 0.5;
+  p.shuffle_remote_bytes = 8388608;
+  p.shuffle_mib_per_second = 16;
+  p.identical = identical;
+  return p;
+}
+
+TEST(BackendBenchSchema, DocumentMatchesSchema) {
+  const std::vector<BenchPoint> points = {sample_point("inprocess", true),
+                                          sample_point("fork", true)};
+  const JsonValue doc = parse_or_die(bench_to_json(points));
+  ASSERT_EQ(doc.kind, JsonValue::kObject);
+  ASSERT_EQ(doc.object.size(), 3u);
+  EXPECT_EQ(doc.object[0].first, "bench");
+  EXPECT_EQ(doc.object[1].first, "points");
+  EXPECT_EQ(doc.object[2].first, "passed");
+
+  ASSERT_EQ(doc.object[0].second.kind, JsonValue::kString);
+  EXPECT_EQ(doc.object[0].second.str, "backend");
+  ASSERT_EQ(doc.object[2].second.kind, JsonValue::kBool);
+  EXPECT_TRUE(doc.object[2].second.boolean);
+
+  const JsonValue& array = doc.object[1].second;
+  ASSERT_EQ(array.kind, JsonValue::kArray);
+  ASSERT_EQ(array.array.size(), points.size());
+  for (std::size_t i = 0; i < array.array.size(); ++i) {
+    const JsonValue& point = array.array[i];
+    ASSERT_EQ(point.kind, JsonValue::kObject) << "point " << i;
+    ASSERT_EQ(point.object.size(), kPointKeys.size()) << "point " << i;
+    for (std::size_t k = 0; k < kPointKeys.size(); ++k) {
+      EXPECT_EQ(point.object[k].first, kPointKeys[k])
+          << "point " << i << " key " << k;
+    }
+    EXPECT_EQ(point.find("regime")->kind, JsonValue::kString);
+    EXPECT_EQ(point.find("backend")->kind, JsonValue::kString);
+    EXPECT_EQ(point.find("v")->kind, JsonValue::kNumber);
+    EXPECT_EQ(point.find("element_bytes")->kind, JsonValue::kNumber);
+    EXPECT_EQ(point.find("evaluations")->kind, JsonValue::kNumber);
+    EXPECT_EQ(point.find("wall_seconds")->kind, JsonValue::kNumber);
+    EXPECT_EQ(point.find("shuffle_remote_bytes")->kind, JsonValue::kNumber);
+    EXPECT_EQ(point.find("shuffle_mib_per_second")->kind,
+              JsonValue::kNumber);
+    EXPECT_EQ(point.find("identical")->kind, JsonValue::kBool);
+  }
+}
+
+// Pins the exact serialization so downstream consumers of
+// BENCH_backend.json cannot be broken by silent format drift.
+TEST(BackendBenchSchema, GoldenLiteral) {
+  const std::vector<BenchPoint> points = {sample_point("fork", true)};
+  const std::string expected =
+      "{\n"
+      "  \"bench\": \"backend\",\n"
+      "  \"points\": [\n"
+      "    {\"regime\": \"compute-heavy\", \"backend\": \"fork\", "
+      "\"v\": 57, \"element_bytes\": 64, \"evaluations\": 1596, "
+      "\"wall_seconds\": 0.5, \"shuffle_remote_bytes\": 8388608, "
+      "\"shuffle_mib_per_second\": 16, \"identical\": true}\n"
+      "  ],\n"
+      "  \"passed\": true\n"
+      "}\n";
+  EXPECT_EQ(bench_to_json(points), expected);
+}
+
+TEST(BackendBenchSchema, PassedIsFalseWhenAnyPointDiverged) {
+  const std::vector<BenchPoint> points = {sample_point("inprocess", true),
+                                          sample_point("fork", false)};
+  EXPECT_FALSE(bench_all_ok(points));
+  const JsonValue doc = parse_or_die(bench_to_json(points));
+  ASSERT_EQ(doc.object[2].second.kind, JsonValue::kBool);
+  EXPECT_FALSE(doc.object[2].second.boolean);
+}
+
+TEST(BackendBenchSchema, EmptyDocumentStillParses) {
+  const JsonValue doc = parse_or_die(bench_to_json({}));
+  ASSERT_EQ(doc.object[1].second.kind, JsonValue::kArray);
+  EXPECT_TRUE(doc.object[1].second.array.empty());
+  // Vacuously passed, matching frontier semantics.
+  ASSERT_EQ(doc.object[2].second.kind, JsonValue::kBool);
+  EXPECT_TRUE(doc.object[2].second.boolean);
+}
+
+}  // namespace
+}  // namespace pairmr::mr::backend

@@ -14,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "../support/backend_matrix.hpp"
 #include "common/check.hpp"
 #include "common/serde.hpp"
 #include "mr/context.hpp"
@@ -325,6 +326,9 @@ class FlakyMapper final : public Mapper {
 std::array<std::atomic<bool>, FlakyMapper::kSlots> FlakyMapper::failed_once_{};
 
 TEST(EngineTest, FailedMapAttemptsAreRetriedWithCleanCounters) {
+  PAIRMR_SKIP_UNDER_FORK(
+      "FlakyMapper's fail-once latch is a process-global atomic; a retry "
+      "on a fresh worker process cannot see the first attempt's flip");
   FlakyMapper::reset();
   Cluster cluster({.num_nodes = 3, .worker_threads = 2});
   const auto inputs = write_corpus(cluster);
@@ -365,6 +369,9 @@ TEST(EngineTest, ExhaustedAttemptsFailTheJob) {
 }
 
 TEST(EngineTest, FlakyReducerRetriesAndRefetchesInput) {
+  PAIRMR_SKIP_UNDER_FORK(
+      "FlakyReducer's fail-once latch is a process-global atomic; a retry "
+      "on a fresh worker process cannot see the first attempt's flip");
   Cluster cluster({.num_nodes = 2, .worker_threads = 2});
   const auto inputs = write_corpus(cluster);
 
@@ -396,6 +403,9 @@ TEST(EngineTest, FlakyReducerRetriesAndRefetchesInput) {
 }
 
 TEST(EngineTest, RetriedRunProducesIdenticalOutputToCleanRun) {
+  PAIRMR_SKIP_UNDER_FORK(
+      "FlakyMapper's fail-once latch is a process-global atomic; a retry "
+      "on a fresh worker process cannot see the first attempt's flip");
   FlakyMapper::reset();
   Cluster clean({.num_nodes = 3, .worker_threads = 2});
   Cluster flaky({.num_nodes = 3, .worker_threads = 2});

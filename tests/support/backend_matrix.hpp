@@ -1,0 +1,84 @@
+// Cross-backend test support.
+//
+// The differential oracle (tests/mr/backend_equivalence_test.cpp) and the
+// backend.* ctest suite run the same jobs on every execution substrate
+// behind mr::backend::Backend and hold the results byte-identical. This
+// header centralises the three things those tests share:
+//
+//   * the backend matrix to iterate (in-process, fork),
+//   * detection of "this binary was re-launched under the fork backend"
+//     (the backend.* ctest suite sets PAIRMR_TEST_BACKEND=fork), and
+//   * skip guards for the few tests whose *instrumentation* — not the
+//     engine — is inherently single-process. Flaky mappers/reducers that
+//     coordinate "fail once, then succeed" through process-global atomics
+//     cannot see a prior attempt's state from a fresh worker process
+//     (exactly as on a real shared-nothing cluster), and an injected
+//     tracer clock cannot tick across a process boundary. Skipping keeps
+//     the suite honest: the guarded behaviour is meaningless under fork,
+//     not broken.
+//
+// ThreadSanitizer interposes on fork in a way that deadlocks the fork
+// backend's worker handshake, so ForkBackend refuses to start under TSan
+// (mr/backend/fork.cpp) and fork-matrix tests skip themselves via
+// fork_backend_supported().
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdlib>
+#include <cstring>
+
+#include "mr/job.hpp"
+
+#if defined(__SANITIZE_THREAD__)
+#define PAIRMR_TEST_HAS_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define PAIRMR_TEST_HAS_TSAN 1
+#endif
+#endif
+
+namespace pairmr::testing {
+
+// The substrates every differential test must agree across.
+inline constexpr std::array<mr::BackendKind, 2> kBackendMatrix = {
+    mr::BackendKind::kInProcess, mr::BackendKind::kFork};
+
+// True when this test binary is being re-run under the fork backend
+// (PAIRMR_TEST_BACKEND=fork, as the backend.* ctest suite does).
+inline bool fork_backend_selected() {
+  const char* env = std::getenv("PAIRMR_TEST_BACKEND");
+  return env != nullptr && std::strcmp(env, "fork") == 0;
+}
+
+// False when the build cannot fork worker processes at all (TSan).
+inline constexpr bool fork_backend_supported() {
+#if defined(PAIRMR_TEST_HAS_TSAN)
+  return false;
+#else
+  return true;
+#endif
+}
+
+}  // namespace pairmr::testing
+
+// Skip a test whose injection/observation mechanism lives in process
+// memory and therefore cannot work across forked workers. `why` should
+// name that mechanism.
+#define PAIRMR_SKIP_UNDER_FORK(why)                                     \
+  do {                                                                  \
+    if (::pairmr::testing::fork_backend_selected()) {                   \
+      GTEST_SKIP() << "in-process-only instrumentation under the fork " \
+                      "backend: " why;                                  \
+    }                                                                   \
+  } while (0)
+
+// Skip a test that *requires* the fork backend on builds where it cannot
+// run (TSan interposes on fork).
+#define PAIRMR_SKIP_WITHOUT_FORK_SUPPORT()                              \
+  do {                                                                  \
+    if (!::pairmr::testing::fork_backend_supported()) {                 \
+      GTEST_SKIP() << "fork backend unavailable under ThreadSanitizer"; \
+    }                                                                   \
+  } while (0)
