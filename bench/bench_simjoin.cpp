@@ -1,0 +1,175 @@
+// bench_simjoin — pruned vs exhaustive some-pairs similarity join.
+//
+// Runs the thresholded Jaccard join (RunMode::kSimilarityJoin, prefix
+// filter + length filter, DESIGN.md §14) against the exhaustive two-job
+// pipeline with a keep-filter at the same threshold, across a sweep of
+// thresholds, and reports candidate/survivor/pruned counts and end-to-end
+// pairs/s for both paths.
+//
+// Asserts, exiting non-zero on violation:
+//   * the join's aggregated output is byte-identical to the exhaustive
+//     reference at every threshold (the differential oracle, as in
+//     tests/pairwise/similarity_join_equivalence_test.cpp);
+//   * pairs.candidate == pairs.survivor + pairs.pruned at every point;
+//   * candidate counts shrink monotonically as the threshold rises.
+//
+// Emits BENCH_simjoin.json next to BENCH_frontier.json.
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/intmath.hpp"
+#include "mr/cluster.hpp"
+#include "pairwise/block_scheme.hpp"
+#include "pairwise/dataset.hpp"
+#include "pairwise/runner.hpp"
+#include "pairwise/simjoin_report.hpp"
+#include "workloads/generators.hpp"
+#include "workloads/kernels.hpp"
+
+namespace {
+
+using namespace pairmr;
+
+constexpr std::uint64_t kV = 64;
+constexpr std::uint64_t kSeed = 42;
+
+bool g_ok = true;
+
+void check(bool condition, const std::string& what) {
+  std::cout << (condition ? "  [ok]   " : "  [FAIL] ") << what << "\n";
+  if (!condition) g_ok = false;
+}
+
+struct Timed {
+  std::vector<std::string> encoded;
+  RunReport report;
+  double seconds = 0.0;
+};
+
+std::vector<std::string> dataset() {
+  auto docs = workloads::token_documents(kV, /*vocabulary=*/128,
+                                         /*tokens_per_doc=*/12, kSeed);
+  // Plant near-duplicates: the last kV/8 documents mirror the first ones
+  // with a single extra token, so every threshold — including 0.9 — keeps
+  // some survivors and both counter branches see traffic.
+  for (std::uint64_t i = 0; i < kV / 8; ++i) {
+    auto dup = docs[i];
+    dup.push_back(200 + static_cast<std::uint32_t>(i));
+    docs[kV - 1 - i] = std::move(dup);
+  }
+  return workloads::document_payloads(docs);
+}
+
+Timed run(double threshold, bool join) {
+  mr::Cluster cluster({.num_nodes = 4, .worker_threads = 2});
+  const auto inputs = write_dataset(cluster, "/data", dataset());
+  const BlockScheme scheme(kV, 4);
+
+  RunSpec spec;
+  spec.input_paths = inputs;
+  spec.scheme = &scheme;
+  if (join) {
+    spec.mode = RunMode::kSimilarityJoin;
+    spec.options.similarity_join.threshold = threshold;
+  } else {
+    spec.mode = RunMode::kTwoJob;
+    spec.job.compute = workloads::jaccard_kernel();
+    spec.job.prepared = workloads::jaccard_prepared();
+    spec.job.keep = workloads::keep_above(threshold);
+  }
+
+  Timed t;
+  const auto start = std::chrono::steady_clock::now();
+  t.report = PairwiseRunner(cluster).run(spec);
+  t.seconds = std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+  for (const Element& e : read_elements(cluster, t.report.output_dir)) {
+    t.encoded.push_back(encode_element(e));
+  }
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "bench_simjoin: pruned vs exhaustive similarity join (v="
+            << kV << ", C(v,2)=" << pair_count(kV) << ")\n\n";
+
+  const std::vector<double> thresholds = {0.1, 0.25, 0.5, 0.75, 0.9};
+  std::vector<SimjoinPoint> points;
+
+  std::cout << std::left << std::setw(8) << "t" << std::right << std::setw(10)
+            << "total" << std::setw(11) << "candidate" << std::setw(10)
+            << "survivor" << std::setw(9) << "pruned" << std::setw(12)
+            << "exh pair/s" << std::setw(13) << "join pair/s" << std::setw(9)
+            << "speedup" << "\n";
+
+  for (const double t : thresholds) {
+    const Timed exhaustive = run(t, /*join=*/false);
+    const Timed join = run(t, /*join=*/true);
+
+    SimjoinPoint p;
+    p.filter = "prefix";
+    p.threshold = t;
+    p.v = kV;
+    p.total_pairs = pair_count(kV);
+    p.candidate_pairs = join.report.candidate_pairs;
+    p.survivor_pairs = join.report.survivor_pairs;
+    p.pruned_pairs = join.report.pruned_pairs;
+    p.exhaustive_seconds = exhaustive.seconds;
+    p.join_seconds = join.seconds;
+    p.exhaustive_pairs_per_s =
+        static_cast<double>(p.total_pairs) / exhaustive.seconds;
+    p.join_pairs_per_s = static_cast<double>(p.total_pairs) / join.seconds;
+    p.speedup = exhaustive.seconds / join.seconds;
+    p.identical = join.encoded == exhaustive.encoded;
+    points.push_back(p);
+
+    std::cout << std::left << std::fixed << std::setprecision(2)
+              << std::setw(8) << t << std::right << std::setw(10)
+              << p.total_pairs << std::setw(11) << p.candidate_pairs
+              << std::setw(10) << p.survivor_pairs << std::setw(9)
+              << p.pruned_pairs << std::setprecision(0) << std::setw(12)
+              << p.exhaustive_pairs_per_s << std::setw(13)
+              << p.join_pairs_per_s << std::setprecision(2) << std::setw(9)
+              << p.speedup << std::defaultfloat << "\n";
+  }
+  std::cout << "\n";
+
+  for (const SimjoinPoint& p : points) {
+    std::ostringstream os;
+    os << "t=" << p.threshold
+       << ": join output byte-identical to exhaustive reference";
+    check(p.identical, os.str());
+    std::ostringstream oc;
+    oc << "t=" << p.threshold << ": pairs.candidate (" << p.candidate_pairs
+       << ") == survivor (" << p.survivor_pairs << ") + pruned ("
+       << p.pruned_pairs << ")";
+    check(p.candidate_pairs == p.survivor_pairs + p.pruned_pairs, oc.str());
+  }
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    std::ostringstream os;
+    os << "candidates shrink as the threshold rises (t="
+       << points[i - 1].threshold << " -> " << points[i].threshold << ": "
+       << points[i - 1].candidate_pairs << " >= "
+       << points[i].candidate_pairs << ")";
+    check(points[i].candidate_pairs <= points[i - 1].candidate_pairs,
+          os.str());
+  }
+  check(points.back().candidate_pairs < points.back().total_pairs,
+        "prefix filter prunes pairs at the top threshold");
+
+  std::ofstream out("BENCH_simjoin.json");
+  out << simjoin_to_json(points);
+  std::cout << "\nwrote BENCH_simjoin.json\n";
+  std::cout << (g_ok ? "PASS" : "FAIL") << "\n";
+  return g_ok ? 0 : 1;
+}

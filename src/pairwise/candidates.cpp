@@ -1,0 +1,429 @@
+#include "pairwise/candidates.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/hash.hpp"
+#include "common/intmath.hpp"
+#include "common/serde.hpp"
+#include "mr/context.hpp"
+#include "pairwise/cost_model.hpp"
+#include "pairwise/tokenset.hpp"
+
+namespace pairmr {
+
+namespace {
+
+using mr::Bytes;
+
+// Posting-list group key for documents with an empty token set. Token
+// keys occupy the u32 range, so this can never collide with a real token.
+constexpr std::uint64_t kEmptySetKey = std::uint64_t{1} << 32;
+
+std::string encode_posting(ElementId id, std::uint64_t size) {
+  BufWriter w;
+  w.put_u64(id);
+  w.put_u64(size);
+  return std::move(w).str();
+}
+
+std::pair<ElementId, std::uint64_t> decode_posting(const Bytes& bytes) {
+  BufReader r(bytes);
+  const ElementId id = r.get_u64();
+  const std::uint64_t size = r.get_u64();
+  return {id, size};
+}
+
+std::string encode_pair_key(const ElementPair& pair) {
+  BufWriter w;
+  w.put_u64_ordered(pair.lo);
+  w.put_u64_ordered(pair.hi);
+  return std::move(w).str();
+}
+
+ElementPair decode_pair_key(const Bytes& bytes) {
+  BufReader r(bytes);
+  ElementPair p;
+  p.lo = r.get_u64_ordered();
+  p.hi = r.get_u64_ordered();
+  return p;
+}
+
+// Mirrors runner.cpp: engine knobs every pipeline job inherits.
+void apply_engine_options(mr::JobSpec& spec, const PairwiseOptions& options) {
+  spec.fault_plan = options.fault_plan;
+  spec.speculative_execution = options.speculative_execution;
+  spec.memory_budget = options.memory_budget;
+  spec.backend = options.backend;
+}
+
+// --- Job "simjoin-tokenfreq": token -> document frequency ---------------
+
+class TokenFreqMapper final : public mr::Mapper {
+ public:
+  void map(const Bytes& /*key*/, const Bytes& value,
+           mr::MapContext& ctx) override {
+    std::vector<std::uint32_t> tokens = decode_token_set(value);
+    // Defensive dedup: the payload contract says set, but a duplicated
+    // token must not double-count the document.
+    std::sort(tokens.begin(), tokens.end());
+    tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
+    std::string one;
+    {
+      BufWriter w;
+      w.put_u64(1);
+      one = std::move(w).str();
+    }
+    for (const std::uint32_t t : tokens) {
+      ctx.emit(encode_u64_key(t), one);
+    }
+  }
+};
+
+// Sums u64 counts; used as both combiner and reducer of the freq job.
+class SumReducer final : public mr::Reducer {
+ public:
+  void reduce(const Bytes& key, const std::vector<Bytes>& values,
+              mr::ReduceContext& ctx) override {
+    std::uint64_t total = 0;
+    for (const auto& v : values) {
+      BufReader r(v);
+      total += r.get_u64();
+    }
+    BufWriter w;
+    w.put_u64(total);
+    ctx.emit(key, std::move(w).str());
+  }
+};
+
+// --- Job "simjoin-candidates[prefix]": prefix postings ------------------
+
+using TokenRank = std::unordered_map<std::uint32_t, std::uint32_t>;
+
+class PrefixPostingMapper final : public mr::Mapper {
+ public:
+  PrefixPostingMapper(std::shared_ptr<const TokenRank> rank,
+                      double threshold)
+      : rank_(std::move(rank)), threshold_(threshold) {}
+
+  void map(const Bytes& key, const Bytes& value,
+           mr::MapContext& ctx) override {
+    const ElementId id = decode_u64_key(key);
+    std::vector<std::uint32_t> tokens = decode_token_set(value);
+    std::sort(tokens.begin(), tokens.end());
+    tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
+    const std::uint64_t size = tokens.size();
+    if (size == 0) {
+      // Empty sets have J(∅,∅) = 1 with each other: group them under one
+      // sentinel key so those pairs become candidates.
+      ctx.emit(encode_u64_key(kEmptySetKey), encode_posting(id, 0));
+      return;
+    }
+    // Rare-first order: ascending global frequency, token id as
+    // tie-breaker. Any order works for correctness as long as every
+    // document uses the same one; rare-first keeps posting lists short.
+    std::sort(tokens.begin(), tokens.end(),
+              [this](std::uint32_t a, std::uint32_t b) {
+                return std::make_pair(rank_of(a), a) <
+                       std::make_pair(rank_of(b), b);
+              });
+    const std::uint64_t prefix = prefix_length(size, threshold_);
+    for (std::uint64_t i = 0; i < prefix; ++i) {
+      ctx.emit(encode_u64_key(tokens[i]), encode_posting(id, size));
+    }
+  }
+
+ private:
+  std::uint64_t rank_of(std::uint32_t token) const {
+    const auto it = rank_->find(token);
+    // A token absent from the frequency table sorts last — consistent
+    // across all documents, which is all prefix correctness needs.
+    return it == rank_->end() ? ~std::uint64_t{0} : it->second;
+  }
+
+  std::shared_ptr<const TokenRank> rank_;
+  double threshold_;
+};
+
+// --- Job "simjoin-candidates[lsh]": minhash band buckets ----------------
+
+class LshBandMapper final : public mr::Mapper {
+ public:
+  explicit LshBandMapper(const SimilarityJoinOptions& join) : join_(join) {}
+
+  void map(const Bytes& key, const Bytes& value,
+           mr::MapContext& ctx) override {
+    const ElementId id = decode_u64_key(key);
+    std::vector<std::uint32_t> tokens = decode_token_set(value);
+    std::sort(tokens.begin(), tokens.end());
+    tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
+    const std::vector<std::uint64_t> sig = minhash_signature(
+        tokens, join_.lsh_bands * join_.lsh_rows, join_.lsh_seed);
+    for (std::uint32_t b = 0; b < join_.lsh_bands; ++b) {
+      std::uint64_t h = join_.lsh_seed;
+      for (std::uint32_t r = 0; r < join_.lsh_rows; ++r) {
+        h = hash_combine(h, sig[static_cast<std::size_t>(b) * join_.lsh_rows +
+                                r]);
+      }
+      // Band index leads the key so buckets of different bands can never
+      // merge, whatever the hash values.
+      BufWriter w;
+      w.put_u32(b);
+      w.put_u64_ordered(h);
+      ctx.emit(std::move(w).str(), encode_posting(id, tokens.size()));
+    }
+  }
+
+ private:
+  const SimilarityJoinOptions join_;
+};
+
+// Pairs up one posting list (documents sharing a prefix token or an LSH
+// band bucket), applying the length filter. Shared by both filters.
+class PostingPairReducer final : public mr::Reducer {
+ public:
+  explicit PostingPairReducer(double threshold) : threshold_(threshold) {}
+
+  void reduce(const Bytes& /*key*/, const std::vector<Bytes>& values,
+              mr::ReduceContext& ctx) override {
+    std::vector<std::pair<ElementId, std::uint64_t>> postings;
+    postings.reserve(values.size());
+    for (const auto& v : values) postings.push_back(decode_posting(v));
+    std::sort(postings.begin(), postings.end());
+    postings.erase(std::unique(postings.begin(), postings.end()),
+                   postings.end());
+    std::uint64_t emitted = 0;
+    for (std::size_t i = 0; i < postings.size(); ++i) {
+      for (std::size_t j = i + 1; j < postings.size(); ++j) {
+        if (!length_filter_passes(postings[i].second, postings[j].second,
+                                  threshold_)) {
+          continue;
+        }
+        ctx.emit(encode_pair_key(ElementPair{postings[i].first,
+                                             postings[j].first}),
+                 "");
+        ++emitted;
+      }
+    }
+    ctx.counters().add(counter::kCandidateContributions, emitted);
+  }
+
+ private:
+  double threshold_;
+};
+
+// --- Job "simjoin-dedup": one record per distinct candidate pair --------
+
+class DedupPairReducer final : public mr::Reducer {
+ public:
+  void reduce(const Bytes& key, const std::vector<Bytes>& /*values*/,
+              mr::ReduceContext& ctx) override {
+    ctx.emit(key, "");
+    ctx.counters().add(counter::kCandidateDistinct, 1);
+  }
+};
+
+}  // namespace
+
+CandidateSet::CandidateSet(std::vector<ElementPair> pairs)
+    : pairs_(std::move(pairs)) {
+  for (const ElementPair& p : pairs_) {
+    PAIRMR_REQUIRE(p.lo < p.hi,
+                   "candidate pairs must be canonical (lo < hi)");
+  }
+  std::sort(pairs_.begin(), pairs_.end());
+  pairs_.erase(std::unique(pairs_.begin(), pairs_.end()), pairs_.end());
+}
+
+bool CandidateSet::contains(const ElementPair& pair) const {
+  return std::binary_search(pairs_.begin(), pairs_.end(), pair);
+}
+
+CandidateScheme::CandidateScheme(const DistributionScheme& base,
+                                 CandidateSet candidates)
+    : base_(base), candidates_(std::move(candidates)) {
+  for (const ElementPair& p : candidates_.pairs()) {
+    PAIRMR_REQUIRE(p.hi < base_.num_elements(),
+                   "candidate pair references element id " +
+                       std::to_string(p.hi) + " outside the scheme's v=" +
+                       std::to_string(base_.num_elements()));
+  }
+}
+
+std::vector<ElementPair> CandidateScheme::pairs_in(TaskId task) const {
+  std::vector<ElementPair> pairs;
+  for_each_pair(task, [&pairs](ElementPair p) { pairs.push_back(p); });
+  return pairs;
+}
+
+void CandidateScheme::for_each_pair(
+    TaskId task, const std::function<void(ElementPair)>& fn) const {
+  base_.for_each_pair(task, [this, &fn](ElementPair p) {
+    if (candidates_.contains(p)) fn(p);
+  });
+}
+
+SchemeMetrics CandidateScheme::metrics() const {
+  const std::uint64_t all = pair_count(base_.num_elements());
+  const double fraction =
+      all == 0 ? 1.0
+               : static_cast<double>(candidates_.size()) /
+                     static_cast<double>(all);
+  SchemeMetrics m = with_candidate_fraction(base_.metrics(), fraction);
+  m.scheme = name();
+  return m;
+}
+
+CandidatePhase generate_candidates(
+    mr::Cluster& cluster, const std::vector<std::string>& input_paths,
+    std::uint64_t v, const PairwiseOptions& options) {
+  const SimilarityJoinOptions& join = options.similarity_join;
+  PAIRMR_REQUIRE(join.threshold >= 0.0 && join.threshold <= 1.0,
+                 "similarity threshold must be within [0, 1]");
+
+  CandidatePhase phase;
+  if (join.threshold <= 0.0) {
+    // J >= 0 holds for every pair, including fully disjoint sets that no
+    // overlap-based filter would surface: pruning is impossible, so the
+    // pairwise phase runs the base scheme unfiltered.
+    phase.exhaustive = true;
+    return phase;
+  }
+
+  mr::Engine engine(cluster);
+  mr::SimDfs& dfs = cluster.dfs();
+  const std::string freq_dir = options.work_dir + "/simjoin-freq";
+  const std::string cand_dir = options.work_dir + "/simjoin-cand";
+  const std::string pairs_dir = options.work_dir + "/simjoin-pairs";
+  dfs.remove_prefix(freq_dir);
+  dfs.remove_prefix(cand_dir);
+  dfs.remove_prefix(pairs_dir);
+
+  std::string cand_name;
+  std::function<std::unique_ptr<mr::Mapper>()> cand_mapper;
+  if (join.filter == CandidateFilter::kPrefix) {
+    // Phase job 1: global token frequencies for the rare-first order.
+    mr::JobSpec freq;
+    freq.name = "simjoin-tokenfreq";
+    freq.input_paths = input_paths;
+    freq.output_dir = freq_dir;
+    freq.mapper_factory = [] { return std::make_unique<TokenFreqMapper>(); };
+    freq.reducer_factory = [] { return std::make_unique<SumReducer>(); };
+    freq.combiner_factory = [] { return std::make_unique<SumReducer>(); };
+    freq.num_reduce_tasks = options.num_reduce_tasks;
+    freq.max_records_per_split = options.max_records_per_split;
+    apply_engine_options(freq, options);
+    phase.jobs.push_back(engine.run(freq));
+
+    auto rank = std::make_shared<TokenRank>();
+    {
+      // Rank tokens rarest-first (frequency, then token id): the
+      // candidate mappers order every document's tokens by this table.
+      std::vector<std::pair<std::uint64_t, std::uint32_t>> freqs;
+      for (const auto& rec : cluster.gather_records(freq_dir)) {
+        BufReader r(rec.value);
+        freqs.emplace_back(r.get_u64(),
+                           static_cast<std::uint32_t>(
+                               decode_u64_key(rec.key)));
+      }
+      std::sort(freqs.begin(), freqs.end());
+      rank->reserve(freqs.size());
+      for (std::uint32_t i = 0; i < freqs.size(); ++i) {
+        rank->emplace(freqs[i].second, i);
+      }
+    }
+    cand_name = "simjoin-candidates[prefix]";
+    cand_mapper = [rank, threshold = join.threshold] {
+      return std::make_unique<PrefixPostingMapper>(rank, threshold);
+    };
+  } else {
+    cand_name = "simjoin-candidates[lsh]";
+    cand_mapper = [join] { return std::make_unique<LshBandMapper>(join); };
+  }
+
+  // Phase job 2: postings -> length-filtered pair contributions.
+  mr::JobSpec cand;
+  cand.name = cand_name;
+  cand.input_paths = input_paths;
+  cand.output_dir = cand_dir;
+  cand.mapper_factory = cand_mapper;
+  cand.reducer_factory = [threshold = join.threshold] {
+    return std::make_unique<PostingPairReducer>(threshold);
+  };
+  cand.num_reduce_tasks = options.num_reduce_tasks;
+  cand.max_records_per_split = options.max_records_per_split;
+  apply_engine_options(cand, options);
+  phase.jobs.push_back(engine.run(cand));
+
+  // Phase job 3: deduplicate contributions into distinct candidates.
+  // When the filter killed every pair (disjoint datasets, v = 1) there is
+  // nothing to deduplicate and the engine refuses empty-input jobs — the
+  // empty CandidateSet stands as-is.
+  if (phase.jobs.back().counter(counter::kCandidateContributions) > 0) {
+    mr::JobSpec dedup;
+    dedup.name = "simjoin-dedup";
+    dedup.input_paths = phase.jobs.back().output_paths;
+    dedup.output_dir = pairs_dir;
+    dedup.mapper_factory = [] {
+      return std::make_unique<mr::IdentityMapper>();
+    };
+    dedup.reducer_factory = [] {
+      return std::make_unique<DedupPairReducer>();
+    };
+    dedup.num_reduce_tasks = options.num_reduce_tasks;
+    apply_engine_options(dedup, options);
+    phase.jobs.push_back(engine.run(dedup));
+
+    std::vector<ElementPair> pairs;
+    for (const auto& rec : cluster.gather_records(pairs_dir)) {
+      const ElementPair p = decode_pair_key(rec.key);
+      PAIRMR_CHECK(p.hi < v, "candidate pair outside the dataset");
+      pairs.push_back(p);
+    }
+    phase.candidates = CandidateSet(std::move(pairs));
+  }
+
+  if (options.cleanup_intermediate) {
+    dfs.remove_prefix(freq_dir);
+    dfs.remove_prefix(cand_dir);
+    dfs.remove_prefix(pairs_dir);
+  }
+  return phase;
+}
+
+PairwiseJob similarity_join_job(const SimilarityJoinOptions& options,
+                                FinalizeFn finalize) {
+  PAIRMR_REQUIRE(options.kernel == SimilarityKernel::kJaccardTokenSet,
+                 "similarity_join_job only synthesizes set kernels");
+  PairwiseJob job;
+  job.compute = [](const Element& a, const Element& b) {
+    BufWriter w;
+    w.put_f64(jaccard_similarity(decode_token_set(a.payload),
+                                 decode_token_set(b.payload)));
+    return std::move(w).str();
+  };
+  job.prepared.prepare = [](const Element& e) -> PreparedKernel::Handle {
+    return std::make_shared<const std::vector<std::uint32_t>>(
+        decode_token_set(e.payload));
+  };
+  job.prepared.compare = [](const void* a, const void* b) {
+    BufWriter w;
+    w.put_f64(jaccard_similarity(
+        *static_cast<const std::vector<std::uint32_t>*>(a),
+        *static_cast<const std::vector<std::uint32_t>*>(b)));
+    return std::move(w).str();
+  };
+  job.keep = [threshold = options.threshold](const Element&, const Element&,
+                                             std::string_view r) {
+    BufReader reader(r);
+    return reader.get_f64() >= threshold;
+  };
+  job.finalize = std::move(finalize);
+  job.symmetry = Symmetry::kSymmetric;
+  return job;
+}
+
+}  // namespace pairmr

@@ -1,0 +1,125 @@
+// Candidate-pair generation for the thresholded similarity join
+// (RunMode::kSimilarityJoin, DESIGN.md §14).
+//
+// The exhaustive pipeline evaluates all C(v,2) pairs and lets a KeepFn
+// drop the ones below threshold. A similarity join instead runs a
+// candidate phase first — MR jobs that upper-bound which pairs CAN reach
+// the threshold — and restricts the pairwise phase to those candidates by
+// wrapping the distribution scheme in a CandidateScheme. Element SHIPPING
+// is untouched (subsets_of is delegated), only the per-task pair relation
+// shrinks, so the surviving results are byte-identical to the exhaustive
+// run's by construction; the differential oracle in
+// tests/pairwise/similarity_join_equivalence_test.cpp certifies it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mr/cluster.hpp"
+#include "mr/engine.hpp"
+#include "pairwise/pipeline.hpp"
+#include "pairwise/scheme.hpp"
+
+namespace pairmr {
+
+// Sorted, deduplicated set of unordered element pairs with O(log n)
+// membership — the contract between the candidate phase and the pairwise
+// phase.
+class CandidateSet {
+ public:
+  CandidateSet() = default;
+  // Sorts and deduplicates; every pair must satisfy lo < hi.
+  explicit CandidateSet(std::vector<ElementPair> pairs);
+
+  bool contains(const ElementPair& pair) const;
+  std::size_t size() const { return pairs_.size(); }
+  bool empty() const { return pairs_.empty(); }
+  const std::vector<ElementPair>& pairs() const { return pairs_; }
+
+ private:
+  std::vector<ElementPair> pairs_;
+};
+
+// Restrict any scheme's pair relations to a candidate set. Pairs keep
+// their base task owner and relative enumeration order; membership
+// (subsets_of / working_set) is delegated unchanged, so distribution
+// traffic and reduce groups are identical to the base scheme's and only
+// the kernel-evaluation count becomes data-dependent. metrics() reports
+// evaluations_per_task scaled by |candidates| / C(v,2)
+// (cost_model::with_candidate_fraction).
+class CandidateScheme final : public DistributionScheme {
+ public:
+  // `base` must outlive this wrapper. Every candidate pair must fall
+  // inside base.num_elements().
+  CandidateScheme(const DistributionScheme& base, CandidateSet candidates);
+
+  std::string name() const override { return base_.name() + "+candidates"; }
+  std::uint64_t num_elements() const override {
+    return base_.num_elements();
+  }
+  std::uint64_t num_tasks() const override { return base_.num_tasks(); }
+  std::vector<TaskId> subsets_of(ElementId id) const override {
+    return base_.subsets_of(id);
+  }
+  std::vector<ElementPair> pairs_in(TaskId task) const override;
+  void for_each_pair(
+      TaskId task,
+      const std::function<void(ElementPair)>& fn) const override;
+  SchemeMetrics metrics() const override;
+  std::uint64_t total_pairs() const override { return candidates_.size(); }
+  std::vector<ElementId> working_set(TaskId task) const override {
+    return base_.working_set(task);
+  }
+
+  const CandidateSet& candidates() const { return candidates_; }
+
+ private:
+  const DistributionScheme& base_;
+  CandidateSet candidates_;
+};
+
+// Result of the candidate-generation MR phase.
+struct CandidatePhase {
+  // threshold <= 0: every pair trivially survives (J >= 0 always), so no
+  // candidate jobs ran and `candidates` is empty — run the base scheme
+  // unfiltered. A prefix filter would be WRONG here: disjoint sets share
+  // no token yet survive J = 0 >= threshold.
+  bool exhaustive = false;
+  CandidateSet candidates;
+  std::vector<mr::JobResult> jobs;  // executed candidate jobs, in order
+};
+
+// Run the candidate-generation jobs for `options.similarity_join` over
+// the dataset in `input_paths` (records: big-endian u64 id, token-set
+// payload; ids dense 0..v-1).
+//
+// CandidateFilter::kPrefix (exact, DESIGN.md §14):
+//   1. "simjoin-tokenfreq"  — global token frequencies; the coordinator
+//      derives the rare-first total order.
+//   2. "simjoin-candidates" — each document emits (token, id, |set|) for
+//      its prefix tokens (prefix_length under the rare-first order; empty
+//      sets emit one sentinel posting); reducers pair up each posting
+//      list, length-filtered.
+//   3. "simjoin-dedup"      — one record per distinct candidate pair.
+// CandidateFilter::kLshBanding replaces 1–2 with one "simjoin-lsh-bands"
+// job bucketing minhash band signatures.
+//
+// Every job inherits the run's engine options (faults, speculation,
+// memory budget, backend) and its scratch lives under
+// <work_dir>/simjoin/, removed afterwards when cleanup_intermediate.
+CandidatePhase generate_candidates(mr::Cluster& cluster,
+                                   const std::vector<std::string>& input_paths,
+                                   std::uint64_t v,
+                                   const PairwiseOptions& options);
+
+// The PairwiseJob a similarity join executes: the exact kernel for
+// `options.kernel` (jaccard over token sets, decode-once prepared
+// variant included) with a keep-filter at `options.threshold`. Result
+// bytes are identical to workloads::jaccard_kernel + keep_above — the
+// candidate phase never changes what a surviving pair's result looks
+// like. `finalize` is the caller's aggregation hook (may be null).
+PairwiseJob similarity_join_job(const SimilarityJoinOptions& options,
+                                FinalizeFn finalize);
+
+}  // namespace pairmr

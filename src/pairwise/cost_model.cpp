@@ -88,6 +88,15 @@ SchemeMetrics quorum_metrics_approx(std::uint64_t v, std::uint64_t n) {
   return m;
 }
 
+SchemeMetrics with_candidate_fraction(SchemeMetrics metrics,
+                                      double fraction) {
+  PAIRMR_REQUIRE(fraction >= 0.0 && fraction <= 1.0,
+                 "candidate fraction must be within [0, 1] (got " +
+                     std::to_string(fraction) + ")");
+  metrics.evaluations_per_task *= fraction;
+  return metrics;
+}
+
 std::uint64_t broadcast_working_set_bytes(std::uint64_t v,
                                           std::uint64_t element_bytes) {
   return checked_mul(v, element_bytes);

@@ -30,6 +30,14 @@ SchemeMetrics design_metrics_approx(std::uint64_t v, std::uint64_t n);
 // communication capped at 2vn like the design row.
 SchemeMetrics quorum_metrics_approx(std::uint64_t v, std::uint64_t n);
 
+// Data-dependent evaluations (similarity join, DESIGN.md §14): scale the
+// evaluations-per-task entry by the expected fraction of C(v,2) that
+// survives candidate generation, `fraction` ∈ [0, 1]. Communication,
+// replication, and working-set entries are unchanged — candidate pruning
+// shrinks the kernel work, not the element shipping.
+SchemeMetrics with_candidate_fraction(SchemeMetrics metrics,
+                                      double fraction);
+
 // --- Byte-space requirement functions ------------------------------------
 
 // Peak working-set bytes of one task.

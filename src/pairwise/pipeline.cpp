@@ -6,6 +6,28 @@
 
 namespace pairmr {
 
+const char* to_string(SimilarityKernel kernel) {
+  switch (kernel) {
+    case SimilarityKernel::kJaccardTokenSet:
+      return "jaccard-token-set";
+    case SimilarityKernel::kCosineVector:
+      return "cosine-vector";
+    case SimilarityKernel::kEuclideanVector:
+      return "euclidean-vector";
+  }
+  return "unknown";
+}
+
+const char* to_string(CandidateFilter filter) {
+  switch (filter) {
+    case CandidateFilter::kPrefix:
+      return "prefix";
+    case CandidateFilter::kLshBanding:
+      return "lsh-banding";
+  }
+  return "unknown";
+}
+
 PairEvaluator::PairEvaluator(const PairwiseJob& job,
                              const std::vector<Element>& elems)
     : job_(job), elems_(elems) {

@@ -115,6 +115,49 @@ class PairEvaluator {
   std::uint64_t kept_ = 0;
 };
 
+// Kernel family a similarity join evaluates. Only set-overlap kernels
+// admit the candidate filters (prefix, LSH banding) — the vector entries
+// exist so validation can reject them with an actionable message instead
+// of silently producing wrong prunes.
+enum class SimilarityKernel {
+  kJaccardTokenSet,  // sorted u32 token sets (workloads shingling format)
+  kCosineVector,     // rejected: no set-overlap bound
+  kEuclideanVector,  // rejected: no set-overlap bound
+};
+
+const char* to_string(SimilarityKernel kernel);
+
+// How candidate pairs are generated before the pairwise phase.
+enum class CandidateFilter {
+  // Exact: prefix filtering under a global rare-first token-frequency
+  // order, plus length filtering. Candidates are a strict superset of the
+  // true survivors, so join output is byte-identical to the exhaustive
+  // run's threshold-filtered output.
+  kPrefix,
+  // Probabilistic: minhash LSH banding (lsh_bands bands × lsh_rows rows).
+  // Survivors are always a SUBSET of the exhaustive survivors (no false
+  // positives — the exact kernel settles every candidate), but a pair
+  // whose signature never collides is missed; recall rises with bands.
+  kLshBanding,
+};
+
+const char* to_string(CandidateFilter filter);
+
+// Knobs of RunMode::kSimilarityJoin (pairwise/runner.hpp): a candidate
+// generation phase feeds only surviving pairs into the two-job pairwise
+// phase over RunSpec::scheme. threshold <= 0 keeps every pair and skips
+// candidate generation entirely (pruning could only waste work: even
+// disjoint sets survive J >= 0).
+struct SimilarityJoinOptions {
+  double threshold = 0.5;  // keep pairs with similarity >= threshold
+  SimilarityKernel kernel = SimilarityKernel::kJaccardTokenSet;
+  CandidateFilter filter = CandidateFilter::kPrefix;
+  // LSH parameters (CandidateFilter::kLshBanding only).
+  std::uint32_t lsh_bands = 16;
+  std::uint32_t lsh_rows = 2;
+  std::uint64_t lsh_seed = 0x5eed;
+};
+
 struct PairwiseOptions {
   // DFS directory for intermediate and output files.
   std::string work_dir = "/pairwise";
@@ -157,12 +200,29 @@ struct PairwiseOptions {
   // aggregated output, counters, and traffic totals are identical across
   // backends by construction.
   mr::BackendKind backend = mr::BackendKind::kAuto;
+  // Similarity-join knobs, consulted only by RunMode::kSimilarityJoin.
+  SimilarityJoinOptions similarity_join;
 };
 
 // Custom counters emitted by the pipeline.
 namespace counter {
 inline constexpr const char* kEvaluations = "pairwise.evaluations";
 inline constexpr const char* kResultsKept = "pairwise.results.kept";
+// Similarity-join Table 1 extension (emitted by the join's compute
+// reducer, one source of truth whatever the candidate filter):
+// candidate = pairs that reached the exact kernel, survivor = pairs at or
+// above the threshold, pruned = candidates the kernel rejected. The
+// invariant pairs.candidate == pairs.survivor + pairs.pruned holds per
+// run by construction.
+inline constexpr const char* kCandidatePairs = "pairs.candidate";
+inline constexpr const char* kSurvivorPairs = "pairs.survivor";
+inline constexpr const char* kPrunedPairs = "pairs.pruned";
+// Candidate-generation phase: pre-dedup (token- or band-collision)
+// contributions and post-dedup distinct candidate pairs. The latter must
+// equal pairs.candidate — the compute phase evaluates each exactly once.
+inline constexpr const char* kCandidateContributions =
+    "simjoin.candidate.contributions";
+inline constexpr const char* kCandidateDistinct = "simjoin.candidate.pairs";
 }  // namespace counter
 
 struct PairwiseRunStats {

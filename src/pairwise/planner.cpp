@@ -30,6 +30,9 @@ Plan plan_scheme(const PlanRequest& request) {
   PAIRMR_REQUIRE(request.v >= 2, "need at least two elements");
   PAIRMR_REQUIRE(request.element_bytes > 0, "element size must be positive");
   PAIRMR_REQUIRE(request.num_nodes >= 1, "need at least one node");
+  PAIRMR_REQUIRE(
+      request.candidate_fraction >= 0.0 && request.candidate_fraction <= 1.0,
+      "PlanRequest::candidate_fraction must be within [0, 1]");
 
   const std::uint64_t vs =
       checked_mul(request.v, request.element_bytes);  // dataset bytes
@@ -119,6 +122,12 @@ Plan plan_scheme(const PlanRequest& request) {
     plan.feasible = false;
     why << "no scheme satisfies both limits; use hierarchical processing"
         << " (run_pairwise_rounds with coarse grouping, paper Section 7)";
+  }
+  if (plan.feasible && request.candidate_fraction != 1.0) {
+    plan.predicted =
+        with_candidate_fraction(plan.predicted, request.candidate_fraction);
+    why << "; candidate filter expected to admit "
+        << request.candidate_fraction * 100.0 << "% of pairs";
   }
   plan.rationale = why.str();
   return plan;

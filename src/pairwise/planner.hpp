@@ -22,6 +22,12 @@ struct PlanRequest {
   std::uint64_t element_bytes = 0; // the paper's s
   std::uint64_t num_nodes = 1;     // n
   Limits limits;
+  // Expected fraction of C(v,2) surviving candidate generation — 1.0 for
+  // exhaustive runs, < 1 for similarity joins (RunMode::kSimilarityJoin).
+  // Scales the plan's predicted evaluations_per_task only: candidate
+  // pruning is applied reduce-side, after distribution, so feasibility
+  // (working sets, intermediate storage) is unaffected.
+  double candidate_fraction = 1.0;
 };
 
 struct Plan {

@@ -1,6 +1,7 @@
 #include "pairwise/runner.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 #include <optional>
 #include <unordered_map>
@@ -11,6 +12,7 @@
 #include "mr/context.hpp"
 #include "pairwise/aggregate.hpp"
 #include "pairwise/broadcast_scheme.hpp"
+#include "pairwise/candidates.hpp"
 #include "pairwise/filtered_scheme.hpp"
 #include "pairwise/hierarchical.hpp"
 
@@ -56,8 +58,14 @@ class DistributeMapper final : public mr::Mapper {
 // members, re-emit every element keyed by its id.
 class ComputeReducer final : public mr::Reducer {
  public:
-  ComputeReducer(const DistributionScheme& scheme, const PairwiseJob& job)
-      : scheme_(scheme), job_(job) {}
+  // `join_metering` (similarity join) additionally emits the Table 1
+  // extension counters: every evaluated pair is a candidate, kept pairs
+  // are survivors, the rest were pruned by the exact kernel. In the
+  // symmetric mode the evaluator counts each unordered pair exactly once,
+  // so pairs.candidate == pairs.survivor + pairs.pruned by construction.
+  ComputeReducer(const DistributionScheme& scheme, const PairwiseJob& job,
+                 bool join_metering = false)
+      : scheme_(scheme), job_(job), join_metering_(join_metering) {}
 
   void reduce(const Bytes& key, const std::vector<Bytes>& values,
               mr::ReduceContext& ctx) override {
@@ -103,6 +111,12 @@ class ComputeReducer final : public mr::Reducer {
 
     ctx.counters().add(counter::kEvaluations, evaluator.evaluations());
     ctx.counters().add(counter::kResultsKept, evaluator.kept());
+    if (join_metering_) {
+      ctx.counters().add(counter::kCandidatePairs, evaluator.evaluations());
+      ctx.counters().add(counter::kSurvivorPairs, evaluator.kept());
+      ctx.counters().add(counter::kPrunedPairs,
+                         evaluator.evaluations() - evaluator.kept());
+    }
 
     for (std::size_t i = 0; i < elems.size(); ++i) {
       elems[i].results = std::move(acc[i]);
@@ -113,6 +127,7 @@ class ComputeReducer final : public mr::Reducer {
  private:
   const DistributionScheme& scheme_;
   const PairwiseJob& job_;
+  const bool join_metering_;
 };
 
 // ---------------------------------------------------------------------
@@ -300,7 +315,8 @@ void settle_metering(RunReport& report) {
 
 // --- Driver: two-job pipeline (§4) -------------------------------------
 
-RunReport run_two_job(mr::Cluster& cluster, const RunSpec& spec) {
+RunReport run_two_job(mr::Cluster& cluster, const RunSpec& spec,
+                      bool join_metering = false) {
   const DistributionScheme& scheme = *spec.scheme;
   const PairwiseOptions& options = spec.options;
   mr::Engine engine(cluster);
@@ -322,8 +338,8 @@ RunReport run_two_job(mr::Cluster& cluster, const RunSpec& spec) {
   job1.mapper_factory = [&scheme] {
     return std::make_unique<DistributeMapper>(scheme);
   };
-  job1.reducer_factory = [&scheme, &job = spec.job] {
-    return std::make_unique<ComputeReducer>(scheme, job);
+  job1.reducer_factory = [&scheme, &job = spec.job, join_metering] {
+    return std::make_unique<ComputeReducer>(scheme, job, join_metering);
   };
   job1.partitioner = options.distribute_partitioner;
   job1.num_reduce_tasks = options.num_reduce_tasks;
@@ -553,6 +569,48 @@ RunReport run_rounds(mr::Cluster& cluster, const RunSpec& spec) {
   return report;
 }
 
+// --- Driver: thresholded similarity join (DESIGN.md §14) ----------------
+
+RunReport run_similarity_join(mr::Cluster& cluster, const RunSpec& spec) {
+  const DistributionScheme& base = *spec.scheme;
+  PAIRMR_REQUIRE(
+      !spec.job.compute && !spec.job.prepared.prepare &&
+          !spec.job.prepared.compare && !spec.job.keep,
+      "RunMode::kSimilarityJoin synthesizes compute/prepared/keep from "
+      "PairwiseOptions::similarity_join — leave them unset on "
+      "RunSpec::job (only finalize is honored); to run a custom kernel "
+      "with a filter, use RunMode::kTwoJob with your own KeepFn");
+
+  // Candidate phase: MR jobs that upper-bound the surviving pairs. Its
+  // jobs inherit the run's engine options (faults, budget, backend), so
+  // the whole equivalence matrix exercises this phase too.
+  CandidatePhase phase = generate_candidates(
+      cluster, spec.input_paths, base.num_elements(), spec.options);
+
+  // Pairwise phase: the standard two-job driver over the base scheme,
+  // restricted to the candidates. Shipping (subsets_of) is untouched, so
+  // the aggregated output is byte-identical to an exhaustive run whose
+  // KeepFn applies the same threshold.
+  RunSpec inner = spec;
+  inner.mode = RunMode::kTwoJob;
+  inner.job = similarity_join_job(spec.options.similarity_join,
+                                  spec.job.finalize);
+  std::optional<CandidateScheme> filtered;
+  if (!phase.exhaustive) {
+    filtered.emplace(base, std::move(phase.candidates));
+    inner.scheme = &*filtered;
+  }
+  RunReport report = run_two_job(cluster, inner, /*join_metering=*/true);
+
+  report.mode = RunMode::kSimilarityJoin;
+  report.candidate_jobs = std::move(phase.jobs);
+  report.candidate_pairs = report.counter(counter::kCandidatePairs);
+  report.survivor_pairs = report.counter(counter::kSurvivorPairs);
+  report.pruned_pairs = report.counter(counter::kPrunedPairs);
+  settle_metering(report);  // re-settle: candidate jobs spill too
+  return report;
+}
+
 }  // namespace
 
 const char* to_string(RunMode mode) {
@@ -563,6 +621,8 @@ const char* to_string(RunMode mode) {
       return "broadcast";
     case RunMode::kRounds:
       return "rounds";
+    case RunMode::kSimilarityJoin:
+      return "similarity-join";
   }
   return "unknown";
 }
@@ -576,13 +636,15 @@ std::uint64_t RunReport::counter(const std::string& name) const {
       total = use_max ? std::max(total, v) : total + v;
     }
   };
+  fold(candidate_jobs);
   fold(compute_jobs);
   fold(merge_jobs);
   return total;
 }
 
 void validate_pairwise_options(const mr::Cluster& cluster,
-                               const PairwiseOptions& options) {
+                               const PairwiseOptions& options,
+                               RunMode mode) {
   PAIRMR_REQUIRE(cluster.num_alive() > 0,
                  "cluster has no alive nodes to run pairwise jobs on");
   PAIRMR_REQUIRE(!options.work_dir.empty(),
@@ -602,11 +664,42 @@ void validate_pairwise_options(const mr::Cluster& cluster,
       "budget is enabled (got " +
           std::to_string(options.memory_budget.merge_fan_in) +
           "); a 1-way merge cannot make progress");
+  if (mode == RunMode::kSimilarityJoin) {
+    const SimilarityJoinOptions& join = options.similarity_join;
+    PAIRMR_REQUIRE(
+        !std::isnan(join.threshold) && join.threshold >= 0.0 &&
+            join.threshold <= 1.0,
+        "PairwiseOptions::similarity_join.threshold must be within [0, 1] "
+        "(got " +
+            std::to_string(join.threshold) +
+            "): Jaccard similarity is bounded — use 0 to keep every pair "
+            "or 1 to keep identical sets only");
+    PAIRMR_REQUIRE(
+        join.kernel == SimilarityKernel::kJaccardTokenSet,
+        std::string("PairwiseOptions::similarity_join.kernel is ") +
+            to_string(join.kernel) +
+            ", but the candidate filters (prefix, LSH banding) are "
+            "set-overlap bounds and only apply to set kernels "
+            "(jaccard-token-set); for vector kernels run "
+            "RunMode::kTwoJob with a KeepFn threshold instead");
+    if (join.filter == CandidateFilter::kLshBanding) {
+      PAIRMR_REQUIRE(
+          join.lsh_bands >= 1 && join.lsh_rows >= 1,
+          "PairwiseOptions::similarity_join needs lsh_bands >= 1 and "
+          "lsh_rows >= 1 (got bands=" +
+              std::to_string(join.lsh_bands) + ", rows=" +
+              std::to_string(join.lsh_rows) +
+              "); each band hashes `rows` minhash slots into one bucket "
+              "key");
+    }
+  }
 }
 
 RunReport PairwiseRunner::run(const RunSpec& spec) {
-  validate_job(spec.job);
-  validate_pairwise_options(cluster_, spec.options);
+  // The join driver synthesizes its own job; every other mode needs a
+  // caller-supplied compute fn.
+  if (spec.mode != RunMode::kSimilarityJoin) validate_job(spec.job);
+  validate_pairwise_options(cluster_, spec.options, spec.mode);
   PAIRMR_REQUIRE(!spec.input_paths.empty(),
                  "RunSpec::input_paths is empty — nothing to compare");
   switch (spec.mode) {
@@ -624,6 +717,13 @@ RunReport PairwiseRunner::run(const RunSpec& spec) {
                      "RunMode::kRounds needs RunSpec::scheme");
       PAIRMR_REQUIRE(!spec.rounds.empty(), "need at least one round");
       return run_rounds(cluster_, spec);
+    case RunMode::kSimilarityJoin:
+      PAIRMR_REQUIRE(spec.scheme != nullptr,
+                     "RunMode::kSimilarityJoin needs RunSpec::scheme — "
+                     "the inner scheme the candidate-filtered pairwise "
+                     "phase runs over (any two-job scheme family: "
+                     "broadcast/block/design/quorum)");
+      return run_similarity_join(cluster_, spec);
   }
   PAIRMR_CHECK(false, "unreachable: invalid RunMode");
 }

@@ -32,6 +32,13 @@ enum class RunMode {
   kTwoJob,     // distribute+compare job, then aggregate job (§4)
   kBroadcast,  // one job, dataset via distributed cache (§5.1)
   kRounds,     // round-based execution with per-round merges (§7)
+  // Thresholded similarity join (DESIGN.md §14): a candidate-generation
+  // phase (pairwise/candidates.hpp) prunes the pair relation, then the
+  // two-job driver runs over RunSpec::scheme restricted to the surviving
+  // candidates. The job is synthesized from
+  // PairwiseOptions::similarity_join — RunSpec::job must leave
+  // compute/prepared/keep unset (finalize is honored).
+  kSimilarityJoin,
 };
 
 const char* to_string(RunMode mode);
@@ -43,9 +50,9 @@ struct BroadcastTarget {
 };
 
 // Full description of one pairwise run. Exactly one driver input is
-// consulted, selected by `mode`: `scheme` for kTwoJob, `broadcast` for
-// kBroadcast, `scheme` + `rounds` for kRounds. `scheme` is borrowed and
-// must outlive the run() call.
+// consulted, selected by `mode`: `scheme` for kTwoJob and
+// kSimilarityJoin, `broadcast` for kBroadcast, `scheme` + `rounds` for
+// kRounds. `scheme` is borrowed and must outlive the run() call.
 struct RunSpec {
   std::vector<std::string> input_paths;
   RunMode mode = RunMode::kTwoJob;
@@ -65,10 +72,19 @@ struct RunReport {
   RunMode mode = RunMode::kTwoJob;
   std::vector<mr::JobResult> compute_jobs;
   std::vector<mr::JobResult> merge_jobs;
+  // kSimilarityJoin only: the candidate-generation jobs that ran before
+  // the pairwise phase (empty when threshold <= 0 skipped the phase).
+  std::vector<mr::JobResult> candidate_jobs;
   bool aggregated = false;
 
   std::uint64_t evaluations = 0;
   std::uint64_t results_kept = 0;
+
+  // kSimilarityJoin only (counter::kCandidatePairs & friends):
+  // candidate == survivor + pruned, all zero in other modes.
+  std::uint64_t candidate_pairs = 0;
+  std::uint64_t survivor_pairs = 0;
+  std::uint64_t pruned_pairs = 0;
 
   // Measured counterparts of Table 1's metrics.
   double replication_factor = 0.0;
@@ -101,9 +117,14 @@ struct RunReport {
 
 // Up-front structural validation of a run's options against the cluster,
 // with actionable messages (instead of a failure deep inside the engine).
-// run() calls this before executing; throws PreconditionError.
+// run() calls this before executing; throws PreconditionError. `mode`
+// selects the mode-specific checks: kSimilarityJoin additionally rejects
+// a similarity threshold outside [0, 1] (or NaN) and a non-set kernel —
+// the candidate filters are set-overlap bounds and silently produce
+// wrong prunes for vector kernels.
 void validate_pairwise_options(const mr::Cluster& cluster,
-                               const PairwiseOptions& options);
+                               const PairwiseOptions& options,
+                               RunMode mode = RunMode::kTwoJob);
 
 class PairwiseRunner {
  public:

@@ -1,0 +1,39 @@
+#include "pairwise/simjoin_report.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace pairmr {
+
+std::string simjoin_to_json(const std::vector<SimjoinPoint>& points) {
+  std::ostringstream os;
+  os << "{\n  \"bench\": \"simjoin\",\n  \"points\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const SimjoinPoint& p = points[i];
+    os << "    {\"filter\": \"" << p.filter << "\", \"threshold\": "
+       << p.threshold << ", \"v\": " << p.v
+       << ", \"total_pairs\": " << p.total_pairs
+       << ", \"candidate_pairs\": " << p.candidate_pairs
+       << ", \"survivor_pairs\": " << p.survivor_pairs
+       << ", \"pruned_pairs\": " << p.pruned_pairs
+       << ", \"exhaustive_seconds\": " << p.exhaustive_seconds
+       << ", \"join_seconds\": " << p.join_seconds
+       << ", \"exhaustive_pairs_per_s\": " << p.exhaustive_pairs_per_s
+       << ", \"join_pairs_per_s\": " << p.join_pairs_per_s
+       << ", \"speedup\": " << p.speedup
+       << ", \"identical\": " << (p.identical ? "true" : "false") << "}"
+       << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"passed\": " << (simjoin_all_ok(points) ? "true" : "false")
+     << "\n}\n";
+  return os.str();
+}
+
+bool simjoin_all_ok(const std::vector<SimjoinPoint>& points) {
+  return std::all_of(points.begin(), points.end(), [](const SimjoinPoint& p) {
+    return p.identical &&
+           p.candidate_pairs == p.survivor_pairs + p.pruned_pairs;
+  });
+}
+
+}  // namespace pairmr

@@ -1,0 +1,37 @@
+// BENCH_simjoin.json data model: pruned-vs-exhaustive throughput across
+// similarity thresholds. Shared by bench/bench_simjoin (which emits the
+// document) and tests/pairwise/simjoin_schema_test.cpp (schema + golden),
+// in the BENCH_frontier.json idiom (pairwise/frontier.hpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pairmr {
+
+struct SimjoinPoint {
+  std::string filter;  // "prefix" | "lsh-banding"
+  double threshold = 0.0;
+  std::uint64_t v = 0;
+  std::uint64_t total_pairs = 0;      // C(v,2)
+  std::uint64_t candidate_pairs = 0;  // pairs.candidate
+  std::uint64_t survivor_pairs = 0;   // pairs.survivor
+  std::uint64_t pruned_pairs = 0;     // pairs.pruned
+  double exhaustive_seconds = 0.0;
+  double join_seconds = 0.0;
+  double exhaustive_pairs_per_s = 0.0;  // C(v,2) / exhaustive_seconds
+  double join_pairs_per_s = 0.0;        // C(v,2) / join_seconds
+  double speedup = 0.0;                 // exhaustive_seconds / join_seconds
+  bool identical = false;  // join output byte-identical to exhaustive ref
+};
+
+// {"bench": "simjoin", "points": [...], "passed": bool}; `passed` is
+// simjoin_all_ok.
+std::string simjoin_to_json(const std::vector<SimjoinPoint>& points);
+
+// Every point's output matched its exhaustive reference and the counter
+// invariant candidate == survivor + pruned held.
+bool simjoin_all_ok(const std::vector<SimjoinPoint>& points);
+
+}  // namespace pairmr

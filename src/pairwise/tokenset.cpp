@@ -1,0 +1,92 @@
+#include "pairwise/tokenset.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/hash.hpp"
+#include "common/serde.hpp"
+
+namespace pairmr {
+
+namespace {
+
+// Slack applied to the pruning bounds so floating-point rounding can only
+// ADMIT a borderline pair, never drop it.
+constexpr double kFilterEps = 1e-9;
+
+}  // namespace
+
+std::string encode_token_set(const std::vector<std::uint32_t>& tokens) {
+  BufWriter w;
+  w.put_u32(static_cast<std::uint32_t>(tokens.size()));
+  for (const std::uint32_t t : tokens) w.put_u32(t);
+  return std::move(w).str();
+}
+
+std::vector<std::uint32_t> decode_token_set(std::string_view payload) {
+  BufReader r(payload);
+  const std::uint32_t n = r.get_u32();
+  std::vector<std::uint32_t> tokens;
+  tokens.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) tokens.push_back(r.get_u32());
+  return tokens;
+}
+
+double jaccard_similarity(const std::vector<std::uint32_t>& a,
+                          const std::vector<std::uint32_t>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  // Branchless sorted-merge intersection: data-dependent advances compile
+  // to conditional moves, which matters at millions of pairs per second.
+  std::size_t ia = 0, ib = 0, both = 0;
+  while (ia < a.size() && ib < b.size()) {
+    const std::uint32_t x = a[ia];
+    const std::uint32_t y = b[ib];
+    both += (x == y);
+    ia += (x <= y);
+    ib += (y <= x);
+  }
+  const std::size_t either = a.size() + b.size() - both;
+  return static_cast<double>(both) / static_cast<double>(either);
+}
+
+std::uint64_t prefix_length(std::uint64_t size, double threshold) {
+  PAIRMR_REQUIRE(threshold >= 0.0 && threshold <= 1.0,
+                 "prefix_length needs a threshold within [0, 1]");
+  if (size == 0) return 0;
+  const double scaled =
+      threshold * static_cast<double>(size) - kFilterEps;
+  const auto needed = scaled <= 0.0
+                          ? std::uint64_t{0}
+                          : static_cast<std::uint64_t>(std::ceil(scaled));
+  // needed = ⌈t·size⌉ (with over-inclusive rounding); p = size − needed + 1,
+  // clamped into [1, size] so t → 0 degrades to "the whole set".
+  if (needed == 0 || needed > size) return size;
+  return size - needed + 1;
+}
+
+bool length_filter_passes(std::uint64_t sa, std::uint64_t sb,
+                          double threshold) {
+  const double lo = static_cast<double>(std::min(sa, sb));
+  const double hi = static_cast<double>(std::max(sa, sb));
+  return lo + kFilterEps >= threshold * hi;
+}
+
+std::vector<std::uint64_t> minhash_signature(
+    const std::vector<std::uint32_t>& tokens, std::uint32_t num_hashes,
+    std::uint64_t seed) {
+  PAIRMR_REQUIRE(num_hashes > 0, "minhash signature needs >= 1 hash");
+  std::vector<std::uint64_t> sig(num_hashes, kEmptySetMinhash);
+  for (std::uint32_t h = 0; h < num_hashes; ++h) {
+    const std::uint64_t slot_seed = hash_combine(seed, h);
+    for (const std::uint32_t t : tokens) {
+      // One more fnv1a-style mix so consecutive token ids scatter.
+      const std::uint64_t mixed =
+          hash_combine(slot_seed, t * 0x100000001b3ull + 0x9e3779b9u);
+      sig[h] = std::min(sig[h], mixed);
+    }
+  }
+  return sig;
+}
+
+}  // namespace pairmr

@@ -1,0 +1,63 @@
+// Token-set primitives for set-similarity workloads.
+//
+// Lives in the pairwise layer (not workloads) because the similarity-join
+// runner synthesizes its jaccard kernel and candidate filters from these
+// functions, and pairmr_workloads already links against pairmr_pairwise —
+// the workloads kernels (workloads/kernels.hpp) delegate here so both
+// layers compute bit-identical similarities.
+//
+// Payload format (shared with workloads::document_payloads): u32 token
+// count followed by that many u32 token ids, sorted ascending and
+// deduplicated — a set, not a bag.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pairmr {
+
+// --- codec ---------------------------------------------------------------
+
+std::string encode_token_set(const std::vector<std::uint32_t>& tokens);
+std::vector<std::uint32_t> decode_token_set(std::string_view payload);
+
+// --- similarity ----------------------------------------------------------
+
+// Jaccard similarity |a∩b| / |a∪b| of two sorted token-id sets.
+// J(∅, ∅) is defined as 1.0 (two empty documents are identical).
+double jaccard_similarity(const std::vector<std::uint32_t>& a,
+                          const std::vector<std::uint32_t>& b);
+
+// --- candidate-filter math (similarity join, DESIGN.md §14) --------------
+//
+// Both bounds are used to PRUNE pairs, so any floating-point slack is
+// applied in the over-inclusive direction: a borderline pair becomes a
+// candidate (and is settled by the exact kernel) rather than dropped.
+
+// Prefix-filter prefix length for a set of `size` tokens under Jaccard
+// threshold `t`: p = size − ⌈t·size⌉ + 1, clamped to [1, size]. Two sets
+// with J ≥ t > 0 must share at least one token within their prefixes
+// under any common total token order. Returns 0 for an empty set.
+std::uint64_t prefix_length(std::uint64_t size, double threshold);
+
+// Length filter: J(a,b) ≥ t implies t·max(|a|,|b|) ≤ min(|a|,|b|).
+// Returns true when sizes (sa, sb) survive that necessary condition.
+bool length_filter_passes(std::uint64_t sa, std::uint64_t sb,
+                          double threshold);
+
+// --- minhash (LSH banding) ----------------------------------------------
+
+// Sentinel minhash value of the empty set: all-identical signatures, so
+// empty documents (J(∅,∅) = 1) always land in the same LSH buckets.
+inline constexpr std::uint64_t kEmptySetMinhash = ~std::uint64_t{0};
+
+// `num_hashes` seeded minhash values of a token set: slot h holds the
+// minimum of mix(seed, h, token) over the tokens. Deterministic across
+// platforms (fnv1a/hash_combine, common/hash.hpp).
+std::vector<std::uint64_t> minhash_signature(
+    const std::vector<std::uint32_t>& tokens, std::uint32_t num_hashes,
+    std::uint64_t seed);
+
+}  // namespace pairmr

@@ -6,6 +6,7 @@
 #include "common/check.hpp"
 #include "common/rng.hpp"
 #include "common/serde.hpp"
+#include "pairwise/tokenset.hpp"
 
 namespace pairmr::workloads {
 
@@ -100,12 +101,7 @@ std::vector<std::string> document_payloads(
     const std::vector<std::vector<std::uint32_t>>& docs) {
   std::vector<std::string> out;
   out.reserve(docs.size());
-  for (const auto& doc : docs) {
-    BufWriter w;
-    w.put_u32(static_cast<std::uint32_t>(doc.size()));
-    for (const std::uint32_t t : doc) w.put_u32(t);
-    out.push_back(std::move(w).str());
-  }
+  for (const auto& doc : docs) out.push_back(encode_token_set(doc));
   return out;
 }
 

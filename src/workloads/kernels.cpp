@@ -6,6 +6,7 @@
 
 #include "common/check.hpp"
 #include "common/serde.hpp"
+#include "pairwise/tokenset.hpp"
 
 namespace pairmr::workloads {
 
@@ -54,19 +55,9 @@ double inner_product(const std::vector<double>& a,
 
 double jaccard_similarity(const std::vector<std::uint32_t>& a,
                           const std::vector<std::uint32_t>& b) {
-  if (a.empty() && b.empty()) return 1.0;
-  // Branchless sorted-merge intersection: data-dependent advances compile
-  // to conditional moves, which matters at millions of pairs per second.
-  std::size_t ia = 0, ib = 0, both = 0;
-  while (ia < a.size() && ib < b.size()) {
-    const std::uint32_t x = a[ia];
-    const std::uint32_t y = b[ib];
-    both += (x == y);
-    ia += (x <= y);
-    ib += (y <= x);
-  }
-  const std::size_t either = a.size() + b.size() - both;
-  return static_cast<double>(both) / static_cast<double>(either);
+  // Single source of truth in the pairwise layer (pairwise/tokenset.hpp)
+  // so the similarity-join runner computes bit-identical similarities.
+  return pairmr::jaccard_similarity(a, b);
 }
 
 double mutual_information(const std::vector<double>& a,
@@ -134,12 +125,7 @@ std::uint64_t edit_distance(std::string_view a, std::string_view b) {
 }
 
 std::vector<std::uint32_t> decode_token_set(std::string_view payload) {
-  BufReader r(payload);
-  const std::uint32_t n = r.get_u32();
-  std::vector<std::uint32_t> tokens;
-  tokens.reserve(n);
-  for (std::uint32_t i = 0; i < n; ++i) tokens.push_back(r.get_u32());
-  return tokens;
+  return pairmr::decode_token_set(payload);
 }
 
 namespace {

@@ -1,0 +1,290 @@
+// Unit tests for the similarity-join building blocks (DESIGN.md §14):
+// token-set codec + filter math (pairwise/tokenset.hpp), CandidateSet
+// membership, and CandidateScheme's filtered pair relations / scaled
+// Table 1 metrics. End-to-end candidate generation is covered by
+// simjoin_property_test.cpp and similarity_join_equivalence_test.cpp.
+#include "pairwise/candidates.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.hpp"
+#include "pairwise/block_scheme.hpp"
+#include "pairwise/cost_model.hpp"
+#include "pairwise/tokenset.hpp"
+
+namespace pairmr {
+namespace {
+
+// --- tokenset codec ------------------------------------------------------
+
+TEST(TokenSetCodecTest, RoundTripsIncludingEmpty) {
+  const std::vector<std::vector<std::uint32_t>> sets = {
+      {}, {0}, {1, 2, 3}, {0, 7, 9, 4000000000u}};
+  for (const auto& s : sets) {
+    EXPECT_EQ(decode_token_set(encode_token_set(s)), s);
+  }
+}
+
+TEST(TokenSetCodecTest, EncodedSizeIsCountPlusTokens) {
+  EXPECT_EQ(encode_token_set({}).size(), 4u);
+  EXPECT_EQ(encode_token_set({1, 2, 3}).size(), 4u + 3 * 4u);
+}
+
+// --- jaccard -------------------------------------------------------------
+
+TEST(JaccardTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(jaccard_similarity({1, 2, 3}, {2, 3, 4}), 0.5);
+  EXPECT_DOUBLE_EQ(jaccard_similarity({1, 2}, {1, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(jaccard_similarity({1, 2}, {3, 4}), 0.0);
+  EXPECT_DOUBLE_EQ(jaccard_similarity({1}, {1, 2, 3, 4}), 0.25);
+}
+
+TEST(JaccardTest, EmptySetsAreIdentical) {
+  EXPECT_DOUBLE_EQ(jaccard_similarity({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(jaccard_similarity({}, {1}), 0.0);
+}
+
+// --- prefix_length -------------------------------------------------------
+
+TEST(PrefixLengthTest, FormulaAndClamps) {
+  // p = size − ⌈t·size⌉ + 1.
+  EXPECT_EQ(prefix_length(10, 0.5), 6u);   // 10 − 5 + 1
+  EXPECT_EQ(prefix_length(10, 0.9), 2u);   // 10 − 9 + 1
+  EXPECT_EQ(prefix_length(10, 1.0), 1u);   // identical sets: first token
+  EXPECT_EQ(prefix_length(10, 0.75), 3u);  // ⌈7.5⌉ = 8 → 3
+  EXPECT_EQ(prefix_length(1, 1.0), 1u);
+  EXPECT_EQ(prefix_length(1, 0.5), 1u);
+  EXPECT_EQ(prefix_length(0, 0.5), 0u);  // empty set: no prefix tokens
+}
+
+TEST(PrefixLengthTest, EpsilonKeepsExactProductsExact) {
+  // t·size that lands exactly on an integer must not be rounded up by
+  // floating-point noise: 0.5 · 10 = 5 exactly, and (1/3)·3 = 1.
+  EXPECT_EQ(prefix_length(10, 0.5), 6u);
+  EXPECT_EQ(prefix_length(3, 1.0 / 3.0), 3u);
+  EXPECT_EQ(prefix_length(4, 0.25), 4u);
+}
+
+TEST(PrefixLengthTest, ThresholdZeroKeepsWholeSet) {
+  EXPECT_EQ(prefix_length(7, 0.0), 7u);
+}
+
+TEST(PrefixLengthTest, RejectsOutOfRangeThreshold) {
+  EXPECT_THROW(prefix_length(10, -0.1), PreconditionError);
+  EXPECT_THROW(prefix_length(10, 1.5), PreconditionError);
+}
+
+// The defining property: if J(a,b) ≥ t > 0 then the rank-ordered prefixes
+// share a token — exhaustively checked over small universes.
+TEST(PrefixLengthTest, NoFalseNegativesExhaustiveSmallUniverse) {
+  // All subsets of {0..5} as token sets, identity token order.
+  std::vector<std::vector<std::uint32_t>> sets;
+  for (std::uint32_t mask = 1; mask < 64; ++mask) {
+    std::vector<std::uint32_t> s;
+    for (std::uint32_t b = 0; b < 6; ++b) {
+      if (mask & (1u << b)) s.push_back(b);
+    }
+    sets.push_back(std::move(s));
+  }
+  for (const double t : {0.25, 0.5, 0.75, 1.0}) {
+    for (std::size_t i = 0; i < sets.size(); ++i) {
+      for (std::size_t j = i + 1; j < sets.size(); ++j) {
+        if (jaccard_similarity(sets[i], sets[j]) < t) continue;
+        const auto pa = prefix_length(sets[i].size(), t);
+        const auto pb = prefix_length(sets[j].size(), t);
+        bool share = false;
+        for (std::size_t x = 0; x < pa && !share; ++x) {
+          for (std::size_t y = 0; y < pb && !share; ++y) {
+            share = sets[i][x] == sets[j][y];
+          }
+        }
+        EXPECT_TRUE(share) << "t=" << t << " i=" << i << " j=" << j;
+      }
+    }
+  }
+}
+
+// --- length_filter_passes ------------------------------------------------
+
+TEST(LengthFilterTest, BoundAndTies) {
+  // J ≥ t ⟹ t·max ≤ min. t = 0.5, sizes (2, 4): 0.5·4 = 2 ≤ 2 — a tie
+  // must pass (over-inclusive direction).
+  EXPECT_TRUE(length_filter_passes(2, 4, 0.5));
+  EXPECT_TRUE(length_filter_passes(4, 2, 0.5));  // symmetric
+  EXPECT_FALSE(length_filter_passes(1, 4, 0.5));
+  EXPECT_TRUE(length_filter_passes(3, 3, 1.0));
+  EXPECT_FALSE(length_filter_passes(3, 4, 1.0));
+  EXPECT_TRUE(length_filter_passes(1, 100, 0.0));
+}
+
+TEST(LengthFilterTest, NeverPrunesAPairAboveThreshold) {
+  for (std::uint64_t sa = 0; sa <= 12; ++sa) {
+    for (std::uint64_t sb = 0; sb <= 12; ++sb) {
+      for (const double t : {0.25, 0.5, 1.0 / 3.0, 0.9, 1.0}) {
+        // Best case: the smaller set is contained in the larger one,
+        // J = min / max — if even that cannot reach t, pruning is safe.
+        const double best =
+            (sa == 0 && sb == 0)
+                ? 1.0
+                : static_cast<double>(std::min(sa, sb)) /
+                      static_cast<double>(std::max(sa, sb));
+        if (best >= t) {
+          EXPECT_TRUE(length_filter_passes(sa, sb, t))
+              << sa << "," << sb << " t=" << t;
+        }
+      }
+    }
+  }
+}
+
+// --- minhash -------------------------------------------------------------
+
+TEST(MinhashTest, DeterministicAndSeedSensitive) {
+  const std::vector<std::uint32_t> tokens = {3, 14, 15, 92, 65};
+  const auto a = minhash_signature(tokens, 8, 42);
+  const auto b = minhash_signature(tokens, 8, 42);
+  const auto c = minhash_signature(tokens, 8, 43);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.size(), 8u);
+}
+
+TEST(MinhashTest, EmptySetGetsSentinelSignature) {
+  const auto sig = minhash_signature({}, 4, 42);
+  ASSERT_EQ(sig.size(), 4u);
+  for (const auto h : sig) EXPECT_EQ(h, kEmptySetMinhash);
+}
+
+TEST(MinhashTest, IdenticalSetsCollideSupersetsOverlap) {
+  const std::vector<std::uint32_t> x = {1, 2, 3, 4, 5, 6, 7, 8};
+  EXPECT_EQ(minhash_signature(x, 16, 7), minhash_signature(x, 16, 7));
+  // A superset's minimum per slot is ≤ the subset's: slots where they
+  // agree witness the shared tokens.
+  auto y = x;
+  y.push_back(9);
+  const auto sx = minhash_signature(x, 16, 7);
+  const auto sy = minhash_signature(y, 16, 7);
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < sx.size(); ++i) {
+    EXPECT_LE(sy[i], sx[i]);
+    agree += sy[i] == sx[i];
+  }
+  EXPECT_GT(agree, 0u);  // J(x,y) = 8/9 — near-certain agreement somewhere
+}
+
+// --- CandidateSet --------------------------------------------------------
+
+TEST(CandidateSetTest, SortsDedupsAndAnswersMembership) {
+  const CandidateSet set({{3, 5}, {0, 1}, {3, 5}, {2, 9}});
+  EXPECT_EQ(set.size(), 3u);
+  EXPECT_FALSE(set.empty());
+  EXPECT_TRUE(set.contains({0, 1}));
+  EXPECT_TRUE(set.contains({3, 5}));
+  EXPECT_TRUE(set.contains({2, 9}));
+  EXPECT_FALSE(set.contains({1, 2}));
+  EXPECT_FALSE(set.contains({5, 3}));  // unordered pairs are stored lo<hi
+  const std::vector<ElementPair> expected = {{0, 1}, {2, 9}, {3, 5}};
+  EXPECT_EQ(set.pairs(), expected);
+}
+
+TEST(CandidateSetTest, DefaultIsEmpty) {
+  const CandidateSet set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(set.size(), 0u);
+  EXPECT_FALSE(set.contains({0, 1}));
+}
+
+TEST(CandidateSetTest, RejectsUnorderedPair) {
+  EXPECT_THROW(CandidateSet({{5, 3}}), PreconditionError);
+  EXPECT_THROW(CandidateSet({{4, 4}}), PreconditionError);
+}
+
+// --- CandidateScheme -----------------------------------------------------
+
+TEST(CandidateSchemeTest, FiltersPairsPreservingBaseOrderAndShipping) {
+  const BlockScheme base(10, 3);
+  const CandidateSet candidates({{0, 1}, {2, 7}, {4, 9}, {8, 9}});
+  const CandidateScheme scheme(base, candidates);
+
+  EXPECT_EQ(scheme.name(), base.name() + "+candidates");
+  EXPECT_EQ(scheme.num_elements(), base.num_elements());
+  EXPECT_EQ(scheme.num_tasks(), base.num_tasks());
+  EXPECT_EQ(scheme.total_pairs(), 4u);
+
+  std::uint64_t filtered_total = 0;
+  for (TaskId t = 0; t < scheme.num_tasks(); ++t) {
+    // Shipping is untouched.
+    EXPECT_EQ(scheme.working_set(t), base.working_set(t));
+
+    // pairs_in is exactly the base relation ∩ candidates, in base order.
+    std::vector<ElementPair> expected;
+    base.for_each_pair(t, [&](ElementPair p) {
+      if (candidates.contains(p)) expected.push_back(p);
+    });
+    EXPECT_EQ(scheme.pairs_in(t), expected) << "task " << t;
+
+    std::vector<ElementPair> visited;
+    scheme.for_each_pair(t, [&](ElementPair p) { visited.push_back(p); });
+    EXPECT_EQ(visited, expected) << "task " << t;
+    filtered_total += visited.size();
+  }
+  // Block covers every pair at least once; with replication a candidate
+  // may be enumerated by several tasks, never zero.
+  EXPECT_GE(filtered_total, scheme.total_pairs());
+
+  for (ElementId id = 0; id < 10; ++id) {
+    EXPECT_EQ(scheme.subsets_of(id), base.subsets_of(id));
+  }
+}
+
+TEST(CandidateSchemeTest, MetricsScaleEvaluationsOnly) {
+  const BlockScheme base(10, 3);
+  const CandidateSet candidates({{0, 1}, {2, 7}, {4, 9}});  // 3 of C(10,2)=45
+  const CandidateScheme scheme(base, candidates);
+
+  const SchemeMetrics b = base.metrics();
+  const SchemeMetrics m = scheme.metrics();
+  EXPECT_EQ(m.scheme, scheme.name());
+  EXPECT_EQ(m.num_tasks, b.num_tasks);
+  EXPECT_DOUBLE_EQ(m.communication_elements, b.communication_elements);
+  EXPECT_DOUBLE_EQ(m.replication_factor, b.replication_factor);
+  EXPECT_DOUBLE_EQ(m.working_set_elements, b.working_set_elements);
+  EXPECT_DOUBLE_EQ(m.evaluations_per_task,
+                   b.evaluations_per_task * (3.0 / 45.0));
+}
+
+TEST(CandidateSchemeTest, EmptyCandidateSetYieldsNoPairs) {
+  const BlockScheme base(6, 2);
+  const CandidateScheme scheme(base, CandidateSet{});
+  EXPECT_EQ(scheme.total_pairs(), 0u);
+  for (TaskId t = 0; t < scheme.num_tasks(); ++t) {
+    EXPECT_TRUE(scheme.pairs_in(t).empty());
+  }
+  EXPECT_DOUBLE_EQ(scheme.metrics().evaluations_per_task, 0.0);
+}
+
+TEST(CandidateSchemeTest, RejectsOutOfRangePair) {
+  const BlockScheme base(6, 2);
+  EXPECT_THROW(CandidateScheme(base, CandidateSet({{0, 6}})),
+               PreconditionError);
+}
+
+// --- with_candidate_fraction ---------------------------------------------
+
+TEST(WithCandidateFractionTest, ScalesEvaluationsRejectsBadFraction) {
+  const SchemeMetrics base = block_metrics(10000, 10);
+  const SchemeMetrics scaled = with_candidate_fraction(base, 0.25);
+  EXPECT_DOUBLE_EQ(scaled.evaluations_per_task,
+                   base.evaluations_per_task * 0.25);
+  EXPECT_DOUBLE_EQ(scaled.communication_elements, base.communication_elements);
+  EXPECT_DOUBLE_EQ(scaled.working_set_elements, base.working_set_elements);
+  EXPECT_DOUBLE_EQ(scaled.replication_factor, base.replication_factor);
+  EXPECT_THROW(with_candidate_fraction(base, -0.1), PreconditionError);
+  EXPECT_THROW(with_candidate_fraction(base, 1.1), PreconditionError);
+}
+
+}  // namespace
+}  // namespace pairmr

@@ -150,5 +150,47 @@ TEST(PlannerTest, InvalidRequestsThrow) {
   EXPECT_THROW(plan_scheme(request(10, kKiB, 0)), PreconditionError);
 }
 
+TEST(PlannerTest, CandidateFractionScalesPredictedEvaluationsOnly) {
+  // A similarity join prunes kernel work, not shipping: the plan's
+  // feasibility and communication predictions are unchanged, only the
+  // predicted evaluations shrink.
+  PlanRequest full = request(40000, 100 * kKiB, 8);
+  const Plan baseline = plan_scheme(full);
+  ASSERT_TRUE(baseline.feasible);
+
+  PlanRequest pruned = full;
+  pruned.candidate_fraction = 0.1;
+  const Plan plan = plan_scheme(pruned);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_EQ(plan.kind, baseline.kind);
+  EXPECT_DOUBLE_EQ(plan.predicted.evaluations_per_task,
+                   baseline.predicted.evaluations_per_task * 0.1);
+  EXPECT_DOUBLE_EQ(plan.predicted.communication_elements,
+                   baseline.predicted.communication_elements);
+  EXPECT_DOUBLE_EQ(plan.predicted.working_set_elements,
+                   baseline.predicted.working_set_elements);
+  EXPECT_NE(plan.rationale.find("candidate filter"), std::string::npos)
+      << plan.rationale;
+}
+
+TEST(PlannerTest, CandidateFractionOneIsTheDefaultNoOp) {
+  PlanRequest req = request(40000, 100 * kKiB, 8);
+  EXPECT_DOUBLE_EQ(req.candidate_fraction, 1.0);
+  const Plan a = plan_scheme(req);
+  req.candidate_fraction = 1.0;
+  const Plan b = plan_scheme(req);
+  EXPECT_EQ(a.rationale, b.rationale);
+  EXPECT_DOUBLE_EQ(a.predicted.evaluations_per_task,
+                   b.predicted.evaluations_per_task);
+}
+
+TEST(PlannerTest, CandidateFractionOutsideUnitIntervalThrows) {
+  PlanRequest req = request(40000, 100 * kKiB, 8);
+  req.candidate_fraction = -0.1;
+  EXPECT_THROW(plan_scheme(req), PreconditionError);
+  req.candidate_fraction = 1.5;
+  EXPECT_THROW(plan_scheme(req), PreconditionError);
+}
+
 }  // namespace
 }  // namespace pairmr

@@ -8,6 +8,7 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -339,10 +340,98 @@ TEST(ValidateOptionsTest, RunRejectsStructurallyInvalidSpecs) {
   EXPECT_THROW(runner.run(no_rounds), PreconditionError);
 }
 
+// --- similarity-join validation ------------------------------------------
+
+TEST(ValidateOptionsTest, JoinThresholdOutsideUnitIntervalIsRejected) {
+  mr::Cluster cluster({.num_nodes = 2});
+  for (const double bad : {-0.1, 1.5}) {
+    PairwiseOptions options;
+    options.similarity_join.threshold = bad;
+    try {
+      validate_pairwise_options(cluster, options,
+                                RunMode::kSimilarityJoin);
+      FAIL() << "expected PreconditionError for threshold " << bad;
+    } catch (const PreconditionError& e) {
+      EXPECT_NE(std::string(e.what()).find("[0, 1]"), std::string::npos)
+          << e.what();
+    }
+  }
+  PairwiseOptions nan_options;
+  nan_options.similarity_join.threshold =
+      std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(validate_pairwise_options(cluster, nan_options,
+                                         RunMode::kSimilarityJoin),
+               PreconditionError);
+}
+
+TEST(ValidateOptionsTest, JoinWithVectorKernelIsRejected) {
+  // Prefix/length bounds are set-overlap math; vector kernels must use
+  // the exhaustive two-job mode with a KeepFn instead.
+  mr::Cluster cluster({.num_nodes = 2});
+  for (const SimilarityKernel kernel :
+       {SimilarityKernel::kCosineVector, SimilarityKernel::kEuclideanVector}) {
+    PairwiseOptions options;
+    options.similarity_join.kernel = kernel;
+    try {
+      validate_pairwise_options(cluster, options,
+                                RunMode::kSimilarityJoin);
+      FAIL() << "expected PreconditionError for " << to_string(kernel);
+    } catch (const PreconditionError& e) {
+      EXPECT_NE(std::string(e.what()).find("set kernels"), std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST(ValidateOptionsTest, JoinLshGeometryMustBePositive) {
+  mr::Cluster cluster({.num_nodes = 2});
+  PairwiseOptions options;
+  options.similarity_join.filter = CandidateFilter::kLshBanding;
+  options.similarity_join.lsh_bands = 0;
+  EXPECT_THROW(validate_pairwise_options(cluster, options,
+                                         RunMode::kSimilarityJoin),
+               PreconditionError);
+  options.similarity_join.lsh_bands = 16;
+  options.similarity_join.lsh_rows = 0;
+  EXPECT_THROW(validate_pairwise_options(cluster, options,
+                                         RunMode::kSimilarityJoin),
+               PreconditionError);
+}
+
+TEST(ValidateOptionsTest, JoinOptionsAreIgnoredOutsideJoinMode) {
+  // A two-job run never consults similarity_join; a garbage threshold
+  // there must not reject an unrelated exhaustive run.
+  mr::Cluster cluster({.num_nodes = 2});
+  PairwiseOptions options;
+  options.similarity_join.threshold = 42.0;
+  validate_pairwise_options(cluster, options);  // no throw
+  validate_pairwise_options(cluster, options, RunMode::kRounds);
+}
+
+TEST(ValidateOptionsTest, JoinModeRejectsUserSuppliedComputeFn) {
+  // The join synthesizes its own kernel; a caller-provided one would be
+  // silently ignored, so the runner rejects it loudly.
+  mr::Cluster cluster({.num_nodes = 2});
+  PairwiseRunner runner(cluster);
+  const BlockScheme scheme(8, 2);
+  RunSpec spec;
+  spec.input_paths = {"/data/part-0"};
+  spec.mode = RunMode::kSimilarityJoin;
+  spec.scheme = &scheme;
+  spec.job = test_job();  // compute set — not allowed in join mode
+  EXPECT_THROW(runner.run(spec), PreconditionError);
+
+  RunSpec no_scheme;
+  no_scheme.input_paths = {"/data/part-0"};
+  no_scheme.mode = RunMode::kSimilarityJoin;
+  EXPECT_THROW(runner.run(no_scheme), PreconditionError);
+}
+
 TEST(RunModeTest, ToStringNamesEveryMode) {
   EXPECT_STREQ(to_string(RunMode::kTwoJob), "two-job");
   EXPECT_STREQ(to_string(RunMode::kBroadcast), "broadcast");
   EXPECT_STREQ(to_string(RunMode::kRounds), "rounds");
+  EXPECT_STREQ(to_string(RunMode::kSimilarityJoin), "similarity-join");
 }
 
 }  // namespace

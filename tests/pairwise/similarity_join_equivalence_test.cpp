@@ -1,0 +1,258 @@
+// Differential oracle for the thresholded similarity join
+// (RunMode::kSimilarityJoin, DESIGN.md §14): the pruned run's surviving
+// pairs AND fully aggregated elements must be byte-identical to a
+// threshold-filtered exhaustive reference — the plain two-job pipeline
+// with workloads::jaccard_kernel + keep_above on the same inner scheme —
+// across schemes (broadcast/block/design/quorum) × backends
+// (in-process/fork) × fault chaos × memory budgets, mirroring
+// backend_equivalence_test.cpp. Candidate pruning must change cost
+// counters only, never results.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "../support/backend_matrix.hpp"
+#include "common/intmath.hpp"
+#include "mr/cluster.hpp"
+#include "mr/fault.hpp"
+#include "mr/trace.hpp"
+#include "pairwise/block_scheme.hpp"
+#include "pairwise/broadcast_scheme.hpp"
+#include "pairwise/dataset.hpp"
+#include "pairwise/design_scheme.hpp"
+#include "pairwise/quorum_scheme.hpp"
+#include "pairwise/runner.hpp"
+#include "workloads/generators.hpp"
+#include "workloads/kernels.hpp"
+
+namespace pairmr {
+namespace {
+
+using mr::FaultPlan;
+using mr::MemoryBudget;
+using mr::TaskKind;
+
+constexpr double kThreshold = 0.5;
+
+std::vector<std::string> join_payloads(std::uint64_t v, std::uint64_t seed) {
+  // Zipf-like token sets: some near-duplicate pairs survive 0.5, most are
+  // pruned — both branches of the filter see traffic.
+  return workloads::document_payloads(
+      workloads::token_documents(v, /*vocabulary=*/48, /*tokens_per_doc=*/10,
+                                 seed));
+}
+
+std::unique_ptr<DistributionScheme> make_scheme(const std::string& label,
+                                                std::uint64_t v) {
+  if (label == "block") return std::make_unique<BlockScheme>(v, 4);
+  if (label == "design") return std::make_unique<DesignScheme>(v);
+  if (label == "quorum") return std::make_unique<QuorumScheme>(v);
+  return std::make_unique<BroadcastScheme>(v, 5);
+}
+
+FaultPlan make_chaos_plan(std::uint64_t seed) {
+  FaultPlan plan(seed);
+  plan.with_task_kill_rate(0.2, 2)
+      .with_fetch_drop_rate(0.15)
+      .with_straggler_rate(0.15)
+      .kill_task(TaskKind::kMap, 0)
+      .kill_task(TaskKind::kReduce, 0)
+      .drop_fetch(/*reduce_task=*/0, /*map_task=*/0)
+      .mark_straggler(TaskKind::kMap, 1);
+  return plan;
+}
+
+struct Execution {
+  std::vector<std::string> encoded;
+  RunReport report;
+};
+
+// The reference: exhaustive two-job run with the stock workloads jaccard
+// kernel and a keep-filter at the same threshold — a fully independent
+// code path from the join driver's synthesized job.
+Execution exhaustive_reference(const std::string& scheme_label,
+                               const std::vector<std::string>& payloads,
+                               const FaultPlan* plan) {
+  mr::Cluster cluster({.num_nodes = 4, .worker_threads = 2});
+  const auto inputs = write_dataset(cluster, "/data", payloads);
+  const auto scheme = make_scheme(scheme_label, payloads.size());
+
+  RunSpec spec;
+  spec.input_paths = inputs;
+  spec.mode = RunMode::kTwoJob;
+  spec.scheme = scheme.get();
+  spec.job.compute = workloads::jaccard_kernel();
+  spec.job.prepared = workloads::jaccard_prepared();
+  spec.job.keep = workloads::keep_above(kThreshold);
+  spec.options.fault_plan = plan;
+
+  Execution ex;
+  ex.report = PairwiseRunner(cluster).run(spec);
+  for (const Element& e : read_elements(cluster, ex.report.output_dir)) {
+    ex.encoded.push_back(encode_element(e));
+  }
+  return ex;
+}
+
+Execution join_run(const std::string& scheme_label,
+                   const std::vector<std::string>& payloads,
+                   const FaultPlan* plan, mr::BackendKind backend,
+                   const MemoryBudget& budget) {
+  mr::Cluster cluster({.num_nodes = 4, .worker_threads = 2});
+  const auto inputs = write_dataset(cluster, "/data", payloads);
+  const auto scheme = make_scheme(scheme_label, payloads.size());
+
+  RunSpec spec;
+  spec.input_paths = inputs;
+  spec.mode = RunMode::kSimilarityJoin;
+  spec.scheme = scheme.get();
+  spec.options.similarity_join.threshold = kThreshold;
+  spec.options.fault_plan = plan;
+  spec.options.backend = backend;
+  spec.options.memory_budget = budget;
+
+  Execution ex;
+  ex.report = PairwiseRunner(cluster).run(spec);
+  for (const Element& e : read_elements(cluster, ex.report.output_dir)) {
+    ex.encoded.push_back(encode_element(e));
+  }
+  return ex;
+}
+
+void expect_identical(const Execution& join, const Execution& ref,
+                      const std::string& label) {
+  ASSERT_EQ(join.encoded.size(), ref.encoded.size()) << label;
+  for (std::size_t i = 0; i < join.encoded.size(); ++i) {
+    ASSERT_EQ(join.encoded[i], ref.encoded[i]) << label << " element " << i;
+  }
+}
+
+void expect_join_invariants(const Execution& join, const Execution& ref,
+                            std::uint64_t v, const std::string& label) {
+  // Table 1 extension: candidate = survivor + pruned, one source of truth.
+  EXPECT_EQ(join.report.candidate_pairs,
+            join.report.survivor_pairs + join.report.pruned_pairs)
+      << label;
+  // Every candidate was evaluated by the exact kernel exactly once, and
+  // it is the same set the dedup job counted.
+  EXPECT_EQ(join.report.candidate_pairs, join.report.evaluations) << label;
+  EXPECT_EQ(join.report.candidate_pairs,
+            join.report.counter(counter::kCandidateDistinct))
+      << label;
+  // Survivors agree with the exhaustive run's kept results.
+  EXPECT_EQ(join.report.survivor_pairs, ref.report.results_kept) << label;
+  // Pruning actually happened: the filter evaluated strictly fewer pairs
+  // than the exhaustive C(v,2), yet never lost a survivor (byte-identity
+  // above proves that direction).
+  EXPECT_LT(join.report.candidate_pairs, pair_count(v)) << label;
+  EXPECT_LT(join.report.evaluations, ref.report.evaluations) << label;
+  EXPECT_EQ(join.report.candidate_jobs.size(), 3u) << label;
+  EXPECT_EQ(join.report.mode, RunMode::kSimilarityJoin) << label;
+}
+
+struct Case {
+  std::string scheme;
+  bool chaos;
+};
+
+std::string case_name(const Case& c) {
+  return c.scheme + (c.chaos ? "_chaos" : "_faultfree");
+}
+
+class SimilarityJoinEquivalence : public ::testing::TestWithParam<Case> {};
+
+TEST_P(SimilarityJoinEquivalence,
+       PrunedMatchesExhaustiveAcrossBackendsAndBudgets) {
+  const Case& c = GetParam();
+  const std::uint64_t seed = 9100 + (c.chaos ? 1 : 0);
+  const auto payloads = join_payloads(24, seed);
+  const FaultPlan plan = make_chaos_plan(seed);
+  const FaultPlan* fp = c.chaos ? &plan : nullptr;
+
+  const Execution ref = exhaustive_reference(c.scheme, payloads, fp);
+
+  for (const mr::BackendKind backend : testing::kBackendMatrix) {
+    if (backend == mr::BackendKind::kFork &&
+        !testing::fork_backend_supported()) {
+      continue;  // TSan build: the fork half of the matrix cannot run
+    }
+    for (const std::uint64_t budget_bytes : {0ull, 1024ull}) {
+      const MemoryBudget budget =
+          budget_bytes == 0
+              ? MemoryBudget{}
+              : MemoryBudget{.bytes = budget_bytes, .merge_fan_in = 2};
+      const std::string label =
+          case_name(c) + " backend=" +
+          (backend == mr::BackendKind::kFork ? "fork" : "inprocess") +
+          " budget=" + std::to_string(budget_bytes);
+      const Execution join =
+          join_run(c.scheme, payloads, fp, backend, budget);
+      expect_identical(join, ref, label);
+      expect_join_invariants(join, ref, payloads.size(), label);
+    }
+  }
+}
+
+TEST_P(SimilarityJoinEquivalence, TinySpillBudgetForcesSpillsSameOutput) {
+  const Case& c = GetParam();
+  if (c.chaos) GTEST_SKIP() << "spill-pressure variant runs fault-free";
+  const auto payloads = join_payloads(24, 9100);
+  const Execution ref = exhaustive_reference(c.scheme, payloads, nullptr);
+  const Execution join =
+      join_run(c.scheme, payloads, nullptr, mr::BackendKind::kInProcess,
+               MemoryBudget{.bytes = 256, .merge_fan_in = 2});
+  expect_identical(join, ref, case_name(c) + " budget=256");
+  expect_join_invariants(join, ref, payloads.size(),
+                         case_name(c) + " budget=256");
+  EXPECT_GT(join.report.spill_runs, 0u);
+  EXPECT_GT(join.report.spill_bytes, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchemesTimesFaults, SimilarityJoinEquivalence,
+    ::testing::Values(Case{"broadcast", false}, Case{"block", false},
+                      Case{"design", false}, Case{"quorum", false},
+                      Case{"broadcast", true}, Case{"block", true},
+                      Case{"design", true}, Case{"quorum", true}),
+    [](const auto& info) { return case_name(info.param); });
+
+// The candidate phase is traced like any other engine work: its jobs
+// appear as job spans named simjoin-* alongside the pairwise jobs.
+TEST(SimilarityJoinTrace, CandidatePhaseJobsCarrySpans) {
+  const auto payloads = join_payloads(16, 9200);
+  mr::Cluster cluster({.num_nodes = 4, .worker_threads = 2});
+  mr::Tracer tracer;
+  cluster.set_tracer(&tracer);
+  const auto inputs = write_dataset(cluster, "/data", payloads);
+  const BlockScheme scheme(payloads.size(), 4);
+
+  RunSpec spec;
+  spec.input_paths = inputs;
+  spec.mode = RunMode::kSimilarityJoin;
+  spec.scheme = &scheme;
+  spec.options.similarity_join.threshold = kThreshold;
+  PairwiseRunner(cluster).run(spec);
+
+  const auto names = tracer.job_names();
+  const auto has = [&names](const std::string& name) {
+    for (const auto& n : names) {
+      if (n == name) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has("simjoin-tokenfreq"));
+  EXPECT_TRUE(has("simjoin-candidates[prefix]"));
+  EXPECT_TRUE(has("simjoin-dedup"));
+  EXPECT_TRUE(has("pairwise-distribute[block(h=4,v=16)+candidates]") ||
+              [&names] {
+                for (const auto& n : names) {
+                  if (n.rfind("pairwise-distribute[", 0) == 0) return true;
+                }
+                return false;
+              }());
+}
+
+}  // namespace
+}  // namespace pairmr

@@ -1,0 +1,209 @@
+// Similarity-join edge cases: degenerate dataset sizes (v ∈ {0, 1, 2}),
+// all-identical elements, fully disjoint shingle sets (zero candidates),
+// empty documents, and a threshold sitting exactly on a similarity tie.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/intmath.hpp"
+#include "mr/cluster.hpp"
+#include "pairwise/block_scheme.hpp"
+#include "pairwise/broadcast_scheme.hpp"
+#include "pairwise/candidates.hpp"
+#include "pairwise/dataset.hpp"
+#include "pairwise/runner.hpp"
+#include "pairwise/tokenset.hpp"
+
+namespace pairmr {
+namespace {
+
+RunReport run_join(mr::Cluster& cluster, const std::vector<std::string>& inputs,
+                   const DistributionScheme& scheme, double threshold) {
+  RunSpec spec;
+  spec.input_paths = inputs;
+  spec.mode = RunMode::kSimilarityJoin;
+  spec.scheme = &scheme;
+  spec.options.similarity_join.threshold = threshold;
+  return PairwiseRunner(cluster).run(spec);
+}
+
+std::vector<Element> output_of(mr::Cluster& cluster, const RunReport& report) {
+  return read_elements(cluster, report.output_dir);
+}
+
+TEST(SimjoinEdgeCaseTest, DegenerateDatasetsAreRejectedLikeTwoJob) {
+  // v ∈ {0, 1}: no pairs exist. Scheme construction refuses exactly as in
+  // the exhaustive pipeline, so join mode cannot even be configured.
+  for (const std::uint64_t v : {0u, 1u}) {
+    EXPECT_THROW(BroadcastScheme(v, 2), PreconditionError) << "v=" << v;
+    EXPECT_THROW(BlockScheme(v, 2), PreconditionError) << "v=" << v;
+  }
+}
+
+TEST(SimjoinEdgeCaseTest, SingleElementCandidatePhaseIsEmpty) {
+  // The candidate phase itself handles v = 1 gracefully: postings exist
+  // but no pair can form.
+  mr::Cluster cluster({.num_nodes = 2, .worker_threads = 1});
+  const auto inputs =
+      write_dataset(cluster, "/data", {encode_token_set({1, 2, 3})});
+  PairwiseOptions options;
+  options.similarity_join.threshold = 0.5;
+  const CandidatePhase phase = generate_candidates(cluster, inputs, 1, options);
+  EXPECT_FALSE(phase.exhaustive);
+  EXPECT_TRUE(phase.candidates.empty());
+}
+
+TEST(SimjoinEdgeCaseTest, TwoIdenticalElementsSurviveThresholdOne) {
+  mr::Cluster cluster({.num_nodes = 2, .worker_threads = 1});
+  const std::string doc = encode_token_set({4, 8, 15});
+  const auto inputs = write_dataset(cluster, "/data", {doc, doc});
+  const BroadcastScheme scheme(2, 2);
+  const RunReport report = run_join(cluster, inputs, scheme, 1.0);
+  EXPECT_EQ(report.candidate_pairs, 1u);
+  EXPECT_EQ(report.survivor_pairs, 1u);
+  EXPECT_EQ(report.pruned_pairs, 0u);
+  const auto out = output_of(cluster, report);
+  ASSERT_EQ(out.size(), 2u);
+  ASSERT_EQ(out[0].results.size(), 1u);
+  EXPECT_EQ(out[0].results[0].other, 1u);
+  ASSERT_EQ(out[1].results.size(), 1u);
+  EXPECT_EQ(out[1].results[0].other, 0u);
+}
+
+TEST(SimjoinEdgeCaseTest, TwoDisjointElementsYieldZeroCandidates) {
+  mr::Cluster cluster({.num_nodes = 2, .worker_threads = 1});
+  const auto inputs = write_dataset(
+      cluster, "/data", {encode_token_set({1, 2}), encode_token_set({3, 4})});
+  const BroadcastScheme scheme(2, 2);
+  const RunReport report = run_join(cluster, inputs, scheme, 0.5);
+  // Disjoint same-size sets pass the length filter but share no prefix
+  // token: pruned before any kernel evaluation.
+  EXPECT_EQ(report.candidate_pairs, 0u);
+  EXPECT_EQ(report.evaluations, 0u);
+  const auto out = output_of(cluster, report);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_TRUE(out[0].results.empty());
+  EXPECT_TRUE(out[1].results.empty());
+}
+
+TEST(SimjoinEdgeCaseTest, AllIdenticalElementsEveryPairSurvives) {
+  constexpr std::uint64_t kV = 8;
+  mr::Cluster cluster({.num_nodes = 4, .worker_threads = 2});
+  const std::vector<std::string> payloads(kV, encode_token_set({7, 9, 11}));
+  const auto inputs = write_dataset(cluster, "/data", payloads);
+  const BlockScheme scheme(kV, 3);
+  const RunReport report = run_join(cluster, inputs, scheme, 1.0);
+  EXPECT_EQ(report.candidate_pairs, pair_count(kV));
+  EXPECT_EQ(report.survivor_pairs, pair_count(kV));
+  EXPECT_EQ(report.pruned_pairs, 0u);
+  const auto out = output_of(cluster, report);
+  ASSERT_EQ(out.size(), kV);
+  for (const Element& e : out) {
+    EXPECT_EQ(e.results.size(), kV - 1);  // every partner survived
+  }
+}
+
+TEST(SimjoinEdgeCaseTest, AllDisjointShingleSetsZeroCandidates) {
+  constexpr std::uint64_t kV = 10;
+  mr::Cluster cluster({.num_nodes = 4, .worker_threads = 2});
+  std::vector<std::string> payloads;
+  for (std::uint64_t i = 0; i < kV; ++i) {
+    // Pairwise-disjoint 3-token shingle sets.
+    const auto base = static_cast<std::uint32_t>(3 * i);
+    payloads.push_back(encode_token_set({base, base + 1, base + 2}));
+  }
+  const auto inputs = write_dataset(cluster, "/data", payloads);
+  const BlockScheme scheme(kV, 3);
+  const RunReport report = run_join(cluster, inputs, scheme, 0.25);
+  EXPECT_EQ(report.candidate_pairs, 0u);
+  EXPECT_EQ(report.survivor_pairs, 0u);
+  EXPECT_EQ(report.pruned_pairs, 0u);
+  EXPECT_EQ(report.evaluations, 0u);
+  for (const Element& e : output_of(cluster, report)) {
+    EXPECT_TRUE(e.results.empty());
+  }
+}
+
+TEST(SimjoinEdgeCaseTest, ThresholdExactlyAtTieBoundaryKeepsThePair) {
+  // J({1,2,3}, {2,3,4}) = 2/4 = 0.5 exactly; keep is ≥, so t = 0.5 must
+  // keep the pair — and the prefix filter must have admitted it.
+  mr::Cluster cluster({.num_nodes = 2, .worker_threads = 1});
+  const auto inputs = write_dataset(
+      cluster, "/data",
+      {encode_token_set({1, 2, 3}), encode_token_set({2, 3, 4})});
+  const BroadcastScheme scheme(2, 2);
+  const RunReport at = run_join(cluster, inputs, scheme, 0.5);
+  EXPECT_EQ(at.candidate_pairs, 1u);
+  EXPECT_EQ(at.survivor_pairs, 1u);
+  EXPECT_EQ(at.pruned_pairs, 0u);
+
+  // Just above the tie the pair is evaluated-and-dropped or pruned
+  // outright; either way it never survives.
+  mr::Cluster cluster2({.num_nodes = 2, .worker_threads = 1});
+  const auto inputs2 = write_dataset(
+      cluster2, "/data",
+      {encode_token_set({1, 2, 3}), encode_token_set({2, 3, 4})});
+  const RunReport above = run_join(cluster2, inputs2, scheme, 0.75);
+  EXPECT_EQ(above.survivor_pairs, 0u);
+  EXPECT_EQ(above.candidate_pairs, above.pruned_pairs);
+}
+
+TEST(SimjoinEdgeCaseTest, EmptyDocumentsAreIdenticalToEachOther) {
+  // J(∅,∅) = 1: the two empty documents must pair up (sentinel posting),
+  // while an empty vs non-empty document is pruned by the length filter.
+  mr::Cluster cluster({.num_nodes = 2, .worker_threads = 1});
+  const auto inputs = write_dataset(
+      cluster, "/data",
+      {encode_token_set({}), encode_token_set({}), encode_token_set({5})});
+  const BroadcastScheme scheme(3, 2);
+  const RunReport report = run_join(cluster, inputs, scheme, 1.0);
+  EXPECT_EQ(report.survivor_pairs, 1u);
+  const auto out = output_of(cluster, report);
+  ASSERT_EQ(out.size(), 3u);
+  ASSERT_EQ(out[0].results.size(), 1u);
+  EXPECT_EQ(out[0].results[0].other, 1u);
+  ASSERT_EQ(out[1].results.size(), 1u);
+  EXPECT_EQ(out[1].results[0].other, 0u);
+  EXPECT_TRUE(out[2].results.empty());
+}
+
+TEST(SimjoinEdgeCaseTest, EmptyDatasetIsRejectedLikeTwoJob) {
+  // v = 0 has no elements to distribute; the runner rejects it the same
+  // way the exhaustive pipeline does rather than inventing an empty run.
+  mr::Cluster cluster({.num_nodes = 2, .worker_threads = 1});
+  const std::vector<std::string> no_inputs;
+  EXPECT_THROW(
+      {
+        const BroadcastScheme scheme(0, 2);
+        RunSpec spec;
+        spec.input_paths = no_inputs;
+        spec.mode = RunMode::kSimilarityJoin;
+        spec.scheme = &scheme;
+        spec.options.similarity_join.threshold = 0.5;
+        PairwiseRunner(cluster).run(spec);
+      },
+      PreconditionError);
+}
+
+TEST(SimjoinEdgeCaseTest, ThresholdZeroKeepsEveryPairIncludingDisjoint) {
+  // The regression the exhaustive fallback exists for: at t = 0 disjoint
+  // sets survive (J = 0 ≥ 0) yet share no token — a prefix filter would
+  // silently drop them.
+  mr::Cluster cluster({.num_nodes = 2, .worker_threads = 1});
+  const auto inputs = write_dataset(
+      cluster, "/data", {encode_token_set({1, 2}), encode_token_set({3, 4})});
+  const BroadcastScheme scheme(2, 2);
+  const RunReport report = run_join(cluster, inputs, scheme, 0.0);
+  EXPECT_EQ(report.survivor_pairs, 1u);
+  EXPECT_EQ(report.candidate_pairs, 1u);
+  EXPECT_EQ(report.pruned_pairs, 0u);
+  EXPECT_TRUE(report.candidate_jobs.empty());  // no candidate phase ran
+  const auto out = output_of(cluster, report);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].results.size(), 1u);
+}
+
+}  // namespace
+}  // namespace pairmr

@@ -1,0 +1,200 @@
+// Property tests for similarity-join candidate generation (DESIGN.md §14):
+// across thresholds {0, 0.25, 0.5, 0.75, 0.9, 1.0} × seeds, the prefix
+// filter's candidate set is a SUPERSET of the true survivors (zero false
+// negatives — the guarantee the differential oracle's byte-identity rests
+// on), and every join run satisfies the Table 1 counter invariant
+// pairs.candidate == pairs.survivor + pairs.pruned.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/intmath.hpp"
+#include "mr/cluster.hpp"
+#include "pairwise/block_scheme.hpp"
+#include "pairwise/candidates.hpp"
+#include "pairwise/dataset.hpp"
+#include "pairwise/runner.hpp"
+#include "pairwise/tokenset.hpp"
+#include "workloads/generators.hpp"
+
+namespace pairmr {
+namespace {
+
+constexpr std::uint64_t kV = 18;
+
+std::vector<std::string> payloads_for(std::uint64_t seed) {
+  return workloads::document_payloads(
+      workloads::token_documents(kV, /*vocabulary=*/40, /*tokens_per_doc=*/8,
+                                 seed));
+}
+
+// Ground truth straight from the definition: decode every payload and
+// test all C(v,2) pairs with the exact kernel.
+std::vector<ElementPair> true_survivors(const std::vector<std::string>& payloads,
+                                        double threshold) {
+  std::vector<std::vector<std::uint32_t>> sets;
+  sets.reserve(payloads.size());
+  for (const auto& p : payloads) sets.push_back(decode_token_set(p));
+  std::vector<ElementPair> out;
+  for (std::uint64_t i = 0; i < sets.size(); ++i) {
+    for (std::uint64_t j = i + 1; j < sets.size(); ++j) {
+      if (jaccard_similarity(sets[i], sets[j]) >= threshold) {
+        out.push_back({i, j});
+      }
+    }
+  }
+  return out;
+}
+
+CandidatePhase run_candidate_phase(const std::vector<std::string>& payloads,
+                                   double threshold, CandidateFilter filter) {
+  mr::Cluster cluster({.num_nodes = 4, .worker_threads = 2});
+  const auto inputs = write_dataset(cluster, "/data", payloads);
+  PairwiseOptions options;
+  options.similarity_join.threshold = threshold;
+  options.similarity_join.filter = filter;
+  return generate_candidates(cluster, inputs, payloads.size(), options);
+}
+
+struct Sweep {
+  double threshold;
+  std::uint64_t seed;
+};
+
+std::string sweep_name(const Sweep& s) {
+  std::string t = std::to_string(s.threshold);
+  std::replace(t.begin(), t.end(), '.', '_');
+  while (!t.empty() && t.back() == '0') t.pop_back();
+  if (!t.empty() && t.back() == '_') t.push_back('0');
+  return "t" + t + "_seed" + std::to_string(s.seed);
+}
+
+class SimjoinProperty : public ::testing::TestWithParam<Sweep> {};
+
+TEST_P(SimjoinProperty, PrefixCandidatesAreSupersetOfTrueSurvivors) {
+  const auto [threshold, seed] = GetParam();
+  const auto payloads = payloads_for(seed);
+  const auto truth = true_survivors(payloads, threshold);
+  const CandidatePhase phase =
+      run_candidate_phase(payloads, threshold, CandidateFilter::kPrefix);
+
+  if (threshold <= 0.0) {
+    // J ≥ 0 holds for every pair, including fully disjoint sets that
+    // share no prefix token — the phase must bail out to exhaustive
+    // rather than filter.
+    EXPECT_TRUE(phase.exhaustive);
+    EXPECT_TRUE(phase.candidates.empty());
+    EXPECT_TRUE(phase.jobs.empty());
+    EXPECT_EQ(truth.size(), pair_count(payloads.size()));
+    return;
+  }
+
+  EXPECT_FALSE(phase.exhaustive);
+  // Zero false negatives: every true survivor is a candidate.
+  for (const ElementPair& p : truth) {
+    EXPECT_TRUE(phase.candidates.contains(p))
+        << "lost survivor (" << p.lo << ", " << p.hi << ") at t="
+        << threshold;
+  }
+  EXPECT_GE(phase.candidates.size(), truth.size());
+  // Candidates stay in range and strictly below the exhaustive count for
+  // thresholds with real pruning power on this dataset.
+  for (const ElementPair& p : phase.candidates.pairs()) {
+    EXPECT_LT(p.lo, p.hi);
+    EXPECT_LT(p.hi, payloads.size());
+  }
+  if (threshold >= 0.5) {
+    EXPECT_LT(phase.candidates.size(), pair_count(payloads.size()));
+  }
+}
+
+TEST_P(SimjoinProperty, JoinRunHoldsCounterInvariantAndMatchesTruth) {
+  const auto [threshold, seed] = GetParam();
+  const auto payloads = payloads_for(seed);
+  const auto truth = true_survivors(payloads, threshold);
+
+  mr::Cluster cluster({.num_nodes = 4, .worker_threads = 2});
+  const auto inputs = write_dataset(cluster, "/data", payloads);
+  const BlockScheme scheme(payloads.size(), 3);
+
+  RunSpec spec;
+  spec.input_paths = inputs;
+  spec.mode = RunMode::kSimilarityJoin;
+  spec.scheme = &scheme;
+  spec.options.similarity_join.threshold = threshold;
+  const RunReport report = PairwiseRunner(cluster).run(spec);
+
+  // Table 1 invariant, per run, at every threshold.
+  EXPECT_EQ(report.candidate_pairs,
+            report.survivor_pairs + report.pruned_pairs);
+  EXPECT_EQ(report.candidate_pairs, report.evaluations);
+  // The exact kernel settles every candidate, so survivors == truth even
+  // though the candidate set is over-inclusive.
+  EXPECT_EQ(report.survivor_pairs, truth.size());
+  EXPECT_LE(report.survivor_pairs, report.candidate_pairs);
+  EXPECT_LE(report.candidate_pairs, pair_count(payloads.size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ThresholdsTimesSeeds, SimjoinProperty,
+    ::testing::Values(Sweep{0.0, 1}, Sweep{0.0, 2}, Sweep{0.0, 3},
+                      Sweep{0.25, 1}, Sweep{0.25, 2}, Sweep{0.25, 3},
+                      Sweep{0.5, 1}, Sweep{0.5, 2}, Sweep{0.5, 3},
+                      Sweep{0.75, 1}, Sweep{0.75, 2}, Sweep{0.75, 3},
+                      Sweep{0.9, 1}, Sweep{0.9, 2}, Sweep{0.9, 3},
+                      Sweep{1.0, 1}, Sweep{1.0, 2}, Sweep{1.0, 3}),
+    [](const auto& info) { return sweep_name(info.param); });
+
+// --- LSH banding ---------------------------------------------------------
+
+TEST(SimjoinLshProperty, DeterministicForFixedSeed) {
+  const auto payloads = payloads_for(11);
+  const CandidatePhase a =
+      run_candidate_phase(payloads, 0.5, CandidateFilter::kLshBanding);
+  const CandidatePhase b =
+      run_candidate_phase(payloads, 0.5, CandidateFilter::kLshBanding);
+  EXPECT_EQ(a.candidates.pairs(), b.candidates.pairs());
+  EXPECT_FALSE(a.exhaustive);
+}
+
+TEST(SimjoinLshProperty, IdenticalDocumentsAlwaysCollide) {
+  // Identical sets produce identical signatures, hence share every band
+  // bucket; the same holds for two empty documents via the sentinel.
+  auto payloads = payloads_for(12);
+  payloads[3] = payloads[7];                  // force an identical pair
+  payloads[1] = encode_token_set({});         // and two empty documents
+  payloads[5] = encode_token_set({});
+  const CandidatePhase phase =
+      run_candidate_phase(payloads, 0.9, CandidateFilter::kLshBanding);
+  EXPECT_TRUE(phase.candidates.contains({3, 7}));
+  EXPECT_TRUE(phase.candidates.contains({1, 5}));
+}
+
+TEST(SimjoinLshProperty, SurvivorsAreExactDespiteProbabilisticCandidates) {
+  // LSH may miss borderline pairs (false negatives are allowed) but every
+  // pair it does evaluate is settled by the exact kernel: survivors must
+  // be a subset of the ground truth with matching similarities.
+  const auto payloads = payloads_for(13);
+  const auto truth = true_survivors(payloads, 0.5);
+
+  mr::Cluster cluster({.num_nodes = 4, .worker_threads = 2});
+  const auto inputs = write_dataset(cluster, "/data", payloads);
+  const BlockScheme scheme(payloads.size(), 3);
+
+  RunSpec spec;
+  spec.input_paths = inputs;
+  spec.mode = RunMode::kSimilarityJoin;
+  spec.scheme = &scheme;
+  spec.options.similarity_join.threshold = 0.5;
+  spec.options.similarity_join.filter = CandidateFilter::kLshBanding;
+  const RunReport report = PairwiseRunner(cluster).run(spec);
+
+  EXPECT_EQ(report.candidate_pairs,
+            report.survivor_pairs + report.pruned_pairs);
+  EXPECT_LE(report.survivor_pairs, truth.size());
+}
+
+}  // namespace
+}  // namespace pairmr

@@ -1,0 +1,138 @@
+// Schema and golden tests for the BENCH_simjoin.json document emitted by
+// bench/bench_simjoin: exact field set and ordering of every point, the
+// golden rendering of a hand-built point, and the passed-flag semantics
+// (byte-identity AND the candidate == survivor + pruned invariant).
+#include "pairwise/simjoin_report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "../support/mini_json.hpp"
+
+namespace pairmr {
+namespace {
+
+using minijson::JsonParser;
+using minijson::JsonValue;
+
+const std::vector<std::string> kPointKeys = {
+    "filter",         "threshold",      "v",
+    "total_pairs",    "candidate_pairs", "survivor_pairs",
+    "pruned_pairs",   "exhaustive_seconds", "join_seconds",
+    "exhaustive_pairs_per_s", "join_pairs_per_s", "speedup",
+    "identical"};
+
+JsonValue parse_or_die(const std::string& json) {
+  JsonValue doc;
+  JsonParser parser(json);
+  EXPECT_TRUE(parser.parse(doc)) << json;
+  return doc;
+}
+
+SimjoinPoint sample_point() {
+  SimjoinPoint p;
+  p.filter = "prefix";
+  p.threshold = 0.5;
+  p.v = 64;
+  p.total_pairs = 2016;
+  p.candidate_pairs = 500;
+  p.survivor_pairs = 120;
+  p.pruned_pairs = 380;
+  p.exhaustive_seconds = 2.0;
+  p.join_seconds = 0.5;
+  p.exhaustive_pairs_per_s = 1008.0;
+  p.join_pairs_per_s = 4032.0;
+  p.speedup = 4.0;
+  p.identical = true;
+  return p;
+}
+
+TEST(SimjoinSchemaTest, DocumentMatchesSchema) {
+  auto lsh = sample_point();
+  lsh.filter = "lsh-banding";
+  lsh.threshold = 0.9;
+  const std::vector<SimjoinPoint> points = {sample_point(), lsh};
+
+  const JsonValue doc = parse_or_die(simjoin_to_json(points));
+  ASSERT_EQ(doc.kind, JsonValue::kObject);
+  ASSERT_EQ(doc.object.size(), 3u);
+  EXPECT_EQ(doc.object[0].first, "bench");
+  EXPECT_EQ(doc.object[1].first, "points");
+  EXPECT_EQ(doc.object[2].first, "passed");
+
+  ASSERT_EQ(doc.object[0].second.kind, JsonValue::kString);
+  EXPECT_EQ(doc.object[0].second.str, "simjoin");
+  ASSERT_EQ(doc.object[2].second.kind, JsonValue::kBool);
+  EXPECT_TRUE(doc.object[2].second.boolean);
+
+  const JsonValue& array = doc.object[1].second;
+  ASSERT_EQ(array.kind, JsonValue::kArray);
+  ASSERT_EQ(array.array.size(), points.size());
+  for (std::size_t i = 0; i < array.array.size(); ++i) {
+    const JsonValue& point = array.array[i];
+    ASSERT_EQ(point.kind, JsonValue::kObject) << "point " << i;
+    ASSERT_EQ(point.object.size(), kPointKeys.size()) << "point " << i;
+    for (std::size_t k = 0; k < kPointKeys.size(); ++k) {
+      EXPECT_EQ(point.object[k].first, kPointKeys[k])
+          << "point " << i << " key " << k;
+    }
+    EXPECT_EQ(point.find("filter")->kind, JsonValue::kString);
+    EXPECT_EQ(point.find("threshold")->kind, JsonValue::kNumber);
+    EXPECT_EQ(point.find("v")->kind, JsonValue::kNumber);
+    EXPECT_EQ(point.find("total_pairs")->kind, JsonValue::kNumber);
+    EXPECT_EQ(point.find("candidate_pairs")->kind, JsonValue::kNumber);
+    EXPECT_EQ(point.find("survivor_pairs")->kind, JsonValue::kNumber);
+    EXPECT_EQ(point.find("pruned_pairs")->kind, JsonValue::kNumber);
+    EXPECT_EQ(point.find("exhaustive_seconds")->kind, JsonValue::kNumber);
+    EXPECT_EQ(point.find("join_seconds")->kind, JsonValue::kNumber);
+    EXPECT_EQ(point.find("exhaustive_pairs_per_s")->kind, JsonValue::kNumber);
+    EXPECT_EQ(point.find("join_pairs_per_s")->kind, JsonValue::kNumber);
+    EXPECT_EQ(point.find("speedup")->kind, JsonValue::kNumber);
+    EXPECT_EQ(point.find("identical")->kind, JsonValue::kBool);
+
+    EXPECT_EQ(point.find("v")->number, static_cast<double>(points[i].v));
+    EXPECT_EQ(point.find("candidate_pairs")->number,
+              static_cast<double>(points[i].candidate_pairs));
+    EXPECT_TRUE(point.find("identical")->boolean);
+  }
+  EXPECT_EQ(array.array[1].find("filter")->str, "lsh-banding");
+}
+
+TEST(SimjoinSchemaTest, GoldenRenderingOfHandBuiltPoint) {
+  const std::string expected =
+      "{\n"
+      "  \"bench\": \"simjoin\",\n"
+      "  \"points\": [\n"
+      "    {\"filter\": \"prefix\", \"threshold\": 0.5, \"v\": 64,"
+      " \"total_pairs\": 2016, \"candidate_pairs\": 500,"
+      " \"survivor_pairs\": 120, \"pruned_pairs\": 380,"
+      " \"exhaustive_seconds\": 2, \"join_seconds\": 0.5,"
+      " \"exhaustive_pairs_per_s\": 1008, \"join_pairs_per_s\": 4032,"
+      " \"speedup\": 4, \"identical\": true}\n"
+      "  ],\n"
+      "  \"passed\": true\n"
+      "}\n";
+  EXPECT_EQ(simjoin_to_json({sample_point()}), expected);
+}
+
+TEST(SimjoinSchemaTest, PassedRequiresIdentityAndCounterInvariant) {
+  EXPECT_TRUE(simjoin_all_ok({}));
+  EXPECT_TRUE(simjoin_all_ok({sample_point()}));
+
+  auto mismatch = sample_point();
+  mismatch.identical = false;
+  EXPECT_FALSE(simjoin_all_ok({sample_point(), mismatch}));
+  const JsonValue doc1 = parse_or_die(simjoin_to_json({mismatch}));
+  EXPECT_FALSE(doc1.find("passed")->boolean);
+
+  auto bad_counters = sample_point();
+  bad_counters.pruned_pairs += 1;  // candidate != survivor + pruned
+  EXPECT_FALSE(simjoin_all_ok({bad_counters}));
+  const JsonValue doc2 = parse_or_die(simjoin_to_json({bad_counters}));
+  EXPECT_FALSE(doc2.find("passed")->boolean);
+}
+
+}  // namespace
+}  // namespace pairmr
