@@ -1,4 +1,5 @@
-// bench_backend — in-process threads vs forked worker processes.
+// bench_backend — in-process threads vs forked worker processes, and
+// the fork backend's socket vs shared-memory shuffle planes.
 //
 // Runs the same two-job design-scheme pairwise computation on both
 // execution backends (mr/backend/backend.hpp) in two regimes:
@@ -7,14 +8,24 @@
 //     backend's process-spawn and frame-shipping overhead should mostly
 //     amortize away behind the arithmetic;
 //   * shipping-heavy: large elements, a near-free kernel — every shuffle
-//     byte now crosses a real process boundary over a Unix-domain
-//     socket, so this regime prices the serialization itself.
+//     byte now crosses a real process boundary, so this regime prices
+//     the shuffle transport itself. The fork backend runs it twice: once
+//     streaming partitions over the Unix-domain shuffle sockets
+//     (ShufflePlane::kSocket) and once passing memfd arena fds over
+//     SCM_RIGHTS with the reducer decoding straight from an mmap
+//     (kShm) — the zero-copy plane's payoff shows up here as shuffle
+//     MiB/s.
 //
-// For each (regime, backend) cell it reports makespan and shuffle
-// throughput (remote bytes / wall seconds), and asserts — exiting
-// non-zero on violation — that both backends produce byte-identical
-// aggregated output. Wall-clock numbers vary run to run; the identity
-// bits do not.
+// A third point runs the multi-job similarity-join pipeline on a
+// persistent fork pool: the workers_forked / workers_reused columns show
+// the pool forking once per node and re-arming with kBeginJob for every
+// later job, instead of paying fork/teardown per job.
+//
+// For each cell it reports makespan, shuffle throughput (remote bytes /
+// wall seconds), and the worker-pool tallies, and asserts — exiting
+// non-zero on violation — that every run produces byte-identical
+// aggregated output to its in-process reference. Wall-clock numbers vary
+// run to run; the identity bits do not.
 //
 // Emits BENCH_backend.json next to BENCH_frontier.json.
 #include <chrono>
@@ -32,6 +43,8 @@
 #include "mr/backend/backend.hpp"
 #include "mr/backend/bench_report.hpp"
 #include "mr/cluster.hpp"
+#include "mr/trace.hpp"
+#include "pairwise/block_scheme.hpp"
 #include "pairwise/dataset.hpp"
 #include "pairwise/design_scheme.hpp"
 #include "pairwise/runner.hpp"
@@ -58,10 +71,50 @@ const char* backend_label(mr::BackendKind kind) {
   return kind == mr::BackendKind::kFork ? "fork" : "inprocess";
 }
 
+const char* plane_label(mr::ShufflePlane plane) {
+  return plane == mr::ShufflePlane::kShm ? "shm" : "socket";
+}
+
+// Seconds spent inside remote shuffle fetches, summed over the run's
+// kShuffleFetch trace spans (fetch-busy time across all reduce attempts,
+// not wall). Worker-side spans arrive with their measured durations
+// intact (Tracer::import_span), so the fork backend's fetches are timed
+// where they ran. This is the denominator that isolates the shuffle
+// transport from kernel/decode work the planes share.
+double remote_fetch_seconds(const mr::Tracer& tracer) {
+  double total = 0.0;
+  for (const mr::Span& s : tracer.spans()) {
+    if (s.kind == mr::SpanKind::kShuffleFetch && s.node != s.peer) {
+      total += s.end_seconds - s.start_seconds;
+    }
+  }
+  return total;
+}
+
+// Fills the fields shared by every cell from the run's report.
+void fill_point(mr::backend::BenchPoint& point, const RunReport& report,
+                double seconds, double fetch_seconds) {
+  point.jobs = report.compute_jobs.size() + report.merge_jobs.size() +
+               report.candidate_jobs.size();
+  point.wall_seconds = seconds;
+  point.evaluations = report.evaluations;
+  point.shuffle_plane = plane_label(report.shuffle_plane);
+  point.shuffle_remote_bytes = report.shuffle_remote_bytes;
+  point.shuffle_mib_per_second =
+      fetch_seconds > 0.0
+          ? static_cast<double>(report.shuffle_remote_bytes) /
+                (1024.0 * 1024.0) / fetch_seconds
+          : 0.0;
+  point.workers_forked = report.workers_forked;
+  point.workers_reused = report.workers_reused;
+}
+
 Observation run_once(const Regime& regime,
                      const std::vector<std::string>& payloads,
-                     mr::BackendKind backend) {
+                     mr::BackendKind backend, mr::ShufflePlane plane) {
   mr::Cluster cluster({.num_nodes = 4, .worker_threads = 0});
+  mr::Tracer tracer;
+  cluster.set_tracer(&tracer);
   const auto inputs = write_dataset(cluster, "/data", payloads);
   const DesignScheme scheme(payloads.size());
 
@@ -71,6 +124,7 @@ Observation run_once(const Regime& regime,
   spec.scheme = &scheme;
   spec.job.compute = workloads::expensive_blob_kernel(regime.kernel_rounds);
   spec.options.backend = backend;
+  spec.options.shuffle_plane = plane;
 
   const auto start = std::chrono::steady_clock::now();
   const RunReport report = PairwiseRunner(cluster).run(spec);
@@ -86,14 +140,60 @@ Observation run_once(const Regime& regime,
   obs.point.backend = backend_label(backend);
   obs.point.v = regime.v;
   obs.point.element_bytes = regime.element_bytes;
-  obs.point.evaluations = report.evaluations;
-  obs.point.wall_seconds = seconds;
-  obs.point.shuffle_remote_bytes = report.shuffle_remote_bytes;
-  obs.point.shuffle_mib_per_second =
-      seconds > 0.0 ? static_cast<double>(report.shuffle_remote_bytes) /
-                          (1024.0 * 1024.0) / seconds
-                    : 0.0;
+  fill_point(obs.point, report, seconds, remote_fetch_seconds(tracer));
   return obs;
+}
+
+// The multi-job point: the thresholded similarity join runs a
+// candidate-generation pipeline plus the pairwise phase — several engine
+// jobs back-to-back on one persistent pool.
+Observation run_simjoin(mr::BackendKind backend, mr::ShufflePlane plane) {
+  constexpr std::uint64_t kV = 48;
+  mr::Cluster cluster({.num_nodes = 4, .worker_threads = 0});
+  mr::Tracer tracer;
+  cluster.set_tracer(&tracer);
+  const auto docs = workloads::token_documents(kV, /*vocabulary=*/96,
+                                               /*tokens_per_doc=*/10, 7);
+  const auto inputs =
+      write_dataset(cluster, "/data", workloads::document_payloads(docs));
+  const BlockScheme scheme(kV, 4);
+
+  RunSpec spec;
+  spec.input_paths = inputs;
+  spec.mode = RunMode::kSimilarityJoin;
+  spec.scheme = &scheme;
+  spec.options.similarity_join.threshold = 0.25;
+  spec.options.backend = backend;
+  spec.options.shuffle_plane = plane;
+
+  const auto start = std::chrono::steady_clock::now();
+  const RunReport report = PairwiseRunner(cluster).run(spec);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  Observation obs;
+  for (const Element& e : read_elements(cluster, report.output_dir)) {
+    obs.encoded.push_back(encode_element(e));
+  }
+  obs.point.regime = "simjoin-pipeline";
+  obs.point.backend = backend_label(backend);
+  obs.point.v = kV;
+  obs.point.element_bytes = 0;  // token documents, not fixed-size blobs
+  fill_point(obs.point, report, seconds, remote_fetch_seconds(tracer));
+  return obs;
+}
+
+void add_row(TablePrinter& table, const mr::backend::BenchPoint& p) {
+  std::ostringstream makespan, rate;
+  makespan << std::fixed << std::setprecision(3) << p.wall_seconds << " s";
+  rate << std::fixed << std::setprecision(1) << p.shuffle_mib_per_second;
+  table.add_row({p.regime, p.backend, p.shuffle_plane,
+                 TablePrinter::num(p.v), TablePrinter::num(p.jobs),
+                 makespan.str(), format_bytes(p.shuffle_remote_bytes),
+                 rate.str(), TablePrinter::num(p.workers_forked),
+                 TablePrinter::num(p.workers_reused),
+                 p.identical ? "yes" : "NO"});
 }
 
 }  // namespace
@@ -104,43 +204,79 @@ int main() {
 
   const std::vector<Regime> regimes = {
       {"compute-heavy", 57, 64, 192},
-      {"shipping-heavy", 121, 4096, 1},
+      {"shipping-heavy", 121, 65536, 1},
   };
 
-  TablePrinter table({"regime", "backend", "v", "elem bytes", "makespan",
-                      "shuffle bytes", "shuffle MiB/s", "output identical"});
+  TablePrinter table({"regime", "backend", "plane", "v", "jobs", "makespan",
+                      "shuffle bytes", "shuffle MiB/s", "forked", "reused",
+                      "output identical"});
   table.set_caption(
-      "Two-job design scheme, 4 nodes; fork = one worker process per node");
+      "Two-job design scheme + simjoin pipeline, 4 nodes; fork = one "
+      "worker process per node, persistent across each run's jobs");
+
+  // Cells per regime: the in-process reference, then the fork backend on
+  // each shuffle plane. Every fork cell diffs against the reference.
+  const std::vector<std::pair<mr::BackendKind, mr::ShufflePlane>> cells = {
+      {mr::BackendKind::kInProcess, mr::ShufflePlane::kSocket},
+      {mr::BackendKind::kFork, mr::ShufflePlane::kSocket},
+      {mr::BackendKind::kFork, mr::ShufflePlane::kShm},
+  };
 
   std::vector<mr::backend::BenchPoint> points;
   for (const Regime& regime : regimes) {
     const auto payloads =
         workloads::blob_payloads(regime.v, regime.element_bytes, 7);
-    // The in-process run is the reference both cells diff against.
     Observation reference;
-    for (const mr::BackendKind kind :
-         {mr::BackendKind::kInProcess, mr::BackendKind::kFork}) {
-      Observation obs = run_once(regime, payloads, kind);
+    for (const auto& [kind, plane] : cells) {
+      Observation obs = run_once(regime, payloads, kind, plane);
       if (kind == mr::BackendKind::kInProcess) reference = obs;
       obs.point.identical = obs.encoded == reference.encoded;
       PAIRMR_CHECK(obs.point.identical,
                    "backend output diverged from the in-process reference");
+      add_row(table, obs.point);
+      points.push_back(obs.point);
+    }
+  }
 
-      std::ostringstream makespan, rate;
-      makespan << std::fixed << std::setprecision(3) << obs.point.wall_seconds
-               << " s";
-      rate << std::fixed << std::setprecision(1)
-           << obs.point.shuffle_mib_per_second;
-      table.add_row({regime.name, obs.point.backend,
-                     TablePrinter::num(obs.point.v),
-                     format_bytes(regime.element_bytes), makespan.str(),
-                     format_bytes(obs.point.shuffle_remote_bytes), rate.str(),
-                     obs.point.identical ? "yes" : "NO"});
+  {
+    Observation reference;
+    for (const auto& [kind, plane] : cells) {
+      Observation obs = run_simjoin(kind, plane);
+      if (kind == mr::BackendKind::kInProcess) reference = obs;
+      obs.point.identical = obs.encoded == reference.encoded;
+      PAIRMR_CHECK(obs.point.identical,
+                   "backend output diverged from the in-process reference");
+      add_row(table, obs.point);
       points.push_back(obs.point);
     }
   }
 
   table.print(std::cout);
+
+  // The zero-copy plane's headline number: shuffle throughput in the
+  // regime dominated by moving bytes. Informational — wall-clock ratios
+  // are not asserted; the identity bits above are.
+  const auto find_point = [&](const std::string& regime,
+                              const std::string& plane)
+      -> const mr::backend::BenchPoint* {
+    for (const auto& p : points) {
+      if (p.regime == regime && p.backend == "fork" &&
+          p.shuffle_plane == plane) {
+        return &p;
+      }
+    }
+    return nullptr;
+  };
+  const auto* socket_pt = find_point("shipping-heavy", "socket");
+  const auto* shm_pt = find_point("shipping-heavy", "shm");
+  if (socket_pt != nullptr && shm_pt != nullptr &&
+      socket_pt->shuffle_mib_per_second > 0.0) {
+    std::cout << "\nshipping-heavy shm/socket shuffle throughput: "
+              << std::fixed << std::setprecision(2)
+              << shm_pt->shuffle_mib_per_second /
+                     socket_pt->shuffle_mib_per_second
+              << "x\n";
+  }
 
   std::ofstream out("BENCH_backend.json");
   out << mr::backend::bench_to_json(points);

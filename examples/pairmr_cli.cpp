@@ -4,7 +4,7 @@
 //              [--elem-bytes B] [--nodes N] [--tasks P] [--h H]
 //              [--kernel mix|euclid] [--maxws BYTES] [--maxis BYTES]
 //              [--seed S] [--combiner] [--no-aggregate] [--trace PATH]
-//              [--backend inprocess|fork]
+//              [--backend inprocess|fork] [--shuffle-plane socket|shm]
 //
 // With --scheme plan, the planner picks the scheme from the cost model
 // (Figure 9 logic) and explains its choice. Prints the measured run
@@ -48,6 +48,7 @@ struct Args {
   bool aggregate = true;
   std::string trace_path;  // empty: tracing off
   std::string backend;     // empty: engine default (env, then in-process)
+  std::string shuffle_plane;  // empty: env, then socket (fork backend only)
 };
 
 [[noreturn]] void usage() {
@@ -55,7 +56,7 @@ struct Args {
                "[--v N] [--elem-bytes B] [--nodes N] [--tasks P] [--h H] "
                "[--kernel mix|euclid] [--maxws BYTES] [--maxis BYTES] "
                "[--seed S] [--combiner] [--no-aggregate] [--trace PATH] "
-               "[--backend inprocess|fork]\n";
+               "[--backend inprocess|fork] [--shuffle-plane socket|shm]\n";
   std::exit(2);
 }
 
@@ -95,6 +96,8 @@ Args parse(int argc, char** argv) {
       args.trace_path = next();
     } else if (flag == "--backend") {
       args.backend = next();
+    } else if (flag == "--shuffle-plane") {
+      args.shuffle_plane = next();
     } else {
       usage();
     }
@@ -177,6 +180,13 @@ int main(int argc, char** argv) {
   } else if (args.backend == "fork") {
     options.backend = mr::BackendKind::kFork;
   } else if (!args.backend.empty()) {
+    usage();
+  }
+  if (args.shuffle_plane == "socket") {
+    options.shuffle_plane = mr::ShufflePlane::kSocket;
+  } else if (args.shuffle_plane == "shm") {
+    options.shuffle_plane = mr::ShufflePlane::kShm;
+  } else if (!args.shuffle_plane.empty()) {
     usage();
   }
   const PairwiseRunStats stats =

@@ -18,4 +18,20 @@ BackendKind backend_kind_from_env() {
   return BackendKind::kInProcess;  // unreachable
 }
 
+ShufflePlane shuffle_plane_from_env() {
+  const char* env = std::getenv("PAIRMR_SHUFFLE_PLANE");
+  if (env == nullptr || *env == '\0') return ShufflePlane::kSocket;
+  if (std::strcmp(env, "socket") == 0) return ShufflePlane::kSocket;
+  if (std::strcmp(env, "shm") == 0) return ShufflePlane::kShm;
+  PAIRMR_REQUIRE(false, std::string("PAIRMR_SHUFFLE_PLANE must be unset, "
+                                    "\"socket\", or \"shm\"; got \"") +
+                            env + "\"");
+  return ShufflePlane::kSocket;  // unreachable
+}
+
+ShufflePlane resolve_shuffle_plane(ShufflePlane requested) {
+  return requested == ShufflePlane::kAuto ? shuffle_plane_from_env()
+                                          : requested;
+}
+
 }  // namespace pairmr::mr::backend

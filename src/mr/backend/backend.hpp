@@ -39,6 +39,14 @@ namespace pairmr::mr::backend {
 // setenv between jobs.
 BackendKind backend_kind_from_env();
 
+// Resolve ShufflePlane::kAuto from the PAIRMR_SHUFFLE_PLANE environment
+// variable: "socket" / "shm" (or unset → socket). Any other value throws
+// an actionable PreconditionError. Parsed per call, like the backend.
+ShufflePlane shuffle_plane_from_env();
+
+// spec-level plane → the effective plane (kAuto resolved via env).
+ShufflePlane resolve_shuffle_plane(ShufflePlane requested);
+
 // Everything a backend needs to start a job. Pointers are non-owning and
 // engine-owned; they outlive the job (fork inherits them by address).
 struct JobContext {
@@ -49,6 +57,9 @@ struct JobContext {
   // Nodes alive at job start (fork spawns one worker per usable node; a
   // node lost in an earlier job gets none).
   std::vector<std::uint8_t> node_alive;
+  // Effective shuffle transport (kAuto already resolved by the engine).
+  // The in-process backend accepts and ignores it.
+  ShufflePlane shuffle_plane = ShufflePlane::kSocket;
 };
 
 struct MapAttemptDesc {

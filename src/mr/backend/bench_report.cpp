@@ -11,12 +11,15 @@ std::string bench_to_json(const std::vector<BenchPoint>& points) {
   for (std::size_t i = 0; i < points.size(); ++i) {
     const BenchPoint& p = points[i];
     os << "    {\"regime\": \"" << p.regime << "\", \"backend\": \""
-       << p.backend << "\", \"v\": " << p.v
+       << p.backend << "\", \"shuffle_plane\": \"" << p.shuffle_plane
+       << "\", \"v\": " << p.v
        << ", \"element_bytes\": " << p.element_bytes
-       << ", \"evaluations\": " << p.evaluations
+       << ", \"evaluations\": " << p.evaluations << ", \"jobs\": " << p.jobs
        << ", \"wall_seconds\": " << p.wall_seconds
        << ", \"shuffle_remote_bytes\": " << p.shuffle_remote_bytes
        << ", \"shuffle_mib_per_second\": " << p.shuffle_mib_per_second
+       << ", \"workers_forked\": " << p.workers_forked
+       << ", \"workers_reused\": " << p.workers_reused
        << ", \"identical\": " << (p.identical ? "true" : "false") << "}"
        << (i + 1 < points.size() ? "," : "") << "\n";
   }

@@ -16,14 +16,30 @@
 namespace pairmr::mr::backend {
 
 struct BenchPoint {
-  std::string regime;   // "compute-heavy" | "shipping-heavy"
+  std::string regime;   // "compute-heavy" | "shipping-heavy" | "simjoin-pipeline"
   std::string backend;  // "inprocess" | "fork"
+  // Effective shuffle plane: "socket", or "shm" when the fork backend ran
+  // the memfd/SCM_RIGHTS plane (always "socket" for in-process — it has
+  // no shuffle transport to swap).
+  std::string shuffle_plane = "socket";
   std::uint64_t v = 0;
   std::uint64_t element_bytes = 0;
   std::uint64_t evaluations = 0;
-  double wall_seconds = 0.0;            // makespan of the whole run
+  std::uint64_t jobs = 0;               // engine jobs the run executed
+  double wall_seconds = 0.0;  // makespan of the whole run
   std::uint64_t shuffle_remote_bytes = 0;
-  double shuffle_mib_per_second = 0.0;  // remote bytes / wall seconds
+  // Transport rate: remote bytes / seconds spent inside remote shuffle
+  // fetches (summed over the run's kShuffleFetch trace spans — fetch-busy
+  // time, not wall). This isolates the plane: socket-plane fetches pay
+  // connect + peer-side serialization + two socket copies + decode, shm
+  // fetches decode straight from the arena mapping.
+  double shuffle_mib_per_second = 0.0;
+  // Worker-pool tallies (0/0 on the in-process backend): forked counts
+  // real fork() calls, reused counts jobs served by warm pool workers
+  // via kBeginJob re-ships. A pipeline point amortizing startup shows
+  // workers_forked < jobs * nodes with workers_reused > 0.
+  std::uint64_t workers_forked = 0;
+  std::uint64_t workers_reused = 0;
   bool identical = false;               // output == in-process reference
 };
 

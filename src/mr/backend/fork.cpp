@@ -1,10 +1,13 @@
 #include "mr/backend/fork.hpp"
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <csignal>
+#include <cstdint>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -16,6 +19,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 #ifdef __linux__
+#include <sys/mman.h>
 #include <sys/prctl.h>
 #endif
 
@@ -135,6 +139,101 @@ FetchedPartition get_partition(BufReader& r) {
   return out;
 }
 
+// ==================== shm arena layout ================================
+//
+// One memfd per published map task, holding every reduce partition the
+// task produced, encoded exactly as the socket plane would stream it:
+//
+//   u32 magic 'PMRA'
+//   u32 nparts                      (== the job's reducer count)
+//   (u64 offset, u64 length) * nparts
+//   ...partition bodies (put_partition encoding)...
+//
+// Fetching reducers mmap the arena read-only and decode partition r
+// straight from its slice — no socket roundtrip, no second serialization.
+
+inline constexpr std::uint32_t kArenaMagic = 0x41524d50;  // 'PMRA'
+
+struct ArenaBuild {
+  int fd = -1;  // -1 = arena unavailable, caller stays on the socket plane
+  std::uint64_t len = 0;
+  std::uint64_t records = 0;
+};
+
+ArenaBuild build_arena(const std::vector<MapOutputPartition>& parts,
+                       bool spill_mode) {
+  ArenaBuild out;
+#ifdef __linux__
+  std::vector<std::string> bodies;
+  bodies.reserve(parts.size());
+  std::uint64_t total = 0;
+  for (const MapOutputPartition& part : parts) {
+    BufWriter b;
+    put_partition(b, part, spill_mode);
+    total += b.size();
+    bodies.push_back(std::move(b).str());
+    out.records += part.records;
+  }
+  BufWriter h;
+  h.put_u32(kArenaMagic);
+  h.put_u32(static_cast<std::uint32_t>(parts.size()));
+  std::uint64_t off = 8 + 16ull * parts.size();
+  for (const std::string& b : bodies) {
+    h.put_u64(off);
+    h.put_u64(b.size());
+    off += b.size();
+  }
+  const int fd = static_cast<int>(::memfd_create("pairmr-arena", MFD_CLOEXEC));
+  if (fd < 0) return out;  // kernel without memfd support: socket fallback
+  bool ok = write_exact(fd, h.str().data(), h.size());
+  for (const std::string& b : bodies) {
+    if (!ok) break;
+    ok = write_exact(fd, b.data(), b.size());
+  }
+  if (!ok) {
+    ::close(fd);
+    return out;
+  }
+  out.fd = fd;
+  out.len = h.size() + total;
+#else
+  (void)parts;
+  (void)spill_mode;
+#endif
+  return out;
+}
+
+// One received arena, mapped and validated. An empty `map` means the
+// arena was unavailable or garbled; the fetch falls back to the socket.
+struct ArenaView {
+  std::shared_ptr<const ShmMapping> map;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> table;  // off, len
+};
+
+ArenaView open_arena(int fd, std::uint64_t len, std::uint32_t num_reducers) {
+  ArenaView out;
+  auto mapping = ShmMapping::map_fd(fd, len);
+  if (mapping == nullptr) return out;
+  const std::string_view v = mapping->view();
+  const std::uint64_t header = 8 + 16ull * num_reducers;
+  if (v.size() < header) return out;
+  BufReader r(v);
+  if (r.get_u32() != kArenaMagic) return out;
+  if (r.get_u32() != num_reducers) return out;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> table(num_reducers);
+  for (std::uint32_t i = 0; i < num_reducers; ++i) {
+    const std::uint64_t off = r.get_u64();
+    const std::uint64_t plen = r.get_u64();
+    if (off < header || off + plen > v.size() || off + plen < off) {
+      return out;  // offsets escape the mapping: garbled arena
+    }
+    table[i] = {off, plen};
+  }
+  out.map = std::move(mapping);
+  out.table = std::move(table);
+  return out;
+}
+
 // ======================= worker process ===============================
 
 // One staged map execution. The per-request tracer stays alive with the
@@ -145,16 +244,41 @@ struct WorkerStaged {
   std::unique_ptr<Tracer> tracer;
 };
 
+// Everything one job means to a pooled worker. Built entirely from the
+// kBeginJob frame — nothing here depends on coordinator stack frames that
+// post-date the pool's fork. The one cross-process pointer is `spec`,
+// whose copy-on-write validity the coordinator guarantees (fork.hpp).
+struct WorkerJob {
+  const JobSpec* spec = nullptr;
+  TaskEnv env;                      // env.tracer stays null; see `traced`
+  std::unique_ptr<SimDfs> scratch;  // job-local spill scratch
+  ReduceContext::CacheMap cache;
+  HashPartitioner default_partitioner;
+  bool traced = false;
+  ShufflePlane plane = ShufflePlane::kSocket;
+  std::uint32_t num_splits = 0;
+};
+
 struct WorkerState {
-  const JobContext* jc = nullptr;
   NodeId node = 0;
   std::string session_dir;
-  // Guards staged/published against the shuffle server thread.
+  // Guards job/staged/published against the shuffle server thread.
   std::mutex mutex;
+  std::unique_ptr<WorkerJob> job;
   std::vector<std::unordered_map<std::string, WorkerStaged>> staged;
   std::vector<std::vector<MapOutputPartition>> published;
   std::vector<std::uint8_t> has_published;
 };
+
+WorkerJob& require_job(WorkerState& st) {
+  if (st.job == nullptr) {
+    throw ProtocolError(
+        "task frame for worker " + std::to_string(st.node) +
+        " with no job in progress (kBeginJob never arrived, or arrived "
+        "after kEndJob)");
+  }
+  return *st.job;
+}
 
 // Worker-side tracing of one request: a fresh Tracer whose root span
 // (local id 1) stands in for the coordinator-side attempt span. The
@@ -181,27 +305,112 @@ struct TraceSession {
   }
 };
 
+void handle_begin_job(WorkerState& st, BufReader& r) {
+  const std::lock_guard<std::mutex> lock(st.mutex);
+  if (st.job != nullptr) {
+    throw ProtocolError(
+        "stale kBeginJob: worker " + std::to_string(st.node) +
+        " already has a job in progress (the coordinator skipped kEndJob)");
+  }
+  auto job = std::make_unique<WorkerJob>();
+  job->spec = reinterpret_cast<const JobSpec*>(
+      static_cast<std::uintptr_t>(r.get_u64()));
+  job->num_splits = r.get_u32();
+  const std::uint32_t num_reducers = r.get_u32();
+  const std::uint32_t num_nodes = r.get_u32();
+  MemoryBudget budget;
+  budget.bytes = r.get_u64();
+  budget.merge_fan_in = r.get_u32();
+  const bool spill_mode = r.get_u8() != 0;
+  const bool movable = r.get_u8() != 0;
+  job->traced = r.get_u8() != 0;
+  job->plane = static_cast<ShufflePlane>(r.get_u8());
+  const std::string scratch_root(r.get_bytes());
+  const std::uint32_t ncache = r.get_u32();
+  for (std::uint32_t i = 0; i < ncache; ++i) {
+    auto file = std::make_shared<DfsFile>();
+    file->path = std::string(r.get_bytes());
+    file->home = r.get_u32();
+    file->records = get_records(r);
+    for (const Record& rec : file->records) {
+      file->bytes += rec.key.size() + rec.value.size();
+    }
+    job->cache.emplace(file->path, std::move(file));
+  }
+  job->scratch = std::make_unique<SimDfs>(num_nodes);
+  job->env.spec = job->spec;
+  job->env.partitioner = job->spec->partitioner != nullptr
+                             ? job->spec->partitioner.get()
+                             : &job->default_partitioner;
+  job->env.num_reducers = num_reducers;
+  job->env.budget = budget;
+  job->env.spill_mode = spill_mode;
+  job->env.movable_shuffle = movable;
+  job->env.scratch_root = scratch_root;
+  job->env.dfs = job->scratch.get();
+  job->env.cache = &job->cache;
+  job->env.tracer = nullptr;
+  st.staged.clear();
+  st.staged.resize(job->num_splits);
+  st.published.clear();
+  st.published.resize(job->num_splits);
+  st.has_published.assign(job->num_splits, 0);
+  st.job = std::move(job);
+}
+
+void handle_end_job(WorkerState& st) {
+  const std::lock_guard<std::mutex> lock(st.mutex);
+  if (st.job == nullptr) {
+    throw ProtocolError("kEndJob for worker " + std::to_string(st.node) +
+                        " with no job in progress");
+  }
+  st.job.reset();
+  st.staged.clear();
+  st.published.clear();
+  st.has_published.clear();
+}
+
+// Decode the split section of a kMapTask frame into a synthetic
+// whole-file split (begin = 0, end = n): execute_map_attempt only reads
+// `file->path` and the [begin, end) record slice, so a shipped slice is
+// observationally identical to the coordinator's original.
+Split read_split(BufReader& r, NodeId node) {
+  auto file = std::make_shared<DfsFile>();
+  file->path = std::string(r.get_bytes());
+  file->home = node;
+  file->records = get_records(r);
+  for (const Record& rec : file->records) {
+    file->bytes += rec.key.size() + rec.value.size();
+  }
+  Split split;
+  split.begin = 0;
+  split.end = file->records.size();
+  split.node = node;
+  split.file = std::move(file);
+  return split;
+}
+
 std::string handle_map_task(WorkerState& st, BufReader& r) {
+  WorkerJob& job = require_job(st);
   const TaskIndex task = r.get_u32();
   r.get_u32();  // attempt: part of the message for logging symmetry only
   const NodeId node = r.get_u32();
   const std::string tag(r.get_bytes());
   const bool regen = r.get_u8() != 0;
-  PAIRMR_CHECK(task < st.jc->splits->size(), "map task index out of range");
+  const Split split = read_split(r, node);
+  PAIRMR_CHECK(task < job.num_splits, "map task index out of range");
 
   WorkerStaged staged;
-  TaskEnv env = st.jc->env;
-  env.tracer = nullptr;
+  TaskEnv env = job.env;
   SpanId root = 0;
   // Regenerated executions are deterministic replays of already-accounted
   // work: they run untraced and their counters are dropped coordinator-side.
-  if (!regen && st.jc->env.tracer != nullptr) {
+  if (!regen && job.traced) {
     staged.tracer = std::make_unique<Tracer>();
     root = staged.tracer->begin_job("worker");
     env.tracer = staged.tracer.get();
   }
-  staged.ex =
-      execute_map_attempt(env, (*st.jc->splits)[task], task, node, root, tag);
+  staged.ex = execute_map_attempt(env, split, task, node, root, tag);
 
   BufWriter w;
   w.put_u64(staged.ex.ctx->records_emitted());
@@ -216,10 +425,16 @@ std::string handle_map_task(WorkerState& st, BufReader& r) {
     const std::lock_guard<std::mutex> lock(st.mutex);
     st.staged[task].insert_or_assign(tag, std::move(staged));
   }
-  return w.str();
+  return std::move(w).str();
 }
 
-std::string handle_publish(WorkerState& st, BufReader& r) {
+// Publish sends its own response frame: the shm plane replies with
+// kPublishDoneShm carrying the arena fd in SCM_RIGHTS, which plain
+// send_frame cannot express. Every failure before the send throws (the
+// dispatcher's kErr path still holds); arena build failures are not
+// errors — they downgrade the reply to a socket-plane kPublishDone.
+void handle_publish(WorkerState& st, BufReader& r, int ctrl) {
+  WorkerJob& job = require_job(st);
   const TaskIndex task = r.get_u32();
   const std::string tag(r.get_bytes());
   const NodeId node = r.get_u32();
@@ -234,9 +449,8 @@ std::string handle_publish(WorkerState& st, BufReader& r) {
     staged = std::move(it->second);
     st.staged[task].erase(it);
   }
-  TaskEnv env = st.jc->env;
-  env.tracer = nullptr;
-  TraceSession ts(!regen && st.jc->env.tracer != nullptr);
+  TaskEnv env = job.env;
+  TraceSession ts(!regen && job.traced);
   if (ts.tracer != nullptr) env.tracer = ts.tracer.get();
   FinalizedMapOutput fin =
       finalize_map_output(env, staged.ex, task, node, ts.root);
@@ -244,28 +458,52 @@ std::string handle_publish(WorkerState& st, BufReader& r) {
   BufWriter w;
   put_meta(w, fin.meta);
   put_counters(w, *staged.ex.counters);
-  if (st.jc->spec->map_only) {
-    PAIRMR_CHECK(fin.partitions.size() == 1 && fin.partitions[0].runs.empty(),
-                 "map-only job must have one unspilled bucket");
-    put_records(w, fin.partitions[0].final_run);
+  ArenaBuild arena;
+  if (job.spec->map_only) {
+    put_records(w, fin.partitions.empty() ? std::vector<Record>{}
+                                          : fin.partitions[0].final_run);
   } else {
     put_records(w, {});
+    if (job.plane == ShufflePlane::kShm) {
+      arena = build_arena(fin.partitions, job.env.spill_mode);
+      if (arena.fd >= 0 && ts.tracer != nullptr) {
+        const SpanId sp = ts.tracer->begin_op(ts.root, SpanKind::kShmArena,
+                                              node, "shm-arena");
+        ts.tracer->end(sp, arena.len, arena.records);
+      }
+    }
     const std::lock_guard<std::mutex> lock(st.mutex);
     st.published[task] = std::move(fin.partitions);
     st.has_published[task] = 1;
   }
   ts.ship(w);
-  return w.str();
+  if (arena.fd >= 0) {
+    FdCloser closer{arena.fd};  // the kernel dup()s into the coordinator
+    w.put_u64(arena.len);
+    w.put_u32(1);  // declared fd count, checked against SCM_RIGHTS
+    send_frame_with_fds(ctrl, FrameType::kPublishDoneShm, w.str(),
+                        {arena.fd});
+  } else {
+    send_frame(ctrl, FrameType::kPublishDone, w.str());
+  }
 }
 
-// Serves reduce fetches from the worker's own store, or a peer worker's
-// shuffle socket. Peer fetches retry through crash windows: a connect
-// failure, a mid-serve death, or a kNotReady from a respawned peer whose
-// regeneration is still pending all back off and try again.
+// Serves reduce fetches from an mmap'd arena (shm plane), the worker's
+// own store, or a peer worker's shuffle socket. Peer fetches retry
+// through crash windows: a connect failure, a mid-serve death, or a
+// kNotReady from a respawned peer whose regeneration is still pending
+// all back off and try again.
 class WorkerSource final : public PartitionSource {
  public:
-  WorkerSource(WorkerState& st, const std::vector<NodeId>& map_nodes)
-      : st_(st), map_nodes_(map_nodes) {}
+  WorkerSource(WorkerState& st, const WorkerJob& job,
+               const std::vector<NodeId>& map_nodes,
+               const std::vector<PartitionMeta>& meta,
+               const std::vector<ArenaView>& arenas)
+      : st_(st),
+        job_(job),
+        map_nodes_(map_nodes),
+        meta_(meta),
+        arenas_(arenas) {}
 
   FetchedPartition fetch(TaskIndex m, TaskIndex r) override {
     const NodeId peer = map_nodes_[m];
@@ -273,12 +511,24 @@ class WorkerSource final : public PartitionSource {
       const std::lock_guard<std::mutex> lock(st_.mutex);
       PAIRMR_CHECK(st_.has_published[m] != 0,
                    "reduce fetch of a local map output that is not published");
-      return fetch_from_partition(st_.published[m][r],
-                                  st_.jc->env.spill_mode,
-                                  st_.jc->env.movable_shuffle);
+      return fetch_from_partition(st_.published[m][r], job_.env.spill_mode,
+                                  job_.env.movable_shuffle);
+    }
+    if (arenas_[m].map != nullptr) {
+      const ArenaView& a = arenas_[m];
+      const auto [off, len] = a.table[r];
+      BufReader rd(a.map->view().substr(off, len));
+      FetchedPartition out = get_partition(rd);
+      out.backing = a.map;  // pin the mapping for the records' lifetime
+      shm_bytes_ += meta_[m].bytes;
+      return out;
     }
     return remote_fetch(peer, m, r);
   }
+
+  // Remote bytes consumed straight from mmap'd arenas, in the same unit
+  // the coordinator meters (the partitions' settled meta bytes).
+  std::uint64_t shm_bytes() const { return shm_bytes_; }
 
  private:
   FetchedPartition remote_fetch(NodeId peer, TaskIndex m, TaskIndex r) {
@@ -317,10 +567,16 @@ class WorkerSource final : public PartitionSource {
   }
 
   WorkerState& st_;
+  const WorkerJob& job_;
   const std::vector<NodeId>& map_nodes_;
+  const std::vector<PartitionMeta>& meta_;
+  const std::vector<ArenaView>& arenas_;
+  std::uint64_t shm_bytes_ = 0;
 };
 
-std::string handle_reduce_task(WorkerState& st, BufReader& r) {
+std::string handle_reduce_task(WorkerState& st, BufReader& r,
+                               std::vector<int>& fds) {
+  WorkerJob& job = require_job(st);
   const TaskIndex task = r.get_u32();
   r.get_u32();  // attempt
   const NodeId node = r.get_u32();
@@ -337,14 +593,41 @@ std::string handle_reduce_task(WorkerState& st, BufReader& r) {
   PAIRMR_CHECK(meta.size() == num_map_tasks && num_drops == num_map_tasks,
                "reduce task descriptor is inconsistent");
 
-  TaskEnv env = st.jc->env;
-  env.tracer = nullptr;
-  TraceSession ts(st.jc->env.tracer != nullptr);
+  // Shm section: which map tasks shipped an arena fd with this frame.
+  // Every fd is mapped (or rejected as garbled, falling back to the
+  // socket plane for that map task) and closed here — the mapping alone
+  // pins the memfd.
+  std::vector<ArenaView> arenas(num_map_tasks);
+  const bool shm = r.get_u8() != 0;
+  if (shm) {
+    const std::uint32_t nfds = r.get_u32();
+    require_fd_count(fds, nfds, "kReduceTask", "coordinator");
+    std::size_t next = 0;
+    for (std::uint32_t m = 0; m < num_map_tasks; ++m) {
+      if (r.get_u8() == 0) continue;
+      const std::uint64_t alen = r.get_u64();
+      if (next >= fds.size()) {
+        close_fds(fds);
+        throw ProtocolError(
+            "kReduceTask arena flags outnumber the shipped fds");
+      }
+      arenas[m] = open_arena(fds[next++], alen, job.env.num_reducers);
+    }
+    close_fds(fds);
+  } else {
+    require_fd_count(fds, 0, "kReduceTask", "coordinator");
+  }
+
+  TaskEnv env = job.env;
+  TraceSession ts(job.traced);
   if (ts.tracer != nullptr) env.tracer = ts.tracer.get();
-  WorkerSource source(st, map_nodes);
+  WorkerSource source(st, job, map_nodes, meta, arenas);
   ReduceExecution ex = execute_reduce_attempt(env, task, node, ts.root, tag,
                                               source, map_nodes, meta,
                                               drop_now);
+  if (source.shm_bytes() > 0) {
+    ex.counters->add(counter::kShuffleShmBytes, source.shm_bytes());
+  }
 
   BufWriter w;
   w.put_u64(ex.groups);
@@ -354,7 +637,7 @@ std::string handle_reduce_task(WorkerState& st, BufReader& r) {
   put_counters(w, *ex.counters);
   put_records(w, ex.ctx->output());
   ts.ship(w);
-  return w.str();
+  return std::move(w).str();
 }
 
 void serve_shuffle_connection(WorkerState& st, int fd) {
@@ -370,13 +653,14 @@ void serve_shuffle_connection(WorkerState& st, int fd) {
   BufWriter w;
   {
     const std::lock_guard<std::mutex> lock(st.mutex);
-    if (m >= st.has_published.size() || st.has_published[m] == 0) {
+    if (st.job == nullptr || m >= st.has_published.size() ||
+        st.has_published[m] == 0) {
       send_frame(fd, FrameType::kNotReady, std::string());
       return;
     }
     PAIRMR_CHECK(red < st.published[m].size(),
                  "shuffle fetch of an out-of-range partition");
-    put_partition(w, st.published[m][red], st.jc->env.spill_mode);
+    put_partition(w, st.published[m][red], st.job->env.spill_mode);
   }
   send_frame(fd, FrameType::kPartition, w.str());
 }
@@ -398,29 +682,23 @@ void shuffle_server_main(WorkerState* st, int listen_fd) {
 }
 
 void send_err(int ctrl, ErrKind kind, const char* what) {
-  BufWriter w;
-  w.put_u8(static_cast<std::uint8_t>(kind));
-  w.put_bytes(what);
-  send_frame(ctrl, FrameType::kErr, w.str());
+  send_frame(ctrl, FrameType::kErr, make_err_payload(kind, what));
 }
 
-void worker_main(const JobContext* jc, NodeId node,
-                 const std::string& session_dir) {
+void worker_main(NodeId node, const std::string& session_dir) {
   die_with_parent();
   std::signal(SIGPIPE, SIG_IGN);
 
+  // Workers start jobless; every job arrives as a kBeginJob frame.
   WorkerState st;
-  st.jc = jc;
   st.node = node;
   st.session_dir = session_dir;
-  st.staged.resize(jc->splits->size());
-  st.published.resize(jc->splits->size());
-  st.has_published.assign(jc->splits->size(), 0);
 
   // Shuffle plane first, so peers retrying a fetch find the socket as
   // soon as the coordinator learns this worker exists.
   const int shuffle_fd = uds_listen(shuffle_sock_path(session_dir, node));
-  std::thread server([&st, shuffle_fd] { shuffle_server_main(&st, shuffle_fd); });
+  std::thread server(
+      [&st, shuffle_fd] { shuffle_server_main(&st, shuffle_fd); });
   server.detach();
 
   int ctrl = -1;
@@ -438,46 +716,59 @@ void worker_main(const JobContext* jc, NodeId node,
 
   for (;;) {
     std::string payload;
+    std::vector<int> fds;
     FrameType t;
     try {
-      t = recv_frame(ctrl, payload, "coordinator");
+      t = recv_frame_with_fds(ctrl, payload, fds, "coordinator");
     } catch (const ProtocolError&) {
       std::_Exit(1);  // coordinator gone; PDEATHSIG normally beat us here
     }
     try {
       BufReader r(payload);
       switch (t) {
+        case FrameType::kBeginJob:
+          handle_begin_job(st, r);
+          send_frame(ctrl, FrameType::kOk, std::string());
+          break;
+        case FrameType::kEndJob:
+          handle_end_job(st);
+          send_frame(ctrl, FrameType::kOk, std::string());
+          break;
         case FrameType::kMapTask:
           send_frame(ctrl, FrameType::kMapDone, handle_map_task(st, r));
           break;
         case FrameType::kPublish:
-          send_frame(ctrl, FrameType::kPublishDone, handle_publish(st, r));
+          handle_publish(st, r, ctrl);
           break;
         case FrameType::kReduceTask:
-          send_frame(ctrl, FrameType::kReduceDone, handle_reduce_task(st, r));
+          send_frame(ctrl, FrameType::kReduceDone,
+                     handle_reduce_task(st, r, fds));
           break;
         case FrameType::kDiscardMap: {
+          WorkerJob& job = require_job(st);
           const TaskIndex task = r.get_u32();
           const std::string tag(r.get_bytes());
           {
             const std::lock_guard<std::mutex> lock(st.mutex);
             st.staged[task].erase(tag);
           }
-          if (jc->env.spill_mode) {
-            jc->env.dfs->remove_prefix(jc->env.scratch_root + tag + "/");
+          if (job.env.spill_mode) {
+            job.env.dfs->remove_prefix(job.env.scratch_root + tag + "/");
           }
           send_frame(ctrl, FrameType::kOk, std::string());
           break;
         }
         case FrameType::kDiscardReduce: {
+          WorkerJob& job = require_job(st);
           const std::string tag(r.get_bytes());
-          if (jc->env.spill_mode) {
-            jc->env.dfs->remove_prefix(jc->env.scratch_root + tag + "/");
+          if (job.env.spill_mode) {
+            job.env.dfs->remove_prefix(job.env.scratch_root + tag + "/");
           }
           send_frame(ctrl, FrameType::kOk, std::string());
           break;
         }
         case FrameType::kRelease: {
+          require_job(st);
           const TaskIndex red = r.get_u32();
           const std::lock_guard<std::mutex> lock(st.mutex);
           for (auto& parts : st.published) {
@@ -504,11 +795,18 @@ void worker_main(const JobContext* jc, NodeId node,
           throw ProtocolError("worker received unexpected frame type " +
                               std::to_string(static_cast<std::uint32_t>(t)));
       }
+      close_fds(fds);  // fds riding an unexpected frame must not leak
+    } catch (const ProtocolError& e) {
+      close_fds(fds);
+      send_err(ctrl, ErrKind::kProtocol, e.what());
     } catch (const PreconditionError& e) {
+      close_fds(fds);
       send_err(ctrl, ErrKind::kPrecondition, e.what());
     } catch (const InternalError& e) {
+      close_fds(fds);
       send_err(ctrl, ErrKind::kInternal, e.what());
     } catch (const std::exception& e) {
+      close_fds(fds);
       send_err(ctrl, ErrKind::kRuntime, e.what());
     }
   }
@@ -516,14 +814,15 @@ void worker_main(const JobContext* jc, NodeId node,
 
 // ======================= forker process ===============================
 
-// Single-threaded fork server: forked from the coordinator at begin_job
-// (pool threads idle — a fork-safe point), so every worker it forks sees
-// the job snapshot frozen at that moment, including respawns long after
-// the coordinator's threads went back to work. Reaps every worker it
-// forked; the coordinator reaps only the forker, so no zombie can
-// outlive a job.
-[[noreturn]] void forker_main(const JobContext* jc,
-                              const std::string& session_dir,
+// Single-threaded fork server: forked from the coordinator when the pool
+// starts (pool threads idle — a fork-safe point), so every worker it
+// forks sees the address space frozen at that moment, including respawns
+// long after the coordinator's threads went back to work. Job context
+// never rides the fork image — workers receive it over the control
+// channel (kBeginJob) — so one forker serves every job of a persistent
+// pool. Reaps every worker it forked; the coordinator reaps only the
+// forker, so no zombie can outlive the backend.
+[[noreturn]] void forker_main(const std::string& session_dir,
                               std::uint32_t num_nodes, int cmd_fd, int ack_fd,
                               int ctrl_listen_fd) {
   die_with_parent();
@@ -549,7 +848,7 @@ void worker_main(const JobContext* jc, NodeId node,
     if (pid == 0) {
       ::close(cmd_fd);
       ::close(ack_fd);
-      worker_main(jc, node, session_dir);
+      worker_main(node, session_dir);
       std::_Exit(1);  // unreachable: worker_main only leaves via _Exit
     }
     if (pid < 0) break;
@@ -575,7 +874,10 @@ void worker_main(const JobContext* jc, NodeId node,
 
 // ======================= coordinator side =============================
 
-ForkBackend::~ForkBackend() { end_job(); }
+ForkBackend::~ForkBackend() {
+  end_job();   // non-persistent: full teardown; persistent: soft end
+  teardown();  // persistent pool (or a failed soft end): everything down
+}
 
 void ForkBackend::begin_job(const JobContext& jc) {
 #ifdef PAIRMR_HAS_TSAN
@@ -590,9 +892,57 @@ void ForkBackend::begin_job(const JobContext& jc) {
   std::signal(SIGPIPE, SIG_IGN);
   jc_ = &jc;
   published_meta_.assign(jc.splits->size(), {});
+  {
+    const std::lock_guard<std::mutex> lock(arenas_mutex_);
+    for (ArenaRef& a : arenas_) {
+      if (a.fd >= 0) ::close(a.fd);
+    }
+    arenas_.assign(jc.splits->size(), ArenaRef{});
+  }
 
-  // Sockets live under a fresh tmpdir: sun_path caps UDS paths at ~100
-  // chars, so the build tree is not a safe home for them.
+  if (!session_dir_.empty()) {
+    // Persistent pool: the processes are already up. Ship the new job
+    // context instead of re-forking; retire workers on nodes that died
+    // in an earlier job; respawn any slot that lost its process.
+    PAIRMR_CHECK(slots_.size() == jc.num_nodes,
+                 "persistent fork pool reused across clusters of "
+                 "different sizes");
+    const std::string payload = begin_job_payload();
+    for (NodeId nd = 0; nd < jc.num_nodes; ++nd) {
+      WorkerSlot& slot = *slots_[nd];
+      const std::lock_guard<std::mutex> lock(slot.mutex);
+      slot.published.clear();
+      if (jc.node_alive[nd] == 0) {
+        if (slot.alive && slot.fd >= 0) {
+          // The simulated node is gone for good; its worker follows.
+          try {
+            send_frame(slot.fd, FrameType::kShutdown, std::string());
+            std::string resp;
+            recv_frame(slot.fd, resp, "worker");
+          } catch (const ProtocolError&) {
+          }
+          ::close(slot.fd);
+          slot.fd = -1;
+          slot.alive = false;
+          slot.pid = 0;
+        }
+        continue;
+      }
+      if (!slot.alive) {
+        spawn_worker_locked(slot, nd);  // ships kBeginJob itself
+        continue;
+      }
+      std::string resp;
+      const FrameType t =
+          roundtrip_locked(slot, nd, FrameType::kBeginJob, payload, resp);
+      PAIRMR_CHECK(t == FrameType::kOk, "unexpected reply to a job begin");
+      ++workers_reused_;
+    }
+    return;
+  }
+
+  // Cold start. Sockets live under a fresh tmpdir: sun_path caps UDS
+  // paths at ~100 chars, so the build tree is not a safe home for them.
   char tmpl[] = "/tmp/pairmr-XXXXXX";
   PAIRMR_CHECK(::mkdtemp(tmpl) != nullptr,
                std::string("mkdtemp failed: ") + std::strerror(errno));
@@ -608,8 +958,7 @@ void ForkBackend::begin_job(const JobContext& jc) {
   if (pid == 0) {
     ::close(cmd[1]);
     ::close(ack[0]);
-    forker_main(&jc, session_dir_, jc.num_nodes, cmd[0], ack[1],
-                ctrl_listen_fd_);
+    forker_main(session_dir_, jc.num_nodes, cmd[0], ack[1], ctrl_listen_fd_);
   }
   ::close(cmd[0]);
   ::close(ack[1]);
@@ -630,6 +979,37 @@ void ForkBackend::begin_job(const JobContext& jc) {
 
 void ForkBackend::end_job() {
   if (jc_ == nullptr) return;
+  if (!persistent_) {
+    teardown();
+    return;
+  }
+  // Soft end: workers drop their job state and stay warm for the next
+  // begin_job. A worker that cannot acknowledge poisons the pool — fall
+  // back to a full teardown so the next job gets a fresh fork.
+  bool poisoned = false;
+  for (auto& slot_ptr : slots_) {
+    WorkerSlot& slot = *slot_ptr;
+    const std::lock_guard<std::mutex> lock(slot.mutex);
+    slot.published.clear();
+    if (!slot.alive || slot.fd < 0) continue;
+    try {
+      send_frame(slot.fd, FrameType::kEndJob, std::string());
+      std::string resp;
+      if (recv_frame(slot.fd, resp, "worker") != FrameType::kOk) {
+        poisoned = true;
+      }
+    } catch (const ProtocolError&) {
+      poisoned = true;
+    }
+  }
+  close_arenas();
+  published_meta_.clear();
+  jc_ = nullptr;
+  if (poisoned) teardown();
+}
+
+void ForkBackend::teardown() {
+  close_arenas();
   for (auto& slot_ptr : slots_) {
     WorkerSlot& slot = *slot_ptr;
     const std::lock_guard<std::mutex> lock(slot.mutex);
@@ -688,6 +1068,67 @@ void ForkBackend::end_job() {
   jc_ = nullptr;
 }
 
+void ForkBackend::close_arenas() {
+  const std::lock_guard<std::mutex> lock(arenas_mutex_);
+  for (ArenaRef& a : arenas_) {
+    if (a.fd >= 0) ::close(a.fd);
+    a = ArenaRef{};
+  }
+}
+
+std::size_t ForkBackend::open_arena_count() const {
+  const std::lock_guard<std::mutex> lock(arenas_mutex_);
+  std::size_t n = 0;
+  for (const ArenaRef& a : arenas_) {
+    if (a.fd >= 0) ++n;
+  }
+  return n;
+}
+
+std::string ForkBackend::begin_job_payload() const {
+  const JobContext& jc = *jc_;
+  BufWriter w;
+  // The one by-address field: valid in the worker iff the spec predates
+  // the pool's fork (the copy-on-write contract in fork.hpp).
+  w.put_u64(
+      static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(jc.spec)));
+  w.put_u32(static_cast<std::uint32_t>(jc.splits->size()));
+  w.put_u32(jc.env.num_reducers);
+  w.put_u32(jc.num_nodes);
+  w.put_u64(jc.env.budget.bytes);
+  w.put_u32(jc.env.budget.merge_fan_in);
+  w.put_u8(jc.env.spill_mode ? 1 : 0);
+  w.put_u8(jc.env.movable_shuffle ? 1 : 0);
+  w.put_u8(jc.env.tracer != nullptr ? 1 : 0);
+  w.put_u8(static_cast<std::uint8_t>(jc.shuffle_plane));
+  w.put_bytes(jc.env.scratch_root);
+  // Distributed cache, shipped by value in sorted-path order (the
+  // coordinator's map iterates in unspecified order).
+  std::vector<std::string> paths;
+  paths.reserve(jc.env.cache->size());
+  for (const auto& [path, file] : *jc.env.cache) paths.push_back(path);
+  std::sort(paths.begin(), paths.end());
+  w.put_u32(static_cast<std::uint32_t>(paths.size()));
+  for (const std::string& path : paths) {
+    const auto& file = jc.env.cache->at(path);
+    w.put_bytes(path);
+    w.put_u32(file->home);
+    put_records(w, file->records);
+  }
+  return std::move(w).str();
+}
+
+void ForkBackend::append_split(BufWriter& w, TaskIndex task) const {
+  const Split& split = (*jc_->splits)[task];
+  w.put_bytes(split.file->path);
+  w.put_u32(static_cast<std::uint32_t>(split.end - split.begin));
+  for (std::size_t i = split.begin; i < split.end; ++i) {
+    const Record& rec = split.file->records[i];
+    w.put_bytes(rec.key);
+    w.put_bytes(rec.value);
+  }
+}
+
 void ForkBackend::spawn_worker_locked(WorkerSlot& slot, NodeId node) {
   {
     const std::lock_guard<std::mutex> lock(forker_mutex_);
@@ -704,6 +1145,14 @@ void ForkBackend::spawn_worker_locked(WorkerSlot& slot, NodeId node) {
   }
   accept_worker(node, slot);
   slot.alive = true;
+  ++workers_forked_;
+  if (jc_ != nullptr) {
+    // Fresh process, current job: ship the context it did not inherit.
+    std::string resp;
+    const FrameType t = roundtrip_locked(slot, node, FrameType::kBeginJob,
+                                         begin_job_payload(), resp);
+    PAIRMR_CHECK(t == FrameType::kOk, "unexpected reply to a job begin");
+  }
 }
 
 void ForkBackend::accept_worker(NodeId node, WorkerSlot& slot) {
@@ -755,40 +1204,43 @@ void ForkBackend::accept_worker(NodeId node, WorkerSlot& slot) {
 
 FrameType ForkBackend::roundtrip(NodeId node, FrameType type,
                                  const std::string& payload,
-                                 std::string& response) {
+                                 std::string& response,
+                                 const std::vector<int>* send_fds,
+                                 std::vector<int>* recv_fds) {
   PAIRMR_CHECK(node < slots_.size(), "task dispatched to an unknown node");
   WorkerSlot& slot = *slots_[node];
   const std::lock_guard<std::mutex> lock(slot.mutex);
-  return roundtrip_locked(slot, node, type, payload, response);
+  return roundtrip_locked(slot, node, type, payload, response, send_fds,
+                          recv_fds);
 }
 
 FrameType ForkBackend::roundtrip_locked(WorkerSlot& slot, NodeId node,
                                         FrameType type,
                                         const std::string& payload,
-                                        std::string& response) {
+                                        std::string& response,
+                                        const std::vector<int>* send_fds,
+                                        std::vector<int>* recv_fds) {
   PAIRMR_CHECK(slot.alive && slot.fd >= 0,
                "no live worker process for node " + std::to_string(node));
   const std::string who = "worker " + std::to_string(node);
-  send_frame(slot.fd, type, payload);
-  const FrameType t = recv_frame(slot.fd, response, who.c_str());
-  if (t == FrameType::kErr) throw_worker_error(response, node);
+  if (send_fds != nullptr && !send_fds->empty()) {
+    send_frame_with_fds(slot.fd, type, payload, *send_fds);
+  } else {
+    send_frame(slot.fd, type, payload);
+  }
+  const FrameType t =
+      recv_fds != nullptr
+          ? recv_frame_with_fds(slot.fd, response, *recv_fds, who.c_str())
+          : recv_frame(slot.fd, response, who.c_str());
+  if (t == FrameType::kErr) {
+    if (recv_fds != nullptr) close_fds(*recv_fds);
+    throw_worker_error(response, node);
+  }
   return t;
 }
 
 void ForkBackend::throw_worker_error(const std::string& payload, NodeId node) {
-  BufReader r(payload);
-  const auto kind = static_cast<ErrKind>(r.get_u8());
-  const std::string msg =
-      std::string(r.get_bytes()) + " [worker " + std::to_string(node) + "]";
-  switch (kind) {
-    case ErrKind::kPrecondition:
-      throw PreconditionError(msg);
-    case ErrKind::kInternal:
-      throw InternalError(msg);
-    case ErrKind::kRuntime:
-      break;
-  }
-  throw std::runtime_error(msg);
+  rethrow_shipped_error(payload, "worker " + std::to_string(node));
 }
 
 void ForkBackend::replay_spans(SpanId root, const std::vector<Span>& spans) {
@@ -812,9 +1264,9 @@ MapAttemptOutcome ForkBackend::run_map_attempt(const MapAttemptDesc& desc) {
   w.put_u32(desc.node);
   w.put_bytes(desc.tag);
   w.put_u8(0);  // not a regeneration
+  append_split(w, desc.task);
   std::string resp;
-  const FrameType t =
-      roundtrip(desc.node, FrameType::kMapTask, w.str(), resp);
+  const FrameType t = roundtrip(desc.node, FrameType::kMapTask, w.str(), resp);
   PAIRMR_CHECK(t == FrameType::kMapDone, "unexpected reply to a map task");
   BufReader r(resp);
   MapAttemptOutcome out;
@@ -822,6 +1274,40 @@ MapAttemptOutcome ForkBackend::run_map_attempt(const MapAttemptDesc& desc) {
   out.bytes_emitted = r.get_u64();
   replay_spans(desc.attempt_span, get_spans(r));
   return out;
+}
+
+void ForkBackend::settle_publish(TaskIndex task, FrameType type,
+                                 const std::string& resp,
+                                 std::vector<int>& fds, SpanId kept_span,
+                                 MapPublishOutcome& out) {
+  BufReader r(resp);
+  out.meta = get_meta(r);
+  out.counters = std::make_unique<Counters>();
+  get_counters(r, *out.counters);
+  out.map_only_output = get_records(r);
+  const std::vector<Span> spans = get_spans(r);
+  if (type == FrameType::kPublishDoneShm) {
+    const std::uint64_t len = r.get_u64();
+    const std::uint32_t nfds = r.get_u32();
+    require_fd_count(fds, nfds, "kPublishDoneShm", "worker");
+    if (nfds != 1) {
+      close_fds(fds);
+      throw ProtocolError(
+          "kPublishDoneShm must carry exactly one arena fd, got " +
+          std::to_string(nfds));
+    }
+    // A regenerated publish replaces the dead worker's arena; reducers
+    // still mapping the old one keep it alive through the kernel.
+    const std::lock_guard<std::mutex> lock(arenas_mutex_);
+    ArenaRef& a = arenas_[task];
+    if (a.fd >= 0) ::close(a.fd);
+    a.fd = fds[0];
+    a.len = len;
+    fds.clear();
+  } else {
+    require_fd_count(fds, 0, "kPublishDone", "worker");
+  }
+  replay_spans(kept_span, spans);
 }
 
 MapPublishOutcome ForkBackend::publish_map_output(TaskIndex task,
@@ -834,23 +1320,22 @@ MapPublishOutcome ForkBackend::publish_map_output(TaskIndex task,
   w.put_u32(node);
   w.put_u8(0);  // not a regeneration
   std::string resp;
+  std::vector<int> fds;
+  FrameType t;
   WorkerSlot& slot = *slots_[node];
   {
     const std::lock_guard<std::mutex> lock(slot.mutex);
-    const FrameType t =
-        roundtrip_locked(slot, node, FrameType::kPublish, w.str(), resp);
-    PAIRMR_CHECK(t == FrameType::kPublishDone,
-                 "unexpected reply to a map publish");
-    // Record what this worker now serves, for regeneration after a crash.
+    t = roundtrip_locked(slot, node, FrameType::kPublish, w.str(), resp,
+                         nullptr, &fds);
+    PAIRMR_CHECK(
+        t == FrameType::kPublishDone || t == FrameType::kPublishDoneShm,
+        "unexpected reply to a map publish");
+    // Record what this worker now serves, for regeneration after a crash
+    // (map-only outputs live coordinator-side; nothing to re-serve).
     if (!jc_->spec->map_only) slot.published.emplace_back(task, tag);
   }
-  BufReader r(resp);
   MapPublishOutcome out;
-  out.meta = get_meta(r);
-  out.counters = std::make_unique<Counters>();
-  get_counters(r, *out.counters);
-  out.map_only_output = get_records(r);
-  replay_spans(kept_span, get_spans(r));
+  settle_publish(task, t, resp, fds, kept_span, out);
   if (!jc_->spec->map_only) {
     const std::lock_guard<std::mutex> lock(published_meta_mutex_);
     published_meta_[task] = out.meta;
@@ -880,9 +1365,47 @@ ReduceAttemptOutcome ForkBackend::run_reduce_attempt(
   put_meta(w, desc.meta);
   w.put_u32(static_cast<std::uint32_t>(desc.drop_now.size()));
   for (const std::uint8_t d : desc.drop_now) w.put_u8(d);
+
+  // Shm section: ship the arena fd of every *remote* published map task,
+  // in ascending map order, capped at kMaxFdsPerFrame per frame (excess
+  // partitions ride the socket plane — deterministically, since arenas
+  // settle before the reduce phase starts). The fds are dup()ed under
+  // the arenas lock so a concurrent regeneration swap cannot close them
+  // mid-send.
+  std::vector<int> dup_fds;
+  struct DupCloser {
+    std::vector<int>& fds;
+    ~DupCloser() { close_fds(fds); }
+  } dup_closer{dup_fds};
+  const bool shm =
+      jc_->shuffle_plane == ShufflePlane::kShm && !jc_->spec->map_only;
+  w.put_u8(shm ? 1 : 0);
+  if (shm) {
+    std::vector<std::pair<std::uint8_t, std::uint64_t>> flags(
+        desc.map_nodes.size(), {0, 0});
+    {
+      const std::lock_guard<std::mutex> lock(arenas_mutex_);
+      for (std::size_t m = 0; m < desc.map_nodes.size(); ++m) {
+        if (desc.map_nodes[m] == desc.node) continue;  // local fetch
+        const ArenaRef& a = arenas_[m];
+        if (a.fd < 0) continue;  // never published via shm: socket plane
+        if (dup_fds.size() >= kMaxFdsPerFrame) break;
+        const int dup = ::dup(a.fd);
+        if (dup < 0) continue;
+        dup_fds.push_back(dup);
+        flags[m] = {1, a.len};
+      }
+    }
+    w.put_u32(static_cast<std::uint32_t>(dup_fds.size()));
+    for (const auto& [has, len] : flags) {
+      w.put_u8(has);
+      if (has != 0) w.put_u64(len);
+    }
+  }
+
   std::string resp;
-  const FrameType t =
-      roundtrip(desc.node, FrameType::kReduceTask, w.str(), resp);
+  const FrameType t = roundtrip(desc.node, FrameType::kReduceTask, w.str(),
+                                resp, dup_fds.empty() ? nullptr : &dup_fds);
   PAIRMR_CHECK(t == FrameType::kReduceDone,
                "unexpected reply to a reduce task");
   BufReader r(resp);
@@ -902,8 +1425,7 @@ void ForkBackend::discard_reduce_scratch(const std::string& tag, NodeId node) {
   BufWriter w;
   w.put_bytes(tag);
   std::string resp;
-  const FrameType t =
-      roundtrip(node, FrameType::kDiscardReduce, w.str(), resp);
+  const FrameType t = roundtrip(node, FrameType::kDiscardReduce, w.str(), resp);
   PAIRMR_CHECK(t == FrameType::kOk, "unexpected reply to a reduce discard");
 }
 
@@ -959,6 +1481,7 @@ void ForkBackend::regenerate_published_locked(WorkerSlot& slot, NodeId node) {
       w.put_u32(node);
       w.put_bytes(tag);
       w.put_u8(1);  // regeneration: untraced, counters dropped
+      append_split(w, task);
       std::string resp;
       const FrameType t =
           roundtrip_locked(slot, node, FrameType::kMapTask, w.str(), resp);
@@ -972,14 +1495,16 @@ void ForkBackend::regenerate_published_locked(WorkerSlot& slot, NodeId node) {
       w.put_u32(node);
       w.put_u8(1);
       std::string resp;
-      const FrameType t =
-          roundtrip_locked(slot, node, FrameType::kPublish, w.str(), resp);
-      PAIRMR_CHECK(t == FrameType::kPublishDone,
-                   "unexpected reply to a regeneration publish");
-      BufReader r(resp);
-      const std::vector<PartitionMeta> meta = get_meta(r);
+      std::vector<int> fds;
+      const FrameType t = roundtrip_locked(slot, node, FrameType::kPublish,
+                                           w.str(), resp, nullptr, &fds);
+      PAIRMR_CHECK(
+          t == FrameType::kPublishDone || t == FrameType::kPublishDoneShm,
+          "unexpected reply to a regeneration publish");
+      MapPublishOutcome out;
+      settle_publish(task, t, resp, fds, /*kept_span=*/0, out);
       const std::lock_guard<std::mutex> lock(published_meta_mutex_);
-      PAIRMR_CHECK(meta == published_meta_[task],
+      PAIRMR_CHECK(out.meta == published_meta_[task],
                    "regenerated map output diverged from the original "
                    "publish");
     }

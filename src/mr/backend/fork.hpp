@@ -9,15 +9,44 @@
 //        ▼                                          worker <-> worker fetches
 //     forker (fork server)
 //
-// Workers are forked without exec: they inherit the coordinator's job
-// snapshot — JobSpec (including the unserializable mapper/reducer/scheme
-// factories), splits, distributed cache, and a copy-on-write SimDfs for
-// spill scratch — by address, which is what makes arbitrary user code
-// runnable in a separate process. The *forker* is a tiny single-threaded
-// fork server spawned at begin_job (while the coordinator's pool threads
-// are idle, i.e. at a fork-safe point); it forks every worker, respawns
-// crashed ones on request, and reaps them all, so the coordinator only
-// ever waits on the forker and no zombie can outlive a job.
+// Workers are forked without exec and start *jobless*: every job's context
+// — the JobSpec pointer (the one piece that crosses by address: the spec
+// holds unserializable mapper/reducer factories, so it must already be in
+// the worker's copy-on-write image when the pool forked), the effective
+// TaskEnv scalars, the scratch root, and the distributed cache — ships
+// over the control channel in a kBeginJob frame, and each map task's
+// input split rides inside its kMapTask frame. The *forker* is a tiny
+// single-threaded fork server spawned when the pool first starts (while
+// the coordinator's pool threads are idle, i.e. at a fork-safe point); it
+// forks every worker, respawns crashed ones on request, and reaps them
+// all, so the coordinator only ever waits on the forker and no zombie can
+// outlive the backend.
+//
+// Persistent worker pool: constructed with `persistent = true` (what
+// mr::backend::BackendSession does), the backend survives end_job — the
+// workers get a kEndJob frame that drops their job state and the next
+// begin_job re-ships context with kBeginJob instead of re-forking. The
+// caller owns the copy-on-write contract: every JobSpec run on a
+// persistent backend must have been fully constructed *before* the pool
+// forked (BackendSession tracks declaration order and restarts the pool
+// when a spec is younger than the fork). Non-persistent backends (the
+// default; what Engine::run(spec) creates per job) tear everything down
+// at end_job, exactly as before.
+//
+// Shuffle planes (JobContext::shuffle_plane):
+//   * kSocket — published partitions stream over per-worker Unix-domain
+//     shuffle sockets, one connect + request + re-serialized response per
+//     remote fetch.
+//   * kShm — at publish, the worker serializes the map task's partitions
+//     once into a memfd_create arena and passes the fd to the coordinator
+//     over SCM_RIGHTS (kPublishDoneShm); the coordinator re-ships the fd
+//     with each reduce task that needs it, and the fetching reducer mmaps
+//     the arena read-only and decodes straight from the mapping — no
+//     socket streaming, no second serialization. Remote bytes consumed
+//     this way are tallied under counter::kShuffleShmBytes. Any failure —
+//     memfd unavailable, arena too many fds for one frame, a garbled
+//     arena header — falls back to the socket plane per partition, so the
+//     job's results never depend on the plane.
 //
 // Division of labour (see backend.hpp): the coordinator still decides
 // placement, faults, metering, and counter merges; a worker only executes
@@ -29,12 +58,17 @@
 // process boundary.
 //
 // Worker crash-kill (FaultPlan::kills_worker): crash_worker SIGKILLs the
-// node's worker mid-task, asks the forker for a replacement, and replays
-// every map output the dead worker had published (deterministic
-// re-execution, counters and spans discarded; the regenerated partition
-// metadata is checked against the original). Reduce attempts fetching
-// from the dying worker ride it out by retrying the peer's shuffle socket
-// until the respawned worker serves the regenerated partition.
+// node's worker mid-task, asks the forker for a replacement, re-ships the
+// job with kBeginJob, and replays every map output the dead worker had
+// published (deterministic re-execution, counters and spans discarded;
+// the regenerated partition metadata is checked against the original, and
+// on the shm plane the regenerated arena replaces the dead worker's —
+// the kernel keeps the old memfd alive for any reducer still mapping it).
+// Reduce attempts fetching from the dying worker ride it out by retrying
+// the peer's shuffle socket until the respawned worker serves the
+// regenerated partition. A worker SIGKILLed mid-publish leaks nothing:
+// its memfd dies with its last fd unless the coordinator already holds
+// the passed copy.
 #pragma once
 
 #include <cstdint>
@@ -58,7 +92,11 @@ namespace pairmr::mr::backend {
 
 class ForkBackend final : public Backend {
  public:
-  explicit ForkBackend(Cluster& cluster) : cluster_(cluster) {}
+  // `persistent` keeps the worker pool alive across end_job so a later
+  // begin_job reuses the processes (see the header comment's COW
+  // contract). The destructor always tears the pool down.
+  explicit ForkBackend(Cluster& cluster, bool persistent = false)
+      : cluster_(cluster), persistent_(persistent) {}
   ~ForkBackend() override;
 
   const char* name() const override { return "fork"; }
@@ -80,6 +118,20 @@ class ForkBackend final : public Backend {
 
   void crash_worker(NodeId node, TaskKind kind, TaskIndex task) override;
 
+  // True once the pool processes exist (the first begin_job forked them).
+  bool has_forked() const { return !session_dir_.empty(); }
+
+  // Lifetime tallies: worker processes forked (initial spawns + crash
+  // respawns) and kBeginJob re-ships to an already-live worker. A
+  // persistent pool running j jobs on n nodes fault-free forks n and
+  // reuses n * (j - 1).
+  std::uint64_t workers_forked() const { return workers_forked_; }
+  std::uint64_t workers_reused() const { return workers_reused_; }
+
+  // Shm-plane arena fds the coordinator currently holds (test hook: after
+  // end_job this must be 0 — arenas never outlive their job).
+  std::size_t open_arena_count() const;
+
  private:
   // One worker process. `mutex` serializes every control-channel exchange
   // with it (requests are strict request/response); shuffle traffic rides
@@ -95,22 +147,54 @@ class ForkBackend final : public Backend {
     std::vector<std::pair<TaskIndex, std::string>> published;
   };
 
+  // One published map task's shm arena, held coordinator-side so the
+  // memfd outlives its publisher (a SIGKILLed worker's arena stays
+  // servable) and can be re-shipped to every reducer that needs it.
+  struct ArenaRef {
+    int fd = -1;
+    std::uint64_t len = 0;
+  };
+
   // Send `type`+`payload` to node's worker and return the response frame,
-  // holding the slot mutex. Throws the worker-shipped error for kErr
-  // responses; PeerClosedError if the worker died unexpectedly.
+  // holding the slot mutex. `send_fds` attach as SCM_RIGHTS; `recv_fds`
+  // collects any that arrive with the response. Throws the worker-shipped
+  // error for kErr responses; PeerClosedError if the worker died
+  // unexpectedly.
   FrameType roundtrip(NodeId node, FrameType type, const std::string& payload,
-                      std::string& response);
+                      std::string& response,
+                      const std::vector<int>* send_fds = nullptr,
+                      std::vector<int>* recv_fds = nullptr);
   FrameType roundtrip_locked(WorkerSlot& slot, NodeId node, FrameType type,
                              const std::string& payload,
-                             std::string& response);
+                             std::string& response,
+                             const std::vector<int>* send_fds = nullptr,
+                             std::vector<int>* recv_fds = nullptr);
 
   // Accept control connections until `node`'s worker says Hello (other
   // workers' Hellos are stashed for their own accept_worker calls).
   void accept_worker(NodeId node, WorkerSlot& slot);
 
-  // Ask the forker to fork a worker for `node`, then handshake it. The
-  // caller holds the slot mutex.
+  // Ask the forker to fork a worker for `node`, handshake it, and — when a
+  // job is in progress — ship the job context with kBeginJob. The caller
+  // holds the slot mutex.
   void spawn_worker_locked(WorkerSlot& slot, NodeId node);
+
+  // The kBeginJob payload for the current job (spec pointer, env scalars,
+  // shuffle plane, distributed cache).
+  std::string begin_job_payload() const;
+
+  // The split section of a kMapTask frame: the task's input slice,
+  // serialized (pooled workers cannot rely on the coordinator's splits
+  // vector being in their fork image).
+  void append_split(BufWriter& w, TaskIndex task) const;
+
+  // Parse a kPublishDone/kPublishDoneShm response: fills `out`, stores a
+  // shipped arena fd under `task` (replacing — and closing — any previous
+  // one), and verifies the declared fd count. `fds` arrived with the
+  // response frame.
+  void settle_publish(TaskIndex task, FrameType type, const std::string& resp,
+                      std::vector<int>& fds, SpanId kept_span,
+                      MapPublishOutcome& out);
 
   // Re-execute and re-publish everything `slot.published` records, on the
   // freshly respawned worker; verifies the regenerated partition metadata
@@ -124,7 +208,15 @@ class ForkBackend final : public Backend {
   [[noreturn]] void throw_worker_error(const std::string& payload,
                                        NodeId node);
 
+  // Close every held arena fd (idempotent).
+  void close_arenas();
+
+  // Full pool shutdown: workers, forker, sockets, session dir, arenas.
+  // Idempotent; the destructor and non-persistent end_job land here.
+  void teardown();
+
   Cluster& cluster_;
+  const bool persistent_;
   const JobContext* jc_ = nullptr;
   std::string session_dir_;     // mkdtemp under /tmp (UDS 108-char limit)
   int ctrl_listen_fd_ = -1;
@@ -140,6 +232,13 @@ class ForkBackend final : public Backend {
   // Regenerated publishes must reproduce these (task -> meta per reducer).
   std::vector<std::vector<PartitionMeta>> published_meta_;
   std::mutex published_meta_mutex_;
+  // Shm plane: one arena per map task ({-1, 0} = none published / socket
+  // fallback). Guarded by arenas_mutex_ (publishes and reduce dispatches
+  // run on different pool threads).
+  std::vector<ArenaRef> arenas_;
+  mutable std::mutex arenas_mutex_;
+  std::uint64_t workers_forked_ = 0;
+  std::uint64_t workers_reused_ = 0;
 };
 
 }  // namespace pairmr::mr::backend

@@ -32,13 +32,56 @@ void send_all(int fd, const char* data, std::size_t len) {
   }
 }
 
+// Drains one recvmsg() worth of SCM_RIGHTS ancillary data into `fds_out`.
+// MSG_CTRUNC means the kernel dropped fds the cmsg buffer could not hold:
+// everything collected so far is closed and the stream declared garbled —
+// stray kernel-owned fds must never leak silently.
+void collect_cmsg_fds(msghdr& msg, std::vector<int>& fds_out,
+                      const char* who) {
+  for (cmsghdr* c = CMSG_FIRSTHDR(&msg); c != nullptr;
+       c = CMSG_NXTHDR(&msg, c)) {
+    if (c->cmsg_level != SOL_SOCKET || c->cmsg_type != SCM_RIGHTS) continue;
+    const std::size_t bytes = c->cmsg_len - CMSG_LEN(0);
+    const std::size_t n = bytes / sizeof(int);
+    std::vector<int> incoming(n);
+    std::memcpy(incoming.data(), CMSG_DATA(c), n * sizeof(int));
+    fds_out.insert(fds_out.end(), incoming.begin(), incoming.end());
+  }
+  if ((msg.msg_flags & MSG_CTRUNC) != 0) {
+    for (const int f : fds_out) ::close(f);
+    fds_out.clear();
+    throw ProtocolError(
+        std::string("truncated SCM_RIGHTS ancillary data from ") + who +
+        ": the kernel dropped passed file descriptors (fd count exceeds "
+        "the receive buffer); the frame's descriptors were closed");
+  }
+}
+
 // Receive exactly `len` bytes. `header_byte_seen` distinguishes a clean
 // EOF between frames (PeerClosedError) from one mid-frame (truncation).
+// When `fds_out` is non-null, SCM_RIGHTS fds arriving with the data are
+// collected (CLOEXEC) — up to `max_fds` per recvmsg call.
 void recv_all(int fd, char* data, std::size_t len, const char* who,
-              bool header_byte_seen) {
+              bool header_byte_seen, std::vector<int>* fds_out = nullptr,
+              std::size_t max_fds = 0) {
   std::size_t got = 0;
   while (got < len) {
-    const ssize_t n = ::recv(fd, data + got, len - got, 0);
+    ssize_t n = 0;
+    if (fds_out != nullptr) {
+      iovec iov{};
+      iov.iov_base = data + got;
+      iov.iov_len = len - got;
+      std::vector<char> ctrl(CMSG_SPACE(max_fds * sizeof(int)));
+      msghdr msg{};
+      msg.msg_iov = &iov;
+      msg.msg_iovlen = 1;
+      msg.msg_control = ctrl.data();
+      msg.msg_controllen = ctrl.size();
+      n = ::recvmsg(fd, &msg, MSG_CMSG_CLOEXEC);
+      if (n > 0) collect_cmsg_fds(msg, *fds_out, who);
+    } else {
+      n = ::recv(fd, data + got, len - got, 0);
+    }
     if (n == 0) {
       if (!header_byte_seen && got == 0) {
         throw PeerClosedError(std::string(who) +
@@ -69,6 +112,47 @@ void recv_all(int fd, char* data, std::size_t len, const char* who,
   }
 }
 
+// Shared body of recv_frame / recv_frame_with_fds. Any fds collected
+// before a framing error are closed — a garbled stream must not leak
+// kernel-owned descriptors into the process.
+FrameType recv_frame_impl(int fd, std::string& payload, const char* who,
+                          std::vector<int>* fds_out, std::size_t max_fds) {
+  try {
+    char header[16];
+    recv_all(fd, header, sizeof(header), who, /*header_byte_seen=*/false,
+             fds_out, max_fds);
+    BufReader r(std::string_view(header, sizeof(header)));
+    const std::uint32_t magic = r.get_u32();
+    if (magic != kFrameMagic) {
+      throw ProtocolError(std::string("garbled frame from ") + who +
+                          ": bad magic 0x" + std::to_string(magic) +
+                          " (expected 'PMRB'); the control stream is corrupt");
+    }
+    const std::uint32_t type = r.get_u32();
+    if (type < static_cast<std::uint32_t>(FrameType::kHello) ||
+        type > static_cast<std::uint32_t>(FrameType::kPublishDoneShm)) {
+      throw ProtocolError(std::string("garbled frame from ") + who +
+                          ": unknown frame type " + std::to_string(type));
+    }
+    const std::uint64_t len = r.get_u64();
+    if (len > kMaxFrameBytes) {
+      throw ProtocolError(
+          std::string("garbled frame from ") + who +
+          ": implausible payload length " + std::to_string(len) + " (cap " +
+          std::to_string(kMaxFrameBytes) + ")");
+    }
+    payload.resize(static_cast<std::size_t>(len));
+    if (len != 0) {
+      recv_all(fd, payload.data(), payload.size(), who,
+               /*header_byte_seen=*/true, fds_out, max_fds);
+    }
+    return static_cast<FrameType>(type);
+  } catch (...) {
+    if (fds_out != nullptr) close_fds(*fds_out);
+    throw;
+  }
+}
+
 }  // namespace
 
 void send_frame(int fd, FrameType type, const std::string& payload) {
@@ -81,33 +165,109 @@ void send_frame(int fd, FrameType type, const std::string& payload) {
 }
 
 FrameType recv_frame(int fd, std::string& payload, const char* who) {
-  char header[16];
-  recv_all(fd, header, sizeof(header), who, /*header_byte_seen=*/false);
-  BufReader r(std::string_view(header, sizeof(header)));
-  const std::uint32_t magic = r.get_u32();
-  if (magic != kFrameMagic) {
-    throw ProtocolError(std::string("garbled frame from ") + who +
-                        ": bad magic 0x" + std::to_string(magic) +
-                        " (expected 'PMRB'); the control stream is corrupt");
+  return recv_frame_impl(fd, payload, who, nullptr, 0);
+}
+
+void send_frame_with_fds(int fd, FrameType type, const std::string& payload,
+                         const std::vector<int>& fds) {
+  if (fds.empty()) {
+    send_frame(fd, type, payload);
+    return;
   }
-  const std::uint32_t type = r.get_u32();
-  if (type < static_cast<std::uint32_t>(FrameType::kHello) ||
-      type > static_cast<std::uint32_t>(FrameType::kNotReady)) {
-    throw ProtocolError(std::string("garbled frame from ") + who +
-                        ": unknown frame type " + std::to_string(type));
+  PAIRMR_CHECK(fds.size() <= kMaxFdsPerFrame,
+               "send_frame_with_fds: " + std::to_string(fds.size()) +
+                   " fds exceeds the per-frame cap of " +
+                   std::to_string(kMaxFdsPerFrame));
+  BufWriter header;
+  header.put_u32(kFrameMagic);
+  header.put_u32(static_cast<std::uint32_t>(type));
+  header.put_u64(payload.size());
+  const std::string head = std::move(header).str();
+
+  // The fds ride on the first byte; SOCK_STREAM delivers the ancillary
+  // data with whatever recv call consumes that byte.
+  iovec iov{};
+  iov.iov_base = const_cast<char*>(head.data());
+  iov.iov_len = head.size();
+  std::vector<char> ctrl(CMSG_SPACE(fds.size() * sizeof(int)));
+  msghdr msg{};
+  msg.msg_iov = &iov;
+  msg.msg_iovlen = 1;
+  msg.msg_control = ctrl.data();
+  msg.msg_controllen = ctrl.size();
+  cmsghdr* c = CMSG_FIRSTHDR(&msg);
+  c->cmsg_level = SOL_SOCKET;
+  c->cmsg_type = SCM_RIGHTS;
+  c->cmsg_len = CMSG_LEN(fds.size() * sizeof(int));
+  std::memcpy(CMSG_DATA(c), fds.data(), fds.size() * sizeof(int));
+
+  std::size_t sent = 0;
+  while (sent == 0) {
+    const ssize_t n = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EPIPE || errno == ECONNRESET) {
+        throw PeerClosedError("peer closed while sending an fd-bearing frame");
+      }
+      throw ProtocolError(std::string("fd-bearing frame send failed: ") +
+                          errno_text());
+    }
+    sent = static_cast<std::size_t>(n);
   }
-  const std::uint64_t len = r.get_u64();
-  if (len > kMaxFrameBytes) {
-    throw ProtocolError(std::string("garbled frame from ") + who +
-                        ": implausible payload length " + std::to_string(len) +
-                        " (cap " + std::to_string(kMaxFrameBytes) + ")");
+  if (sent < head.size()) {
+    send_all(fd, head.data() + sent, head.size() - sent);
   }
-  payload.resize(static_cast<std::size_t>(len));
-  if (len != 0) {
-    recv_all(fd, payload.data(), payload.size(), who,
-             /*header_byte_seen=*/true);
+  send_all(fd, payload.data(), payload.size());
+}
+
+FrameType recv_frame_with_fds(int fd, std::string& payload,
+                              std::vector<int>& fds_out, const char* who,
+                              std::size_t max_fds) {
+  return recv_frame_impl(fd, payload, who, &fds_out, max_fds);
+}
+
+void require_fd_count(std::vector<int>& fds, std::size_t declared,
+                      const char* frame, const char* who) {
+  if (fds.size() == declared) return;
+  const std::size_t got = fds.size();
+  close_fds(fds);
+  throw ProtocolError(std::string("fd count mismatch on ") + frame +
+                      " from " + who + ": payload declares " +
+                      std::to_string(declared) +
+                      " passed descriptor(s) but SCM_RIGHTS delivered " +
+                      std::to_string(got) +
+                      "; the frame's descriptors were closed");
+}
+
+void close_fds(std::vector<int>& fds) {
+  for (const int f : fds) {
+    if (f >= 0) ::close(f);
   }
-  return static_cast<FrameType>(type);
+  fds.clear();
+}
+
+std::string make_err_payload(ErrKind kind, const std::string& what) {
+  BufWriter w;
+  w.put_u8(static_cast<std::uint8_t>(kind));
+  w.put_bytes(what);
+  return std::move(w).str();
+}
+
+void rethrow_shipped_error(const std::string& payload, const std::string& who) {
+  BufReader r(payload);
+  const auto kind = static_cast<ErrKind>(r.get_u8());
+  const std::string msg = std::string(r.get_bytes()) + " [" + who + "]";
+  switch (kind) {
+    case ErrKind::kPrecondition:
+      throw PreconditionError(msg);
+    case ErrKind::kInternal:
+      throw InternalError(msg);
+    case ErrKind::kProtocol:
+      throw ProtocolError(msg);
+    case ErrKind::kRuntime:
+      break;
+  }
+  throw std::runtime_error(msg);
 }
 
 void set_recv_timeout(int fd, std::uint32_t seconds) {

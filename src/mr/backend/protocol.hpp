@@ -33,12 +33,28 @@
 //   | kShutdown      | c -> w    | (empty; worker exits)                    |
 //   | kOk            | w -> c    | (empty ack)                              |
 //   | kErr           | w -> c    | error kind, message                      |
+//   | kBeginJob      | c -> w    | job context: spec ptr, split count,      |
+//   |                |           | reducers, nodes, budget, spill mode,     |
+//   |                |           | movable, traced, shuffle plane, scratch  |
+//   |                |           | root, cache files (persistent pool:      |
+//   |                |           | re-ships the job instead of re-forking)  |
+//   | kEndJob        | c -> w    | (empty; worker drops its job state)      |
+//   | kPublishDoneShm| w -> c    | kPublishDone payload + arena length +    |
+//   |                |           | declared fd count; the memfd arena fd    |
+//   |                |           | rides in SCM_RIGHTS ancillary data       |
 //
 // Shuffle messages:
 //
 //   | kFetch         | w -> w    | map task, reduce task                    |
 //   | kPartition     | w -> w    | encoded partition (runs or raw bucket)   |
 //   | kNotReady      | w -> w    | (respawned server, regen still pending)  |
+//
+// fd passing (shm shuffle plane): kPublishDoneShm and kReduceTask may
+// carry open file descriptors as SCM_RIGHTS ancillary data attached to
+// the first byte of the frame (send_frame_with_fds / recv_frame_with_fds
+// below). Each such frame declares its fd count in the payload; a
+// mismatch between declared and received fds, or kernel-truncated
+// ancillary data (MSG_CTRUNC), raises ProtocolError.
 //
 // Malformed input — bad magic, unknown type, oversized or truncated
 // frames, or a receive timeout — raises ProtocolError with an actionable
@@ -79,6 +95,9 @@ enum class FrameType : std::uint32_t {
   kFetch = 15,
   kPartition = 16,
   kNotReady = 17,
+  kBeginJob = 18,
+  kEndJob = 19,
+  kPublishDoneShm = 20,
 };
 
 // Error kind shipped in kErr frames, so the coordinator can rethrow the
@@ -87,6 +106,7 @@ enum class ErrKind : std::uint8_t {
   kRuntime = 0,       // std::exception -> std::runtime_error
   kPrecondition = 1,  // pairmr::PreconditionError
   kInternal = 2,      // pairmr::InternalError
+  kProtocol = 3,      // backend::ProtocolError (stale/garbled frame)
 };
 
 // A control- or shuffle-plane failure: truncated/garbled frame, receive
@@ -118,6 +138,49 @@ FrameType recv_frame(int fd, std::string& payload, const char* who);
 
 // SO_RCVTIMEO in whole seconds (0 = never time out).
 void set_recv_timeout(int fd, std::uint32_t seconds);
+
+// --- fd passing (shm shuffle plane) --------------------------------------
+
+// One sendmsg() cmsg buffer tops out well below this; the shm plane caps
+// how many arena fds ride on one kReduceTask and falls back to the socket
+// plane for the rest (Linux caps SCM_RIGHTS at 253 fds per message).
+inline constexpr std::size_t kMaxFdsPerFrame = 128;
+
+// Like send_frame, but attaches `fds` as SCM_RIGHTS ancillary data to the
+// first byte of the frame. The kernel dup()s each fd into the receiver;
+// the caller keeps ownership of its copies. Empty `fds` == send_frame.
+void send_frame_with_fds(int fd, FrameType type, const std::string& payload,
+                         const std::vector<int>& fds);
+
+// Like recv_frame, but collects any SCM_RIGHTS fds (received CLOEXEC)
+// that arrive with the frame into `fds_out` (appended in arrival order).
+// Truncated ancillary data (MSG_CTRUNC, i.e. more than `max_fds` in
+// flight) closes everything collected and raises ProtocolError. Callers
+// that expect a specific count must check with require_fd_count.
+FrameType recv_frame_with_fds(int fd, std::string& payload,
+                              std::vector<int>& fds_out, const char* who,
+                              std::size_t max_fds = kMaxFdsPerFrame);
+
+// Validates a frame's declared-vs-received fd count; on mismatch closes
+// every fd in `fds` and raises ProtocolError naming `who` and the frame.
+void require_fd_count(std::vector<int>& fds, std::size_t declared,
+                      const char* frame, const char* who);
+
+// Close every fd in `fds` and clear it (error-path cleanup).
+void close_fds(std::vector<int>& fds);
+
+// --- kErr payloads -------------------------------------------------------
+
+// Encodes a worker-side failure for a kErr frame (the worker's dispatch
+// loop ships every caught exception this way, including the ProtocolError
+// a stale kBeginJob raises on a worker already in a job).
+std::string make_err_payload(ErrKind kind, const std::string& what);
+
+// Decodes a kErr payload and rethrows it as the exception type the
+// worker originally threw, with " [<who>]" appended so the error names
+// the peer. The coordinator calls this on every kErr response.
+[[noreturn]] void rethrow_shipped_error(const std::string& payload,
+                                        const std::string& who);
 
 // --- Unix-domain socket helpers -----------------------------------------
 

@@ -1,0 +1,65 @@
+#include "mr/backend/session.hpp"
+
+#include "mr/backend/backend.hpp"
+#include "mr/backend/fork.hpp"
+
+namespace pairmr::mr::backend {
+
+BackendSession::BackendSession(Cluster& cluster, BackendKind kind)
+    : cluster_(cluster),
+      kind_(kind == BackendKind::kAuto ? backend_kind_from_env() : kind) {}
+
+BackendSession::~BackendSession() = default;
+
+void BackendSession::declare(const JobSpec& spec) {
+  declared_[&spec] = ++seq_;
+}
+
+const char* BackendSession::backend_name() const {
+  return kind_ == BackendKind::kFork ? "fork" : "inprocess";
+}
+
+std::uint64_t BackendSession::workers_forked() const {
+  return forked_total_ + (fork_ != nullptr ? fork_->workers_forked() : 0);
+}
+
+std::uint64_t BackendSession::workers_reused() const {
+  return reused_total_ + (fork_ != nullptr ? fork_->workers_reused() : 0);
+}
+
+JobResult BackendSession::run(Engine& engine, const JobSpec& spec) {
+  if (kind_ != BackendKind::kFork) {
+    // Pin the resolved kind: kAuto in the spec would re-consult the
+    // environment per job and could straddle backends mid-session.
+    if (spec.backend == BackendKind::kAuto) {
+      JobSpec pinned = spec;
+      pinned.backend = kind_;
+      return engine.run(pinned);
+    }
+    return engine.run(spec);
+  }
+  auto it = declared_.find(&spec);
+  if (it == declared_.end()) {
+    declare(spec);
+    it = declared_.find(&spec);
+  }
+  const std::uint64_t stamp = it->second;
+  if (fork_ != nullptr && fork_->has_forked() && stamp > fork_seq_) {
+    // The spec post-dates the pool's fork image: its address would be
+    // garbage in the workers. Retire the pool; the next fork sees it.
+    forked_total_ += fork_->workers_forked();
+    reused_total_ += fork_->workers_reused();
+    fork_.reset();
+  }
+  if (fork_ == nullptr) {
+    fork_ = std::make_unique<ForkBackend>(cluster_, /*persistent=*/true);
+  }
+  if (!fork_->has_forked()) {
+    // This run's begin_job forks the pool; everything declared so far is
+    // in its copy-on-write image.
+    fork_seq_ = seq_;
+  }
+  return engine.run(spec, *fork_);
+}
+
+}  // namespace pairmr::mr::backend

@@ -1,0 +1,83 @@
+// BackendSession — one persistent fork-backend pool shared by the jobs of
+// a multi-job run (mr/backend/fork.hpp's `persistent` mode, with the
+// copy-on-write bookkeeping that makes it safe).
+//
+// The fork backend ships each job's JobSpec to its pooled workers *by
+// address*: the spec holds unserializable mapper/reducer factories, so a
+// worker can only use it if the object was already fully constructed in
+// the coordinator's address space when the pool forked — then the fork's
+// copy-on-write image carries it. A spec constructed *after* the fork
+// (say, on a stack frame the coordinator has since reused) would be
+// garbage in the worker.
+//
+// BackendSession enforces that contract with declaration epochs: every
+// spec is declared (explicitly via declare(), or implicitly by the first
+// run()) and stamped with a monotonically increasing sequence number; the
+// pool records the sequence at the moment it forks. Running a spec whose
+// stamp post-dates the fork retires the current pool and forks a fresh
+// one — correct for any call pattern, and callers that declare all their
+// specs up front (PairwiseRunner does) pay exactly one fork per epoch,
+// with every later job reusing the warm workers (kBeginJob re-ship
+// instead of n fresh processes).
+//
+// Sequence numbers — not addresses — are the identity: a stack-allocated
+// spec that dies and a new spec reusing the same address get different
+// stamps, so the stale address can never masquerade as declared.
+//
+// Non-fork backends have no processes to reuse; run() simply delegates to
+// Engine::run(spec) and the tallies stay zero.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "mr/engine.hpp"
+#include "mr/job.hpp"
+
+namespace pairmr::mr::backend {
+
+class ForkBackend;
+
+class BackendSession {
+ public:
+  // `kind` may be kAuto (resolved against PAIRMR_TEST_BACKEND once, at
+  // construction, so one session never straddles backends).
+  BackendSession(Cluster& cluster, BackendKind kind);
+  ~BackendSession();
+
+  BackendSession(const BackendSession&) = delete;
+  BackendSession& operator=(const BackendSession&) = delete;
+
+  // Stamp `spec` into the current declaration epoch. Idempotent per spec
+  // object; re-declaring (the object was reconstructed) moves it to a new
+  // epoch and the next run() restarts the pool.
+  void declare(const JobSpec& spec);
+
+  // Run `spec` on this session's backend. Fork: reuses the warm pool when
+  // the spec's epoch allows it, restarts the pool otherwise.
+  JobResult run(Engine& engine, const JobSpec& spec);
+
+  BackendKind kind() const { return kind_; }
+  const char* backend_name() const;
+
+  // Lifetime tallies across every pool this session owned (fork only;
+  // zero for the in-process backend). forked counts initial spawns and
+  // crash respawns; reused counts kBeginJob re-ships to warm workers.
+  std::uint64_t workers_forked() const;
+  std::uint64_t workers_reused() const;
+
+ private:
+  Cluster& cluster_;
+  const BackendKind kind_;
+  std::unique_ptr<ForkBackend> fork_;
+  // Declaration stamp per spec object; a reconstructed spec re-stamps.
+  std::unordered_map<const JobSpec*, std::uint64_t> declared_;
+  std::uint64_t seq_ = 0;
+  std::uint64_t fork_seq_ = 0;  // highest stamp the live pool may run
+  // Tallies of retired pools (the live pool's are read directly).
+  std::uint64_t forked_total_ = 0;
+  std::uint64_t reused_total_ = 0;
+};
+
+}  // namespace pairmr::mr::backend

@@ -1,5 +1,7 @@
 #include "mr/backend/task_exec.hpp"
 
+#include <sys/mman.h>
+
 #include <algorithm>
 #include <iterator>
 #include <utility>
@@ -8,6 +10,20 @@
 #include "mr/group.hpp"
 
 namespace pairmr::mr::backend {
+
+std::shared_ptr<const ShmMapping> ShmMapping::map_fd(int fd,
+                                                     std::uint64_t len) {
+  if (fd < 0 || len == 0) return nullptr;
+  void* addr = ::mmap(nullptr, static_cast<std::size_t>(len), PROT_READ,
+                      MAP_SHARED, fd, 0);
+  if (addr == MAP_FAILED) return nullptr;
+  return std::shared_ptr<const ShmMapping>(
+      new ShmMapping(addr, static_cast<std::size_t>(len)));
+}
+
+ShmMapping::~ShmMapping() {
+  if (addr_ != nullptr) ::munmap(addr_, len_);
+}
 
 namespace {
 

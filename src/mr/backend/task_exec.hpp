@@ -115,12 +115,44 @@ FinalizedMapOutput finalize_map_output(const TaskEnv& env, MapExecution& ex,
                                        TaskIndex task, NodeId node,
                                        SpanId kept_span);
 
+// Read-only mmap of one shm-plane shuffle arena (a memfd the publishing
+// worker filled and passed by fd). The mapping is unmapped on
+// destruction; holders share ownership so a fetched partition can never
+// outlive the bytes it was decoded from. The kernel keeps the memfd's
+// pages alive while any mapping or fd exists, so a publisher dying —
+// even SIGKILLed mid-job — never invalidates a consumer's view.
+class ShmMapping {
+ public:
+  // mmap(PROT_READ, MAP_SHARED) over `len` bytes of `fd`. Returns null on
+  // mmap failure (caller falls back to the socket plane). Does NOT take
+  // ownership of `fd`; the caller may close it right after (the mapping
+  // pins the memfd independently).
+  static std::shared_ptr<const ShmMapping> map_fd(int fd, std::uint64_t len);
+
+  ShmMapping(const ShmMapping&) = delete;
+  ShmMapping& operator=(const ShmMapping&) = delete;
+  ~ShmMapping();
+
+  std::string_view view() const {
+    return std::string_view(static_cast<const char*>(addr_), len_);
+  }
+
+ private:
+  ShmMapping(void* addr, std::size_t len) : addr_(addr), len_(len) {}
+
+  void* addr_ = nullptr;
+  std::size_t len_ = 0;
+};
+
 // One fetched shuffle partition, however it travelled. Exactly one of
 // `sources` (spill mode: sorted runs in (run age, final last) order) and
-// `raw` (in-memory mode: the unsorted bucket) is populated.
+// `raw` (in-memory mode: the unsorted bucket) is populated. `backing`
+// pins the shm arena a zero-copy fetch decoded from (null for local,
+// socket-plane, and in-process fetches).
 struct FetchedPartition {
   std::vector<RunSource> sources;
   std::vector<Record> raw;
+  std::shared_ptr<const ShmMapping> backing;
 };
 
 // Turn one stored partition into reduce input, exactly as the seed engine

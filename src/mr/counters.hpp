@@ -39,6 +39,14 @@ inline constexpr const char* kTasksSpeculative = "tasks.speculative";
 inline constexpr const char* kSpeculativeWins = "speculative.wins";
 inline constexpr const char* kShuffleFetchRetries = "shuffle.fetch.retries";
 inline constexpr const char* kRecoveryBytes = "recovery.bytes";
+// Shm shuffle plane (mr/backend/fork.hpp): bytes of remote partitions a
+// reducer consumed straight from mmap'd memfd arenas instead of socket
+// streams. Counted in the partitions' meta bytes — the same unit as
+// shuffle.bytes.remote — so a fallback-free shm run satisfies
+// shuffle.shm.bytes == shuffle.bytes.remote exactly. Absent on the
+// socket plane and the in-process backend; differential tests comparing
+// counters across planes/backends strip it (like Span::os_pid).
+inline constexpr const char* kShuffleShmBytes = "shuffle.shm.bytes";
 // Memory-budgeted execution (mr/spill.hpp): sorted runs spilled from map
 // output buffers and their bytes, intermediate reduce-side merge rounds
 // when a partition has more runs than the merge fan-in, and the largest

@@ -222,6 +222,7 @@ JobResult Engine::run(const JobSpec& spec, backend::Backend& backend) {
   jc.env.cache = &cache;
   jc.env.tracer = tracer;
   jc.splits = &splits;
+  jc.shuffle_plane = backend::resolve_shuffle_plane(spec.shuffle_plane);
   jc.num_nodes = num_nodes;
   jc.node_alive.resize(num_nodes, 0);
   for (NodeId nd = 0; nd < num_nodes; ++nd) {

@@ -19,6 +19,18 @@ const char* to_string(BackendKind kind) {
   return "unknown";
 }
 
+const char* to_string(ShufflePlane plane) {
+  switch (plane) {
+    case ShufflePlane::kAuto:
+      return "auto";
+    case ShufflePlane::kSocket:
+      return "socket";
+    case ShufflePlane::kShm:
+      return "shm";
+  }
+  return "unknown";
+}
+
 void JobSpec::validate() const {
   PAIRMR_REQUIRE(mapper_factory != nullptr, "job needs a mapper");
   PAIRMR_REQUIRE(map_only || reducer_factory != nullptr,

@@ -45,6 +45,30 @@ enum class BackendKind : std::uint8_t {
 // "auto" / "inprocess" / "fork".
 const char* to_string(BackendKind kind);
 
+// How the fork backend moves published map partitions to remote reducers
+// (mr/backend/fork.hpp). The in-process backend accepts and ignores the
+// choice (its partitions never leave coordinator memory). Like the
+// backend itself, the plane changes cost only — output, counters (modulo
+// the plane-specific shuffle.shm.bytes meter), and traffic totals are
+// byte-identical across planes by construction.
+enum class ShufflePlane : std::uint8_t {
+  // Resolve from the PAIRMR_SHUFFLE_PLANE environment variable
+  // ("socket" / "shm"); socket when unset.
+  kAuto = 0,
+  // Streamed over per-worker Unix-domain shuffle sockets: every remote
+  // fetch is a connect + request + re-serialized response.
+  kSocket = 1,
+  // Zero-copy shared memory: the publishing worker writes its encoded
+  // partitions into one memfd arena per map task, the fd travels to the
+  // coordinator over SCM_RIGHTS, and fetching reducers mmap it read-only
+  // — no socket streaming, no second copy. Falls back to the socket plane
+  // per partition when memfd/fd-passing is unavailable.
+  kShm = 2,
+};
+
+// "auto" / "socket" / "shm".
+const char* to_string(ShufflePlane plane);
+
 // One map task's user logic. A fresh instance is created per task
 // (factory in JobSpec), so implementations may keep per-task state.
 class Mapper {
@@ -199,6 +223,11 @@ struct JobSpec {
   // Execution substrate (see BackendKind). kAuto defers to the
   // PAIRMR_TEST_BACKEND environment variable, then in-process.
   BackendKind backend = BackendKind::kAuto;
+
+  // Shuffle transport of the fork backend (see ShufflePlane). kAuto
+  // defers to the PAIRMR_SHUFFLE_PLANE environment variable, then the
+  // socket plane. Ignored by the in-process backend.
+  ShufflePlane shuffle_plane = ShufflePlane::kAuto;
 
   // Structural sanity of the spec (factories present, output dir set, …).
   // The engine calls this before running; throws on violations.

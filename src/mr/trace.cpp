@@ -89,6 +89,8 @@ const char* to_string(SpanKind kind) {
       return "spill-write";
     case SpanKind::kMergePass:
       return "merge-pass";
+    case SpanKind::kShmArena:
+      return "shm-arena";
   }
   return "unknown";
 }
@@ -363,9 +365,19 @@ std::string Tracer::structure_signature() const {
     }
     canon[i] = std::move(line);
   }
-  std::sort(canon.begin(), canon.end());
+  // Shm-arena spans are a transport artifact of one shuffle plane: they
+  // exist on kShm and not on kSocket, while everything else is identical.
+  // Dropping them (always leaves) keeps signatures comparable across
+  // planes, exactly as os_pid keeps them comparable across backends.
+  std::vector<std::string> lines;
+  lines.reserve(canon.size());
+  for (std::size_t i = 0; i < snapshot.size(); ++i) {
+    if (snapshot[i].kind == SpanKind::kShmArena) continue;
+    lines.push_back(std::move(canon[i]));
+  }
+  std::sort(lines.begin(), lines.end());
   std::string out;
-  for (const std::string& line : canon) {
+  for (const std::string& line : lines) {
     out += line;
     out += '\n';
   }

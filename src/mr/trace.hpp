@@ -61,6 +61,12 @@ enum class SpanKind : std::uint8_t {
   kOutputWrite,    // part-file write of a finished task
   kSpillWrite,     // one sorted run written to DFS scratch (memory budget)
   kMergePass,      // reduce-side intermediate merge round (fan-in limit)
+  // Shm shuffle plane: a publishing worker serialized one map task's
+  // partitions into a memfd arena (bytes = arena length). Always a leaf
+  // under the publishing attempt. Excluded from structure_signature() —
+  // the plane must not change the comparable trace structure — but kept
+  // in the Chrome export.
+  kShmArena,
 };
 
 const char* to_string(SpanKind kind);

@@ -58,6 +58,7 @@ void apply_engine_options(mr::JobSpec& spec, const PairwiseOptions& options) {
   spec.speculative_execution = options.speculative_execution;
   spec.memory_budget = options.memory_budget;
   spec.backend = options.backend;
+  spec.shuffle_plane = options.shuffle_plane;
 }
 
 // --- Job "simjoin-tokenfreq": token -> document frequency ---------------
@@ -278,8 +279,9 @@ SchemeMetrics CandidateScheme::metrics() const {
 }
 
 CandidatePhase generate_candidates(
-    mr::Cluster& cluster, const std::vector<std::string>& input_paths,
-    std::uint64_t v, const PairwiseOptions& options) {
+    mr::Cluster& cluster, mr::backend::BackendSession& session,
+    const std::vector<std::string>& input_paths, std::uint64_t v,
+    const PairwiseOptions& options) {
   const SimilarityJoinOptions& join = options.similarity_join;
   PAIRMR_REQUIRE(join.threshold >= 0.0 && join.threshold <= 1.0,
                  "similarity threshold must be within [0, 1]");
@@ -316,7 +318,11 @@ CandidatePhase generate_candidates(
     freq.num_reduce_tasks = options.num_reduce_tasks;
     freq.max_records_per_split = options.max_records_per_split;
     apply_engine_options(freq, options);
-    phase.jobs.push_back(engine.run(freq));
+    // The freq job runs in its own pool epoch: the candidate mapper below
+    // is built from this job's output, so the cand/dedup specs cannot be
+    // in the pool image the freq job forks.
+    session.declare(freq);
+    phase.jobs.push_back(session.run(engine, freq));
 
     auto rank = std::make_shared<TokenRank>();
     {
@@ -356,26 +362,33 @@ CandidatePhase generate_candidates(
   cand.num_reduce_tasks = options.num_reduce_tasks;
   cand.max_records_per_split = options.max_records_per_split;
   apply_engine_options(cand, options);
-  phase.jobs.push_back(engine.run(cand));
 
-  // Phase job 3: deduplicate contributions into distinct candidates.
+  // Phase job 3 spec, built BEFORE the cand job runs so a persistent fork
+  // pool's copy-on-write image carries it and the dedup job reuses the
+  // warm workers (input_paths is filled in later — workers receive splits
+  // by value, never through the spec).
+  mr::JobSpec dedup;
+  dedup.name = "simjoin-dedup";
+  dedup.output_dir = pairs_dir;
+  dedup.mapper_factory = [] {
+    return std::make_unique<mr::IdentityMapper>();
+  };
+  dedup.reducer_factory = [] {
+    return std::make_unique<DedupPairReducer>();
+  };
+  dedup.num_reduce_tasks = options.num_reduce_tasks;
+  apply_engine_options(dedup, options);
+
+  session.declare(cand);
+  session.declare(dedup);
+  phase.jobs.push_back(session.run(engine, cand));
+
   // When the filter killed every pair (disjoint datasets, v = 1) there is
   // nothing to deduplicate and the engine refuses empty-input jobs — the
   // empty CandidateSet stands as-is.
   if (phase.jobs.back().counter(counter::kCandidateContributions) > 0) {
-    mr::JobSpec dedup;
-    dedup.name = "simjoin-dedup";
     dedup.input_paths = phase.jobs.back().output_paths;
-    dedup.output_dir = pairs_dir;
-    dedup.mapper_factory = [] {
-      return std::make_unique<mr::IdentityMapper>();
-    };
-    dedup.reducer_factory = [] {
-      return std::make_unique<DedupPairReducer>();
-    };
-    dedup.num_reduce_tasks = options.num_reduce_tasks;
-    apply_engine_options(dedup, options);
-    phase.jobs.push_back(engine.run(dedup));
+    phase.jobs.push_back(session.run(engine, dedup));
 
     std::vector<ElementPair> pairs;
     for (const auto& rec : cluster.gather_records(pairs_dir)) {

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "mr/backend/session.hpp"
 #include "mr/cluster.hpp"
 #include "mr/engine.hpp"
 #include "pairwise/pipeline.hpp"
@@ -108,7 +109,14 @@ struct CandidatePhase {
 // Every job inherits the run's engine options (faults, speculation,
 // memory budget, backend) and its scratch lives under
 // <work_dir>/simjoin/, removed afterwards when cleanup_intermediate.
+//
+// Jobs run through `session` so a persistent fork pool is shared with the
+// pairwise phase. The prefix filter needs two pool epochs by nature: the
+// candidate mapper is built from the token-frequency job's OUTPUT, so the
+// cand/dedup specs cannot exist when the freq job forks its pool. LSH
+// buckets need no global pass and fit one epoch.
 CandidatePhase generate_candidates(mr::Cluster& cluster,
+                                   mr::backend::BackendSession& session,
                                    const std::vector<std::string>& input_paths,
                                    std::uint64_t v,
                                    const PairwiseOptions& options);

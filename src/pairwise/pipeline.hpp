@@ -200,6 +200,13 @@ struct PairwiseOptions {
   // aggregated output, counters, and traffic totals are identical across
   // backends by construction.
   mr::BackendKind backend = mr::BackendKind::kAuto;
+  // Shuffle transport of the fork backend (mr/job.hpp's ShufflePlane):
+  // kShm publishes map output into memfd arenas passed by fd and mmap'd
+  // by reducers, kSocket streams over the per-worker shuffle sockets.
+  // kAuto defers to PAIRMR_SHUFFLE_PLANE, then socket. Output, counters,
+  // and traffic totals are identical across planes by construction; the
+  // in-process backend ignores it.
+  mr::ShufflePlane shuffle_plane = mr::ShufflePlane::kAuto;
   // Similarity-join knobs, consulted only by RunMode::kSimilarityJoin.
   SimilarityJoinOptions similarity_join;
 };

@@ -9,6 +9,8 @@
 
 #include "common/check.hpp"
 #include "common/serde.hpp"
+#include "mr/backend/backend.hpp"
+#include "mr/backend/session.hpp"
 #include "mr/context.hpp"
 #include "pairwise/aggregate.hpp"
 #include "pairwise/broadcast_scheme.hpp"
@@ -283,6 +285,7 @@ void apply_engine_options(mr::JobSpec& spec, const PairwiseOptions& options) {
   spec.speculative_execution = options.speculative_execution;
   spec.memory_budget = options.memory_budget;
   spec.backend = options.backend;
+  spec.shuffle_plane = options.shuffle_plane;
 }
 
 std::uint64_t dir_bytes(const mr::SimDfs& dfs, const std::string& prefix) {
@@ -315,8 +318,9 @@ void settle_metering(RunReport& report) {
 
 // --- Driver: two-job pipeline (§4) -------------------------------------
 
-RunReport run_two_job(mr::Cluster& cluster, const RunSpec& spec,
-                      bool join_metering = false) {
+RunReport run_two_job(mr::Cluster& cluster,
+                      mr::backend::BackendSession& session,
+                      const RunSpec& spec, bool join_metering = false) {
   const DistributionScheme& scheme = *spec.scheme;
   const PairwiseOptions& options = spec.options;
   mr::Engine engine(cluster);
@@ -345,7 +349,34 @@ RunReport run_two_job(mr::Cluster& cluster, const RunSpec& spec,
   job1.num_reduce_tasks = options.num_reduce_tasks;
   job1.max_records_per_split = options.max_records_per_split;
   apply_engine_options(job1, options);
-  report.compute_jobs.push_back(engine.run(job1));
+
+  // Job 2 spec, built BEFORE job 1 runs: a persistent fork pool snapshots
+  // the coordinator's memory when it forks for the epoch's first job, so
+  // every spec the pool will ever serve must already exist then. Only
+  // input_paths is filled in afterwards — workers receive splits by
+  // value, never through the spec.
+  mr::JobSpec job2;
+  if (options.run_aggregation) {
+    job2.name = "pairwise-aggregate[" + scheme.name() + "]";
+    job2.output_dir = output_dir;
+    job2.mapper_factory = [] { return std::make_unique<mr::IdentityMapper>(); };
+    job2.reducer_factory = [&job = spec.job] {
+      return std::make_unique<AggregateReducer>(job.finalize);
+    };
+    if (options.aggregation_combiner) {
+      // The combiner merges partial copies only — finalize must run
+      // exactly once per element, in the reducer.
+      static const FinalizeFn kNoFinalize;
+      job2.combiner_factory = [] {
+        return std::make_unique<AggregateReducer>(kNoFinalize);
+      };
+    }
+    job2.num_reduce_tasks = options.num_reduce_tasks;
+    apply_engine_options(job2, options);
+    session.declare(job2);
+  }
+  session.declare(job1);
+  report.compute_jobs.push_back(session.run(engine, job1));
   const mr::JobResult& r1 = report.compute_jobs.back();
 
   const std::uint64_t v = scheme.num_elements();
@@ -364,25 +395,8 @@ RunReport run_two_job(mr::Cluster& cluster, const RunSpec& spec,
 
   // Job 2: aggregation (optional).
   if (options.run_aggregation) {
-    mr::JobSpec job2;
-    job2.name = "pairwise-aggregate[" + scheme.name() + "]";
     job2.input_paths = r1.output_paths;
-    job2.output_dir = output_dir;
-    job2.mapper_factory = [] { return std::make_unique<mr::IdentityMapper>(); };
-    job2.reducer_factory = [&job = spec.job] {
-      return std::make_unique<AggregateReducer>(job.finalize);
-    };
-    if (options.aggregation_combiner) {
-      // The combiner merges partial copies only — finalize must run
-      // exactly once per element, in the reducer.
-      static const FinalizeFn kNoFinalize;
-      job2.combiner_factory = [] {
-        return std::make_unique<AggregateReducer>(kNoFinalize);
-      };
-    }
-    job2.num_reduce_tasks = options.num_reduce_tasks;
-    apply_engine_options(job2, options);
-    report.merge_jobs.push_back(engine.run(job2));
+    report.merge_jobs.push_back(session.run(engine, job2));
     report.aggregated = true;
     report.shuffle_remote_bytes +=
         report.merge_jobs.back().counter(mr::counter::kShuffleBytesRemote);
@@ -397,7 +411,9 @@ RunReport run_two_job(mr::Cluster& cluster, const RunSpec& spec,
 
 // --- Driver: one-job broadcast (§5.1) -----------------------------------
 
-RunReport run_broadcast(mr::Cluster& cluster, const RunSpec& spec) {
+RunReport run_broadcast(mr::Cluster& cluster,
+                        mr::backend::BackendSession& session,
+                        const RunSpec& spec) {
   const PairwiseOptions& options = spec.options;
   const std::uint64_t v = spec.broadcast.v;
   const std::uint64_t num_tasks = spec.broadcast.num_tasks;
@@ -438,7 +454,8 @@ RunReport run_broadcast(mr::Cluster& cluster, const RunSpec& spec) {
 
   RunReport report;
   report.mode = RunMode::kBroadcast;
-  report.compute_jobs.push_back(engine.run(job));
+  session.declare(job);
+  report.compute_jobs.push_back(session.run(engine, job));
   const mr::JobResult& r = report.compute_jobs.back();
   report.aggregated = true;  // aggregation happens in the same job's reduce
   report.evaluations = r.counter(counter::kEvaluations);
@@ -469,7 +486,9 @@ RunReport run_broadcast(mr::Cluster& cluster, const RunSpec& spec) {
 
 // --- Driver: round-based execution (§7) ---------------------------------
 
-RunReport run_rounds(mr::Cluster& cluster, const RunSpec& spec) {
+RunReport run_rounds(mr::Cluster& cluster,
+                     mr::backend::BackendSession& session,
+                     const RunSpec& spec) {
   const DistributionScheme& scheme = *spec.scheme;
   const PairwiseOptions& options = spec.options;
   mr::Engine engine(cluster);
@@ -501,7 +520,34 @@ RunReport run_rounds(mr::Cluster& cluster, const RunSpec& spec) {
     job1.num_reduce_tasks = options.num_reduce_tasks;
     job1.max_records_per_split = options.max_records_per_split;
     apply_engine_options(job1, options);
-    const mr::JobResult r1 = engine.run(job1);
+
+    // The round's merge spec, built before job 1 runs so both jobs share
+    // one pool epoch (each round's fresh specs force a new fork anyway —
+    // the factories capture this round's scheme — but within a round the
+    // merge reuses the warm workers). input_paths is filled in after
+    // job 1; finalize must run exactly once per element — only in the
+    // last merge.
+    const bool last = round + 1 == spec.rounds.size();
+    const std::string next_accum_dir =
+        options.work_dir + (last ? "/output"
+                                 : "/accum-" + std::to_string(round));
+    static const FinalizeFn kNoFinalize;
+    const FinalizeFn& fin = last ? spec.job.finalize : kNoFinalize;
+    mr::JobSpec merge;
+    merge.name = "pairwise-merge-" + std::to_string(round);
+    merge.output_dir = next_accum_dir;
+    merge.mapper_factory = [] {
+      return std::make_unique<mr::IdentityMapper>();
+    };
+    merge.reducer_factory = [&fin] {
+      return std::make_unique<AggregateReducer>(fin);
+    };
+    merge.num_reduce_tasks = options.num_reduce_tasks;
+    apply_engine_options(merge, options);
+
+    session.declare(job1);
+    session.declare(merge);
+    const mr::JobResult r1 = session.run(engine, job1);
 
     report.evaluations += r1.counter(counter::kEvaluations);
     report.results_kept += r1.counter(counter::kResultsKept);
@@ -527,30 +573,11 @@ RunReport run_rounds(mr::Cluster& cluster, const RunSpec& spec) {
 
     // Merge this round into the accumulated output ("each block is
     // aggregated before the next one is processed", paper §7).
-    const bool last = round + 1 == spec.rounds.size();
-    const std::string next_accum_dir =
-        options.work_dir + (last ? "/output"
-                                 : "/accum-" + std::to_string(round));
     dfs.remove_prefix(next_accum_dir);
-
-    mr::JobSpec merge;
-    merge.name = "pairwise-merge-" + std::to_string(round);
     merge.input_paths = r1.output_paths;
     merge.input_paths.insert(merge.input_paths.end(), accumulated.begin(),
                              accumulated.end());
-    merge.output_dir = next_accum_dir;
-    merge.mapper_factory = [] {
-      return std::make_unique<mr::IdentityMapper>();
-    };
-    // finalize must run exactly once per element — only in the last merge.
-    static const FinalizeFn kNoFinalize;
-    const FinalizeFn& fin = last ? spec.job.finalize : kNoFinalize;
-    merge.reducer_factory = [&fin] {
-      return std::make_unique<AggregateReducer>(fin);
-    };
-    merge.num_reduce_tasks = options.num_reduce_tasks;
-    apply_engine_options(merge, options);
-    const mr::JobResult rm = engine.run(merge);
+    const mr::JobResult rm = session.run(engine, merge);
 
     report.shuffle_remote_bytes +=
         rm.counter(mr::counter::kShuffleBytesRemote);
@@ -571,7 +598,9 @@ RunReport run_rounds(mr::Cluster& cluster, const RunSpec& spec) {
 
 // --- Driver: thresholded similarity join (DESIGN.md §14) ----------------
 
-RunReport run_similarity_join(mr::Cluster& cluster, const RunSpec& spec) {
+RunReport run_similarity_join(mr::Cluster& cluster,
+                              mr::backend::BackendSession& session,
+                              const RunSpec& spec) {
   const DistributionScheme& base = *spec.scheme;
   PAIRMR_REQUIRE(
       !spec.job.compute && !spec.job.prepared.prepare &&
@@ -585,7 +614,7 @@ RunReport run_similarity_join(mr::Cluster& cluster, const RunSpec& spec) {
   // jobs inherit the run's engine options (faults, budget, backend), so
   // the whole equivalence matrix exercises this phase too.
   CandidatePhase phase = generate_candidates(
-      cluster, spec.input_paths, base.num_elements(), spec.options);
+      cluster, session, spec.input_paths, base.num_elements(), spec.options);
 
   // Pairwise phase: the standard two-job driver over the base scheme,
   // restricted to the candidates. Shipping (subsets_of) is untouched, so
@@ -600,7 +629,8 @@ RunReport run_similarity_join(mr::Cluster& cluster, const RunSpec& spec) {
     filtered.emplace(base, std::move(phase.candidates));
     inner.scheme = &*filtered;
   }
-  RunReport report = run_two_job(cluster, inner, /*join_metering=*/true);
+  RunReport report =
+      run_two_job(cluster, session, inner, /*join_metering=*/true);
 
   report.mode = RunMode::kSimilarityJoin;
   report.candidate_jobs = std::move(phase.jobs);
@@ -702,30 +732,46 @@ RunReport PairwiseRunner::run(const RunSpec& spec) {
   validate_pairwise_options(cluster_, spec.options, spec.mode);
   PAIRMR_REQUIRE(!spec.input_paths.empty(),
                  "RunSpec::input_paths is empty — nothing to compare");
+
+  // One backend session per run: every job of a multi-job mode shares the
+  // same persistent fork pool (workers are re-armed via kBeginJob instead
+  // of re-forked), torn down when the session goes out of scope.
+  mr::backend::BackendSession session(cluster_, spec.options.backend);
+  RunReport report;
   switch (spec.mode) {
     case RunMode::kTwoJob:
       PAIRMR_REQUIRE(spec.scheme != nullptr,
                      "RunMode::kTwoJob needs RunSpec::scheme");
-      return run_two_job(cluster_, spec);
+      report = run_two_job(cluster_, session, spec);
+      break;
     case RunMode::kBroadcast:
       PAIRMR_REQUIRE(spec.broadcast.v > 0 && spec.broadcast.num_tasks > 0,
                      "RunMode::kBroadcast needs RunSpec::broadcast "
                      "(v and num_tasks both positive)");
-      return run_broadcast(cluster_, spec);
+      report = run_broadcast(cluster_, session, spec);
+      break;
     case RunMode::kRounds:
       PAIRMR_REQUIRE(spec.scheme != nullptr,
                      "RunMode::kRounds needs RunSpec::scheme");
       PAIRMR_REQUIRE(!spec.rounds.empty(), "need at least one round");
-      return run_rounds(cluster_, spec);
+      report = run_rounds(cluster_, session, spec);
+      break;
     case RunMode::kSimilarityJoin:
       PAIRMR_REQUIRE(spec.scheme != nullptr,
                      "RunMode::kSimilarityJoin needs RunSpec::scheme — "
                      "the inner scheme the candidate-filtered pairwise "
                      "phase runs over (any two-job scheme family: "
                      "broadcast/block/design/quorum)");
-      return run_similarity_join(cluster_, spec);
+      report = run_similarity_join(cluster_, session, spec);
+      break;
   }
-  PAIRMR_CHECK(false, "unreachable: invalid RunMode");
+  report.shuffle_plane =
+      session.kind() == mr::BackendKind::kFork
+          ? mr::backend::resolve_shuffle_plane(spec.options.shuffle_plane)
+          : mr::ShufflePlane::kSocket;
+  report.workers_forked = session.workers_forked();
+  report.workers_reused = session.workers_reused();
+  return report;
 }
 
 RunReport PairwiseRunner::run_planned(const PlanRequest& request,

@@ -103,6 +103,16 @@ struct RunReport {
   std::uint64_t merge_passes = 0;
   std::uint64_t max_tracked_bytes = 0;  // peak task buffer, max over jobs
 
+  // Backend provenance: which shuffle plane the run's jobs resolved to
+  // (kSocket unless the fork backend ran with kShm), and the fork
+  // backend's worker-pool tallies — forked counts real fork() calls,
+  // reused counts jobs served by an already-warm pool worker. Both stay
+  // zero on the in-process backend. A multi-job run on a persistent pool
+  // shows workers_forked < jobs_run * nodes with workers_reused > 0.
+  mr::ShufflePlane shuffle_plane = mr::ShufflePlane::kSocket;
+  std::uint64_t workers_forked = 0;
+  std::uint64_t workers_reused = 0;
+
   std::string output_dir;  // final element files (Figure 2 layout)
 
   // run_planned provenance (default-constructed otherwise).

@@ -134,12 +134,26 @@ Observation observe(const Cluster& cluster, const JobResult& result,
   return ob;
 }
 
+// Counters with transport provenance removed: shuffle.shm.bytes records
+// which plane served the remote shuffle volume, so it legitimately
+// differs across backends and planes — exactly like worker os_pids,
+// which the structure signature already excludes. Everything else is job
+// semantics and must match bit for bit.
+std::map<std::string, std::uint64_t> semantic_counters(
+    const std::map<std::string, std::uint64_t>& counters) {
+  auto out = counters;
+  out.erase(mr::counter::kShuffleShmBytes);
+  return out;
+}
+
 void expect_equal(const Observation& in_process, const Observation& fork,
                   const std::string& what) {
   // Output files byte-identical: same paths, same records in order.
   EXPECT_EQ(in_process.files, fork.files) << what;
   // Counter folds equal — including spill, recovery, and max counters.
-  EXPECT_EQ(in_process.counters, fork.counters) << what;
+  EXPECT_EQ(semantic_counters(in_process.counters),
+            semantic_counters(fork.counters))
+      << what;
   // NetworkMeter totals equal: the coordinator meters both backends.
   EXPECT_EQ(in_process.remote_bytes, fork.remote_bytes) << what;
   EXPECT_EQ(in_process.local_bytes, fork.local_bytes) << what;
@@ -279,7 +293,8 @@ Observation execute_pairwise(BackendKind backend,
                              const std::string& scheme_label,
                              const std::vector<std::string>& payloads,
                              const MemoryBudget& budget,
-                             const FaultPlan* plan) {
+                             const FaultPlan* plan,
+                             mr::ShufflePlane plane = mr::ShufflePlane::kAuto) {
   Cluster cluster({.num_nodes = 4, .worker_threads = 2});
   Tracer tracer;
   cluster.set_tracer(&tracer);
@@ -304,6 +319,7 @@ Observation execute_pairwise(BackendKind backend,
   spec.options.fault_plan = plan;
   spec.options.memory_budget = budget;
   spec.options.backend = backend;
+  spec.options.shuffle_plane = plane;
 
   const RunReport report = PairwiseRunner(cluster).run(spec);
 
@@ -369,6 +385,60 @@ TEST_P(BackendEquivalenceMatrix, PipelineMatchesAcrossBackends) {
 
 INSTANTIATE_TEST_SUITE_P(
     SchemesTimesFaultsTimesBudgets, BackendEquivalenceMatrix,
+    ::testing::Values(Case{"broadcast", false, 0},
+                      Case{"block", false, 0},
+                      Case{"design", false, 0},
+                      Case{"quorum", false, 0},
+                      Case{"broadcast", true, 0},
+                      Case{"block", true, 0},
+                      Case{"design", true, 0},
+                      Case{"quorum", true, 0},
+                      Case{"block", false, 256},
+                      Case{"block", true, 256},
+                      Case{"design", true, 1024},
+                      Case{"quorum", true, 1024}),
+    [](const auto& info) { return case_name(info.param); });
+
+// Cross-plane oracle over the same matrix, both runs on the fork
+// backend: swapping the shuffle transport (per-worker sockets vs memfd
+// arenas passed by fd and mmap'd) must leave every external observable
+// byte-identical — files, counters, meter totals, trace structure. The
+// shm run additionally proves it actually used the arenas: its
+// shuffle.shm.bytes covers the entire remote shuffle volume, and the
+// socket run never grows the counter.
+class ShufflePlaneEquivalenceMatrix : public ::testing::TestWithParam<Case> {
+};
+
+TEST_P(ShufflePlaneEquivalenceMatrix, PipelineMatchesAcrossShufflePlanes) {
+  PAIRMR_SKIP_WITHOUT_FORK_SUPPORT();
+  const Case& c = GetParam();
+  const std::uint64_t seed = 9100 + c.budget_bytes;
+  const auto payloads = random_payloads(18 + seed % 7, seed);
+  const FaultPlan plan = make_chaos_plan(seed);
+  const FaultPlan* fp = c.chaos ? &plan : nullptr;
+  const MemoryBudget budget =
+      c.budget_bytes == 0
+          ? MemoryBudget{}
+          : MemoryBudget{.bytes = c.budget_bytes, .merge_fan_in = 2};
+
+  const Observation socket =
+      execute_pairwise(BackendKind::kFork, c.scheme, payloads, budget, fp,
+                       mr::ShufflePlane::kSocket);
+  const Observation shm =
+      execute_pairwise(BackendKind::kFork, c.scheme, payloads, budget, fp,
+                       mr::ShufflePlane::kShm);
+  expect_equal(socket, shm, case_name(c));
+
+  EXPECT_EQ(socket.counters.count(mr::counter::kShuffleShmBytes), 0u)
+      << "socket plane served bytes out of an arena";
+  const auto it = shm.counters.find(mr::counter::kShuffleShmBytes);
+  ASSERT_NE(it, shm.counters.end())
+      << "shm plane fell back to sockets for every partition";
+  EXPECT_EQ(it->second, shm.counters.at(mr::counter::kShuffleBytesRemote));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchemesTimesFaultsTimesBudgets, ShufflePlaneEquivalenceMatrix,
     ::testing::Values(Case{"broadcast", false, 0},
                       Case{"block", false, 0},
                       Case{"design", false, 0},

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "../support/backend_matrix.hpp"
+#include "mr/backend/fork.hpp"
 #include "mr/cluster.hpp"
 #include "mr/context.hpp"
 #include "mr/engine.hpp"
@@ -125,7 +126,64 @@ TEST(BackendFault, ForkAndInProcessAgreeUnderWorkerKills) {
     output_runs.push_back(cluster.gather_records("/out"));
   }
   EXPECT_EQ(output_runs[0], output_runs[1]);
+  // shuffle.shm.bytes is transport provenance (which plane served the
+  // remote shuffle), not job semantics: only the fork run can have it
+  // when the shm plane is selected, so it is excluded from the oracle.
+  for (auto& counters : counter_runs) {
+    counters.erase(counter::kShuffleShmBytes);
+  }
   EXPECT_EQ(counter_runs[0], counter_runs[1]);
+}
+
+// A worker SIGKILLed after publishing its map output on the shm plane:
+// the coordinator still holds the dead process's arena fds (memfds
+// outlive their creator), the respawned worker regenerates the output
+// and re-publishes, and settling swaps the stale arena for the fresh one
+// with the old fd closed. By end_job every arena fd is swept — nothing
+// leaks across jobs on a persistent pool — and the pool itself survives
+// the kill to serve a second job with warm (reused) workers.
+TEST(BackendFault, ShmArenaSweptAfterMidPublishWorkerKill) {
+  PAIRMR_SKIP_WITHOUT_FORK_SUPPORT();
+
+  Cluster clean({.num_nodes = 3, .worker_threads = 2});
+  const auto in_clean = write_corpus(clean);
+  Engine(clean).run(
+      word_count_spec(in_clean, BackendKind::kInProcess, nullptr));
+
+  FaultPlan plan(4242);
+  plan.kill_worker(TaskKind::kMap, 0).kill_worker(TaskKind::kReduce, 0);
+  Cluster faulted({.num_nodes = 3, .worker_threads = 2});
+  const auto in_faulted = write_corpus(faulted);
+  {
+    // Both specs exist before the pool forks, so the pool's
+    // copy-on-write image carries them (the contract BackendSession
+    // automates; exercised raw here to reach the arena accessor).
+    auto first = word_count_spec(in_faulted, BackendKind::kFork, &plan);
+    first.shuffle_plane = ShufflePlane::kShm;
+    auto second = word_count_spec(in_faulted, BackendKind::kFork, nullptr);
+    second.output_dir = "/out2";
+    second.shuffle_plane = ShufflePlane::kShm;
+    backend::ForkBackend pool(faulted, /*persistent=*/true);
+
+    const JobResult result = Engine(faulted).run(first, pool);
+    EXPECT_EQ(clean.gather_records("/out"), faulted.gather_records("/out"));
+    EXPECT_EQ(result.counter(counter::kTasksRetried), 2u);
+    EXPECT_GT(result.counter(counter::kShuffleShmBytes), 0u)
+        << "shm plane fell back to sockets";
+    EXPECT_EQ(pool.open_arena_count(), 0u)
+        << "arena fds leaked past end_job";
+    const std::uint64_t forked_after_first = pool.workers_forked();
+
+    const JobResult rerun = Engine(faulted).run(second, pool);
+    EXPECT_EQ(clean.gather_records("/out"),
+              faulted.gather_records("/out2"));
+    EXPECT_GT(rerun.counter(counter::kShuffleShmBytes), 0u);
+    EXPECT_EQ(pool.open_arena_count(), 0u);
+    // The second job re-armed the surviving pool instead of forking.
+    EXPECT_EQ(pool.workers_forked(), forked_after_first);
+    EXPECT_GT(pool.workers_reused(), 0u);
+  }
+  EXPECT_TRUE(no_children_remain());
 }
 
 // Attempt tags ("m<task>-a<attempt>") key both staged executions and DFS

@@ -2,11 +2,15 @@
 // round-trip exactly; garbled input — bad magic, unknown type,
 // implausible length, mid-frame truncation — is rejected with an
 // actionable ProtocolError naming the peer; a silent peer trips the
-// receive timeout instead of hanging; and the field codecs reconstruct
-// records, counters (including max-semantics counters), and spans
-// exactly. All over socketpairs — no processes are forked here.
+// receive timeout instead of hanging; the shm plane's SCM_RIGHTS fd
+// passing round-trips working descriptors and rejects count mismatches
+// and kernel-truncated ancillary data; a stale kBeginJob surfaces
+// coordinator-side as a typed ProtocolError; and the field codecs
+// reconstruct records, counters (including max-semantics counters), and
+// spans exactly. All over socketpairs — no processes are forked here.
 #include <gtest/gtest.h>
 
+#include <fcntl.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -16,6 +20,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/check.hpp"
 #include "common/serde.hpp"
 #include "mr/backend/protocol.hpp"
 #include "mr/counters.hpp"
@@ -163,6 +168,115 @@ TEST(BackendProtocol, SilentPeerTimesOutInsteadOfHanging) {
   // Fired around the 1 s timeout — not instantly, and far from forever.
   EXPECT_GE(elapsed, std::chrono::milliseconds(500));
   EXPECT_LT(elapsed, std::chrono::seconds(30));
+}
+
+// A descriptor passed over SCM_RIGHTS arrives as a *working* fd (the
+// kernel dup()s it into the receiver): bytes written through the passed
+// copy come out of the original pipe. And a frame whose payload declares
+// more fds than the ancillary data delivered — a worker lying about (or
+// losing) its arena fd — is rejected with an actionable ProtocolError
+// that names the frame and the peer, with the delivered fds closed so a
+// garbled publish can never leak kernel-owned descriptors.
+TEST(BackendProtocol, FdPassingRoundTripsAndCountMismatchClosesFds) {
+  SocketPair pair;
+  int pipe_fds[2];
+  ASSERT_EQ(pipe(pipe_fds), 0);
+
+  send_frame_with_fds(pair.a, FrameType::kPublishDoneShm, "arena-meta",
+                      {pipe_fds[1]});
+  std::string payload;
+  std::vector<int> fds;
+  EXPECT_EQ(recv_frame_with_fds(pair.b, payload, fds, "worker 1"),
+            FrameType::kPublishDoneShm);
+  EXPECT_EQ(payload, "arena-meta");
+  ASSERT_EQ(fds.size(), 1u);
+  ASSERT_NE(fds[0], pipe_fds[1]);  // a dup, not the sender's fd number
+  require_fd_count(fds, 1, "kPublishDoneShm", "worker 1");  // count matches
+
+  // The passed copy reaches the same pipe as the original.
+  ASSERT_EQ(write(fds[0], "ping", 4), 4);
+  char buf[4];
+  ASSERT_EQ(read(pipe_fds[0], buf, 4), 4);
+  EXPECT_EQ(std::string(buf, 4), "ping");
+  close_fds(fds);
+
+  // Same frame, but the payload claims two fds arrived.
+  send_frame_with_fds(pair.a, FrameType::kPublishDoneShm, "arena-meta",
+                      {pipe_fds[1]});
+  ASSERT_EQ(recv_frame_with_fds(pair.b, payload, fds, "worker 1"),
+            FrameType::kPublishDoneShm);
+  ASSERT_EQ(fds.size(), 1u);
+  const int delivered = fds[0];
+  expect_protocol_error(
+      [&] { require_fd_count(fds, 2, "kPublishDoneShm", "worker 1"); },
+      "fd count mismatch on kPublishDoneShm from worker 1");
+  EXPECT_TRUE(fds.empty());  // closed and cleared, not left dangling
+  EXPECT_EQ(fcntl(delivered, F_GETFD), -1);
+  EXPECT_EQ(errno, EBADF);
+
+  close(pipe_fds[0]);
+  close(pipe_fds[1]);
+}
+
+// More fds in flight than the receiver's cmsg buffer holds: the kernel
+// sets MSG_CTRUNC and silently drops the overflow — kernel-owned fds
+// with no userspace name. The receiver must treat the stream as garbled
+// (ProtocolError naming the peer) and close what did arrive.
+TEST(BackendProtocol, TruncatedScmRightsAncillaryDataIsRejected) {
+  SocketPair pair;
+  std::vector<int> sent;
+  for (int i = 0; i < 4; ++i) {
+    const int fd = open("/dev/null", O_RDONLY);
+    ASSERT_GE(fd, 0);
+    sent.push_back(fd);
+  }
+  send_frame_with_fds(pair.a, FrameType::kPublishDoneShm, "arena-meta", sent);
+
+  std::string payload;
+  std::vector<int> fds;
+  expect_protocol_error(
+      [&] {
+        recv_frame_with_fds(pair.b, payload, fds, "worker 2", /*max_fds=*/2);
+      },
+      "truncated SCM_RIGHTS ancillary data from worker 2");
+  EXPECT_TRUE(fds.empty());  // the fds that did fit were closed, not leaked
+  close_fds(sent);
+}
+
+// The worker half of the persistent-pool handshake: a kBeginJob landing
+// on a worker that already has a job in progress (the coordinator
+// skipped kEndJob) is answered with kErr carrying ErrKind::kProtocol.
+// This test speaks both ends of that exchange through the production
+// codec — make_err_payload is exactly what the worker's dispatch loop
+// ships, rethrow_shipped_error is exactly what the coordinator's
+// roundtrip applies to a kErr response — and checks the coordinator ends
+// up holding a typed ProtocolError that names the worker and the cause.
+TEST(BackendProtocol, StaleBeginJobShipsAsTypedProtocolError) {
+  SocketPair pair;
+  send_frame(pair.a, FrameType::kErr,
+             make_err_payload(
+                 ErrKind::kProtocol,
+                 "stale kBeginJob: worker 2 already has a job in progress "
+                 "(the coordinator skipped kEndJob)"));
+  std::string payload;
+  ASSERT_EQ(recv_frame(pair.b, payload, "worker 2"), FrameType::kErr);
+  expect_protocol_error([&] { rethrow_shipped_error(payload, "worker 2"); },
+                        "stale kBeginJob");
+  expect_protocol_error([&] { rethrow_shipped_error(payload, "worker 2"); },
+                        "[worker 2]");  // the rethrow names the peer
+
+  // The other kinds map back to the exception types the worker threw —
+  // a stale frame must never be downgraded to a generic runtime_error.
+  EXPECT_THROW(
+      rethrow_shipped_error(make_err_payload(ErrKind::kPrecondition, "x"),
+                            "worker 0"),
+      PreconditionError);
+  EXPECT_THROW(rethrow_shipped_error(
+                   make_err_payload(ErrKind::kInternal, "x"), "worker 0"),
+               InternalError);
+  EXPECT_THROW(rethrow_shipped_error(
+                   make_err_payload(ErrKind::kRuntime, "x"), "worker 0"),
+               std::runtime_error);
 }
 
 TEST(BackendProtocol, RecordCodecRoundTrips) {

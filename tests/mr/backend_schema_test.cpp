@@ -20,9 +20,11 @@ using minijson::JsonValue;
 
 const std::vector<std::string> kPointKeys = {
     "regime",       "backend",
-    "v",            "element_bytes",
-    "evaluations",  "wall_seconds",
+    "shuffle_plane", "v",
+    "element_bytes", "evaluations",
+    "jobs",         "wall_seconds",
     "shuffle_remote_bytes", "shuffle_mib_per_second",
+    "workers_forked", "workers_reused",
     "identical"};
 
 JsonValue parse_or_die(const std::string& json) {
@@ -36,12 +38,16 @@ BenchPoint sample_point(const std::string& backend, bool identical) {
   BenchPoint p;
   p.regime = "compute-heavy";
   p.backend = backend;
+  p.shuffle_plane = backend == "fork" ? "shm" : "socket";
   p.v = 57;
   p.element_bytes = 64;
   p.evaluations = 1596;
+  p.jobs = 2;
   p.wall_seconds = 0.5;
   p.shuffle_remote_bytes = 8388608;
   p.shuffle_mib_per_second = 16;
+  p.workers_forked = backend == "fork" ? 4 : 0;
+  p.workers_reused = backend == "fork" ? 4 : 0;
   p.identical = identical;
   return p;
 }
@@ -74,13 +80,17 @@ TEST(BackendBenchSchema, DocumentMatchesSchema) {
     }
     EXPECT_EQ(point.find("regime")->kind, JsonValue::kString);
     EXPECT_EQ(point.find("backend")->kind, JsonValue::kString);
+    EXPECT_EQ(point.find("shuffle_plane")->kind, JsonValue::kString);
     EXPECT_EQ(point.find("v")->kind, JsonValue::kNumber);
     EXPECT_EQ(point.find("element_bytes")->kind, JsonValue::kNumber);
     EXPECT_EQ(point.find("evaluations")->kind, JsonValue::kNumber);
+    EXPECT_EQ(point.find("jobs")->kind, JsonValue::kNumber);
     EXPECT_EQ(point.find("wall_seconds")->kind, JsonValue::kNumber);
     EXPECT_EQ(point.find("shuffle_remote_bytes")->kind, JsonValue::kNumber);
     EXPECT_EQ(point.find("shuffle_mib_per_second")->kind,
               JsonValue::kNumber);
+    EXPECT_EQ(point.find("workers_forked")->kind, JsonValue::kNumber);
+    EXPECT_EQ(point.find("workers_reused")->kind, JsonValue::kNumber);
     EXPECT_EQ(point.find("identical")->kind, JsonValue::kBool);
   }
 }
@@ -94,9 +104,13 @@ TEST(BackendBenchSchema, GoldenLiteral) {
       "  \"bench\": \"backend\",\n"
       "  \"points\": [\n"
       "    {\"regime\": \"compute-heavy\", \"backend\": \"fork\", "
+      "\"shuffle_plane\": \"shm\", "
       "\"v\": 57, \"element_bytes\": 64, \"evaluations\": 1596, "
+      "\"jobs\": 2, "
       "\"wall_seconds\": 0.5, \"shuffle_remote_bytes\": 8388608, "
-      "\"shuffle_mib_per_second\": 16, \"identical\": true}\n"
+      "\"shuffle_mib_per_second\": 16, "
+      "\"workers_forked\": 4, \"workers_reused\": 4, "
+      "\"identical\": true}\n"
       "  ],\n"
       "  \"passed\": true\n"
       "}\n";

@@ -88,7 +88,7 @@ const std::set<std::string>& known_categories() {
       "job",           "phase",        "map-attempt", "map-exec",
       "spill",         "combine",      "reduce-attempt",
       "shuffle-fetch", "reduce-exec",  "input-read",
-      "cache-broadcast", "output-write"};
+      "cache-broadcast", "output-write", "shm-arena"};
   return kCategories;
 }
 

@@ -21,6 +21,7 @@
 #include <thread>
 #include <vector>
 
+#include "../support/backend_matrix.hpp"
 #include "mr/cluster.hpp"
 #include "mr/context.hpp"
 #include "mr/engine.hpp"
@@ -286,6 +287,22 @@ TEST(TraceAccountingTest, RemoteSpanBytesTieOutAgainstCountersAndMeter) {
                 run.result.counter(counter::kRecoveryBytes));
   EXPECT_EQ(broadcast, run.result.counter(counter::kCacheBroadcastBytes));
   EXPECT_EQ(all_movement, run.remote_bytes);
+
+  // shuffle.shm.bytes is the arena-served share of the remote shuffle
+  // volume, in the same settled-meta unit the coordinator counts — the
+  // decomposition above must hold unchanged on both shuffle planes. On
+  // the shm plane every winning reduce attempt's remote fetch comes out
+  // of an mmap'd arena, so the share covers the whole volume; on the
+  // socket plane (and in process) the counter is absent.
+  const std::uint64_t shm_share =
+      run.result.counter(counter::kShuffleShmBytes);
+  if (pairmr::testing::fork_backend_selected() &&
+      pairmr::testing::shm_plane_selected()) {
+    EXPECT_EQ(shm_share, run.result.counter(counter::kShuffleBytesRemote));
+    EXPECT_GT(shm_share, 0u);
+  } else {
+    EXPECT_EQ(shm_share, 0u);
+  }
 }
 
 TEST(TraceAccountingTest, EverySpanIsClosedAndParentedCorrectly) {
@@ -344,6 +361,11 @@ TEST(TraceAccountingTest, EverySpanIsClosedAndParentedCorrectly) {
                     p.kind == SpanKind::kSpillWrite);
         break;
       case SpanKind::kInputRead:
+        EXPECT_EQ(p.kind, SpanKind::kMapAttempt);
+        break;
+      case SpanKind::kShmArena:
+        // Shm shuffle plane only: the publishing worker serialized the
+        // task's partitions into a memfd arena, under the kept attempt.
         EXPECT_EQ(p.kind, SpanKind::kMapAttempt);
         break;
       case SpanKind::kCacheBroadcast:

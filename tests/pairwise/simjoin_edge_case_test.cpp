@@ -50,7 +50,9 @@ TEST(SimjoinEdgeCaseTest, SingleElementCandidatePhaseIsEmpty) {
       write_dataset(cluster, "/data", {encode_token_set({1, 2, 3})});
   PairwiseOptions options;
   options.similarity_join.threshold = 0.5;
-  const CandidatePhase phase = generate_candidates(cluster, inputs, 1, options);
+  mr::backend::BackendSession session(cluster, options.backend);
+  const CandidatePhase phase =
+      generate_candidates(cluster, session, inputs, 1, options);
   EXPECT_FALSE(phase.exhaustive);
   EXPECT_TRUE(phase.candidates.empty());
 }

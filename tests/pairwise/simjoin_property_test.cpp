@@ -55,7 +55,9 @@ CandidatePhase run_candidate_phase(const std::vector<std::string>& payloads,
   PairwiseOptions options;
   options.similarity_join.threshold = threshold;
   options.similarity_join.filter = filter;
-  return generate_candidates(cluster, inputs, payloads.size(), options);
+  mr::backend::BackendSession session(cluster, options.backend);
+  return generate_candidates(cluster, session, inputs, payloads.size(),
+                             options);
 }
 
 struct Sweep {

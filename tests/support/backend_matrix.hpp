@@ -52,6 +52,15 @@ inline bool fork_backend_selected() {
   return env != nullptr && std::strcmp(env, "fork") == 0;
 }
 
+// True when the re-run also forces the shared-memory shuffle plane
+// (PAIRMR_SHUFFLE_PLANE=shm, as the shmplane.* ctest suite does). Only
+// meaningful together with fork_backend_selected(): the in-process
+// backend has no shuffle transport to swap.
+inline bool shm_plane_selected() {
+  const char* env = std::getenv("PAIRMR_SHUFFLE_PLANE");
+  return env != nullptr && std::strcmp(env, "shm") == 0;
+}
+
 // False when the build cannot fork worker processes at all (TSan).
 inline constexpr bool fork_backend_supported() {
 #if defined(PAIRMR_TEST_HAS_TSAN)
