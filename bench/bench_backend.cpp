@@ -121,7 +121,7 @@ Observation run_once(const Regime& regime,
   RunSpec spec;
   spec.input_paths = inputs;
   spec.mode = RunMode::kTwoJob;
-  spec.scheme = &scheme;
+  spec.scheme = borrow_scheme(scheme);
   spec.job.compute = workloads::expensive_blob_kernel(regime.kernel_rounds);
   spec.options.backend = backend;
   spec.options.shuffle_plane = plane;
@@ -161,7 +161,7 @@ Observation run_simjoin(mr::BackendKind backend, mr::ShufflePlane plane) {
   RunSpec spec;
   spec.input_paths = inputs;
   spec.mode = RunMode::kSimilarityJoin;
-  spec.scheme = &scheme;
+  spec.scheme = borrow_scheme(scheme);
   spec.options.similarity_join.threshold = 0.25;
   spec.options.backend = backend;
   spec.options.shuffle_plane = plane;

@@ -18,6 +18,7 @@
 #include "pairwise/block_scheme.hpp"
 #include "pairwise/dataset.hpp"
 #include "pairwise/pipeline.hpp"
+#include "pairwise/runner.hpp"
 #include "workloads/generators.hpp"
 #include "workloads/inverted_index.hpp"
 #include "workloads/kernels.hpp"
@@ -82,13 +83,13 @@ int main() {
     {
       mr::Cluster cluster({.num_nodes = 4, .worker_threads = 0});
       const auto inputs = write_dataset(cluster, "/docs", payloads);
-      PairwiseJob job;
-      job.compute = workloads::jaccard_kernel();
-      job.keep = workloads::keep_above(kThreshold);
-      const BlockScheme scheme(v, 4);
+      RunSpec spec;
+      spec.input_paths = inputs;
+      spec.scheme = std::make_shared<BlockScheme>(v, 4);
+      spec.job.compute = workloads::jaccard_kernel();
+      spec.job.keep = workloads::keep_above(kThreshold);
       const Stopwatch timer;
-      const PairwiseRunStats stats =
-          run_pairwise(cluster, inputs, scheme, job);
+      const RunReport stats = PairwiseRunner(cluster).run(spec);
       std::uint64_t kept = 0;
       for (const Element& e : read_elements(cluster, stats.output_dir)) {
         for (const auto& r : e.results) kept += r.other > e.id;

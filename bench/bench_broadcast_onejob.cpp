@@ -16,6 +16,7 @@
 #include "pairwise/broadcast_scheme.hpp"
 #include "pairwise/dataset.hpp"
 #include "pairwise/pipeline.hpp"
+#include "pairwise/runner.hpp"
 #include "workloads/generators.hpp"
 #include "workloads/kernels.hpp"
 
@@ -51,11 +52,13 @@ int main() {
     {
       mr::Cluster cluster({.num_nodes = 4, .worker_threads = 0});
       const auto inputs = write_dataset(cluster, "/data", payloads);
-      const BroadcastScheme scheme(v, p);
-      const PairwiseRunStats stats =
-          run_pairwise(cluster, inputs, scheme, make_job());
+      RunSpec spec;
+      spec.input_paths = inputs;
+      spec.scheme = std::make_shared<BroadcastScheme>(v, p);
+      spec.job = make_job();
+      const RunReport stats = PairwiseRunner(cluster).run(spec);
       const double copies =
-          static_cast<double>(stats.distribute_job.counter(
+          static_cast<double>(stats.compute_jobs.front().counter(
               mr::counter::kMapOutputBytes)) /
           static_cast<double>(dataset_bytes);
       t.add_row({TablePrinter::num(p), "generic 2-job",
@@ -68,8 +71,12 @@ int main() {
     {
       mr::Cluster cluster({.num_nodes = 4, .worker_threads = 0});
       const auto inputs = write_dataset(cluster, "/data", payloads);
-      const PairwiseRunStats stats =
-          run_pairwise_broadcast(cluster, inputs, v, p, make_job());
+      RunSpec spec;
+      spec.input_paths = inputs;
+      spec.mode = RunMode::kBroadcast;
+      spec.broadcast = BroadcastTarget{.v = v, .num_tasks = p};
+      spec.job = make_job();
+      const RunReport stats = PairwiseRunner(cluster).run(spec);
       const double copies =
           static_cast<double>(stats.cache_broadcast_bytes) /
           static_cast<double>(dataset_bytes);

@@ -1,0 +1,198 @@
+// bench_churn — incremental PairwiseSession updates vs from-scratch
+// batch re-runs across churn rates (DESIGN.md §16).
+//
+// For each churn batch size k, a session holding base_v cached elements
+// absorbs k new ones via update() — paying base_v·k + C(k,2)
+// evaluations — while the baseline re-runs the full batch pipeline over
+// the union at C(base_v+k, 2). The analytic work ratio is
+// batch_pairs / delta_pairs (≈ v/k for small k); with a compute-bound
+// kernel the wall-clock speedup must track it.
+//
+// Asserts, exiting non-zero on violation:
+//   * the session state is byte-identical, part file by part file, to
+//     the from-scratch batch output (the differential oracle, as in
+//     tests/pairwise/churn_equivalence_test.cpp);
+//   * the evaluation counters tile exactly: update == delta_pairs,
+//     batch == batch_pairs — the measured ratio IS the analytic factor;
+//   * the measured speedup clears kGapGate × analytic_factor, floored
+//     at beating the batch re-run at all.
+//
+// Emits BENCH_churn.json next to BENCH_simjoin.json.
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/intmath.hpp"
+#include "mr/cluster.hpp"
+#include "pairwise/churn_report.hpp"
+#include "pairwise/dataset.hpp"
+#include "pairwise/runner.hpp"
+#include "pairwise/session.hpp"
+#include "workloads/generators.hpp"
+#include "workloads/kernels.hpp"
+
+namespace {
+
+using namespace pairmr;
+
+constexpr std::uint64_t kBaseV = 100;
+constexpr std::uint64_t kElementBytes = 1024;
+constexpr std::uint32_t kKernelRounds = 4;
+constexpr std::uint64_t kSeed = 23;
+// Fraction of the analytic work ratio the wall-clock speedup must reach
+// with the compute-bound kernel; the slack absorbs the fixed per-job MR
+// overhead the update pays on far fewer evaluations.
+constexpr double kGapGate = 0.25;
+
+bool g_ok = true;
+
+void check(bool condition, const std::string& what) {
+  std::cout << (condition ? "  [ok]   " : "  [FAIL] ") << what << "\n";
+  if (!condition) g_ok = false;
+}
+
+PairwiseJob make_job() {
+  PairwiseJob job;
+  job.compute = workloads::expensive_blob_kernel(kKernelRounds);
+  return job;
+}
+
+using Snapshot = std::vector<std::pair<std::string, std::vector<mr::Record>>>;
+
+Snapshot snapshot(const mr::Cluster& cluster, const std::string& dir) {
+  Snapshot out;
+  for (const std::string& path : cluster.dfs().list(dir)) {
+    out.emplace_back(path.substr(dir.size()),
+                     cluster.dfs().open(path)->records);
+  }
+  return out;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "bench_churn: incremental session update vs from-scratch "
+               "batch (base v="
+            << kBaseV << ", s=" << kElementBytes << " B)\n\n";
+
+  const auto payloads =
+      workloads::blob_payloads(kBaseV + 100, kElementBytes, kSeed);
+  const std::vector<std::string> base(payloads.begin(),
+                                      payloads.begin() + kBaseV);
+
+  std::vector<ChurnPoint> points;
+
+  std::cout << std::left << std::setw(7) << "k" << std::right << std::setw(12)
+            << "batch prs" << std::setw(11) << "delta prs" << std::setw(11)
+            << "batch (s)" << std::setw(12) << "update (s)" << std::setw(10)
+            << "speedup" << std::setw(10) << "analytic" << "\n";
+
+  for (const std::uint64_t k : {1ull, 10ull, 100ull}) {
+    const std::uint64_t union_v = kBaseV + k;
+    const std::vector<std::string> delta(payloads.begin() + kBaseV,
+                                         payloads.begin() + union_v);
+
+    // Incremental path: one session, update() timed alone — the base
+    // state is sunk cost already paid by submit().
+    mr::Cluster live({.num_nodes = 4, .worker_threads = 2});
+    PairwiseSession session(live, make_job());
+    session.submit(base);
+    const auto update_start = std::chrono::steady_clock::now();
+    const RunReport update = session.update(delta);
+    const double update_seconds = seconds_since(update_start);
+
+    // Baseline: the full batch pipeline over the union, from scratch,
+    // with the identical scheme construction.
+    mr::Cluster fresh({.num_nodes = 4, .worker_threads = 2});
+    RunSpec spec;
+    spec.input_paths =
+        write_dataset(fresh, "/batch",
+                      {payloads.begin(), payloads.begin() + union_v});
+    spec.scheme = PairwiseSession::batch_scheme(
+        SchemeKind::kBlock, union_v, fresh.num_nodes(), 0,
+        PlaneConstruction::kTheorem2Prime);
+    spec.job = make_job();
+    const auto batch_start = std::chrono::steady_clock::now();
+    const RunReport batch = PairwiseRunner(fresh).run(spec);
+    const double batch_seconds = seconds_since(batch_start);
+
+    ChurnPoint p;
+    p.base_v = kBaseV;
+    p.delta_k = k;
+    p.batch_pairs = pair_count(union_v);
+    p.delta_pairs = kBaseV * k + pair_count(k);
+    p.reused_pairs = pair_count(kBaseV);
+    p.batch_seconds = batch_seconds;
+    p.update_seconds = update_seconds;
+    p.speedup = batch_seconds / update_seconds;
+    p.analytic_factor = static_cast<double>(p.batch_pairs) /
+                        static_cast<double>(p.delta_pairs);
+    p.gap_gate = kGapGate;
+    p.identical = snapshot(live, session.state_dir()) ==
+                  snapshot(fresh, batch.output_dir);
+
+    std::ostringstream oi;
+    oi << "k=" << k << ": session state byte-identical to from-scratch "
+       << "batch over the union";
+    check(p.identical, oi.str());
+
+    // The counters, not the clock, prove the work ratio: the update
+    // evaluated exactly the delta tile and the batch exactly C(v+k,2),
+    // so measured-evaluations ratio == analytic factor by construction.
+    std::ostringstream ot;
+    ot << "k=" << k << ": update evaluations (" << update.evaluations
+       << ") == base_v*k + C(k,2) (" << p.delta_pairs << "), tiling "
+       << update.pairs_delta << " + " << update.pairs_reused << " == C("
+       << union_v << ",2)";
+    check(update.evaluations == p.delta_pairs &&
+              update.pairs_delta == p.delta_pairs &&
+              update.pairs_reused == p.reused_pairs &&
+              update.pairs_delta + update.pairs_reused == p.batch_pairs,
+          ot.str());
+    std::ostringstream ob;
+    ob << "k=" << k << ": batch evaluations (" << batch.evaluations
+       << ") == C(" << union_v << ",2) (" << p.batch_pairs << ")";
+    check(batch.evaluations == p.batch_pairs, ob.str());
+
+    const double required =
+        std::max(1.0, kGapGate * p.analytic_factor);
+    std::ostringstream os;
+    os << "k=" << k << ": speedup " << std::fixed << std::setprecision(2)
+       << p.speedup << "x clears max(1, " << kGapGate << " x analytic "
+       << p.analytic_factor << ") = " << required << "x";
+    check(p.speedup >= required, os.str());
+
+    p.passed = p.identical && update.evaluations == p.delta_pairs &&
+               batch.evaluations == p.batch_pairs && p.speedup >= required;
+    points.push_back(p);
+
+    std::cout << std::left << std::setw(7) << k << std::right << std::setw(12)
+              << p.batch_pairs << std::setw(11) << p.delta_pairs
+              << std::fixed << std::setprecision(3) << std::setw(11)
+              << batch_seconds << std::setw(12) << update_seconds
+              << std::setprecision(2) << std::setw(9) << p.speedup << "x"
+              << std::setw(9) << p.analytic_factor << "x"
+              << std::defaultfloat << "\n";
+  }
+  std::cout << "\n";
+
+  std::ofstream out("BENCH_churn.json");
+  out << churn_to_json(points);
+  std::cout << "wrote BENCH_churn.json\n";
+
+  g_ok = g_ok && churn_all_ok(points);
+  std::cout << (g_ok ? "PASS" : "FAIL") << "\n";
+  return g_ok ? 0 : 1;
+}

@@ -22,6 +22,7 @@
 #include "pairwise/dataset.hpp"
 #include "pairwise/design_scheme.hpp"
 #include "pairwise/pipeline.hpp"
+#include "pairwise/runner.hpp"
 #include "workloads/generators.hpp"
 #include "workloads/kernels.hpp"
 
@@ -32,7 +33,7 @@ using namespace pairmr;
 struct RunRow {
   std::string scheme;
   SchemeMetrics predicted;
-  PairwiseRunStats measured;
+  RunReport measured;
 };
 
 RunRow run_scheme(const DistributionScheme& scheme,
@@ -40,21 +41,23 @@ RunRow run_scheme(const DistributionScheme& scheme,
                   const mr::FaultPlan* faults = nullptr) {
   mr::Cluster cluster({.num_nodes = 4, .worker_threads = 0});
   const auto inputs = write_dataset(cluster, "/data", payloads);
-  PairwiseJob job;
-  job.compute = workloads::expensive_blob_kernel(2);
-  PairwiseOptions options;
-  options.fault_plan = faults;
+  RunSpec spec;
+  spec.input_paths = inputs;
+  spec.scheme = borrow_scheme(scheme);
+  spec.job.compute = workloads::expensive_blob_kernel(2);
+  spec.options.fault_plan = faults;
   RunRow row;
   row.scheme = scheme.name();
   row.predicted = scheme.metrics();
-  row.measured = run_pairwise(cluster, inputs, scheme, job, options);
+  row.measured = PairwiseRunner(cluster).run(spec);
   return row;
 }
 
-std::uint64_t pipeline_counter(const PairwiseRunStats& stats,
-                               const char* name) {
-  return stats.distribute_job.counter(name) +
-         stats.aggregate_job.counter(name);
+std::uint64_t pipeline_counter(const RunReport& stats, const char* name) {
+  std::uint64_t total = 0;
+  for (const auto& job : stats.compute_jobs) total += job.counter(name);
+  for (const auto& job : stats.merge_jobs) total += job.counter(name);
+  return total;
 }
 
 }  // namespace
@@ -122,10 +125,10 @@ int main() {
   c.set_caption("\nCommunication volume (predicted elements vs measured "
                 "replicated bytes)");
   const double block_bytes = static_cast<double>(
-      rows[1].measured.distribute_job.counter(mr::counter::kMapOutputBytes));
+      rows[1].measured.compute_jobs.front().counter(mr::counter::kMapOutputBytes));
   for (const auto& row : rows) {
     const double meas = static_cast<double>(
-        row.measured.distribute_job.counter(mr::counter::kMapOutputBytes));
+        row.measured.compute_jobs.front().counter(mr::counter::kMapOutputBytes));
     c.add_row({row.scheme,
                TablePrinter::sci(row.predicted.communication_elements, 2),
                format_bytes(static_cast<std::uint64_t>(meas)),

@@ -19,6 +19,7 @@
 #include "pairwise/design_scheme.hpp"
 #include "pairwise/hierarchical.hpp"
 #include "pairwise/pipeline.hpp"
+#include "pairwise/runner.hpp"
 #include "workloads/generators.hpp"
 #include "workloads/kernels.hpp"
 
@@ -48,9 +49,11 @@ int main() {
   {
     mr::Cluster cluster({.num_nodes = 4, .worker_threads = 0});
     const auto inputs = write_dataset(cluster, "/data", payloads);
-    const BlockScheme flat(v, fine_h);
-    const PairwiseRunStats stats =
-        run_pairwise(cluster, inputs, flat, make_job());
+    RunSpec spec;
+    spec.input_paths = inputs;
+    spec.scheme = std::make_shared<BlockScheme>(v, fine_h);
+    spec.job = make_job();
+    const RunReport stats = PairwiseRunner(cluster).run(spec);
     flat_intermediate = stats.intermediate_bytes;
     std::cout << "Flat block scheme (h = " << fine_h
               << "): intermediate = " << format_bytes(stats.intermediate_bytes)
@@ -67,13 +70,18 @@ int main() {
     const auto inputs = write_dataset(cluster, "/data", payloads);
     const BlockScheme fine(v, fine_h);
     const auto rounds = coarse_block_rounds(fine, H);
-    const HierarchicalRunStats stats =
-        run_pairwise_rounds(cluster, inputs, fine, rounds, make_job());
+    RunSpec spec;
+    spec.input_paths = inputs;
+    spec.mode = RunMode::kRounds;
+    spec.scheme = borrow_scheme(fine);
+    spec.rounds = rounds;
+    spec.job = make_job();
+    const RunReport stats = PairwiseRunner(cluster).run(spec);
     t.add_row({TablePrinter::num(H), TablePrinter::num(rounds.size()),
-               format_bytes(stats.peak_intermediate_bytes),
+               format_bytes(stats.intermediate_bytes),
                TablePrinter::num(100.0 *
                                      static_cast<double>(
-                                         stats.peak_intermediate_bytes) /
+                                         stats.intermediate_bytes) /
                                      static_cast<double>(flat_intermediate),
                                  1) +
                    "%",
@@ -91,10 +99,15 @@ int main() {
     mr::Cluster cluster({.num_nodes = 4, .worker_threads = 0});
     const auto inputs = write_dataset(cluster, "/data", payloads);
     const auto rounds = chunked_rounds(design, chunk);
-    const HierarchicalRunStats stats =
-        run_pairwise_rounds(cluster, inputs, design, rounds, make_job());
+    RunSpec spec;
+    spec.input_paths = inputs;
+    spec.mode = RunMode::kRounds;
+    spec.scheme = borrow_scheme(design);
+    spec.rounds = rounds;
+    spec.job = make_job();
+    const RunReport stats = PairwiseRunner(cluster).run(spec);
     d.add_row({TablePrinter::num(chunk), TablePrinter::num(rounds.size()),
-               format_bytes(stats.peak_intermediate_bytes),
+               format_bytes(stats.intermediate_bytes),
                TablePrinter::num(stats.evaluations)});
   }
   d.print(std::cout);

@@ -22,6 +22,7 @@
 #include "pairwise/dataset.hpp"
 #include "pairwise/design_scheme.hpp"
 #include "pairwise/pipeline.hpp"
+#include "pairwise/runner.hpp"
 #include "workloads/generators.hpp"
 #include "workloads/kernels.hpp"
 
@@ -58,11 +59,13 @@ Result run(const DistributionScheme& scheme,
            const std::vector<std::string>& payloads, std::uint32_t nodes) {
   mr::Cluster cluster({.num_nodes = nodes, .worker_threads = nodes});
   const auto inputs = write_dataset(cluster, "/data", payloads);
-  PairwiseJob job;
-  job.compute = workloads::expensive_blob_kernel(64);
+  RunSpec spec;
+  spec.input_paths = inputs;
+  spec.scheme = borrow_scheme(scheme);
+  spec.job.compute = workloads::expensive_blob_kernel(64);
   const Stopwatch timer;
-  const PairwiseRunStats stats = run_pairwise(cluster, inputs, scheme, job);
-  return Result{timer.elapsed_seconds(), stats.shuffle_remote_bytes};
+  const RunReport report = PairwiseRunner(cluster).run(spec);
+  return Result{timer.elapsed_seconds(), report.shuffle_remote_bytes};
 }
 
 }  // namespace

@@ -74,7 +74,7 @@ Timed run(double threshold, bool join) {
 
   RunSpec spec;
   spec.input_paths = inputs;
-  spec.scheme = &scheme;
+  spec.scheme = borrow_scheme(scheme);
   if (join) {
     spec.mode = RunMode::kSimilarityJoin;
     spec.options.similarity_join.threshold = threshold;

@@ -46,7 +46,7 @@ Observation run_with_budget(const std::vector<std::string>& payloads,
   RunSpec spec;
   spec.input_paths = inputs;
   spec.mode = RunMode::kTwoJob;
-  spec.scheme = &scheme;
+  spec.scheme = borrow_scheme(scheme);
   spec.job = make_job();
   spec.options.memory_budget = budget;
 

@@ -48,6 +48,7 @@
 #include "pairwise/design_scheme.hpp"
 #include "pairwise/makespan.hpp"
 #include "pairwise/pipeline.hpp"
+#include "pairwise/runner.hpp"
 #include "workloads/generators.hpp"
 #include "workloads/kernels.hpp"
 
@@ -111,13 +112,17 @@ SchemeRun run_scheme(const DistributionScheme& scheme, const PairwiseJob& job,
   options.num_reduce_tasks = tasks;
   options.distribute_partitioner =
       std::make_shared<mr::RangePartitioner>(scheme.num_tasks());
-  const PairwiseRunStats stats =
-      run_pairwise(cluster, inputs, scheme, job, options);
+  RunSpec spec;
+  spec.input_paths = inputs;
+  spec.scheme = borrow_scheme(scheme);
+  spec.job = job;
+  spec.options = options;
+  const RunReport stats = PairwiseRunner(cluster).run(spec);
 
   const mr::PhaseBreakdown d =
-      tracer.phase_breakdown(stats.distribute_job.job_name, kNodes);
+      tracer.phase_breakdown(stats.compute_jobs.front().job_name, kNodes);
   const mr::PhaseBreakdown a =
-      tracer.phase_breakdown(stats.aggregate_job.job_name, kNodes);
+      tracer.phase_breakdown(stats.merge_jobs.front().job_name, kNodes);
 
   SchemeRun run;
   run.scheme = scheme.name();
@@ -138,7 +143,7 @@ SchemeRun run_scheme(const DistributionScheme& scheme, const PairwiseJob& job,
 
   // Span accounting: the trace must cover exactly the tasks the engine
   // ran — job 1's map tasks plus its per-scheme reduce tasks.
-  check(d.tasks == stats.distribute_job.map_tasks.size() + tasks,
+  check(d.tasks == stats.compute_jobs.front().map_tasks.size() + tasks,
         run.scheme + ": trace covers all " + std::to_string(d.tasks) +
             " distribute-job tasks");
   return run;

@@ -63,9 +63,11 @@ int main() {
       write_dataset(cluster, "/rows", workloads::vector_payloads(rows));
   const DesignScheme scheme(v);  // small working sets: √v rows per task
 
-  PairwiseJob job;
-  job.compute = workloads::inner_product_kernel();
-  const PairwiseRunStats stats = run_pairwise(cluster, inputs, scheme, job);
+  RunSpec spec;
+  spec.input_paths = inputs;
+  spec.scheme = borrow_scheme(scheme);
+  spec.job.compute = workloads::inner_product_kernel();
+  const RunReport report = PairwiseRunner(cluster).run(spec);
 
   // Assemble the symmetric covariance matrix; the diagonal (self inner
   // products) is a local O(v) pass, not a pairwise computation.
@@ -74,13 +76,13 @@ int main() {
   for (ElementId i = 0; i < v; ++i) {
     cov[i][i] = workloads::inner_product(rows[i], rows[i]) / denom;
   }
-  for (const Element& e : read_elements(cluster, stats.output_dir)) {
+  for (const Element& e : read_elements(cluster, report.output_dir)) {
     for (const auto& r : e.results) {
       cov[e.id][r.other] = workloads::decode_result(r.result) / denom;
     }
   }
 
-  std::cout << "pairwise phase: " << stats.evaluations
+  std::cout << "pairwise phase: " << report.evaluations
             << " inner products over " << scheme.num_tasks()
             << " design-scheme tasks (plane order q = "
             << scheme.plane_order() << ")\n";

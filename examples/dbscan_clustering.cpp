@@ -69,22 +69,22 @@ int main() {
   // Distributed phase: all-pairs distances, pruned at eps.
   mr::Cluster cluster({.num_nodes = 4});
   const auto inputs = write_dataset(cluster, "/points", payloads);
-  const BlockScheme scheme(v, 4);
+  RunSpec spec;
+  spec.input_paths = inputs;
+  spec.scheme = std::make_shared<BlockScheme>(v, 4);
+  spec.job.compute = workloads::euclidean_kernel();
+  spec.job.keep = workloads::keep_below(kEps);
 
-  PairwiseJob job;
-  job.compute = workloads::euclidean_kernel();
-  job.keep = workloads::keep_below(kEps);
-
-  const PairwiseRunStats stats = run_pairwise(cluster, inputs, scheme, job);
-  std::cout << "pairwise phase: " << stats.evaluations << " evaluations, "
-            << stats.results_kept << " neighbor pairs kept (eps = " << kEps
-            << ") — " << 100.0 * static_cast<double>(stats.results_kept) /
-                             static_cast<double>(stats.evaluations)
+  const RunReport report = PairwiseRunner(cluster).run(spec);
+  std::cout << "pairwise phase: " << report.evaluations << " evaluations, "
+            << report.results_kept << " neighbor pairs kept (eps = " << kEps
+            << ") — " << 100.0 * static_cast<double>(report.results_kept) /
+                             static_cast<double>(report.evaluations)
             << "% of the distance matrix materialized\n";
 
   // Local phase: neighbor lists -> DBSCAN.
   std::vector<std::vector<ElementId>> neighbors(v);
-  for (const Element& e : read_elements(cluster, stats.output_dir)) {
+  for (const Element& e : read_elements(cluster, report.output_dir)) {
     for (const auto& r : e.results) neighbors[e.id].push_back(r.other);
   }
   const std::vector<int> labels = dbscan(neighbors);

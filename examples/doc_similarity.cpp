@@ -43,19 +43,21 @@ int main() {
 
   // Broadcast scheme: the corpus is small, Jaccard over 120-token sets is
   // the expensive part — the paper's §5.1 sweet spot. One-job variant.
-  PairwiseJob job;
-  job.compute = workloads::jaccard_kernel();
-  job.keep = workloads::keep_above(kThreshold);
-  const PairwiseRunStats stats = run_pairwise_broadcast(
-      cluster, inputs, v, /*num_tasks=*/8, job);
+  RunSpec spec;
+  spec.input_paths = inputs;
+  spec.mode = RunMode::kBroadcast;
+  spec.broadcast = BroadcastTarget{.v = v, .num_tasks = 8};
+  spec.job.compute = workloads::jaccard_kernel();
+  spec.job.keep = workloads::keep_above(kThreshold);
+  const RunReport report = PairwiseRunner(cluster).run(spec);
 
-  std::cout << "evaluated " << stats.evaluations << " document pairs, "
-            << stats.results_kept << " above similarity " << kThreshold
+  std::cout << "evaluated " << report.evaluations << " document pairs, "
+            << report.results_kept << " above similarity " << kThreshold
             << "\n\n";
 
   std::cout << "near-duplicate pairs found:\n";
   std::uint64_t found = 0;
-  for (const Element& e : read_elements(cluster, stats.output_dir)) {
+  for (const Element& e : read_elements(cluster, report.output_dir)) {
     for (const auto& r : e.results) {
       if (r.other > e.id) {  // print each pair once
         std::cout << "  doc" << e.id << " ~ doc" << r.other

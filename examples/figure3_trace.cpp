@@ -56,15 +56,17 @@ int main() {
   job.compute = [](const Element& a, const Element& b) {
     return workloads::encode_result(static_cast<double>(a.id * 10 + b.id));
   };
-  PairwiseOptions options;
-  options.run_aggregation = false;
-  const PairwiseRunStats stats =
-      run_pairwise(cluster, inputs, scheme, job, options);
+  RunSpec spec;
+  spec.input_paths = inputs;
+  spec.scheme = borrow_scheme(scheme);
+  spec.job = job;
+  spec.options.run_aggregation = false;
+  const RunReport report = PairwiseRunner(cluster).run(spec);
 
   std::cout << "\nBetween the jobs — element copies with partial results "
                "(the figure's middle column):\n";
   std::map<ElementId, int> copies;
-  for (const auto& rec : cluster.gather_records(stats.output_dir)) {
+  for (const auto& rec : cluster.gather_records(report.output_dir)) {
     const Element e = decode_element(rec.value);
     ++copies[e.id];
     std::cout << "  copy of s" << e.id + 1 << " carrying {";
@@ -75,10 +77,10 @@ int main() {
   // --- Job 2: aggregate by id --------------------------------------------
   std::cout << "\nJob 2 reduce — sort/shuffle groups all copies of an id; "
                "aggregateResults merges them:\n";
-  PairwiseOptions full;
-  full.work_dir = "/pairwise2";
-  const PairwiseRunStats agg =
-      run_pairwise(cluster, inputs, scheme, job, full);
+  RunSpec full = spec;
+  full.options.run_aggregation = true;
+  full.options.work_dir = "/pairwise2";
+  const RunReport agg = PairwiseRunner(cluster).run(full);
   for (const Element& e : read_elements(cluster, agg.output_dir)) {
     std::cout << "  s" << e.id + 1 << " (" << copies[e.id]
               << " copies in) -> results with {";

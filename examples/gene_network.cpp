@@ -33,20 +33,21 @@ int main() {
 
   // MI estimation over 400 samples is compute-heavy; profiles are small.
   // The block scheme balances replication against working-set size.
-  const BlockScheme scheme(v, 4);
-  PairwiseJob job;
-  job.compute = workloads::mutual_information_kernel(/*bins=*/10);
-  job.keep = workloads::keep_above(kEdgeThreshold);
+  RunSpec spec;
+  spec.input_paths = inputs;
+  spec.scheme = std::make_shared<BlockScheme>(v, 4);
+  spec.job.compute = workloads::mutual_information_kernel(/*bins=*/10);
+  spec.job.keep = workloads::keep_above(kEdgeThreshold);
 
-  const PairwiseRunStats stats = run_pairwise(cluster, inputs, scheme, job);
-  std::cout << "pairwise phase: " << stats.evaluations
-            << " MI estimates, " << stats.results_kept
+  const RunReport report = PairwiseRunner(cluster).run(spec);
+  std::cout << "pairwise phase: " << report.evaluations
+            << " MI estimates, " << report.results_kept
             << " edges above " << kEdgeThreshold << " nats\n\n";
 
   // Score against the generator's ground truth (same group <=> edge).
   std::uint64_t tp = 0, fp = 0, fn = 0;
   std::vector<std::vector<bool>> predicted(v, std::vector<bool>(v, false));
-  for (const Element& e : read_elements(cluster, stats.output_dir)) {
+  for (const Element& e : read_elements(cluster, report.output_dir)) {
     for (const auto& r : e.results) predicted[e.id][r.other] = true;
   }
   for (ElementId i = 0; i < v; ++i) {

@@ -105,9 +105,9 @@ Args parse(int argc, char** argv) {
   return args;
 }
 
-std::unique_ptr<DistributionScheme> build_scheme(const Args& args) {
+std::shared_ptr<DistributionScheme> build_scheme(const Args& args) {
   if (args.scheme == "broadcast") {
-    return std::make_unique<BroadcastScheme>(
+    return std::make_shared<BroadcastScheme>(
         args.v, args.tasks == 0 ? args.nodes : args.tasks);
   }
   if (args.scheme == "block") {
@@ -116,10 +116,10 @@ std::unique_ptr<DistributionScheme> build_scheme(const Args& args) {
       h = 1;
       while (triangular(h) < args.nodes) ++h;
     }
-    return std::make_unique<BlockScheme>(args.v, h);
+    return std::make_shared<BlockScheme>(args.v, h);
   }
   if (args.scheme == "design") {
-    return std::make_unique<DesignScheme>(args.v);
+    return std::make_shared<DesignScheme>(args.v);
   }
   if (args.scheme == "plan") {
     const Plan plan = plan_scheme({.v = args.v,
@@ -189,8 +189,12 @@ int main(int argc, char** argv) {
   } else if (!args.shuffle_plane.empty()) {
     usage();
   }
-  const PairwiseRunStats stats =
-      run_pairwise(cluster, inputs, *scheme, job, options);
+  RunSpec spec;
+  spec.input_paths = inputs;
+  spec.scheme = scheme;
+  spec.job = job;
+  spec.options = options;
+  const RunReport stats = PairwiseRunner(cluster).run(spec);
 
   const SchemeMetrics predicted = scheme->metrics();
   TablePrinter t({"metric", "predicted (Table 1)", "measured"});

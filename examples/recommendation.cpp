@@ -29,16 +29,18 @@ int main() {
   // 2×2 grid of cross blocks: each task scores 3 users × 5 items.
   const BipartiteBlockScheme scheme(users, items, 2, 2);
 
-  PairwiseJob job;
-  job.compute = workloads::cosine_kernel();
-  const PairwiseRunStats stats = run_pairwise(cluster, inputs, scheme, job);
+  RunSpec spec;
+  spec.input_paths = inputs;
+  spec.scheme = borrow_scheme(scheme);
+  spec.job.compute = workloads::cosine_kernel();
+  const RunReport report = PairwiseRunner(cluster).run(spec);
 
   std::cout << "=== recommendation: users × items via the bipartite block "
                "scheme ===\n\n"
-            << "evaluated " << stats.evaluations << " (user, item) pairs ("
+            << "evaluated " << report.evaluations << " (user, item) pairs ("
             << users << "x" << items << "; no intra-set pairs)\n\n";
 
-  for (const Element& e : read_elements(cluster, stats.output_dir)) {
+  for (const Element& e : read_elements(cluster, report.output_dir)) {
     if (e.id >= users) continue;  // print the user side only
     auto scored = e.results;
     std::sort(scored.begin(), scored.end(),

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "mr/context.hpp"
 
 namespace pairmr {
 
@@ -33,6 +34,17 @@ Element merge_copies(std::vector<Element> copies) {
                      std::to_string(merged.results[i].other) + ")");
   }
   return merged;
+}
+
+void AggregateReducer::reduce(const mr::Bytes& key,
+                              const std::vector<mr::Bytes>& values,
+                              mr::ReduceContext& ctx) {
+  std::vector<Element> copies;
+  copies.reserve(values.size());
+  for (const auto& v : values) copies.push_back(decode_element(v));
+  Element merged = merge_copies(std::move(copies));
+  if (finalize_) finalize_(merged);
+  ctx.emit(key, encode_element(merged));
 }
 
 }  // namespace pairmr

@@ -3,7 +3,9 @@
 
 #include <vector>
 
+#include "mr/job.hpp"
 #include "pairwise/element.hpp"
+#include "pairwise/pipeline.hpp"
 
 namespace pairmr {
 
@@ -12,5 +14,25 @@ namespace pairmr {
 // Checks the exactly-once invariant: a duplicate partner id means some
 // pair was evaluated twice (a scheme bug) — throws InternalError.
 Element merge_copies(std::vector<Element> copies);
+
+// Job 2's reducer (and, without a finalize, its combiner): groups every
+// encoded copy of an element and emits the merge_copies result. Public
+// because the runner's aggregate job and PairwiseSession's incremental
+// merge job (old state + delta intermediate) are the same reduction —
+// which is what makes the session's state byte-identical to a batch
+// run's output.
+class AggregateReducer final : public mr::Reducer {
+ public:
+  // `finalize` runs once per fully merged element (may be null). Held by
+  // reference — the caller keeps it alive for the job's duration.
+  explicit AggregateReducer(const FinalizeFn& finalize)
+      : finalize_(finalize) {}
+
+  void reduce(const mr::Bytes& key, const std::vector<mr::Bytes>& values,
+              mr::ReduceContext& ctx) override;
+
+ private:
+  const FinalizeFn& finalize_;
+};
 
 }  // namespace pairmr

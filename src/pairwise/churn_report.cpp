@@ -1,0 +1,37 @@
+#include "pairwise/churn_report.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace pairmr {
+
+std::string churn_to_json(const std::vector<ChurnPoint>& points) {
+  std::ostringstream os;
+  os << "{\n  \"bench\": \"churn\",\n  \"points\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const ChurnPoint& p = points[i];
+    os << "    {\"base_v\": " << p.base_v << ", \"delta_k\": " << p.delta_k
+       << ", \"batch_pairs\": " << p.batch_pairs
+       << ", \"delta_pairs\": " << p.delta_pairs
+       << ", \"reused_pairs\": " << p.reused_pairs
+       << ", \"batch_seconds\": " << p.batch_seconds
+       << ", \"update_seconds\": " << p.update_seconds
+       << ", \"speedup\": " << p.speedup
+       << ", \"analytic_factor\": " << p.analytic_factor
+       << ", \"gap_gate\": " << p.gap_gate
+       << ", \"identical\": " << (p.identical ? "true" : "false")
+       << ", \"passed\": " << (p.passed ? "true" : "false") << "}"
+       << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"passed\": " << (churn_all_ok(points) ? "true" : "false")
+     << "\n}\n";
+  return os.str();
+}
+
+bool churn_all_ok(const std::vector<ChurnPoint>& points) {
+  return !points.empty() &&
+         std::all_of(points.begin(), points.end(),
+                     [](const ChurnPoint& p) { return p.passed; });
+}
+
+}  // namespace pairmr

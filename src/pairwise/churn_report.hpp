@@ -1,0 +1,38 @@
+// BENCH_churn.json data model: incremental update() vs from-scratch
+// batch re-run across churn rates. Shared by bench/bench_churn (which
+// emits the document) and tests/pairwise/churn_schema_test.cpp
+// (schema + golden), in the BENCH_simjoin.json idiom
+// (pairwise/simjoin_report.hpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pairmr {
+
+struct ChurnPoint {
+  std::uint64_t base_v = 0;   // cached elements before the update
+  std::uint64_t delta_k = 0;  // elements added by the update
+  std::uint64_t batch_pairs = 0;  // C(base_v + delta_k, 2)
+  std::uint64_t delta_pairs = 0;  // base_v·delta_k + C(delta_k,2)
+  std::uint64_t reused_pairs = 0;  // C(base_v, 2)
+  double batch_seconds = 0.0;       // from-scratch run over the union
+  double update_seconds = 0.0;      // incremental session update
+  double speedup = 0.0;             // batch_seconds / update_seconds
+  double analytic_factor = 0.0;     // batch_pairs / delta_pairs
+  double gap_gate = 0.0;  // required fraction of the analytic factor
+  bool identical = false;  // session state byte-identical to batch output
+  bool passed = false;     // identical && tiling && gated speedup
+};
+
+// {"bench": "churn", "points": [...], "passed": bool}; `passed` is
+// churn_all_ok.
+std::string churn_to_json(const std::vector<ChurnPoint>& points);
+
+// Every point's state matched its from-scratch reference, the tiling
+// invariant delta + reused == batch held, and the measured speedup
+// cleared gap_gate × analytic_factor (floored at beating batch at all).
+bool churn_all_ok(const std::vector<ChurnPoint>& points);
+
+}  // namespace pairmr

@@ -7,19 +7,19 @@
 namespace pairmr {
 
 std::vector<mr::Record> to_dataset_records(
-    const std::vector<std::string>& payloads) {
+    const std::vector<std::string>& payloads, ElementId first_id) {
   std::vector<mr::Record> records;
   records.reserve(payloads.size());
   for (std::size_t i = 0; i < payloads.size(); ++i) {
-    records.push_back(mr::Record{encode_u64_key(i), payloads[i]});
+    records.push_back(mr::Record{encode_u64_key(first_id + i), payloads[i]});
   }
   return records;
 }
 
 std::vector<std::string> write_dataset(
     mr::Cluster& cluster, const std::string& dir,
-    const std::vector<std::string>& payloads) {
-  return cluster.scatter_records(dir, to_dataset_records(payloads));
+    const std::vector<std::string>& payloads, ElementId first_id) {
+  return cluster.scatter_records(dir, to_dataset_records(payloads, first_id));
 }
 
 std::vector<Element> read_elements(const mr::Cluster& cluster,

@@ -11,15 +11,17 @@
 
 namespace pairmr {
 
-// Records for a dataset whose element ids are the payload indices.
+// Records for a dataset whose element ids are the payload indices,
+// shifted by `first_id` (a delta batch appends at first_id = base v).
 std::vector<mr::Record> to_dataset_records(
-    const std::vector<std::string>& payloads);
+    const std::vector<std::string>& payloads, ElementId first_id = 0);
 
-// Scatter `payloads` across the cluster under `dir` (dense ids 0..v-1,
-// one file per node). Returns the created DFS paths.
-std::vector<std::string> write_dataset(mr::Cluster& cluster,
-                                       const std::string& dir,
-                                       const std::vector<std::string>& payloads);
+// Scatter `payloads` across the cluster under `dir` (dense ids
+// first_id..first_id+v-1, one file per node). Returns the created DFS
+// paths.
+std::vector<std::string> write_dataset(
+    mr::Cluster& cluster, const std::string& dir,
+    const std::vector<std::string>& payloads, ElementId first_id = 0);
 
 // Decode every element file under `prefix`, sorted by id.
 std::vector<Element> read_elements(const mr::Cluster& cluster,

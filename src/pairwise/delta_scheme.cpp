@@ -1,0 +1,95 @@
+#include "pairwise/delta_scheme.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/intmath.hpp"
+
+namespace pairmr {
+
+DeltaScheme::DeltaScheme(std::uint64_t base_v, std::uint64_t delta_v,
+                         std::uint64_t grid_a, std::uint64_t grid_b)
+    : base_v_(base_v),
+      delta_v_(delta_v),
+      cross_(base_v, delta_v, grid_a, grid_b) {
+  // cross_'s constructor already validates base_v/delta_v >= 1 and the
+  // grid bounds; nothing more to check here.
+}
+
+std::uint64_t DeltaScheme::num_tasks() const {
+  return cross_.num_tasks() + (has_intra_task() ? 1 : 0);
+}
+
+std::vector<TaskId> DeltaScheme::subsets_of(ElementId id) const {
+  std::vector<TaskId> tasks = cross_.subsets_of(id);
+  if (id >= base_v_ && has_intra_task()) {
+    tasks.push_back(cross_.num_tasks());
+  }
+  return tasks;
+}
+
+std::vector<ElementPair> DeltaScheme::pairs_in(TaskId task) const {
+  if (task < cross_.num_tasks()) return cross_.pairs_in(task);
+  PAIRMR_REQUIRE(has_intra_task() && task == cross_.num_tasks(),
+                 "task id out of range");
+  std::vector<ElementPair> pairs;
+  pairs.reserve(triangular(delta_v_ - 1));
+  const ElementId end = base_v_ + delta_v_;
+  for (ElementId lo = base_v_; lo < end; ++lo) {
+    for (ElementId hi = lo + 1; hi < end; ++hi) {
+      pairs.push_back(ElementPair{lo, hi});
+    }
+  }
+  return pairs;
+}
+
+void DeltaScheme::for_each_pair(
+    TaskId task, const std::function<void(ElementPair)>& fn) const {
+  if (task < cross_.num_tasks()) {
+    cross_.for_each_pair(task, fn);
+    return;
+  }
+  PAIRMR_REQUIRE(has_intra_task() && task == cross_.num_tasks(),
+                 "task id out of range");
+  const ElementId end = base_v_ + delta_v_;
+  for (ElementId lo = base_v_; lo < end; ++lo) {
+    for (ElementId hi = lo + 1; hi < end; ++hi) fn(ElementPair{lo, hi});
+  }
+}
+
+std::uint64_t DeltaScheme::total_pairs() const {
+  return base_v_ * delta_v_ + triangular(delta_v_ - 1);
+}
+
+std::vector<ElementId> DeltaScheme::working_set(TaskId task) const {
+  if (task < cross_.num_tasks()) return cross_.working_set(task);
+  PAIRMR_REQUIRE(has_intra_task() && task == cross_.num_tasks(),
+                 "task id out of range");
+  std::vector<ElementId> ids(delta_v_);
+  for (std::uint64_t i = 0; i < delta_v_; ++i) {
+    ids[i] = base_v_ + i;
+  }
+  return ids;
+}
+
+SchemeMetrics DeltaScheme::metrics() const {
+  const SchemeMetrics cross = cross_.metrics();
+  SchemeMetrics m;
+  m.scheme = name();
+  m.num_tasks = num_tasks();
+  // The intra task ships each delta element once more.
+  m.communication_elements =
+      cross.communication_elements +
+      (has_intra_task() ? static_cast<double>(delta_v_) : 0.0);
+  m.replication_factor =
+      m.communication_elements / static_cast<double>(num_elements());
+  m.working_set_elements = std::max(
+      cross.working_set_elements,
+      has_intra_task() ? static_cast<double>(delta_v_) : 0.0);
+  m.evaluations_per_task = std::max(
+      cross.evaluations_per_task,
+      static_cast<double>(triangular(delta_v_ > 0 ? delta_v_ - 1 : 0)));
+  return m;
+}
+
+}  // namespace pairmr

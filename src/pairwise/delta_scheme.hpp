@@ -1,0 +1,55 @@
+// Delta scheme for incremental all-pairs (DESIGN.md §16).
+//
+// When a batch of k new elements (ids [v, v+k)) arrives on top of v
+// already-compared ones (ids [0, v)), the only pairs the union adds are
+// the v×k cross rectangle and the C(k,2) intra-delta triangle:
+//
+//   C(v+k, 2) == C(v,2) [cached] + v·k + C(k,2) [this scheme]
+//
+// The cross rectangle reuses BipartiteBlockScheme (A = the base set,
+// B = the delta) tiled over an ha × hb grid; the intra triangle — tiny
+// for serving-sized deltas — is one extra task holding the whole delta.
+// Every added pair is covered exactly once, so the scheme runs on the
+// unmodified two-job pipeline and its aggregated output merges into the
+// cached per-element aggregates without partner collisions.
+#pragma once
+
+#include <cstdint>
+
+#include "pairwise/bipartite_scheme.hpp"
+#include "pairwise/scheme.hpp"
+
+namespace pairmr {
+
+class DeltaScheme final : public DistributionScheme {
+ public:
+  // base_v >= 1 cached elements, delta_v >= 1 new ones; cross-grid
+  // factors 1 <= grid_a <= base_v, 1 <= grid_b <= delta_v.
+  DeltaScheme(std::uint64_t base_v, std::uint64_t delta_v,
+              std::uint64_t grid_a, std::uint64_t grid_b);
+
+  std::string name() const override { return "delta"; }
+  std::uint64_t num_elements() const override { return base_v_ + delta_v_; }
+  std::uint64_t num_tasks() const override;
+
+  std::vector<TaskId> subsets_of(ElementId id) const override;
+  std::vector<ElementPair> pairs_in(TaskId task) const override;
+  void for_each_pair(
+      TaskId task, const std::function<void(ElementPair)>& fn) const override;
+  SchemeMetrics metrics() const override;
+  std::uint64_t total_pairs() const override;
+  std::vector<ElementId> working_set(TaskId task) const override;
+
+  std::uint64_t base_elements() const { return base_v_; }
+  std::uint64_t delta_elements() const { return delta_v_; }
+
+ private:
+  // True when the intra-delta triangle is non-empty (delta_v >= 2) and
+  // therefore occupies the last task id.
+  bool has_intra_task() const { return delta_v_ >= 2; }
+
+  std::uint64_t base_v_, delta_v_;
+  BipartiteBlockScheme cross_;
+};
+
+}  // namespace pairmr

@@ -25,6 +25,8 @@
 #include "pairwise/pipeline.hpp"
 #include "pairwise/planner.hpp"
 #include "pairwise/reindex.hpp"
+#include "pairwise/runner.hpp"
 #include "pairwise/scheme.hpp"
+#include "pairwise/session.hpp"
 #include "pairwise/simple.hpp"
 #include "pairwise/triangular.hpp"

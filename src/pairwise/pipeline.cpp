@@ -89,7 +89,7 @@ PairwiseRunStats run_pairwise(mr::Cluster& cluster,
   RunSpec spec;
   spec.input_paths = input_paths;
   spec.mode = RunMode::kTwoJob;
-  spec.scheme = &scheme;
+  spec.scheme = borrow_scheme(scheme);
   spec.job = job;
   spec.options = options;
   RunReport report = PairwiseRunner(cluster).run(spec);
@@ -147,7 +147,7 @@ HierarchicalRunStats run_pairwise_rounds(
   RunSpec spec;
   spec.input_paths = input_paths;
   spec.mode = RunMode::kRounds;
-  spec.scheme = &scheme;
+  spec.scheme = borrow_scheme(scheme);
   spec.rounds = rounds;
   spec.job = job;
   spec.options = options;

@@ -259,6 +259,7 @@ struct PairwiseRunStats {
 // Deprecated: thin wrapper over PairwiseRunner (pairwise/runner.hpp),
 // kept for source compatibility. New code should build a RunSpec with
 // RunMode::kTwoJob and read the unified RunReport.
+[[deprecated("use PairwiseRunner")]]
 PairwiseRunStats run_pairwise(mr::Cluster& cluster,
                               const std::vector<std::string>& input_paths,
                               const DistributionScheme& scheme,
@@ -270,6 +271,7 @@ PairwiseRunStats run_pairwise(mr::Cluster& cluster,
 // paper's p (its Table 1 advantage: freely chosen).
 //
 // Deprecated: thin wrapper over PairwiseRunner (RunMode::kBroadcast).
+[[deprecated("use PairwiseRunner")]]
 PairwiseRunStats run_pairwise_broadcast(
     mr::Cluster& cluster, const std::vector<std::string>& input_paths,
     std::uint64_t v, std::uint64_t num_tasks, const PairwiseJob& job,
@@ -294,6 +296,7 @@ struct HierarchicalRunStats {
 };
 
 // Deprecated: thin wrapper over PairwiseRunner (RunMode::kRounds).
+[[deprecated("use PairwiseRunner")]]
 HierarchicalRunStats run_pairwise_rounds(
     mr::Cluster& cluster, const std::vector<std::string>& input_paths,
     const DistributionScheme& scheme,

@@ -121,7 +121,7 @@ Plan plan_scheme(const PlanRequest& request) {
   } else {
     plan.feasible = false;
     why << "no scheme satisfies both limits; use hierarchical processing"
-        << " (run_pairwise_rounds with coarse grouping, paper Section 7)";
+        << " (RunMode::kRounds with coarse grouping, paper Section 7)";
   }
   if (plan.feasible && request.candidate_fraction != 1.0) {
     plan.predicted =
@@ -133,19 +133,19 @@ Plan plan_scheme(const PlanRequest& request) {
   return plan;
 }
 
-std::unique_ptr<DistributionScheme> make_scheme(
+std::shared_ptr<DistributionScheme> make_scheme(
     const Plan& plan, std::uint64_t v, PlaneConstruction construction) {
   PAIRMR_REQUIRE(plan.feasible, "cannot instantiate an infeasible plan");
   switch (plan.kind) {
     case SchemeKind::kBroadcast:
-      return std::make_unique<BroadcastScheme>(
+      return std::make_shared<BroadcastScheme>(
           v, std::max<std::uint64_t>(1, plan.broadcast_tasks));
     case SchemeKind::kBlock:
-      return std::make_unique<BlockScheme>(v, plan.block_h);
+      return std::make_shared<BlockScheme>(v, plan.block_h);
     case SchemeKind::kQuorum:
-      return std::make_unique<QuorumScheme>(v);
+      return std::make_shared<QuorumScheme>(v);
     case SchemeKind::kDesign:
-      return std::make_unique<DesignScheme>(v, construction);
+      return std::make_shared<DesignScheme>(v, construction);
   }
   PAIRMR_CHECK(false, "unknown scheme kind");
   return nullptr;

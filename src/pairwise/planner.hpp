@@ -64,8 +64,10 @@ struct Plan {
 Plan plan_scheme(const PlanRequest& request);
 
 // Instantiate the planned scheme (request.v elements). For design plans,
-// `construction` selects the plane construction.
-std::unique_ptr<DistributionScheme> make_scheme(
+// `construction` selects the plane construction. Returns shared ownership
+// so the handle can be dropped straight into RunSpec::scheme (which owns
+// its scheme) or cached across runs by a long-lived session.
+std::shared_ptr<DistributionScheme> make_scheme(
     const Plan& plan, std::uint64_t v,
     PlaneConstruction construction = PlaneConstruction::kTheorem2Prime);
 

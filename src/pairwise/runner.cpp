@@ -12,9 +12,11 @@
 #include "mr/backend/backend.hpp"
 #include "mr/backend/session.hpp"
 #include "mr/context.hpp"
+#include "common/intmath.hpp"
 #include "pairwise/aggregate.hpp"
 #include "pairwise/broadcast_scheme.hpp"
 #include "pairwise/candidates.hpp"
+#include "pairwise/delta_scheme.hpp"
 #include "pairwise/filtered_scheme.hpp"
 #include "pairwise/hierarchical.hpp"
 
@@ -132,29 +134,9 @@ class ComputeReducer final : public mr::Reducer {
   const bool join_metering_;
 };
 
-// ---------------------------------------------------------------------
-// Job 2 — Algorithm 2: aggregation of element copies.
-// ---------------------------------------------------------------------
-
-class AggregateReducer final : public mr::Reducer {
- public:
-  // `finalize` runs once per fully merged element (may be null).
-  explicit AggregateReducer(const FinalizeFn& finalize)
-      : finalize_(finalize) {}
-
-  void reduce(const Bytes& key, const std::vector<Bytes>& values,
-              mr::ReduceContext& ctx) override {
-    std::vector<Element> copies;
-    copies.reserve(values.size());
-    for (const auto& v : values) copies.push_back(decode_element(v));
-    Element merged = merge_copies(std::move(copies));
-    if (finalize_) finalize_(merged);
-    ctx.emit(key, encode_element(merged));
-  }
-
- private:
-  const FinalizeFn& finalize_;
-};
+// Job 2 — Algorithm 2 — is the public AggregateReducer
+// (pairwise/aggregate.hpp), shared with PairwiseSession's incremental
+// merge job.
 
 // ---------------------------------------------------------------------
 // §5.1 one-job broadcast variant.
@@ -624,10 +606,11 @@ RunReport run_similarity_join(mr::Cluster& cluster,
   inner.mode = RunMode::kTwoJob;
   inner.job = similarity_join_job(spec.options.similarity_join,
                                   spec.job.finalize);
-  std::optional<CandidateScheme> filtered;
   if (!phase.exhaustive) {
-    filtered.emplace(base, std::move(phase.candidates));
-    inner.scheme = &*filtered;
+    // The filtered view shares ownership of the base scheme, so the
+    // inner spec stays self-contained.
+    inner.scheme = std::make_shared<CandidateScheme>(
+        base, std::move(phase.candidates));
   }
   RunReport report =
       run_two_job(cluster, session, inner, /*join_metering=*/true);
@@ -638,6 +621,40 @@ RunReport run_similarity_join(mr::Cluster& cluster,
   report.survivor_pairs = report.counter(counter::kSurvivorPairs);
   report.pruned_pairs = report.counter(counter::kPrunedPairs);
   settle_metering(report);  // re-settle: candidate jobs spill too
+  return report;
+}
+
+// --- Driver: incremental delta plan (DESIGN.md §16) ---------------------
+
+RunReport run_delta(mr::Cluster& cluster,
+                    mr::backend::BackendSession& session,
+                    const RunSpec& spec) {
+  const DeltaTarget& target = spec.delta;
+  const std::uint64_t base_v = target.base_v;
+  const std::uint64_t delta_v = target.delta_v;
+  const std::uint64_t grid_a =
+      target.cross_grid_a != 0
+          ? target.cross_grid_a
+          : std::min<std::uint64_t>(cluster.num_nodes(), base_v);
+  const std::uint64_t grid_b =
+      target.cross_grid_b != 0 ? target.cross_grid_b : 1;
+
+  RunSpec inner = spec;
+  inner.mode = RunMode::kTwoJob;
+  inner.scheme =
+      std::make_shared<DeltaScheme>(base_v, delta_v, grid_a, grid_b);
+
+  RunReport report = run_two_job(cluster, session, inner);
+  report.mode = RunMode::kDelta;
+  report.pairs_delta = inner.scheme->total_pairs();
+  report.pairs_reused = triangular(base_v - 1);
+  // The delta plan tiles the union's pair set exactly once.
+  PAIRMR_CHECK(report.pairs_delta + report.pairs_reused ==
+                   triangular(base_v + delta_v - 1),
+               "delta + reused pairs must tile C(base_v + delta_v, 2)");
+  PAIRMR_CHECK(report.evaluations == report.pairs_delta ||
+                   spec.job.symmetry == Symmetry::kNonSymmetric,
+               "delta run evaluated a different pair count than planned");
   return report;
 }
 
@@ -653,8 +670,26 @@ const char* to_string(RunMode mode) {
       return "rounds";
     case RunMode::kSimilarityJoin:
       return "similarity-join";
+    case RunMode::kDelta:
+      return "delta";
   }
   return "unknown";
+}
+
+void RunSpec::set_scheme(const DistributionScheme* s) {
+  scheme = s == nullptr
+               ? nullptr
+               : std::shared_ptr<const DistributionScheme>(
+                     std::shared_ptr<const void>(), s);
+}
+
+std::shared_ptr<const DistributionScheme> borrow_scheme(
+    const DistributionScheme& scheme) {
+  // Aliasing constructor with an empty owner: refcounting is disabled,
+  // lifetime stays the caller's problem — exactly the documented
+  // borrow contract.
+  return std::shared_ptr<const DistributionScheme>(
+      std::shared_ptr<const void>(), &scheme);
 }
 
 std::uint64_t RunReport::counter(const std::string& name) const {
@@ -694,6 +729,14 @@ void validate_pairwise_options(const mr::Cluster& cluster,
       "budget is enabled (got " +
           std::to_string(options.memory_budget.merge_fan_in) +
           "); a 1-way merge cannot make progress");
+  if (mode == RunMode::kDelta) {
+    PAIRMR_REQUIRE(
+        options.distribute_partitioner == nullptr,
+        "PairwiseOptions::distribute_partitioner cannot be used with "
+        "RunMode::kDelta: the delta driver synthesizes its own scheme "
+        "(cross rectangle + intra-delta task), so its task-id space is "
+        "not known to the caller — use the default hash partitioner");
+  }
   if (mode == RunMode::kSimilarityJoin) {
     const SimilarityJoinOptions& join = options.similarity_join;
     PAIRMR_REQUIRE(
@@ -726,6 +769,15 @@ void validate_pairwise_options(const mr::Cluster& cluster,
 }
 
 RunReport PairwiseRunner::run(const RunSpec& spec) {
+  // One backend session per run: every job of a multi-job mode shares the
+  // same persistent fork pool (workers are re-armed via kBeginJob instead
+  // of re-forked), torn down when the session goes out of scope.
+  mr::backend::BackendSession session(cluster_, spec.options.backend);
+  return run(spec, session);
+}
+
+RunReport PairwiseRunner::run(const RunSpec& spec,
+                              mr::backend::BackendSession& session) {
   // The join driver synthesizes its own job; every other mode needs a
   // caller-supplied compute fn.
   if (spec.mode != RunMode::kSimilarityJoin) validate_job(spec.job);
@@ -733,10 +785,6 @@ RunReport PairwiseRunner::run(const RunSpec& spec) {
   PAIRMR_REQUIRE(!spec.input_paths.empty(),
                  "RunSpec::input_paths is empty — nothing to compare");
 
-  // One backend session per run: every job of a multi-job mode shares the
-  // same persistent fork pool (workers are re-armed via kBeginJob instead
-  // of re-forked), torn down when the session goes out of scope.
-  mr::backend::BackendSession session(cluster_, spec.options.backend);
   RunReport report;
   switch (spec.mode) {
     case RunMode::kTwoJob:
@@ -763,6 +811,13 @@ RunReport PairwiseRunner::run(const RunSpec& spec) {
                      "phase runs over (any two-job scheme family: "
                      "broadcast/block/design/quorum)");
       report = run_similarity_join(cluster_, session, spec);
+      break;
+    case RunMode::kDelta:
+      PAIRMR_REQUIRE(spec.delta.base_v >= 1 && spec.delta.delta_v >= 1,
+                     "RunMode::kDelta needs RunSpec::delta (base_v and "
+                     "delta_v both >= 1); a run with no cached base is "
+                     "just RunMode::kTwoJob");
+      report = run_delta(cluster_, session, spec);
       break;
   }
   report.shuffle_plane =
@@ -791,11 +846,12 @@ RunReport PairwiseRunner::run_planned(const PlanRequest& request,
     // No scheme fits the limits: §7 hierarchical processing — run a
     // design scheme in chunks of n tasks, so only one round's
     // intermediate data is ever materialized.
-    const DesignScheme scheme(request.v, construction);
+    const auto scheme = std::make_shared<DesignScheme>(request.v,
+                                                       construction);
     spec.mode = RunMode::kRounds;
-    spec.scheme = &scheme;
+    spec.scheme = scheme;
     spec.rounds = chunked_rounds(
-        scheme, std::max<std::uint64_t>(1, request.num_nodes));
+        *scheme, std::max<std::uint64_t>(1, request.num_nodes));
     report = run(spec);
     report.fell_back_to_rounds = true;
   } else if (plan.kind == SchemeKind::kBroadcast) {
@@ -804,10 +860,8 @@ RunReport PairwiseRunner::run_planned(const PlanRequest& request,
         BroadcastTarget{.v = request.v, .num_tasks = plan.broadcast_tasks};
     report = run(spec);
   } else {
-    const std::unique_ptr<DistributionScheme> scheme =
-        make_scheme(plan, request.v, construction);
     spec.mode = RunMode::kTwoJob;
-    spec.scheme = scheme.get();
+    spec.scheme = make_scheme(plan, request.v, construction);
     report = run(spec);
   }
   report.planned = true;

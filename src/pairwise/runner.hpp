@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -26,6 +27,10 @@
 #include "pairwise/scheme.hpp"
 
 namespace pairmr {
+
+namespace mr::backend {
+class BackendSession;
+}  // namespace mr::backend
 
 // Which driver executes the run.
 enum class RunMode {
@@ -39,6 +44,14 @@ enum class RunMode {
   // PairwiseOptions::similarity_join — RunSpec::job must leave
   // compute/prepared/keep unset (finalize is honored).
   kSimilarityJoin,
+  // Incremental delta plan (DESIGN.md §16): only the pairs a batch of
+  // `RunSpec::delta.delta_v` new elements introduces against
+  // `delta.base_v` cached ones are evaluated — the base_v × delta_v
+  // cross rectangle (BipartiteBlockScheme tiles) plus the C(delta_v,2)
+  // intra-delta triangle. input_paths must cover the whole union
+  // (base payloads re-ship through the distribute job; evaluations are
+  // what the delta saves). RunSpec::scheme is synthesized internally.
+  kDelta,
 };
 
 const char* to_string(RunMode mode);
@@ -49,19 +62,51 @@ struct BroadcastTarget {
   std::uint64_t num_tasks = 0;  // p, freely chosen (Table 1)
 };
 
+// Delta-mode target: a batch of delta_v new elements (dense ids
+// [base_v, base_v + delta_v)) arriving on top of base_v cached ones
+// (ids [0, base_v)).
+struct DeltaTarget {
+  std::uint64_t base_v = 0;
+  std::uint64_t delta_v = 0;
+  // Grid of the cross rectangle (BipartiteBlockScheme's ha × hb);
+  // 0 = auto: ha = min(cluster nodes, base_v), hb = 1.
+  std::uint64_t cross_grid_a = 0;
+  std::uint64_t cross_grid_b = 0;
+};
+
 // Full description of one pairwise run. Exactly one driver input is
 // consulted, selected by `mode`: `scheme` for kTwoJob and
 // kSimilarityJoin, `broadcast` for kBroadcast, `scheme` + `rounds` for
-// kRounds. `scheme` is borrowed and must outlive the run() call.
+// kRounds, `delta` for kDelta. The spec OWNS its scheme: a RunSpec can
+// be built, stored, and executed later without keeping the construction
+// scope alive (the old borrowed-pointer contract survives only behind
+// the deprecated set_scheme shim).
 struct RunSpec {
   std::vector<std::string> input_paths;
   RunMode mode = RunMode::kTwoJob;
-  const DistributionScheme* scheme = nullptr;
+  std::shared_ptr<const DistributionScheme> scheme;
   BroadcastTarget broadcast;
+  DeltaTarget delta;
   std::vector<std::vector<TaskId>> rounds;
   PairwiseJob job;
   PairwiseOptions options;
+
+  // Pre-ownership shim: stores `s` without taking ownership, restoring
+  // the "caller keeps it alive past run()" contract of the borrowed-
+  // pointer era. Dangles exactly like the raw member did — migrate to
+  // an owning shared_ptr (make_scheme returns one) or borrow_scheme.
+  [[deprecated(
+      "RunSpec owns its scheme now: assign a std::shared_ptr"
+      "<const DistributionScheme> (make_scheme returns one), or wrap a "
+      "caller-owned scheme with borrow_scheme()")]]
+  void set_scheme(const DistributionScheme* s);
 };
+
+// Non-owning adapter for a scheme whose lifetime the caller guarantees
+// to exceed the run: wraps a reference in a shared_ptr with an empty
+// control block. Prefer real shared ownership for anything stored.
+std::shared_ptr<const DistributionScheme> borrow_scheme(
+    const DistributionScheme& scheme);
 
 // Unified result of any run, merging the old PairwiseRunStats and
 // HierarchicalRunStats. Mode-specific structure survives in the job
@@ -85,6 +130,14 @@ struct RunReport {
   std::uint64_t candidate_pairs = 0;
   std::uint64_t survivor_pairs = 0;
   std::uint64_t pruned_pairs = 0;
+
+  // kDelta only (pairs.delta / pairs.reused): pairs this run evaluated
+  // (base_v·delta_v + C(delta_v,2)) and pairs whose cached results the
+  // caller keeps (C(base_v,2)). Invariant, asserted by the driver:
+  // pairs_delta + pairs_reused == C(base_v + delta_v, 2) — the delta
+  // plan tiles the union's pair set exactly once. Zero in other modes.
+  std::uint64_t pairs_delta = 0;
+  std::uint64_t pairs_reused = 0;
 
   // Measured counterparts of Table 1's metrics.
   double replication_factor = 0.0;
@@ -141,8 +194,15 @@ class PairwiseRunner {
   // The cluster is borrowed and must outlive the runner.
   explicit PairwiseRunner(mr::Cluster& cluster) : cluster_(cluster) {}
 
-  // Execute `spec` with the driver its mode selects.
+  // Execute `spec` with the driver its mode selects. Creates a fresh
+  // BackendSession per call (one fork-pool epoch per run).
   RunReport run(const RunSpec& spec);
+
+  // Same, but over a caller-owned BackendSession, so consecutive runs
+  // (a PairwiseSession's submit/update stream) share one persistent
+  // fork pool. The report's workers_forked/reused carry the session's
+  // lifetime tallies, not this run's alone.
+  RunReport run(const RunSpec& spec, mr::backend::BackendSession& session);
 
   // Plan under `request.limits`, instantiate the chosen scheme, and
   // execute it: broadcast plans run the one-job driver, block/design

@@ -1,0 +1,267 @@
+#include "pairwise/session.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/intmath.hpp"
+#include "common/serde.hpp"
+#include "pairwise/aggregate.hpp"
+#include "pairwise/block_scheme.hpp"
+#include "pairwise/broadcast_scheme.hpp"
+#include "pairwise/dataset.hpp"
+#include "pairwise/design_scheme.hpp"
+#include "pairwise/quorum_scheme.hpp"
+
+namespace pairmr {
+
+PairwiseSession::PairwiseSession(mr::Cluster& cluster, PairwiseJob job,
+                                 SessionOptions options)
+    : cluster_(cluster),
+      job_(std::move(job)),
+      options_(std::move(options)),
+      runner_(cluster),
+      backend_(cluster, options_.run.backend) {
+  PAIRMR_REQUIRE(
+      job_.finalize == nullptr,
+      "PairwiseSession needs a job without a finalize hook: incremental "
+      "merging re-aggregates an element once per epoch, so finalize "
+      "would run repeatedly instead of exactly once — post-process "
+      "downstream of query()/top_k() instead");
+  PAIRMR_REQUIRE(
+      options_.run.distribute_partitioner == nullptr,
+      "SessionOptions::run.distribute_partitioner is not supported: "
+      "update() synthesizes its own delta scheme, so the task-id space "
+      "a custom partitioner would route over is unknown to the caller");
+  PAIRMR_REQUIRE(!options_.work_dir.empty(),
+                 "SessionOptions::work_dir must name a DFS directory");
+}
+
+std::shared_ptr<DistributionScheme> PairwiseSession::batch_scheme(
+    SchemeKind kind, std::uint64_t v, std::uint64_t num_nodes,
+    std::uint64_t block_h, PlaneConstruction plane) {
+  switch (kind) {
+    case SchemeKind::kBroadcast:
+      return std::make_shared<BroadcastScheme>(
+          v, std::max<std::uint64_t>(1, num_nodes));
+    case SchemeKind::kBlock: {
+      // Default h: enough tasks for every node, minimal replication
+      // beyond that (the same rule simple.cpp applies).
+      std::uint64_t h = block_h;
+      if (h == 0) {
+        h = 1;
+        while (triangular(h) < num_nodes) ++h;
+      }
+      return std::make_shared<BlockScheme>(v, std::min<std::uint64_t>(h, v));
+    }
+    case SchemeKind::kQuorum:
+      return std::make_shared<QuorumScheme>(v);
+    case SchemeKind::kDesign:
+      return std::make_shared<DesignScheme>(v, plane);
+  }
+  PAIRMR_CHECK(false, "unknown scheme kind");
+  return nullptr;
+}
+
+PairwiseOptions PairwiseSession::epoch_options(std::uint64_t epoch) const {
+  PairwiseOptions o = options_.run;
+  o.work_dir = options_.work_dir + "/epoch-" + std::to_string(epoch);
+  o.run_aggregation = true;
+  o.cleanup_intermediate = true;
+  o.distribute_partitioner = nullptr;
+  return o;
+}
+
+RunReport PairwiseSession::submit(const std::vector<std::string>& payloads) {
+  PAIRMR_REQUIRE(v_ == 0,
+                 "PairwiseSession::submit() must run exactly once, before "
+                 "any update(); to grow the set, call update()");
+  PAIRMR_REQUIRE(payloads.size() >= 2, "need at least two elements");
+
+  cluster_.dfs().remove_prefix(options_.work_dir);
+  input_paths_ = write_dataset(cluster_, options_.work_dir + "/input/epoch-0",
+                               payloads);
+
+  RunSpec spec;
+  spec.input_paths = input_paths_;
+  spec.job = job_;
+  spec.options = epoch_options(0);
+  if (options_.batch_scheme == SchemeKind::kBroadcast) {
+    spec.mode = RunMode::kBroadcast;
+    spec.broadcast = BroadcastTarget{
+        .v = payloads.size(),
+        .num_tasks = options_.broadcast_tasks != 0 ? options_.broadcast_tasks
+                                                   : cluster_.num_nodes()};
+  } else {
+    spec.mode = RunMode::kTwoJob;
+    spec.scheme =
+        batch_scheme(options_.batch_scheme, payloads.size(),
+                     cluster_.num_nodes(), options_.block_h, options_.plane);
+  }
+
+  RunReport report = runner_.run(spec, backend_);
+  v_ = payloads.size();
+  state_dir_ = report.output_dir;
+  state_paths_ = cluster_.dfs().list(state_dir_);
+  evaluations_ += report.evaluations;
+  return report;
+}
+
+RunReport PairwiseSession::update(
+    const std::vector<std::string>& delta_payloads) {
+  PAIRMR_REQUIRE(v_ > 0, "PairwiseSession::update() before submit()");
+  PAIRMR_REQUIRE(!delta_payloads.empty(), "empty delta — nothing to add");
+
+  const std::uint64_t k = delta_payloads.size();
+  const std::uint64_t next_epoch = epoch_ + 1;
+  const std::string epoch_dir =
+      options_.work_dir + "/epoch-" + std::to_string(next_epoch);
+
+  // New payloads append to the id space: ids [v, v+k).
+  const std::vector<std::string> delta_paths = write_dataset(
+      cluster_, options_.work_dir + "/input/epoch-" +
+                    std::to_string(next_epoch),
+      delta_payloads, v_);
+  std::vector<std::string> union_paths = input_paths_;
+  union_paths.insert(union_paths.end(), delta_paths.begin(),
+                     delta_paths.end());
+
+  // Phase 1: the delta plan — only the new pairs are evaluated. The
+  // aggregation is ours (phase 2 merges into the persisted state), so
+  // the run stops at the compare intermediates.
+  RunSpec spec;
+  spec.mode = RunMode::kDelta;
+  spec.delta = DeltaTarget{.base_v = v_, .delta_v = k};
+  spec.input_paths = union_paths;
+  spec.job = job_;
+  spec.options = epoch_options(next_epoch);
+  spec.options.run_aggregation = false;
+  RunReport report = runner_.run(spec, backend_);
+  const std::string delta_intermediate = report.output_dir;
+  PAIRMR_CHECK(report.pairs_reused == triangular(v_ - 1),
+               "delta run reused a different pair count than the cache "
+               "holds");
+
+  // Phase 2: merge the delta intermediates into the persisted
+  // aggregates — the exact Job 2 reduction a batch run executes, which
+  // is what keeps the state byte-identical to a from-scratch run over
+  // the union. The merge lands in a fresh directory; the state pointer
+  // flips only after the job succeeded, so a failed update leaves the
+  // session serving its pre-update state.
+  mr::JobSpec merge;
+  merge.name = "session-merge-" + std::to_string(next_epoch);
+  merge.input_paths = state_paths_;
+  merge.input_paths.insert(merge.input_paths.end(),
+                           report.compute_jobs.back().output_paths.begin(),
+                           report.compute_jobs.back().output_paths.end());
+  merge.output_dir = epoch_dir + "/state";
+  merge.mapper_factory = [] { return std::make_unique<mr::IdentityMapper>(); };
+  merge.reducer_factory = [&fin = job_.finalize] {
+    return std::make_unique<AggregateReducer>(fin);
+  };
+  if (options_.run.aggregation_combiner) {
+    merge.combiner_factory = [&fin = job_.finalize] {
+      return std::make_unique<AggregateReducer>(fin);
+    };
+  }
+  merge.num_reduce_tasks = options_.run.num_reduce_tasks;
+  merge.fault_plan = options_.run.fault_plan;
+  merge.speculative_execution = options_.run.speculative_execution;
+  merge.memory_budget = options_.run.memory_budget;
+  merge.backend = options_.run.backend;
+  merge.shuffle_plane = options_.run.shuffle_plane;
+
+  mr::Engine engine(cluster_);
+  backend_.declare(merge);
+  const mr::JobResult merged = backend_.run(engine, merge);
+
+  // Which aggregates changed: every delta id, plus each base element
+  // that gained at least one kept result. A base copy with an empty
+  // result list merges to unchanged bytes, so its cache entry stays
+  // valid — that is the invalidation rule.
+  std::unordered_set<ElementId> touched;
+  for (ElementId id = v_; id < v_ + k; ++id) touched.insert(id);
+  for (const auto& rec : cluster_.gather_records(delta_intermediate)) {
+    const Element copy = decode_element(rec.value);
+    if (!copy.results.empty()) touched.insert(copy.id);
+  }
+
+  // Commit: flip the state pointer, then drop the superseded files.
+  const std::string old_epoch_dir =
+      options_.work_dir + "/epoch-" + std::to_string(epoch_);
+  state_dir_ = merge.output_dir;
+  state_paths_ = merged.output_paths;
+  epoch_ = next_epoch;
+  v_ += k;
+  evaluations_ += report.evaluations;
+  input_paths_ = std::move(union_paths);
+  cluster_.dfs().remove_prefix(old_epoch_dir);
+  cluster_.dfs().remove_prefix(delta_intermediate);
+
+  for (const ElementId id : touched) {
+    if (cache_.erase(id) > 0) ++stats_.invalidated;
+  }
+
+  report.merge_jobs.push_back(merged);
+  report.aggregated = true;
+  report.output_dir = state_dir_;
+  return report;
+}
+
+const Element* PairwiseSession::find_cached(ElementId id) {
+  const auto it = cache_.find(id);
+  return it == cache_.end() ? nullptr : &it->second;
+}
+
+const Element& PairwiseSession::query(ElementId id) {
+  PAIRMR_REQUIRE(v_ > 0, "PairwiseSession::query() before submit()");
+  PAIRMR_REQUIRE(id < v_, "element id " + std::to_string(id) +
+                              " out of range (v = " + std::to_string(v_) +
+                              ")");
+  if (const Element* hit = find_cached(id)) {
+    ++stats_.hits;
+    return *hit;
+  }
+  ++stats_.misses;
+  const std::string key = encode_u64_key(id);
+  const Element* found = nullptr;
+  for (const auto& path : state_paths_) {
+    for (const auto& rec : cluster_.dfs().open(path)->records) {
+      if (rec.key != key) continue;
+      found = &cache_.emplace(id, decode_element(rec.value)).first->second;
+      break;
+    }
+    if (found != nullptr) break;
+  }
+  PAIRMR_CHECK(found != nullptr,
+               "element " + std::to_string(id) +
+                   " missing from persisted session state");
+  return *found;
+}
+
+std::vector<ResultEntry> PairwiseSession::top_k(ElementId id,
+                                                std::size_t k) {
+  PAIRMR_REQUIRE(options_.score != nullptr,
+                 "PairwiseSession::top_k needs SessionOptions::score to "
+                 "rank results (e.g. workloads::decode_result for the "
+                 "8-byte double kernels); query() works without one");
+  const Element& e = query(id);
+  std::vector<std::pair<double, const ResultEntry*>> scored;
+  scored.reserve(e.results.size());
+  for (const ResultEntry& r : e.results) {
+    scored.emplace_back(options_.score(r.result), &r);
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second->other < b.second->other;
+            });
+  if (scored.size() > k) scored.resize(k);
+  std::vector<ResultEntry> out;
+  out.reserve(scored.size());
+  for (const auto& [score, entry] : scored) out.push_back(*entry);
+  return out;
+}
+
+}  // namespace pairmr

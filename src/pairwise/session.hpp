@@ -1,0 +1,161 @@
+// PairwiseSession — long-lived online/incremental all-pairs serving
+// (DESIGN.md §16).
+//
+// A session turns the batch pipeline into a serving loop:
+//
+//   submit(dataset)  — one batch all-pairs run (the configured scheme
+//                      family), persisting per-element aggregates under
+//                      the session work dir;
+//   update(delta)    — a RunMode::kDelta plan evaluating only the
+//                      base_v×k cross pairs plus the C(k,2) intra-delta
+//                      triangle, then one merge job folding the delta
+//                      intermediates into the persisted aggregates;
+//   query / top_k    — served from an in-memory cache over the
+//                      persisted state, invalidated per-element on
+//                      update.
+//
+// Cost: an update of k onto v pays v·k + C(k,2) evaluations instead of
+// the from-scratch C(v+k,2); cumulatively a session pays exactly the
+// batch cost of its final union, C(v_final,2) — no pair is ever
+// evaluated twice (merge_copies throws on duplicate partners).
+//
+// State identity: the merge job is IdentityMapper + AggregateReducer —
+// the exact Job 2 a batch run executes — with the same reduce-task
+// count and default hash partitioner, and merge_copies is
+// deterministic-by-value (results sorted by partner id). The session's
+// state files are therefore byte-identical, part file by part file, to
+// a from-scratch batch run over the union — the differential oracle in
+// tests/pairwise/churn_equivalence_test.cpp holds this across schemes ×
+// backends × chaos × spill budgets.
+//
+// Every run shares one mr::backend::BackendSession, so on the fork
+// backend consecutive updates reuse the persistent worker pool instead
+// of re-forking per call.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "mr/backend/session.hpp"
+#include "mr/cluster.hpp"
+#include "pairwise/element.hpp"
+#include "pairwise/planner.hpp"
+#include "pairwise/runner.hpp"
+
+namespace pairmr {
+
+// Decodes one stored result's bytes into a ranking score (top_k only);
+// e.g. workloads::decode_result for the 8-byte double kernels.
+using ScoreFn = std::function<double(std::string_view)>;
+
+struct SessionOptions {
+  // DFS directory owning all session state: input payload files under
+  // <work_dir>/input, per-epoch run scratch and the persisted
+  // aggregates under <work_dir>/epoch-<e>.
+  std::string work_dir = "/session";
+  // Scheme family of the initial batch run (and of rebuilds). Broadcast
+  // uses the §5.1 one-job driver; the others run two-job.
+  SchemeKind batch_scheme = SchemeKind::kBlock;
+  std::uint64_t block_h = 0;          // block only; 0 = auto (>= n tasks)
+  std::uint64_t broadcast_tasks = 0;  // broadcast only; 0 = one per node
+  PlaneConstruction plane = PlaneConstruction::kTheorem2Prime;
+  // Engine knobs applied to every run the session executes. work_dir,
+  // run_aggregation, cleanup_intermediate and distribute_partitioner
+  // are owned by the session (the ctor rejects a custom partitioner —
+  // the delta scheme's task space is synthesized).
+  PairwiseOptions run;
+  // Scoring hook for top_k (query works without one).
+  ScoreFn score;
+};
+
+struct SessionCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t invalidated = 0;
+};
+
+class PairwiseSession {
+ public:
+  // The cluster is borrowed and must outlive the session. The job must
+  // have no finalize hook: incremental merging re-aggregates an element
+  // across epochs, so a finalize would run once per epoch instead of
+  // once per element — post-process downstream of query()/top_k().
+  PairwiseSession(mr::Cluster& cluster, PairwiseJob job,
+                  SessionOptions options = {});
+
+  // Initial batch all-pairs over `payloads` (dense ids 0..v-1). Must be
+  // called exactly once, before any update/query. Returns the batch
+  // run's report.
+  RunReport submit(const std::vector<std::string>& payloads);
+
+  // Incremental update: k new elements (ids v..v+k-1) enter the set.
+  // Runs the delta plan, merges into the persisted aggregates, and
+  // invalidates exactly the cache entries whose aggregates changed.
+  // On failure the persisted state is untouched (the merge lands in a
+  // fresh epoch directory; the state pointer flips only on success) —
+  // the session keeps serving pre-update data. The report carries
+  // pairs_delta/pairs_reused and, in merge_jobs, the state merge.
+  RunReport update(const std::vector<std::string>& delta_payloads);
+
+  // Serve one element's aggregate (payload + all its pair results) from
+  // the cache, faulting it in from the persisted state on a miss.
+  const Element& query(ElementId id);
+
+  // The k best-scoring partners of `id` under options.score, ties
+  // broken by ascending partner id. Requires a score hook.
+  std::vector<ResultEntry> top_k(ElementId id, std::size_t k);
+
+  std::uint64_t num_elements() const { return v_; }
+  // Completed update epochs (0 right after submit).
+  std::uint64_t epoch() const { return epoch_; }
+  // Directory of the persisted per-element aggregates (Figure 2 layout,
+  // one part-r-NNNNN per reduce task).
+  const std::string& state_dir() const { return state_dir_; }
+  const std::vector<std::string>& state_paths() const {
+    return state_paths_;
+  }
+  // Every payload file submitted so far (base + deltas) — the input a
+  // from-scratch batch run over the union would take.
+  const std::vector<std::string>& input_paths() const {
+    return input_paths_;
+  }
+  // Kernel evaluations across submit and every update. Equals a batch
+  // run's C(v,2) for the current v: the delta plans tile exactly-once.
+  std::uint64_t cumulative_evaluations() const { return evaluations_; }
+  const SessionCacheStats& cache_stats() const { return stats_; }
+
+  // The scheme the session family/knobs produce for a v-element batch
+  // run — public so differential tests can build from-scratch
+  // references with the identical construction. Broadcast is not a
+  // two-job scheme here; batch runs use RunMode::kBroadcast instead.
+  static std::shared_ptr<DistributionScheme> batch_scheme(
+      SchemeKind kind, std::uint64_t v, std::uint64_t num_nodes,
+      std::uint64_t block_h, PlaneConstruction plane);
+
+ private:
+  PairwiseOptions epoch_options(std::uint64_t epoch) const;
+  const Element* find_cached(ElementId id);
+
+  mr::Cluster& cluster_;
+  PairwiseJob job_;
+  SessionOptions options_;
+  PairwiseRunner runner_;
+  mr::backend::BackendSession backend_;
+
+  std::uint64_t v_ = 0;      // elements covered by the persisted state
+  std::uint64_t epoch_ = 0;  // completed updates
+  std::vector<std::string> input_paths_;
+  std::vector<std::string> state_paths_;
+  std::string state_dir_;
+  std::uint64_t evaluations_ = 0;
+
+  std::unordered_map<ElementId, Element> cache_;
+  SessionCacheStats stats_;
+};
+
+}  // namespace pairmr

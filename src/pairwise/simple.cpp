@@ -9,6 +9,7 @@
 #include "pairwise/dataset.hpp"
 #include "pairwise/design_scheme.hpp"
 #include "pairwise/quorum_scheme.hpp"
+#include "pairwise/runner.hpp"
 
 namespace pairmr {
 
@@ -21,13 +22,15 @@ std::vector<Element> compute_all_pairs(
   mr::Cluster cluster(options.cluster);
   const auto inputs = write_dataset(cluster, "/dataset", payloads);
 
-  std::unique_ptr<DistributionScheme> scheme;
+  RunSpec spec;
+  spec.input_paths = inputs;
+  spec.job = job;
   switch (options.scheme) {
     case SchemeKind::kBroadcast: {
       const std::uint64_t p = options.broadcast_tasks == 0
                                   ? cluster.num_nodes()
                                   : options.broadcast_tasks;
-      scheme = std::make_unique<BroadcastScheme>(v, p);
+      spec.scheme = std::make_shared<BroadcastScheme>(v, p);
       break;
     }
     case SchemeKind::kBlock: {
@@ -38,20 +41,20 @@ std::vector<Element> compute_all_pairs(
         h = 1;
         while (triangular(h) < cluster.num_nodes()) ++h;
       }
-      scheme = std::make_unique<BlockScheme>(v, std::min<std::uint64_t>(h, v));
+      spec.scheme =
+          std::make_shared<BlockScheme>(v, std::min<std::uint64_t>(h, v));
       break;
     }
     case SchemeKind::kQuorum:
-      scheme = std::make_unique<QuorumScheme>(v);
+      spec.scheme = std::make_shared<QuorumScheme>(v);
       break;
     case SchemeKind::kDesign:
-      scheme = std::make_unique<DesignScheme>(v, options.plane);
+      spec.scheme = std::make_shared<DesignScheme>(v, options.plane);
       break;
   }
 
-  const PairwiseRunStats stats =
-      run_pairwise(cluster, inputs, *scheme, job, PairwiseOptions{});
-  return read_elements(cluster, stats.output_dir);
+  const RunReport report = PairwiseRunner(cluster).run(spec);
+  return read_elements(cluster, report.output_dir);
 }
 
 }  // namespace pairmr

@@ -1,6 +1,6 @@
 // One-call convenience API: evaluate a function on all pairs of an
 // in-memory dataset using an ephemeral simulated cluster. This is the
-// five-line quickstart path; production users drive run_pairwise with
+// five-line quickstart path; production users drive PairwiseRunner with
 // their own Cluster and scheme.
 #pragma once
 

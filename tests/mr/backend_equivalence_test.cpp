@@ -315,7 +315,7 @@ Observation execute_pairwise(BackendKind backend,
   RunSpec spec;
   spec.input_paths = inputs;
   spec.job = test_job();
-  spec.scheme = scheme.get();
+  spec.scheme = borrow_scheme(*scheme);
   spec.options.fault_plan = plan;
   spec.options.memory_budget = budget;
   spec.options.backend = backend;

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "../support/run_pairwise.hpp"
+
 #include <set>
 
 #include "common/check.hpp"
@@ -94,7 +96,7 @@ TEST(BipartiteSchemeTest, PipelineEndToEnd) {
 
   PairwiseJob job;
   job.compute = workloads::inner_product_kernel();
-  const PairwiseRunStats stats = run_pairwise(cluster, inputs, scheme, job);
+  const RunReport stats = pairmr::testing::run_two_job(cluster, inputs, scheme, job);
   EXPECT_EQ(stats.evaluations, va * vb);
 
   const auto elements = read_elements(cluster, stats.output_dir);

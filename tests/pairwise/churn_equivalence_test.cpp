@@ -1,0 +1,164 @@
+// The session differential oracle (DESIGN.md §16): a PairwiseSession
+// absorbing churn batches of k ∈ {1, 10, 100} must hold its persisted
+// state byte-identical — part file by part file — to a from-scratch
+// batch run over the union, across every scheme family × fault-free and
+// chaos. The backend.*, shmplane.* and spill.* ctest suites re-run this
+// binary under the fork backend, the shared-memory shuffle plane and a
+// 1 KiB spill budget, completing the ISSUE's scheme × backend × chaos ×
+// budget matrix. Each update must also tile exactly: pairs_delta +
+// pairs_reused == C(v+k, 2), cumulatively C(v_final, 2) evaluations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "common/intmath.hpp"
+#include "mr/cluster.hpp"
+#include "mr/fault.hpp"
+#include "pairwise/dataset.hpp"
+#include "pairwise/runner.hpp"
+#include "pairwise/session.hpp"
+#include "workloads/kernels.hpp"
+
+namespace pairmr {
+namespace {
+
+using mr::FaultPlan;
+using mr::TaskKind;
+
+// Symmetric, id- and payload-sensitive kernel: result bytes pin down
+// exactly which pair was evaluated, so any mis-tiled or re-evaluated
+// pair breaks byte identity.
+PairwiseJob churn_job() {
+  PairwiseJob job;
+  job.compute = [](const Element& a, const Element& b) {
+    const double la = static_cast<double>(a.payload.size());
+    const double lb = static_cast<double>(b.payload.size());
+    return workloads::encode_result(
+        std::abs(la - lb) + 0.001 * static_cast<double>(a.id + b.id));
+  };
+  return job;
+}
+
+// Deterministic payload for element id — slicing one id space keeps the
+// session inputs and the from-scratch union inputs trivially equal.
+std::string payload_for(std::uint64_t id) {
+  return std::string(1 + (id * 7) % 11, static_cast<char>('a' + id % 26));
+}
+
+std::vector<std::string> payload_range(std::uint64_t first,
+                                       std::uint64_t count) {
+  std::vector<std::string> payloads;
+  payloads.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    payloads.push_back(payload_for(first + i));
+  }
+  return payloads;
+}
+
+// The acceptance-criteria chaos used by fault_equivalence_test.cpp.
+FaultPlan make_chaos_plan(std::uint64_t seed) {
+  FaultPlan plan(seed);
+  plan.with_task_kill_rate(0.25, 2)
+      .with_fetch_drop_rate(0.2)
+      .with_straggler_rate(0.2)
+      .kill_task(TaskKind::kMap, 0)
+      .kill_task(TaskKind::kReduce, 0)
+      .fail_node(1)
+      .drop_fetch(/*reduce_task=*/0, /*map_task=*/0)
+      .mark_straggler(TaskKind::kMap, 1)
+      .mark_straggler(TaskKind::kReduce, 1);
+  return plan;
+}
+
+// Relative part-file name → records, the byte-level unit of comparison.
+std::vector<std::pair<std::string, std::vector<mr::Record>>> snapshot(
+    const mr::Cluster& cluster, const std::string& dir) {
+  std::vector<std::pair<std::string, std::vector<mr::Record>>> out;
+  for (const std::string& path : cluster.dfs().list(dir)) {
+    out.emplace_back(path.substr(dir.size()),
+                     cluster.dfs().open(path)->records);
+  }
+  return out;
+}
+
+// From-scratch batch over `v` elements with the construction the
+// session itself uses (PairwiseSession::batch_scheme is public exactly
+// for this).
+RunReport run_batch(mr::Cluster& cluster, SchemeKind kind, std::uint64_t v) {
+  RunSpec spec;
+  spec.input_paths = write_dataset(cluster, "/batch", payload_range(0, v));
+  spec.job = churn_job();
+  if (kind == SchemeKind::kBroadcast) {
+    spec.mode = RunMode::kBroadcast;
+    spec.broadcast = BroadcastTarget{.v = v, .num_tasks = cluster.num_nodes()};
+  } else {
+    spec.scheme = PairwiseSession::batch_scheme(
+        kind, v, cluster.num_nodes(), 0, PlaneConstruction::kTheorem2Prime);
+  }
+  return PairwiseRunner(cluster).run(spec);
+}
+
+class ChurnEquivalence
+    : public ::testing::TestWithParam<std::tuple<SchemeKind, bool>> {};
+
+TEST_P(ChurnEquivalence, IncrementalStateMatchesFromScratchBatch) {
+  const auto& [kind, chaos] = GetParam();
+  const std::uint64_t base_v = 12;
+
+  const FaultPlan plan = make_chaos_plan(909);
+  mr::Cluster cluster({.num_nodes = 4, .worker_threads = 2});
+  SessionOptions options;
+  options.batch_scheme = kind;
+  if (chaos) options.run.fault_plan = &plan;
+  PairwiseSession session(cluster, churn_job(), options);
+  session.submit(payload_range(0, base_v));
+
+  std::uint64_t v = base_v;
+  for (const std::uint64_t k : {1ull, 10ull, 100ull}) {
+    const std::string label = std::string(to_string(kind)) +
+                              (chaos ? "/chaos" : "/fault-free") + "/k=" +
+                              std::to_string(k);
+    const RunReport report = session.update(payload_range(v, k));
+
+    // Exact tiling: the update evaluated the v·k cross pairs plus the
+    // C(k,2) intra-delta triangle and reused everything else.
+    EXPECT_EQ(report.pairs_delta, v * k + pair_count(k)) << label;
+    EXPECT_EQ(report.pairs_reused, pair_count(v)) << label;
+    EXPECT_EQ(report.pairs_delta + report.pairs_reused, pair_count(v + k))
+        << label;
+    EXPECT_EQ(report.evaluations, report.pairs_delta) << label;
+
+    v += k;
+    EXPECT_EQ(session.num_elements(), v) << label;
+    EXPECT_EQ(session.cumulative_evaluations(), pair_count(v)) << label;
+
+    // Fault-free from-scratch reference over the union on a pristine
+    // cluster: the persisted state must match byte for byte, per part
+    // file — same file names, same record order, same record bytes.
+    mr::Cluster reference({.num_nodes = 4, .worker_threads = 2});
+    const RunReport batch = run_batch(reference, kind, v);
+    EXPECT_EQ(snapshot(cluster, session.state_dir()),
+              snapshot(reference, batch.output_dir))
+        << label;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchemesTimesFaults, ChurnEquivalence,
+    ::testing::Combine(::testing::Values(SchemeKind::kBroadcast,
+                                         SchemeKind::kBlock,
+                                         SchemeKind::kDesign,
+                                         SchemeKind::kQuorum),
+                       ::testing::Bool()),
+    [](const auto& info) {
+      return std::string(to_string(std::get<0>(info.param))) +
+             (std::get<1>(info.param) ? "_chaos" : "_faultfree");
+    });
+
+}  // namespace
+}  // namespace pairmr

@@ -1,0 +1,132 @@
+// Schema and golden tests for the BENCH_churn.json document emitted by
+// bench/bench_churn: exact field set and ordering of every point, the
+// golden rendering of a hand-built point, and the passed-flag
+// aggregation (every point passed, and an empty sweep never passes).
+#include "pairwise/churn_report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "../support/mini_json.hpp"
+
+namespace pairmr {
+namespace {
+
+using minijson::JsonParser;
+using minijson::JsonValue;
+
+const std::vector<std::string> kPointKeys = {
+    "base_v",        "delta_k",         "batch_pairs",
+    "delta_pairs",   "reused_pairs",    "batch_seconds",
+    "update_seconds", "speedup",        "analytic_factor",
+    "gap_gate",      "identical",       "passed"};
+
+JsonValue parse_or_die(const std::string& json) {
+  JsonValue doc;
+  JsonParser parser(json);
+  EXPECT_TRUE(parser.parse(doc)) << json;
+  return doc;
+}
+
+ChurnPoint sample_point() {
+  ChurnPoint p;
+  p.base_v = 100;
+  p.delta_k = 10;
+  p.batch_pairs = 5995;   // C(110, 2)
+  p.delta_pairs = 1045;   // 100·10 + C(10, 2)
+  p.reused_pairs = 4950;  // C(100, 2)
+  p.batch_seconds = 2.0;
+  p.update_seconds = 0.5;
+  p.speedup = 4.0;
+  p.analytic_factor = 5.5;
+  p.gap_gate = 0.5;
+  p.identical = true;
+  p.passed = true;
+  return p;
+}
+
+TEST(ChurnSchemaTest, DocumentMatchesSchema) {
+  auto big = sample_point();
+  big.base_v = 110;
+  big.delta_k = 100;
+  const std::vector<ChurnPoint> points = {sample_point(), big};
+
+  const JsonValue doc = parse_or_die(churn_to_json(points));
+  ASSERT_EQ(doc.kind, JsonValue::kObject);
+  ASSERT_EQ(doc.object.size(), 3u);
+  EXPECT_EQ(doc.object[0].first, "bench");
+  EXPECT_EQ(doc.object[1].first, "points");
+  EXPECT_EQ(doc.object[2].first, "passed");
+
+  ASSERT_EQ(doc.object[0].second.kind, JsonValue::kString);
+  EXPECT_EQ(doc.object[0].second.str, "churn");
+  ASSERT_EQ(doc.object[2].second.kind, JsonValue::kBool);
+  EXPECT_TRUE(doc.object[2].second.boolean);
+
+  const JsonValue& array = doc.object[1].second;
+  ASSERT_EQ(array.kind, JsonValue::kArray);
+  ASSERT_EQ(array.array.size(), points.size());
+  for (std::size_t i = 0; i < array.array.size(); ++i) {
+    const JsonValue& point = array.array[i];
+    ASSERT_EQ(point.kind, JsonValue::kObject) << "point " << i;
+    ASSERT_EQ(point.object.size(), kPointKeys.size()) << "point " << i;
+    for (std::size_t k = 0; k < kPointKeys.size(); ++k) {
+      EXPECT_EQ(point.object[k].first, kPointKeys[k])
+          << "point " << i << " key " << k;
+    }
+    EXPECT_EQ(point.find("base_v")->kind, JsonValue::kNumber);
+    EXPECT_EQ(point.find("delta_k")->kind, JsonValue::kNumber);
+    EXPECT_EQ(point.find("batch_pairs")->kind, JsonValue::kNumber);
+    EXPECT_EQ(point.find("delta_pairs")->kind, JsonValue::kNumber);
+    EXPECT_EQ(point.find("reused_pairs")->kind, JsonValue::kNumber);
+    EXPECT_EQ(point.find("batch_seconds")->kind, JsonValue::kNumber);
+    EXPECT_EQ(point.find("update_seconds")->kind, JsonValue::kNumber);
+    EXPECT_EQ(point.find("speedup")->kind, JsonValue::kNumber);
+    EXPECT_EQ(point.find("analytic_factor")->kind, JsonValue::kNumber);
+    EXPECT_EQ(point.find("gap_gate")->kind, JsonValue::kNumber);
+    EXPECT_EQ(point.find("identical")->kind, JsonValue::kBool);
+    EXPECT_EQ(point.find("passed")->kind, JsonValue::kBool);
+
+    EXPECT_EQ(point.find("base_v")->number,
+              static_cast<double>(points[i].base_v));
+    EXPECT_EQ(point.find("delta_pairs")->number,
+              static_cast<double>(points[i].delta_pairs));
+    EXPECT_TRUE(point.find("identical")->boolean);
+  }
+  EXPECT_EQ(array.array[1].find("delta_k")->number, 100.0);
+}
+
+TEST(ChurnSchemaTest, GoldenRenderingOfHandBuiltPoint) {
+  const std::string expected =
+      "{\n"
+      "  \"bench\": \"churn\",\n"
+      "  \"points\": [\n"
+      "    {\"base_v\": 100, \"delta_k\": 10, \"batch_pairs\": 5995,"
+      " \"delta_pairs\": 1045, \"reused_pairs\": 4950,"
+      " \"batch_seconds\": 2, \"update_seconds\": 0.5,"
+      " \"speedup\": 4, \"analytic_factor\": 5.5, \"gap_gate\": 0.5,"
+      " \"identical\": true, \"passed\": true}\n"
+      "  ],\n"
+      "  \"passed\": true\n"
+      "}\n";
+  EXPECT_EQ(churn_to_json({sample_point()}), expected);
+}
+
+TEST(ChurnSchemaTest, PassedRequiresEveryPointAndRejectsEmptySweeps) {
+  // An empty sweep measured nothing — it must not read as a pass.
+  EXPECT_FALSE(churn_all_ok({}));
+  EXPECT_TRUE(churn_all_ok({sample_point()}));
+
+  auto failed = sample_point();
+  failed.identical = false;
+  failed.passed = false;
+  EXPECT_FALSE(churn_all_ok({sample_point(), failed}));
+  const JsonValue doc = parse_or_die(churn_to_json({sample_point(), failed}));
+  EXPECT_FALSE(doc.find("passed")->boolean);
+  EXPECT_FALSE(doc.object[1].second.array[1].find("identical")->boolean);
+}
+
+}  // namespace
+}  // namespace pairmr

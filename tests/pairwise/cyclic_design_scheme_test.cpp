@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "../support/run_pairwise.hpp"
+
 #include <set>
 
 #include "common/check.hpp"
@@ -72,7 +74,7 @@ TEST(CyclicDesignSchemeTest, PipelineEndToEnd) {
 
   PairwiseJob job;
   job.compute = workloads::edit_distance_kernel();
-  const PairwiseRunStats stats = run_pairwise(cluster, inputs, scheme, job);
+  const RunReport stats = pairmr::testing::run_two_job(cluster, inputs, scheme, job);
   EXPECT_EQ(stats.evaluations, pair_count(v));
   for (const Element& e : read_elements(cluster, stats.output_dir)) {
     EXPECT_EQ(e.results.size(), v - 1);

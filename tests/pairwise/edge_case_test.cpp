@@ -2,6 +2,8 @@
 // clusters, empty payloads, error paths, and option combinations.
 #include <gtest/gtest.h>
 
+#include "../support/run_pairwise.hpp"
+
 #include <memory>
 
 #include "common/check.hpp"
@@ -36,8 +38,8 @@ TEST(EdgeCaseTest, TwoElementsAllSchemes) {
     if (kind == 0) scheme = std::make_unique<BroadcastScheme>(2, 3);
     if (kind == 1) scheme = std::make_unique<BlockScheme>(2, 1);
     if (kind == 2) scheme = std::make_unique<DesignScheme>(2);
-    const PairwiseRunStats stats =
-        run_pairwise(cluster, inputs, *scheme, len_job());
+    const RunReport stats =
+        pairmr::testing::run_two_job(cluster, inputs, *scheme, len_job());
     EXPECT_EQ(stats.evaluations, 1u) << scheme->name();
     const auto elements = read_elements(cluster, stats.output_dir);
     ASSERT_EQ(elements.size(), 2u);
@@ -91,8 +93,8 @@ TEST(EdgeCaseTest, BlockFactorExtremes) {
     if (h == 1) {
       EXPECT_EQ(scheme.num_tasks(), 1u);
     }
-    const PairwiseRunStats stats =
-        run_pairwise(cluster, inputs, scheme, len_job());
+    const RunReport stats =
+        pairmr::testing::run_two_job(cluster, inputs, scheme, len_job());
     EXPECT_EQ(stats.evaluations, 10u) << "h=" << h;
     if (h == 1) {
       // One working set containing the whole dataset, no replication.
@@ -122,8 +124,8 @@ TEST(EdgeCaseTest, DesignPlaneOrderAtBoundaries) {
   mr::Cluster cluster({.num_nodes = 2, .worker_threads = 2});
   const auto inputs = write_dataset(cluster, "/data", payloads);
   const DesignScheme scheme(7);
-  const PairwiseRunStats stats =
-      run_pairwise(cluster, inputs, scheme, len_job());
+  const RunReport stats =
+      pairmr::testing::run_two_job(cluster, inputs, scheme, len_job());
   EXPECT_EQ(stats.evaluations, 21u);
   for (const auto& e : read_elements(cluster, stats.output_dir)) {
     EXPECT_EQ(e.results.size(), 6u);
@@ -135,8 +137,8 @@ TEST(EdgeCaseTest, SingleNodeCluster) {
   mr::Cluster cluster({.num_nodes = 1, .worker_threads = 1});
   const auto inputs = write_dataset(cluster, "/data", payloads);
   const BlockScheme scheme(4, 2);
-  const PairwiseRunStats stats =
-      run_pairwise(cluster, inputs, scheme, len_job());
+  const RunReport stats =
+      pairmr::testing::run_two_job(cluster, inputs, scheme, len_job());
   EXPECT_EQ(stats.evaluations, 6u);
   // Everything local: no remote shuffle possible on one node.
   EXPECT_EQ(stats.shuffle_remote_bytes, 0u);
@@ -147,8 +149,8 @@ TEST(EdgeCaseTest, EmptyPayloadsAreLegal) {
   mr::Cluster cluster({.num_nodes = 2, .worker_threads = 1});
   const auto inputs = write_dataset(cluster, "/data", payloads);
   const DesignScheme scheme(3);
-  const PairwiseRunStats stats =
-      run_pairwise(cluster, inputs, scheme, len_job());
+  const RunReport stats =
+      pairmr::testing::run_two_job(cluster, inputs, scheme, len_job());
   const auto elements = read_elements(cluster, stats.output_dir);
   ASSERT_EQ(elements.size(), 3u);
   for (const auto& e : elements) {
@@ -164,7 +166,7 @@ TEST(EdgeCaseTest, BroadcastOneJobRejectsNonDenseIds) {
                            {{encode_u64_key(0), "a"},
                             {encode_u64_key(5), "b"}});
   EXPECT_THROW(
-      run_pairwise_broadcast(cluster, {"/data/bad"}, 2, 2, len_job()),
+      pairmr::testing::run_broadcast(cluster, {"/data/bad"}, 2, 2, len_job()),
       PreconditionError);
 }
 
@@ -177,7 +179,7 @@ TEST(EdgeCaseTest, PruneEverythingStillKeepsElements) {
     return false;  // drop every result
   };
   const BlockScheme scheme(3, 2);
-  const PairwiseRunStats stats = run_pairwise(cluster, inputs, scheme, job);
+  const RunReport stats = pairmr::testing::run_two_job(cluster, inputs, scheme, job);
   EXPECT_EQ(stats.results_kept, 0u);
   const auto elements = read_elements(cluster, stats.output_dir);
   ASSERT_EQ(elements.size(), 3u);  // elements survive with empty results
@@ -194,8 +196,8 @@ TEST(EdgeCaseTest, AggregationCombinerPreservesResults) {
     const BroadcastScheme scheme(6, 4);
     PairwiseOptions options;
     options.aggregation_combiner = combiner;
-    const PairwiseRunStats stats =
-        run_pairwise(cluster, inputs, scheme, len_job(), options);
+    const RunReport stats =
+        pairmr::testing::run_two_job(cluster, inputs, scheme, len_job(), options);
     outputs.push_back(read_elements(cluster, stats.output_dir));
   }
   EXPECT_EQ(outputs[0], outputs[1]);
@@ -207,10 +209,10 @@ TEST(EdgeCaseTest, WorkDirIsReusableAcrossRuns) {
   const auto inputs = write_dataset(cluster, "/data", payloads);
   const BlockScheme scheme(3, 2);
   // Same work_dir twice: the pipeline must clear stale outputs itself.
-  const PairwiseRunStats first =
-      run_pairwise(cluster, inputs, scheme, len_job());
-  const PairwiseRunStats second =
-      run_pairwise(cluster, inputs, scheme, len_job());
+  const RunReport first =
+      pairmr::testing::run_two_job(cluster, inputs, scheme, len_job());
+  const RunReport second =
+      pairmr::testing::run_two_job(cluster, inputs, scheme, len_job());
   EXPECT_EQ(read_elements(cluster, first.output_dir),
             read_elements(cluster, second.output_dir));
 }
@@ -227,7 +229,7 @@ TEST(EdgeCaseTest, NonSymmetricWithPruning) {
   };
   job.keep = workloads::keep_above(1.5);
   const BlockScheme scheme(4, 2);
-  const PairwiseRunStats stats = run_pairwise(cluster, inputs, scheme, job);
+  const RunReport stats = pairmr::testing::run_two_job(cluster, inputs, scheme, job);
   EXPECT_EQ(stats.evaluations, 12u);  // both directions of 6 pairs
   for (const Element& e : read_elements(cluster, stats.output_dir)) {
     // Element 0 ("a", length 1) keeps nothing; others keep all 3.
@@ -260,7 +262,7 @@ TEST(EdgeCaseTest, MissingPairMemberIsDetected) {
   mr::Cluster cluster({.num_nodes = 2, .worker_threads = 1});
   const auto inputs = write_dataset(cluster, "/data", {"a", "bb", "ccc"});
   const BrokenScheme scheme;
-  EXPECT_THROW(run_pairwise(cluster, inputs, scheme, len_job()),
+  EXPECT_THROW(pairmr::testing::run_two_job(cluster, inputs, scheme, len_job()),
                InternalError);
 }
 

@@ -7,6 +7,8 @@
 // aborted and restarted at any time").
 #include <gtest/gtest.h>
 
+#include "../support/run_pairwise.hpp"
+
 #include <cmath>
 #include <memory>
 #include <string>
@@ -114,21 +116,21 @@ TEST_P(FaultEquivalence, FaultedPipelineMatchesFaultFreeReference) {
   PairwiseOptions options;
   options.fault_plan = &plan;
 
-  const PairwiseRunStats stats =
-      run_pairwise(cluster, inputs, *scheme, test_job(), options);
+  const RunReport stats =
+      pairmr::testing::run_two_job(cluster, inputs, *scheme, test_job(), options);
 
   expect_identical_elements(read_elements(cluster, stats.output_dir),
                             reference, scheme_case.label);
 
   // The injected chaos actually happened and is visible in JobResult.
   const std::uint64_t retried =
-      recovery_counters(stats.distribute_job, mr::counter::kTasksRetried) +
-      recovery_counters(stats.aggregate_job, mr::counter::kTasksRetried);
+      recovery_counters(stats.compute_jobs.front(), mr::counter::kTasksRetried) +
+      recovery_counters(stats.merge_jobs.front(), mr::counter::kTasksRetried);
   EXPECT_GT(retried, 0u);
   const std::uint64_t speculative =
-      recovery_counters(stats.distribute_job,
+      recovery_counters(stats.compute_jobs.front(),
                         mr::counter::kTasksSpeculative) +
-      recovery_counters(stats.aggregate_job, mr::counter::kTasksSpeculative);
+      recovery_counters(stats.merge_jobs.front(), mr::counter::kTasksSpeculative);
   EXPECT_GT(speculative, 0u);
   EXPECT_FALSE(cluster.is_alive(1));  // the node loss stuck
 
@@ -136,7 +138,7 @@ TEST_P(FaultEquivalence, FaultedPipelineMatchesFaultFreeReference) {
   // logical shuffle + cache broadcast + attributed recovery overhead.
   std::uint64_t accounted = 0;
   for (const mr::JobResult* job :
-       {&stats.distribute_job, &stats.aggregate_job}) {
+       {&stats.compute_jobs.front(), &stats.merge_jobs.front()}) {
     accounted += job->counter(mr::counter::kShuffleBytesRemote) +
                  job->counter(mr::counter::kCacheBroadcastBytes) +
                  job->counter(mr::counter::kRecoveryBytes);
@@ -183,12 +185,12 @@ TEST(FaultEquivalenceTest, BroadcastOneJobVariantUnderFaults) {
   PairwiseOptions options;
   options.fault_plan = &plan;
 
-  const PairwiseRunStats stats = run_pairwise_broadcast(
+  const RunReport stats = pairmr::testing::run_broadcast(
       cluster, inputs, v, /*num_tasks=*/6, test_job(), options);
 
   expect_identical_elements(read_elements(cluster, stats.output_dir),
                             reference, "broadcast-one-job");
-  EXPECT_GT(stats.distribute_job.counter(mr::counter::kTasksRetried), 0u);
+  EXPECT_GT(stats.compute_jobs.front().counter(mr::counter::kTasksRetried), 0u);
   EXPECT_FALSE(cluster.is_alive(1));
 }
 
@@ -211,14 +213,14 @@ TEST(FaultEquivalenceTest, RoundBasedExecutionUnderFaults) {
   PairwiseOptions options;
   options.fault_plan = &plan;
 
-  const HierarchicalRunStats stats =
-      run_pairwise_rounds(cluster, inputs, scheme, rounds, test_job(),
+  const RunReport stats =
+      pairmr::testing::run_rounds(cluster, inputs, scheme, rounds, test_job(),
                           options);
 
   expect_identical_elements(read_elements(cluster, stats.output_dir),
                             reference, "rounds");
   std::uint64_t retried = 0;
-  for (const auto& job : stats.round_jobs) {
+  for (const auto& job : stats.compute_jobs) {
     retried += job.counter(mr::counter::kTasksRetried);
   }
   for (const auto& job : stats.merge_jobs) {

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "../support/run_pairwise.hpp"
+
 #include <set>
 
 #include "common/check.hpp"
@@ -86,8 +88,8 @@ TEST(HierarchicalRunTest, MatchesFlatBlockResults) {
   mr::Cluster flat_cluster({.num_nodes = 3, .worker_threads = 2});
   const auto flat_inputs = write_dataset(flat_cluster, "/data", payloads);
   const BlockScheme flat(v, 6);
-  const PairwiseRunStats flat_stats =
-      run_pairwise(flat_cluster, flat_inputs, flat, id_sum_job());
+  const RunReport flat_stats =
+      pairmr::testing::run_two_job(flat_cluster, flat_inputs, flat, id_sum_job());
   const auto flat_elements =
       read_elements(flat_cluster, flat_stats.output_dir);
 
@@ -96,8 +98,8 @@ TEST(HierarchicalRunTest, MatchesFlatBlockResults) {
   const auto h_inputs = write_dataset(h_cluster, "/data", payloads);
   const BlockScheme fine(v, 6);
   const auto rounds = coarse_block_rounds(fine, 2);
-  const HierarchicalRunStats h_stats =
-      run_pairwise_rounds(h_cluster, h_inputs, fine, rounds, id_sum_job());
+  const RunReport h_stats =
+      pairmr::testing::run_rounds(h_cluster, h_inputs, fine, rounds, id_sum_job());
   const auto h_elements = read_elements(h_cluster, h_stats.output_dir);
 
   EXPECT_EQ(h_stats.evaluations, flat_stats.evaluations);
@@ -113,17 +115,17 @@ TEST(HierarchicalRunTest, PeakIntermediateBelowFlat) {
   mr::Cluster flat_cluster({.num_nodes = 2, .worker_threads = 2});
   const auto flat_inputs = write_dataset(flat_cluster, "/data", payloads);
   const BlockScheme flat(v, 6);
-  const PairwiseRunStats flat_stats =
-      run_pairwise(flat_cluster, flat_inputs, flat, id_sum_job());
+  const RunReport flat_stats =
+      pairmr::testing::run_two_job(flat_cluster, flat_inputs, flat, id_sum_job());
 
   mr::Cluster h_cluster({.num_nodes = 2, .worker_threads = 2});
   const auto h_inputs = write_dataset(h_cluster, "/data", payloads);
   const BlockScheme fine(v, 6);
-  const HierarchicalRunStats h_stats = run_pairwise_rounds(
+  const RunReport h_stats = pairmr::testing::run_rounds(
       h_cluster, h_inputs, fine, coarse_block_rounds(fine, 3), id_sum_job());
 
-  EXPECT_LT(h_stats.peak_intermediate_bytes, flat_stats.intermediate_bytes);
-  EXPECT_GT(h_stats.peak_intermediate_bytes, 0u);
+  EXPECT_LT(h_stats.intermediate_bytes, flat_stats.intermediate_bytes);
+  EXPECT_GT(h_stats.intermediate_bytes, 0u);
 }
 
 TEST(HierarchicalRunTest, DesignChunksMatchFlatDesign) {
@@ -133,15 +135,15 @@ TEST(HierarchicalRunTest, DesignChunksMatchFlatDesign) {
   mr::Cluster flat_cluster({.num_nodes = 2, .worker_threads = 1});
   const auto flat_inputs = write_dataset(flat_cluster, "/data", payloads);
   const DesignScheme flat(v);
-  const PairwiseRunStats flat_stats =
-      run_pairwise(flat_cluster, flat_inputs, flat, id_sum_job());
+  const RunReport flat_stats =
+      pairmr::testing::run_two_job(flat_cluster, flat_inputs, flat, id_sum_job());
   const auto flat_elements =
       read_elements(flat_cluster, flat_stats.output_dir);
 
   mr::Cluster h_cluster({.num_nodes = 2, .worker_threads = 1});
   const auto h_inputs = write_dataset(h_cluster, "/data", payloads);
   const DesignScheme scheme(v);
-  const HierarchicalRunStats h_stats = run_pairwise_rounds(
+  const RunReport h_stats = pairmr::testing::run_rounds(
       h_cluster, h_inputs, scheme, chunked_rounds(scheme, 3), id_sum_job());
 
   EXPECT_EQ(read_elements(h_cluster, h_stats.output_dir), flat_elements);
@@ -156,7 +158,7 @@ TEST(HierarchicalRunTest, SingleRoundEqualsFlat) {
 
   std::vector<TaskId> all_tasks;
   for (TaskId t = 0; t < scheme.num_tasks(); ++t) all_tasks.push_back(t);
-  const HierarchicalRunStats stats = run_pairwise_rounds(
+  const RunReport stats = pairmr::testing::run_rounds(
       cluster, inputs, scheme, {all_tasks}, id_sum_job());
   EXPECT_EQ(stats.evaluations, pair_count(v));
   EXPECT_EQ(read_elements(cluster, stats.output_dir).size(), v);
@@ -166,7 +168,7 @@ TEST(HierarchicalRunTest, EmptyRoundListThrows) {
   mr::Cluster cluster({.num_nodes = 1});
   const BlockScheme scheme(4, 2);
   EXPECT_THROW(
-      run_pairwise_rounds(cluster, {"/x"}, scheme, {}, id_sum_job()),
+      pairmr::testing::run_rounds(cluster, {"/x"}, scheme, {}, id_sum_job()),
       PreconditionError);
 }
 

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "../support/run_pairwise.hpp"
+
 #include <cmath>
 #include <map>
 #include <memory>
@@ -98,8 +100,8 @@ TEST_P(PipelineSchemes, MatchesSerialReference) {
   const auto inputs = write_dataset(cluster, "/data", payloads);
   const auto scheme = GetParam().make(v);
 
-  const PairwiseRunStats stats =
-      run_pairwise(cluster, inputs, *scheme, ref_job());
+  const RunReport stats =
+      pairmr::testing::run_two_job(cluster, inputs, *scheme, ref_job());
 
   EXPECT_EQ(stats.evaluations, 23u * 22 / 2);
   EXPECT_EQ(stats.results_kept, stats.evaluations);
@@ -136,8 +138,8 @@ TEST(PipelineTest, MeasuredReplicationMatchesBlockPrediction) {
   const auto inputs = write_dataset(cluster, "/data", payloads);
   const BlockScheme scheme(v, h);
 
-  const PairwiseRunStats stats =
-      run_pairwise(cluster, inputs, scheme, ref_job());
+  const RunReport stats =
+      pairmr::testing::run_two_job(cluster, inputs, scheme, ref_job());
 
   // v divisible by h: every element is in exactly h working sets.
   EXPECT_DOUBLE_EQ(stats.replication_factor, static_cast<double>(h));
@@ -152,8 +154,8 @@ TEST(PipelineTest, MeasuredReplicationMatchesBroadcastPrediction) {
   const auto inputs = write_dataset(cluster, "/data", payloads);
   const BroadcastScheme scheme(v, p);
 
-  const PairwiseRunStats stats =
-      run_pairwise(cluster, inputs, scheme, ref_job());
+  const RunReport stats =
+      pairmr::testing::run_two_job(cluster, inputs, scheme, ref_job());
   EXPECT_DOUBLE_EQ(stats.replication_factor, static_cast<double>(p));
   EXPECT_EQ(stats.max_working_set_records, v);
 }
@@ -167,7 +169,7 @@ TEST(PipelineTest, PruningDropsResultsButNotElements) {
 
   PairwiseJob job = ref_job();
   job.keep = workloads::keep_below(5.0);  // drop large "distances"
-  const PairwiseRunStats stats = run_pairwise(cluster, inputs, scheme, job);
+  const RunReport stats = pairmr::testing::run_two_job(cluster, inputs, scheme, job);
 
   EXPECT_EQ(stats.evaluations, 12u * 11 / 2);
   EXPECT_LT(stats.results_kept, stats.evaluations);
@@ -199,7 +201,7 @@ TEST(PipelineTest, NonSymmetricEvaluatesBothDirections) {
     return encode_result(static_cast<double>(a.id) * 1000 +
                          static_cast<double>(b.id));
   };
-  const PairwiseRunStats stats = run_pairwise(cluster, inputs, scheme, job);
+  const RunReport stats = pairmr::testing::run_two_job(cluster, inputs, scheme, job);
   EXPECT_EQ(stats.evaluations, 2 * pair_count(v));
 
   const auto elements = read_elements(cluster, stats.output_dir);
@@ -229,7 +231,7 @@ TEST(PipelineTest, FinalizeHookRunsOncePerElement) {
     }
     e.results = {best};
   };
-  const PairwiseRunStats stats = run_pairwise(cluster, inputs, scheme, job);
+  const RunReport stats = pairmr::testing::run_two_job(cluster, inputs, scheme, job);
   for (const auto& e : read_elements(cluster, stats.output_dir)) {
     EXPECT_EQ(e.results.size(), 1u);
   }
@@ -244,8 +246,8 @@ TEST(PipelineTest, SkippingAggregationLeavesCopies) {
 
   PairwiseOptions options;
   options.run_aggregation = false;
-  const PairwiseRunStats stats =
-      run_pairwise(cluster, inputs, scheme, ref_job(), options);
+  const RunReport stats =
+      pairmr::testing::run_two_job(cluster, inputs, scheme, ref_job(), options);
   EXPECT_FALSE(stats.aggregated);
   // Without Job 2 the output holds one record per element *copy*.
   const auto records = cluster.gather_records(stats.output_dir);
@@ -261,8 +263,8 @@ TEST(PipelineTest, IntermediateCleanupRemovesJob1Output) {
 
   PairwiseOptions options;
   options.work_dir = "/job";
-  const PairwiseRunStats stats =
-      run_pairwise(cluster, inputs, scheme, ref_job(), options);
+  const RunReport stats =
+      pairmr::testing::run_two_job(cluster, inputs, scheme, ref_job(), options);
   EXPECT_GT(stats.intermediate_bytes, 0u);
   EXPECT_TRUE(cluster.dfs().list("/job/intermediate").empty());
   EXPECT_FALSE(cluster.dfs().list("/job/output").empty());
@@ -274,8 +276,8 @@ TEST(BroadcastOneJobTest, MatchesSerialReference) {
   mr::Cluster cluster({.num_nodes = 3, .worker_threads = 2});
   const auto inputs = write_dataset(cluster, "/data", payloads);
 
-  const PairwiseRunStats stats =
-      run_pairwise_broadcast(cluster, inputs, v, /*num_tasks=*/6, ref_job());
+  const RunReport stats =
+      pairmr::testing::run_broadcast(cluster, inputs, v, /*num_tasks=*/6, ref_job());
   EXPECT_EQ(stats.evaluations, 19u * 18 / 2);
   expect_matches_reference(read_elements(cluster, stats.output_dir),
                            payloads);
@@ -291,7 +293,7 @@ TEST(BroadcastOneJobTest, ShipsDatasetOnceNotPerTask) {
   std::uint64_t dataset_bytes = 0;
   for (const auto& p : inputs) dataset_bytes += cluster.dfs().open(p)->bytes;
 
-  const PairwiseRunStats stats = run_pairwise_broadcast(
+  const RunReport stats = pairmr::testing::run_broadcast(
       cluster, inputs, v, /*num_tasks=*/12, ref_job());
   // Broadcast to the two non-home replicas of each input file — bounded
   // by (n-1) dataset copies, far below p copies.
@@ -307,8 +309,8 @@ TEST(BroadcastOneJobTest, PruningWorks) {
 
   PairwiseJob job = ref_job();
   job.keep = workloads::keep_below(4.0);
-  const PairwiseRunStats stats =
-      run_pairwise_broadcast(cluster, inputs, v, 4, job);
+  const RunReport stats =
+      pairmr::testing::run_broadcast(cluster, inputs, v, 4, job);
   EXPECT_LT(stats.results_kept, stats.evaluations);
   for (const auto& e : read_elements(cluster, stats.output_dir)) {
     for (const auto& r : e.results) {
@@ -320,9 +322,110 @@ TEST(BroadcastOneJobTest, PruningWorks) {
 TEST(PipelineTest, MissingComputeThrows) {
   mr::Cluster cluster({.num_nodes = 1});
   const BlockScheme scheme(4, 2);
-  EXPECT_THROW(run_pairwise(cluster, {"/x"}, scheme, PairwiseJob{}),
+  EXPECT_THROW(pairmr::testing::run_two_job(cluster, {"/x"}, scheme, PairwiseJob{}),
                PreconditionError);
 }
+
+
+// --- Deprecated-shim parity ---------------------------------------------
+//
+// The pipeline.hpp free functions are [[deprecated]] wrappers over
+// PairwiseRunner. These are the ONLY in-repo callers left; each case
+// proves a wrapper's output is byte-identical to driving the runner
+// directly (same DFS files, same records, same counter totals), so the
+// shims can delegate forever without their own test surface.
+
+// Relative file name -> records, the full bytes of an output directory.
+std::vector<std::pair<std::string, std::vector<mr::Record>>> snapshot(
+    const mr::Cluster& cluster, const std::string& dir) {
+  std::vector<std::pair<std::string, std::vector<mr::Record>>> snap;
+  for (const auto& path : cluster.dfs().list(dir)) {
+    snap.emplace_back(path.substr(dir.size()),
+                      cluster.dfs().open(path)->records);
+  }
+  return snap;
+}
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+TEST(DeprecatedShimTest, RunPairwiseDelegatesToRunner) {
+  const std::uint64_t v = 14;
+  const auto payloads = make_payloads(v);
+  const BlockScheme scheme(v, 3);
+
+  mr::Cluster legacy_cluster({.num_nodes = 3, .worker_threads = 2});
+  const auto legacy_inputs =
+      write_dataset(legacy_cluster, "/data", payloads);
+  const PairwiseRunStats legacy =
+      run_pairwise(legacy_cluster, legacy_inputs, scheme, ref_job());
+
+  mr::Cluster cluster({.num_nodes = 3, .worker_threads = 2});
+  const auto inputs = write_dataset(cluster, "/data", payloads);
+  const RunReport direct =
+      pairmr::testing::run_two_job(cluster, inputs, scheme, ref_job());
+
+  EXPECT_EQ(legacy.evaluations, direct.evaluations);
+  EXPECT_EQ(legacy.distribute_job.counters,
+            direct.compute_jobs.front().counters);
+  EXPECT_EQ(legacy.aggregate_job.counters,
+            direct.merge_jobs.front().counters);
+  EXPECT_EQ(legacy.output_dir, direct.output_dir);
+  EXPECT_EQ(snapshot(legacy_cluster, legacy.output_dir),
+            snapshot(cluster, direct.output_dir));
+}
+
+TEST(DeprecatedShimTest, RunPairwiseBroadcastDelegatesToRunner) {
+  const std::uint64_t v = 13;
+  const auto payloads = make_payloads(v);
+
+  mr::Cluster legacy_cluster({.num_nodes = 3, .worker_threads = 2});
+  const auto legacy_inputs =
+      write_dataset(legacy_cluster, "/data", payloads);
+  const PairwiseRunStats legacy = run_pairwise_broadcast(
+      legacy_cluster, legacy_inputs, v, /*num_tasks=*/5, ref_job());
+
+  mr::Cluster cluster({.num_nodes = 3, .worker_threads = 2});
+  const auto inputs = write_dataset(cluster, "/data", payloads);
+  const RunReport direct = pairmr::testing::run_broadcast(
+      cluster, inputs, v, /*num_tasks=*/5, ref_job());
+
+  EXPECT_EQ(legacy.evaluations, direct.evaluations);
+  EXPECT_EQ(legacy.cache_broadcast_bytes, direct.cache_broadcast_bytes);
+  EXPECT_EQ(legacy.distribute_job.counters,
+            direct.compute_jobs.front().counters);
+  EXPECT_EQ(snapshot(legacy_cluster, legacy.output_dir),
+            snapshot(cluster, direct.output_dir));
+}
+
+TEST(DeprecatedShimTest, RunPairwiseRoundsDelegatesToRunner) {
+  const std::uint64_t v = 15;
+  const auto payloads = make_payloads(v);
+  const DesignScheme scheme(v);
+  std::vector<std::vector<TaskId>> rounds(2);
+  for (TaskId t = 0; t < scheme.num_tasks(); ++t) {
+    rounds[t % 2].push_back(t);
+  }
+
+  mr::Cluster legacy_cluster({.num_nodes = 3, .worker_threads = 2});
+  const auto legacy_inputs =
+      write_dataset(legacy_cluster, "/data", payloads);
+  const HierarchicalRunStats legacy = run_pairwise_rounds(
+      legacy_cluster, legacy_inputs, scheme, rounds, ref_job());
+
+  mr::Cluster cluster({.num_nodes = 3, .worker_threads = 2});
+  const auto inputs = write_dataset(cluster, "/data", payloads);
+  const RunReport direct = pairmr::testing::run_rounds(
+      cluster, inputs, scheme, rounds, ref_job());
+
+  EXPECT_EQ(legacy.evaluations, direct.evaluations);
+  EXPECT_EQ(legacy.round_jobs.size(), direct.compute_jobs.size());
+  EXPECT_EQ(legacy.peak_intermediate_bytes, direct.intermediate_bytes);
+  EXPECT_EQ(snapshot(legacy_cluster, legacy.output_dir),
+            snapshot(cluster, direct.output_dir));
+}
+
+#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace pairmr

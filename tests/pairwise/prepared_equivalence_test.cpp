@@ -7,6 +7,8 @@
 // driver, each fault-free and under the fault-equivalence chaos fixture.
 #include <gtest/gtest.h>
 
+#include "../support/run_pairwise.hpp"
+
 #include <functional>
 #include <memory>
 #include <string>
@@ -75,7 +77,7 @@ std::vector<KernelCase> kernel_cases(std::uint64_t v) {
   return cases;
 }
 
-using RunFn = std::function<PairwiseRunStats(
+using RunFn = std::function<RunReport(
     mr::Cluster&, const std::vector<std::string>&, const PairwiseJob&,
     const PairwiseOptions&)>;
 
@@ -83,7 +85,7 @@ using RunFn = std::function<PairwiseRunStats(
 // output files and identical counter maps for every MR job involved.
 void expect_equivalent(const RunFn& run, const KernelCase& kernel,
                        const FaultPlan* plan, const std::string& label) {
-  PairwiseRunStats stats[2];
+  RunReport stats[2];
   std::vector<mr::Record> outputs[2];
   std::vector<std::string> paths[2];
   const PairwiseJob* jobs[2] = {&kernel.plain, &kernel.prepared};
@@ -98,11 +100,18 @@ void expect_equivalent(const RunFn& run, const KernelCase& kernel,
   }
   EXPECT_EQ(paths[0], paths[1]) << label;
   EXPECT_EQ(outputs[0], outputs[1]) << label;
-  EXPECT_EQ(stats[0].distribute_job.counters,
-            stats[1].distribute_job.counters)
-      << label << " distribute counters";
-  EXPECT_EQ(stats[0].aggregate_job.counters, stats[1].aggregate_job.counters)
-      << label << " aggregate counters";
+  ASSERT_EQ(stats[0].compute_jobs.size(), stats[1].compute_jobs.size())
+      << label;
+  for (std::size_t j = 0; j < stats[0].compute_jobs.size(); ++j) {
+    EXPECT_EQ(stats[0].compute_jobs[j].counters,
+              stats[1].compute_jobs[j].counters)
+        << label << " compute counters, job " << j;
+  }
+  ASSERT_EQ(stats[0].merge_jobs.size(), stats[1].merge_jobs.size()) << label;
+  for (std::size_t j = 0; j < stats[0].merge_jobs.size(); ++j) {
+    EXPECT_EQ(stats[0].merge_jobs[j].counters, stats[1].merge_jobs[j].counters)
+        << label << " merge counters, job " << j;
+  }
   EXPECT_EQ(stats[0].evaluations, stats[1].evaluations) << label;
   EXPECT_EQ(stats[0].results_kept, stats[1].results_kept) << label;
 }
@@ -114,7 +123,7 @@ RunFn scheme_runner(
                    const std::vector<std::string>& inputs,
                    const PairwiseJob& job, const PairwiseOptions& options) {
     const auto scheme = make(v);
-    return run_pairwise(cluster, inputs, *scheme, job, options);
+    return pairmr::testing::run_two_job(cluster, inputs, *scheme, job, options);
   };
 }
 
@@ -154,7 +163,7 @@ TEST(PreparedEquivalenceTest, OneJobBroadcastVariant) {
                         const std::vector<std::string>& inputs,
                         const PairwiseJob& job,
                         const PairwiseOptions& options) {
-    return run_pairwise_broadcast(cluster, inputs, v, /*num_tasks=*/6, job,
+    return pairmr::testing::run_broadcast(cluster, inputs, v, /*num_tasks=*/6, job,
                                   options);
   };
   for (const auto& kernel : kernel_cases(v)) {
@@ -175,13 +184,8 @@ TEST(PreparedEquivalenceTest, RoundBasedDriver) {
     for (TaskId t = 0; t < scheme.num_tasks(); ++t) {
       rounds[t % 2].push_back(t);
     }
-    const HierarchicalRunStats h =
-        run_pairwise_rounds(cluster, inputs, scheme, rounds, job, options);
-    PairwiseRunStats stats;
-    stats.evaluations = h.evaluations;
-    stats.results_kept = h.results_kept;
-    stats.output_dir = h.output_dir;
-    return stats;
+    return pairmr::testing::run_rounds(cluster, inputs, scheme, rounds, job,
+                                       options);
   };
   for (const auto& kernel : kernel_cases(v)) {
     expect_equivalent(run, kernel, nullptr, kernel.label + "/rounds");

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "../support/run_pairwise.hpp"
+
 #include <set>
 
 #include "common/check.hpp"
@@ -86,8 +88,8 @@ TEST(ReindexTest, FeedsThePipelineEndToEnd) {
         static_cast<double>(a.payload.size() + b.payload.size()));
   };
   const BlockScheme scheme(result.v, 2);
-  const PairwiseRunStats stats =
-      run_pairwise(cluster, result.dataset_paths, scheme, job);
+  const RunReport stats =
+      pairmr::testing::run_two_job(cluster, result.dataset_paths, scheme, job);
   const auto elements = read_elements(cluster, stats.output_dir);
   ASSERT_EQ(elements.size(), 7u);
   for (const Element& e : elements) {

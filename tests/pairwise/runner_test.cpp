@@ -1,7 +1,8 @@
-// PairwiseRunner facade tests: RunSpec/RunReport parity with the legacy
-// free functions, run_planned's plan→scheme→execute chaining (including
-// the §7 rounds fallback when nothing is feasible), and the up-front
-// option validation's actionable failures.
+// PairwiseRunner facade tests: cross-mode output equivalence (two-job vs
+// broadcast vs rounds), scheme-handle ownership, the delta driver's pair
+// tiling, run_planned's plan→scheme→execute chaining (including the §7
+// rounds fallback when nothing is feasible), and the up-front option
+// validation's actionable failures.
 #include "pairwise/runner.hpp"
 
 #include <gtest/gtest.h>
@@ -52,51 +53,54 @@ std::vector<std::string> encoded_output(mr::Cluster& cluster,
   return out;
 }
 
-TEST(PairwiseRunnerTest, TwoJobModeMatchesLegacyWrapper) {
-  const auto payloads = payloads_for(14);
-  const BlockScheme scheme(14, 4);
+TEST(PairwiseRunnerTest, TwoJobModeIsDeterministicAcrossClusters) {
+  const std::uint64_t v = 14;
+  const auto payloads = payloads_for(v);
+  const BlockScheme scheme(v, 4);
 
-  mr::Cluster legacy_cluster({.num_nodes = 3, .worker_threads = 2});
-  const auto legacy_inputs = write_dataset(legacy_cluster, "/data", payloads);
-  const PairwiseRunStats legacy = run_pairwise(
-      legacy_cluster, legacy_inputs, scheme, test_job());
+  auto run_once = [&](mr::Cluster& cluster) {
+    RunSpec spec;
+    spec.input_paths = write_dataset(cluster, "/data", payloads);
+    spec.mode = RunMode::kTwoJob;
+    spec.scheme = borrow_scheme(scheme);
+    spec.job = test_job();
+    return PairwiseRunner(cluster).run(spec);
+  };
 
-  mr::Cluster cluster({.num_nodes = 3, .worker_threads = 2});
-  RunSpec spec;
-  spec.input_paths = write_dataset(cluster, "/data", payloads);
-  spec.mode = RunMode::kTwoJob;
-  spec.scheme = &scheme;
-  spec.job = test_job();
-  const RunReport report = PairwiseRunner(cluster).run(spec);
+  mr::Cluster a({.num_nodes = 3, .worker_threads = 2});
+  mr::Cluster b({.num_nodes = 3, .worker_threads = 2});
+  const RunReport first = run_once(a);
+  const RunReport second = run_once(b);
 
-  EXPECT_EQ(report.mode, RunMode::kTwoJob);
-  ASSERT_EQ(report.compute_jobs.size(), 1u);
-  ASSERT_EQ(report.merge_jobs.size(), 1u);
-  EXPECT_TRUE(report.aggregated);
-  EXPECT_EQ(report.evaluations, legacy.evaluations);
-  EXPECT_EQ(report.results_kept, legacy.results_kept);
-  EXPECT_DOUBLE_EQ(report.replication_factor, legacy.replication_factor);
-  EXPECT_EQ(report.max_working_set_records, legacy.max_working_set_records);
-  EXPECT_EQ(report.max_working_set_bytes, legacy.max_working_set_bytes);
-  EXPECT_EQ(report.intermediate_bytes, legacy.intermediate_bytes);
-  EXPECT_EQ(report.shuffle_remote_bytes, legacy.shuffle_remote_bytes);
-  EXPECT_EQ(report.output_dir, legacy.output_dir);
-  EXPECT_EQ(encoded_output(cluster, report.output_dir),
-            encoded_output(legacy_cluster, legacy.output_dir));
-  EXPECT_FALSE(report.planned);
+  EXPECT_EQ(first.mode, RunMode::kTwoJob);
+  ASSERT_EQ(first.compute_jobs.size(), 1u);
+  ASSERT_EQ(first.merge_jobs.size(), 1u);
+  EXPECT_TRUE(first.aggregated);
+  EXPECT_EQ(first.evaluations, pair_count(v));
+  EXPECT_EQ(first.evaluations, second.evaluations);
+  EXPECT_EQ(first.results_kept, second.results_kept);
+  EXPECT_DOUBLE_EQ(first.replication_factor, second.replication_factor);
+  EXPECT_EQ(first.intermediate_bytes, second.intermediate_bytes);
+  EXPECT_EQ(first.shuffle_remote_bytes, second.shuffle_remote_bytes);
+  EXPECT_EQ(first.output_dir, second.output_dir);
+  EXPECT_EQ(encoded_output(a, first.output_dir),
+            encoded_output(b, second.output_dir));
+  EXPECT_FALSE(first.planned);
   if (std::getenv("PAIRMR_TEST_MEMORY_BUDGET") == nullptr) {
-    EXPECT_EQ(report.spill_runs, 0u);  // no budget configured
+    EXPECT_EQ(first.spill_runs, 0u);  // no budget configured
   }
 }
 
-TEST(PairwiseRunnerTest, BroadcastModeMatchesLegacyWrapper) {
+TEST(PairwiseRunnerTest, BroadcastModeMatchesTwoJobOutput) {
   const std::uint64_t v = 13;
   const auto payloads = payloads_for(v);
 
-  mr::Cluster legacy_cluster({.num_nodes = 3, .worker_threads = 2});
-  const auto legacy_inputs = write_dataset(legacy_cluster, "/data", payloads);
-  const PairwiseRunStats legacy = run_pairwise_broadcast(
-      legacy_cluster, legacy_inputs, v, /*num_tasks=*/5, test_job());
+  mr::Cluster ref_cluster({.num_nodes = 3, .worker_threads = 2});
+  RunSpec ref_spec;
+  ref_spec.input_paths = write_dataset(ref_cluster, "/data", payloads);
+  ref_spec.scheme = std::make_shared<BlockScheme>(v, 4);
+  ref_spec.job = test_job();
+  const RunReport ref = PairwiseRunner(ref_cluster).run(ref_spec);
 
   mr::Cluster cluster({.num_nodes = 3, .worker_threads = 2});
   RunSpec spec;
@@ -109,40 +113,45 @@ TEST(PairwiseRunnerTest, BroadcastModeMatchesLegacyWrapper) {
   ASSERT_EQ(report.compute_jobs.size(), 1u);
   EXPECT_TRUE(report.merge_jobs.empty());
   EXPECT_TRUE(report.aggregated);
-  EXPECT_EQ(report.evaluations, legacy.evaluations);
-  EXPECT_EQ(report.cache_broadcast_bytes, legacy.cache_broadcast_bytes);
-  EXPECT_DOUBLE_EQ(report.replication_factor, legacy.replication_factor);
+  EXPECT_EQ(report.evaluations, pair_count(v));
+  EXPECT_GT(report.cache_broadcast_bytes, 0u);
+  // The one-job §5.1 variant computes the same aggregated elements as
+  // the generic two-job pipeline over any exact scheme.
   EXPECT_EQ(encoded_output(cluster, report.output_dir),
-            encoded_output(legacy_cluster, legacy.output_dir));
+            encoded_output(ref_cluster, ref.output_dir));
 }
 
-TEST(PairwiseRunnerTest, RoundsModeMatchesLegacyWrapper) {
+TEST(PairwiseRunnerTest, RoundsModeMatchesTwoJobOutput) {
   const std::uint64_t v = 15;
   const auto payloads = payloads_for(v);
   const BlockScheme scheme(v, 4);
   std::vector<std::vector<TaskId>> rounds(3);
   for (TaskId t = 0; t < scheme.num_tasks(); ++t) rounds[t % 3].push_back(t);
 
-  mr::Cluster legacy_cluster({.num_nodes = 3, .worker_threads = 2});
-  const auto legacy_inputs = write_dataset(legacy_cluster, "/data", payloads);
-  const HierarchicalRunStats legacy = run_pairwise_rounds(
-      legacy_cluster, legacy_inputs, scheme, rounds, test_job());
+  mr::Cluster ref_cluster({.num_nodes = 3, .worker_threads = 2});
+  RunSpec ref_spec;
+  ref_spec.input_paths = write_dataset(ref_cluster, "/data", payloads);
+  ref_spec.scheme = borrow_scheme(scheme);
+  ref_spec.job = test_job();
+  const RunReport ref = PairwiseRunner(ref_cluster).run(ref_spec);
 
   mr::Cluster cluster({.num_nodes = 3, .worker_threads = 2});
   RunSpec spec;
   spec.input_paths = write_dataset(cluster, "/data", payloads);
   spec.mode = RunMode::kRounds;
-  spec.scheme = &scheme;
+  spec.scheme = borrow_scheme(scheme);
   spec.rounds = rounds;
   spec.job = test_job();
   const RunReport report = PairwiseRunner(cluster).run(spec);
 
-  EXPECT_EQ(report.compute_jobs.size(), legacy.round_jobs.size());
-  EXPECT_EQ(report.merge_jobs.size(), legacy.merge_jobs.size());
-  EXPECT_EQ(report.evaluations, legacy.evaluations);
-  EXPECT_EQ(report.intermediate_bytes, legacy.peak_intermediate_bytes);
+  EXPECT_EQ(report.compute_jobs.size(), rounds.size());
+  EXPECT_EQ(report.merge_jobs.size(), rounds.size());
+  EXPECT_EQ(report.evaluations, ref.evaluations);
+  // Per-round aggregation bounds intermediate volume by the largest
+  // single round, never above the flat run's full materialization.
+  EXPECT_LE(report.intermediate_bytes, ref.intermediate_bytes);
   EXPECT_EQ(encoded_output(cluster, report.output_dir),
-            encoded_output(legacy_cluster, legacy.output_dir));
+            encoded_output(ref_cluster, ref.output_dir));
 }
 
 TEST(PairwiseRunnerTest, CounterSumsAcrossJobsAndMaxMergesPeaks) {
@@ -151,7 +160,7 @@ TEST(PairwiseRunnerTest, CounterSumsAcrossJobsAndMaxMergesPeaks) {
   mr::Cluster cluster({.num_nodes = 3, .worker_threads = 2});
   RunSpec spec;
   spec.input_paths = write_dataset(cluster, "/data", payloads);
-  spec.scheme = &scheme;
+  spec.scheme = borrow_scheme(scheme);
   spec.job = test_job();
   const RunReport report = PairwiseRunner(cluster).run(spec);
 
@@ -234,10 +243,11 @@ TEST(RunPlannedTest, ManyNodeRegimeSelectsAndExecutesQuorum) {
 
   // Output matches a design-scheme reference byte for byte.
   mr::Cluster ref_cluster({.num_nodes = 4, .worker_threads = 2});
-  const auto ref_inputs = write_dataset(ref_cluster, "/data", payloads);
-  const DesignScheme ref_scheme(v);
-  const PairwiseRunStats ref = run_pairwise(
-      ref_cluster, ref_inputs, ref_scheme, test_job());
+  RunSpec ref_spec;
+  ref_spec.input_paths = write_dataset(ref_cluster, "/data", payloads);
+  ref_spec.scheme = std::make_shared<DesignScheme>(v);
+  ref_spec.job = test_job();
+  const RunReport ref = PairwiseRunner(ref_cluster).run(ref_spec);
   EXPECT_EQ(encoded_output(cluster, report.output_dir),
             encoded_output(ref_cluster, ref.output_dir));
 }
@@ -263,10 +273,11 @@ TEST(RunPlannedTest, InfeasiblePlanFallsBackToRounds) {
 
   // The fallback still computes the complete all-pairs result.
   mr::Cluster ref_cluster({.num_nodes = 4, .worker_threads = 2});
-  const auto ref_inputs = write_dataset(ref_cluster, "/data", payloads);
-  const DesignScheme ref_scheme(v);
-  const PairwiseRunStats ref = run_pairwise(
-      ref_cluster, ref_inputs, ref_scheme, test_job());
+  RunSpec ref_spec;
+  ref_spec.input_paths = write_dataset(ref_cluster, "/data", payloads);
+  ref_spec.scheme = std::make_shared<DesignScheme>(v);
+  ref_spec.job = test_job();
+  const RunReport ref = PairwiseRunner(ref_cluster).run(ref_spec);
   EXPECT_EQ(encoded_output(cluster, report.output_dir),
             encoded_output(ref_cluster, ref.output_dir));
 }
@@ -335,7 +346,7 @@ TEST(ValidateOptionsTest, RunRejectsStructurallyInvalidSpecs) {
   RunSpec no_rounds;
   no_rounds.input_paths = {"/data/part-0"};
   no_rounds.mode = RunMode::kRounds;
-  no_rounds.scheme = &scheme;
+  no_rounds.scheme = borrow_scheme(scheme);
   no_rounds.job = test_job();
   EXPECT_THROW(runner.run(no_rounds), PreconditionError);
 }
@@ -417,7 +428,7 @@ TEST(ValidateOptionsTest, JoinModeRejectsUserSuppliedComputeFn) {
   RunSpec spec;
   spec.input_paths = {"/data/part-0"};
   spec.mode = RunMode::kSimilarityJoin;
-  spec.scheme = &scheme;
+  spec.scheme = borrow_scheme(scheme);
   spec.job = test_job();  // compute set — not allowed in join mode
   EXPECT_THROW(runner.run(spec), PreconditionError);
 
@@ -427,11 +438,117 @@ TEST(ValidateOptionsTest, JoinModeRejectsUserSuppliedComputeFn) {
   EXPECT_THROW(runner.run(no_scheme), PreconditionError);
 }
 
+// --- scheme ownership ----------------------------------------------------
+
+TEST(SchemeOwnershipTest, RunSucceedsAfterCallerDropsSchemeHandle) {
+  // RunSpec::scheme is owning: the caller may release its handle before
+  // run() — the spec's shared_ptr keeps the scheme alive.
+  const std::uint64_t v = 10;
+  const auto payloads = payloads_for(v);
+  mr::Cluster cluster({.num_nodes = 2, .worker_threads = 2});
+
+  RunSpec spec;
+  spec.input_paths = write_dataset(cluster, "/data", payloads);
+  std::shared_ptr<DistributionScheme> handle =
+      std::make_shared<BlockScheme>(v, 3);
+  spec.scheme = handle;
+  handle.reset();  // destroy the caller's handle before the run
+  spec.job = test_job();
+
+  const RunReport report = PairwiseRunner(cluster).run(spec);
+  EXPECT_EQ(report.evaluations, pair_count(v));
+  EXPECT_EQ(read_elements(cluster, report.output_dir).size(), v);
+}
+
+TEST(SchemeOwnershipTest, DeprecatedRawSetterBorrowsWithoutOwning) {
+  const std::uint64_t v = 10;
+  const auto payloads = payloads_for(v);
+  const BlockScheme scheme(v, 3);
+  mr::Cluster cluster({.num_nodes = 2, .worker_threads = 2});
+
+  RunSpec raw_spec;
+  raw_spec.input_paths = write_dataset(cluster, "/data", payloads);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  raw_spec.set_scheme(&scheme);
+#pragma GCC diagnostic pop
+  raw_spec.job = test_job();
+  const RunReport raw = PairwiseRunner(cluster).run(raw_spec);
+
+  mr::Cluster ref_cluster({.num_nodes = 2, .worker_threads = 2});
+  RunSpec spec;
+  spec.input_paths = write_dataset(ref_cluster, "/data", payloads);
+  spec.scheme = borrow_scheme(scheme);
+  spec.job = test_job();
+  const RunReport ref = PairwiseRunner(ref_cluster).run(spec);
+
+  EXPECT_EQ(encoded_output(cluster, raw.output_dir),
+            encoded_output(ref_cluster, ref.output_dir));
+}
+
+// --- delta mode ----------------------------------------------------------
+
+TEST(DeltaModeTest, TilesTheUnionPairSetExactly) {
+  const std::uint64_t base_v = 9, delta_v = 4;
+  const auto payloads = payloads_for(base_v + delta_v);
+  mr::Cluster cluster({.num_nodes = 3, .worker_threads = 2});
+
+  RunSpec spec;
+  spec.input_paths = write_dataset(cluster, "/data", payloads);
+  spec.mode = RunMode::kDelta;
+  spec.delta = DeltaTarget{.base_v = base_v, .delta_v = delta_v};
+  spec.job = test_job();
+  const RunReport report = PairwiseRunner(cluster).run(spec);
+
+  EXPECT_EQ(report.mode, RunMode::kDelta);
+  EXPECT_EQ(report.pairs_delta,
+            base_v * delta_v + delta_v * (delta_v - 1) / 2);
+  EXPECT_EQ(report.pairs_reused, base_v * (base_v - 1) / 2);
+  EXPECT_EQ(report.pairs_delta + report.pairs_reused,
+            pair_count(base_v + delta_v));
+  EXPECT_EQ(report.evaluations, report.pairs_delta);
+}
+
+TEST(DeltaModeTest, RejectsEmptyBaseOrDelta) {
+  mr::Cluster cluster({.num_nodes = 2});
+  PairwiseRunner runner(cluster);
+  RunSpec spec;
+  spec.input_paths = {"/data/part-0"};
+  spec.mode = RunMode::kDelta;
+  spec.job = test_job();
+
+  spec.delta = DeltaTarget{.base_v = 0, .delta_v = 3};
+  EXPECT_THROW(runner.run(spec), PreconditionError);
+  spec.delta = DeltaTarget{.base_v = 3, .delta_v = 0};
+  EXPECT_THROW(runner.run(spec), PreconditionError);
+}
+
+TEST(ValidateOptionsTest, DeltaModeRejectsCustomDistributePartitioner) {
+  // The delta driver synthesizes its own task space; a caller-tuned
+  // partitioner over some other scheme's task ids would silently
+  // misroute, so validation rejects the combination loudly.
+  mr::Cluster cluster({.num_nodes = 2});
+  PairwiseOptions options;
+  options.num_reduce_tasks = 8;
+  options.distribute_partitioner =
+      std::make_shared<mr::RangePartitioner>(8);
+  try {
+    validate_pairwise_options(cluster, options, RunMode::kDelta);
+    FAIL() << "expected PreconditionError";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("delta"), std::string::npos)
+        << e.what();
+  }
+  // The same options are fine in two-job mode.
+  validate_pairwise_options(cluster, options, RunMode::kTwoJob);
+}
+
 TEST(RunModeTest, ToStringNamesEveryMode) {
   EXPECT_STREQ(to_string(RunMode::kTwoJob), "two-job");
   EXPECT_STREQ(to_string(RunMode::kBroadcast), "broadcast");
   EXPECT_STREQ(to_string(RunMode::kRounds), "rounds");
   EXPECT_STREQ(to_string(RunMode::kSimilarityJoin), "similarity-join");
+  EXPECT_STREQ(to_string(RunMode::kDelta), "delta");
 }
 
 }  // namespace

@@ -1,0 +1,332 @@
+// PairwiseSession serving-loop behaviour: submit/update/query/top_k,
+// cache accounting and per-element invalidation, precondition screens,
+// failed updates leaving the persisted state untouched, and crash
+// recovery — a fork-backend worker SIGKILLed mid-update() must never
+// tear the state (DESIGN.md §16). The cross-scheme × backend × chaos ×
+// spill differential oracle lives in churn_equivalence_test.cpp.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cerrno>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "../support/backend_matrix.hpp"
+#include "common/check.hpp"
+#include "common/intmath.hpp"
+#include "mr/cluster.hpp"
+#include "mr/fault.hpp"
+#include "pairwise/block_scheme.hpp"
+#include "pairwise/dataset.hpp"
+#include "pairwise/runner.hpp"
+#include "pairwise/session.hpp"
+#include "workloads/kernels.hpp"
+
+namespace pairmr {
+namespace {
+
+using mr::FaultPlan;
+using mr::TaskKind;
+
+std::vector<std::string> letter_payloads(std::uint64_t v) {
+  std::vector<std::string> payloads;
+  for (std::uint64_t i = 0; i < v; ++i) {
+    payloads.push_back(std::string(1 + i % 7, static_cast<char>('a' + i % 26)));
+  }
+  return payloads;
+}
+
+// Symmetric, id-sensitive kernel (the fault_equivalence_test job): the
+// result bytes pin down exactly which pair was evaluated.
+PairwiseJob id_job() {
+  PairwiseJob job;
+  job.compute = [](const Element& a, const Element& b) {
+    const double la = static_cast<double>(a.payload.size());
+    const double lb = static_cast<double>(b.payload.size());
+    return workloads::encode_result(
+        std::abs(la - lb) + 0.001 * static_cast<double>(a.id + b.id));
+  };
+  return job;
+}
+
+// Kernel whose score is just the partner-id sum — makes top_k ordering
+// a pure function of ids.
+PairwiseJob sum_job() {
+  PairwiseJob job;
+  job.compute = [](const Element& a, const Element& b) {
+    return workloads::encode_result(static_cast<double>(a.id + b.id));
+  };
+  return job;
+}
+
+SessionOptions scored_options() {
+  SessionOptions options;
+  options.score = [](std::string_view bytes) {
+    return workloads::decode_result(bytes);
+  };
+  return options;
+}
+
+TEST(SessionTest, SubmitThenQueryServesFullAggregates) {
+  const std::uint64_t v = 10;
+  const auto payloads = letter_payloads(v);
+  mr::Cluster cluster({.num_nodes = 4, .worker_threads = 2});
+  PairwiseSession session(cluster, sum_job(), scored_options());
+
+  const RunReport report = session.submit(payloads);
+  EXPECT_EQ(report.evaluations, pair_count(v));
+  EXPECT_EQ(session.num_elements(), v);
+  EXPECT_EQ(session.epoch(), 0u);
+  EXPECT_FALSE(session.state_paths().empty());
+
+  for (ElementId id = 0; id < v; ++id) {
+    const Element& e = session.query(id);
+    EXPECT_EQ(e.id, id);
+    EXPECT_EQ(e.payload, payloads[id]);
+    ASSERT_EQ(e.results.size(), v - 1) << "element " << id;
+    for (const ResultEntry& r : e.results) {
+      EXPECT_NE(r.other, id);
+      EXPECT_DOUBLE_EQ(workloads::decode_result(r.result),
+                       static_cast<double>(id + r.other));
+    }
+  }
+}
+
+TEST(SessionTest, TopKRanksByScoreWithAscendingIdTies) {
+  const std::uint64_t v = 10;
+  mr::Cluster cluster({.num_nodes = 2, .worker_threads = 1});
+  PairwiseSession session(cluster, sum_job(), scored_options());
+  session.submit(letter_payloads(v));
+
+  // Element 0's score against partner j is exactly j: the top 3 are the
+  // three largest ids.
+  const auto top = session.top_k(0, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].other, 9u);
+  EXPECT_EQ(top[1].other, 8u);
+  EXPECT_EQ(top[2].other, 7u);
+
+  // k past the result count returns everything.
+  EXPECT_EQ(session.top_k(0, 64).size(), v - 1);
+
+  // Constant scores fall back to ascending partner id.
+  PairwiseJob constant;
+  constant.compute = [](const Element&, const Element&) {
+    return workloads::encode_result(1.0);
+  };
+  mr::Cluster cluster2({.num_nodes = 2, .worker_threads = 1});
+  PairwiseSession ties(cluster2, constant, scored_options());
+  ties.submit(letter_payloads(6));
+  const auto tied = ties.top_k(5, 4);
+  ASSERT_EQ(tied.size(), 4u);
+  for (std::size_t i = 0; i < tied.size(); ++i) {
+    EXPECT_EQ(tied[i].other, i);
+  }
+}
+
+TEST(SessionTest, CacheCountsHitsMissesAndInvalidation) {
+  const std::uint64_t v = 6;
+  mr::Cluster cluster({.num_nodes = 2, .worker_threads = 1});
+  PairwiseSession session(cluster, id_job());
+  session.submit(letter_payloads(v));
+
+  for (ElementId id = 0; id < v; ++id) session.query(id);
+  EXPECT_EQ(session.cache_stats().misses, v);
+  EXPECT_EQ(session.cache_stats().hits, 0u);
+
+  session.query(2);
+  EXPECT_EQ(session.cache_stats().hits, 1u);
+  EXPECT_EQ(session.cache_stats().misses, v);
+
+  // No keep filter: every base element gains results from the delta, so
+  // every cached aggregate is stale and must be dropped.
+  session.update(letter_payloads(2));
+  EXPECT_EQ(session.cache_stats().invalidated, v);
+
+  // Re-reading a base element faults the merged aggregate back in.
+  const Element& e = session.query(2);
+  EXPECT_EQ(session.cache_stats().misses, v + 1);
+  EXPECT_EQ(e.results.size(), v + 2 - 1);
+}
+
+TEST(SessionTest, UpdatesTileTheUnionExactlyOnce) {
+  const std::uint64_t v = 8;
+  mr::Cluster cluster({.num_nodes = 4, .worker_threads = 2});
+  PairwiseSession session(cluster, id_job());
+  session.submit(letter_payloads(v));
+  EXPECT_EQ(session.cumulative_evaluations(), pair_count(8));
+
+  const RunReport first = session.update({"xx", "yy", "zz"});
+  EXPECT_EQ(first.pairs_delta, 8 * 3 + pair_count(3));
+  EXPECT_EQ(first.pairs_reused, pair_count(8));
+  EXPECT_EQ(first.pairs_delta + first.pairs_reused, pair_count(11));
+  EXPECT_EQ(first.evaluations, first.pairs_delta);
+  EXPECT_TRUE(first.aggregated);
+  EXPECT_FALSE(first.merge_jobs.empty());
+  EXPECT_EQ(session.num_elements(), 11u);
+  EXPECT_EQ(session.epoch(), 1u);
+  EXPECT_EQ(session.cumulative_evaluations(), pair_count(11));
+
+  const RunReport second = session.update({"qq", "rr"});
+  EXPECT_EQ(second.pairs_delta, 11 * 2 + pair_count(2));
+  EXPECT_EQ(second.pairs_reused, pair_count(11));
+  EXPECT_EQ(session.num_elements(), 13u);
+  EXPECT_EQ(session.epoch(), 2u);
+  // The session never re-evaluates a pair: cumulatively it paid exactly
+  // the batch cost of its final union.
+  EXPECT_EQ(session.cumulative_evaluations(), pair_count(13));
+
+  const Element& added = session.query(12);
+  EXPECT_EQ(added.payload, "rr");
+  EXPECT_EQ(added.results.size(), 12u);
+}
+
+TEST(SessionTest, PreconditionScreens) {
+  mr::Cluster cluster({.num_nodes = 2, .worker_threads = 1});
+
+  // Finalize hooks would run once per epoch instead of once per element.
+  PairwiseJob finalized = id_job();
+  finalized.finalize = [](Element&) {};
+  EXPECT_THROW(PairwiseSession(cluster, finalized), PreconditionError);
+
+  // Custom distribute partitioners cannot route the synthesized delta
+  // task space.
+  SessionOptions partitioned;
+  partitioned.run.num_reduce_tasks = 4;
+  partitioned.run.distribute_partitioner =
+      std::make_shared<mr::RangePartitioner>(4);
+  EXPECT_THROW(PairwiseSession(cluster, id_job(), partitioned),
+               PreconditionError);
+
+  SessionOptions rootless;
+  rootless.work_dir = "";
+  EXPECT_THROW(PairwiseSession(cluster, id_job(), rootless),
+               PreconditionError);
+
+  PairwiseSession session(cluster, id_job());
+  EXPECT_THROW(session.update({"a"}), PreconditionError);   // before submit
+  EXPECT_THROW(session.query(0), PreconditionError);        // before submit
+  EXPECT_THROW(session.submit({"solo"}), PreconditionError);
+
+  session.submit(letter_payloads(4));
+  EXPECT_THROW(session.submit(letter_payloads(4)), PreconditionError);
+  EXPECT_THROW(session.update({}), PreconditionError);
+  EXPECT_THROW(session.query(4), PreconditionError);  // out of range
+  EXPECT_THROW(session.top_k(0, 2), PreconditionError);  // no score hook
+}
+
+// A failing update must be invisible: the merge lands in a fresh epoch
+// directory and the state pointer flips only on success, so the session
+// keeps serving its pre-update aggregates.
+TEST(SessionTest, FailedUpdatePreservesServingState) {
+  const std::uint64_t v = 6;
+  mr::Cluster cluster({.num_nodes = 2, .worker_threads = 1});
+
+  // The kernel detonates on any delta pair (an id past the base set) —
+  // submit succeeds, update's compute job fails after max attempts. The
+  // throw crosses the engine, so pin the in-process backend: a forked
+  // worker would turn it into a worker loss and recover instead.
+  PairwiseJob poisoned;
+  poisoned.compute = [v](const Element& a, const Element& b) {
+    if (a.id >= v || b.id >= v) {
+      throw std::runtime_error("poisoned delta pair");
+    }
+    return workloads::encode_result(static_cast<double>(a.id + b.id));
+  };
+  SessionOptions options = scored_options();
+  options.run.backend = mr::BackendKind::kInProcess;
+  PairwiseSession session(cluster, poisoned, options);
+  session.submit(letter_payloads(v));
+  const std::string state_before = session.state_dir();
+  const Element baseline = session.query(0);
+
+  EXPECT_THROW(session.update({"new"}), std::runtime_error);
+
+  EXPECT_EQ(session.num_elements(), v);
+  EXPECT_EQ(session.epoch(), 0u);
+  EXPECT_EQ(session.state_dir(), state_before);
+  EXPECT_EQ(session.cumulative_evaluations(), pair_count(v));
+  // Still serving: same bytes as before the failed update.
+  EXPECT_EQ(session.query(0), baseline);
+  EXPECT_EQ(session.top_k(0, 2).size(), 2u);
+}
+
+// True when this process has no child processes at all — a leaked fork
+// worker (or a zombie) would show up as a waitable child.
+bool no_children_remain() {
+  const pid_t r = waitpid(-1, nullptr, WNOHANG);
+  return r == -1 && errno == ECHILD;
+}
+
+// Crash recovery: SIGKILL the fork-backend workers hosting the first
+// map and reduce attempts mid-update(). The engine reschedules onto
+// fresh workers; the committed state must be byte-identical to a
+// fault-free from-scratch batch run over the union — never torn.
+TEST(SessionCrashRecoveryTest, WorkerSigkillMidUpdateNeverTearsState) {
+  PAIRMR_SKIP_WITHOUT_FORK_SUPPORT();
+
+  const std::uint64_t base_v = 9;
+  const std::uint64_t delta_k = 4;
+  auto payloads = letter_payloads(base_v + delta_k);
+  const std::vector<std::string> base(payloads.begin(),
+                                      payloads.begin() + base_v);
+  const std::vector<std::string> delta(payloads.begin() + base_v,
+                                       payloads.end());
+
+  // The plan starts empty: submit runs clean, then the kills are armed
+  // so they land inside update()'s delta and merge jobs.
+  FaultPlan plan(4242);
+  mr::Cluster cluster({.num_nodes = 4, .worker_threads = 2});
+  std::string state_dir;
+  std::vector<std::pair<std::string, std::vector<mr::Record>>> state;
+  std::uint64_t retried = 0;
+  {
+    SessionOptions options;
+    options.run.backend = mr::BackendKind::kFork;
+    options.run.fault_plan = &plan;
+    PairwiseSession session(cluster, id_job(), options);
+    session.submit(base);
+
+    plan.kill_worker(TaskKind::kMap, 0).kill_worker(TaskKind::kReduce, 0);
+    const RunReport report = session.update(delta);
+    retried = report.counter(mr::counter::kTasksRetried);
+    EXPECT_EQ(session.num_elements(), base_v + delta_k);
+
+    state_dir = session.state_dir();
+    for (const std::string& path : cluster.dfs().list(state_dir)) {
+      state.emplace_back(path.substr(state_dir.size()),
+                         cluster.dfs().open(path)->records);
+    }
+    const Element& probe = session.query(base_v);
+    EXPECT_EQ(probe.results.size(), base_v + delta_k - 1);
+  }
+  // The injected worker kills actually happened during update().
+  EXPECT_GT(retried, 0u);
+  // Session destroyed: its persistent worker pool must be fully reaped.
+  EXPECT_TRUE(no_children_remain());
+
+  // Fault-free from-scratch reference over the union, identical scheme
+  // construction, on a pristine cluster.
+  mr::Cluster reference({.num_nodes = 4, .worker_threads = 2});
+  RunSpec spec;
+  spec.input_paths = write_dataset(reference, "/data", payloads);
+  spec.scheme = PairwiseSession::batch_scheme(
+      SchemeKind::kBlock, base_v + delta_k, reference.num_nodes(), 0,
+      PlaneConstruction::kTheorem2Prime);
+  spec.job = id_job();
+  const RunReport batch = PairwiseRunner(reference).run(spec);
+
+  std::vector<std::pair<std::string, std::vector<mr::Record>>> expected;
+  for (const std::string& path : reference.dfs().list(batch.output_dir)) {
+    expected.emplace_back(path.substr(batch.output_dir.size()),
+                          reference.dfs().open(path)->records);
+  }
+  EXPECT_EQ(state, expected);
+}
+
+}  // namespace
+}  // namespace pairmr

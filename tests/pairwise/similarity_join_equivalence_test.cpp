@@ -82,7 +82,7 @@ Execution exhaustive_reference(const std::string& scheme_label,
   RunSpec spec;
   spec.input_paths = inputs;
   spec.mode = RunMode::kTwoJob;
-  spec.scheme = scheme.get();
+  spec.scheme = borrow_scheme(*scheme);
   spec.job.compute = workloads::jaccard_kernel();
   spec.job.prepared = workloads::jaccard_prepared();
   spec.job.keep = workloads::keep_above(kThreshold);
@@ -107,7 +107,7 @@ Execution join_run(const std::string& scheme_label,
   RunSpec spec;
   spec.input_paths = inputs;
   spec.mode = RunMode::kSimilarityJoin;
-  spec.scheme = scheme.get();
+  spec.scheme = borrow_scheme(*scheme);
   spec.options.similarity_join.threshold = kThreshold;
   spec.options.fault_plan = plan;
   spec.options.backend = backend;
@@ -231,7 +231,7 @@ TEST(SimilarityJoinTrace, CandidatePhaseJobsCarrySpans) {
   RunSpec spec;
   spec.input_paths = inputs;
   spec.mode = RunMode::kSimilarityJoin;
-  spec.scheme = &scheme;
+  spec.scheme = borrow_scheme(scheme);
   spec.options.similarity_join.threshold = kThreshold;
   PairwiseRunner(cluster).run(spec);
 

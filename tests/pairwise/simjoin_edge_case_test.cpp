@@ -24,7 +24,7 @@ RunReport run_join(mr::Cluster& cluster, const std::vector<std::string>& inputs,
   RunSpec spec;
   spec.input_paths = inputs;
   spec.mode = RunMode::kSimilarityJoin;
-  spec.scheme = &scheme;
+  spec.scheme = borrow_scheme(scheme);
   spec.options.similarity_join.threshold = threshold;
   return PairwiseRunner(cluster).run(spec);
 }
@@ -182,7 +182,7 @@ TEST(SimjoinEdgeCaseTest, EmptyDatasetIsRejectedLikeTwoJob) {
         RunSpec spec;
         spec.input_paths = no_inputs;
         spec.mode = RunMode::kSimilarityJoin;
-        spec.scheme = &scheme;
+        spec.scheme = borrow_scheme(scheme);
         spec.options.similarity_join.threshold = 0.5;
         PairwiseRunner(cluster).run(spec);
       },

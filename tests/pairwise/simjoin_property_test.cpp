@@ -124,7 +124,7 @@ TEST_P(SimjoinProperty, JoinRunHoldsCounterInvariantAndMatchesTruth) {
   RunSpec spec;
   spec.input_paths = inputs;
   spec.mode = RunMode::kSimilarityJoin;
-  spec.scheme = &scheme;
+  spec.scheme = borrow_scheme(scheme);
   spec.options.similarity_join.threshold = threshold;
   const RunReport report = PairwiseRunner(cluster).run(spec);
 
@@ -188,7 +188,7 @@ TEST(SimjoinLshProperty, SurvivorsAreExactDespiteProbabilisticCandidates) {
   RunSpec spec;
   spec.input_paths = inputs;
   spec.mode = RunMode::kSimilarityJoin;
-  spec.scheme = &scheme;
+  spec.scheme = borrow_scheme(scheme);
   spec.options.similarity_join.threshold = 0.5;
   spec.options.similarity_join.filter = CandidateFilter::kLshBanding;
   const RunReport report = PairwiseRunner(cluster).run(spec);

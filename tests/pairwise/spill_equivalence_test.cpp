@@ -104,7 +104,7 @@ Execution execute(RunMode mode, const std::string& scheme_label,
     } else {
       scheme = std::make_unique<BroadcastScheme>(v, 5);
     }
-    spec.scheme = scheme.get();
+    spec.scheme = borrow_scheme(*scheme);
     if (mode == RunMode::kRounds) {
       spec.rounds.resize(2);
       for (TaskId t = 0; t < scheme->num_tasks(); ++t) {

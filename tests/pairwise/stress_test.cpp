@@ -4,6 +4,8 @@
 // stored relation is symmetric, and all schemes agree bit-for-bit.
 #include <gtest/gtest.h>
 
+#include "../support/run_pairwise.hpp"
+
 #include <map>
 #include <memory>
 
@@ -61,8 +63,8 @@ TEST_P(PipelineSeedSweep, InvariantsHoldAndSchemesAgree) {
         {.num_nodes = static_cast<std::uint32_t>(2 + seed % 4),
          .worker_threads = 2});
     const auto inputs = write_dataset(cluster, "/data", payloads);
-    const PairwiseRunStats stats =
-        run_pairwise(cluster, inputs, *scheme, edit_job());
+    const RunReport stats =
+        pairmr::testing::run_two_job(cluster, inputs, *scheme, edit_job());
     ASSERT_EQ(stats.evaluations, pair_count(v)) << scheme->name();
     outputs.push_back(read_elements(cluster, stats.output_dir));
   }
@@ -119,7 +121,7 @@ TEST(PipelineStressTest, MediumDatasetDesignScheme) {
     return workloads::encode_result(
         static_cast<double>(a.payload.size() * b.payload.size()));
   };
-  const PairwiseRunStats stats = run_pairwise(cluster, inputs, scheme, job);
+  const RunReport stats = pairmr::testing::run_two_job(cluster, inputs, scheme, job);
   EXPECT_EQ(stats.evaluations, pair_count(v));
   std::uint64_t total_results = 0;
   for (const Element& e : read_elements(cluster, stats.output_dir)) {
@@ -139,8 +141,8 @@ TEST(PipelineStressTest, ManySplitsManyReducersDeterministic) {
     PairwiseOptions options;
     options.max_records_per_split = 2;  // many map tasks
     options.num_reduce_tasks = 13;      // more reducers than nodes
-    const PairwiseRunStats stats =
-        run_pairwise(cluster, inputs, scheme, edit_job(), options);
+    const RunReport stats =
+        pairmr::testing::run_two_job(cluster, inputs, scheme, edit_job(), options);
     outputs.push_back(read_elements(cluster, stats.output_dir));
   }
   EXPECT_EQ(outputs[0], outputs[1]);

@@ -6,6 +6,8 @@
 // on must not perturb execution either.
 #include <gtest/gtest.h>
 
+#include "../support/run_pairwise.hpp"
+
 #include <cmath>
 #include <memory>
 #include <string>
@@ -95,13 +97,13 @@ RunOutcome run_once(const SchemeCase& scheme_case, std::uint64_t v,
   PairwiseOptions options;
   options.fault_plan = &plan;
 
-  const PairwiseRunStats stats =
-      run_pairwise(cluster, inputs, *scheme, test_job(), options);
+  const RunReport stats =
+      pairmr::testing::run_two_job(cluster, inputs, *scheme, test_job(), options);
 
   RunOutcome out;
   out.elements = read_elements(cluster, stats.output_dir);
-  out.distribute_counters = stats.distribute_job.counters;
-  out.aggregate_counters = stats.aggregate_job.counters;
+  out.distribute_counters = stats.compute_jobs.front().counters;
+  out.aggregate_counters = stats.merge_jobs.front().counters;
   out.remote_bytes = cluster.network().remote_bytes();
   return out;
 }

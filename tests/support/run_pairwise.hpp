@@ -1,0 +1,65 @@
+// Thin RunSpec builders for tests migrated off the deprecated
+// pipeline.hpp free functions: same call shape, but through the owning
+// PairwiseRunner API (the shims' delegation itself is certified by the
+// shim-parity cases in tests/pairwise/pipeline_test.cpp).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "pairwise/runner.hpp"
+
+namespace pairmr::testing {
+
+inline RunReport run_two_job(
+    mr::Cluster& cluster, const std::vector<std::string>& input_paths,
+    std::shared_ptr<const DistributionScheme> scheme, const PairwiseJob& job,
+    const PairwiseOptions& options = {}) {
+  RunSpec spec;
+  spec.input_paths = input_paths;
+  spec.mode = RunMode::kTwoJob;
+  spec.scheme = std::move(scheme);
+  spec.job = job;
+  spec.options = options;
+  return PairwiseRunner(cluster).run(spec);
+}
+
+inline RunReport run_two_job(
+    mr::Cluster& cluster, const std::vector<std::string>& input_paths,
+    const DistributionScheme& scheme, const PairwiseJob& job,
+    const PairwiseOptions& options = {}) {
+  return run_two_job(cluster, input_paths, borrow_scheme(scheme), job,
+                     options);
+}
+
+inline RunReport run_broadcast(
+    mr::Cluster& cluster, const std::vector<std::string>& input_paths,
+    std::uint64_t v, std::uint64_t num_tasks, const PairwiseJob& job,
+    const PairwiseOptions& options = {}) {
+  RunSpec spec;
+  spec.input_paths = input_paths;
+  spec.mode = RunMode::kBroadcast;
+  spec.broadcast = BroadcastTarget{.v = v, .num_tasks = num_tasks};
+  spec.job = job;
+  spec.options = options;
+  return PairwiseRunner(cluster).run(spec);
+}
+
+inline RunReport run_rounds(
+    mr::Cluster& cluster, const std::vector<std::string>& input_paths,
+    const DistributionScheme& scheme,
+    const std::vector<std::vector<TaskId>>& rounds, const PairwiseJob& job,
+    const PairwiseOptions& options = {}) {
+  RunSpec spec;
+  spec.input_paths = input_paths;
+  spec.mode = RunMode::kRounds;
+  spec.scheme = borrow_scheme(scheme);
+  spec.rounds = rounds;
+  spec.job = job;
+  spec.options = options;
+  return PairwiseRunner(cluster).run(spec);
+}
+
+}  // namespace pairmr::testing

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "../support/run_pairwise.hpp"
+
 #include "common/intmath.hpp"
 #include "pairwise/block_scheme.hpp"
 #include "pairwise/dataset.hpp"
@@ -68,7 +70,7 @@ TEST(InvertedIndexTest, MatchesQuadraticPipeline) {
   job.compute = jaccard_kernel();
   job.keep = keep_above(kThreshold);
   const BlockScheme scheme(docs.size(), 3);
-  const PairwiseRunStats quad = run_pairwise(c2, in2, scheme, job);
+  const RunReport quad = pairmr::testing::run_two_job(c2, in2, scheme, job);
 
   std::map<std::pair<ElementId, ElementId>, double> quad_sims;
   for (const Element& e : read_elements(c2, quad.output_dir)) {
